@@ -1,0 +1,14 @@
+# Renders the Figure 4 scatter from the data the harness writes:
+#   dune exec bench/main.exe -- --fast     # writes figure4.dat
+#   gnuplot bench/figure4.gp               # writes figure4.svg
+set terminal svg size 720,480
+set output "figure4.svg"
+set title "Execution time vs N * N' (paper Figure 4)"
+set xlabel "trace size * unique references (N * N')"
+set ylabel "execution time (s)"
+set key off
+set grid
+f(x) = a * x + b
+fit f(x) "figure4.dat" using 2:3 via a, b
+plot "figure4.dat" using 2:3 with points pointtype 7 pointsize 0.6, \
+     f(x) with lines linewidth 1

@@ -1,0 +1,15 @@
+# iterative fibonacci(30) -- try:
+#   dune exec bin/dse.exe -- run examples/programs/fib.s --regs
+  li   $t0, 30
+  li   $t1, 0
+  li   $t2, 1
+loop:
+  beq  $t0, $zero, done
+  add  $t3, $t1, $t2
+  move $t1, $t2
+  move $t2, $t3
+  addi $t0, $t0, -1
+  j    loop
+done:
+  move $v0, $t1
+  halt

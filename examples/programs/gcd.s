@@ -1,0 +1,17 @@
+# Euclid's algorithm as a subroutine: gcd(1071, 462) = 21
+#   dune exec bin/dse.exe -- run examples/programs/gcd.s
+main:
+  li   $a0, 1071
+  li   $a1, 462
+  jal  gcd
+  halt
+
+gcd:                      # while (b != 0) { t = a % b; a = b; b = t; }
+  beq  $a1, $zero, base
+  rem  $t0, $a0, $a1
+  move $a0, $a1
+  move $a1, $t0
+  j    gcd
+base:
+  move $v0, $a0
+  jr   $ra

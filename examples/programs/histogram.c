@@ -1,0 +1,30 @@
+// histogram + cumulative sum, a classic data-cache workload -- try:
+//   dune exec bin/dse.exe -- cc examples/programs/histogram.c --run
+int data[4096];
+int bins[64];
+
+int main() {
+  int i;
+  int x;
+  int total;
+  x = 7;
+  for (i = 0; i < 4096; i = i + 1) {
+    x = (x * 1103515245 + 12345) & 0x7FFFFFFF;
+    data[i] = x % 64;
+  }
+  for (i = 0; i < 4096; i = i + 1) {
+    bins[data[i]] = bins[data[i]] + 1;
+  }
+  // cumulative
+  for (i = 1; i < 64; i = i + 1) {
+    bins[i] = bins[i] + bins[i - 1];
+  }
+  total = bins[63];
+  if (total != 4096) { return -1; }
+  // weighted checksum of the distribution
+  total = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    total = total + bins[i] * (i + 1);
+  }
+  return total;
+}

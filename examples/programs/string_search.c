@@ -1,0 +1,25 @@
+// naive pattern search over a synthetic text -- try:
+//   dune exec bin/dse.exe -- cc examples/programs/string_search.c --run --dtrace /tmp/d.trace
+//   dune exec bin/dse.exe -- explore /tmp/d.trace
+int text[2048];
+int pattern[8];
+
+int match_at(int pos) {
+  int k;
+  for (k = 0; k < 8; k = k + 1) {
+    if (text[pos + k] != pattern[k]) { return 0; }
+  }
+  return 1;
+}
+
+int main() {
+  int i;
+  int found;
+  for (i = 0; i < 2048; i = i + 1) { text[i] = (i * 31 + 7) % 11; }
+  for (i = 0; i < 8; i = i + 1) { pattern[i] = ((100 + i) * 31 + 7) % 11; }
+  found = 0;
+  for (i = 0; i <= 2048 - 8; i = i + 1) {
+    if (match_at(i)) { found = found + 1; }
+  }
+  return found;
+}
