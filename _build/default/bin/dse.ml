@@ -1,0 +1,411 @@
+(* Command-line front end for the analytical cache design-space
+   exploration flow:
+
+     dse stats    TRACE                  trace statistics (Tables 5/6 row)
+     dse explore  TRACE [options]        analytical DSE (Tables 7-30 style)
+     dse simulate TRACE --depth --assoc  reference cache simulation
+     dse compare  TRACE                  cross-check analytical vs one-pass
+     dse gen      BENCH -o FILE          emit a benchmark trace
+     dse list                            list bundled benchmarks *)
+
+open Cmdliner
+
+let load_trace format path =
+  let loader =
+    match format with
+    | `Text -> Trace_io.load
+    | `Binary -> Trace_io.load_binary
+    | `Dinero -> Trace_io.load_dinero
+  in
+  try Ok (loader path) with
+  | Sys_error msg -> Error msg
+  | Failure msg -> Error msg
+
+let trace_arg =
+  let doc = "Trace file (lines of '<F|R|W> <address>', hex or decimal)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+
+let format_arg =
+  let formats = [ ("text", `Text); ("binary", `Binary); ("dinero", `Dinero) ] in
+  Arg.(
+    value
+    & opt (enum formats) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Trace file format: text, binary, or dinero.")
+
+let max_depth_arg =
+  let doc = "Largest cache depth (rows) to evaluate; a power of two." in
+  Arg.(value & opt (some int) None & info [ "max-depth" ] ~docv:"DEPTH" ~doc)
+
+let level_of_max_depth = function
+  | None -> None
+  | Some d ->
+    if d < 1 || d land (d - 1) <> 0 then failwith "max-depth must be a positive power of two"
+    else begin
+      let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+      Some (log2 d 0)
+    end
+
+let or_fail = function Ok v -> v | Error msg -> failwith msg
+
+(* -- stats -- *)
+
+let stats_cmd =
+  let run path format =
+    let trace = or_fail (load_trace format path) in
+    let stats = Stats.compute trace in
+    Format.printf "%a@." Report.pp_stats_table [ (Filename.basename path, stats) ]
+  in
+  let term = Term.(const run $ trace_arg $ format_arg) in
+  Cmd.v (Cmd.info "stats" ~doc:"Print trace statistics (N, N', maximum misses).") term
+
+(* -- explore -- *)
+
+let percents_arg =
+  let doc = "Miss budgets as percentages of the maximum miss count." in
+  Arg.(value & opt (list int) [ 5; 10; 15; 20 ] & info [ "percents" ] ~docv:"P,..." ~doc)
+
+let absolute_k_arg =
+  let doc = "Absolute miss budget K; overrides $(b,--percents)." in
+  Arg.(value & opt (some int) None & info [ "k"; "budget" ] ~docv:"K" ~doc)
+
+let csv_arg =
+  let doc = "Emit CSV instead of an aligned table." in
+  Arg.(value & flag & info [ "csv" ] ~doc)
+
+let trim_arg =
+  let doc = "Keep all depths instead of stopping at the first all-direct-mapped row." in
+  Arg.(value & flag & info [ "no-trim" ] ~doc)
+
+let explore_cmd =
+  let run path format percents k max_depth csv no_trim =
+    let trace = or_fail (load_trace format path) in
+    let max_level = level_of_max_depth max_depth in
+    let name = Filename.basename path in
+    match k with
+    | Some k ->
+      let result = Analytical.explore ?max_level trace ~k in
+      Format.printf "%a@." Optimizer.pp result
+    | None ->
+      let table = Analytical_dse.run ~percents ?max_level ~name trace in
+      let table = if no_trim then table else Analytical_dse.trim table in
+      if csv then print_string (Report.instances_to_csv table)
+      else Format.printf "%a@." Report.pp_instances table
+  in
+  let term =
+    Term.(const run $ trace_arg $ format_arg $ percents_arg $ absolute_k_arg $ max_depth_arg
+          $ csv_arg $ trim_arg)
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Compute optimal (depth, associativity) cache instances analytically.")
+    term
+
+(* -- simulate -- *)
+
+let simulate_cmd =
+  let depth_arg =
+    Arg.(required & opt (some int) None & info [ "depth" ] ~docv:"D" ~doc:"Cache depth (rows).")
+  in
+  let assoc_arg =
+    Arg.(required & opt (some int) None & info [ "assoc" ] ~docv:"A" ~doc:"Associativity (ways).")
+  in
+  let line_arg =
+    Arg.(value & opt int 1 & info [ "line" ] ~docv:"W" ~doc:"Line size in words.")
+  in
+  let policy_arg =
+    let policies = [ ("lru", `Lru); ("fifo", `Fifo); ("random", `Random) ] in
+    Arg.(value & opt (enum policies) `Lru & info [ "policy" ] ~doc:"Replacement policy.")
+  in
+  let run path format depth assoc line policy =
+    let trace = or_fail (load_trace format path) in
+    let replacement =
+      match policy with `Lru -> Config.Lru | `Fifo -> Config.Fifo | `Random -> Config.Random 1
+    in
+    let config = Config.make ~line_words:line ~replacement ~depth ~associativity:assoc () in
+    let stats = Cache.simulate config trace in
+    Format.printf "%a@.%a@." Config.pp config Cache.pp_stats stats
+  in
+  let term =
+    Term.(const run $ trace_arg $ format_arg $ depth_arg $ assoc_arg $ line_arg $ policy_arg)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Simulate one cache configuration over a trace.") term
+
+(* -- compare -- *)
+
+let compare_cmd =
+  let run path format max_depth =
+    let trace = or_fail (load_trace format path) in
+    let max_level = level_of_max_depth max_depth in
+    let outcome = Compare.trace ?max_level trace in
+    Format.printf "%a@." Compare.pp outcome;
+    if not (Compare.agree outcome) then exit 1
+  in
+  let term = Term.(const run $ trace_arg $ format_arg $ max_depth_arg) in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Cross-check the analytical model against stack simulation.")
+    term
+
+(* -- gen -- *)
+
+let gen_cmd =
+  let bench_arg =
+    let doc = "Benchmark name; see $(b,dse list)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let kind_arg =
+    let kinds = [ ("inst", `Inst); ("data", `Data) ] in
+    Arg.(value & opt (enum kinds) `Data & info [ "kind" ] ~doc:"Trace kind: inst or data.")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let binary_arg =
+    Arg.(value & flag & info [ "binary" ] ~doc:"Write the compact binary format.")
+  in
+  let run name kind out binary =
+    let bench =
+      try Registry.find name with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
+    in
+    let itrace, dtrace = Workload.traces bench in
+    let trace = match kind with `Inst -> itrace | `Data -> dtrace in
+    if binary then Trace_io.save_binary out trace else Trace_io.save out trace;
+    Format.printf "wrote %d references to %s@." (Trace.length trace) out
+  in
+  let term = Term.(const run $ bench_arg $ kind_arg $ out_arg $ binary_arg) in
+  Cmd.v (Cmd.info "gen" ~doc:"Run a bundled benchmark on the VM and save its trace.") term
+
+(* -- reduce -- *)
+
+let reduce_cmd =
+  let depth_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "depth" ] ~docv:"F"
+          ~doc:"Filter depth; miss counts are preserved for caches of depth >= F.")
+  in
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let run path format depth out =
+    let trace = or_fail (load_trace format path) in
+    let r = Reduce.filter ~depth trace in
+    Trace_io.save out r.Reduce.reduced;
+    Format.printf "kept %d of %d references (%.1f%%), removed %d filter hits@."
+      (Trace.length r.Reduce.reduced)
+      r.Reduce.original_length
+      (100.0 *. Reduce.reduction_ratio r)
+      r.Reduce.filter_hits
+  in
+  let term = Term.(const run $ trace_arg $ format_arg $ depth_arg $ out_arg) in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Strip a trace through a direct-mapped filter cache (Puzak/Wu-Wolf).")
+    term
+
+(* -- pareto -- *)
+
+let pareto_cmd =
+  let k_arg =
+    Arg.(required & opt (some int) None & info [ "k"; "budget" ] ~docv:"K" ~doc:"Miss budget.")
+  in
+  let run path format k =
+    let trace = or_fail (load_trace format path) in
+    let points = Pareto.candidates trace ~k in
+    let frontier = Pareto.frontier points in
+    List.iter
+      (fun p ->
+        Format.printf "%s %a@." (if List.memq p frontier then "*" else " ") Pareto.pp_point p)
+      points;
+    Format.printf "* = Pareto-optimal under (energy, time, area)@."
+  in
+  let term = Term.(const run $ trace_arg $ format_arg $ k_arg) in
+  Cmd.v
+    (Cmd.info "pareto" ~doc:"Cost the budget-meeting instances and mark the Pareto set.")
+    term
+
+(* -- disasm -- *)
+
+let disasm_cmd =
+  let bench_arg =
+    let doc = "Benchmark name; see $(b,dse list)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let encoded_arg =
+    Arg.(value & flag & info [ "hex" ] ~doc:"Also print the 32-bit encodings.")
+  in
+  let run name hex =
+    let bench =
+      try Registry.find name with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
+    in
+    let program = Asm.assemble bench.Workload.program in
+    Array.iteri
+      (fun pc instr ->
+        if hex then Format.printf "%4d  %08x  %a@." pc (Encode.encode instr) Isa.pp_instr instr
+        else Format.printf "%4d  %a@." pc Isa.pp_instr instr)
+      program
+  in
+  let term = Term.(const run $ bench_arg $ encoded_arg) in
+  Cmd.v (Cmd.info "disasm" ~doc:"Print the assembled listing of a bundled benchmark.") term
+
+(* -- codesign -- *)
+
+let codesign_cmd =
+  let bench_arg =
+    let doc = "Benchmark name; see $(b,dse list)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+  in
+  let k_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "k"; "budget" ] ~docv:"K" ~doc:"Total miss budget across both caches.")
+  in
+  let run name k_total =
+    let bench =
+      try Registry.find name with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
+    in
+    let itrace, dtrace = Workload.traces bench in
+    let best = Codesign.partition ~itrace ~dtrace ~k_total () in
+    Format.printf "best split: %a@." Codesign.pp_split best
+  in
+  let term = Term.(const run $ bench_arg $ k_arg) in
+  Cmd.v
+    (Cmd.info "codesign"
+       ~doc:"Partition one miss budget between the I- and D-cache, minimising total size.")
+    term
+
+(* -- cc -- *)
+
+let cc_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.c" ~doc:"MiniC source file.")
+  in
+  let run_flag = Arg.(value & flag & info [ "run" ] ~doc:"Execute after compiling.") in
+  let disasm_flag = Arg.(value & flag & info [ "disasm" ] ~doc:"Print the generated code.") in
+  let no_bounds_flag =
+    Arg.(value & flag & info [ "no-bounds-checks" ] ~doc:"Disable array bounds checking.")
+  in
+  let itrace_arg =
+    Arg.(value & opt (some string) None & info [ "itrace" ] ~docv:"FILE" ~doc:"Write the instruction trace here (implies --run).")
+  in
+  let dtrace_arg =
+    Arg.(value & opt (some string) None & info [ "dtrace" ] ~docv:"FILE" ~doc:"Write the data trace here (implies --run).")
+  in
+  let run path execute disasm no_bounds itrace_out dtrace_out =
+    let source =
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let compiled = Mc_codegen.compile ~bounds_checks:(not no_bounds) source in
+    Format.printf "compiled %d instructions, %d global words@."
+      (Array.length compiled.Mc_codegen.program)
+      compiled.Mc_codegen.globals_words;
+    if disasm then
+      Array.iteri
+        (fun pc instr -> Format.printf "%4d  %a@." pc Isa.pp_instr instr)
+        compiled.Mc_codegen.program;
+    if execute || itrace_out <> None || dtrace_out <> None then begin
+      let itrace = Option.map (fun _ -> Trace.create ()) itrace_out in
+      let dtrace = Option.map (fun _ -> Trace.create ()) dtrace_out in
+      let result = Mc_codegen.run ?itrace ?dtrace compiled in
+      Format.printf "halted after %d steps; main returned %d@." result.Machine.steps
+        (Machine.return_value result);
+      let dump out trace =
+        match (out, trace) with
+        | Some p, Some t ->
+          Trace_io.save p t;
+          Format.printf "wrote %d references to %s@." (Trace.length t) p
+        | _ -> ()
+      in
+      dump itrace_out itrace;
+      dump dtrace_out dtrace
+    end
+  in
+  let term =
+    Term.(const run $ file_arg $ run_flag $ disasm_flag $ no_bounds_flag $ itrace_arg $ dtrace_arg)
+  in
+  Cmd.v (Cmd.info "cc" ~doc:"Compile a MiniC source file for the VM.") term
+
+(* -- run -- *)
+
+let run_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s" ~doc:"Assembly source file.")
+  in
+  let steps_arg =
+    Arg.(value & opt int 30_000_000 & info [ "steps" ] ~docv:"N" ~doc:"Step budget.")
+  in
+  let mem_arg =
+    Arg.(value & opt int 65536 & info [ "mem" ] ~docv:"WORDS" ~doc:"Data memory size in words.")
+  in
+  let itrace_arg =
+    Arg.(value & opt (some string) None & info [ "itrace" ] ~docv:"FILE" ~doc:"Write the instruction trace here.")
+  in
+  let dtrace_arg =
+    Arg.(value & opt (some string) None & info [ "dtrace" ] ~docv:"FILE" ~doc:"Write the data trace here.")
+  in
+  let regs_arg =
+    Arg.(value & flag & info [ "regs" ] ~doc:"Dump all registers after the run.")
+  in
+  let run path steps mem itrace_out dtrace_out regs =
+    let items = Asm_parser.parse_file path in
+    let program = Asm.assemble items in
+    let itrace = Option.map (fun _ -> Trace.create ()) itrace_out in
+    let dtrace = Option.map (fun _ -> Trace.create ()) dtrace_out in
+    let result = Machine.run ~mem_words:mem ~max_steps:steps ?itrace ?dtrace program in
+    Format.printf "halted after %d steps; $v0 = %d@." result.Machine.steps
+      (Machine.return_value result);
+    if regs then
+      Array.iteri
+        (fun r v -> if v <> 0 then Format.printf "  %-5s = %d@." (Isa.register_name r) v)
+        result.Machine.registers;
+    let dump out trace =
+      match (out, trace) with
+      | Some path, Some t ->
+        Trace_io.save path t;
+        Format.printf "wrote %d references to %s@." (Trace.length t) path
+      | _ -> ()
+    in
+    dump itrace_out itrace;
+    dump dtrace_out dtrace
+  in
+  let term =
+    Term.(const run $ file_arg $ steps_arg $ mem_arg $ itrace_arg $ dtrace_arg $ regs_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Assemble and execute a .s file on the VM.") term
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Workload.t) -> Format.printf "%-10s %s@." b.Workload.name b.Workload.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled PowerStone-style benchmarks.") Term.(const run $ const ())
+
+let main =
+  let info =
+    Cmd.info "dse" ~version:"1.0.0"
+      ~doc:"Analytical design space exploration of caches for embedded systems."
+  in
+  Cmd.group info
+    [
+      stats_cmd; explore_cmd; simulate_cmd; compare_cmd; gen_cmd; reduce_cmd; pareto_cmd;
+      disasm_cmd; codesign_cmd; run_cmd; cc_cmd; list_cmd;
+    ]
+
+let () =
+  match Cmd.eval_value ~catch:false main with
+  | Ok _ -> ()
+  | Error _ -> exit 2
+  | exception Failure msg ->
+    Format.eprintf "dse: %s@." msg;
+    exit 1
+  | exception Machine.Fault msg ->
+    Format.eprintf "dse: machine fault: %s@." msg;
+    exit 1
+  | exception Sys_error msg ->
+    Format.eprintf "dse: %s@." msg;
+    exit 1

@@ -1,0 +1,1 @@
+examples/budget_sweep.ml: Analytical Cache Config Format List Optimizer Registry Stats String Workload

@@ -1,0 +1,1 @@
+examples/icache_vs_dcache.ml: Analytical_dse Format List Registry Report Workload

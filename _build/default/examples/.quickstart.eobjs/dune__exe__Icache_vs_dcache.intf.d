@@ -1,0 +1,1 @@
+examples/icache_vs_dcache.mli:

@@ -1,0 +1,1 @@
+examples/minic_dse.ml: Analytical_dse Array Cache Config Format List Machine Mc_codegen Report Trace

@@ -1,0 +1,1 @@
+examples/minic_dse.mli:

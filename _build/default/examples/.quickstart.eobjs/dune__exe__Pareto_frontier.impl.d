@@ -1,0 +1,1 @@
+examples/pareto_frontier.ml: Bus_cost Fmt Format List Pareto Registry Stats Workload

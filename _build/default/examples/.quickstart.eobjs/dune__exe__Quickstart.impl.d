@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analytical Cache Config Format Optimizer Stats Trace

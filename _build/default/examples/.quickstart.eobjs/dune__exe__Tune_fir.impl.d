@@ -1,0 +1,1 @@
+examples/tune_fir.ml: Analytical_dse Cache Config Format List Registry Report Workload

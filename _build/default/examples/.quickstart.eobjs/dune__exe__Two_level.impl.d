@@ -1,0 +1,1 @@
+examples/two_level.ml: Analytical Cache Codesign Config Format Hierarchy List Registry Stats Victim Workload

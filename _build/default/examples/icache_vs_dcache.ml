@@ -1,0 +1,37 @@
+(* Split instruction/data cache tuning for the CRC kernel — the paper's
+   experimental setting uses separate instruction and data traces from
+   an instrumented processor simulator; here both come from one VM run.
+
+     dune exec examples/icache_vs_dcache.exe *)
+
+let tune kind trace =
+  let table = Analytical_dse.run ~name:kind trace |> Analytical_dse.trim in
+  Format.printf "%a@." Report.pp_instances table;
+  table
+
+let smallest_at_column table column =
+  List.fold_left
+    (fun acc (depth, assocs) ->
+      let a = List.nth assocs column in
+      match acc with
+      | Some (d0, a0) when d0 * a0 <= depth * a -> acc
+      | _ -> Some (depth, a))
+    None table.Analytical_dse.rows
+
+let () =
+  let bench = Registry.find "crc" in
+  let itrace, dtrace = Workload.traces bench in
+  Format.printf "=== instruction cache ===@.";
+  let itable = tune "crc (instruction)" itrace in
+  Format.printf "@.=== data cache ===@.";
+  let dtable = tune "crc (data)" dtrace in
+  let column = 0 (* the 5% budget *) in
+  match (smallest_at_column itable column, smallest_at_column dtable column) with
+  | Some (di, ai), Some (dd, ad) ->
+    Format.printf
+      "@.at a 5%% miss budget: I-cache %dx%d (%d words), D-cache %dx%d (%d words)@." di ai
+      (di * ai) dd ad (dd * ad);
+    Format.printf
+      "the instruction working set is tiny and loop-dominated, the data side is@.";
+    Format.printf "table-driven — the asymmetry the paper's split-cache tables expose.@."
+  | _ -> assert false

@@ -1,0 +1,33 @@
+(* Cost-aware selection: the analytical model yields one minimal
+   instance per depth for a miss budget; the cost models price each one
+   (area, energy incl. bus and miss traffic, latency) and the Pareto
+   frontier exposes the real design choice — all without a single
+   simulation, because the model's miss counts are exact.
+
+     dune exec examples/pareto_frontier.exe *)
+
+let () =
+  let bench = Registry.find "adpcm" in
+  let trace = Workload.data_trace bench in
+  let stats = Stats.compute trace in
+  let k = Stats.budget stats ~percent:10 in
+  Format.printf "adpcm data trace, budget K = %d (10%% of max misses)@.@." k;
+
+  let points = Pareto.candidates trace ~k in
+  let frontier = Pareto.frontier points in
+  let on_frontier p = List.memq p frontier in
+  Format.printf "%-3s %a@." "" Fmt.(const string "instance / cost") ();
+  List.iter
+    (fun p ->
+      Format.printf "%-3s %a@." (if on_frontier p then "*" else "") Pareto.pp_point p)
+    points;
+  Format.printf "@.* = Pareto-optimal under (energy, time, area): %d of %d instances@."
+    (List.length frontier) (List.length points);
+
+  (* The bus side: how much address-bus switching the workload causes,
+     and what Gray coding would save. *)
+  let binary = Bus_cost.address_activity trace in
+  let gray = Bus_cost.gray_code_activity trace in
+  Format.printf "@.address bus: %.2f transitions/access (binary), %.2f (Gray coded)@."
+    (Bus_cost.transitions_per_access binary)
+    (Bus_cost.transitions_per_access gray)

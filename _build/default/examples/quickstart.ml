@@ -1,0 +1,31 @@
+(* Quickstart: feed a memory-reference trace to the analytical optimizer
+   and read off the cheapest caches meeting a miss budget.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* A toy trace: a loop streaming over eight addresses while repeatedly
+     touching a hot pair that collides with the stream. *)
+  let trace = Trace.create () in
+  for _round = 1 to 16 do
+    for offset = 0 to 7 do
+      Trace.add trace ~addr:(32 + offset) ~kind:Trace.Read;
+      Trace.add trace ~addr:0 ~kind:Trace.Read;
+      Trace.add trace ~addr:8 ~kind:Trace.Write
+    done
+  done;
+  let stats = Stats.compute trace in
+  Format.printf "trace: %a@.@." Stats.pp stats;
+
+  (* Allow at most 10 non-cold misses and ask for the optimal set. *)
+  let result = Analytical.explore trace ~k:10 in
+  Format.printf "caches guaranteeing at most 10 non-cold misses:@.%a@." Optimizer.pp result;
+
+  (* The model is exact for LRU: verify one instance with the simulator. *)
+  let depth, associativity =
+    match Optimizer.optimal_pairs result with
+    | (d, a) :: _ -> (d, a)
+    | [] -> assert false
+  in
+  let sim = Cache.simulate (Config.make ~depth ~associativity ()) trace in
+  Format.printf "@.simulated %dx%d: %a@." depth associativity Cache.pp_stats sim

@@ -1,0 +1,35 @@
+(* Tuning a data cache for the FIR filter kernel, end to end: run the
+   benchmark on the bundled VM to collect its data trace, explore the
+   design space analytically, and cross-check the chosen instance by
+   simulation — the full Figure 1(b) flow of the paper.
+
+     dune exec examples/tune_fir.exe *)
+
+let () =
+  let bench = Registry.find "fir" in
+  Format.printf "benchmark: %s — %s@.@." bench.Workload.name bench.Workload.description;
+
+  let dtrace = Workload.data_trace bench in
+  let table = Analytical_dse.run ~name:"fir (data)" dtrace |> Analytical_dse.trim in
+  Format.printf "%a@." Report.pp_instances table;
+
+  (* pick the 10%-budget instance of smallest total size *)
+  let column = 1 (* 10% *) in
+  let budget = List.nth table.Analytical_dse.budgets column in
+  let best =
+    List.fold_left
+      (fun acc (depth, assocs) ->
+        let a = List.nth assocs column in
+        match acc with
+        | Some (d0, a0) when d0 * a0 <= depth * a -> acc
+        | _ -> Some (depth, a))
+      None table.Analytical_dse.rows
+  in
+  match best with
+  | None -> assert false
+  | Some (depth, associativity) ->
+    Format.printf "@.smallest 10%%-budget instance: depth=%d assoc=%d (%d words)@." depth
+      associativity (depth * associativity);
+    let sim = Cache.simulate (Config.make ~depth ~associativity ()) dtrace in
+    Format.printf "simulator confirms: %a (budget %d)@." Cache.pp_stats sim budget;
+    assert (sim.Cache.misses <= budget)

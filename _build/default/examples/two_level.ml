@@ -1,0 +1,49 @@
+(* A two-level hierarchy study: use the analytical model to pick the L1
+   instruction and data caches, then check with the hierarchy simulator
+   what a unified L2 adds — and what a victim buffer would buy instead
+   of extra associativity.
+
+     dune exec examples/two_level.exe *)
+
+let () =
+  let bench = Registry.find "ucbqsort" in
+  let itrace, dtrace = Workload.traces bench in
+
+  (* L1s chosen analytically at a 10% budget, smallest size per side. *)
+  let pick trace =
+    let prepared = Analytical.prepare trace in
+    let stats = Stats.compute trace in
+    let k = Stats.budget stats ~percent:10 in
+    let instance = Codesign.smallest_instance prepared ~k in
+    Config.make ~depth:instance.Codesign.depth
+      ~associativity:instance.Codesign.associativity ()
+  in
+  let l1i = pick itrace and l1d = pick dtrace in
+  Format.printf "chosen L1i: %a@.chosen L1d: %a@.@." Config.pp l1i Config.pp l1d;
+
+  Format.printf "%-28s %10s %10s %8s@." "configuration" "L1 misses" "L2 misses" "AMAT";
+  List.iter
+    (fun (label, l2) ->
+      let s = Hierarchy.simulate_split ~l1i ~l1d ~l2 ~itrace ~dtrace in
+      let l1_misses =
+        Cache.total_misses s.Hierarchy.l1i + Cache.total_misses s.Hierarchy.l1d
+      in
+      Format.printf "%-28s %10d %10d %8.2f@." label l1_misses
+        (Cache.total_misses s.Hierarchy.l2)
+        (Hierarchy.amat s))
+    [
+      ("L2 256x1", Config.make ~depth:256 ~associativity:1 ());
+      ("L2 1024x2", Config.make ~depth:1024 ~associativity:2 ());
+      ("L2 4096x4", Config.make ~depth:4096 ~associativity:4 ());
+    ];
+
+  (* Victim buffer vs associativity on the data side. *)
+  let depth = l1d.Config.depth in
+  Format.printf "@.data cache at depth %d:@." depth;
+  let direct = Cache.simulate (Config.make ~depth ~associativity:1 ()) dtrace in
+  let two_way = Cache.simulate (Config.make ~depth ~associativity:2 ()) dtrace in
+  let victim = Victim.simulate ~depth ~victim_entries:4 dtrace in
+  Format.printf "  direct mapped:          %6d non-cold misses@." direct.Cache.misses;
+  Format.printf "  2-way LRU:              %6d@." two_way.Cache.misses;
+  Format.printf "  direct + 4-entry victim:%6d (%d served by the buffer)@."
+    victim.Victim.misses victim.Victim.victim_hits

@@ -1,0 +1,78 @@
+(** Dense bit-vector sets over the integer universe [0, capacity).
+
+    The analytical cache model manipulates thousands of sets of
+    unique-reference identifiers; the paper (section 2.4) motivates a
+    bit-vector representation so that intersection and cardinality run in
+    O(capacity / word_size). All sets created with the same [capacity] are
+    compatible; mixing capacities in binary operations raises
+    [Invalid_argument]. *)
+
+type t
+
+(** [create capacity] is the empty set over universe [0, capacity). *)
+val create : int -> t
+
+(** [capacity s] is the universe size [s] was created with. *)
+val capacity : t -> int
+
+(** [copy s] is an independent copy of [s]. *)
+val copy : t -> t
+
+(** [add s i] inserts [i]. Raises [Invalid_argument] if [i] is out of
+    range. *)
+val add : t -> int -> unit
+
+(** [remove s i] deletes [i] if present. *)
+val remove : t -> int -> unit
+
+(** [mem s i] tests membership; out-of-range indices are never members. *)
+val mem : t -> int -> bool
+
+(** [clear s] removes every element. *)
+val clear : t -> unit
+
+(** [cardinal s] is the number of elements, computed by population count. *)
+val cardinal : t -> int
+
+(** [is_empty s] is [cardinal s = 0] but short-circuits. *)
+val is_empty : t -> bool
+
+(** [inter a b] is a fresh set holding the intersection. *)
+val inter : t -> t -> t
+
+(** [inter_cardinal a b] is [cardinal (inter a b)] without allocating the
+    intermediate set — the inner loop of the postlude algorithm. *)
+val inter_cardinal : t -> t -> int
+
+(** [union a b] is a fresh set holding the union. *)
+val union : t -> t -> t
+
+(** [diff a b] is a fresh set holding [a \ b]. *)
+val diff : t -> t -> t
+
+(** [equal a b] tests element-wise equality. *)
+val equal : t -> t -> bool
+
+(** [subset a b] tests whether every element of [a] is in [b]. *)
+val subset : t -> t -> bool
+
+(** [disjoint a b] tests whether the intersection is empty. *)
+val disjoint : t -> t -> bool
+
+(** [iter f s] applies [f] to each element in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f s init] folds over elements in increasing order. *)
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [elements s] lists the elements in increasing order. *)
+val elements : t -> int list
+
+(** [of_list capacity xs] builds a set from a list of elements. *)
+val of_list : int -> int list -> t
+
+(** [choose s] is the smallest element. Raises [Not_found] when empty. *)
+val choose : t -> int
+
+(** [pp] formats a set as [{e1, e2, ...}]. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cachesim/stack_sim.ml: Array Config List Trace

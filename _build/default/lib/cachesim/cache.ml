@@ -1,0 +1,156 @@
+type outcome = Hit | Cold_miss | Miss
+
+type stats = {
+  accesses : int;
+  hits : int;
+  cold_misses : int;
+  misses : int;
+  writebacks : int;
+}
+
+let total_misses s = s.cold_misses + s.misses
+
+let miss_rate s =
+  if s.accesses = 0 then 0.0
+  else float_of_int (total_misses s) /. float_of_int s.accesses
+
+(* One way of one set. [tag] is valid only when [valid]; [stamp] orders
+   ways for LRU (last-use time) or FIFO (fill time). *)
+type way = { mutable valid : bool; mutable tag : int; mutable dirty : bool; mutable stamp : int }
+
+type t = {
+  config : Config.t;
+  sets : way array array;
+  seen_lines : (int, unit) Hashtbl.t;  (** line ids ever touched, for cold classification *)
+  rng : Random.State.t option;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable hits : int;
+  mutable cold_misses : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+let create config =
+  let make_way () = { valid = false; tag = 0; dirty = false; stamp = 0 } in
+  let make_set _ = Array.init config.Config.associativity (fun _ -> make_way ()) in
+  {
+    config;
+    sets = Array.init config.Config.depth make_set;
+    seen_lines = Hashtbl.create 1024;
+    rng =
+      (match config.Config.replacement with
+      | Config.Random seed -> Some (Random.State.make [| seed |])
+      | Config.Lru | Config.Fifo -> None);
+    clock = 0;
+    accesses = 0;
+    hits = 0;
+    cold_misses = 0;
+    misses = 0;
+    writebacks = 0;
+  }
+
+let find_way set tag =
+  let rec loop i =
+    if i >= Array.length set then None
+    else if set.(i).valid && set.(i).tag = tag then Some set.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let victim_way t set =
+  (* Prefer an invalid way; otherwise pick per policy. *)
+  let rec find_invalid i =
+    if i >= Array.length set then None
+    else if not set.(i).valid then Some set.(i)
+    else find_invalid (i + 1)
+  in
+  match find_invalid 0 with
+  | Some w -> w
+  | None -> (
+    match t.rng with
+    | Some rng -> set.(Random.State.int rng (Array.length set))
+    | None ->
+      (* LRU and FIFO both evict the smallest stamp; they differ in
+         whether hits refresh the stamp. *)
+      let best = ref set.(0) in
+      for i = 1 to Array.length set - 1 do
+        if set.(i).stamp < !best.stamp then best := set.(i)
+      done;
+      !best)
+
+let access t ~addr ~write =
+  let cfg = t.config in
+  let line = addr lsr Config.offset_bits cfg in
+  let index = line land (cfg.Config.depth - 1) in
+  let tag = line lsr Config.index_bits cfg in
+  let set = t.sets.(index) in
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  match find_way set tag with
+  | Some w ->
+    t.hits <- t.hits + 1;
+    (match cfg.Config.replacement with
+    | Config.Lru -> w.stamp <- t.clock
+    | Config.Fifo | Config.Random _ -> ());
+    if write then
+      (match cfg.Config.write_policy with
+      | Config.Write_back -> w.dirty <- true
+      | Config.Write_through -> ());
+    Hit
+  | None ->
+    let cold = not (Hashtbl.mem t.seen_lines line) in
+    if cold then begin
+      Hashtbl.add t.seen_lines line ();
+      t.cold_misses <- t.cold_misses + 1
+    end
+    else t.misses <- t.misses + 1;
+    let w = victim_way t set in
+    if w.valid && w.dirty then t.writebacks <- t.writebacks + 1;
+    w.valid <- true;
+    w.tag <- tag;
+    w.dirty <-
+      (write && match cfg.Config.write_policy with
+                | Config.Write_back -> true
+                | Config.Write_through -> false);
+    w.stamp <- t.clock;
+    if cold then Cold_miss else Miss
+
+let stats t =
+  {
+    accesses = t.accesses;
+    hits = t.hits;
+    cold_misses = t.cold_misses;
+    misses = t.misses;
+    writebacks = t.writebacks;
+  }
+
+let simulate config trace =
+  let cache = create config in
+  Trace.iter
+    (fun (a : Trace.access) ->
+      let write = match a.kind with Trace.Write -> true | Trace.Fetch | Trace.Read -> false in
+      ignore (access cache ~addr:a.addr ~write))
+    trace;
+  stats cache
+
+let simulate_addresses config addrs =
+  let cache = create config in
+  Array.iter (fun addr -> ignore (access cache ~addr ~write:false)) addrs;
+  stats cache
+
+let miss_stream config trace =
+  let cache = create config in
+  let misses = Trace.create () in
+  Trace.iter
+    (fun (a : Trace.access) ->
+      let write = match a.kind with Trace.Write -> true | Trace.Fetch | Trace.Read -> false in
+      match access cache ~addr:a.addr ~write with
+      | Hit -> ()
+      | Cold_miss | Miss -> Trace.add misses ~addr:a.addr ~kind:a.kind)
+    trace;
+  (stats cache, misses)
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt "accesses=%d hits=%d cold=%d misses=%d writebacks=%d"
+    s.accesses s.hits s.cold_misses s.misses s.writebacks

@@ -1,0 +1,50 @@
+(** Reference set-associative cache simulator.
+
+    This is the "traditional approach" component of the paper's Figure
+    1(a): it replays a trace against one concrete configuration and counts
+    hits and misses. Misses are classified as cold (first touch of a line)
+    or non-cold; the analytical model's guarantees are about non-cold
+    misses, so this simulator is also the oracle our tests validate the
+    model against. *)
+
+type outcome = Hit | Cold_miss | Miss
+
+type stats = {
+  accesses : int;
+  hits : int;
+  cold_misses : int;
+  misses : int;  (** non-cold (conflict/capacity) misses *)
+  writebacks : int;  (** dirty evictions under write-back *)
+}
+
+(** [total_misses stats] is [cold_misses + misses]. *)
+val total_misses : stats -> int
+
+(** [miss_rate stats] is total misses over accesses (0 for empty traces). *)
+val miss_rate : stats -> float
+
+type t
+
+(** [create config] is an empty cache. *)
+val create : Config.t -> t
+
+(** [access cache ~addr ~write] performs one access and returns its
+    outcome, updating replacement state and dirty bits. *)
+val access : t -> addr:int -> write:bool -> outcome
+
+(** [stats cache] is a snapshot of the counters so far. *)
+val stats : t -> stats
+
+(** [simulate config trace] replays a whole trace from a cold cache.
+    [Trace.Write] accesses are writes; fetches and reads are reads. *)
+val simulate : Config.t -> Trace.t -> stats
+
+(** [simulate_addresses config addrs] replays raw read addresses. *)
+val simulate_addresses : Config.t -> int array -> stats
+
+(** [miss_stream config trace] replays the trace and returns, besides the
+    stats, the sequence of accesses that missed (cold or not) — the
+    reference stream a next cache level would see. Kinds are preserved. *)
+val miss_stream : Config.t -> Trace.t -> stats * Trace.t
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,43 @@
+type replacement = Lru | Fifo | Random of int
+
+type write_policy = Write_back | Write_through
+
+type t = {
+  depth : int;
+  associativity : int;
+  line_words : int;
+  replacement : replacement;
+  write_policy : write_policy;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec loop n acc = if n <= 1 then acc else loop (n lsr 1) (acc + 1) in
+  loop n 0
+
+let make ?(line_words = 1) ?(replacement = Lru) ?(write_policy = Write_back)
+    ~depth ~associativity () =
+  if not (is_power_of_two depth) then
+    invalid_arg "Config.make: depth must be a positive power of two";
+  if not (is_power_of_two line_words) then
+    invalid_arg "Config.make: line_words must be a positive power of two";
+  if associativity < 1 then invalid_arg "Config.make: associativity must be >= 1";
+  { depth; associativity; line_words; replacement; write_policy }
+
+let size_words c = c.depth * c.associativity * c.line_words
+
+let index_bits c = log2 c.depth
+
+let offset_bits c = log2 c.line_words
+
+let pp fmt c =
+  let repl =
+    match c.replacement with
+    | Lru -> "LRU"
+    | Fifo -> "FIFO"
+    | Random seed -> Printf.sprintf "RANDOM(%d)" seed
+  in
+  let wp = match c.write_policy with Write_back -> "WB" | Write_through -> "WT" in
+  Format.fprintf fmt "depth=%d assoc=%d line=%dw %s %s" c.depth c.associativity
+    c.line_words repl wp

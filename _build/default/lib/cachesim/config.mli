@@ -1,0 +1,48 @@
+(** Cache configurations for the reference simulator.
+
+    [depth] is the number of sets (the paper's D, a power of two);
+    [associativity] the number of ways per set (the paper's A);
+    [line_words] the line size in words (the paper fixes it to 1; the
+    simulator supports larger lines for the line-size ablation).
+
+    Total capacity in words is [depth * associativity * line_words]
+    (the paper's "cache size 2^D A" phrasing, with D as log2-depth). *)
+
+type replacement = Lru | Fifo | Random of int  (** Random carries a seed *)
+
+type write_policy = Write_back | Write_through
+
+type t = {
+  depth : int;
+  associativity : int;
+  line_words : int;
+  replacement : replacement;
+  write_policy : write_policy;
+}
+
+(** [make ~depth ~associativity ()] validates and builds a configuration.
+    Defaults: [line_words = 1], [replacement = Lru],
+    [write_policy = Write_back] — the paper's fixed choices.
+    Raises [Invalid_argument] if [depth] or [line_words] is not a positive
+    power of two, or [associativity < 1]. *)
+val make :
+  ?line_words:int ->
+  ?replacement:replacement ->
+  ?write_policy:write_policy ->
+  depth:int ->
+  associativity:int ->
+  unit ->
+  t
+
+(** [size_words config] is the total data capacity in words. *)
+val size_words : t -> int
+
+(** [index_bits config] is log2 of the depth. *)
+val index_bits : t -> int
+
+(** [offset_bits config] is log2 of the line size. *)
+val offset_bits : t -> int
+
+val is_power_of_two : int -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type level_stats = { l1i : Cache.stats; l1d : Cache.stats; l2 : Cache.stats }
+
+type t = { l1i : Cache.t; l1d : Cache.t; l2 : Cache.t }
+
+(* Instruction and data addresses live in separate (Harvard) spaces; the
+   unified L2 disambiguates them with a high tag bit on fetches. *)
+let instruction_space_bit = 1 lsl 28
+
+let create ~l1i ~l1d ~l2 () =
+  { l1i = Cache.create l1i; l1d = Cache.create l1d; l2 = Cache.create l2 }
+
+let access t ~addr ~kind =
+  let l1, l2_addr, write =
+    match kind with
+    | Trace.Fetch -> (t.l1i, addr lor instruction_space_bit, false)
+    | Trace.Read -> (t.l1d, addr, false)
+    | Trace.Write -> (t.l1d, addr, true)
+  in
+  let outcome = Cache.access l1 ~addr ~write in
+  (match outcome with
+  | Cache.Hit -> ()
+  | Cache.Cold_miss | Cache.Miss -> ignore (Cache.access t.l2 ~addr:l2_addr ~write:false));
+  outcome
+
+let stats t : level_stats =
+  { l1i = Cache.stats t.l1i; l1d = Cache.stats t.l1d; l2 = Cache.stats t.l2 }
+
+let simulate ~l1i ~l1d ~l2 trace =
+  let h = create ~l1i ~l1d ~l2 () in
+  Trace.iter (fun (a : Trace.access) -> ignore (access h ~addr:a.Trace.addr ~kind:a.Trace.kind)) trace;
+  stats h
+
+let simulate_split ~l1i ~l1d ~l2 ~itrace ~dtrace =
+  let h = create ~l1i ~l1d ~l2 () in
+  let ni = Trace.length itrace and nd = Trace.length dtrace in
+  (* round-robin proportional interleave: at each step advance the stream
+     that is furthest behind its proportional position *)
+  let i = ref 0 and d = ref 0 in
+  while !i < ni || !d < nd do
+    let advance_instruction =
+      if !i >= ni then false
+      else if !d >= nd then true
+      else !i * nd <= !d * ni
+    in
+    if advance_instruction then begin
+      ignore (access h ~addr:(Trace.addr itrace !i) ~kind:Trace.Fetch);
+      incr i
+    end
+    else begin
+      ignore (access h ~addr:(Trace.addr dtrace !d) ~kind:(Trace.kind dtrace !d));
+      incr d
+    end
+  done;
+  stats h
+
+let amat ?(l1_hit = 1.0) ?(l2_hit = 8.0) ?(memory = 40.0) (s : level_stats) =
+  let accesses = s.l1i.Cache.accesses + s.l1d.Cache.accesses in
+  if accesses = 0 then l1_hit
+  else begin
+    let l1_misses = Cache.total_misses s.l1i + Cache.total_misses s.l1d in
+    let l2_misses = Cache.total_misses s.l2 in
+    ((float_of_int accesses *. l1_hit)
+    +. (float_of_int l1_misses *. l2_hit)
+    +. (float_of_int l2_misses *. memory))
+    /. float_of_int accesses
+  end

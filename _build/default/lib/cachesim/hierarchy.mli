@@ -1,0 +1,42 @@
+(** Two-level cache hierarchy simulation: split L1 instruction and data
+    caches backed by a unified L2.
+
+    The paper tunes single-level split caches; a hierarchy is the obvious
+    next system question ("a well-tuned cache hierarchy and organization",
+    section 1), and this simulator answers it for concrete configurations:
+    L1 misses are replayed into the L2 (by line address), so the L2 sees
+    the classic filtered reference stream. Replacement and write policies
+    follow each level's own configuration; the hierarchy is
+    non-inclusive (no back-invalidations), matching simple embedded
+    designs. *)
+
+type level_stats = { l1i : Cache.stats; l1d : Cache.stats; l2 : Cache.stats }
+
+type t
+
+(** [create ~l1i ~l1d ~l2 ()] builds an empty hierarchy. *)
+val create : l1i:Config.t -> l1d:Config.t -> l2:Config.t -> unit -> t
+
+(** [access hierarchy ~addr ~kind] performs one access: fetches go to the
+    L1 instruction cache, reads/writes to the L1 data cache; on an L1
+    miss the line is also requested from the L2. Returns the L1 outcome. *)
+val access : t -> addr:int -> kind:Trace.kind -> Cache.outcome
+
+(** [stats hierarchy] snapshots all three caches. *)
+val stats : t -> level_stats
+
+(** [simulate ~l1i ~l1d ~l2 trace] replays a mixed trace (fetches, reads
+    and writes interleaved) from cold. *)
+val simulate : l1i:Config.t -> l1d:Config.t -> l2:Config.t -> Trace.t -> level_stats
+
+(** [simulate_split ~l1i ~l1d ~l2 ~itrace ~dtrace] replays separate
+    instruction and data traces, interleaving them round-robin in
+    proportion to their lengths — the approximation available when the
+    two streams were collected separately (as the paper's are). *)
+val simulate_split :
+  l1i:Config.t -> l1d:Config.t -> l2:Config.t -> itrace:Trace.t -> dtrace:Trace.t -> level_stats
+
+(** [amat ?l1_hit ?l2_hit ?memory stats] is the average memory access
+    time in cycles given the hit latencies of each level (defaults 1, 8,
+    40) — the figure of merit hierarchies are tuned by. *)
+val amat : ?l1_hit:float -> ?l2_hit:float -> ?memory:float -> level_stats -> float

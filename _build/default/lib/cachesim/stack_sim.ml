@@ -1,0 +1,64 @@
+type result = { accesses : int; cold : int; histogram : int array }
+
+(* Per-set LRU stacks as singly-linked lists of line ids, most recent
+   first. The scan that finds an id also yields its stack distance. *)
+
+let run ~depth ?(line_words = 1) trace =
+  if not (Config.is_power_of_two depth) then
+    invalid_arg "Stack_sim.run: depth must be a positive power of two";
+  if not (Config.is_power_of_two line_words) then
+    invalid_arg "Stack_sim.run: line_words must be a positive power of two";
+  let offset_bits =
+    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+    log2 line_words 0
+  in
+  let stacks = Array.make depth [] in
+  let hist = ref (Array.make 16 0) in
+  let max_distance = ref (-1) in
+  let cold = ref 0 in
+  let accesses = ref 0 in
+  let record_distance d =
+    if d >= Array.length !hist then begin
+      let bigger = Array.make (max (d + 1) (2 * Array.length !hist)) 0 in
+      Array.blit !hist 0 bigger 0 (Array.length !hist);
+      hist := bigger
+    end;
+    !hist.(d) <- !hist.(d) + 1;
+    if d > !max_distance then max_distance := d
+  in
+  let touch addr =
+    incr accesses;
+    let line = addr lsr offset_bits in
+    let index = line land (depth - 1) in
+    (* Remove [line] from the stack, counting its depth. *)
+    let rec extract acc d = function
+      | [] -> (None, List.rev acc)
+      | x :: rest when x = line -> (Some d, List.rev_append acc rest)
+      | x :: rest -> extract (x :: acc) (d + 1) rest
+    in
+    let found, remaining = extract [] 0 stacks.(index) in
+    stacks.(index) <- line :: remaining;
+    match found with None -> incr cold | Some d -> record_distance d
+  in
+  Trace.iter (fun (a : Trace.access) -> touch a.addr) trace;
+  {
+    accesses = !accesses;
+    cold = !cold;
+    histogram = Array.sub !hist 0 (!max_distance + 1);
+  }
+
+let misses result ~associativity =
+  if associativity < 1 then invalid_arg "Stack_sim.misses: associativity < 1";
+  let n = ref 0 in
+  for d = associativity to Array.length result.histogram - 1 do
+    n := !n + result.histogram.(d)
+  done;
+  !n
+
+let total_misses result ~associativity = result.cold + misses result ~associativity
+
+let min_associativity result ~budget =
+  let rec search a =
+    if misses result ~associativity:a <= budget then a else search (a + 1)
+  in
+  search 1

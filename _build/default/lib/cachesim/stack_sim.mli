@@ -1,0 +1,33 @@
+(** One-pass Mattson stack-distance simulation (the paper's reference
+    [17], Mattson et al., "Evaluation Techniques for Storage
+    Hierarchies").
+
+    For a fixed depth, a single pass computes the LRU stack distance of
+    every access within its set; the miss count of *every* associativity
+    is then a suffix sum of the distance histogram. This is the classic
+    "one-pass" technique the paper contrasts itself against, and an
+    independent oracle for the analytical model. *)
+
+type result = {
+  accesses : int;
+  cold : int;  (** accesses whose line was never seen before (infinite distance) *)
+  histogram : int array;
+      (** [histogram.(d)] = number of warm accesses at stack distance [d];
+          distance 0 means the line was the most recently used in its set *)
+}
+
+(** [run ~depth ?line_words trace] simulates one pass. [depth] must be a
+    positive power of two; [line_words] defaults to 1. *)
+val run : depth:int -> ?line_words:int -> Trace.t -> result
+
+(** [misses result ~associativity] is the number of non-cold misses of an
+    LRU cache of that associativity at the simulated depth: warm accesses
+    with stack distance >= associativity. *)
+val misses : result -> associativity:int -> int
+
+(** [total_misses result ~associativity] adds the cold misses. *)
+val total_misses : result -> associativity:int -> int
+
+(** [min_associativity result ~budget] is the smallest associativity whose
+    non-cold miss count is <= budget. *)
+val min_associativity : result -> budget:int -> int

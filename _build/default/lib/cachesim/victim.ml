@@ -1,0 +1,101 @@
+type stats = {
+  accesses : int;
+  l1_hits : int;
+  victim_hits : int;
+  cold_misses : int;
+  misses : int;
+}
+
+type outcome = L1_hit | Victim_hit | Cold | Miss
+
+type t = {
+  depth : int;
+  offset_bits : int;
+  rows : int array;  (** line held per row, -1 when empty *)
+  mutable victims : int list;  (** most recently evicted first *)
+  victim_entries : int;
+  seen : (int, unit) Hashtbl.t;
+  mutable accesses : int;
+  mutable l1_hits : int;
+  mutable victim_hits : int;
+  mutable cold_misses : int;
+  mutable misses : int;
+}
+
+let create ?(line_words = 1) ~depth ~victim_entries () =
+  if not (Config.is_power_of_two depth) then
+    invalid_arg "Victim.create: depth must be a positive power of two";
+  if not (Config.is_power_of_two line_words) then
+    invalid_arg "Victim.create: line_words must be a positive power of two";
+  if victim_entries < 0 then invalid_arg "Victim.create: negative victim_entries";
+  let offset_bits =
+    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+    log2 line_words 0
+  in
+  {
+    depth;
+    offset_bits;
+    rows = Array.make depth (-1);
+    victims = [];
+    victim_entries;
+    seen = Hashtbl.create 256;
+    accesses = 0;
+    l1_hits = 0;
+    victim_hits = 0;
+    cold_misses = 0;
+    misses = 0;
+  }
+
+let push_victim t line =
+  if t.victim_entries > 0 && line >= 0 then begin
+    let without = List.filter (fun v -> v <> line) t.victims in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    t.victims <- take t.victim_entries (line :: without)
+  end
+
+let access t ~addr =
+  t.accesses <- t.accesses + 1;
+  let line = addr lsr t.offset_bits in
+  let row = line land (t.depth - 1) in
+  if t.rows.(row) = line then begin
+    t.l1_hits <- t.l1_hits + 1;
+    L1_hit
+  end
+  else if List.mem line t.victims then begin
+    (* swap: the requested line returns to the array, the displaced line
+       becomes the newest victim *)
+    t.victim_hits <- t.victim_hits + 1;
+    t.victims <- List.filter (fun v -> v <> line) t.victims;
+    push_victim t t.rows.(row);
+    t.rows.(row) <- line;
+    Victim_hit
+  end
+  else begin
+    let cold = not (Hashtbl.mem t.seen line) in
+    if cold then begin
+      Hashtbl.add t.seen line ();
+      t.cold_misses <- t.cold_misses + 1
+    end
+    else t.misses <- t.misses + 1;
+    push_victim t t.rows.(row);
+    t.rows.(row) <- line;
+    if cold then Cold else Miss
+  end
+
+let stats t =
+  {
+    accesses = t.accesses;
+    l1_hits = t.l1_hits;
+    victim_hits = t.victim_hits;
+    cold_misses = t.cold_misses;
+    misses = t.misses;
+  }
+
+let simulate ?line_words ~depth ~victim_entries trace =
+  let t = create ?line_words ~depth ~victim_entries () in
+  Trace.iter (fun (a : Trace.access) -> ignore (access t ~addr:a.Trace.addr)) trace;
+  stats t

@@ -1,0 +1,35 @@
+(** Direct-mapped cache with a victim buffer (Jouppi's victim cache —
+    the low-cost alternative to associativity that the analytical model's
+    associativity recommendations are naturally compared against; cf. the
+    application-specific victim-buffer line of work that followed the
+    paper).
+
+    Lines evicted from the direct-mapped array land in a small
+    fully-associative LRU buffer; a subsequent miss that hits the buffer
+    swaps the line back instead of going to memory. *)
+
+type stats = {
+  accesses : int;
+  l1_hits : int;
+  victim_hits : int;  (** misses of the array served by the buffer *)
+  cold_misses : int;
+  misses : int;  (** non-cold misses that also missed the buffer *)
+}
+
+type t
+
+(** [create ~depth ~victim_entries ()] builds an empty cache; [depth]
+    must be a positive power of two, [victim_entries] non-negative
+    ([0] degenerates to a plain direct-mapped cache). *)
+val create : ?line_words:int -> depth:int -> victim_entries:int -> unit -> t
+
+type outcome = L1_hit | Victim_hit | Cold | Miss
+
+(** [access t ~addr] performs one access. *)
+val access : t -> addr:int -> outcome
+
+val stats : t -> stats
+
+(** [simulate ?line_words ~depth ~victim_entries trace] replays a trace
+    from cold. *)
+val simulate : ?line_words:int -> depth:int -> victim_entries:int -> Trace.t -> stats

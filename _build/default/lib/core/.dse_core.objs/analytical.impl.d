@@ -1,0 +1,1 @@
+lib/core/analytical.ml: Array Bcat Dfs_optimizer List Mrct Optimizer Printf Strip Trace Zero_one

@@ -1,0 +1,1 @@
+lib/core/analytical.mli: Mrct Optimizer Strip Trace

@@ -1,0 +1,1 @@
+lib/core/bcat.ml: Array Fun List Printf Zero_one

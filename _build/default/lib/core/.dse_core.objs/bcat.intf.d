@@ -1,0 +1,1 @@
+lib/core/bcat.mli: Zero_one

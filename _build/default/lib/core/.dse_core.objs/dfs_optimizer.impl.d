@@ -1,0 +1,1 @@
+lib/core/dfs_optimizer.ml: Array Mrct Optimizer

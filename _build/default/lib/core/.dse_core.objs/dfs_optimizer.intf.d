@@ -1,0 +1,1 @@
+lib/core/dfs_optimizer.mli: Mrct Optimizer

@@ -1,0 +1,1 @@
+lib/core/mrct.ml: Array List Strip

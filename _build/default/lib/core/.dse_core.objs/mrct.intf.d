@@ -1,0 +1,1 @@
+lib/core/mrct.mli: Strip

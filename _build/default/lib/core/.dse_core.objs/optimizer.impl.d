@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Array Bcat Bitset Format List Mrct

@@ -1,0 +1,1 @@
+lib/core/parallel_optimizer.ml: Array Dfs_optimizer Domain List Mrct Optimizer

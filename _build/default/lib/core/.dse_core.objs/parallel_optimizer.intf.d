@@ -1,0 +1,1 @@
+lib/core/parallel_optimizer.mli: Mrct Optimizer

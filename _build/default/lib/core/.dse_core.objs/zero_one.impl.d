@@ -1,0 +1,1 @@
+lib/core/zero_one.ml: Array Bitset Printf Strip

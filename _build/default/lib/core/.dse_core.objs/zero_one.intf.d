@@ -1,0 +1,1 @@
+lib/core/zero_one.mli: Bitset Strip

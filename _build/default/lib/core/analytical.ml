@@ -1,0 +1,76 @@
+type method_ = Bcat_walk | Dfs
+
+type prepared = {
+  stripped : Strip.t;
+  mrct : Mrct.t;
+  max_level : int;
+  line_words : int;
+}
+
+let prepare ?max_level ?(line_words = 1) trace =
+  if line_words < 1 || line_words land (line_words - 1) <> 0 then
+    invalid_arg "Analytical.prepare: line_words must be a positive power of two";
+  let offset_bits =
+    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+    log2 line_words 0
+  in
+  let line_addresses =
+    Array.map (fun a -> a lsr offset_bits) (Trace.addresses trace)
+  in
+  let stripped = Strip.strip_addresses line_addresses in
+  let bits = Strip.address_bits stripped in
+  let max_level =
+    match max_level with None -> bits | Some m -> max 0 (min m bits)
+  in
+  { stripped; mrct = Mrct.build stripped; max_level; line_words }
+
+let explore_prepared ?(method_ = Dfs) prepared ~k =
+  match method_ with
+  | Dfs ->
+    Dfs_optimizer.explore ~addresses:prepared.stripped.Strip.uniques prepared.mrct
+      ~max_level:prepared.max_level ~k
+  | Bcat_walk ->
+    let zero_one = Zero_one.build prepared.stripped in
+    let bcat = Bcat.build ~max_level:prepared.max_level zero_one in
+    Optimizer.explore bcat prepared.mrct ~k
+
+let explore_many ?(method_ = Dfs) prepared ~ks =
+  let histograms =
+    match method_ with
+    | Dfs ->
+      Dfs_optimizer.histograms ~addresses:prepared.stripped.Strip.uniques prepared.mrct
+        ~max_level:prepared.max_level
+    | Bcat_walk ->
+      let zero_one = Zero_one.build prepared.stripped in
+      let bcat = Bcat.build ~max_level:prepared.max_level zero_one in
+      Array.init (Bcat.max_level bcat + 1) (fun level ->
+          Optimizer.histogram_at bcat prepared.mrct ~level)
+  in
+  List.map (fun k -> Optimizer.of_histograms ~k histograms) ks
+
+let explore ?max_level ?line_words ?method_ trace ~k =
+  explore_prepared ?method_ (prepare ?max_level ?line_words trace) ~k
+
+let level_of_depth depth max_level =
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  if depth < 1 || depth land (depth - 1) <> 0 then
+    invalid_arg "Analytical.misses: depth must be a positive power of two";
+  let level = log2 depth 0 in
+  if level > max_level then
+    invalid_arg
+      (Printf.sprintf "Analytical.misses: depth %d exceeds max level %d" depth max_level);
+  level
+
+let misses ?(method_ = Dfs) prepared ~depth ~associativity =
+  let level = level_of_depth depth prepared.max_level in
+  match method_ with
+  | Dfs ->
+    let hists =
+      Dfs_optimizer.histograms ~addresses:prepared.stripped.Strip.uniques prepared.mrct
+        ~max_level:level
+    in
+    Optimizer.misses_of_histogram hists.(level) ~associativity
+  | Bcat_walk ->
+    let zero_one = Zero_one.build prepared.stripped in
+    let bcat = Bcat.build ~max_level:level zero_one in
+    Optimizer.misses_at bcat prepared.mrct ~level ~associativity

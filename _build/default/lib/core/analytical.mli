@@ -1,0 +1,43 @@
+(** High-level entry points tying the prelude and postlude together
+    (the paper's Figure 2 pipeline: strip -> MRCT/BCAT -> optimal set). *)
+
+type method_ = Bcat_walk  (** Algorithms 1 + 3 as published *)
+             | Dfs  (** the fused linear-space variant of section 2.4 *)
+
+type prepared = {
+  stripped : Strip.t;
+  mrct : Mrct.t;
+  max_level : int;  (** number of address bits usable as index bits *)
+  line_words : int;  (** line size the trace was folded to *)
+}
+
+(** [prepare ?max_level ?line_words trace] runs the prelude phase once;
+    the result can be re-used for several budgets K. [max_level] defaults
+    to the number of address bits and is clamped to it.
+
+    [line_words] (default 1, the paper's fixed choice) extends the model
+    to larger lines: word addresses are folded to line addresses before
+    stripping, which keeps the characterisation exact for LRU since
+    conflicts happen between lines. Must be a power of two. *)
+val prepare : ?max_level:int -> ?line_words:int -> Trace.t -> prepared
+
+(** [explore_prepared ?method_ prepared ~k] runs the postlude for one
+    budget. Default method is [Dfs]. *)
+val explore_prepared : ?method_:method_ -> prepared -> k:int -> Optimizer.t
+
+(** [explore_many ?method_ prepared ~ks] answers several budgets from a
+    single histogram computation — the "prelude once, postlude per
+    constraint" economy the paper's flow is built around. Results are in
+    the order of [ks] and identical to per-budget {!explore_prepared}
+    calls. *)
+val explore_many : ?method_:method_ -> prepared -> ks:int list -> Optimizer.t list
+
+(** [explore ?max_level ?line_words ?method_ trace ~k] is
+    [explore_prepared (prepare trace) ~k]. *)
+val explore :
+  ?max_level:int -> ?line_words:int -> ?method_:method_ -> Trace.t -> k:int -> Optimizer.t
+
+(** [misses ?method_ prepared ~depth ~associativity] is the model's exact
+    non-cold miss count for one configuration. [depth] must be a power of
+    two no greater than [2 ^ max_level]. *)
+val misses : ?method_:method_ -> prepared -> depth:int -> associativity:int -> int

@@ -1,0 +1,89 @@
+type node = {
+  level : int;
+  row : int;
+  ids : int array;
+  children : (node * node) option;
+}
+
+type t = { root : node; max_level : int; num_unique : int }
+
+(* Split [ids] on address bit [bit]: the pair of sub-arrays with that bit
+   clear / set. Equivalent to intersecting with Z_bit / O_bit; partitioning
+   the sorted array keeps each side sorted. *)
+let split_on_bit addresses ids bit =
+  let zeros = ref [] and ones = ref [] and nz = ref 0 and no = ref 0 in
+  Array.iter
+    (fun id ->
+      if (addresses.(id) lsr bit) land 1 = 0 then begin
+        zeros := id :: !zeros;
+        incr nz
+      end
+      else begin
+        ones := id :: !ones;
+        incr no
+      end)
+    ids;
+  (* The accumulators are in reverse order; filling the array backwards
+     restores the original (sorted) order. *)
+  let to_array n rev_list =
+    let a = Array.make n 0 in
+    let rec fill i = function
+      | [] -> ()
+      | x :: rest ->
+        a.(i) <- x;
+        fill (i - 1) rest
+    in
+    fill (n - 1) rev_list;
+    a
+  in
+  (to_array !nz !zeros, to_array !no !ones)
+
+let build ?max_level zero_one =
+  let bits = Zero_one.bits zero_one in
+  let max_level =
+    match max_level with None -> bits | Some m -> max 0 (min m bits)
+  in
+  let n' = Zero_one.num_unique zero_one in
+  let addresses = Array.init n' (Zero_one.address_of zero_one) in
+  let rec grow level row ids =
+    if level >= max_level || Array.length ids < 2 then
+      { level; row; ids; children = None }
+    else
+      let zero_ids, one_ids = split_on_bit addresses ids level in
+      let zero_child = grow (level + 1) row zero_ids in
+      let one_child = grow (level + 1) (row lor (1 lsl level)) one_ids in
+      { level; row; ids; children = Some (zero_child, one_child) }
+  in
+  let root = grow 0 0 (Array.init n' Fun.id) in
+  { root; max_level; num_unique = n' }
+
+let root t = t.root
+
+let max_level t = t.max_level
+
+let num_unique t = t.num_unique
+
+let nodes_at_level t l =
+  if l < 0 || l > t.max_level then
+    invalid_arg (Printf.sprintf "Bcat.nodes_at_level: level %d out of [0, %d]" l t.max_level);
+  let rec collect node acc =
+    if node.level = l then node :: acc
+    else
+      match node.children with
+      | None -> acc
+      | Some (z, o) -> collect z (collect o acc)
+  in
+  collect t.root []
+
+let conflict_sets_at_level t l =
+  nodes_at_level t l
+  |> List.filter_map (fun n -> if Array.length n.ids >= 2 then Some n.ids else None)
+
+let max_row_population t l =
+  List.fold_left (fun acc n -> max acc (Array.length n.ids)) 1 (nodes_at_level t l)
+
+let node_count t =
+  let rec count node =
+    match node.children with None -> 1 | Some (z, o) -> 1 + count z + count o
+  in
+  count t.root

@@ -1,0 +1,54 @@
+(** Binary Cache Allocation Tree (paper Algorithm 1, Figure 3).
+
+    Level [l] of the tree partitions the unique references by their [l]
+    low-order address bits: the node sets at level [l] are exactly the
+    sets of references that map to each row of a cache of depth [2^l].
+    A node is split only while it holds at least two references, since a
+    lone reference can never suffer a non-cold miss; its (possibly empty
+    or singleton) children are still materialised, matching Figure 3.
+
+    Node sets are stored as sorted identifier arrays; splitting a node on
+    bit [l] is exactly intersecting its set with the zero/one sets
+    [Z_l]/[O_l] (verified in the test suite against {!Zero_one}). *)
+
+type node = {
+  level : int;  (** distance from the root; the root is level 0 *)
+  row : int;  (** value of the [level] low-order address bits on this path *)
+  ids : int array;  (** references mapping to this row, sorted *)
+  children : (node * node) option;
+      (** zero-branch and one-branch on bit [level]; [None] on leaves *)
+}
+
+type t
+
+(** [build ?max_level zero_one] grows the tree, splitting on bits
+    [0 .. max_level - 1]. [max_level] defaults to the number of address
+    bits, and is clamped to it. *)
+val build : ?max_level:int -> Zero_one.t -> t
+
+val root : t -> node
+
+(** [max_level t] is the deepest level the tree may reach (i.e. the
+    largest meaningful log2 cache depth). *)
+val max_level : t -> int
+
+(** [num_unique t] is N'. *)
+val num_unique : t -> int
+
+(** [nodes_at_level t l] lists the materialised nodes at exactly level
+    [l]. References whose branch was pruned earlier map alone to their
+    rows and contribute no misses. *)
+val nodes_at_level : t -> int -> node list
+
+(** [conflict_sets_at_level t l] lists the [ids] arrays of level-[l]
+    nodes holding at least two references — the only rows where misses
+    can occur at depth [2^l]. *)
+val conflict_sets_at_level : t -> int -> int array list
+
+(** [max_row_population t l] is the largest node cardinality at level
+    [l] — the associativity guaranteeing zero misses at depth [2^l]
+    (the paper's A_zero bound). 1 when every row is a singleton. *)
+val max_row_population : t -> int -> int
+
+(** [node_count t] is the number of materialised nodes. *)
+val node_count : t -> int

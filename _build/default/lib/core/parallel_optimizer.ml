@@ -1,0 +1,44 @@
+let merge_histograms parts =
+  match parts with
+  | [] -> [||]
+  | first :: _ ->
+    let levels = Array.length first in
+    Array.init levels (fun level ->
+        let width =
+          List.fold_left (fun acc part -> max acc (Array.length part.(level))) 1 parts
+        in
+        let merged = Array.make width 0 in
+        List.iter
+          (fun part ->
+            Array.iteri (fun c n -> merged.(c) <- merged.(c) + n) part.(level))
+          parts;
+        merged)
+
+let histograms ~domains ~addresses mrct ~max_level =
+  let domains = max 1 domains in
+  let n' = Mrct.num_unique mrct in
+  if domains = 1 || n' = 0 then Dfs_optimizer.histograms ~addresses mrct ~max_level
+  else begin
+    let chunk = (n' + domains - 1) / domains in
+    let bounds =
+      List.init domains (fun d -> (d * chunk, min n' ((d + 1) * chunk)))
+      |> List.filter (fun (lo, hi) -> lo < hi)
+    in
+    match bounds with
+    | [] -> Dfs_optimizer.histograms ~addresses mrct ~max_level
+    | (lo0, hi0) :: rest ->
+      (* spawn workers for the tail chunks, compute the first here *)
+      let workers =
+        List.map
+          (fun (lo, hi) ->
+            Domain.spawn (fun () ->
+                Dfs_optimizer.histograms_range ~addresses mrct ~max_level ~lo ~hi))
+          rest
+      in
+      let head = Dfs_optimizer.histograms_range ~addresses mrct ~max_level ~lo:lo0 ~hi:hi0 in
+      let parts = head :: List.map Domain.join workers in
+      merge_histograms parts
+  end
+
+let explore ~domains ~addresses mrct ~max_level ~k =
+  Optimizer.of_histograms ~k (histograms ~domains ~addresses mrct ~max_level)

@@ -1,0 +1,18 @@
+(** Multicore postlude — the paper's section 2.4 notes that the set
+    formulation "allows for execution of the algorithm on a cluster of
+    machines by utilizing a distributed set library, enabling the
+    processing of very large trace files". This module is that idea on a
+    single node: the MRCT is partitioned by reference identifier across
+    OCaml 5 domains, each computes partial per-level histograms (the
+    data are read-only), and the histograms are summed. Results are
+    identical to {!Dfs_optimizer} (property tested). *)
+
+(** [explore ~domains ~addresses mrct ~max_level ~k] runs the fused DFS
+    postlude on [domains] domains (clamped to at least 1). *)
+val explore :
+  domains:int -> addresses:int array -> Mrct.t -> max_level:int -> k:int -> Optimizer.t
+
+(** [histograms ~domains ~addresses mrct ~max_level] exposes the merged
+    per-level histograms. *)
+val histograms :
+  domains:int -> addresses:int array -> Mrct.t -> max_level:int -> int array array

@@ -1,0 +1,43 @@
+type t = {
+  bits : int;
+  num_unique : int;
+  zero : Bitset.t array;
+  one : Bitset.t array;
+  universe : Bitset.t;
+  addresses : int array;
+}
+
+let build (s : Strip.t) =
+  let n' = Strip.num_unique s in
+  let bits = Strip.address_bits s in
+  let zero = Array.init bits (fun _ -> Bitset.create n') in
+  let one = Array.init bits (fun _ -> Bitset.create n') in
+  let universe = Bitset.create n' in
+  for id = 0 to n' - 1 do
+    Bitset.add universe id;
+    let a = s.uniques.(id) in
+    for i = 0 to bits - 1 do
+      if (a lsr i) land 1 = 0 then Bitset.add zero.(i) id else Bitset.add one.(i) id
+    done
+  done;
+  { bits; num_unique = n'; zero; one; universe; addresses = Array.copy s.uniques }
+
+let bits t = t.bits
+
+let num_unique t = t.num_unique
+
+let check t i =
+  if i < 0 || i >= t.bits then
+    invalid_arg (Printf.sprintf "Zero_one: bit %d out of [0, %d)" i t.bits)
+
+let zero t i =
+  check t i;
+  t.zero.(i)
+
+let one t i =
+  check t i;
+  t.one.(i)
+
+let universe t = t.universe
+
+let address_of t id = t.addresses.(id)

@@ -1,0 +1,30 @@
+(** Zero/one sets (paper section 2.2, Table 3).
+
+    For each address bit [B_i], [zero i] is the set of unique-reference
+    identifiers whose address has bit [i] clear, and [one i] the set of
+    those with bit [i] set. The BCAT of Algorithm 1 is defined by
+    repeated intersection with these sets. *)
+
+type t
+
+(** [build stripped] computes the sets for every bit of the widest
+    address in the stripped trace. *)
+val build : Strip.t -> t
+
+(** [bits t] is the number of address bits covered. *)
+val bits : t -> int
+
+(** [num_unique t] is the size of the identifier universe N'. *)
+val num_unique : t -> int
+
+(** [zero t i] is Z_i. Raises [Invalid_argument] if [i] is out of range. *)
+val zero : t -> int -> Bitset.t
+
+(** [one t i] is O_i. *)
+val one : t -> int -> Bitset.t
+
+(** [universe t] is the set of all identifiers. *)
+val universe : t -> Bitset.t
+
+(** [address_of t id] is the address carried by [id]. *)
+val address_of : t -> int -> int

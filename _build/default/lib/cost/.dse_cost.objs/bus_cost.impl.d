@@ -1,0 +1,1 @@
+lib/cost/bus_cost.ml: Array Trace

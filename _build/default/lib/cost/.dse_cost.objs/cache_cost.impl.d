@@ -1,0 +1,1 @@
+lib/cost/cache_cost.ml: Config Format

@@ -1,0 +1,1 @@
+lib/cost/system_cost.ml: Bus_cost Cache Cache_cost Format Trace

@@ -1,0 +1,1 @@
+lib/cost/system_cost.mli: Bus_cost Cache Config Format Trace

@@ -1,0 +1,61 @@
+type activity = { accesses : int; transitions : int }
+
+let popcount x =
+  let rec count x acc = if x = 0 then acc else count (x lsr 1) (acc + (x land 1)) in
+  count x 0
+
+let activity_of_stream addresses =
+  let transitions = ref 0 in
+  let previous = ref 0 in
+  let accesses = ref 0 in
+  Array.iter
+    (fun a ->
+      incr accesses;
+      transitions := !transitions + popcount (a lxor !previous);
+      previous := a)
+    addresses;
+  { accesses = !accesses; transitions = !transitions }
+
+let address_activity trace = activity_of_stream (Trace.addresses trace)
+
+let transitions_per_access a =
+  if a.accesses = 0 then 0.0 else float_of_int a.transitions /. float_of_int a.accesses
+
+let energy ?(per_transition = 0.8) a = per_transition *. float_of_int a.transitions
+
+let gray_of_binary x = x lxor (x lsr 1)
+
+let gray_code_activity trace =
+  activity_of_stream (Array.map gray_of_binary (Trace.addresses trace))
+
+let bus_invert_activity ?(width = 32) trace =
+  if width < 1 || width > 62 then invalid_arg "Bus_cost.bus_invert_activity: bad width";
+  let mask = (1 lsl width) - 1 in
+  let transitions = ref 0 in
+  let accesses = ref 0 in
+  let wire_state = ref 0 in
+  let invert_line = ref 0 in
+  Trace.iter
+    (fun (a : Trace.access) ->
+      incr accesses;
+      let word = a.Trace.addr land mask in
+      let inverted_word = lnot word land mask in
+      (* total cost of each choice includes the invert-line transition *)
+      let cost_plain =
+        popcount (word lxor !wire_state) + (if !invert_line = 0 then 0 else 1)
+      in
+      let cost_inverted =
+        popcount (inverted_word lxor !wire_state) + (if !invert_line = 1 then 0 else 1)
+      in
+      if cost_inverted < cost_plain then begin
+        transitions := !transitions + cost_inverted;
+        wire_state := inverted_word;
+        invert_line := 1
+      end
+      else begin
+        transitions := !transitions + cost_plain;
+        wire_state := word;
+        invert_line := 0
+      end)
+    trace;
+  { accesses = !accesses; transitions = !transitions }

@@ -1,0 +1,35 @@
+(** Address-bus switching activity — the system-on-a-chip artefact the
+    paper defers to future work (section 4) and that the same group's
+    bus/cache co-exploration papers optimise.
+
+    Energy on a bus is proportional to the number of bit transitions
+    between consecutive words driven on it; the address stream of a trace
+    determines that directly. *)
+
+type activity = {
+  accesses : int;
+  transitions : int;  (** summed Hamming distance of consecutive addresses *)
+}
+
+(** [address_activity trace] scans the trace once. *)
+val address_activity : Trace.t -> activity
+
+(** [transitions_per_access a] is the mean bit-flip count (0 for empty
+    traces). *)
+val transitions_per_access : activity -> float
+
+(** [energy ?per_transition a] is the normalised bus energy
+    (default weight 0.8 per transition). *)
+val energy : ?per_transition:float -> activity -> float
+
+(** [gray_code_activity trace] is the activity if addresses were
+    Gray-encoded on the bus first — the classic low-power bus encoding;
+    exposed so the benefit can be quantified per workload. *)
+val gray_code_activity : Trace.t -> activity
+
+(** [bus_invert_activity ?width trace] is the activity under bus-invert
+    coding (Stan & Burleson): each word is sent inverted when that
+    flips fewer than half of the [width] data lines, at the price of one
+    extra invert line (whose transitions are included). Never worse than
+    [ceil (width+1) / 2] transitions per transfer. Default width 32. *)
+val bus_invert_activity : ?width:int -> Trace.t -> activity

@@ -1,0 +1,78 @@
+type geometry = {
+  index_bits : int;
+  offset_bits : int;
+  tag_bits : int;
+  bits_per_line : int;
+  total_bits : int;
+}
+
+type estimate = {
+  area : float;
+  read_energy : float;
+  write_energy : float;
+  access_time : float;
+}
+
+let address_bits = 32
+
+let word_bits = 32
+
+let geometry (config : Config.t) =
+  let index_bits = Config.index_bits config in
+  let offset_bits = Config.offset_bits config in
+  let tag_bits = max 0 (address_bits - index_bits - offset_bits) in
+  let bits_per_line = (config.Config.line_words * word_bits) + tag_bits + 2 in
+  {
+    index_bits;
+    offset_bits;
+    tag_bits;
+    bits_per_line;
+    total_bits = config.Config.depth * config.Config.associativity * bits_per_line;
+  }
+
+(* Model constants (normalised). Cells dominate area; decoders grow with
+   rows, comparators and output muxes with ways. *)
+let cell_area = 0.6
+
+let comparator_area = 3.0
+
+let row_driver_area = 1.5
+
+let mux_area = 0.4
+
+let estimate (config : Config.t) =
+  let g = geometry config in
+  let ways = float_of_int config.Config.associativity in
+  let line_bits = float_of_int (config.Config.line_words * word_bits) in
+  let area =
+    (cell_area *. float_of_int g.total_bits)
+    +. (comparator_area *. ways *. float_of_int g.tag_bits)
+    +. (row_driver_area *. float_of_int config.Config.depth)
+    +. (mux_area *. ways *. line_bits)
+  in
+  (* Per access: decode the index, read all ways' tag+data in parallel,
+     compare tags, mux out one line. *)
+  let decode = 0.2 *. float_of_int (g.index_bits + 1) in
+  let bitlines = 0.01 *. ways *. float_of_int g.bits_per_line in
+  let compare = 0.05 *. ways *. float_of_int g.tag_bits in
+  let output = 0.005 *. line_bits in
+  let read_energy = decode +. bitlines +. compare +. output in
+  (* A write touches one way's data after the compare. *)
+  let write_energy = decode +. bitlines +. compare +. (0.02 *. line_bits) in
+  let wire = 0.002 *. sqrt (float_of_int g.total_bits) in
+  let access_time =
+    0.4 +. (0.08 *. float_of_int g.index_bits) +. (0.12 *. log (ways +. 1.0)) +. wire
+  in
+  { area; read_energy; write_energy; access_time }
+
+(* Off-chip transfers dominate miss cost: per-word bus energy plus a
+   fixed transaction overhead; latency likewise. *)
+let miss_transfer_energy (config : Config.t) =
+  8.0 +. (4.0 *. float_of_int config.Config.line_words)
+
+let miss_penalty_time (config : Config.t) =
+  20.0 +. (2.0 *. float_of_int config.Config.line_words)
+
+let pp fmt e =
+  Format.fprintf fmt "area=%.1f read=%.3f write=%.3f time=%.3f" e.area e.read_energy
+    e.write_energy e.access_time

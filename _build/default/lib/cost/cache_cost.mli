@@ -1,0 +1,43 @@
+(** First-order cache cost models — the paper's stated future direction
+    ("silicon area, clock latency, or energy", section 1; "bus
+    architecture and other system-on-a-chip artifacts", section 4).
+
+    The formulas are normalised analytical models in the spirit of CACTI
+    (the paper's reference [11]) and of Givargis-Vahid's parameterised
+    cache/bus evaluation: monotone in the right structural quantities
+    (storage bits, decoder width, parallel ways) without claiming
+    absolute silicon numbers. All outputs are in abstract units; only
+    comparisons between configurations are meaningful. *)
+
+type geometry = {
+  index_bits : int;
+  offset_bits : int;
+  tag_bits : int;
+  bits_per_line : int;  (** data + tag + valid + dirty *)
+  total_bits : int;
+}
+
+type estimate = {
+  area : float;  (** normalised area units *)
+  read_energy : float;  (** per-access energy, normalised *)
+  write_energy : float;
+  access_time : float;  (** normalised latency *)
+}
+
+(** [address_bits] assumed for tags: 32-bit word addresses. *)
+val address_bits : int
+
+(** [geometry config] derives the structural quantities. *)
+val geometry : Config.t -> geometry
+
+(** [estimate config] evaluates the cost model. *)
+val estimate : Config.t -> estimate
+
+(** [miss_transfer_energy config] is the bus/memory energy charged per
+    miss (fetching one line). *)
+val miss_transfer_energy : Config.t -> float
+
+(** [miss_penalty_time config] is the stall time charged per miss. *)
+val miss_penalty_time : Config.t -> float
+
+val pp : Format.formatter -> estimate -> unit

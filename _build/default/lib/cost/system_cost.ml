@@ -1,0 +1,32 @@
+type totals = { energy : float; time : float; area : float; edp : float }
+
+let evaluate config ~reads ~writes ~total_misses ~bus =
+  let cache = Cache_cost.estimate config in
+  let accesses = float_of_int (reads + writes) in
+  let cache_energy =
+    (float_of_int reads *. cache.Cache_cost.read_energy)
+    +. (float_of_int writes *. cache.Cache_cost.write_energy)
+  in
+  let miss_energy = float_of_int total_misses *. Cache_cost.miss_transfer_energy config in
+  let bus_energy = Bus_cost.energy bus in
+  let energy = cache_energy +. miss_energy +. bus_energy in
+  let time =
+    (accesses *. cache.Cache_cost.access_time)
+    +. (float_of_int total_misses *. Cache_cost.miss_penalty_time config)
+  in
+  { energy; time; area = cache.Cache_cost.area; edp = energy *. time }
+
+let evaluate_trace config trace =
+  let stats = Cache.simulate config trace in
+  let writes =
+    Trace.fold
+      (fun acc (a : Trace.access) ->
+        match a.Trace.kind with Trace.Write -> acc + 1 | Trace.Read | Trace.Fetch -> acc)
+      0 trace
+  in
+  let reads = Trace.length trace - writes in
+  let bus = Bus_cost.address_activity trace in
+  (evaluate config ~reads ~writes ~total_misses:(Cache.total_misses stats) ~bus, stats)
+
+let pp fmt t =
+  Format.fprintf fmt "energy=%.0f time=%.0f area=%.0f edp=%.3e" t.energy t.time t.area t.edp

@@ -1,0 +1,23 @@
+(** Whole-system evaluation of one cache configuration on one trace:
+    cache access energy and latency plus the off-chip traffic of misses
+    and the address-bus switching activity. Miss counts can come from
+    the simulator or from the analytical model — both are exact for LRU,
+    so instances can be costed without any simulation. *)
+
+type totals = {
+  energy : float;  (** cache + miss traffic + address bus *)
+  time : float;  (** access latencies + miss stalls *)
+  area : float;
+  edp : float;  (** energy-delay product, a common figure of merit *)
+}
+
+(** [evaluate config ~reads ~writes ~total_misses ~bus] combines the cost
+    models for a workload with the given access mix and miss count. *)
+val evaluate :
+  Config.t -> reads:int -> writes:int -> total_misses:int -> bus:Bus_cost.activity -> totals
+
+(** [evaluate_trace config trace] simulates the trace (reference LRU
+    simulator) and costs the result. *)
+val evaluate_trace : Config.t -> Trace.t -> totals * Cache.stats
+
+val pp : Format.formatter -> totals -> unit

@@ -1,0 +1,1 @@
+lib/explorer/analytical_dse.ml: Analytical Array List Optimizer Stats

@@ -1,0 +1,1 @@
+lib/explorer/analytical_dse.mli: Stats Trace

@@ -1,0 +1,1 @@
+lib/explorer/codesign.ml: Analytical Array Format List Optimizer

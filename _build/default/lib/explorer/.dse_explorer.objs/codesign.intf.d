@@ -1,0 +1,1 @@
+lib/explorer/codesign.mli: Analytical Format Trace

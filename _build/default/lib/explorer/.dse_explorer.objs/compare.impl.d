@@ -1,0 +1,1 @@
+lib/explorer/compare.ml: Analytical_dse Format List Simulated_dse

@@ -1,0 +1,1 @@
+lib/explorer/compare.mli: Analytical_dse Format Trace

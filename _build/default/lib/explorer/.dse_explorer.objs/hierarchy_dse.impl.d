@@ -1,0 +1,1 @@
+lib/explorer/hierarchy_dse.ml: Analytical_dse Cache Trace

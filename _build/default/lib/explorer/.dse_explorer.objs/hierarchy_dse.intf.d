@@ -1,0 +1,1 @@
+lib/explorer/hierarchy_dse.mli: Analytical_dse Cache Config Trace

@@ -1,0 +1,1 @@
+lib/explorer/pareto.ml: Analytical Array Bus_cost Config Format List Optimizer Strip System_cost Trace

@@ -1,0 +1,1 @@
+lib/explorer/pareto.mli: Format System_cost Trace

@@ -1,0 +1,1 @@
+lib/explorer/report.ml: Analytical_dse Buffer Format List Printf Stats

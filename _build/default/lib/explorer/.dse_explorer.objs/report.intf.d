@@ -1,0 +1,1 @@
+lib/explorer/report.mli: Analytical_dse Format Stats

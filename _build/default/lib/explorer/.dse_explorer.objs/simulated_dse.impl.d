@@ -1,0 +1,1 @@
+lib/explorer/simulated_dse.ml: Analytical_dse Cache Config List Stack_sim Stats

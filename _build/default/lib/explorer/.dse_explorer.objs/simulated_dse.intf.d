@@ -1,0 +1,1 @@
+lib/explorer/simulated_dse.mli: Analytical_dse Trace

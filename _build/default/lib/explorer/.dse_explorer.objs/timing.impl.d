@@ -1,0 +1,1 @@
+lib/explorer/timing.ml: Analytical_dse List Stats Sys Unix

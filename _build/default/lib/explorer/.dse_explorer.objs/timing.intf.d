@@ -1,0 +1,1 @@
+lib/explorer/timing.mli: Trace

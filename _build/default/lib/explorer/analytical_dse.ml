@@ -1,0 +1,34 @@
+type table = {
+  name : string;
+  stats : Stats.t;
+  percents : int list;
+  budgets : int list;
+  rows : (int * int list) list;
+}
+
+let run ?(percents = [ 5; 10; 15; 20 ]) ?max_level ?line_words ~name trace =
+  let prepared = Analytical.prepare ?max_level ?line_words trace in
+  let stats = Stats.compute_stripped prepared.Analytical.stripped in
+  let budgets = List.map (fun percent -> Stats.budget stats ~percent) percents in
+  let results = Analytical.explore_many prepared ~ks:budgets in
+  let rows =
+    List.init
+      (prepared.Analytical.max_level + 1)
+      (fun level ->
+        let depth = 1 lsl level in
+        let assocs =
+          List.map
+            (fun (r : Optimizer.t) -> r.Optimizer.levels.(level).Optimizer.min_associativity)
+            results
+        in
+        (depth, assocs))
+  in
+  { name; stats; percents; budgets; rows }
+
+let trim table =
+  let rec keep = function
+    | [] -> []
+    | ((_, assocs) as row) :: rest ->
+      if List.for_all (fun a -> a = 1) assocs then [ row ] else row :: keep rest
+  in
+  { table with rows = keep table.rows }

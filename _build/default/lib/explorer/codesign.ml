@@ -1,0 +1,60 @@
+type instance = { depth : int; associativity : int; size_words : int }
+
+type split = {
+  k_instruction : int;
+  k_data : int;
+  instruction : instance;
+  data : instance;
+  total_size : int;
+}
+
+let smallest_instance prepared ~k =
+  let result = Analytical.explore_prepared prepared ~k in
+  let best =
+    Array.fold_left
+      (fun acc (level : Optimizer.level_result) ->
+        let size = level.Optimizer.depth * level.Optimizer.min_associativity in
+        match acc with
+        | Some (_, best_size) when best_size <= size -> acc
+        | _ -> Some (level, size))
+      None result.Optimizer.levels
+  in
+  match best with
+  | None -> invalid_arg "Codesign.smallest_instance: no levels"
+  | Some (level, size) ->
+    {
+      depth = level.Optimizer.depth;
+      associativity = level.Optimizer.min_associativity;
+      size_words = size;
+    }
+
+let sweep ?(steps = 20) ~itrace ~dtrace ~k_total () =
+  if k_total < 0 then invalid_arg "Codesign.sweep: negative budget";
+  if steps < 1 then invalid_arg "Codesign.sweep: steps must be >= 1";
+  let instruction_side = Analytical.prepare itrace in
+  let data_side = Analytical.prepare dtrace in
+  List.init (steps + 1) (fun step ->
+      let k_instruction = k_total * step / steps in
+      let k_data = k_total - k_instruction in
+      let instruction = smallest_instance instruction_side ~k:k_instruction in
+      let data = smallest_instance data_side ~k:k_data in
+      {
+        k_instruction;
+        k_data;
+        instruction;
+        data;
+        total_size = instruction.size_words + data.size_words;
+      })
+
+let partition ?steps ~itrace ~dtrace ~k_total () =
+  let candidates = sweep ?steps ~itrace ~dtrace ~k_total () in
+  match candidates with
+  | [] -> invalid_arg "Codesign.partition: empty sweep"
+  | first :: rest ->
+    List.fold_left (fun acc c -> if c.total_size < acc.total_size then c else acc) first rest
+
+let pp_split fmt s =
+  Format.fprintf fmt
+    "K_i=%d -> I %dx%d (%dw); K_d=%d -> D %dx%d (%dw); total %d words" s.k_instruction
+    s.instruction.depth s.instruction.associativity s.instruction.size_words s.k_data
+    s.data.depth s.data.associativity s.data.size_words s.total_size

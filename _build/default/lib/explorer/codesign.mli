@@ -1,0 +1,36 @@
+(** Split-cache codesign: partitioning one system-level miss budget
+    between the instruction and the data cache.
+
+    The paper tunes each cache against its own budget; at system level
+    the designer has a single tolerable miss total (misses cost the same
+    bus transaction whichever cache they come from). Because the prelude
+    is computed once per trace and each budget is a cheap postlude pass,
+    sweeping the split is practically free — the kind of question the
+    analytical formulation answers and a simulator cannot without a
+    quadratic number of runs. *)
+
+type instance = { depth : int; associativity : int; size_words : int }
+
+type split = {
+  k_instruction : int;
+  k_data : int;
+  instruction : instance;  (** smallest instance meeting [k_instruction] *)
+  data : instance;  (** smallest instance meeting [k_data] *)
+  total_size : int;
+}
+
+(** [smallest_instance prepared ~k] is the minimum-size (depth x ways)
+    instance meeting budget [k] for an analysed trace. *)
+val smallest_instance : Analytical.prepared -> k:int -> instance
+
+(** [partition ?steps ~itrace ~dtrace ~k_total ()] sweeps [steps + 1]
+    budget splits (default 20) and returns the one minimising the summed
+    cache size; ties break toward giving the instruction cache less. *)
+val partition : ?steps:int -> itrace:Trace.t -> dtrace:Trace.t -> k_total:int -> unit -> split
+
+(** [sweep ?steps ~itrace ~dtrace ~k_total ()] exposes every candidate
+    split in sweep order, for reporting. *)
+val sweep :
+  ?steps:int -> itrace:Trace.t -> dtrace:Trace.t -> k_total:int -> unit -> split list
+
+val pp_split : Format.formatter -> split -> unit

@@ -1,0 +1,47 @@
+type mismatch = { depth : int; percent : int; analytical : int; simulated : int }
+
+type outcome = { checked : int; mismatches : mismatch list }
+
+let tables (a : Analytical_dse.table) (s : Analytical_dse.table) =
+  if a.percents <> s.percents || List.map fst a.rows <> List.map fst s.rows then
+    invalid_arg "Compare.tables: table shapes differ";
+  let checked = ref 0 in
+  let mismatches = ref [] in
+  List.iter2
+    (fun (depth, assocs_a) (_, assocs_s) ->
+      List.iteri
+        (fun idx assoc_a ->
+          let assoc_s = List.nth assocs_s idx in
+          incr checked;
+          if assoc_a <> assoc_s then
+            mismatches :=
+              {
+                depth;
+                percent = List.nth a.percents idx;
+                analytical = assoc_a;
+                simulated = assoc_s;
+              }
+              :: !mismatches)
+        assocs_a)
+    a.rows s.rows;
+  { checked = !checked; mismatches = List.rev !mismatches }
+
+let trace ?percents ?max_level t =
+  let analytical = Analytical_dse.run ?percents ?max_level ~name:"analytical" t in
+  let simulated = Simulated_dse.table_one_pass ?percents ?max_level ~name:"simulated" t in
+  tables analytical simulated
+
+let agree outcome = outcome.mismatches = []
+
+let pp fmt outcome =
+  if agree outcome then Format.fprintf fmt "agree on all %d points" outcome.checked
+  else begin
+    Format.fprintf fmt "@[<v>%d mismatches out of %d points:@,"
+      (List.length outcome.mismatches) outcome.checked;
+    List.iter
+      (fun m ->
+        Format.fprintf fmt "depth=%d K=%d%%: analytical=%d simulated=%d@," m.depth
+          m.percent m.analytical m.simulated)
+      outcome.mismatches;
+    Format.fprintf fmt "@]"
+  end

@@ -1,0 +1,31 @@
+(** Cross-validation of the analytical model against the simulators.
+
+    The paper's guarantee is that the computed (depth, associativity)
+    pairs incur at most K non-cold misses; because the model is exact for
+    LRU (line size one word), the analytical and simulated minimum
+    associativities must in fact agree everywhere. *)
+
+type mismatch = {
+  depth : int;
+  percent : int;
+  analytical : int;
+  simulated : int;
+}
+
+type outcome = {
+  checked : int;  (** (depth, budget) points compared *)
+  mismatches : mismatch list;
+}
+
+(** [tables analytical simulated] compares two instance tables row by
+    row; raises [Invalid_argument] if their shapes differ. *)
+val tables : Analytical_dse.table -> Analytical_dse.table -> outcome
+
+(** [trace ?percents ?max_level trace] builds both tables for a trace and
+    compares them. *)
+val trace : ?percents:int list -> ?max_level:int -> Trace.t -> outcome
+
+(** [agree outcome] holds when there are no mismatches. *)
+val agree : outcome -> bool
+
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,42 @@
+type result = {
+  l1i_stats : Cache.stats;
+  l1d_stats : Cache.stats;
+  l2_stream : Trace.t;
+  table : Analytical_dse.table;
+}
+
+(* Same Harvard disambiguation bit as Hierarchy. *)
+let instruction_space_bit = 1 lsl 28
+
+let proportional_merge a b =
+  let merged = Trace.create ~capacity:(Trace.length a + Trace.length b) () in
+  let na = Trace.length a and nb = Trace.length b in
+  let ia = ref 0 and ib = ref 0 in
+  while !ia < na || !ib < nb do
+    let take_a =
+      if !ia >= na then false else if !ib >= nb then true else !ia * nb <= !ib * na
+    in
+    if take_a then begin
+      let acc = Trace.get a !ia in
+      Trace.add merged ~addr:acc.Trace.addr ~kind:acc.Trace.kind;
+      incr ia
+    end
+    else begin
+      let acc = Trace.get b !ib in
+      Trace.add merged ~addr:acc.Trace.addr ~kind:acc.Trace.kind;
+      incr ib
+    end
+  done;
+  merged
+
+let explore ~l1i ~l1d ~itrace ~dtrace ?percents ?max_level () =
+  let l1i_stats, i_misses = Cache.miss_stream l1i itrace in
+  let l1d_stats, d_misses = Cache.miss_stream l1d dtrace in
+  let tagged_i = Trace.create ~capacity:(Trace.length i_misses) () in
+  Trace.iter
+    (fun (a : Trace.access) ->
+      Trace.add tagged_i ~addr:(a.Trace.addr lor instruction_space_bit) ~kind:a.Trace.kind)
+    i_misses;
+  let l2_stream = proportional_merge tagged_i d_misses in
+  let table = Analytical_dse.run ?percents ?max_level ~name:"L2" l2_stream in
+  { l1i_stats; l1d_stats; l2_stream; table }

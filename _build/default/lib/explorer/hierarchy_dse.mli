@@ -1,0 +1,30 @@
+(** Second-level exploration: applying the analytical model to the L2.
+
+    Fix the (analytically chosen) L1 caches, collect the stream of L1
+    misses — the reference stream the L2 actually sees — and run the
+    paper's machinery on *that* trace. The composition stays exact: the
+    L2 is an ordinary LRU cache over its own reference stream, so every
+    (depth, associativity) answer carries the same guarantee as at
+    level 1. Instruction and data miss streams are disambiguated in the
+    unified L2's address space exactly as {!Hierarchy} does. *)
+
+type result = {
+  l1i_stats : Cache.stats;
+  l1d_stats : Cache.stats;
+  l2_stream : Trace.t;  (** the merged L1 miss stream the L2 sees *)
+  table : Analytical_dse.table;  (** analytical L2 instances over that stream *)
+}
+
+(** [explore ~l1i ~l1d ~itrace ~dtrace ?percents ?max_level ()] runs both
+    L1s, merges their miss streams (in program order approximated by
+    proportional interleave, as in {!Hierarchy.simulate_split}), and
+    analyses the L2 space. *)
+val explore :
+  l1i:Config.t ->
+  l1d:Config.t ->
+  itrace:Trace.t ->
+  dtrace:Trace.t ->
+  ?percents:int list ->
+  ?max_level:int ->
+  unit ->
+  result

@@ -1,0 +1,31 @@
+(** Cost-aware instance selection — combining the paper's optimal
+    (depth, associativity) set with the cost models, in the direction its
+    conclusion sketches ("bus architecture and other system-on-a-chip
+    artifacts").
+
+    For a trace and a miss budget K the analytical model yields one
+    minimal instance per depth; each is costed without simulation (the
+    model's miss counts are exact for LRU), and the Pareto-optimal subset
+    under (energy, time, area) is returned. *)
+
+type point = {
+  depth : int;
+  associativity : int;
+  size_words : int;
+  misses : int;  (** non-cold misses, analytical *)
+  totals : System_cost.totals;
+}
+
+(** [candidates ?line_words trace ~k] is one costed instance per depth,
+    each meeting the budget [k]. *)
+val candidates : ?line_words:int -> Trace.t -> k:int -> point list
+
+(** [frontier points] is the subset not dominated in (energy, time,
+    area), in increasing area order. A point dominates another when it is
+    no worse on all three metrics and strictly better on at least one. *)
+val frontier : point list -> point list
+
+(** [dominates a b] is the dominance relation used by {!frontier}. *)
+val dominates : point -> point -> bool
+
+val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,35 @@
+let pp_instances fmt (table : Analytical_dse.table) =
+  Format.fprintf fmt "@[<v>%s (N=%d, N'=%d, max misses=%d)@," table.name
+    table.stats.Stats.n table.stats.Stats.n_unique table.stats.Stats.max_misses;
+  Format.fprintf fmt "%-8s" "depth";
+  List.iter (fun p -> Format.fprintf fmt " %6d%%" p) table.percents;
+  Format.fprintf fmt "@,";
+  List.iter
+    (fun (depth, assocs) ->
+      Format.fprintf fmt "%-8d" depth;
+      List.iter (fun a -> Format.fprintf fmt " %7d" a) assocs;
+      Format.fprintf fmt "@,")
+    table.rows;
+  Format.fprintf fmt "@]"
+
+let pp_stats_row fmt (name, stats) =
+  Format.fprintf fmt "%-10s %10d %10d %12d" name stats.Stats.n stats.Stats.n_unique
+    stats.Stats.max_misses
+
+let pp_stats_table fmt rows =
+  Format.fprintf fmt "@[<v>%-10s %10s %10s %12s@," "benchmark" "N" "N'" "max misses";
+  List.iter (fun row -> Format.fprintf fmt "%a@," pp_stats_row row) rows;
+  Format.fprintf fmt "@]"
+
+let instances_to_csv (table : Analytical_dse.table) =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer "depth";
+  List.iter (fun p -> Buffer.add_string buffer (Printf.sprintf ",%d%%" p)) table.percents;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun (depth, assocs) ->
+      Buffer.add_string buffer (string_of_int depth);
+      List.iter (fun a -> Buffer.add_string buffer (Printf.sprintf ",%d" a)) assocs;
+      Buffer.add_char buffer '\n')
+    table.rows;
+  Buffer.contents buffer

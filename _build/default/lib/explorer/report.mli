@@ -1,0 +1,17 @@
+(** Paper-style table rendering. *)
+
+(** [pp_instances fmt table] prints a Tables 7-30 style table: one row per
+    depth, one column per budget percentage, entries are the required
+    associativity. *)
+val pp_instances : Format.formatter -> Analytical_dse.table -> unit
+
+(** [pp_stats_row fmt (name, stats)] prints a Tables 5/6 style row:
+    benchmark, N, N', max misses. *)
+val pp_stats_row : Format.formatter -> string * Stats.t -> unit
+
+(** [pp_stats_table fmt rows] prints the full statistics table with a
+    header. *)
+val pp_stats_table : Format.formatter -> (string * Stats.t) list -> unit
+
+(** [instances_to_csv table] renders the table as CSV (header included). *)
+val instances_to_csv : Analytical_dse.table -> string

@@ -1,0 +1,31 @@
+let non_cold_misses trace ~depth ~associativity =
+  let config = Config.make ~depth ~associativity () in
+  (Cache.simulate config trace).Cache.misses
+
+let min_associativity_exhaustive trace ~depth ~k =
+  let rec search associativity =
+    if non_cold_misses trace ~depth ~associativity <= k then associativity
+    else search (associativity + 1)
+  in
+  search 1
+
+let min_associativity_one_pass trace ~depth ~k =
+  let result = Stack_sim.run ~depth trace in
+  Stack_sim.min_associativity result ~budget:k
+
+let table_one_pass ?(percents = [ 5; 10; 15; 20 ]) ?max_level ~name trace =
+  let stats = Stats.compute trace in
+  let max_level =
+    match max_level with
+    | None -> stats.Stats.address_bits
+    | Some m -> max 0 (min m stats.Stats.address_bits)
+  in
+  let budgets = List.map (fun percent -> Stats.budget stats ~percent) percents in
+  let rows =
+    List.init (max_level + 1) (fun level ->
+        let depth = 1 lsl level in
+        let result = Stack_sim.run ~depth trace in
+        let assocs = List.map (fun k -> Stack_sim.min_associativity result ~budget:k) budgets in
+        (depth, assocs))
+  in
+  { Analytical_dse.name; stats; percents; budgets; rows }

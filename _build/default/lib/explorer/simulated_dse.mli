@@ -1,0 +1,24 @@
+(** The traditional flow of the paper's Figure 1(a): find cache instances
+    by repeated simulation. Two baselines are provided — the naive
+    simulate-per-configuration loop, and the smarter Mattson one-pass
+    variant the paper cites as prior art [16][17]. Both serve as oracles
+    for the analytical model and as speed baselines for the benchmarks. *)
+
+(** [min_associativity_exhaustive trace ~depth ~k] simulates LRU caches of
+    increasing associativity until the non-cold misses drop to [k] or
+    below, returning the associativity (Figure 1(a)'s tune-and-resimulate
+    loop). *)
+val min_associativity_exhaustive : Trace.t -> depth:int -> k:int -> int
+
+(** [min_associativity_one_pass trace ~depth ~k] answers the same
+    question from a single Mattson stack simulation of that depth. *)
+val min_associativity_one_pass : Trace.t -> depth:int -> k:int -> int
+
+(** [table_one_pass ?percents ?max_level ~name trace] builds the same
+    table as {!Analytical_dse.run} purely by simulation. *)
+val table_one_pass :
+  ?percents:int list -> ?max_level:int -> name:string -> Trace.t -> Analytical_dse.table
+
+(** [non_cold_misses trace ~depth ~associativity] is the simulator's
+    non-cold miss count for one LRU configuration (line = 1 word). *)
+val non_cold_misses : Trace.t -> depth:int -> associativity:int -> int

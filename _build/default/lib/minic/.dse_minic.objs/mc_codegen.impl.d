@@ -1,0 +1,1 @@
+lib/minic/mc_codegen.ml: Asm Hashtbl Isa List Machine Mc_ast Mc_parser Option Printf Trace

@@ -1,0 +1,1 @@
+lib/minic/mc_lexer.ml: Char List Printf String

@@ -1,0 +1,1 @@
+lib/minic/mc_programs.ml: List Mc_codegen

@@ -1,0 +1,1 @@
+lib/minic/mc_programs.mli: Mc_codegen Trace

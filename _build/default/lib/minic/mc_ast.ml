@@ -1,0 +1,46 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Bit_and | Bit_or | Bit_xor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type unop = Neg | Not | Bit_not
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt =
+  | Assign of lvalue * expr
+  | Expr of expr
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt option * expr * stmt option * block
+  | Break
+  | Continue
+  | Return of expr
+  | Declare of string
+
+and block = stmt list
+
+type global = Gscalar of string | Garray of string * int
+
+type func = { name : string; params : string list; body : block }
+
+type program = { globals : global list; functions : func list }
+
+let pp_binop fmt op =
+  let text =
+    match op with
+    | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+    | Bit_and -> "&" | Bit_or -> "|" | Bit_xor -> "^" | Shl -> "<<" | Shr -> ">>"
+    | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+    | And -> "&&" | Or -> "||"
+  in
+  Format.pp_print_string fmt text

@@ -1,0 +1,46 @@
+(** Abstract syntax of MiniC, the small C subset compiled to the VM.
+
+    One type ([int], 32-bit); global scalars and fixed-size global
+    arrays; functions with scalar parameters and locals; the usual
+    expression operators with C semantics (short-circuit [&&]/[||],
+    arithmetic right shift, truncating division). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Bit_and | Bit_or | Bit_xor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or  (** short-circuit *)
+
+type unop = Neg | Not  (** logical ! *) | Bit_not
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr  (** global array element *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt =
+  | Assign of lvalue * expr
+  | Expr of expr  (** expression for its effects, e.g. a call *)
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt option * expr * stmt option * block
+      (** init; condition; update — [continue] branches to the update *)
+  | Break
+  | Continue
+  | Return of expr
+  | Declare of string  (** local scalar, zero-initialised *)
+
+and block = stmt list
+
+type global = Gscalar of string | Garray of string * int
+
+type func = { name : string; params : string list; body : block }
+
+type program = { globals : global list; functions : func list }
+
+val pp_binop : Format.formatter -> binop -> unit

@@ -1,0 +1,369 @@
+open Mc_ast
+
+type compiled = {
+  items : Asm.item list;
+  program : Isa.program;
+  globals : (string * int * int) list;
+  globals_words : int;
+  mem_words : int;
+  bounds_checks : bool;
+}
+
+let bounds_trap_code = -999
+
+type global_entry = Scalar of int | Array of int * int  (** base, size *)
+
+type env = {
+  globals : (string, global_entry) Hashtbl.t;
+  functions : (string, int) Hashtbl.t;  (** name -> arity *)
+  locals : (string, int) Hashtbl.t;  (** name -> fp-relative slot index *)
+  mutable next_label : int;
+  bounds : bool;
+}
+
+let fresh_label env prefix =
+  let n = env.next_label in
+  env.next_label <- n + 1;
+  Printf.sprintf "L%s_%d" prefix n
+
+(* register conventions inside generated code *)
+let rv = Asm.v0
+
+let acc = Asm.t0  (* expression result *)
+
+let rhs = Asm.t1
+
+let addr_reg = Asm.t2
+
+let check_reg = Asm.t3
+
+let local_slot env name =
+  match Hashtbl.find_opt env.locals name with
+  | Some slot -> Some slot
+  | None -> None
+
+let find_global env name = Hashtbl.find_opt env.globals name
+
+let load_local slot = [ Asm.i (Isa.Lw (acc, Asm.fp, -(1 + slot))) ]
+
+let store_local slot = [ Asm.i (Isa.Sw (acc, Asm.fp, -(1 + slot))) ]
+
+let push reg = [ Asm.i (Isa.Addi (Asm.sp, Asm.sp, -1)); Asm.i (Isa.Sw (reg, Asm.sp, 0)) ]
+
+let pop reg = [ Asm.i (Isa.Lw (reg, Asm.sp, 0)); Asm.i (Isa.Addi (Asm.sp, Asm.sp, 1)) ]
+
+(* bounds check: trap unless u32(index in [reg]) < size; the unsigned
+   comparison rejects negative indices in the same test *)
+let bounds_check env reg size =
+  if not env.bounds then []
+  else if size <= 32767 then
+    [
+      Asm.i (Isa.Sltiu (check_reg, reg, size));
+      Asm.i (Isa.Beq (check_reg, Asm.zero, "__bounds_trap"));
+    ]
+  else
+    Asm.li check_reg size
+    @ [
+        Asm.i (Isa.Sltu (check_reg, reg, check_reg));
+        Asm.i (Isa.Beq (check_reg, Asm.zero, "__bounds_trap"));
+      ]
+
+let rec compile_expr env expr =
+  match expr with
+  | Int v -> Asm.li acc v
+  | Var name -> (
+    match local_slot env name with
+    | Some slot -> load_local slot
+    | None -> (
+      match find_global env name with
+      | Some (Scalar base) -> Asm.li addr_reg base @ [ Asm.i (Isa.Lw (acc, addr_reg, 0)) ]
+      | Some (Array _) -> failwith (Printf.sprintf "minic: array %S used without an index" name)
+      | None -> failwith (Printf.sprintf "minic: unknown variable %S" name)))
+  | Index (name, index) -> (
+    match find_global env name with
+    | Some (Array (base, size)) ->
+      compile_expr env index
+      @ bounds_check env acc size
+      @ Asm.li addr_reg base
+      @ [ Asm.i (Isa.Add (addr_reg, addr_reg, acc)); Asm.i (Isa.Lw (acc, addr_reg, 0)) ]
+    | Some (Scalar _) -> failwith (Printf.sprintf "minic: %S is not an array" name)
+    | None -> (
+      match local_slot env name with
+      | Some _ -> failwith (Printf.sprintf "minic: local %S is not an array" name)
+      | None -> failwith (Printf.sprintf "minic: unknown array %S" name)))
+  | Unary (op, inner) -> (
+    compile_expr env inner
+    @
+    match op with
+    | Neg -> [ Asm.i (Isa.Sub (acc, Asm.zero, acc)) ]
+    | Not -> [ Asm.i (Isa.Sltiu (acc, acc, 1)) ]
+    | Bit_not -> [ Asm.i (Isa.Nor (acc, acc, Asm.zero)) ])
+  | Binary (And, left, right) ->
+    (* short-circuit: 0 if left is 0, else !!right *)
+    let out = fresh_label env "and" in
+    compile_expr env left
+    @ [ Asm.i (Isa.Beq (acc, Asm.zero, out)) ]
+    @ compile_expr env right
+    @ [ Asm.i (Isa.Sltu (acc, Asm.zero, acc)); Asm.label out ]
+  | Binary (Or, left, right) ->
+    let right_label = fresh_label env "or" in
+    let out = fresh_label env "or" in
+    compile_expr env left
+    @ [
+        Asm.i (Isa.Beq (acc, Asm.zero, right_label));
+        Asm.i (Isa.Addi (acc, Asm.zero, 1));
+        Asm.i (Isa.J out);
+        Asm.label right_label;
+      ]
+    @ compile_expr env right
+    @ [ Asm.i (Isa.Sltu (acc, Asm.zero, acc)); Asm.label out ]
+  | Binary (op, left, right) ->
+    compile_expr env left @ push acc @ compile_expr env right
+    @ [ Asm.move rhs acc ]
+    @ pop acc
+    @ compile_binop op
+  | Call (name, args) -> (
+    match Hashtbl.find_opt env.functions name with
+    | None -> failwith (Printf.sprintf "minic: call to undefined function %S" name)
+    | Some arity ->
+      if List.length args <> arity then
+        failwith
+          (Printf.sprintf "minic: %S expects %d argument(s), got %d" name arity
+             (List.length args));
+      (* evaluate left to right, stage on the stack, pop into $a0.. *)
+      List.concat_map (fun arg -> compile_expr env arg @ push acc) args
+      @ List.concat
+          (List.rev
+             (List.mapi (fun k _ -> pop (Asm.a0 + k)) args))
+      @ [ Asm.i (Isa.Jal ("fn_" ^ name)); Asm.move acc rv ])
+
+and compile_binop op =
+  match op with
+  | Add -> [ Asm.i (Isa.Add (acc, acc, rhs)) ]
+  | Sub -> [ Asm.i (Isa.Sub (acc, acc, rhs)) ]
+  | Mul -> [ Asm.i (Isa.Mul (acc, acc, rhs)) ]
+  | Div -> [ Asm.i (Isa.Div (acc, acc, rhs)) ]
+  | Mod -> [ Asm.i (Isa.Rem (acc, acc, rhs)) ]
+  | Bit_and -> [ Asm.i (Isa.And (acc, acc, rhs)) ]
+  | Bit_or -> [ Asm.i (Isa.Or (acc, acc, rhs)) ]
+  | Bit_xor -> [ Asm.i (Isa.Xor (acc, acc, rhs)) ]
+  | Shl -> [ Asm.i (Isa.Sllv (acc, acc, rhs)) ]
+  | Shr -> [ Asm.i (Isa.Srav (acc, acc, rhs)) ]
+  | Lt -> [ Asm.i (Isa.Slt (acc, acc, rhs)) ]
+  | Le -> [ Asm.i (Isa.Slt (acc, rhs, acc)); Asm.i (Isa.Xori (acc, acc, 1)) ]
+  | Gt -> [ Asm.i (Isa.Slt (acc, rhs, acc)) ]
+  | Ge -> [ Asm.i (Isa.Slt (acc, acc, rhs)); Asm.i (Isa.Xori (acc, acc, 1)) ]
+  | Eq -> [ Asm.i (Isa.Xor (acc, acc, rhs)); Asm.i (Isa.Sltiu (acc, acc, 1)) ]
+  | Ne -> [ Asm.i (Isa.Xor (acc, acc, rhs)); Asm.i (Isa.Sltu (acc, Asm.zero, acc)) ]
+  | And | Or -> assert false (* handled with short-circuit branches *)
+
+let rec compile_stmt env ~epilogue ~loop stmt =
+  match stmt with
+  | Declare _ -> []  (* slots are allocated and zeroed by the prologue *)
+  | Break -> (
+    match loop with
+    | Some (break_label, _) -> [ Asm.i (Isa.J break_label) ]
+    | None -> failwith "minic: break outside a loop")
+  | Continue -> (
+    match loop with
+    | Some (_, continue_label) -> [ Asm.i (Isa.J continue_label) ]
+    | None -> failwith "minic: continue outside a loop")
+  | Assign (Lvar name, value) -> (
+    compile_expr env value
+    @
+    match local_slot env name with
+    | Some slot -> store_local slot
+    | None -> (
+      match find_global env name with
+      | Some (Scalar base) -> Asm.li addr_reg base @ [ Asm.i (Isa.Sw (acc, addr_reg, 0)) ]
+      | Some (Array _) -> failwith (Printf.sprintf "minic: cannot assign whole array %S" name)
+      | None -> failwith (Printf.sprintf "minic: unknown variable %S" name)))
+  | Assign (Lindex (name, index), value) -> (
+    match find_global env name with
+    | Some (Array (base, size)) ->
+      compile_expr env index @ push acc @ compile_expr env value
+      @ [ Asm.move rhs acc ]
+      @ pop acc
+      @ bounds_check env acc size
+      @ Asm.li addr_reg base
+      @ [ Asm.i (Isa.Add (addr_reg, addr_reg, acc)); Asm.i (Isa.Sw (rhs, addr_reg, 0)) ]
+    | Some (Scalar _) -> failwith (Printf.sprintf "minic: %S is not an array" name)
+    | None -> failwith (Printf.sprintf "minic: unknown array %S" name))
+  | Expr e -> compile_expr env e
+  | Return value -> compile_expr env value @ [ Asm.move rv acc ] @ epilogue
+  | If (condition, then_block, else_block) -> (
+    let else_label = fresh_label env "else" in
+    let condition_code =
+      compile_expr env condition @ [ Asm.i (Isa.Beq (acc, Asm.zero, else_label)) ]
+    in
+    match else_block with
+    | None ->
+      condition_code @ compile_block env ~epilogue ~loop then_block @ [ Asm.label else_label ]
+    | Some eb ->
+      let out = fresh_label env "endif" in
+      condition_code
+      @ compile_block env ~epilogue ~loop then_block
+      @ [ Asm.i (Isa.J out); Asm.label else_label ]
+      @ compile_block env ~epilogue ~loop eb
+      @ [ Asm.label out ])
+  | While (condition, body) ->
+    let top = fresh_label env "while" in
+    let out = fresh_label env "endwhile" in
+    [ Asm.label top ]
+    @ compile_expr env condition
+    @ [ Asm.i (Isa.Beq (acc, Asm.zero, out)) ]
+    @ compile_block env ~epilogue ~loop:(Some (out, top)) body
+    @ [ Asm.i (Isa.J top); Asm.label out ]
+  | For (init, condition, update, body) ->
+    let top = fresh_label env "for" in
+    let next = fresh_label env "fornext" in
+    let out = fresh_label env "endfor" in
+    let compile_opt = function
+      | None -> []
+      | Some s -> compile_stmt env ~epilogue ~loop s
+    in
+    compile_opt init
+    @ [ Asm.label top ]
+    @ compile_expr env condition
+    @ [ Asm.i (Isa.Beq (acc, Asm.zero, out)) ]
+    @ compile_block env ~epilogue ~loop:(Some (out, next)) body
+    @ [ Asm.label next ]
+    @ compile_opt update
+    @ [ Asm.i (Isa.J top); Asm.label out ]
+
+and compile_block env ~epilogue ~loop block =
+  List.concat_map (compile_stmt env ~epilogue ~loop) block
+
+(* All locals of a function: parameters first, then every Declare in the
+   body (C89 style, but we accept declarations anywhere). *)
+let collect_locals func =
+  let names = ref (List.rev func.params) in
+  let declare name =
+    if List.mem name !names then
+      failwith (Printf.sprintf "minic: duplicate local %S in %S" name func.name);
+    names := name :: !names
+  in
+  let rec walk_block block = List.iter walk_stmt block
+  and walk_stmt = function
+    | Declare name -> declare name
+    | If (_, t, e) ->
+      walk_block t;
+      Option.iter walk_block e
+    | While (_, b) -> walk_block b
+    | For (init, _, update, b) ->
+      Option.iter walk_stmt init;
+      Option.iter walk_stmt update;
+      walk_block b
+    | Assign _ | Expr _ | Return _ | Break | Continue -> ()
+  in
+  List.iter
+    (fun p ->
+      if List.length (List.filter (( = ) p) func.params) > 1 then
+        failwith (Printf.sprintf "minic: duplicate parameter %S in %S" p func.name))
+    func.params;
+  walk_block func.body;
+  List.rev !names
+
+let compile_function env func =
+  if List.length func.params > 4 then
+    failwith (Printf.sprintf "minic: %S has more than 4 parameters" func.name);
+  let locals = collect_locals func in
+  Hashtbl.reset env.locals;
+  List.iteri (fun slot name -> Hashtbl.add env.locals name slot) locals;
+  let frame = List.length locals in
+  let prologue =
+    [
+      Asm.label ("fn_" ^ func.name);
+      Asm.i (Isa.Addi (Asm.sp, Asm.sp, -2));
+      Asm.i (Isa.Sw (Asm.ra, Asm.sp, 1));
+      Asm.i (Isa.Sw (Asm.fp, Asm.sp, 0));
+      Asm.move Asm.fp Asm.sp;
+      Asm.i (Isa.Addi (Asm.sp, Asm.sp, -frame));
+    ]
+    (* zero every local slot, then overwrite the parameter slots *)
+    @ List.concat (List.mapi (fun slot _ -> [ Asm.i (Isa.Sw (Asm.zero, Asm.fp, -(1 + slot))) ]) locals)
+    @ List.concat
+        (List.mapi (fun k _ -> [ Asm.i (Isa.Sw (Asm.a0 + k, Asm.fp, -(1 + k))) ]) func.params)
+  in
+  let epilogue =
+    [
+      Asm.move Asm.sp Asm.fp;
+      Asm.i (Isa.Lw (Asm.fp, Asm.sp, 0));
+      Asm.i (Isa.Lw (Asm.ra, Asm.sp, 1));
+      Asm.i (Isa.Addi (Asm.sp, Asm.sp, 2));
+      Asm.i (Isa.Jr Asm.ra);
+    ]
+  in
+  (* implicit "return 0" for functions that fall off the end *)
+  prologue
+  @ compile_block env ~epilogue ~loop:None func.body
+  @ [ Asm.move rv Asm.zero ]
+  @ epilogue
+
+let compile ?(bounds_checks = true) ?(mem_words = 65536) source =
+  let ast = Mc_parser.parse source in
+  let env =
+    {
+      globals = Hashtbl.create 16;
+      functions = Hashtbl.create 16;
+      locals = Hashtbl.create 16;
+      next_label = 0;
+      bounds = bounds_checks;
+    }
+  in
+  let next_global = ref 0 in
+  let globals_list = ref [] in
+  List.iter
+    (fun g ->
+      let name, words =
+        match g with Gscalar name -> (name, 1) | Garray (name, size) -> (name, size)
+      in
+      if Hashtbl.mem env.globals name then
+        failwith (Printf.sprintf "minic: duplicate global %S" name);
+      let base = !next_global in
+      Hashtbl.add env.globals name
+        (match g with Gscalar _ -> Scalar base | Garray (_, size) -> Array (base, size));
+      globals_list := (name, base, words) :: !globals_list;
+      next_global := base + words)
+    ast.Mc_ast.globals;
+  List.iter
+    (fun (f : Mc_ast.func) ->
+      if Hashtbl.mem env.functions f.name then
+        failwith (Printf.sprintf "minic: duplicate function %S" f.name);
+      Hashtbl.add env.functions f.name (List.length f.params))
+    ast.Mc_ast.functions;
+  if not (Hashtbl.mem env.functions "main") then failwith "minic: no main function";
+  if Hashtbl.find env.functions "main" <> 0 then failwith "minic: main must take no arguments";
+  if !next_global >= mem_words / 2 then
+    failwith "minic: globals do not fit in half the data memory";
+  let stack_top = mem_words - 8 in
+  let startup =
+    Asm.li Asm.sp stack_top
+    @ Asm.li Asm.fp stack_top
+    @ [ Asm.i (Isa.Jal "fn_main"); Asm.i Isa.Halt ]
+  in
+  let trap =
+    [ Asm.label "__bounds_trap" ] @ Asm.li rv bounds_trap_code @ [ Asm.i Isa.Halt ]
+  in
+  let items =
+    startup
+    @ List.concat_map (compile_function env) ast.Mc_ast.functions
+    @ trap
+  in
+  {
+    items;
+    program = Asm.assemble items;
+    globals = List.rev !globals_list;
+    globals_words = !next_global;
+    mem_words;
+    bounds_checks;
+  }
+
+let run ?max_steps ?itrace ?dtrace compiled =
+  Machine.run ~mem_words:compiled.mem_words ?max_steps ?itrace ?dtrace compiled.program
+
+let traces compiled =
+  let itrace = Trace.create ~capacity:4096 () in
+  let dtrace = Trace.create ~capacity:4096 () in
+  let _ = run ~itrace ~dtrace compiled in
+  (itrace, dtrace)

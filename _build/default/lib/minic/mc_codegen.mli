@@ -1,0 +1,40 @@
+(** MiniC code generation to the VM ISA.
+
+    A straightforward non-optimising compiler (like the embedded
+    toolchains of the paper's era): expression temporaries live on a
+    memory stack, locals and saved registers in fp-relative frames, the
+    first four arguments pass in [$a0]-[$a3], results in [$v0].
+
+    Memory layout: globals from address 0 (scalars one word, arrays
+    contiguous), the stack grows down from [mem_words - 8]. Array
+    accesses are bounds-checked by default (an out-of-range index halts
+    with [$v0 = bounds_trap_code]; unsigned comparison catches negative
+    indices too).
+
+    Semantic errors (unknown names, arity mismatches, duplicate
+    definitions, more than four parameters, missing [main]) raise
+    [Failure]. *)
+
+type compiled = {
+  items : Asm.item list;
+  program : Isa.program;
+  globals : (string * int * int) list;  (** name, base address, words *)
+  globals_words : int;
+  mem_words : int;
+  bounds_checks : bool;
+}
+
+(** [bounds_trap_code] is the [$v0] value after a failed bounds check. *)
+val bounds_trap_code : int
+
+(** [compile ?bounds_checks ?mem_words source] parses and compiles a
+    whole program. [mem_words] (default 65536) sizes the data memory the
+    program expects and places the stack. *)
+val compile : ?bounds_checks:bool -> ?mem_words:int -> string -> compiled
+
+(** [run ?max_steps ?itrace ?dtrace compiled] executes from [main]. *)
+val run :
+  ?max_steps:int -> ?itrace:Trace.t -> ?dtrace:Trace.t -> compiled -> Machine.result
+
+(** [traces compiled] runs once and returns (instruction, data) traces. *)
+val traces : compiled -> Trace.t * Trace.t

@@ -1,0 +1,139 @@
+type token =
+  | Tint of int
+  | Tident of string
+  | Tkw_int
+  | Tkw_if
+  | Tkw_else
+  | Tkw_while
+  | Tkw_for
+  | Tkw_break
+  | Tkw_continue
+  | Tkw_return
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tlbracket
+  | Trbracket
+  | Tsemicolon
+  | Tcomma
+  | Tassign
+  | Top of string
+
+let keyword_of = function
+  | "int" -> Some Tkw_int
+  | "if" -> Some Tkw_if
+  | "else" -> Some Tkw_else
+  | "while" -> Some Tkw_while
+  | "for" -> Some Tkw_for
+  | "break" -> Some Tkw_break
+  | "continue" -> Some Tkw_continue
+  | "return" -> Some Tkw_return
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c = c = '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize source =
+  let n = String.length source in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let fail msg = failwith (Printf.sprintf "minic lexer, line %d: %s" !line msg) in
+  let peek k = if !pos + k < n then Some source.[!pos + k] else None in
+  let emit token = tokens := (token, !line) :: !tokens in
+  while !pos < n do
+    let c = source.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && source.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if source.[!pos] = '\n' then incr line;
+        if source.[!pos] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      let hex = c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') in
+      if hex then pos := !pos + 2;
+      let valid ch = if hex then is_digit ch || (Char.lowercase_ascii ch >= 'a' && Char.lowercase_ascii ch <= 'f') else is_digit ch in
+      while !pos < n && valid source.[!pos] do
+        incr pos
+      done;
+      let text = String.sub source start (!pos - start) in
+      match int_of_string_opt text with
+      | Some v -> emit (Tint v)
+      | None -> fail (Printf.sprintf "bad integer literal %S" text)
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char source.[!pos] do
+        incr pos
+      done;
+      let text = String.sub source start (!pos - start) in
+      match keyword_of text with Some kw -> emit kw | None -> emit (Tident text)
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub source !pos 2 else "" in
+      match two with
+      | "==" | "!=" | "<=" | ">=" | "<<" | ">>" | "&&" | "||" ->
+        emit (Top two);
+        pos := !pos + 2
+      | _ ->
+        (match c with
+        | '(' -> emit Tlparen
+        | ')' -> emit Trparen
+        | '{' -> emit Tlbrace
+        | '}' -> emit Trbrace
+        | '[' -> emit Tlbracket
+        | ']' -> emit Trbracket
+        | ';' -> emit Tsemicolon
+        | ',' -> emit Tcomma
+        | '=' -> emit Tassign
+        | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '<' | '>' | '!' | '~' ->
+          emit (Top (String.make 1 c))
+        | _ -> fail (Printf.sprintf "illegal character %C" c));
+        incr pos
+    end
+  done;
+  List.rev !tokens
+
+let token_text = function
+  | Tint v -> string_of_int v
+  | Tident s -> s
+  | Tkw_int -> "int"
+  | Tkw_if -> "if"
+  | Tkw_else -> "else"
+  | Tkw_while -> "while"
+  | Tkw_for -> "for"
+  | Tkw_break -> "break"
+  | Tkw_continue -> "continue"
+  | Tkw_return -> "return"
+  | Tlparen -> "("
+  | Trparen -> ")"
+  | Tlbrace -> "{"
+  | Trbrace -> "}"
+  | Tlbracket -> "["
+  | Trbracket -> "]"
+  | Tsemicolon -> ";"
+  | Tcomma -> ","
+  | Tassign -> "="
+  | Top s -> s

@@ -1,0 +1,30 @@
+(** Lexer for MiniC. *)
+
+type token =
+  | Tint of int
+  | Tident of string
+  | Tkw_int
+  | Tkw_if
+  | Tkw_else
+  | Tkw_while
+  | Tkw_for
+  | Tkw_break
+  | Tkw_continue
+  | Tkw_return
+  | Tlparen
+  | Trparen
+  | Tlbrace
+  | Trbrace
+  | Tlbracket
+  | Trbracket
+  | Tsemicolon
+  | Tcomma
+  | Tassign
+  | Top of string  (** operator lexeme, e.g. "+", "==", "&&" *)
+
+(** [tokenize source] is the token stream with 1-based line numbers.
+    Raises [Failure] on an illegal character or an unterminated
+    comment. *)
+val tokenize : string -> (token * int) list
+
+val token_text : token -> string

@@ -1,0 +1,253 @@
+open Mc_ast
+
+type state = { mutable tokens : (Mc_lexer.token * int) list }
+
+let fail_at line msg = failwith (Printf.sprintf "minic parser, line %d: %s" line msg)
+
+let peek state = match state.tokens with [] -> None | (t, _) :: _ -> Some t
+
+let current_line state = match state.tokens with [] -> 0 | (_, l) :: _ -> l
+
+let advance state =
+  match state.tokens with
+  | [] -> failwith "minic parser: unexpected end of input"
+  | (t, l) :: rest ->
+    state.tokens <- rest;
+    (t, l)
+
+let expect state token what =
+  match advance state with
+  | t, _ when t = token -> ()
+  | t, l -> fail_at l (Printf.sprintf "expected %s, got %S" what (Mc_lexer.token_text t))
+
+let expect_ident state what =
+  match advance state with
+  | Mc_lexer.Tident name, _ -> name
+  | t, l -> fail_at l (Printf.sprintf "expected %s, got %S" what (Mc_lexer.token_text t))
+
+(* precedence-climbing levels, loosest first *)
+let binop_levels =
+  [
+    [ ("||", Or) ];
+    [ ("&&", And) ];
+    [ ("|", Bit_or) ];
+    [ ("^", Bit_xor) ];
+    [ ("&", Bit_and) ];
+    [ ("==", Eq); ("!=", Ne) ];
+    [ ("<", Lt); ("<=", Le); (">", Gt); (">=", Ge) ];
+    [ ("<<", Shl); (">>", Shr) ];
+    [ ("+", Add); ("-", Sub) ];
+    [ ("*", Mul); ("/", Div); ("%", Mod) ];
+  ]
+
+let rec parse_expr state = parse_level state binop_levels
+
+and parse_level state levels =
+  match levels with
+  | [] -> parse_unary state
+  | ops :: tighter ->
+    let left = ref (parse_level state tighter) in
+    let continue = ref true in
+    while !continue do
+      match peek state with
+      | Some (Mc_lexer.Top lexeme) when List.mem_assoc lexeme ops ->
+        ignore (advance state);
+        let right = parse_level state tighter in
+        left := Binary (List.assoc lexeme ops, !left, right)
+      | _ -> continue := false
+    done;
+    !left
+
+and parse_unary state =
+  match peek state with
+  | Some (Mc_lexer.Top "-") ->
+    ignore (advance state);
+    Unary (Neg, parse_unary state)
+  | Some (Mc_lexer.Top "!") ->
+    ignore (advance state);
+    Unary (Not, parse_unary state)
+  | Some (Mc_lexer.Top "~") ->
+    ignore (advance state);
+    Unary (Bit_not, parse_unary state)
+  | _ -> parse_primary state
+
+and parse_primary state =
+  match advance state with
+  | Mc_lexer.Tint v, _ -> Int v
+  | Mc_lexer.Tlparen, _ ->
+    let e = parse_expr state in
+    expect state Mc_lexer.Trparen "')'";
+    e
+  | Mc_lexer.Tident name, _ -> (
+    match peek state with
+    | Some Mc_lexer.Tlparen ->
+      ignore (advance state);
+      let args = parse_arguments state in
+      Call (name, args)
+    | Some Mc_lexer.Tlbracket ->
+      ignore (advance state);
+      let index = parse_expr state in
+      expect state Mc_lexer.Trbracket "']'";
+      Index (name, index)
+    | _ -> Var name)
+  | t, l -> fail_at l (Printf.sprintf "expected an expression, got %S" (Mc_lexer.token_text t))
+
+and parse_arguments state =
+  match peek state with
+  | Some Mc_lexer.Trparen ->
+    ignore (advance state);
+    []
+  | _ ->
+    let rec more acc =
+      let acc = parse_expr state :: acc in
+      match advance state with
+      | Mc_lexer.Tcomma, _ -> more acc
+      | Mc_lexer.Trparen, _ -> List.rev acc
+      | t, l -> fail_at l (Printf.sprintf "expected ',' or ')', got %S" (Mc_lexer.token_text t))
+    in
+    more []
+
+let lvalue_of_expr line = function
+  | Var name -> Lvar name
+  | Index (name, index) -> Lindex (name, index)
+  | Int _ | Unary _ | Binary _ | Call _ -> fail_at line "left side of '=' must be a variable or array element"
+
+let rec parse_block state =
+  expect state Mc_lexer.Tlbrace "'{'";
+  let rec loop acc =
+    match peek state with
+    | Some Mc_lexer.Trbrace ->
+      ignore (advance state);
+      List.rev acc
+    | Some _ -> loop (parse_stmt state :: acc)
+    | None -> failwith "minic parser: unterminated block"
+  in
+  loop []
+
+and parse_stmt state =
+  match peek state with
+  | Some Mc_lexer.Tkw_int ->
+    ignore (advance state);
+    let name = expect_ident state "a local variable name" in
+    expect state Mc_lexer.Tsemicolon "';'";
+    Declare name
+  | Some Mc_lexer.Tkw_if ->
+    ignore (advance state);
+    expect state Mc_lexer.Tlparen "'('";
+    let condition = parse_expr state in
+    expect state Mc_lexer.Trparen "')'";
+    let then_block = parse_block state in
+    let else_block =
+      match peek state with
+      | Some Mc_lexer.Tkw_else -> (
+        ignore (advance state);
+        match peek state with
+        | Some Mc_lexer.Tkw_if -> Some [ parse_stmt state ]
+        | _ -> Some (parse_block state))
+      | _ -> None
+    in
+    If (condition, then_block, else_block)
+  | Some Mc_lexer.Tkw_while ->
+    ignore (advance state);
+    expect state Mc_lexer.Tlparen "'('";
+    let condition = parse_expr state in
+    expect state Mc_lexer.Trparen "')'";
+    While (condition, parse_block state)
+  | Some Mc_lexer.Tkw_for ->
+    ignore (advance state);
+    expect state Mc_lexer.Tlparen "'('";
+    let init =
+      match peek state with
+      | Some Mc_lexer.Tsemicolon -> None
+      | _ -> Some (parse_simple_stmt state)
+    in
+    expect state Mc_lexer.Tsemicolon "';'";
+    let condition =
+      match peek state with
+      | Some Mc_lexer.Tsemicolon -> Int 1
+      | _ -> parse_expr state
+    in
+    expect state Mc_lexer.Tsemicolon "';'";
+    let update =
+      match peek state with
+      | Some Mc_lexer.Trparen -> None
+      | _ -> Some (parse_simple_stmt state)
+    in
+    expect state Mc_lexer.Trparen "')'";
+    For (init, condition, update, parse_block state)
+  | Some Mc_lexer.Tkw_break ->
+    ignore (advance state);
+    expect state Mc_lexer.Tsemicolon "';'";
+    Break
+  | Some Mc_lexer.Tkw_continue ->
+    ignore (advance state);
+    expect state Mc_lexer.Tsemicolon "';'";
+    Continue
+  | Some Mc_lexer.Tkw_return ->
+    ignore (advance state);
+    let value = parse_expr state in
+    expect state Mc_lexer.Tsemicolon "';'";
+    Return value
+  | _ ->
+    let s = parse_simple_stmt state in
+    expect state Mc_lexer.Tsemicolon "';'";
+    s
+
+(* assignment or expression, without the trailing ';' — shared by plain
+   statements and for-headers *)
+and parse_simple_stmt state =
+  let line = current_line state in
+  let e = parse_expr state in
+  match peek state with
+  | Some Mc_lexer.Tassign ->
+    ignore (advance state);
+    let value = parse_expr state in
+    Assign (lvalue_of_expr line e, value)
+  | _ -> Expr e
+
+let parse_params state =
+  match peek state with
+  | Some Mc_lexer.Trparen ->
+    ignore (advance state);
+    []
+  | _ ->
+    let rec more acc =
+      expect state Mc_lexer.Tkw_int "'int'";
+      let name = expect_ident state "a parameter name" in
+      match advance state with
+      | Mc_lexer.Tcomma, _ -> more (name :: acc)
+      | Mc_lexer.Trparen, _ -> List.rev (name :: acc)
+      | t, l -> fail_at l (Printf.sprintf "expected ',' or ')', got %S" (Mc_lexer.token_text t))
+    in
+    more []
+
+let parse_toplevel state =
+  expect state Mc_lexer.Tkw_int "'int'";
+  let name = expect_ident state "a name" in
+  match advance state with
+  | Mc_lexer.Tsemicolon, _ -> `Global (Gscalar name)
+  | Mc_lexer.Tlbracket, l -> (
+    match advance state with
+    | Mc_lexer.Tint size, _ ->
+      if size < 1 then fail_at l "array size must be positive";
+      expect state Mc_lexer.Trbracket "']'";
+      expect state Mc_lexer.Tsemicolon "';'";
+      `Global (Garray (name, size))
+    | t, l' -> fail_at l' (Printf.sprintf "expected an array size, got %S" (Mc_lexer.token_text t)))
+  | Mc_lexer.Tlparen, _ ->
+    let params = parse_params state in
+    let body = parse_block state in
+    `Func { name; params; body }
+  | t, l -> fail_at l (Printf.sprintf "expected ';', '[' or '(', got %S" (Mc_lexer.token_text t))
+
+let parse source =
+  let state = { tokens = Mc_lexer.tokenize source } in
+  let rec loop globals functions =
+    match peek state with
+    | None -> { globals = List.rev globals; functions = List.rev functions }
+    | Some _ -> (
+      match parse_toplevel state with
+      | `Global g -> loop (g :: globals) functions
+      | `Func f -> loop globals (f :: functions))
+  in
+  loop [] []

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar sketch:
+
+    {v
+    program := ("int" name ";" | "int" name "[" n "]" ";"
+               | "int" name "(" params ")" block)*
+    stmt    := "int" name ";" | lvalue "=" expr ";" | expr ";"
+             | "if" "(" expr ")" block ("else" (block | if))?
+             | "while" "(" expr ")" block | "return" expr ";"
+    v}
+
+    Operator precedence follows C. Raises [Failure] with a line number
+    on syntax errors. *)
+
+val parse : string -> Mc_ast.program

@@ -1,0 +1,222 @@
+type program = { name : string; description : string; source : string; expected : int }
+
+(* Expected values are computed by independent OCaml mirrors of each
+   algorithm (see test/test_minic_programs.ml, which re-derives them). *)
+
+let matmul =
+  {
+    name = "matmul";
+    description = "16x16 integer matrix multiply";
+    expected = 193462;
+    source =
+      {|
+      int a[256];
+      int b[256];
+      int c[256];
+
+      int main() {
+        int i; int j; int k; int acc; int sum;
+        i = 0;
+        while (i < 256) { a[i] = i % 17; b[i] = i % 13; i = i + 1; }
+        i = 0;
+        while (i < 16) {
+          j = 0;
+          while (j < 16) {
+            acc = 0;
+            k = 0;
+            while (k < 16) {
+              acc = acc + a[i * 16 + k] * b[k * 16 + j];
+              k = k + 1;
+            }
+            c[i * 16 + j] = acc;
+            j = j + 1;
+          }
+          i = i + 1;
+        }
+        sum = 0;
+        i = 0;
+        while (i < 256) { sum = sum + c[i]; i = i + 1; }
+        return sum;
+      }
+      |};
+  }
+
+let qsort =
+  {
+    name = "qsort";
+    description = "recursive quicksort over 512 pseudo-random keys";
+    expected = 2531092;
+    source =
+      {|
+      int a[512];
+
+      int sort(int lo, int hi) {
+        int pivot; int i; int j; int tmp;
+        if (lo >= hi) { return 0; }
+        pivot = a[(lo + hi) / 2];
+        i = lo;
+        j = hi;
+        while (i <= j) {
+          while (a[i] < pivot) { i = i + 1; }
+          while (a[j] > pivot) { j = j - 1; }
+          if (i <= j) {
+            tmp = a[i]; a[i] = a[j]; a[j] = tmp;
+            i = i + 1;
+            j = j - 1;
+          }
+        }
+        sort(lo, j);
+        sort(i, hi);
+        return 0;
+      }
+
+      int main() {
+        int i; int x; int sum;
+        x = 12345;
+        i = 0;
+        while (i < 512) {
+          x = (x * 1103515245 + 12345) & 0x7FFFFFFF;
+          a[i] = x % 10000;
+          i = i + 1;
+        }
+        sort(0, 511);
+        sum = 0;
+        i = 0;
+        while (i < 512) { sum = sum + (a[i] ^ i); i = i + 1; }
+        return sum;
+      }
+      |};
+  }
+
+let dijkstra =
+  {
+    name = "dijkstra";
+    description = "single-source shortest paths on a dense 32-node graph";
+    expected = 146;
+    source =
+      {|
+      int weight[1024];
+      int dist[32];
+      int done_[32];
+
+      int main() {
+        int i; int j; int best; int node; int alt; int total;
+        i = 0;
+        while (i < 32) {
+          j = 0;
+          while (j < 32) {
+            weight[i * 32 + j] = ((i * 7 + j * 13) % 19) + 1;
+            j = j + 1;
+          }
+          i = i + 1;
+        }
+        i = 0;
+        while (i < 32) { dist[i] = 1000000; done_[i] = 0; i = i + 1; }
+        dist[0] = 0;
+        i = 0;
+        while (i < 32) {
+          best = 1000001;
+          node = 0 - 1;
+          j = 0;
+          while (j < 32) {
+            if (!done_[j] && dist[j] < best) { best = dist[j]; node = j; }
+            j = j + 1;
+          }
+          if (node >= 0) {
+            done_[node] = 1;
+            j = 0;
+            while (j < 32) {
+              alt = dist[node] + weight[node * 32 + j];
+              if (alt < dist[j]) { dist[j] = alt; }
+              j = j + 1;
+            }
+          }
+          i = i + 1;
+        }
+        total = 0;
+        i = 0;
+        while (i < 32) { total = total + dist[i]; i = i + 1; }
+        return total;
+      }
+      |};
+  }
+
+let bitcount =
+  {
+    name = "bitcount";
+    description = "population count over 4096 generated words";
+    expected = 63435;
+    source =
+      {|
+      int main() {
+        int x; int i; int total; int w; int b;
+        x = 99;
+        total = 0;
+        i = 0;
+        while (i < 4096) {
+          x = (x * 1103515245 + 12345) & 0x7FFFFFFF;
+          w = x;
+          b = 0;
+          while (w != 0) {
+            b = b + (w & 1);
+            w = w >> 1;
+            if (b > 40) { return 0 - 1; }
+          }
+          total = total + b;
+          i = i + 1;
+        }
+        return total;
+      }
+      |};
+  }
+
+let queens =
+  {
+    name = "queens";
+    description = "count the 92 solutions of 8-queens";
+    expected = 92;
+    source =
+      {|
+      int column[8];
+
+      int safe(int row, int col) {
+        int k;
+        k = 0;
+        while (k < row) {
+          if (column[k] == col) { return 0; }
+          if (column[k] - k == col - row) { return 0; }
+          if (column[k] + k == col + row) { return 0; }
+          k = k + 1;
+        }
+        return 1;
+      }
+
+      int place(int row) {
+        int col; int count;
+        if (row == 8) { return 1; }
+        count = 0;
+        col = 0;
+        while (col < 8) {
+          if (safe(row, col)) {
+            column[row] = col;
+            count = count + place(row + 1);
+          }
+          col = col + 1;
+        }
+        return count;
+      }
+
+      int main() { return place(0); }
+      |};
+  }
+
+let all = [ matmul; qsort; dijkstra; bitcount; queens ]
+
+let find name =
+  match List.find_opt (fun p -> p.name = name) all with
+  | Some p -> p
+  | None -> raise Not_found
+
+let compiled program = Mc_codegen.compile program.source
+
+let traces program = Mc_codegen.traces (compiled program)

@@ -1,0 +1,24 @@
+(** A small suite of compiled MiniC workloads — the "written in C,
+    compiled, then tuned" usage the paper's introduction motivates, as a
+    complement to the hand-assembly PowerStone kernels. Each program is
+    self-checking: [expected] is the value [main] must return. *)
+
+type program = {
+  name : string;
+  description : string;
+  source : string;
+  expected : int;
+}
+
+(** [all] lists the bundled programs. *)
+val all : program list
+
+(** [find name] raises [Not_found] for unknown names. *)
+val find : string -> program
+
+(** [compiled program] compiles with default options. *)
+val compiled : program -> Mc_codegen.compiled
+
+(** [traces program] compiles, runs, and returns (instruction, data)
+    traces. *)
+val traces : program -> Trace.t * Trace.t

@@ -1,0 +1,1 @@
+lib/powerstone/adpcm.mli: Workload

@@ -1,0 +1,1 @@
+lib/powerstone/bcnt.ml: Array Asm Data_gen Isa List Printf W32 Workload

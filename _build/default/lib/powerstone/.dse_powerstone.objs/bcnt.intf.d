@@ -1,0 +1,1 @@
+lib/powerstone/bcnt.mli: Workload

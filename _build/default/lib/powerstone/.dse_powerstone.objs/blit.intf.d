@@ -1,0 +1,1 @@
+lib/powerstone/blit.mli: Workload

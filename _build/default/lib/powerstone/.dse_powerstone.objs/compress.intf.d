@@ -1,0 +1,1 @@
+lib/powerstone/compress.mli: Workload

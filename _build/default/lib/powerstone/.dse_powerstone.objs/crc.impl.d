@@ -1,0 +1,1 @@
+lib/powerstone/crc.ml: Array Asm Data_gen Isa List Printf W32 Workload

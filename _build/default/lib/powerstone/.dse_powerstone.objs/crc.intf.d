@@ -1,0 +1,1 @@
+lib/powerstone/crc.mli: Workload

@@ -1,0 +1,1 @@
+lib/powerstone/data_gen.ml: Array Char List String W32

@@ -1,0 +1,1 @@
+lib/powerstone/data_gen.mli:

@@ -1,0 +1,1 @@
+lib/powerstone/des.mli: Workload

@@ -1,0 +1,1 @@
+lib/powerstone/engine.ml: Array Asm Isa Printf W32 Workload

@@ -1,0 +1,1 @@
+lib/powerstone/engine.mli: Workload

@@ -1,0 +1,1 @@
+lib/powerstone/fir.mli: Workload

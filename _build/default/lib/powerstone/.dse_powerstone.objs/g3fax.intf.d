@@ -1,0 +1,1 @@
+lib/powerstone/g3fax.mli: Workload

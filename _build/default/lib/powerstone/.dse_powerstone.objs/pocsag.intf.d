@@ -1,0 +1,1 @@
+lib/powerstone/pocsag.mli: Workload

@@ -1,0 +1,1 @@
+lib/powerstone/qurt.ml: Array Asm Data_gen Isa Printf W32 Workload

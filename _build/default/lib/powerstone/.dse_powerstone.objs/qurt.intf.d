@@ -1,0 +1,1 @@
+lib/powerstone/qurt.mli: Workload

@@ -1,0 +1,1 @@
+lib/powerstone/registry.ml: Adpcm Bcnt Blit Compress Crc Des Engine Fir G3fax List Pocsag Qurt Ucbqsort Workload

@@ -1,0 +1,1 @@
+lib/powerstone/registry.mli: Workload

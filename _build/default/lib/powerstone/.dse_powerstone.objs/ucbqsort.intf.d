@@ -1,0 +1,1 @@
+lib/powerstone/ucbqsort.mli: Workload

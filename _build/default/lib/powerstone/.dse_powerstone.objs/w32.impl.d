@@ -1,0 +1,1 @@
+lib/powerstone/w32.ml:

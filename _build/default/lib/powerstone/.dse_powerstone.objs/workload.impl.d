@@ -1,0 +1,1 @@
+lib/powerstone/workload.ml: Asm Machine Trace

@@ -1,0 +1,1 @@
+lib/powerstone/workload.mli: Asm Machine Trace

@@ -1,0 +1,9 @@
+(** PowerStone [compress]: LZW compression with an open-addressing hash
+    dictionary (linear probing), emitting codes over text-like input. *)
+
+val benchmark : Workload.t
+
+(** [make ~scale] builds a scaled variant: input sizes (and the trace
+    length) grow roughly linearly with [scale]. [benchmark = make
+    ~scale:1]. Raises [Invalid_argument] on [scale < 1]. *)
+val make : scale:int -> Workload.t

@@ -1,0 +1,93 @@
+let lcg_next x = W32.add (W32.mul x 1103515245) 12345
+
+let lcg_stream ~seed n =
+  let out = Array.make n 0 in
+  let x = ref (W32.sign32 seed) in
+  for i = 0 to n - 1 do
+    x := lcg_next !x;
+    out.(i) <- !x
+  done;
+  out
+
+let uniform ~seed ~bound n =
+  if bound <= 0 then invalid_arg "Data_gen.uniform: bound must be positive";
+  Array.map (fun v -> W32.u32 v mod bound) (lcg_stream ~seed n)
+
+let waveform ~seed n =
+  let steps = uniform ~seed ~bound:400 n in
+  let out = Array.make n 0 in
+  let level = ref 0 in
+  for i = 0 to n - 1 do
+    level := !level + steps.(i) - 200;
+    if !level > 30000 then level := 30000;
+    if !level < -30000 then level := -30000;
+    out.(i) <- !level
+  done;
+  out
+
+let text_like ~seed n =
+  (* Draw words from a tiny dictionary so that byte pairs repeat heavily,
+     giving the LZW dictionary real hits. *)
+  let dictionary =
+    [| "the "; "cache "; "of "; "embedded "; "system "; "design "; "miss ";
+       "trace "; "and "; "for " |]
+  in
+  let picks = uniform ~seed ~bound:(Array.length dictionary) n in
+  let out = Array.make n 0 in
+  let word = ref "" in
+  let pos = ref 0 in
+  let pick = ref 0 in
+  for i = 0 to n - 1 do
+    if !pos >= String.length !word then begin
+      word := dictionary.(picks.(!pick mod n));
+      incr pick;
+      pos := 0
+    end;
+    out.(i) <- Char.code !word.[!pos];
+    incr pos
+  done;
+  out
+
+let runs_bitstream ~seed ~lines ~width =
+  let raw = uniform ~seed ~bound:997 (lines * 64) in
+  let nibbles = ref [] in
+  let count = ref 0 in
+  let emit nib =
+    nibbles := nib :: !nibbles;
+    incr count
+  in
+  let emit_run len =
+    let rec loop len =
+      if len >= 15 then begin
+        emit 15;
+        loop (len - 15)
+      end
+      else emit len
+    in
+    loop len
+  in
+  let next = ref 0 in
+  let draw bound =
+    let v = raw.(!next mod Array.length raw) mod bound in
+    incr next;
+    v
+  in
+  for _line = 1 to lines do
+    let remaining = ref width in
+    let white = ref true in
+    while !remaining > 0 do
+      let run =
+        let wish = if !white then 1 + draw 40 else 1 + draw 8 in
+        min wish !remaining
+      in
+      emit_run run;
+      remaining := !remaining - run;
+      white := not !white
+    done
+  done;
+  let nibble_list = List.rev !nibbles in
+  let words = Array.make ((!count + 7) / 8) 0 in
+  List.iteri
+    (fun idx nib -> words.(idx / 8) <- words.(idx / 8) lor (nib lsl (4 * (idx mod 8))))
+    nibble_list;
+  (words, !count)

@@ -1,0 +1,28 @@
+(** Deterministic synthetic input data for the benchmark kernels.
+
+    The original PowerStone inputs are not redistributable; these
+    generators produce inputs of the same shape (sizes, value ranges,
+    repetitiveness) so the kernels execute their real control flow.
+    Everything is seeded and reproducible. *)
+
+(** [lcg_stream ~seed n] is [n] raw 32-bit values from the classic
+    [x <- x * 1103515245 + 12345] generator (signed 32-bit wrap). *)
+val lcg_stream : seed:int -> int -> int array
+
+(** [uniform ~seed ~bound n] is [n] values in [0, bound). *)
+val uniform : seed:int -> bound:int -> int -> int array
+
+(** [waveform ~seed n] is [n] smooth 16-bit audio-like samples (a bounded
+    random walk), for the ADPCM codec. *)
+val waveform : seed:int -> int -> int array
+
+(** [text_like ~seed n] is [n] byte values with heavy repetition (short
+    phrases drawn from a small alphabet repeated with mutations), for the
+    compression kernel. *)
+val text_like : seed:int -> int -> int array
+
+(** [runs_bitstream ~seed ~lines ~width] encodes [lines] scanlines of
+    alternating colour runs summing to [width] pixels into the 4-bit
+    prefix code used by the fax kernel; returns the packed words (8
+    nibbles per word, low nibble first) and the number of nibbles. *)
+val runs_bitstream : seed:int -> lines:int -> width:int -> int array * int

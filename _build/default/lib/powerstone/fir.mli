@@ -1,0 +1,8 @@
+(** PowerStone [fir]: 32-tap integer FIR filter over 512 samples. *)
+
+val benchmark : Workload.t
+
+(** [make ~scale] builds a scaled variant: input sizes (and the trace
+    length) grow roughly linearly with [scale]. [benchmark = make
+    ~scale:1]. Raises [Invalid_argument] on [scale < 1]. *)
+val make : scale:int -> Workload.t

@@ -1,0 +1,10 @@
+(** PowerStone [g3fax]: group-3 fax scanline decoder — a nibble
+    prefix-code run-length stream (15 = continuation) is expanded through
+    a decode table into pixel scanlines. *)
+
+val benchmark : Workload.t
+
+(** [make ~scale] builds a scaled variant: input sizes (and the trace
+    length) grow roughly linearly with [scale]. [benchmark = make
+    ~scale:1]. Raises [Invalid_argument] on [scale < 1]. *)
+val make : scale:int -> Workload.t

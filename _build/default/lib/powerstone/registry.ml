@@ -1,0 +1,38 @@
+let all =
+  [
+    Adpcm.benchmark;
+    Bcnt.benchmark;
+    Blit.benchmark;
+    Compress.benchmark;
+    Crc.benchmark;
+    Des.benchmark;
+    Engine.benchmark;
+    Fir.benchmark;
+    G3fax.benchmark;
+    Pocsag.benchmark;
+    Qurt.benchmark;
+    Ucbqsort.benchmark;
+  ]
+
+let find name =
+  match List.find_opt (fun b -> b.Workload.name = name) all with
+  | Some b -> b
+  | None -> raise Not_found
+
+let names = List.map (fun b -> b.Workload.name) all
+
+let scaled factor =
+  [
+    Adpcm.make ~scale:factor;
+    Bcnt.make ~scale:factor;
+    Blit.make ~scale:factor;
+    Compress.make ~scale:factor;
+    Crc.make ~scale:factor;
+    Des.make ~scale:factor;
+    Engine.make ~scale:factor;
+    Fir.make ~scale:factor;
+    G3fax.make ~scale:factor;
+    Pocsag.make ~scale:factor;
+    Qurt.make ~scale:factor;
+    Ucbqsort.make ~scale:factor;
+  ]

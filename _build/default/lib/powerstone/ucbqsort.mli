@@ -1,0 +1,10 @@
+(** PowerStone [ucbqsort]: iterative quicksort (explicit stack,
+    middle-element pivot, insertion sort below a cutoff) over 1024
+    keys. *)
+
+val benchmark : Workload.t
+
+(** [make ~scale] builds a scaled variant: input sizes (and the trace
+    length) grow roughly linearly with [scale]. [benchmark = make
+    ~scale:1]. Raises [Invalid_argument] on [scale < 1]. *)
+val make : scale:int -> Workload.t

@@ -1,0 +1,17 @@
+let sign32 x =
+  let m = x land 0xFFFFFFFF in
+  if m >= 0x80000000 then m - 0x100000000 else m
+
+let u32 x = x land 0xFFFFFFFF
+
+let add a b = sign32 (a + b)
+
+let sub a b = sign32 (a - b)
+
+let mul a b = sign32 (a * b)
+
+let srl x n = u32 x lsr (n land 31)
+
+let sra x n = sign32 (sign32 x asr (n land 31))
+
+let sll x n = sign32 (x lsl (n land 31))

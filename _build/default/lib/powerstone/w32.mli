@@ -1,0 +1,24 @@
+(** 32-bit two's-complement helpers for the native reference
+    implementations, mirroring the machine's arithmetic exactly so that
+    reference checksums and VM checksums are comparable bit for bit. *)
+
+(** [sign32 x] normalises to signed 32-bit (the register representation). *)
+val sign32 : int -> int
+
+(** [u32 x] is the unsigned 32-bit view. *)
+val u32 : int -> int
+
+(** Wrapping arithmetic on sign32-normalised values. *)
+val add : int -> int -> int
+
+val sub : int -> int -> int
+val mul : int -> int -> int
+
+(** [srl x n] is the machine's logical right shift. *)
+val srl : int -> int -> int
+
+(** [sra x n] is the arithmetic right shift. *)
+val sra : int -> int -> int
+
+(** [sll x n] is the wrapping left shift. *)
+val sll : int -> int -> int

@@ -1,0 +1,29 @@
+type t = {
+  name : string;
+  description : string;
+  program : Asm.item list;
+  init : (int * int array) list;
+  mem_words : int;
+  max_steps : int;
+  reference : unit -> int;
+}
+
+let run b =
+  Machine.run ~mem_words:b.mem_words ~init:b.init ~max_steps:b.max_steps
+    (Asm.assemble b.program)
+
+let checksum b = Machine.return_value (run b)
+
+let traces b =
+  let itrace = Trace.create ~capacity:4096 () in
+  let dtrace = Trace.create ~capacity:4096 () in
+  let _ =
+    Machine.run ~mem_words:b.mem_words ~init:b.init ~max_steps:b.max_steps ~itrace
+      ~dtrace
+      (Asm.assemble b.program)
+  in
+  (itrace, dtrace)
+
+let instruction_trace b = fst (traces b)
+
+let data_trace b = snd (traces b)

@@ -1,0 +1,32 @@
+(** A benchmark: a VM program with its input data and a native OCaml
+    reference implementation computing the same checksum.
+
+    The checksum convention is the final value of register [v0]; every
+    benchmark's VM run is validated against [reference ()] in the test
+    suite, which in turn validates the assembly implementations. *)
+
+type t = {
+  name : string;
+  description : string;
+  program : Asm.item list;
+  init : (int * int array) list;  (** data-memory segments *)
+  mem_words : int;
+  max_steps : int;
+  reference : unit -> int;  (** the expected checksum *)
+}
+
+(** [run benchmark] executes without tracing. *)
+val run : t -> Machine.result
+
+(** [checksum benchmark] is the VM-computed checksum. *)
+val checksum : t -> int
+
+(** [traces benchmark] executes once, returning the instruction trace and
+    the data trace. *)
+val traces : t -> Trace.t * Trace.t
+
+(** [instruction_trace b] and [data_trace b] are the two halves of
+    {!traces}. *)
+val instruction_trace : t -> Trace.t
+
+val data_trace : t -> Trace.t

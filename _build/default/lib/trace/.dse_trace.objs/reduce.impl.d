@@ -1,0 +1,1 @@
+lib/trace/reduce.ml: Array Trace

@@ -1,0 +1,1 @@
+lib/trace/reduce.mli: Trace

@@ -1,0 +1,1 @@
+lib/trace/stats.ml: Array Format Strip

@@ -1,0 +1,1 @@
+lib/trace/strip.ml: Array Hashtbl List Trace

@@ -1,0 +1,1 @@
+lib/trace/strip.mli: Trace

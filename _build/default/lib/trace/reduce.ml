@@ -1,0 +1,32 @@
+type result = { reduced : Trace.t; original_length : int; filter_hits : int }
+
+let filter ~depth ?(line_words = 1) trace =
+  let power_of_two n = n > 0 && n land (n - 1) = 0 in
+  if not (power_of_two depth) then
+    invalid_arg "Reduce.filter: depth must be a positive power of two";
+  if not (power_of_two line_words) then
+    invalid_arg "Reduce.filter: line_words must be a positive power of two";
+  let offset_bits =
+    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+    log2 line_words 0
+  in
+  (* rows.(i) holds the line currently cached in filter row i, -1 when
+     empty — a plain direct-mapped filter. *)
+  let rows = Array.make depth (-1) in
+  let reduced = Trace.create () in
+  let filter_hits = ref 0 in
+  Trace.iter
+    (fun (a : Trace.access) ->
+      let line = a.Trace.addr lsr offset_bits in
+      let row = line land (depth - 1) in
+      if rows.(row) = line then incr filter_hits
+      else begin
+        rows.(row) <- line;
+        Trace.add reduced ~addr:a.Trace.addr ~kind:a.Trace.kind
+      end)
+    trace;
+  { reduced; original_length = Trace.length trace; filter_hits = !filter_hits }
+
+let reduction_ratio r =
+  if r.original_length = 0 then 1.0
+  else float_of_int (Trace.length r.reduced) /. float_of_int r.original_length

@@ -1,0 +1,31 @@
+(** Trace stripping by cache filtering (the paper's related work
+    [14][15]: Wu & Wolf; also Puzak's classic trace reduction).
+
+    References that hit in a direct-mapped filter cache of depth [F]
+    also hit in every LRU cache of depth >= F (with the same line size):
+    the deeper cache's rows refine the filter's rows, so a reference with
+    no same-row intruder since its previous occurrence in the filter has
+    none in the deeper cache either. Moreover, deleting such a hit
+    changes no other reference's set of *distinct* same-row conflictors
+    (the deleted occurrence's predecessor already lies inside any window
+    that contained it). Hence the stripped trace is {e provably
+    identical} — in total and non-cold miss counts — to the original for
+    every cache with depth >= F at any associativity, while often being
+    much shorter. The test suite checks this equivalence against both
+    the simulator and the analytical model. *)
+
+type result = {
+  reduced : Trace.t;
+  original_length : int;
+  filter_hits : int;  (** references removed *)
+}
+
+(** [filter ~depth ?line_words trace] strips [trace] through a
+    direct-mapped filter cache of [depth] rows. [depth] and [line_words]
+    (default 1) must be positive powers of two. Guarantees hold for
+    caches of depth >= [depth] and the same line size. *)
+val filter : depth:int -> ?line_words:int -> Trace.t -> result
+
+(** [reduction_ratio r] is [length reduced / original_length] (1.0 for an
+    empty original). *)
+val reduction_ratio : result -> float

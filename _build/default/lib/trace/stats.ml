@@ -1,0 +1,28 @@
+type t = { n : int; n_unique : int; address_bits : int; max_misses : int }
+
+let compute_stripped (s : Strip.t) =
+  let n = Strip.num_refs s in
+  let n_unique = Strip.num_unique s in
+  (* Depth-1 direct-mapped: a miss whenever the id changes between
+     consecutive accesses, plus the very first access; cold misses are one
+     per unique id. *)
+  let total_misses = ref 0 in
+  for i = 0 to n - 1 do
+    if i = 0 || s.ids.(i) <> s.ids.(i - 1) then incr total_misses
+  done;
+  {
+    n;
+    n_unique;
+    address_bits = Strip.address_bits s;
+    max_misses = max 0 (!total_misses - n_unique);
+  }
+
+let compute trace = compute_stripped (Strip.strip trace)
+
+let budget stats ~percent =
+  if percent < 0 then invalid_arg "Stats.budget: negative percent";
+  stats.max_misses * percent / 100
+
+let pp fmt t =
+  Format.fprintf fmt "N=%d N'=%d bits=%d max_misses=%d" t.n t.n_unique
+    t.address_bits t.max_misses

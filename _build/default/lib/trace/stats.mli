@@ -1,0 +1,27 @@
+(** Trace statistics as reported in the paper's Tables 5 and 6.
+
+    [max_misses] is the number of non-cold misses of a depth-1
+    direct-mapped cache (one line of one word): an access misses exactly
+    when its address differs from the immediately preceding access, and
+    cold misses (one per unique reference) are subtracted. This matches
+    the paper's calibration of the miss budget K. *)
+
+type t = {
+  n : int;  (** trace size N *)
+  n_unique : int;  (** unique references N' *)
+  address_bits : int;
+  max_misses : int;  (** non-cold misses of the depth-1 direct-mapped cache *)
+}
+
+(** [compute trace] scans the trace once. *)
+val compute : Trace.t -> t
+
+(** [compute_stripped stripped] computes the same statistics from an
+    already-stripped trace. *)
+val compute_stripped : Strip.t -> t
+
+(** [budget stats ~percent] is the miss constraint K for a given percent of
+    [max_misses], rounded down (the paper uses 5, 10, 15, 20). *)
+val budget : t -> percent:int -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+type t = { uniques : int array; ids : int array }
+
+let strip_addresses addrs =
+  let n = Array.length addrs in
+  let table = Hashtbl.create (max 16 (n / 4)) in
+  let uniques = ref [] in
+  let count = ref 0 in
+  let ids = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let a = addrs.(i) in
+    match Hashtbl.find_opt table a with
+    | Some id -> ids.(i) <- id
+    | None ->
+      let id = !count in
+      Hashtbl.add table a id;
+      uniques := a :: !uniques;
+      incr count;
+      ids.(i) <- id
+  done;
+  { uniques = Array.of_list (List.rev !uniques); ids }
+
+let strip trace = strip_addresses (Trace.addresses trace)
+
+let num_unique s = Array.length s.uniques
+
+let num_refs s = Array.length s.ids
+
+let address_of s id = s.uniques.(id)
+
+let reconstruct s = Array.map (fun id -> s.uniques.(id)) s.ids
+
+let address_bits s =
+  let m = Array.fold_left max 0 s.uniques in
+  let rec bits n acc = if n = 0 then max acc 1 else bits (n lsr 1) (acc + 1) in
+  bits m 0

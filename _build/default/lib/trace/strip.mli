@@ -1,0 +1,33 @@
+(** Trace stripping (paper section 2.2, Tables 1 and 2).
+
+    A trace of N references is reduced to its N' unique references, each
+    assigned a dense identifier in first-occurrence order, together with
+    the original trace re-expressed as a sequence of identifiers. The
+    paper notes a hash table makes this linear; that is what we use. *)
+
+type t = {
+  uniques : int array;  (** identifier -> address, in first-occurrence order *)
+  ids : int array;  (** original position -> identifier *)
+}
+
+(** [strip trace] strips a full trace (all access kinds). *)
+val strip : Trace.t -> t
+
+(** [strip_addresses addrs] strips a raw address sequence. *)
+val strip_addresses : int array -> t
+
+(** [num_unique s] is N'. *)
+val num_unique : t -> int
+
+(** [num_refs s] is the original N. *)
+val num_refs : t -> int
+
+(** [address_of s id] is the address carried by [id]. *)
+val address_of : t -> int -> int
+
+(** [reconstruct s] rebuilds the original address sequence. *)
+val reconstruct : t -> int array
+
+(** [address_bits s] is the number of bits needed for the widest unique
+    address; at least 1. Determines the usable BCAT index bits. *)
+val address_bits : t -> int

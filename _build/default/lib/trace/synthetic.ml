@@ -1,0 +1,67 @@
+let check_positive name v = if v <= 0 then invalid_arg ("Synthetic: " ^ name ^ " must be positive")
+
+let sequential ~start ~length =
+  check_positive "length" length;
+  Trace.of_addresses (Array.init length (fun k -> start + k))
+
+let loop ~base ~body ~iterations =
+  check_positive "body" body;
+  check_positive "iterations" iterations;
+  let trace = Trace.create ~capacity:(body * iterations) () in
+  for _it = 1 to iterations do
+    for offset = 0 to body - 1 do
+      Trace.add trace ~addr:(base + offset) ~kind:Trace.Fetch
+    done
+  done;
+  trace
+
+let strided ~base ~stride ~count ~iterations =
+  check_positive "stride" stride;
+  check_positive "count" count;
+  check_positive "iterations" iterations;
+  let trace = Trace.create ~capacity:(count * iterations) () in
+  for _it = 1 to iterations do
+    for k = 0 to count - 1 do
+      Trace.add trace ~addr:(base + (k * stride)) ~kind:Trace.Read
+    done
+  done;
+  trace
+
+(* Small deterministic xorshift so the generators do not depend on the
+   global Random state. *)
+let next_random state =
+  let x = !state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  state := if x = 0 then 88172645463325252 else x;
+  !state
+
+let hot_cold ~seed ~hot ~cold ~hot_percent ~length =
+  check_positive "hot" hot;
+  check_positive "cold" cold;
+  check_positive "length" length;
+  if hot_percent < 0 || hot_percent > 100 then
+    invalid_arg "Synthetic: hot_percent must be within 0..100";
+  let state = ref (seed lor 1) in
+  let trace = Trace.create ~capacity:length () in
+  for _k = 1 to length do
+    let roll = next_random state mod 100 in
+    let addr =
+      if roll < hot_percent then next_random state mod hot
+      else hot + (next_random state mod cold)
+    in
+    Trace.add trace ~addr ~kind:Trace.Read
+  done;
+  trace
+
+let uniform ~seed ~span ~length =
+  check_positive "span" span;
+  check_positive "length" length;
+  let state = ref (seed lor 1) in
+  let trace = Trace.create ~capacity:length () in
+  for _k = 1 to length do
+    Trace.add trace ~addr:(next_random state mod span) ~kind:Trace.Read
+  done;
+  trace

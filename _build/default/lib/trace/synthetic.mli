@@ -1,0 +1,26 @@
+(** Synthetic trace generators: parameterised address streams with the
+    locality archetypes real workloads mix (sequential streaming, loops,
+    hot/cold sets, strided array walks). Used by the property tests and
+    to populate scaling studies with traces of controlled N and N'. *)
+
+(** [sequential ~start ~length] is [start, start+1, ...]. *)
+val sequential : start:int -> length:int -> Trace.t
+
+(** [loop ~base ~body ~iterations] replays the address window
+    [base, base+body) [iterations] times — an instruction-fetch-like
+    pattern. *)
+val loop : base:int -> body:int -> iterations:int -> Trace.t
+
+(** [strided ~base ~stride ~count ~iterations] walks [base, base+stride,
+    base+2*stride, ...] repeatedly — a column-major-array pattern that
+    provokes conflict misses at depths dividing the stride. *)
+val strided : base:int -> stride:int -> count:int -> iterations:int -> Trace.t
+
+(** [hot_cold ~seed ~hot ~cold ~hot_percent ~length] draws each access
+    from a small hot set with probability [hot_percent]/100, else from a
+    large cold set — a data-cache-like mix. *)
+val hot_cold : seed:int -> hot:int -> cold:int -> hot_percent:int -> length:int -> Trace.t
+
+(** [uniform ~seed ~span ~length] draws addresses uniformly from
+    [0, span). *)
+val uniform : seed:int -> span:int -> length:int -> Trace.t

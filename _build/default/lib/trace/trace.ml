@@ -1,0 +1,111 @@
+type kind = Fetch | Read | Write
+
+type access = { addr : int; kind : kind }
+
+(* Parallel growable arrays: addresses as ints, kinds packed as chars. *)
+type t = {
+  mutable addrs : int array;
+  mutable kinds : Bytes.t;
+  mutable len : int;
+}
+
+let kind_to_char = function Fetch -> 'F' | Read -> 'R' | Write -> 'W'
+
+let kind_of_char = function
+  | 'F' -> Fetch
+  | 'R' -> Read
+  | 'W' -> Write
+  | c -> invalid_arg (Printf.sprintf "Trace.kind_of_char: %c" c)
+
+let create ?(capacity = 64) () =
+  let capacity = max capacity 1 in
+  { addrs = Array.make capacity 0; kinds = Bytes.make capacity 'R'; len = 0 }
+
+let length t = t.len
+
+let grow t =
+  let cap = Array.length t.addrs in
+  let cap' = cap * 2 in
+  let addrs = Array.make cap' 0 in
+  Array.blit t.addrs 0 addrs 0 t.len;
+  let kinds = Bytes.make cap' 'R' in
+  Bytes.blit t.kinds 0 kinds 0 t.len;
+  t.addrs <- addrs;
+  t.kinds <- kinds
+
+let add t ~addr ~kind =
+  if addr < 0 then invalid_arg "Trace.add: negative address";
+  if t.len = Array.length t.addrs then grow t;
+  t.addrs.(t.len) <- addr;
+  Bytes.unsafe_set t.kinds t.len (kind_to_char kind);
+  t.len <- t.len + 1
+
+let check_index t i =
+  if i < 0 || i >= t.len then
+    invalid_arg (Printf.sprintf "Trace: index %d out of [0, %d)" i t.len)
+
+let addr t i =
+  check_index t i;
+  t.addrs.(i)
+
+let kind t i =
+  check_index t i;
+  kind_of_char (Bytes.get t.kinds i)
+
+let get t i = { addr = addr t i; kind = kind t i }
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i { addr = t.addrs.(i); kind = kind_of_char (Bytes.get t.kinds i) }
+  done
+
+let iter f t = iteri (fun _ a -> f a) t
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun a -> acc := f !acc a) t;
+  !acc
+
+let of_list accesses =
+  let t = create ~capacity:(max 1 (List.length accesses)) () in
+  List.iter (fun a -> add t ~addr:a.addr ~kind:a.kind) accesses;
+  t
+
+let of_addresses ?(kind = Read) addrs =
+  let t = create ~capacity:(max 1 (Array.length addrs)) () in
+  Array.iter (fun a -> add t ~addr:a ~kind) addrs;
+  t
+
+let to_list t = List.rev (fold (fun acc a -> a :: acc) [] t)
+
+let addresses t = Array.sub t.addrs 0 t.len
+
+let is_data a = match a.kind with Read | Write -> true | Fetch -> false
+
+let is_fetch a = match a.kind with Fetch -> true | Read | Write -> false
+
+let filter keep t =
+  let out = create () in
+  iter (fun a -> if keep a then add out ~addr:a.addr ~kind:a.kind) t;
+  out
+
+let max_addr t =
+  let m = ref 0 in
+  for i = 0 to t.len - 1 do
+    if t.addrs.(i) > !m then m := t.addrs.(i)
+  done;
+  !m
+
+let address_bits t =
+  let rec bits n acc = if n = 0 then max acc 1 else bits (n lsr 1) (acc + 1) in
+  bits (max_addr t) 0
+
+let append dst src =
+  iter (fun a -> add dst ~addr:a.addr ~kind:a.kind) src
+
+let pp_kind fmt k = Format.fprintf fmt "%c" (kind_to_char k)
+
+let equal_kind a b =
+  match (a, b) with
+  | Fetch, Fetch | Read, Read | Write, Write -> true
+  | (Fetch | Read | Write), _ -> false

@@ -1,0 +1,70 @@
+(** Memory-reference traces.
+
+    A trace is the sequence of word addresses touched by a program run,
+    each tagged with an access kind (instruction fetch, data read, data
+    write). Addresses are word addresses: the unit the paper indexes
+    caches with (line size is fixed at one word, paper section 2.1). *)
+
+type kind = Fetch | Read | Write
+
+type access = { addr : int; kind : kind }
+
+(** Mutable growable trace; append-only. *)
+type t
+
+(** [create ()] is an empty trace. [capacity] pre-sizes the buffer. *)
+val create : ?capacity:int -> unit -> t
+
+(** [add t ~addr ~kind] appends one access. Raises [Invalid_argument] on a
+    negative address. *)
+val add : t -> addr:int -> kind:kind -> unit
+
+(** [length t] is the number of accesses recorded so far (the paper's N). *)
+val length : t -> int
+
+(** [get t i] is the [i]-th access (0-based). *)
+val get : t -> int -> access
+
+(** [addr t i] is the address of the [i]-th access, without allocating. *)
+val addr : t -> int -> int
+
+(** [kind t i] is the kind of the [i]-th access. *)
+val kind : t -> int -> kind
+
+val iter : (access -> unit) -> t -> unit
+val iteri : (int -> access -> unit) -> t -> unit
+val fold : ('a -> access -> 'a) -> 'a -> t -> 'a
+
+(** [of_list accesses] builds a trace from a list. *)
+val of_list : access list -> t
+
+(** [of_addresses ?kind addrs] tags every address with [kind]
+    (default [Read]). *)
+val of_addresses : ?kind:kind -> int array -> t
+
+val to_list : t -> access list
+
+(** [addresses t] is a fresh array of the addresses in order. *)
+val addresses : t -> int array
+
+(** [filter keep t] is a new trace with only the accesses satisfying
+    [keep], in order. *)
+val filter : (access -> bool) -> t -> t
+
+(** [is_data a] holds for reads and writes; [is_fetch a] for fetches. *)
+val is_data : access -> bool
+
+val is_fetch : access -> bool
+
+(** [max_addr t] is the largest address, or 0 for an empty trace. *)
+val max_addr : t -> int
+
+(** [address_bits t] is the number of bits needed to represent every
+    address in [t]; at least 1. *)
+val address_bits : t -> int
+
+(** [append dst src] appends all of [src] to [dst]. *)
+val append : t -> t -> unit
+
+val pp_kind : Format.formatter -> kind -> unit
+val equal_kind : kind -> kind -> bool

@@ -1,0 +1,156 @@
+let write channel trace =
+  Trace.iter
+    (fun (a : Trace.access) ->
+      let letter =
+        match a.kind with Trace.Fetch -> 'F' | Trace.Read -> 'R' | Trace.Write -> 'W'
+      in
+      Printf.fprintf channel "%c 0x%x\n" letter a.addr)
+    trace
+
+let parse_line ~line_number line trace =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then ()
+  else
+    let fail msg = failwith (Printf.sprintf "trace line %d: %s" line_number msg) in
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ k; a ] ->
+      let kind =
+        match k with
+        | "F" | "f" -> Trace.Fetch
+        | "R" | "r" -> Trace.Read
+        | "W" | "w" -> Trace.Write
+        | _ -> fail (Printf.sprintf "unknown access kind %S" k)
+      in
+      let addr =
+        match int_of_string_opt a with
+        | Some v when v >= 0 -> v
+        | Some _ -> fail "negative address"
+        | None -> fail (Printf.sprintf "bad address %S" a)
+      in
+      Trace.add trace ~addr ~kind
+    | _ -> fail "expected '<kind> <address>'"
+
+let read channel =
+  let trace = Trace.create () in
+  let rec loop line_number =
+    match input_line channel with
+    | line ->
+      parse_line ~line_number line trace;
+      loop (line_number + 1)
+    | exception End_of_file -> trace
+  in
+  loop 1
+
+let save path trace =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc trace)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
+
+(* Binary format: "DSET", length as LEB128, then per access a LEB128 of
+   (addr lsl 2) lor kind_tag. *)
+
+let magic = "DSET"
+
+let kind_tag = function Trace.Fetch -> 0 | Trace.Read -> 1 | Trace.Write -> 2
+
+let kind_of_tag = function
+  | 0 -> Trace.Fetch
+  | 1 -> Trace.Read
+  | 2 -> Trace.Write
+  | t -> failwith (Printf.sprintf "binary trace: bad kind tag %d" t)
+
+let write_varint channel value =
+  let v = ref value in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7F in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      output_byte channel byte;
+      continue := false
+    end
+    else output_byte channel (byte lor 0x80)
+  done
+
+let read_varint channel =
+  let rec loop shift acc =
+    match input_byte channel with
+    | byte ->
+      let acc = acc lor ((byte land 0x7F) lsl shift) in
+      if byte land 0x80 = 0 then acc else loop (shift + 7) acc
+    | exception End_of_file -> failwith "binary trace: truncated varint"
+  in
+  loop 0 0
+
+let write_binary channel trace =
+  output_string channel magic;
+  write_varint channel (Trace.length trace);
+  Trace.iter
+    (fun (a : Trace.access) -> write_varint channel ((a.Trace.addr lsl 2) lor kind_tag a.Trace.kind))
+    trace
+
+let read_binary channel =
+  let header = really_input_string channel (String.length magic) in
+  if header <> magic then failwith "binary trace: bad magic";
+  let length = read_varint channel in
+  let trace = Trace.create ~capacity:(max 1 length) () in
+  for _k = 1 to length do
+    let record = read_varint channel in
+    Trace.add trace ~addr:(record lsr 2) ~kind:(kind_of_tag (record land 3))
+  done;
+  trace
+
+let save_binary path trace =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_binary oc trace)
+
+let load_binary path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_binary ic)
+
+(* Dinero/din format: "<label> <hex-addr>"; labels 0 read, 1 write, 2
+   instruction fetch. *)
+
+let parse_dinero_line ~line_number line trace =
+  let line = String.trim line in
+  if line = "" then ()
+  else
+    let fail msg = failwith (Printf.sprintf "dinero line %d: %s" line_number msg) in
+    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+    | [ l; a ] ->
+      let kind =
+        match l with
+        | "0" -> Trace.Read
+        | "1" -> Trace.Write
+        | "2" -> Trace.Fetch
+        | _ -> fail (Printf.sprintf "unknown label %S" l)
+      in
+      let addr =
+        match int_of_string_opt ("0x" ^ a) with
+        | Some v when v >= 0 -> v
+        | Some _ | None -> (
+          (* some din files already carry a 0x prefix *)
+          match int_of_string_opt a with
+          | Some v when v >= 0 -> v
+          | Some _ | None -> fail (Printf.sprintf "bad address %S" a))
+      in
+      Trace.add trace ~addr ~kind
+    | _ -> fail "expected '<label> <address>'"
+
+let read_dinero channel =
+  let trace = Trace.create () in
+  let rec loop line_number =
+    match input_line channel with
+    | line ->
+      parse_dinero_line ~line_number line trace;
+      loop (line_number + 1)
+    | exception End_of_file -> trace
+  in
+  loop 1
+
+let load_dinero path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_dinero ic)

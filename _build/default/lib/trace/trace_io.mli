@@ -1,0 +1,43 @@
+(** Plain-text trace files.
+
+    One access per line: a kind letter ([F] fetch, [R] read, [W] write)
+    followed by a hexadecimal word address, e.g. [R 0x1a3f]. Blank lines
+    and lines starting with [#] are ignored. This is the on-disk format
+    consumed by the [dse] command-line tool. *)
+
+(** [write channel trace] writes the textual form. *)
+val write : out_channel -> Trace.t -> unit
+
+(** [read channel] parses a trace. Raises [Failure] with a line number on
+    malformed input. *)
+val read : in_channel -> Trace.t
+
+(** [save path trace] and [load path] are file-path conveniences. *)
+val save : string -> Trace.t -> unit
+
+val load : string -> Trace.t
+
+(** {2 Binary format}
+
+    A compact binary form for large traces: the magic bytes ["DSET"], a
+    length, then one variable-width record per access (kind packed into
+    the low bits). Both formats round-trip losslessly. *)
+
+val write_binary : out_channel -> Trace.t -> unit
+
+(** [read_binary channel] raises [Failure] on a bad magic or a truncated
+    stream. *)
+val read_binary : in_channel -> Trace.t
+
+val save_binary : string -> Trace.t -> unit
+
+val load_binary : string -> Trace.t
+
+(** {2 Dinero import}
+
+    [read_dinero channel] parses the classic Dinero/din format: one
+    access per line, a numeric label (0 read, 1 write, 2 instruction
+    fetch) followed by a hex address. Blank lines are ignored. *)
+val read_dinero : in_channel -> Trace.t
+
+val load_dinero : string -> Trace.t

@@ -1,0 +1,1 @@
+lib/vm/asm.ml: Array Hashtbl Isa List Printf

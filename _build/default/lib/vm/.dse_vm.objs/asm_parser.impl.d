@@ -1,0 +1,1 @@
+lib/vm/asm_parser.ml: Asm Fun Hashtbl Isa List Printf String

@@ -1,0 +1,1 @@
+lib/vm/asm_parser.mli: Asm Isa

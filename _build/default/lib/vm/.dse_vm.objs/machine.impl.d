@@ -1,0 +1,1 @@
+lib/vm/machine.ml: Array Encode Isa List Printf Trace

@@ -1,0 +1,84 @@
+type item = Label of string | Instr of string Isa.instr | Comment of string
+
+let label name = Label name
+
+let i instr = Instr instr
+
+let comment text = Comment text
+
+let concat = List.concat
+
+let assemble items =
+  let table = Hashtbl.create 64 in
+  let next = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Label name ->
+        if Hashtbl.mem table name then failwith (Printf.sprintf "Asm: duplicate label %S" name);
+        Hashtbl.add table name !next
+      | Instr instr ->
+        Isa.validate_registers instr;
+        incr next
+      | Comment _ -> ())
+    items;
+  let resolve name =
+    match Hashtbl.find_opt table name with
+    | Some addr -> addr
+    | None -> failwith (Printf.sprintf "Asm: undefined label %S" name)
+  in
+  let out = Array.make !next Isa.Nop in
+  let pc = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Label _ | Comment _ -> ()
+      | Instr instr ->
+        out.(!pc) <- Isa.map_label resolve instr;
+        incr pc)
+    items;
+  out
+
+(* MIPS o32 register numbering *)
+let zero = 0
+let at = 1
+let v0 = 2
+let v1 = 3
+let a0 = 4
+let a1 = 5
+let a2 = 6
+let a3 = 7
+let t0 = 8
+let t1 = 9
+let t2 = 10
+let t3 = 11
+let t4 = 12
+let t5 = 13
+let t6 = 14
+let t7 = 15
+let s0 = 16
+let s1 = 17
+let s2 = 18
+let s3 = 19
+let s4 = 20
+let s5 = 21
+let s6 = 22
+let s7 = 23
+let t8 = 24
+let t9 = 25
+let gp = 28
+let sp = 29
+let fp = 30
+let ra = 31
+
+let li rd value =
+  if value >= -32768 && value < 32768 then [ Instr (Isa.Addi (rd, zero, value)) ]
+  else begin
+    let v = value land 0xFFFFFFFF in
+    let hi = (v lsr 16) land 0xFFFF in
+    let lo = v land 0xFFFF in
+    if lo = 0 then [ Instr (Isa.Lui (rd, hi)) ]
+    else [ Instr (Isa.Lui (rd, hi)); Instr (Isa.Ori (rd, rd, lo)) ]
+  end
+
+let move rd rs = Instr (Isa.Add (rd, rs, zero))

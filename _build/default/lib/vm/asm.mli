@@ -1,0 +1,69 @@
+(** Assembler eDSL.
+
+    Programs are OCaml lists of items — instructions (with string branch
+    labels) and label definitions — assembled into an {!Isa.program} by
+    resolving every label to its absolute word address.
+
+    Register conventions follow MIPS o32 naming ([zero], [v0], [a0]–[a3],
+    [t0]–[t9], [s0]–[s7], [sp], [ra]); only the zero-wiring of register 0
+    is enforced by the machine, the rest is convention. *)
+
+type item
+
+(** [label name] defines [name] at the address of the next instruction. *)
+val label : string -> item
+
+(** [i instr] embeds an instruction with string branch targets. *)
+val i : string Isa.instr -> item
+
+(** [comment _] is ignored by the assembler; use it to annotate listings. *)
+val comment : string -> item
+
+(** [assemble items] resolves labels. Raises [Failure] on duplicate or
+    undefined labels, or out-of-range registers. *)
+val assemble : item list -> Isa.program
+
+(** [concat blocks] flattens program fragments. *)
+val concat : item list list -> item list
+
+(** {2 Register names} *)
+
+val zero : Isa.reg
+val at : Isa.reg
+val v0 : Isa.reg
+val v1 : Isa.reg
+val a0 : Isa.reg
+val a1 : Isa.reg
+val a2 : Isa.reg
+val a3 : Isa.reg
+val t0 : Isa.reg
+val t1 : Isa.reg
+val t2 : Isa.reg
+val t3 : Isa.reg
+val t4 : Isa.reg
+val t5 : Isa.reg
+val t6 : Isa.reg
+val t7 : Isa.reg
+val t8 : Isa.reg
+val t9 : Isa.reg
+val s0 : Isa.reg
+val s1 : Isa.reg
+val s2 : Isa.reg
+val s3 : Isa.reg
+val s4 : Isa.reg
+val s5 : Isa.reg
+val s6 : Isa.reg
+val s7 : Isa.reg
+val gp : Isa.reg
+val sp : Isa.reg
+val fp : Isa.reg
+val ra : Isa.reg
+
+(** {2 Pseudo-instructions} *)
+
+(** [li rd value] loads a 32-bit constant (expands to [Lui]/[Ori] or a
+    single instruction when the constant is small). *)
+val li : Isa.reg -> int -> item list
+
+(** [move rd rs] copies a register. *)
+val move : Isa.reg -> Isa.reg -> item

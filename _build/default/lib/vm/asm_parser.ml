@@ -1,0 +1,156 @@
+let register_table =
+  let pairs =
+    [
+      ("zero", 0); ("at", 1); ("v0", 2); ("v1", 3); ("a0", 4); ("a1", 5); ("a2", 6);
+      ("a3", 7); ("t0", 8); ("t1", 9); ("t2", 10); ("t3", 11); ("t4", 12); ("t5", 13);
+      ("t6", 14); ("t7", 15); ("s0", 16); ("s1", 17); ("s2", 18); ("s3", 19); ("s4", 20);
+      ("s5", 21); ("s6", 22); ("s7", 23); ("t8", 24); ("t9", 25); ("k0", 26); ("k1", 27);
+      ("gp", 28); ("sp", 29); ("fp", 30); ("ra", 31);
+    ]
+  in
+  let table = Hashtbl.create 64 in
+  List.iter (fun (name, number) -> Hashtbl.add table name number) pairs;
+  table
+
+let parse_register token =
+  if String.length token < 2 || token.[0] <> '$' then
+    failwith (Printf.sprintf "expected a register, got %S" token)
+  else begin
+    let name = String.sub token 1 (String.length token - 1) in
+    match Hashtbl.find_opt register_table name with
+    | Some r -> r
+    | None -> (
+      match int_of_string_opt name with
+      | Some r when r >= 0 && r <= 31 -> r
+      | Some _ | None -> failwith (Printf.sprintf "unknown register %S" token))
+  end
+
+let parse_immediate token =
+  match int_of_string_opt token with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "bad immediate %S" token)
+
+(* memory operand: off($base) *)
+let parse_memory_operand token =
+  match String.index_opt token '(' with
+  | Some open_paren when String.length token > 0 && token.[String.length token - 1] = ')' ->
+    let offset_text = String.sub token 0 open_paren in
+    let base_text = String.sub token (open_paren + 1) (String.length token - open_paren - 2) in
+    let offset = if offset_text = "" then 0 else parse_immediate offset_text in
+    (parse_register base_text, offset)
+  | Some _ | None -> failwith (Printf.sprintf "bad memory operand %S (expected off($reg))" token)
+
+let strip_comment line =
+  let cut_at pos = String.sub line 0 pos in
+  let candidates =
+    List.filter_map
+      (fun marker ->
+        match marker with
+        | `Char c -> String.index_opt line c
+        | `Str s ->
+          let n = String.length line and m = String.length s in
+          let rec scan k =
+            if k + m > n then None
+            else if String.sub line k m = s then Some k
+            else scan (k + 1)
+          in
+          scan 0)
+      [ `Char '#'; `Char ';'; `Str "//" ]
+  in
+  match candidates with [] -> line | positions -> cut_at (List.fold_left min max_int positions)
+
+let tokenize text =
+  String.map (fun c -> if c = ',' || c = '\t' then ' ' else c) text
+  |> String.split_on_char ' '
+  |> List.filter (fun s -> s <> "")
+
+let instruction_of_tokens tokens =
+  let reg = parse_register and imm = parse_immediate in
+  match tokens with
+  | [ "add"; d; s; t ] -> [ Asm.i (Isa.Add (reg d, reg s, reg t)) ]
+  | [ "sub"; d; s; t ] -> [ Asm.i (Isa.Sub (reg d, reg s, reg t)) ]
+  | [ "and"; d; s; t ] -> [ Asm.i (Isa.And (reg d, reg s, reg t)) ]
+  | [ "or"; d; s; t ] -> [ Asm.i (Isa.Or (reg d, reg s, reg t)) ]
+  | [ "xor"; d; s; t ] -> [ Asm.i (Isa.Xor (reg d, reg s, reg t)) ]
+  | [ "nor"; d; s; t ] -> [ Asm.i (Isa.Nor (reg d, reg s, reg t)) ]
+  | [ "slt"; d; s; t ] -> [ Asm.i (Isa.Slt (reg d, reg s, reg t)) ]
+  | [ "sltu"; d; s; t ] -> [ Asm.i (Isa.Sltu (reg d, reg s, reg t)) ]
+  | [ "mul"; d; s; t ] -> [ Asm.i (Isa.Mul (reg d, reg s, reg t)) ]
+  | [ "div"; d; s; t ] -> [ Asm.i (Isa.Div (reg d, reg s, reg t)) ]
+  | [ "rem"; d; s; t ] -> [ Asm.i (Isa.Rem (reg d, reg s, reg t)) ]
+  | [ "sllv"; d; s; t ] -> [ Asm.i (Isa.Sllv (reg d, reg s, reg t)) ]
+  | [ "srlv"; d; s; t ] -> [ Asm.i (Isa.Srlv (reg d, reg s, reg t)) ]
+  | [ "srav"; d; s; t ] -> [ Asm.i (Isa.Srav (reg d, reg s, reg t)) ]
+  | [ "addi"; d; s; v ] -> [ Asm.i (Isa.Addi (reg d, reg s, imm v)) ]
+  | [ "andi"; d; s; v ] -> [ Asm.i (Isa.Andi (reg d, reg s, imm v)) ]
+  | [ "ori"; d; s; v ] -> [ Asm.i (Isa.Ori (reg d, reg s, imm v)) ]
+  | [ "xori"; d; s; v ] -> [ Asm.i (Isa.Xori (reg d, reg s, imm v)) ]
+  | [ "slti"; d; s; v ] -> [ Asm.i (Isa.Slti (reg d, reg s, imm v)) ]
+  | [ "sltiu"; d; s; v ] -> [ Asm.i (Isa.Sltiu (reg d, reg s, imm v)) ]
+  | [ "lui"; d; v ] -> [ Asm.i (Isa.Lui (reg d, imm v)) ]
+  | [ "sll"; d; s; v ] -> [ Asm.i (Isa.Sll (reg d, reg s, imm v)) ]
+  | [ "srl"; d; s; v ] -> [ Asm.i (Isa.Srl (reg d, reg s, imm v)) ]
+  | [ "sra"; d; s; v ] -> [ Asm.i (Isa.Sra (reg d, reg s, imm v)) ]
+  | [ "lw"; d; mem ] ->
+    let base, offset = parse_memory_operand mem in
+    [ Asm.i (Isa.Lw (reg d, base, offset)) ]
+  | [ "sw"; d; mem ] ->
+    let base, offset = parse_memory_operand mem in
+    [ Asm.i (Isa.Sw (reg d, base, offset)) ]
+  | [ "beq"; a; b; target ] -> [ Asm.i (Isa.Beq (reg a, reg b, target)) ]
+  | [ "bne"; a; b; target ] -> [ Asm.i (Isa.Bne (reg a, reg b, target)) ]
+  | [ "blt"; a; b; target ] -> [ Asm.i (Isa.Blt (reg a, reg b, target)) ]
+  | [ "bge"; a; b; target ] -> [ Asm.i (Isa.Bge (reg a, reg b, target)) ]
+  | [ "bltu"; a; b; target ] -> [ Asm.i (Isa.Bltu (reg a, reg b, target)) ]
+  | [ "bgeu"; a; b; target ] -> [ Asm.i (Isa.Bgeu (reg a, reg b, target)) ]
+  | [ "j"; target ] -> [ Asm.i (Isa.J target) ]
+  | [ "jal"; target ] -> [ Asm.i (Isa.Jal target) ]
+  | [ "jr"; r ] -> [ Asm.i (Isa.Jr (reg r)) ]
+  | [ "nop" ] -> [ Asm.i Isa.Nop ]
+  | [ "halt" ] -> [ Asm.i Isa.Halt ]
+  (* pseudo-instructions *)
+  | [ "li"; d; v ] -> Asm.li (reg d) (imm v)
+  | [ "move"; d; s ] -> [ Asm.move (reg d) (reg s) ]
+  | mnemonic :: _ -> failwith (Printf.sprintf "unknown or malformed instruction %S" mnemonic)
+  | [] -> []
+
+let parse_line ~line_number line =
+  let fail msg = failwith (Printf.sprintf "line %d: %s" line_number msg) in
+  let text = String.trim (strip_comment line) in
+  if text = "" then []
+  else begin
+    (* split off any leading "label:" prefixes *)
+    let rec split_labels text acc =
+      match String.index_opt text ':' with
+      | Some colon
+        when String.for_all
+               (fun c -> c = '_' || c = '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
+               (String.trim (String.sub text 0 colon)) ->
+        let name = String.trim (String.sub text 0 colon) in
+        if name = "" then fail "empty label"
+        else
+          split_labels
+            (String.sub text (colon + 1) (String.length text - colon - 1))
+            (Asm.label name :: acc)
+      | Some _ | None -> (List.rev acc, String.trim text)
+    in
+    let labels, rest = split_labels text [] in
+    let instructions =
+      if rest = "" then []
+      else try instruction_of_tokens (tokenize rest) with Failure msg -> fail msg
+    in
+    labels @ instructions
+  end
+
+let parse source =
+  String.split_on_char '\n' source
+  |> List.mapi (fun index line -> parse_line ~line_number:(index + 1) line)
+  |> List.concat
+
+let parse_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      parse (really_input_string ic size))

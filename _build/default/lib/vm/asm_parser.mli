@@ -1,0 +1,29 @@
+(** Text assembler.
+
+    Parses a small MIPS-like assembly dialect into {!Asm.item} lists so
+    programs can live in [.s] files instead of the OCaml eDSL:
+
+    {v
+    # comment          (also ';' and '//')
+    loop:              # labels end with ':'
+      addi $t0, $t0, -1
+      lw   $v0, 3($sp) # memory operands are off($base)
+      li   $a0, 0xDEADBEEF   # pseudo: expands to lui/ori
+      move $s0, $v0          # pseudo: add $s0, $v0, $zero
+      bne  $t0, $zero, loop
+      halt
+    v}
+
+    Registers are written [$name] (MIPS o32 names) or [$0]..[$31];
+    immediates are decimal or 0x-hexadecimal. Errors raise [Failure]
+    with the offending line number. *)
+
+(** [parse source] assembles a whole source text into items. *)
+val parse : string -> Asm.item list
+
+(** [parse_file path] reads and parses a file. *)
+val parse_file : string -> Asm.item list
+
+(** [parse_register token] resolves a [$...] register token (exposed for
+    tools). *)
+val parse_register : string -> Isa.reg

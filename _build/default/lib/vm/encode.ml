@@ -1,0 +1,154 @@
+(* Layout: [op:6][rd:5][rs:5][rt:5][unused:11] for R-type,
+   [op:6][rd:5][rs:5][imm:16] for I-type and branches (imm = absolute
+   target for branches), [op:6][target:26] for J/Jal. *)
+
+let op_add = 0
+let op_sub = 1
+let op_and = 2
+let op_or = 3
+let op_xor = 4
+let op_nor = 5
+let op_slt = 6
+let op_sltu = 7
+let op_mul = 8
+let op_div = 9
+let op_rem = 10
+let op_sllv = 11
+let op_srlv = 12
+let op_srav = 13
+let op_addi = 14
+let op_andi = 15
+let op_ori = 16
+let op_xori = 17
+let op_slti = 18
+let op_sltiu = 19
+let op_lui = 20
+let op_sll = 21
+let op_srl = 22
+let op_sra = 23
+let op_lw = 24
+let op_sw = 25
+let op_beq = 26
+let op_bne = 27
+let op_blt = 28
+let op_bge = 29
+let op_bltu = 30
+let op_bgeu = 31
+let op_j = 32
+let op_jal = 33
+let op_jr = 34
+let op_nop = 35
+let op_halt = 36
+
+let check_signed16 imm =
+  if imm < -32768 || imm > 32767 then
+    invalid_arg (Printf.sprintf "Encode: immediate %d exceeds 16 signed bits" imm);
+  imm land 0xFFFF
+
+let check_unsigned16 imm =
+  if imm < 0 || imm > 65535 then
+    invalid_arg (Printf.sprintf "Encode: immediate %d exceeds 16 unsigned bits" imm);
+  imm
+
+let check_target26 t =
+  if t < 0 || t >= 1 lsl 26 then
+    invalid_arg (Printf.sprintf "Encode: jump target %d exceeds 26 bits" t);
+  t
+
+let r_type op rd rs rt = (op lsl 26) lor (rd lsl 21) lor (rs lsl 16) lor (rt lsl 11)
+
+let i_type op rd rs imm16 = (op lsl 26) lor (rd lsl 21) lor (rs lsl 16) lor imm16
+
+let encode instr =
+  Isa.validate_registers instr;
+  match instr with
+  | Isa.Add (d, s, t) -> r_type op_add d s t
+  | Isa.Sub (d, s, t) -> r_type op_sub d s t
+  | Isa.And (d, s, t) -> r_type op_and d s t
+  | Isa.Or (d, s, t) -> r_type op_or d s t
+  | Isa.Xor (d, s, t) -> r_type op_xor d s t
+  | Isa.Nor (d, s, t) -> r_type op_nor d s t
+  | Isa.Slt (d, s, t) -> r_type op_slt d s t
+  | Isa.Sltu (d, s, t) -> r_type op_sltu d s t
+  | Isa.Mul (d, s, t) -> r_type op_mul d s t
+  | Isa.Div (d, s, t) -> r_type op_div d s t
+  | Isa.Rem (d, s, t) -> r_type op_rem d s t
+  | Isa.Sllv (d, s, t) -> r_type op_sllv d s t
+  | Isa.Srlv (d, s, t) -> r_type op_srlv d s t
+  | Isa.Srav (d, s, t) -> r_type op_srav d s t
+  | Isa.Addi (d, s, imm) -> i_type op_addi d s (check_signed16 imm)
+  | Isa.Andi (d, s, imm) -> i_type op_andi d s (check_unsigned16 imm)
+  | Isa.Ori (d, s, imm) -> i_type op_ori d s (check_unsigned16 imm)
+  | Isa.Xori (d, s, imm) -> i_type op_xori d s (check_unsigned16 imm)
+  | Isa.Slti (d, s, imm) -> i_type op_slti d s (check_signed16 imm)
+  | Isa.Sltiu (d, s, imm) -> i_type op_sltiu d s (check_signed16 imm)
+  | Isa.Lui (d, imm) -> i_type op_lui d 0 (check_unsigned16 imm)
+  | Isa.Sll (d, s, sh) -> i_type op_sll d s (check_unsigned16 sh)
+  | Isa.Srl (d, s, sh) -> i_type op_srl d s (check_unsigned16 sh)
+  | Isa.Sra (d, s, sh) -> i_type op_sra d s (check_unsigned16 sh)
+  | Isa.Lw (d, s, off) -> i_type op_lw d s (check_signed16 off)
+  | Isa.Sw (d, s, off) -> i_type op_sw d s (check_signed16 off)
+  | Isa.Beq (a, b, l) -> i_type op_beq a b (check_unsigned16 l)
+  | Isa.Bne (a, b, l) -> i_type op_bne a b (check_unsigned16 l)
+  | Isa.Blt (a, b, l) -> i_type op_blt a b (check_unsigned16 l)
+  | Isa.Bge (a, b, l) -> i_type op_bge a b (check_unsigned16 l)
+  | Isa.Bltu (a, b, l) -> i_type op_bltu a b (check_unsigned16 l)
+  | Isa.Bgeu (a, b, l) -> i_type op_bgeu a b (check_unsigned16 l)
+  | Isa.J l -> (op_j lsl 26) lor check_target26 l
+  | Isa.Jal l -> (op_jal lsl 26) lor check_target26 l
+  | Isa.Jr r -> r_type op_jr r 0 0
+  | Isa.Nop -> op_nop lsl 26
+  | Isa.Halt -> op_halt lsl 26
+
+let sign_extend16 imm = if imm >= 32768 then imm - 65536 else imm
+
+let decode word =
+  let op = (word lsr 26) land 0x3F in
+  let rd = (word lsr 21) land 0x1F in
+  let rs = (word lsr 16) land 0x1F in
+  let rt = (word lsr 11) land 0x1F in
+  let imm = word land 0xFFFF in
+  let simm = sign_extend16 imm in
+  let target = word land 0x3FFFFFF in
+  if op = op_add then Isa.Add (rd, rs, rt)
+  else if op = op_sub then Isa.Sub (rd, rs, rt)
+  else if op = op_and then Isa.And (rd, rs, rt)
+  else if op = op_or then Isa.Or (rd, rs, rt)
+  else if op = op_xor then Isa.Xor (rd, rs, rt)
+  else if op = op_nor then Isa.Nor (rd, rs, rt)
+  else if op = op_slt then Isa.Slt (rd, rs, rt)
+  else if op = op_sltu then Isa.Sltu (rd, rs, rt)
+  else if op = op_mul then Isa.Mul (rd, rs, rt)
+  else if op = op_div then Isa.Div (rd, rs, rt)
+  else if op = op_rem then Isa.Rem (rd, rs, rt)
+  else if op = op_sllv then Isa.Sllv (rd, rs, rt)
+  else if op = op_srlv then Isa.Srlv (rd, rs, rt)
+  else if op = op_srav then Isa.Srav (rd, rs, rt)
+  else if op = op_addi then Isa.Addi (rd, rs, simm)
+  else if op = op_andi then Isa.Andi (rd, rs, imm)
+  else if op = op_ori then Isa.Ori (rd, rs, imm)
+  else if op = op_xori then Isa.Xori (rd, rs, imm)
+  else if op = op_slti then Isa.Slti (rd, rs, simm)
+  else if op = op_sltiu then Isa.Sltiu (rd, rs, simm)
+  else if op = op_lui then Isa.Lui (rd, imm)
+  else if op = op_sll then Isa.Sll (rd, rs, imm)
+  else if op = op_srl then Isa.Srl (rd, rs, imm)
+  else if op = op_sra then Isa.Sra (rd, rs, imm)
+  else if op = op_lw then Isa.Lw (rd, rs, simm)
+  else if op = op_sw then Isa.Sw (rd, rs, simm)
+  else if op = op_beq then Isa.Beq (rd, rs, imm)
+  else if op = op_bne then Isa.Bne (rd, rs, imm)
+  else if op = op_blt then Isa.Blt (rd, rs, imm)
+  else if op = op_bge then Isa.Bge (rd, rs, imm)
+  else if op = op_bltu then Isa.Bltu (rd, rs, imm)
+  else if op = op_bgeu then Isa.Bgeu (rd, rs, imm)
+  else if op = op_j then Isa.J target
+  else if op = op_jal then Isa.Jal target
+  else if op = op_jr then Isa.Jr rd
+  else if op = op_nop then Isa.Nop
+  else if op = op_halt then Isa.Halt
+  else invalid_arg (Printf.sprintf "Encode.decode: unknown opcode %d" op)
+
+let encode_program p = Array.map encode p
+
+let decode_program words = Array.map decode words

@@ -1,0 +1,24 @@
+(** Binary instruction encoding.
+
+    A fixed 32-bit format (opcode in the top 6 bits, register fields of 5
+    bits, 16-bit immediates / absolute branch targets, 26-bit jump
+    targets). The interpreter executes the structured form directly; the
+    encoder exists so programs have a faithful binary image — it is what
+    gives instruction addresses their meaning — and is round-trip tested.
+
+    Immediates must fit in 16 signed (arithmetic/memory) or unsigned
+    (logical) bits, branch targets in 16 bits, jump targets in 26 bits;
+    [encode] raises [Invalid_argument] otherwise. *)
+
+(** [encode instr] is the 32-bit word for a resolved instruction. *)
+val encode : int Isa.instr -> int
+
+(** [decode word] inverts {!encode}. Raises [Invalid_argument] on an
+    unknown opcode. *)
+val decode : int -> int Isa.instr
+
+(** [encode_program p] encodes every instruction. *)
+val encode_program : Isa.program -> int array
+
+(** [decode_program words] decodes a binary image. *)
+val decode_program : int array -> Isa.program

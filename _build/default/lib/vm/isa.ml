@@ -1,0 +1,185 @@
+type reg = int
+
+type 'label instr =
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Nor of reg * reg * reg
+  | Slt of reg * reg * reg
+  | Sltu of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg
+  | Rem of reg * reg * reg
+  | Sllv of reg * reg * reg
+  | Srlv of reg * reg * reg
+  | Srav of reg * reg * reg
+  | Addi of reg * reg * int
+  | Andi of reg * reg * int
+  | Ori of reg * reg * int
+  | Xori of reg * reg * int
+  | Slti of reg * reg * int
+  | Sltiu of reg * reg * int
+  | Lui of reg * int
+  | Sll of reg * reg * int
+  | Srl of reg * reg * int
+  | Sra of reg * reg * int
+  | Lw of reg * reg * int
+  | Sw of reg * reg * int
+  | Beq of reg * reg * 'label
+  | Bne of reg * reg * 'label
+  | Blt of reg * reg * 'label
+  | Bge of reg * reg * 'label
+  | Bltu of reg * reg * 'label
+  | Bgeu of reg * reg * 'label
+  | J of 'label
+  | Jal of 'label
+  | Jr of reg
+  | Nop
+  | Halt
+
+type program = int instr array
+
+let map_label f = function
+  | Beq (a, b, l) -> Beq (a, b, f l)
+  | Bne (a, b, l) -> Bne (a, b, f l)
+  | Blt (a, b, l) -> Blt (a, b, f l)
+  | Bge (a, b, l) -> Bge (a, b, f l)
+  | Bltu (a, b, l) -> Bltu (a, b, f l)
+  | Bgeu (a, b, l) -> Bgeu (a, b, f l)
+  | J l -> J (f l)
+  | Jal l -> Jal (f l)
+  | Add (a, b, c) -> Add (a, b, c)
+  | Sub (a, b, c) -> Sub (a, b, c)
+  | And (a, b, c) -> And (a, b, c)
+  | Or (a, b, c) -> Or (a, b, c)
+  | Xor (a, b, c) -> Xor (a, b, c)
+  | Nor (a, b, c) -> Nor (a, b, c)
+  | Slt (a, b, c) -> Slt (a, b, c)
+  | Sltu (a, b, c) -> Sltu (a, b, c)
+  | Mul (a, b, c) -> Mul (a, b, c)
+  | Div (a, b, c) -> Div (a, b, c)
+  | Rem (a, b, c) -> Rem (a, b, c)
+  | Sllv (a, b, c) -> Sllv (a, b, c)
+  | Srlv (a, b, c) -> Srlv (a, b, c)
+  | Srav (a, b, c) -> Srav (a, b, c)
+  | Addi (a, b, i) -> Addi (a, b, i)
+  | Andi (a, b, i) -> Andi (a, b, i)
+  | Ori (a, b, i) -> Ori (a, b, i)
+  | Xori (a, b, i) -> Xori (a, b, i)
+  | Slti (a, b, i) -> Slti (a, b, i)
+  | Sltiu (a, b, i) -> Sltiu (a, b, i)
+  | Lui (a, i) -> Lui (a, i)
+  | Sll (a, b, i) -> Sll (a, b, i)
+  | Srl (a, b, i) -> Srl (a, b, i)
+  | Sra (a, b, i) -> Sra (a, b, i)
+  | Lw (a, b, i) -> Lw (a, b, i)
+  | Sw (a, b, i) -> Sw (a, b, i)
+  | Jr r -> Jr r
+  | Nop -> Nop
+  | Halt -> Halt
+
+let registers_of = function
+  | Add (a, b, c) | Sub (a, b, c) | And (a, b, c) | Or (a, b, c)
+  | Xor (a, b, c) | Nor (a, b, c) | Slt (a, b, c) | Sltu (a, b, c)
+  | Mul (a, b, c) | Div (a, b, c) | Rem (a, b, c)
+  | Sllv (a, b, c) | Srlv (a, b, c) | Srav (a, b, c) ->
+    [ a; b; c ]
+  | Addi (a, b, _) | Andi (a, b, _) | Ori (a, b, _) | Xori (a, b, _)
+  | Slti (a, b, _) | Sltiu (a, b, _)
+  | Sll (a, b, _) | Srl (a, b, _) | Sra (a, b, _)
+  | Lw (a, b, _) | Sw (a, b, _)
+  | Beq (a, b, _) | Bne (a, b, _) | Blt (a, b, _) | Bge (a, b, _)
+  | Bltu (a, b, _) | Bgeu (a, b, _) ->
+    [ a; b ]
+  | Lui (a, _) -> [ a ]
+  | Jr r -> [ r ]
+  | J _ | Jal _ | Nop | Halt -> []
+
+let validate_registers instr =
+  List.iter
+    (fun r ->
+      if r < 0 || r > 31 then
+        invalid_arg (Printf.sprintf "Isa: register %d out of 0..31" r))
+    (registers_of instr)
+
+let register_name r =
+  match r with
+  | 0 -> "$zero"
+  | 1 -> "$at"
+  | 2 -> "$v0"
+  | 3 -> "$v1"
+  | 4 | 5 | 6 | 7 -> Printf.sprintf "$a%d" (r - 4)
+  | r when r >= 8 && r <= 15 -> Printf.sprintf "$t%d" (r - 8)
+  | r when r >= 16 && r <= 23 -> Printf.sprintf "$s%d" (r - 16)
+  | 24 -> "$t8"
+  | 25 -> "$t9"
+  | 26 | 27 -> Printf.sprintf "$k%d" (r - 26)
+  | 28 -> "$gp"
+  | 29 -> "$sp"
+  | 30 -> "$fp"
+  | 31 -> "$ra"
+  | r -> Printf.sprintf "$r%d" r
+
+let mnemonic = function
+  | Add _ -> "add"
+  | Sub _ -> "sub"
+  | And _ -> "and"
+  | Or _ -> "or"
+  | Xor _ -> "xor"
+  | Nor _ -> "nor"
+  | Slt _ -> "slt"
+  | Sltu _ -> "sltu"
+  | Mul _ -> "mul"
+  | Div _ -> "div"
+  | Rem _ -> "rem"
+  | Sllv _ -> "sllv"
+  | Srlv _ -> "srlv"
+  | Srav _ -> "srav"
+  | Addi _ -> "addi"
+  | Andi _ -> "andi"
+  | Ori _ -> "ori"
+  | Xori _ -> "xori"
+  | Slti _ -> "slti"
+  | Sltiu _ -> "sltiu"
+  | Lui _ -> "lui"
+  | Sll _ -> "sll"
+  | Srl _ -> "srl"
+  | Sra _ -> "sra"
+  | Lw _ -> "lw"
+  | Sw _ -> "sw"
+  | Beq _ -> "beq"
+  | Bne _ -> "bne"
+  | Blt _ -> "blt"
+  | Bge _ -> "bge"
+  | Bltu _ -> "bltu"
+  | Bgeu _ -> "bgeu"
+  | J _ -> "j"
+  | Jal _ -> "jal"
+  | Jr _ -> "jr"
+  | Nop -> "nop"
+  | Halt -> "halt"
+
+let pp_instr fmt (instr : int instr) =
+  let name = mnemonic instr in
+  let r = register_name in
+  match instr with
+  | Add (d, s, t) | Sub (d, s, t) | And (d, s, t) | Or (d, s, t)
+  | Xor (d, s, t) | Nor (d, s, t) | Slt (d, s, t) | Sltu (d, s, t)
+  | Mul (d, s, t) | Div (d, s, t) | Rem (d, s, t)
+  | Sllv (d, s, t) | Srlv (d, s, t) | Srav (d, s, t) ->
+    Format.fprintf fmt "%-6s %s, %s, %s" name (r d) (r s) (r t)
+  | Addi (d, s, imm) | Andi (d, s, imm) | Ori (d, s, imm) | Xori (d, s, imm)
+  | Slti (d, s, imm) | Sltiu (d, s, imm)
+  | Sll (d, s, imm) | Srl (d, s, imm) | Sra (d, s, imm) ->
+    Format.fprintf fmt "%-6s %s, %s, %d" name (r d) (r s) imm
+  | Lui (d, imm) -> Format.fprintf fmt "%-6s %s, %d" name (r d) imm
+  | Lw (d, s, off) | Sw (d, s, off) ->
+    Format.fprintf fmt "%-6s %s, %d(%s)" name (r d) off (r s)
+  | Beq (a, b, target) | Bne (a, b, target) | Blt (a, b, target)
+  | Bge (a, b, target) | Bltu (a, b, target) | Bgeu (a, b, target) ->
+    Format.fprintf fmt "%-6s %s, %s, %d" name (r a) (r b) target
+  | J target | Jal target -> Format.fprintf fmt "%-6s %d" name target
+  | Jr reg -> Format.fprintf fmt "%-6s %s" name (r reg)
+  | Nop | Halt -> Format.fprintf fmt "%s" name

@@ -1,0 +1,76 @@
+(** Instruction set of the trace-generating virtual machine.
+
+    A small MIPS-R3000-flavoured RISC: 32 general-purpose registers
+    (register 0 wired to zero), word-addressed Harvard memory (separate
+    instruction and data spaces, matching the paper's split instruction /
+    data traces), 32-bit two's-complement arithmetic.
+
+    The instruction type is polymorphic in the branch-target type: the
+    assembler builds ['label instr] values with symbolic labels and
+    resolves them to [int instr] (absolute word addresses). *)
+
+type reg = int  (** 0..31 *)
+
+type 'label instr =
+  (* three-register ALU, [rd <- rs OP rt] *)
+  | Add of reg * reg * reg
+  | Sub of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Nor of reg * reg * reg
+  | Slt of reg * reg * reg  (** signed set-on-less-than *)
+  | Sltu of reg * reg * reg
+  | Mul of reg * reg * reg  (** low 32 bits of the product *)
+  | Div of reg * reg * reg  (** signed quotient, truncated; x/0 = 0 *)
+  | Rem of reg * reg * reg  (** signed remainder; x rem 0 = x *)
+  | Sllv of reg * reg * reg  (** shift left by register (mod 32) *)
+  | Srlv of reg * reg * reg
+  | Srav of reg * reg * reg
+  (* immediate ALU, [rd <- rs OP imm]; immediates are sign-extended 16-bit
+     except the logical ops, which zero-extend *)
+  | Addi of reg * reg * int
+  | Andi of reg * reg * int
+  | Ori of reg * reg * int
+  | Xori of reg * reg * int
+  | Slti of reg * reg * int
+  | Sltiu of reg * reg * int
+  | Lui of reg * int  (** rd <- imm lsl 16 *)
+  | Sll of reg * reg * int  (** shift by 5-bit constant *)
+  | Srl of reg * reg * int
+  | Sra of reg * reg * int
+  (* word memory, [Lw (rd, rs, off)]: rd <- mem[rs + off] *)
+  | Lw of reg * reg * int
+  | Sw of reg * reg * int  (** mem[rs + off] <- rd *)
+  (* control; targets are word addresses in instruction space *)
+  | Beq of reg * reg * 'label
+  | Bne of reg * reg * 'label
+  | Blt of reg * reg * 'label  (** signed *)
+  | Bge of reg * reg * 'label  (** signed *)
+  | Bltu of reg * reg * 'label
+  | Bgeu of reg * reg * 'label
+  | J of 'label
+  | Jal of 'label  (** link register 31 <- return address *)
+  | Jr of reg
+  | Nop
+  | Halt
+
+(** An assembled program: instructions at word addresses 0, 1, 2, ... *)
+type program = int instr array
+
+(** [map_label f instr] rewrites the branch target, if any. *)
+val map_label : ('a -> 'b) -> 'a instr -> 'b instr
+
+(** [validate_registers instr] raises [Invalid_argument] if any register
+    field is outside 0..31. *)
+val validate_registers : 'a instr -> unit
+
+(** [mnemonic instr] is the lower-case opcode name, for diagnostics. *)
+val mnemonic : 'a instr -> string
+
+(** [pp_instr fmt instr] prints assembler-like syntax for a resolved
+    instruction, e.g. [addi $t0, $zero, 42] or [beq $t0, $t1, 17]. *)
+val pp_instr : Format.formatter -> int instr -> unit
+
+(** [register_name r] is the MIPS o32 conventional name ($zero, $t0...). *)
+val register_name : reg -> string

@@ -1,0 +1,97 @@
+exception Fault of string
+
+type result = { steps : int; registers : int array; memory : int array }
+
+let sign32 x =
+  let m = x land 0xFFFFFFFF in
+  if m >= 0x80000000 then m - 0x100000000 else m
+
+let u32 x = x land 0xFFFFFFFF
+
+let fault pc fmt = Printf.ksprintf (fun msg -> raise (Fault (Printf.sprintf "pc=%d: %s" pc msg))) fmt
+
+let run ?(mem_words = 65536) ?(init = []) ?(max_steps = 30_000_000) ?itrace ?dtrace
+    program =
+  let mem = Array.make mem_words 0 in
+  List.iter
+    (fun (base, values) ->
+      if base < 0 || base + Array.length values > mem_words then
+        invalid_arg "Machine.run: init segment out of data memory";
+      Array.blit values 0 mem base (Array.length values))
+    init;
+  let regs = Array.make 32 0 in
+  let read r = if r = 0 then 0 else regs.(r) in
+  let write r v = if r <> 0 then regs.(r) <- sign32 v in
+  let load pc addr =
+    if addr < 0 || addr >= mem_words then fault pc "load from word address %d" addr;
+    (match dtrace with Some t -> Trace.add t ~addr ~kind:Trace.Read | None -> ());
+    mem.(addr)
+  in
+  let store pc addr v =
+    if addr < 0 || addr >= mem_words then fault pc "store to word address %d" addr;
+    (match dtrace with Some t -> Trace.add t ~addr ~kind:Trace.Write | None -> ());
+    mem.(addr) <- sign32 v
+  in
+  let code_len = Array.length program in
+  let steps = ref 0 in
+  let pc = ref 0 in
+  let running = ref true in
+  while !running do
+    if !steps >= max_steps then fault !pc "step budget of %d exhausted" max_steps;
+    if !pc < 0 || !pc >= code_len then fault !pc "fell off the program (code length %d)" code_len;
+    (match itrace with Some t -> Trace.add t ~addr:!pc ~kind:Trace.Fetch | None -> ());
+    incr steps;
+    let next = !pc + 1 in
+    let target = ref next in
+    (match program.(!pc) with
+    | Isa.Add (d, s, t) -> write d (read s + read t)
+    | Isa.Sub (d, s, t) -> write d (read s - read t)
+    | Isa.And (d, s, t) -> write d (read s land read t)
+    | Isa.Or (d, s, t) -> write d (read s lor read t)
+    | Isa.Xor (d, s, t) -> write d (read s lxor read t)
+    | Isa.Nor (d, s, t) -> write d (lnot (read s lor read t))
+    | Isa.Slt (d, s, t) -> write d (if read s < read t then 1 else 0)
+    | Isa.Sltu (d, s, t) -> write d (if u32 (read s) < u32 (read t) then 1 else 0)
+    | Isa.Mul (d, s, t) -> write d (read s * read t)
+    | Isa.Div (d, s, t) ->
+      let divisor = read t in
+      write d (if divisor = 0 then 0 else read s / divisor)
+    | Isa.Rem (d, s, t) ->
+      let divisor = read t in
+      write d (if divisor = 0 then read s else read s mod divisor)
+    | Isa.Sllv (d, s, t) -> write d (read s lsl (read t land 31))
+    | Isa.Srlv (d, s, t) -> write d (u32 (read s) lsr (read t land 31))
+    | Isa.Srav (d, s, t) -> write d (read s asr (read t land 31))
+    | Isa.Addi (d, s, imm) -> write d (read s + imm)
+    | Isa.Andi (d, s, imm) -> write d (read s land (imm land 0xFFFF))
+    | Isa.Ori (d, s, imm) -> write d (read s lor (imm land 0xFFFF))
+    | Isa.Xori (d, s, imm) -> write d (read s lxor (imm land 0xFFFF))
+    | Isa.Slti (d, s, imm) -> write d (if read s < imm then 1 else 0)
+    | Isa.Sltiu (d, s, imm) -> write d (if u32 (read s) < u32 imm then 1 else 0)
+    | Isa.Lui (d, imm) -> write d ((imm land 0xFFFF) lsl 16)
+    | Isa.Sll (d, s, sh) -> write d (read s lsl (sh land 31))
+    | Isa.Srl (d, s, sh) -> write d (u32 (read s) lsr (sh land 31))
+    | Isa.Sra (d, s, sh) -> write d (read s asr (sh land 31))
+    | Isa.Lw (d, s, off) -> write d (load !pc (read s + off))
+    | Isa.Sw (d, s, off) -> store !pc (read s + off) (read d)
+    | Isa.Beq (a, b, l) -> if read a = read b then target := l
+    | Isa.Bne (a, b, l) -> if read a <> read b then target := l
+    | Isa.Blt (a, b, l) -> if read a < read b then target := l
+    | Isa.Bge (a, b, l) -> if read a >= read b then target := l
+    | Isa.Bltu (a, b, l) -> if u32 (read a) < u32 (read b) then target := l
+    | Isa.Bgeu (a, b, l) -> if u32 (read a) >= u32 (read b) then target := l
+    | Isa.J l -> target := l
+    | Isa.Jal l ->
+      write 31 next;
+      target := l
+    | Isa.Jr r -> target := read r
+    | Isa.Nop -> ()
+    | Isa.Halt -> running := false);
+    pc := !target
+  done;
+  { steps = !steps; registers = regs; memory = mem }
+
+let run_encoded ?mem_words ?init ?max_steps ?itrace ?dtrace words =
+  run ?mem_words ?init ?max_steps ?itrace ?dtrace (Encode.decode_program words)
+
+let return_value result = result.registers.(2)

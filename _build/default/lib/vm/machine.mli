@@ -1,0 +1,56 @@
+(** The tracing interpreter.
+
+    Plays the role of the paper's instrumented MIPS R3000 simulator:
+    executing a program emits one [Fetch] per instruction into the
+    instruction trace and one [Read]/[Write] per [Lw]/[Sw] into the data
+    trace. Instruction and data memories are separate (Harvard), so the
+    two traces use independent word-address spaces — exactly the split
+    instruction / data cache setting of the paper's experiments.
+
+    Arithmetic is 32-bit two's complement; register 0 reads as zero and
+    ignores writes. *)
+
+exception Fault of string
+(** Raised on out-of-range memory accesses, bad PC, or exceeding the step
+    budget; the message includes the offending PC. *)
+
+type result = {
+  steps : int;  (** instructions executed, including the final [Halt] *)
+  registers : int array;  (** 32 entries, sign-extended 32-bit values *)
+  memory : int array;  (** final data memory image *)
+}
+
+(** [run program] executes from PC 0 until [Halt].
+
+    @param mem_words data memory size (default 65536)
+    @param init list of [(base, values)] segments copied into data memory
+           before execution
+    @param max_steps fault budget (default 30 million)
+    @param itrace if given, every instruction fetch is appended to it
+    @param dtrace if given, every data read/write is appended to it *)
+val run :
+  ?mem_words:int ->
+  ?init:(int * int array) list ->
+  ?max_steps:int ->
+  ?itrace:Trace.t ->
+  ?dtrace:Trace.t ->
+  Isa.program ->
+  result
+
+(** [run_encoded words] decodes a binary program image (see {!Encode})
+    and executes it; options as in {!run}. *)
+val run_encoded :
+  ?mem_words:int ->
+  ?init:(int * int array) list ->
+  ?max_steps:int ->
+  ?itrace:Trace.t ->
+  ?dtrace:Trace.t ->
+  int array ->
+  result
+
+(** [return_value result] is the final value of register [v0] (2) — the
+    benchmark checksum convention. *)
+val return_value : result -> int
+
+(** [sign32 x] normalises an int to signed 32-bit two's complement. *)
+val sign32 : int -> int

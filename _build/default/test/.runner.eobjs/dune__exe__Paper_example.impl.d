@@ -1,0 +1,1 @@
+test/paper_example.ml: Trace

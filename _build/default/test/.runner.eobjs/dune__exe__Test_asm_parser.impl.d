@@ -1,0 +1,1 @@
+test/test_asm_parser.ml: Alcotest Asm Asm_parser Format Isa List Machine String

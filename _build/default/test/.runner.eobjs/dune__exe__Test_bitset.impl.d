@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset Format Int List QCheck2 QCheck_alcotest Set

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Array Cache Config Int List QCheck2 QCheck_alcotest Set Stack_sim Trace

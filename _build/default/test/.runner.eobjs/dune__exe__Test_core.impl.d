@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analytical Array Bcat Bitset Cache Config Dfs_optimizer Hashtbl Int List Mrct Optimizer Paper_example Printf QCheck2 QCheck_alcotest Set Strip Trace Zero_one

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Bus_cost Cache Cache_cost Config Lazy List Pareto QCheck2 QCheck_alcotest Registry Stats Synthetic System_cost Trace Workload

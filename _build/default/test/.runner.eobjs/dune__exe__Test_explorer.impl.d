@@ -1,0 +1,1 @@
+test/test_explorer.ml: Alcotest Analytical Analytical_dse Codesign Compare Format List Paper_example Printf Registry Report Simulated_dse Stats String Timing Workload

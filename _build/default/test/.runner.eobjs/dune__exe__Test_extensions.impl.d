@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Analytical Array Cache Config Dfs_optimizer List Mrct Optimizer Parallel_optimizer QCheck2 QCheck_alcotest Reduce Registry Strip Synthetic Trace Workload

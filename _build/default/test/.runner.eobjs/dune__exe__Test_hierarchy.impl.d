@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Array Cache Config Hierarchy QCheck2 QCheck_alcotest Registry Trace Victim Workload

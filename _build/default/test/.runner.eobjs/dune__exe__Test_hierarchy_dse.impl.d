@@ -1,0 +1,1 @@
+test/test_hierarchy_dse.ml: Alcotest Analytical_dse Cache Config Hierarchy_dse List Printf Registry Trace Workload

@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Encode Format List Machine Mc_ast Mc_codegen Printf QCheck2 QCheck_alcotest String Trace W32

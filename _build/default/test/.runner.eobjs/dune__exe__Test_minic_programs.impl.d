@@ -1,0 +1,1 @@
+test/test_minic_programs.ml: Alcotest Array Compare List Machine Mc_codegen Mc_programs Stats W32

@@ -1,0 +1,1 @@
+test/test_powerstone.ml: Alcotest Array Asm Compress Data_gen Encode Engine Fir List Machine Qurt Registry Stats Trace W32 Workload

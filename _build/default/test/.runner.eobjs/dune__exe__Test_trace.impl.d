@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Cache Config Filename Fun Hashtbl Int List Paper_example QCheck2 QCheck_alcotest Set Stats String Strip Sys Trace Trace_io

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Asm Encode Format Isa List Machine QCheck2 QCheck_alcotest String Trace

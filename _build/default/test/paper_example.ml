@@ -1,0 +1,35 @@
+(* The paper's running example (Tables 1-4, Figure 3): ten 4-bit
+   references with five unique addresses. The trace below reproduces the
+   published MRCT exactly; unique identifiers are 1-based in the paper
+   and 0-based here, so paper reference k is identifier k - 1. *)
+
+let addresses = [| 0b1011; 0b1100; 0b0110; 0b0011; 0b1011; 0b0100; 0b1100; 0b0011; 0b1011; 0b0110 |]
+
+let trace () = Trace.of_addresses addresses
+
+(* unique addresses in first-occurrence order, paper Table 2 *)
+let uniques = [| 0b1011; 0b1100; 0b0110; 0b0011; 0b0100 |]
+
+(* paper Table 3, as 0-based identifier lists per bit *)
+let zero_sets = [ [ 1; 2; 4 ]; [ 1; 4 ]; [ 0; 3 ]; [ 2; 3; 4 ] ]
+
+let one_sets = [ [ 0; 3 ]; [ 0; 2; 3 ]; [ 1; 2; 4 ]; [ 0; 1 ] ]
+
+(* paper Table 4: conflict sets per identifier, in occurrence order *)
+let mrct =
+  [
+    (0, [ [ 1; 2; 3 ]; [ 1; 3; 4 ] ]);
+    (1, [ [ 0; 2; 3; 4 ] ]);
+    (2, [ [ 0; 1; 3; 4 ] ]);
+    (3, [ [ 0; 1; 4 ] ]);
+    (4, []);
+  ]
+
+(* paper Figure 3: node sets per level (sorted identifier lists) *)
+let level1 = [ [ 1; 2; 4 ]; [ 0; 3 ] ]
+
+let level2 = [ [ 1; 4 ]; [ 2 ]; []; [ 0; 3 ] ]
+
+let level3 = [ []; [ 1; 4 ]; [ 0; 3 ]; [] ]
+
+let level4 = [ [ 4 ]; [ 1 ]; [ 3 ]; [ 0 ] ]

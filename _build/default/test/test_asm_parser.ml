@@ -1,0 +1,121 @@
+(* Tests for the text assembler. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let run_source ?init source =
+  Machine.run ?init (Asm.assemble (Asm_parser.parse source))
+
+let v0_of ?init source = Machine.return_value (run_source ?init source)
+
+let test_basic_program () =
+  check_int "value" 42 (v0_of "  li $v0, 42\n  halt\n")
+
+let test_fibonacci_source () =
+  let source =
+    {|
+    # fibonacci(20), iteratively
+      li   $t0, 20
+      li   $t1, 0
+      li   $t2, 1
+    loop:
+      beq  $t0, $zero, done
+      add  $t3, $t1, $t2
+      move $t1, $t2
+      move $t2, $t3
+      addi $t0, $t0, -1
+      j    loop
+    done:
+      move $v0, $t1
+      halt
+    |}
+  in
+  check_int "fib 20" 6765 (v0_of source)
+
+let test_memory_operands () =
+  let source =
+    {|
+      lw  $t0, 5($zero)       // read the seed
+      sw  $t0, 6($zero)
+      lw  $v0, 6($zero)
+      halt
+    |}
+  in
+  check_int "value" 99 (v0_of ~init:[ (5, [| 99 |]) ] source)
+
+let test_all_register_syntaxes () =
+  check_int "numeric register" 7 (v0_of "  addi $2, $0, 7\n  halt\n");
+  check_int "named register" 31 (Asm_parser.parse_register "$ra");
+  check_int "numeric" 13 (Asm_parser.parse_register "$13")
+
+let test_pseudo_instructions () =
+  check_int "large li" 0x12345678 (v0_of "li $v0, 0x12345678\nhalt\n");
+  check_int "negative" (-5) (v0_of "li $v0, -5\nhalt\n")
+
+let test_subroutine () =
+  let source =
+    {|
+    main:
+      li  $a0, 6
+      jal square
+      halt
+    square:
+      mul $v0, $a0, $a0
+      jr  $ra
+    |}
+  in
+  check_int "square" 36 (v0_of source)
+
+let test_comments_and_labels_on_same_line () =
+  let source = "start: li $v0, 3 # trailing comment\n j end ; another\nend: halt\n" in
+  check_int "value" 3 (v0_of source)
+
+let test_errors () =
+  let fails source =
+    match Asm_parser.parse source with _ -> false | exception Failure _ -> true
+  in
+  check_bool "unknown mnemonic" true (fails "frobnicate $t0\n");
+  check_bool "bad register" true (fails "add $t0, $t1, $xx\n");
+  check_bool "bad register number" true (fails "add $t0, $t1, $32\n");
+  check_bool "bad immediate" true (fails "addi $t0, $t1, nope\n");
+  check_bool "bad memory operand" true (fails "lw $t0, 5[$t1]\n");
+  check_bool "line number in message" true
+    (match Asm_parser.parse "nop\nbadop $t0\n" with
+    | _ -> false
+    | exception Failure msg -> String.contains msg '2')
+
+let test_disassembler_output_reparses () =
+  (* non-control instructions printed by the disassembler parse back *)
+  let instrs =
+    [
+      Isa.Add (8, 9, 10); Isa.Addi (2, 0, -5); Isa.Lw (16, 29, 3); Isa.Sw (4, 5, -2);
+      Isa.Lui (7, 99); Isa.Sll (3, 4, 5); Isa.Mul (11, 12, 13); Isa.Jr 31; Isa.Nop;
+      Isa.Halt;
+    ]
+  in
+  List.iter
+    (fun instr ->
+      let text = Format.asprintf "%a" Isa.pp_instr instr in
+      match Asm_parser.parse text with
+      | [ item ] -> check_bool text true (Asm.assemble [ item ] = [| instr |])
+      | _ -> Alcotest.fail ("unexpected parse of " ^ text))
+    instrs
+
+let suites =
+  [
+    ( "asm_parser",
+      [
+        Alcotest.test_case "basic program" `Quick test_basic_program;
+        Alcotest.test_case "fibonacci source" `Quick test_fibonacci_source;
+        Alcotest.test_case "memory operands" `Quick test_memory_operands;
+        Alcotest.test_case "register syntaxes" `Quick test_all_register_syntaxes;
+        Alcotest.test_case "pseudo instructions" `Quick test_pseudo_instructions;
+        Alcotest.test_case "subroutine" `Quick test_subroutine;
+        Alcotest.test_case "labels and comments inline" `Quick
+          test_comments_and_labels_on_same_line;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "disassembler output reparses" `Quick
+          test_disassembler_output_reparses;
+      ] );
+  ]

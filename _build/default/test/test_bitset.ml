@@ -1,0 +1,197 @@
+(* Unit and property tests for the bit-vector set library, checked
+   against the stdlib Set as a reference model. *)
+
+module Iset = Set.Make (Int)
+
+let check_list = Alcotest.(check (list int))
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let test_empty () =
+  let s = Bitset.create 10 in
+  check_int "cardinal" 0 (Bitset.cardinal s);
+  check_bool "is_empty" true (Bitset.is_empty s);
+  check_list "elements" [] (Bitset.elements s);
+  check_bool "mem" false (Bitset.mem s 3)
+
+let test_add_mem () =
+  let s = Bitset.create 100 in
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  check_bool "mem 0" true (Bitset.mem s 0);
+  check_bool "mem 63" true (Bitset.mem s 63);
+  check_bool "mem 64" true (Bitset.mem s 64);
+  check_bool "mem 99" true (Bitset.mem s 99);
+  check_bool "mem 50" false (Bitset.mem s 50);
+  check_int "cardinal" 4 (Bitset.cardinal s);
+  check_list "elements" [ 0; 63; 64; 99 ] (Bitset.elements s)
+
+let test_add_idempotent () =
+  let s = Bitset.create 8 in
+  Bitset.add s 5;
+  Bitset.add s 5;
+  check_int "cardinal" 1 (Bitset.cardinal s)
+
+let test_remove () =
+  let s = Bitset.of_list 10 [ 1; 2; 3 ] in
+  Bitset.remove s 2;
+  check_list "elements" [ 1; 3 ] (Bitset.elements s);
+  Bitset.remove s 2;
+  check_list "removing absent is a no-op" [ 1; 3 ] (Bitset.elements s)
+
+let test_clear () =
+  let s = Bitset.of_list 70 [ 0; 31; 69 ] in
+  Bitset.clear s;
+  check_bool "is_empty" true (Bitset.is_empty s)
+
+let test_out_of_range () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "add above range" (Invalid_argument "Bitset.add: index 10 out of [0, 10)")
+    (fun () -> Bitset.add s 10);
+  Alcotest.check_raises "add negative" (Invalid_argument "Bitset.add: index -1 out of [0, 10)")
+    (fun () -> Bitset.add s (-1));
+  check_bool "mem above range is false" false (Bitset.mem s 1000);
+  check_bool "mem negative is false" false (Bitset.mem s (-3))
+
+let test_capacity_mismatch () =
+  let a = Bitset.create 10 and b = Bitset.create 20 in
+  Alcotest.check_raises "inter"
+    (Invalid_argument "Bitset.inter: capacities differ (10 vs 20)") (fun () ->
+      ignore (Bitset.inter a b))
+
+let test_inter_union_diff () =
+  let a = Bitset.of_list 100 [ 1; 2; 3; 64; 65 ] in
+  let b = Bitset.of_list 100 [ 2; 3; 4; 65; 99 ] in
+  check_list "inter" [ 2; 3; 65 ] (Bitset.elements (Bitset.inter a b));
+  check_list "union" [ 1; 2; 3; 4; 64; 65; 99 ] (Bitset.elements (Bitset.union a b));
+  check_list "diff" [ 1; 64 ] (Bitset.elements (Bitset.diff a b));
+  check_int "inter_cardinal" 3 (Bitset.inter_cardinal a b)
+
+let test_relations () =
+  let a = Bitset.of_list 80 [ 1; 2 ] in
+  let b = Bitset.of_list 80 [ 1; 2; 3 ] in
+  let c = Bitset.of_list 80 [ 70; 79 ] in
+  check_bool "subset" true (Bitset.subset a b);
+  check_bool "not subset" false (Bitset.subset b a);
+  check_bool "disjoint" true (Bitset.disjoint a c);
+  check_bool "not disjoint" false (Bitset.disjoint a b);
+  check_bool "equal self" true (Bitset.equal a (Bitset.copy a));
+  check_bool "not equal" false (Bitset.equal a b)
+
+let test_copy_independent () =
+  let a = Bitset.of_list 10 [ 1 ] in
+  let b = Bitset.copy a in
+  Bitset.add b 2;
+  check_bool "original unchanged" false (Bitset.mem a 2)
+
+let test_choose () =
+  let s = Bitset.of_list 200 [ 150; 63; 199 ] in
+  check_int "choose = min" 63 (Bitset.choose s);
+  Alcotest.check_raises "choose empty" Not_found (fun () ->
+      ignore (Bitset.choose (Bitset.create 5)))
+
+let test_fold_iter_order () =
+  let s = Bitset.of_list 300 [ 250; 0; 62; 63; 64; 127 ] in
+  let seen = ref [] in
+  Bitset.iter (fun x -> seen := x :: !seen) s;
+  check_list "iter ascending" [ 0; 62; 63; 64; 127; 250 ] (List.rev !seen);
+  check_int "fold sum" (250 + 62 + 63 + 64 + 127) (Bitset.fold ( + ) s 0)
+
+let test_pp () =
+  let s = Bitset.of_list 10 [ 1; 4 ] in
+  Alcotest.(check string) "pp" "{1, 4}" (Format.asprintf "%a" Bitset.pp s)
+
+(* -- properties against the Set reference model -- *)
+
+let capacity = 200
+
+let gen_elems = QCheck2.Gen.(list_size (int_bound 80) (int_bound (capacity - 1)))
+
+let of_elems xs = Bitset.of_list capacity xs
+
+let model xs = Iset.of_list xs
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let prop_cardinal =
+  prop "cardinal matches model" gen_elems (fun xs ->
+      Bitset.cardinal (of_elems xs) = Iset.cardinal (model xs))
+
+let prop_elements =
+  prop "elements match sorted model" gen_elems (fun xs ->
+      Bitset.elements (of_elems xs) = Iset.elements (model xs))
+
+let two_lists = QCheck2.Gen.pair gen_elems gen_elems
+
+let prop_inter =
+  prop "inter matches model" two_lists (fun (xs, ys) ->
+      Bitset.elements (Bitset.inter (of_elems xs) (of_elems ys))
+      = Iset.elements (Iset.inter (model xs) (model ys)))
+
+let prop_union =
+  prop "union matches model" two_lists (fun (xs, ys) ->
+      Bitset.elements (Bitset.union (of_elems xs) (of_elems ys))
+      = Iset.elements (Iset.union (model xs) (model ys)))
+
+let prop_diff =
+  prop "diff matches model" two_lists (fun (xs, ys) ->
+      Bitset.elements (Bitset.diff (of_elems xs) (of_elems ys))
+      = Iset.elements (Iset.diff (model xs) (model ys)))
+
+let prop_inter_cardinal =
+  prop "inter_cardinal = cardinal of inter" two_lists (fun (xs, ys) ->
+      let a = of_elems xs and b = of_elems ys in
+      Bitset.inter_cardinal a b = Bitset.cardinal (Bitset.inter a b))
+
+let prop_subset =
+  prop "subset matches model" two_lists (fun (xs, ys) ->
+      Bitset.subset (of_elems xs) (of_elems ys) = Iset.subset (model xs) (model ys))
+
+let prop_disjoint =
+  prop "disjoint matches model" two_lists (fun (xs, ys) ->
+      Bitset.disjoint (of_elems xs) (of_elems ys) = Iset.disjoint (model xs) (model ys))
+
+let prop_remove =
+  prop "remove then mem is false" gen_elems (fun xs ->
+      let s = of_elems xs in
+      List.for_all
+        (fun x ->
+          Bitset.remove s x;
+          not (Bitset.mem s x))
+        xs)
+
+let suites =
+    [
+      ( "bitset:unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/mem across word boundaries" `Quick test_add_mem;
+          Alcotest.test_case "add idempotent" `Quick test_add_idempotent;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "out-of-range handling" `Quick test_out_of_range;
+          Alcotest.test_case "capacity mismatch raises" `Quick test_capacity_mismatch;
+          Alcotest.test_case "inter/union/diff" `Quick test_inter_union_diff;
+          Alcotest.test_case "subset/disjoint/equal" `Quick test_relations;
+          Alcotest.test_case "copy independence" `Quick test_copy_independent;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "iter/fold order" `Quick test_fold_iter_order;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ( "bitset:properties",
+        [
+          prop_cardinal;
+          prop_elements;
+          prop_inter;
+          prop_union;
+          prop_diff;
+          prop_inter_cardinal;
+          prop_subset;
+          prop_disjoint;
+          prop_remove;
+        ] );
+    ]

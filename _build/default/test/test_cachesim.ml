@@ -1,0 +1,240 @@
+(* Tests for the reference cache simulator and the Mattson one-pass
+   stack-distance simulator, including cross-validation of the two. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let lru ?(line_words = 1) ~depth ~associativity () =
+  Config.make ~line_words ~depth ~associativity ()
+
+let simulate ?line_words ~depth ~associativity addrs =
+  Cache.simulate_addresses (lru ?line_words ~depth ~associativity ()) addrs
+
+(* -- configuration validation -- *)
+
+let test_config_validation () =
+  Alcotest.check_raises "depth not power of two"
+    (Invalid_argument "Config.make: depth must be a positive power of two") (fun () ->
+      ignore (Config.make ~depth:3 ~associativity:1 ()));
+  Alcotest.check_raises "zero depth"
+    (Invalid_argument "Config.make: depth must be a positive power of two") (fun () ->
+      ignore (Config.make ~depth:0 ~associativity:1 ()));
+  Alcotest.check_raises "assoc < 1"
+    (Invalid_argument "Config.make: associativity must be >= 1") (fun () ->
+      ignore (Config.make ~depth:4 ~associativity:0 ()));
+  Alcotest.check_raises "bad line"
+    (Invalid_argument "Config.make: line_words must be a positive power of two")
+    (fun () -> ignore (Config.make ~line_words:3 ~depth:4 ~associativity:1 ()))
+
+let test_config_accessors () =
+  let c = Config.make ~line_words:4 ~depth:8 ~associativity:2 () in
+  check_int "size" 64 (Config.size_words c);
+  check_int "index bits" 3 (Config.index_bits c);
+  check_int "offset bits" 2 (Config.offset_bits c)
+
+(* -- direct-mapped behaviour -- *)
+
+let test_direct_mapped_conflict () =
+  (* 0 and 4 collide in a depth-4 cache; 1 does not. *)
+  let s = simulate ~depth:4 ~associativity:1 [| 0; 4; 0; 4; 1; 1 |] in
+  check_int "cold" 3 s.Cache.cold_misses;
+  check_int "misses" 2 s.Cache.misses;
+  check_int "hits" 1 s.Cache.hits
+
+let test_depth_one () =
+  let s = simulate ~depth:1 ~associativity:1 [| 7; 7; 8; 7 |] in
+  check_int "cold" 2 s.Cache.cold_misses;
+  check_int "misses" 1 s.Cache.misses;
+  check_int "hits" 1 s.Cache.hits
+
+(* -- LRU set-associative behaviour -- *)
+
+let test_lru_two_way () =
+  (* one set; 0 and 2 and 4 all map to it at depth 2 only if even --
+     use depth 1 so every address shares the set. *)
+  let s = simulate ~depth:1 ~associativity:2 [| 0; 1; 0; 2; 0; 1 |] in
+  (* 0:cold 1:cold 0:hit 2:cold(evict 1) 0:hit 1:miss(evicted) *)
+  check_int "cold" 3 s.Cache.cold_misses;
+  check_int "hits" 2 s.Cache.hits;
+  check_int "misses" 1 s.Cache.misses
+
+let test_lru_eviction_order () =
+  (* associativity 2, accesses 0,1 fill; touching 0 makes 1 the LRU
+     victim when 2 arrives; then 0 still hits, 1 misses. *)
+  let s = simulate ~depth:1 ~associativity:2 [| 0; 1; 0; 2; 0; 1 |] in
+  check_int "non-cold misses" 1 s.Cache.misses;
+  let s' = simulate ~depth:1 ~associativity:2 [| 0; 1; 1; 2; 0; 1 |] in
+  (* here 0 is the LRU victim for 2: 0 misses, 1 still resident *)
+  check_int "non-cold misses other order" 2 s'.Cache.misses
+
+let test_fully_associative_no_conflicts () =
+  let s = simulate ~depth:1 ~associativity:8 [| 1; 2; 3; 4; 1; 2; 3; 4 |] in
+  check_int "misses" 0 s.Cache.misses;
+  check_int "hits" 4 s.Cache.hits
+
+(* -- FIFO vs LRU -- *)
+
+let test_fifo_differs_from_lru () =
+  (* FIFO does not refresh on hit: after 0,1,0 the FIFO victim is 0,
+     while the LRU victim is 1. *)
+  let addrs = [| 0; 1; 0; 2; 0 |] in
+  let fifo =
+    Cache.simulate_addresses
+      (Config.make ~replacement:Config.Fifo ~depth:1 ~associativity:2 ())
+      addrs
+  in
+  let lru_stats = simulate ~depth:1 ~associativity:2 addrs in
+  check_int "LRU keeps 0 resident" 0 lru_stats.Cache.misses;
+  check_int "FIFO evicts 0" 1 fifo.Cache.misses
+
+let test_random_replacement_deterministic () =
+  let config seed = Config.make ~replacement:(Config.Random seed) ~depth:2 ~associativity:2 () in
+  let addrs = Array.init 200 (fun k -> (k * 7) mod 32) in
+  let a = Cache.simulate_addresses (config 42) addrs in
+  let b = Cache.simulate_addresses (config 42) addrs in
+  check_bool "same seed, same stats" true (a = b)
+
+(* -- write policies -- *)
+
+let test_write_back_writebacks () =
+  let config = Config.make ~depth:1 ~associativity:1 () in
+  let cache = Cache.create config in
+  ignore (Cache.access cache ~addr:0 ~write:true);
+  ignore (Cache.access cache ~addr:1 ~write:false);
+  (* dirty line 0 evicted *)
+  let s = Cache.stats cache in
+  check_int "writebacks" 1 s.Cache.writebacks
+
+let test_write_through_no_writebacks () =
+  let config = Config.make ~write_policy:Config.Write_through ~depth:1 ~associativity:1 () in
+  let cache = Cache.create config in
+  ignore (Cache.access cache ~addr:0 ~write:true);
+  ignore (Cache.access cache ~addr:1 ~write:false);
+  let s = Cache.stats cache in
+  check_int "writebacks" 0 s.Cache.writebacks
+
+(* -- line size -- *)
+
+let test_line_size_spatial_locality () =
+  let s = simulate ~line_words:4 ~depth:4 ~associativity:1 [| 0; 1; 2; 3; 4; 5; 6; 7 |] in
+  check_int "cold" 2 s.Cache.cold_misses;
+  check_int "hits" 6 s.Cache.hits;
+  check_int "misses" 0 s.Cache.misses
+
+let test_outcome_classification () =
+  let cache = Cache.create (Config.make ~depth:1 ~associativity:1 ()) in
+  check_bool "first is cold" true (Cache.access cache ~addr:0 ~write:false = Cache.Cold_miss);
+  check_bool "repeat hits" true (Cache.access cache ~addr:0 ~write:false = Cache.Hit);
+  check_bool "new addr cold" true (Cache.access cache ~addr:1 ~write:false = Cache.Cold_miss);
+  check_bool "return is conflict miss" true
+    (Cache.access cache ~addr:0 ~write:false = Cache.Miss)
+
+let test_stats_helpers () =
+  let s = simulate ~depth:1 ~associativity:1 [| 0; 1; 0; 1 |] in
+  check_int "total" 4 (Cache.total_misses s);
+  check_bool "rate" true (Cache.miss_rate s = 1.0);
+  let empty = simulate ~depth:1 ~associativity:1 [||] in
+  check_bool "empty rate" true (Cache.miss_rate empty = 0.0)
+
+(* -- properties -- *)
+
+let prop ?(count = 150) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let gen_trace = QCheck2.Gen.(array_size (int_range 1 400) (int_bound 127))
+
+let gen_depth_assoc =
+  QCheck2.Gen.(pair (map (fun k -> 1 lsl k) (int_bound 5)) (int_range 1 8))
+
+let prop_conservation =
+  prop "hits + misses = accesses" (QCheck2.Gen.pair gen_trace gen_depth_assoc)
+    (fun (addrs, (depth, associativity)) ->
+      let s = simulate ~depth ~associativity addrs in
+      s.Cache.hits + Cache.total_misses s = Array.length addrs
+      && s.Cache.accesses = Array.length addrs)
+
+let prop_cold_equals_unique =
+  prop "cold misses = unique lines" (QCheck2.Gen.pair gen_trace gen_depth_assoc)
+    (fun (addrs, (depth, associativity)) ->
+      let module Iset = Set.Make (Int) in
+      let s = simulate ~depth ~associativity addrs in
+      s.Cache.cold_misses = Iset.cardinal (Iset.of_list (Array.to_list addrs)))
+
+let prop_misses_monotone_in_assoc =
+  prop "LRU misses non-increasing in associativity"
+    (QCheck2.Gen.pair gen_trace (QCheck2.Gen.map (fun k -> 1 lsl k) (QCheck2.Gen.int_bound 4)))
+    (fun (addrs, depth) ->
+      let misses a = (simulate ~depth ~associativity:a addrs).Cache.misses in
+      let rec check a prev =
+        a > 9 || (let m = misses a in m <= prev && check (a + 1) m)
+      in
+      check 2 (misses 1))
+
+let prop_stack_sim_matches_cache =
+  prop "stack simulator = cache simulator for all associativities"
+    (QCheck2.Gen.pair gen_trace (QCheck2.Gen.map (fun k -> 1 lsl k) (QCheck2.Gen.int_bound 4)))
+    (fun (addrs, depth) ->
+      let trace = Trace.of_addresses addrs in
+      let result = Stack_sim.run ~depth trace in
+      List.for_all
+        (fun associativity ->
+          let sim = simulate ~depth ~associativity addrs in
+          Stack_sim.misses result ~associativity = sim.Cache.misses
+          && Stack_sim.total_misses result ~associativity = Cache.total_misses sim)
+        [ 1; 2; 3; 4; 5; 8 ])
+
+let prop_stack_histogram_conservation =
+  prop "stack histogram + cold = accesses" gen_trace (fun addrs ->
+      let result = Stack_sim.run ~depth:4 (Trace.of_addresses addrs) in
+      Array.fold_left ( + ) 0 result.Stack_sim.histogram + result.Stack_sim.cold
+      = Array.length addrs)
+
+let test_stack_min_associativity () =
+  let trace = Trace.of_addresses [| 0; 1; 0; 1; 0; 1 |] in
+  let result = Stack_sim.run ~depth:1 trace in
+  check_int "budget 0 needs 2 ways" 2 (Stack_sim.min_associativity result ~budget:0);
+  check_int "budget 4 allows direct" 1 (Stack_sim.min_associativity result ~budget:4);
+  check_int "budget 3 still needs 2" 2 (Stack_sim.min_associativity result ~budget:3)
+
+let test_stack_rejects_bad_depth () =
+  Alcotest.check_raises "depth" (Invalid_argument "Stack_sim.run: depth must be a positive power of two")
+    (fun () -> ignore (Stack_sim.run ~depth:3 (Trace.create ())))
+
+let suites =
+  [
+    ( "cachesim:config",
+      [
+        Alcotest.test_case "validation" `Quick test_config_validation;
+        Alcotest.test_case "accessors" `Quick test_config_accessors;
+      ] );
+    ( "cachesim:behaviour",
+      [
+        Alcotest.test_case "direct-mapped conflicts" `Quick test_direct_mapped_conflict;
+        Alcotest.test_case "depth one" `Quick test_depth_one;
+        Alcotest.test_case "two-way LRU" `Quick test_lru_two_way;
+        Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+        Alcotest.test_case "fully associative" `Quick test_fully_associative_no_conflicts;
+        Alcotest.test_case "FIFO differs from LRU" `Quick test_fifo_differs_from_lru;
+        Alcotest.test_case "random replacement deterministic" `Quick
+          test_random_replacement_deterministic;
+        Alcotest.test_case "write-back counts writebacks" `Quick test_write_back_writebacks;
+        Alcotest.test_case "write-through has none" `Quick test_write_through_no_writebacks;
+        Alcotest.test_case "line size spatial locality" `Quick test_line_size_spatial_locality;
+        Alcotest.test_case "outcome classification" `Quick test_outcome_classification;
+        Alcotest.test_case "stats helpers" `Quick test_stats_helpers;
+      ] );
+    ( "cachesim:properties",
+      [
+        prop_conservation;
+        prop_cold_equals_unique;
+        prop_misses_monotone_in_assoc;
+        prop_stack_sim_matches_cache;
+        prop_stack_histogram_conservation;
+      ] );
+    ( "cachesim:stack",
+      [
+        Alcotest.test_case "min associativity" `Quick test_stack_min_associativity;
+        Alcotest.test_case "rejects bad depth" `Quick test_stack_rejects_bad_depth;
+      ] );
+  ]

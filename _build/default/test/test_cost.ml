@@ -1,0 +1,211 @@
+(* Tests for the cost models and the Pareto instance selection. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let config ?(line_words = 1) depth associativity =
+  Config.make ~line_words ~depth ~associativity ()
+
+(* -- geometry -- *)
+
+let test_geometry () =
+  let g = Cache_cost.geometry (config ~line_words:4 64 2) in
+  check_int "index bits" 6 g.Cache_cost.index_bits;
+  check_int "offset bits" 2 g.Cache_cost.offset_bits;
+  check_int "tag bits" (32 - 6 - 2) g.Cache_cost.tag_bits;
+  check_int "bits per line" ((4 * 32) + 24 + 2) g.Cache_cost.bits_per_line;
+  check_int "total bits" (64 * 2 * 154) g.Cache_cost.total_bits
+
+(* -- monotonicity of the models -- *)
+
+let test_area_monotone () =
+  let area d a = (Cache_cost.estimate (config d a)).Cache_cost.area in
+  check_bool "deeper is bigger" true (area 64 1 < area 128 1);
+  check_bool "more ways is bigger" true (area 64 1 < area 64 2);
+  let line l = (Cache_cost.estimate (config ~line_words:l 64 1)).Cache_cost.area in
+  check_bool "wider lines are bigger" true (line 1 < line 4)
+
+let test_energy_monotone () =
+  let read d a = (Cache_cost.estimate (config d a)).Cache_cost.read_energy in
+  check_bool "more ways burn more" true (read 64 1 < read 64 4);
+  check_bool "write >= read" true
+    (let e = Cache_cost.estimate (config 64 2) in
+     e.Cache_cost.write_energy >= e.Cache_cost.read_energy)
+
+let test_time_monotone () =
+  let time d a = (Cache_cost.estimate (config d a)).Cache_cost.access_time in
+  check_bool "deeper is slower" true (time 16 1 < time 1024 1);
+  check_bool "more ways are slower" true (time 64 1 < time 64 8)
+
+let test_miss_costs_grow_with_line () =
+  check_bool "transfer energy" true
+    (Cache_cost.miss_transfer_energy (config 16 1)
+    < Cache_cost.miss_transfer_energy (config ~line_words:8 16 1));
+  check_bool "penalty time" true
+    (Cache_cost.miss_penalty_time (config 16 1)
+    < Cache_cost.miss_penalty_time (config ~line_words:8 16 1))
+
+(* -- bus activity -- *)
+
+let test_bus_activity_hand () =
+  (* 0 -> 1 -> 3: transitions = popcount(1) + popcount(2) = 2, plus the
+     initial 0 -> 0 contributes 0 *)
+  let a = Bus_cost.address_activity (Trace.of_addresses [| 0; 1; 3 |]) in
+  check_int "accesses" 3 a.Bus_cost.accesses;
+  check_int "transitions" 2 a.Bus_cost.transitions;
+  check_bool "per access" true (abs_float (Bus_cost.transitions_per_access a -. (2.0 /. 3.0)) < 1e-9)
+
+let test_bus_energy_weight () =
+  let a = Bus_cost.address_activity (Trace.of_addresses [| 0; 7 |]) in
+  check_bool "default weight" true (abs_float (Bus_cost.energy a -. (0.8 *. 3.0)) < 1e-9);
+  check_bool "custom weight" true (abs_float (Bus_cost.energy ~per_transition:2.0 a -. 6.0) < 1e-9)
+
+let test_gray_reduces_sequential_activity () =
+  let trace = Synthetic.sequential ~start:0 ~length:1024 in
+  let binary = Bus_cost.address_activity trace in
+  let gray = Bus_cost.gray_code_activity trace in
+  (* Gray code flips exactly one bit per increment *)
+  check_int "gray transitions" 1023 gray.Bus_cost.transitions;
+  check_bool "gray wins on sequential streams" true
+    (gray.Bus_cost.transitions < binary.Bus_cost.transitions)
+
+let test_bus_invert () =
+  (* alternating all-zeros / all-ones: raw coding flips every line, bus
+     invert flips only the invert line after the first transfer *)
+  let trace = Trace.of_addresses [| 0; 0xFF; 0; 0xFF; 0; 0xFF |] in
+  let raw = Bus_cost.address_activity trace in
+  let encoded = Bus_cost.bus_invert_activity ~width:8 trace in
+  check_int "raw transitions" 40 raw.Bus_cost.transitions;
+  check_int "encoded transitions" 5 encoded.Bus_cost.transitions;
+  (* never worse than the raw coding by more than one line per transfer *)
+  let random = Trace.of_addresses (Array.init 300 (fun k -> (k * 2654435761) land 0xFFFF)) in
+  let raw_r = Bus_cost.address_activity random in
+  let enc_r = Bus_cost.bus_invert_activity ~width:16 random in
+  check_bool "bounded overhead" true
+    (enc_r.Bus_cost.transitions <= raw_r.Bus_cost.transitions + raw_r.Bus_cost.accesses);
+  Alcotest.check_raises "width" (Invalid_argument "Bus_cost.bus_invert_activity: bad width")
+    (fun () -> ignore (Bus_cost.bus_invert_activity ~width:0 random))
+
+let prop_bus_invert_per_transfer_bound =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"bus-invert: at most (width+1)/2 flips per transfer"
+       QCheck2.Gen.(array_size (int_range 1 100) (int_bound 0xFFFF))
+       (fun addrs ->
+         let trace = Trace.of_addresses addrs in
+         let a = Bus_cost.bus_invert_activity ~width:16 trace in
+         a.Bus_cost.transitions <= (17 / 2 + 1) * a.Bus_cost.accesses))
+
+let test_empty_bus () =
+  let a = Bus_cost.address_activity (Trace.create ()) in
+  check_bool "no activity" true (Bus_cost.transitions_per_access a = 0.0)
+
+(* -- system evaluation -- *)
+
+let test_system_evaluation () =
+  let trace = Synthetic.loop ~base:0 ~body:16 ~iterations:8 in
+  let totals, stats = System_cost.evaluate_trace (config 16 1) trace in
+  check_int "no conflict misses" 0 stats.Cache.misses;
+  check_bool "energy positive" true (totals.System_cost.energy > 0.0);
+  check_bool "edp consistent" true
+    (abs_float (totals.System_cost.edp -. (totals.System_cost.energy *. totals.System_cost.time))
+    < 1e-6)
+
+let test_misses_cost_energy () =
+  (* same trace, thrashing direct-mapped vs a deeper direct-mapped cache
+     that fits (same per-access structure, so misses drive the delta) *)
+  let trace = Synthetic.strided ~base:0 ~stride:16 ~count:8 ~iterations:32 in
+  let thrash, thrash_stats = System_cost.evaluate_trace (config 16 1) trace in
+  let fits, fits_stats = System_cost.evaluate_trace (config 128 1) trace in
+  check_bool "thrashing misses" true (thrash_stats.Cache.misses > 0);
+  check_int "fitting has none" 0 fits_stats.Cache.misses;
+  check_bool "misses dominate energy" true
+    (thrash.System_cost.energy > fits.System_cost.energy);
+  check_bool "misses dominate time" true (thrash.System_cost.time > fits.System_cost.time)
+
+(* -- Pareto selection -- *)
+
+let sample_trace = lazy (Workload.data_trace (Registry.find "engine"))
+
+let test_pareto_candidates_meet_budget () =
+  let trace = Lazy.force sample_trace in
+  let stats = Stats.compute trace in
+  let k = Stats.budget stats ~percent:10 in
+  let points = Pareto.candidates trace ~k in
+  check_bool "non-empty" true (points <> []);
+  List.iter
+    (fun (p : Pareto.point) ->
+      check_bool "meets budget analytically" true (p.Pareto.misses <= k);
+      let sim =
+        Cache.simulate
+          (Config.make ~depth:p.Pareto.depth ~associativity:p.Pareto.associativity ())
+          trace
+      in
+      check_bool "meets budget in simulation" true (sim.Cache.misses <= k))
+    points
+
+let test_pareto_frontier_sound () =
+  let trace = Lazy.force sample_trace in
+  let points = Pareto.candidates trace ~k:200 in
+  let frontier = Pareto.frontier points in
+  check_bool "frontier non-empty" true (frontier <> []);
+  check_bool "frontier subset" true
+    (List.for_all (fun p -> List.memq p points) frontier);
+  (* no frontier point dominated by any candidate *)
+  check_bool "frontier undominated" true
+    (List.for_all
+       (fun p -> not (List.exists (fun q -> Pareto.dominates q p) points))
+       frontier);
+  (* every excluded point is dominated by someone *)
+  check_bool "excluded points are dominated" true
+    (List.for_all
+       (fun p ->
+         List.memq p frontier || List.exists (fun q -> Pareto.dominates q p) points)
+       points)
+
+let test_dominates_relation () =
+  let mk e t a : Pareto.point =
+    {
+      Pareto.depth = 1;
+      associativity = 1;
+      size_words = 1;
+      misses = 0;
+      totals = { System_cost.energy = e; time = t; area = a; edp = e *. t };
+    }
+  in
+  check_bool "strictly better" true (Pareto.dominates (mk 1. 1. 1.) (mk 2. 2. 2.));
+  check_bool "equal does not dominate" false (Pareto.dominates (mk 1. 1. 1.) (mk 1. 1. 1.));
+  check_bool "trade-off does not dominate" false (Pareto.dominates (mk 1. 3. 1.) (mk 2. 2. 2.));
+  check_bool "one-axis improvement dominates" true (Pareto.dominates (mk 1. 2. 2.) (mk 2. 2. 2.))
+
+let suites =
+  [
+    ( "cost:cache",
+      [
+        Alcotest.test_case "geometry" `Quick test_geometry;
+        Alcotest.test_case "area monotone" `Quick test_area_monotone;
+        Alcotest.test_case "energy monotone" `Quick test_energy_monotone;
+        Alcotest.test_case "time monotone" `Quick test_time_monotone;
+        Alcotest.test_case "miss costs grow with line" `Quick test_miss_costs_grow_with_line;
+      ] );
+    ( "cost:bus",
+      [
+        Alcotest.test_case "hand-computed activity" `Quick test_bus_activity_hand;
+        Alcotest.test_case "energy weight" `Quick test_bus_energy_weight;
+        Alcotest.test_case "gray coding" `Quick test_gray_reduces_sequential_activity;
+        Alcotest.test_case "bus-invert coding" `Quick test_bus_invert;
+        prop_bus_invert_per_transfer_bound;
+        Alcotest.test_case "empty trace" `Quick test_empty_bus;
+      ] );
+    ( "cost:system",
+      [
+        Alcotest.test_case "evaluation" `Quick test_system_evaluation;
+        Alcotest.test_case "misses cost energy and time" `Quick test_misses_cost_energy;
+      ] );
+    ( "cost:pareto",
+      [
+        Alcotest.test_case "candidates meet budget" `Slow test_pareto_candidates_meet_budget;
+        Alcotest.test_case "frontier soundness" `Quick test_pareto_frontier_sound;
+        Alcotest.test_case "dominance relation" `Quick test_dominates_relation;
+      ] );
+  ]

@@ -1,0 +1,177 @@
+(* Tests for the two-level hierarchy and the victim-buffer cache. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let l1 depth = Config.make ~depth ~associativity:1 ()
+
+let small_hierarchy () =
+  Hierarchy.create ~l1i:(l1 4) ~l1d:(l1 4) ~l2:(Config.make ~depth:64 ~associativity:2 ()) ()
+
+(* -- hierarchy -- *)
+
+let test_routing () =
+  let h = small_hierarchy () in
+  ignore (Hierarchy.access h ~addr:0 ~kind:Trace.Fetch);
+  ignore (Hierarchy.access h ~addr:0 ~kind:Trace.Read);
+  ignore (Hierarchy.access h ~addr:1 ~kind:Trace.Write);
+  let s = Hierarchy.stats h in
+  check_int "fetches to l1i" 1 s.Hierarchy.l1i.Cache.accesses;
+  check_int "reads+writes to l1d" 2 s.Hierarchy.l1d.Cache.accesses;
+  (* all three were L1 misses, so the L2 saw three fills *)
+  check_int "l2 fills" 3 s.Hierarchy.l2.Cache.accesses
+
+let test_l2_filters_hits () =
+  let h = small_hierarchy () in
+  for _round = 1 to 10 do
+    ignore (Hierarchy.access h ~addr:7 ~kind:Trace.Read)
+  done;
+  let s = Hierarchy.stats h in
+  check_int "one l2 access only" 1 s.Hierarchy.l2.Cache.accesses;
+  check_int "nine l1 hits" 9 s.Hierarchy.l1d.Cache.hits
+
+let test_harvard_separation () =
+  (* same numeric address as fetch and read must not alias in the L2 *)
+  let h = small_hierarchy () in
+  ignore (Hierarchy.access h ~addr:5 ~kind:Trace.Fetch);
+  ignore (Hierarchy.access h ~addr:5 ~kind:Trace.Read);
+  let s = Hierarchy.stats h in
+  check_int "two distinct l2 cold misses" 2 s.Hierarchy.l2.Cache.cold_misses
+
+let test_l2_absorbs_l1_conflicts () =
+  (* addresses 0 and 4 thrash a depth-4 L1 but coexist in the L2 *)
+  let h = small_hierarchy () in
+  for _round = 1 to 50 do
+    ignore (Hierarchy.access h ~addr:0 ~kind:Trace.Read);
+    ignore (Hierarchy.access h ~addr:4 ~kind:Trace.Read)
+  done;
+  let s = Hierarchy.stats h in
+  check_int "l1 thrashes" 98 s.Hierarchy.l1d.Cache.misses;
+  check_int "l2 serves the ping-pong" 0 s.Hierarchy.l2.Cache.misses;
+  check_int "l2 cold only" 2 s.Hierarchy.l2.Cache.cold_misses
+
+let test_simulate_mixed () =
+  let trace =
+    Trace.of_list
+      [
+        { Trace.addr = 0; kind = Trace.Fetch };
+        { Trace.addr = 0; kind = Trace.Read };
+        { Trace.addr = 0; kind = Trace.Fetch };
+      ]
+  in
+  let s =
+    Hierarchy.simulate ~l1i:(l1 4) ~l1d:(l1 4) ~l2:(Config.make ~depth:16 ~associativity:1 ())
+      trace
+  in
+  check_int "i hits" 1 s.Hierarchy.l1i.Cache.hits;
+  check_int "d accesses" 1 s.Hierarchy.l1d.Cache.accesses
+
+let test_simulate_split_interleave () =
+  let itrace = Trace.of_addresses ~kind:Trace.Fetch [| 0; 1; 2; 3 |] in
+  let dtrace = Trace.of_addresses [| 9; 10 |] in
+  let s =
+    Hierarchy.simulate_split ~l1i:(l1 4) ~l1d:(l1 4)
+      ~l2:(Config.make ~depth:16 ~associativity:1 ())
+      ~itrace ~dtrace
+  in
+  check_int "all fetches played" 4 s.Hierarchy.l1i.Cache.accesses;
+  check_int "all data played" 2 s.Hierarchy.l1d.Cache.accesses
+
+let test_amat () =
+  let h = small_hierarchy () in
+  ignore (Hierarchy.access h ~addr:0 ~kind:Trace.Read);
+  (* 1 access: l1 miss, l2 miss: amat = (1*1 + 1*8 + 1*40) / 1 *)
+  check_bool "amat" true (abs_float (Hierarchy.amat (Hierarchy.stats h) -. 49.0) < 1e-9);
+  ignore (Hierarchy.access h ~addr:0 ~kind:Trace.Read);
+  (* second access hits: (2*1 + 8 + 40) / 2 = 25 *)
+  check_bool "amat after hit" true
+    (abs_float (Hierarchy.amat (Hierarchy.stats h) -. 25.0) < 1e-9);
+  check_bool "empty amat" true
+    (Hierarchy.amat
+       (Hierarchy.stats (small_hierarchy ()))
+    = 1.0)
+
+let test_amat_prefers_good_l1_on_real_trace () =
+  let bench = Registry.find "des" in
+  let itrace, dtrace = Workload.traces bench in
+  let l2 = Config.make ~depth:1024 ~associativity:4 () in
+  let amat_for depth_i =
+    let s = Hierarchy.simulate_split ~l1i:(l1 depth_i) ~l1d:(l1 256) ~l2 ~itrace ~dtrace in
+    Hierarchy.amat s
+  in
+  check_bool "bigger l1i helps this kernel" true (amat_for 128 < amat_for 2)
+
+(* -- victim buffer -- *)
+
+let test_victim_zero_entries_is_direct_mapped () =
+  let trace = Trace.of_addresses [| 0; 4; 0; 4; 0 |] in
+  let v = Victim.simulate ~depth:4 ~victim_entries:0 trace in
+  let plain = Cache.simulate (Config.make ~depth:4 ~associativity:1 ()) trace in
+  check_int "same misses" plain.Cache.misses v.Victim.misses;
+  check_int "same colds" plain.Cache.cold_misses v.Victim.cold_misses;
+  check_int "no victim hits" 0 v.Victim.victim_hits
+
+let test_victim_absorbs_pingpong () =
+  (* 0 and 4 conflict in the array; a 1-entry buffer catches every bounce *)
+  let trace = Trace.of_addresses [| 0; 4; 0; 4; 0; 4 |] in
+  let v = Victim.simulate ~depth:4 ~victim_entries:1 trace in
+  check_int "cold" 2 v.Victim.cold_misses;
+  check_int "misses" 0 v.Victim.misses;
+  check_int "victim hits" 4 v.Victim.victim_hits
+
+let test_victim_capacity_limit () =
+  (* three-way ping-pong overwhelms a 1-entry buffer but not a 2-entry *)
+  let trace = Trace.of_addresses [| 0; 4; 8; 0; 4; 8; 0; 4; 8 |] in
+  let one = Victim.simulate ~depth:4 ~victim_entries:1 trace in
+  let two = Victim.simulate ~depth:4 ~victim_entries:2 trace in
+  check_int "one entry cannot hold both victims" 6 one.Victim.misses;
+  check_int "two entries catch every bounce" 0 two.Victim.misses;
+  check_int "two-entry victim hits" 6 two.Victim.victim_hits
+
+let test_victim_accounting () =
+  let trace = Trace.of_addresses (Array.init 200 (fun k -> (k * 13) mod 64)) in
+  let v = Victim.simulate ~depth:8 ~victim_entries:4 trace in
+  check_int "conservation" 200
+    (v.Victim.l1_hits + v.Victim.victim_hits + v.Victim.cold_misses + v.Victim.misses)
+
+let prop_victim_never_worse =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:150 ~name:"victim buffer never increases misses"
+       QCheck2.Gen.(array_size (int_range 1 300) (int_bound 63))
+       (fun addrs ->
+         let trace = Trace.of_addresses addrs in
+         let without = Victim.simulate ~depth:8 ~victim_entries:0 trace in
+         let with_buffer = Victim.simulate ~depth:8 ~victim_entries:4 trace in
+         with_buffer.Victim.misses <= without.Victim.misses))
+
+let test_victim_validation () =
+  Alcotest.check_raises "depth" (Invalid_argument "Victim.create: depth must be a positive power of two")
+    (fun () -> ignore (Victim.create ~depth:3 ~victim_entries:1 ()));
+  Alcotest.check_raises "entries" (Invalid_argument "Victim.create: negative victim_entries")
+    (fun () -> ignore (Victim.create ~depth:4 ~victim_entries:(-1) ()))
+
+let suites =
+  [
+    ( "hierarchy:two-level",
+      [
+        Alcotest.test_case "routing" `Quick test_routing;
+        Alcotest.test_case "L2 sees only L1 misses" `Quick test_l2_filters_hits;
+        Alcotest.test_case "Harvard separation in L2" `Quick test_harvard_separation;
+        Alcotest.test_case "L2 absorbs L1 conflicts" `Quick test_l2_absorbs_l1_conflicts;
+        Alcotest.test_case "mixed-trace simulate" `Quick test_simulate_mixed;
+        Alcotest.test_case "split-trace interleave" `Quick test_simulate_split_interleave;
+        Alcotest.test_case "amat" `Quick test_amat;
+        Alcotest.test_case "amat on a real kernel" `Slow test_amat_prefers_good_l1_on_real_trace;
+      ] );
+    ( "hierarchy:victim",
+      [
+        Alcotest.test_case "zero entries = direct mapped" `Quick
+          test_victim_zero_entries_is_direct_mapped;
+        Alcotest.test_case "absorbs ping-pong" `Quick test_victim_absorbs_pingpong;
+        Alcotest.test_case "capacity limit" `Quick test_victim_capacity_limit;
+        Alcotest.test_case "accounting" `Quick test_victim_accounting;
+        prop_victim_never_worse;
+        Alcotest.test_case "validation" `Quick test_victim_validation;
+      ] );
+  ]

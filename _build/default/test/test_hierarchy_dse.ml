@@ -1,0 +1,73 @@
+(* Tests for the L2 exploration over L1 miss streams. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let l1 depth = Config.make ~depth ~associativity:1 ()
+
+let test_miss_stream_contents () =
+  let trace = Trace.of_addresses [| 0; 0; 4; 0; 1 |] in
+  let stats, misses = Cache.miss_stream (l1 4) trace in
+  (* 0 cold, 0 hit, 4 cold(evicts 0 in row 0), 0 miss, 1 cold *)
+  check_int "total misses" 4 (Cache.total_misses stats);
+  Alcotest.(check (array int)) "stream" [| 0; 4; 0; 1 |] (Trace.addresses misses)
+
+let test_miss_stream_preserves_kinds () =
+  let trace =
+    Trace.of_list
+      [ { Trace.addr = 0; kind = Trace.Write }; { Trace.addr = 4; kind = Trace.Read } ]
+  in
+  let _, misses = Cache.miss_stream (l1 4) trace in
+  check_bool "kinds" true
+    (Trace.equal_kind Trace.Write (Trace.kind misses 0)
+    && Trace.equal_kind Trace.Read (Trace.kind misses 1))
+
+let test_l2_exploration_consistent () =
+  let bench = Registry.find "ucbqsort" in
+  let itrace, dtrace = Workload.traces bench in
+  let result =
+    Hierarchy_dse.explore ~l1i:(l1 64) ~l1d:(l1 64) ~itrace ~dtrace ~max_level:8 ()
+  in
+  (* the L2 stream length is exactly the total L1 misses *)
+  check_int "stream length"
+    (Cache.total_misses result.Hierarchy_dse.l1i_stats
+    + Cache.total_misses result.Hierarchy_dse.l1d_stats)
+    (Trace.length result.Hierarchy_dse.l2_stream);
+  (* every L2 instance in the 5% column meets its budget when simulated
+     over the same stream *)
+  let table = result.Hierarchy_dse.table in
+  let budget = List.hd table.Analytical_dse.budgets in
+  List.iter
+    (fun (depth, assocs) ->
+      let associativity = List.hd assocs in
+      let sim =
+        Cache.simulate (Config.make ~depth ~associativity ()) result.Hierarchy_dse.l2_stream
+      in
+      check_bool
+        (Printf.sprintf "L2 %dx%d within budget" depth associativity)
+        true (sim.Cache.misses <= budget))
+    table.Analytical_dse.rows
+
+let test_l2_sees_less_with_bigger_l1 () =
+  let bench = Registry.find "des" in
+  let itrace, dtrace = Workload.traces bench in
+  let stream_length l1_depth =
+    let result =
+      Hierarchy_dse.explore ~l1i:(l1 l1_depth) ~l1d:(l1 l1_depth) ~itrace ~dtrace
+        ~max_level:4 ()
+    in
+    Trace.length result.Hierarchy_dse.l2_stream
+  in
+  check_bool "bigger L1 filters more" true (stream_length 256 < stream_length 4)
+
+let suites =
+  [
+    ( "hierarchy_dse",
+      [
+        Alcotest.test_case "miss stream contents" `Quick test_miss_stream_contents;
+        Alcotest.test_case "miss stream kinds" `Quick test_miss_stream_preserves_kinds;
+        Alcotest.test_case "L2 exploration consistent" `Slow test_l2_exploration_consistent;
+        Alcotest.test_case "bigger L1 filters more" `Slow test_l2_sees_less_with_bigger_l1;
+      ] );
+  ]

@@ -1,0 +1,498 @@
+(* Tests for the MiniC compiler: operator semantics, control flow,
+   functions and recursion, arrays with bounds checking, error
+   reporting, and a property test compiling random constant expressions
+   against a reference evaluator. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let run_source source =
+  Machine.return_value (Mc_codegen.run (Mc_codegen.compile source))
+
+let returns expected source = check_int "result" expected (run_source source)
+
+let main_returning expr = Printf.sprintf "int main() { return %s; }" expr
+
+(* -- expressions -- *)
+
+let test_arithmetic () =
+  returns 7 (main_returning "3 + 4");
+  returns (-1) (main_returning "3 - 4");
+  returns 12 (main_returning "3 * 4");
+  returns 3 (main_returning "7 / 2");
+  returns (-3) (main_returning "-7 / 2");
+  returns 1 (main_returning "7 % 2");
+  returns (-1) (main_returning "-7 % 2");
+  returns 20 (main_returning "2 + 3 * 6");
+  returns 30 (main_returning "(2 + 3) * 6")
+
+let test_bitwise () =
+  returns 0b1000 (main_returning "12 & 10");
+  returns 0b1110 (main_returning "12 | 10");
+  returns 0b0110 (main_returning "12 ^ 10");
+  returns 40 (main_returning "5 << 3");
+  returns 5 (main_returning "40 >> 3");
+  returns (-1) (main_returning "-1 >> 4");
+  returns (-8) (main_returning "~7")
+
+let test_comparisons () =
+  returns 1 (main_returning "3 < 4");
+  returns 0 (main_returning "4 < 3");
+  returns 1 (main_returning "4 <= 4");
+  returns 1 (main_returning "5 > 4");
+  returns 0 (main_returning "4 >= 5");
+  returns 1 (main_returning "4 == 4");
+  returns 1 (main_returning "4 != 5");
+  returns 1 (main_returning "-1 < 0")
+
+let test_logical () =
+  returns 1 (main_returning "1 && 2");
+  returns 0 (main_returning "0 && 1");
+  returns 1 (main_returning "0 || 3");
+  returns 0 (main_returning "0 || 0");
+  returns 1 (main_returning "!0");
+  returns 0 (main_returning "!7");
+  returns (-5) (main_returning "-(2 + 3)")
+
+let test_short_circuit () =
+  (* the right operand must not run when the left decides *)
+  returns 42
+    {|
+    int touched;
+    int poke() { touched = 1; return 1; }
+    int main() {
+      int ok;
+      ok = 0 && poke();
+      ok = 1 || poke();
+      if (touched == 0) { return 42; }
+      return 0;
+    }
+    |}
+
+let test_wrap_semantics () =
+  returns (-2147483648) (main_returning "2147483647 + 1");
+  returns 0 (main_returning "65536 * 65536");
+  returns 1 (main_returning "0x10001 & 1")
+
+(* -- control flow and functions -- *)
+
+let test_if_else_chain () =
+  returns 2
+    {|
+    int classify(int x) {
+      if (x < 0) { return 0; }
+      else if (x == 0) { return 1; }
+      else { return 2; }
+    }
+    int main() { return classify(5); }
+    |}
+
+let test_while_loop () =
+  returns 5050
+    {|
+    int main() {
+      int total;
+      int i;
+      i = 1;
+      while (i <= 100) { total = total + i; i = i + 1; }
+      return total;
+    }
+    |}
+
+let test_locals_zero_initialised () =
+  returns 0 "int main() { int x; return x; }"
+
+let test_recursion () =
+  returns 6765
+    {|
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { return fib(20); }
+    |}
+
+let test_mutual_recursion () =
+  returns 1
+    {|
+    int main() { return is_even(10); }
+    int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+    int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+    |}
+
+let test_four_arguments () =
+  returns 1234
+    {|
+    int mix(int a, int b, int c, int d) { return a * 1000 + b * 100 + c * 10 + d; }
+    int main() { return mix(1, 2, 3, 4); }
+    |}
+
+let test_fall_off_returns_zero () =
+  returns 0 "int main() { int x; x = 5; }"
+
+let test_for_loop () =
+  returns 5050
+    {|
+    int main() {
+      int total;
+      int i;
+      for (i = 1; i <= 100; i = i + 1) { total = total + i; }
+      return total;
+    }
+    |};
+  (* empty condition means forever; break terminates *)
+  returns 10
+    {|
+    int main() {
+      int i;
+      for (;;) {
+        i = i + 1;
+        if (i == 10) { break; }
+      }
+      return i;
+    }
+    |}
+
+let test_break_continue () =
+  returns 2550
+    {|
+    int main() {
+      int total;
+      int i;
+      for (i = 1; i <= 100; i = i + 1) {
+        if (i % 2 == 1) { continue; }
+        total = total + i;
+      }
+      return total;
+    }
+    |};
+  returns 7
+    {|
+    int main() {
+      int i;
+      i = 0;
+      while (1) {
+        i = i + 1;
+        if (i >= 7) { break; }
+      }
+      return i;
+    }
+    |};
+  (* continue in a for-loop still runs the update clause *)
+  returns 100
+    {|
+    int main() {
+      int i;
+      int n;
+      for (i = 0; i < 100; i = i + 1) { continue; }
+      n = i;
+      return n;
+    }
+    |}
+
+let test_break_outside_loop_rejected () =
+  check_bool "break" true
+    (match Mc_codegen.compile "int main() { break; return 0; }" with
+    | _ -> false
+    | exception Failure _ -> true);
+  check_bool "continue" true
+    (match Mc_codegen.compile "int main() { continue; return 0; }" with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let test_nested_loop_break () =
+  returns 45
+    {|
+    int main() {
+      int i; int j; int total;
+      for (i = 0; i < 10; i = i + 1) {
+        for (j = 0; j < 10; j = j + 1) {
+          if (j > i) { break; }
+          total = total + 1;
+        }
+      }
+      return total - 10;
+    }
+    |}
+
+(* -- globals and arrays -- *)
+
+let test_globals () =
+  returns 30
+    {|
+    int a;
+    int b;
+    int set() { a = 10; b = 20; return 0; }
+    int main() { set(); return a + b; }
+    |}
+
+let test_arrays () =
+  returns 285
+    {|
+    int squares[10];
+    int main() {
+      int i;
+      int total;
+      i = 0;
+      while (i < 10) { squares[i] = i * i; i = i + 1; }
+      i = 0;
+      while (i < 10) { total = total + squares[i]; i = i + 1; }
+      return total;
+    }
+    |}
+
+let test_bounds_trap () =
+  let source = "int a[4]; int main() { return a[7]; }" in
+  check_int "trap code" Mc_codegen.bounds_trap_code (run_source source);
+  let negative = "int a[4]; int main() { return a[0 - 1]; }" in
+  check_int "negative index traps" Mc_codegen.bounds_trap_code (run_source negative)
+
+let test_bounds_disabled () =
+  let source = "int a[4]; int b; int main() { b = 9; return a[4]; }" in
+  let compiled = Mc_codegen.compile ~bounds_checks:false source in
+  (* a[4] is b in the global layout: no trap, reads 9 *)
+  check_int "reads past the array" 9 (Machine.return_value (Mc_codegen.run compiled))
+
+let test_global_layout () =
+  let compiled = Mc_codegen.compile "int a[3]; int b; int main() { return 0; }" in
+  check_bool "layout" true
+    (compiled.Mc_codegen.globals = [ ("a", 0, 3); ("b", 3, 1) ]);
+  check_int "total words" 4 compiled.Mc_codegen.globals_words
+
+(* -- errors -- *)
+
+let fails_with fragment source =
+  match Mc_codegen.compile source with
+  | _ -> false
+  | exception Failure msg ->
+    let n = String.length msg and m = String.length fragment in
+    let rec scan k = k + m <= n && (String.sub msg k m = fragment || scan (k + 1)) in
+    scan 0
+
+let test_errors () =
+  check_bool "missing main" true (fails_with "no main" "int f() { return 1; }");
+  check_bool "unknown variable" true (fails_with "unknown variable" "int main() { return x; }");
+  check_bool "unknown function" true (fails_with "undefined function" "int main() { return f(); }");
+  check_bool "arity" true
+    (fails_with "expects" "int f(int x) { return x; } int main() { return f(); }");
+  check_bool "duplicate global" true (fails_with "duplicate global" "int a; int a; int main() { return 0; }");
+  check_bool "duplicate function" true
+    (fails_with "duplicate function" "int f() { return 0; } int f() { return 1; } int main() { return 0; }");
+  check_bool "duplicate local" true
+    (fails_with "duplicate local" "int main() { int x; int x; return 0; }");
+  check_bool "five parameters" true
+    (fails_with "more than 4"
+       "int f(int a, int b, int c, int d, int e) { return 0; } int main() { return 0; }");
+  check_bool "array as scalar" true
+    (fails_with "without an index" "int a[3]; int main() { return a; }");
+  check_bool "scalar indexed" true
+    (fails_with "is not an array" "int a; int main() { return a[0]; }");
+  check_bool "assign to expression" true
+    (match Mc_codegen.compile "int main() { 1 + 2 = 3; return 0; }" with
+    | _ -> false
+    | exception Failure _ -> true);
+  check_bool "parse error" true
+    (match Mc_codegen.compile "int main() { return 1 +; }" with
+    | _ -> false
+    | exception Failure _ -> true);
+  check_bool "lexer error" true
+    (match Mc_codegen.compile "int main() { return `; }" with
+    | _ -> false
+    | exception Failure _ -> true)
+
+let test_main_with_args_rejected () =
+  check_bool "main arity" true
+    (fails_with "main must take no arguments" "int main(int x) { return x; }")
+
+let test_comments_and_hex () =
+  returns 255
+    {|
+    /* block
+       comment */
+    int main() {
+      // line comment
+      return 0xF0 | 0x0F;
+    }
+    |}
+
+(* -- traces -- *)
+
+let test_traces_nonempty () =
+  let compiled =
+    Mc_codegen.compile
+      {|
+      int a[64];
+      int main() {
+        int i;
+        i = 0;
+        while (i < 64) { a[i] = i; i = i + 1; }
+        return a[63];
+      }
+      |}
+  in
+  let itrace, dtrace = Mc_codegen.traces compiled in
+  check_bool "instruction trace" true (Trace.length itrace > 100);
+  check_bool "data trace has writes" true
+    (Trace.to_list dtrace |> List.exists (fun a -> Trace.equal_kind Trace.Write a.Trace.kind));
+  (* the compiled code must also round-trip the binary encoder *)
+  check_bool "encodes" true
+    (Encode.decode_program (Encode.encode_program compiled.Mc_codegen.program)
+    = compiled.Mc_codegen.program)
+
+(* -- property: random constant expressions -- *)
+
+let rec eval_reference expr =
+  match expr with
+  | Mc_ast.Int v -> W32.sign32 v
+  | Mc_ast.Unary (Mc_ast.Neg, e) -> W32.sub 0 (eval_reference e)
+  | Mc_ast.Unary (Mc_ast.Not, e) -> if eval_reference e = 0 then 1 else 0
+  | Mc_ast.Unary (Mc_ast.Bit_not, e) -> W32.sign32 (lnot (eval_reference e))
+  | Mc_ast.Binary (op, l, r) ->
+    let a = eval_reference l and b = eval_reference r in
+    W32.sign32
+      (match op with
+      | Mc_ast.Add -> W32.add a b
+      | Mc_ast.Sub -> W32.sub a b
+      | Mc_ast.Mul -> W32.mul a b
+      | Mc_ast.Div -> if b = 0 then 0 else a / b
+      | Mc_ast.Mod -> if b = 0 then a else a mod b
+      | Mc_ast.Bit_and -> a land b
+      | Mc_ast.Bit_or -> a lor b
+      | Mc_ast.Bit_xor -> a lxor b
+      | Mc_ast.Shl -> W32.sll a (b land 31)
+      | Mc_ast.Shr -> W32.sra a (b land 31)
+      | Mc_ast.Lt -> if a < b then 1 else 0
+      | Mc_ast.Le -> if a <= b then 1 else 0
+      | Mc_ast.Gt -> if a > b then 1 else 0
+      | Mc_ast.Ge -> if a >= b then 1 else 0
+      | Mc_ast.Eq -> if a = b then 1 else 0
+      | Mc_ast.Ne -> if a <> b then 1 else 0
+      | Mc_ast.And -> if a <> 0 && b <> 0 then 1 else 0
+      | Mc_ast.Or -> if a <> 0 || b <> 0 then 1 else 0)
+  | Mc_ast.Var _ | Mc_ast.Index _ | Mc_ast.Call _ -> assert false
+
+let rec render expr =
+  match expr with
+  | Mc_ast.Int v -> if v < 0 then Printf.sprintf "(0 - %d)" (-v) else string_of_int v
+  | Mc_ast.Unary (op, e) ->
+    let symbol = match op with Mc_ast.Neg -> "-" | Mc_ast.Not -> "!" | Mc_ast.Bit_not -> "~" in
+    Printf.sprintf "(%s%s)" symbol (render e)
+  | Mc_ast.Binary (op, l, r) ->
+    Printf.sprintf "(%s %s %s)" (render l) (Format.asprintf "%a" Mc_ast.pp_binop op) (render r)
+  | Mc_ast.Var _ | Mc_ast.Index _ | Mc_ast.Call _ -> assert false
+
+let gen_expr =
+  let open QCheck2.Gen in
+  let leaf = map (fun v -> Mc_ast.Int v) (int_range (-1000) 1000) in
+  let unop = oneofl [ Mc_ast.Neg; Mc_ast.Not; Mc_ast.Bit_not ] in
+  let binop =
+    oneofl
+      Mc_ast.
+        [
+          Add; Sub; Mul; Div; Mod; Bit_and; Bit_or; Bit_xor; Lt; Le; Gt; Ge; Eq; Ne; And;
+          Or;
+        ]
+  in
+  let shift_amount = map (fun v -> Mc_ast.Int v) (int_range 0 31) in
+  sized (fun size ->
+      fix
+        (fun self size ->
+          if size <= 1 then leaf
+          else
+            oneof
+              [
+                leaf;
+                map2 (fun op e -> Mc_ast.Unary (op, e)) unop (self (size / 2));
+                map3
+                  (fun op l r -> Mc_ast.Binary (op, l, r))
+                  binop (self (size / 2)) (self (size / 2));
+                map2
+                  (fun l r -> Mc_ast.Binary (Mc_ast.Shl, l, r))
+                  (self (size / 2)) shift_amount;
+                map2
+                  (fun l r -> Mc_ast.Binary (Mc_ast.Shr, l, r))
+                  (self (size / 2)) shift_amount;
+              ])
+        (min size 12))
+
+let test_stack_balanced_after_main () =
+  (* the machine must return with $sp restored to the startup stack top:
+     every push in the generated code is matched *)
+  let compiled =
+    Mc_codegen.compile
+      {|
+      int a[16];
+      int helper(int x, int y) { return (x + y) * (x - y); }
+      int main() {
+        int i;
+        for (i = 0; i < 16; i = i + 1) { a[i] = helper(i, i / 2); }
+        return a[15];
+      }
+      |}
+  in
+  let result = Mc_codegen.run compiled in
+  check_int "sp restored" (compiled.Mc_codegen.mem_words - 8) result.Machine.registers.(29)
+
+let prop_lexer_never_crashes =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"random input raises Failure, never crashes"
+       QCheck2.Gen.(string_size ~gen:(char_range ' ' '~') (int_bound 80))
+       (fun junk ->
+         match Mc_codegen.compile junk with
+         | _ -> true
+         | exception Failure _ -> true
+         | exception _ -> false))
+
+let prop_compiled_equals_reference =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"compiled constant expressions match reference"
+       gen_expr (fun expr ->
+         let source = Printf.sprintf "int main() { return %s; }" (render expr) in
+         run_source source = eval_reference expr))
+
+let suites =
+  [
+    ( "minic:expressions",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+        Alcotest.test_case "bitwise" `Quick test_bitwise;
+        Alcotest.test_case "comparisons" `Quick test_comparisons;
+        Alcotest.test_case "logical" `Quick test_logical;
+        Alcotest.test_case "short-circuit" `Quick test_short_circuit;
+        Alcotest.test_case "32-bit wrap" `Quick test_wrap_semantics;
+        Alcotest.test_case "comments and hex" `Quick test_comments_and_hex;
+        prop_compiled_equals_reference;
+      ] );
+    ( "minic:control",
+      [
+        Alcotest.test_case "if/else chain" `Quick test_if_else_chain;
+        Alcotest.test_case "while" `Quick test_while_loop;
+        Alcotest.test_case "locals zeroed" `Quick test_locals_zero_initialised;
+        Alcotest.test_case "recursion" `Quick test_recursion;
+        Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+        Alcotest.test_case "four arguments" `Quick test_four_arguments;
+        Alcotest.test_case "fall-off returns zero" `Quick test_fall_off_returns_zero;
+        Alcotest.test_case "for loops" `Quick test_for_loop;
+        Alcotest.test_case "break/continue" `Quick test_break_continue;
+        Alcotest.test_case "break outside loop rejected" `Quick test_break_outside_loop_rejected;
+        Alcotest.test_case "nested loop break" `Quick test_nested_loop_break;
+      ] );
+    ( "minic:data",
+      [
+        Alcotest.test_case "globals" `Quick test_globals;
+        Alcotest.test_case "arrays" `Quick test_arrays;
+        Alcotest.test_case "bounds trap" `Quick test_bounds_trap;
+        Alcotest.test_case "bounds disabled" `Quick test_bounds_disabled;
+        Alcotest.test_case "global layout" `Quick test_global_layout;
+        Alcotest.test_case "traces" `Quick test_traces_nonempty;
+        Alcotest.test_case "stack balanced" `Quick test_stack_balanced_after_main;
+        prop_lexer_never_crashes;
+      ] );
+    (
+      "minic:errors",
+      [
+        Alcotest.test_case "diagnostics" `Quick test_errors;
+        Alcotest.test_case "main arity" `Quick test_main_with_args_rejected;
+      ] );
+  ]

@@ -1,0 +1,112 @@
+(* The compiled-workload suite: every program's VM result must equal an
+   independent OCaml mirror of the same algorithm, and their traces must
+   be usable DSE inputs. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* -- independent mirrors -- *)
+
+let mirror_matmul () =
+  let a = Array.init 256 (fun i -> i mod 17) and b = Array.init 256 (fun i -> i mod 13) in
+  let c = Array.make 256 0 in
+  for i = 0 to 15 do
+    for j = 0 to 15 do
+      let acc = ref 0 in
+      for k = 0 to 15 do
+        acc := !acc + (a.((i * 16) + k) * b.((k * 16) + j))
+      done;
+      c.((i * 16) + j) <- !acc
+    done
+  done;
+  Array.fold_left ( + ) 0 c
+
+let lcg31 x = W32.sign32 ((x * 1103515245) + 12345) land 0x7FFFFFFF
+
+let mirror_qsort () =
+  let a = Array.make 512 0 in
+  let x = ref 12345 in
+  for i = 0 to 511 do
+    x := lcg31 !x;
+    a.(i) <- !x mod 10000
+  done;
+  Array.sort compare a;
+  let sum = ref 0 in
+  Array.iteri (fun i v -> sum := !sum + (v lxor i)) a;
+  !sum
+
+let mirror_dijkstra () =
+  let w = Array.init 1024 (fun idx -> (((idx / 32 * 7) + (idx mod 32 * 13)) mod 19) + 1) in
+  let dist = Array.make 32 1000000 and settled = Array.make 32 false in
+  dist.(0) <- 0;
+  for _round = 0 to 31 do
+    let best = ref 1000001 and node = ref (-1) in
+    for j = 0 to 31 do
+      if (not settled.(j)) && dist.(j) < !best then begin
+        best := dist.(j);
+        node := j
+      end
+    done;
+    if !node >= 0 then begin
+      settled.(!node) <- true;
+      for j = 0 to 31 do
+        let alt = dist.(!node) + w.((!node * 32) + j) in
+        if alt < dist.(j) then dist.(j) <- alt
+      done
+    end
+  done;
+  Array.fold_left ( + ) 0 dist
+
+let mirror_bitcount () =
+  let x = ref 99 and total = ref 0 in
+  for _k = 1 to 4096 do
+    x := lcg31 !x;
+    let rec count w acc = if w = 0 then acc else count (w lsr 1) (acc + (w land 1)) in
+    total := !total + count !x 0
+  done;
+  !total
+
+let mirrors =
+  [
+    ("matmul", mirror_matmul);
+    ("qsort", mirror_qsort);
+    ("dijkstra", mirror_dijkstra);
+    ("bitcount", mirror_bitcount);
+    ("queens", fun () -> 92);
+  ]
+
+let result_of program =
+  Machine.return_value (Mc_codegen.run (Mc_programs.compiled program))
+
+let program_case (p : Mc_programs.program) =
+  Alcotest.test_case (p.Mc_programs.name ^ " result") `Slow (fun () ->
+      let mirror = List.assoc p.Mc_programs.name mirrors in
+      check_int "mirror = expected" (mirror ()) p.Mc_programs.expected;
+      check_int "compiled = expected" p.Mc_programs.expected (result_of p))
+
+let test_registry () =
+  check_int "count" 5 (List.length Mc_programs.all);
+  check_bool "find" true ((Mc_programs.find "queens").Mc_programs.expected = 92);
+  Alcotest.check_raises "missing" Not_found (fun () -> ignore (Mc_programs.find "nope"))
+
+let test_traces_are_dse_ready () =
+  let p = Mc_programs.find "dijkstra" in
+  let itrace, dtrace = Mc_programs.traces p in
+  let istats = Stats.compute itrace and dstats = Stats.compute dtrace in
+  check_bool "instruction reuse" true (istats.Stats.max_misses > 0);
+  check_bool "data reuse" true (dstats.Stats.max_misses > 0);
+  (* the analytical model must agree with simulation on this compiled
+     trace too *)
+  let outcome = Compare.trace ~max_level:6 dtrace in
+  check_bool "model agrees" true (Compare.agree outcome)
+
+let suites =
+  [
+    ("minic-programs:results", List.map program_case Mc_programs.all);
+    ( "minic-programs:infrastructure",
+      [
+        Alcotest.test_case "registry" `Quick test_registry;
+        Alcotest.test_case "traces are DSE-ready" `Slow test_traces_are_dse_ready;
+      ] );
+  ]

@@ -1,0 +1,427 @@
+(* Tests for the virtual machine: assembler, instruction semantics,
+   control flow, tracing, faults, and the binary encoder. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* Run a fragment and observe register v0 (2). *)
+let run_items ?init ?mem_words items =
+  Machine.run ?init ?mem_words (Asm.assemble items)
+
+let v0_of items = Machine.return_value (run_items items)
+
+let halt_after instrs = List.map Asm.i instrs @ [ Asm.i Isa.Halt ]
+
+(* -- assembler -- *)
+
+let test_labels_resolve () =
+  let program =
+    Asm.assemble
+      [
+        Asm.i (Isa.J "end");
+        Asm.label "mid";
+        Asm.i Isa.Halt;
+        Asm.label "end";
+        Asm.i (Isa.J "mid");
+      ]
+  in
+  check_int "length" 3 (Array.length program);
+  check_bool "forward" true (program.(0) = Isa.J 2);
+  check_bool "backward" true (program.(2) = Isa.J 1)
+
+let test_duplicate_label () =
+  Alcotest.check_raises "duplicate" (Failure "Asm: duplicate label \"x\"") (fun () ->
+      ignore (Asm.assemble [ Asm.label "x"; Asm.label "x"; Asm.i Isa.Halt ]))
+
+let test_undefined_label () =
+  Alcotest.check_raises "undefined" (Failure "Asm: undefined label \"nowhere\"") (fun () ->
+      ignore (Asm.assemble [ Asm.i (Isa.J "nowhere") ]))
+
+let test_register_validation () =
+  Alcotest.check_raises "register 32" (Invalid_argument "Isa: register 32 out of 0..31")
+    (fun () -> ignore (Asm.assemble [ Asm.i (Isa.Add (32, 0, 0)) ]))
+
+let test_comments_ignored () =
+  let program = Asm.assemble [ Asm.comment "noise"; Asm.i Isa.Halt ] in
+  check_int "length" 1 (Array.length program)
+
+let test_li_small_and_large () =
+  check_int "small" 42 (v0_of (Asm.li Asm.v0 42 @ [ Asm.i Isa.Halt ]));
+  check_int "negative small" (-42) (v0_of (Asm.li Asm.v0 (-42) @ [ Asm.i Isa.Halt ]));
+  check_int "large" 0x12345678 (v0_of (Asm.li Asm.v0 0x12345678 @ [ Asm.i Isa.Halt ]));
+  check_int "negative 32-bit" (-559038737)
+    (v0_of (Asm.li Asm.v0 0xDEADBEEF @ [ Asm.i Isa.Halt ]));
+  check_int "aligned to lui" 0x7FFF0000 (v0_of (Asm.li Asm.v0 0x7FFF0000 @ [ Asm.i Isa.Halt ]))
+
+(* -- arithmetic semantics -- *)
+
+let binop_result op a b =
+  v0_of
+    (Asm.li Asm.t0 a @ Asm.li Asm.t1 b @ halt_after [ op (Asm.v0, Asm.t0, Asm.t1) ])
+
+let test_add_wraps () =
+  let add (d, s, t) = Isa.Add (d, s, t) in
+  check_int "simple" 7 (binop_result add 3 4);
+  check_int "wrap positive" (-2147483648) (binop_result add 0x7FFFFFFF 1);
+  check_int "wrap negative" 2147483647 (binop_result add (-2147483648) (-1))
+
+let test_sub_mul () =
+  check_int "sub" (-1) (binop_result (fun (d, s, t) -> Isa.Sub (d, s, t)) 3 4);
+  check_int "mul" 12 (binop_result (fun (d, s, t) -> Isa.Mul (d, s, t)) 3 4);
+  check_int "mul wraps" 0
+    (binop_result (fun (d, s, t) -> Isa.Mul (d, s, t)) 0x10000 0x10000)
+
+let test_div_rem () =
+  let div (d, s, t) = Isa.Div (d, s, t) and rem (d, s, t) = Isa.Rem (d, s, t) in
+  check_int "div" 3 (binop_result div 7 2);
+  check_int "div truncates toward zero" (-3) (binop_result div (-7) 2);
+  check_int "div by zero is zero" 0 (binop_result div 7 0);
+  check_int "rem" 1 (binop_result rem 7 2);
+  check_int "rem sign follows dividend" (-1) (binop_result rem (-7) 2);
+  check_int "rem by zero is dividend" 7 (binop_result rem 7 0)
+
+let test_logic () =
+  check_int "and" 0b1000 (binop_result (fun (d, s, t) -> Isa.And (d, s, t)) 0b1100 0b1010);
+  check_int "or" 0b1110 (binop_result (fun (d, s, t) -> Isa.Or (d, s, t)) 0b1100 0b1010);
+  check_int "xor" 0b0110 (binop_result (fun (d, s, t) -> Isa.Xor (d, s, t)) 0b1100 0b1010);
+  check_int "nor" (-15) (binop_result (fun (d, s, t) -> Isa.Nor (d, s, t)) 0b1100 0b1010)
+
+let test_comparisons () =
+  let slt (d, s, t) = Isa.Slt (d, s, t) and sltu (d, s, t) = Isa.Sltu (d, s, t) in
+  check_int "slt true" 1 (binop_result slt (-1) 0);
+  check_int "slt false" 0 (binop_result slt 0 (-1));
+  check_int "sltu: -1 is large" 0 (binop_result sltu (-1) 0);
+  check_int "sltu true" 1 (binop_result sltu 0 (-1))
+
+let test_shifts () =
+  check_int "sll" 40 (v0_of (Asm.li Asm.t0 5 @ halt_after [ Isa.Sll (Asm.v0, Asm.t0, 3) ]));
+  check_int "srl logical on negative" 0x7FFFFFFF
+    (v0_of (Asm.li Asm.t0 (-1) @ halt_after [ Isa.Srl (Asm.v0, Asm.t0, 1) ]));
+  check_int "sra arithmetic on negative" (-1)
+    (v0_of (Asm.li Asm.t0 (-1) @ halt_after [ Isa.Sra (Asm.v0, Asm.t0, 1) ]));
+  check_int "sllv"
+    (1 lsl 10)
+    (v0_of
+       (Asm.li Asm.t0 1 @ Asm.li Asm.t1 10
+       @ halt_after [ Isa.Sllv (Asm.v0, Asm.t0, Asm.t1) ]));
+  check_int "srlv"
+    1
+    (v0_of
+       (Asm.li Asm.t0 1024 @ Asm.li Asm.t1 10
+       @ halt_after [ Isa.Srlv (Asm.v0, Asm.t0, Asm.t1) ]));
+  check_int "srav"
+    (-1)
+    (v0_of
+       (Asm.li Asm.t0 (-1024) @ Asm.li Asm.t1 10
+       @ halt_after [ Isa.Srav (Asm.v0, Asm.t0, Asm.t1) ]));
+  check_int "shift amount mod 32"
+    2
+    (v0_of
+       (Asm.li Asm.t0 1 @ Asm.li Asm.t1 33
+       @ halt_after [ Isa.Sllv (Asm.v0, Asm.t0, Asm.t1) ]))
+
+let test_immediates () =
+  check_int "addi" 5 (v0_of (halt_after [ Isa.Addi (Asm.v0, Asm.zero, 5) ]));
+  check_int "andi zero-extends" 0xFFFF
+    (v0_of (Asm.li Asm.t0 (-1) @ halt_after [ Isa.Andi (Asm.v0, Asm.t0, 0xFFFF) ]));
+  check_int "ori" 0xFF (v0_of (halt_after [ Isa.Ori (Asm.v0, Asm.zero, 0xFF) ]));
+  check_int "xori" 0xF0
+    (v0_of (Asm.li Asm.t0 0x0F @ halt_after [ Isa.Xori (Asm.v0, Asm.t0, 0xFF) ]));
+  check_int "slti" 1 (v0_of (Asm.li Asm.t0 (-5) @ halt_after [ Isa.Slti (Asm.v0, Asm.t0, 0) ]));
+  check_int "lui" 0x10000 (v0_of (halt_after [ Isa.Lui (Asm.v0, 1) ]))
+
+let test_register_zero_wired () =
+  check_int "write to r0 ignored"
+    0
+    (v0_of
+       (Asm.li Asm.t0 7
+       @ halt_after [ Isa.Add (Asm.zero, Asm.t0, Asm.t0); Isa.Add (Asm.v0, Asm.zero, Asm.zero) ]))
+
+(* -- memory -- *)
+
+let test_load_store () =
+  let result =
+    run_items
+      (Asm.li Asm.t0 100
+      @ Asm.li Asm.t1 12345
+      @ halt_after [ Isa.Sw (Asm.t1, Asm.t0, 5); Isa.Lw (Asm.v0, Asm.t0, 5) ])
+  in
+  check_int "roundtrip" 12345 (Machine.return_value result);
+  check_int "memory cell" 12345 result.Machine.memory.(105)
+
+let test_init_segments () =
+  let result =
+    run_items ~init:[ (10, [| 7; 8 |]) ] (halt_after [ Isa.Lw (Asm.v0, Asm.zero, 11) ])
+  in
+  check_int "init" 8 (Machine.return_value result)
+
+let test_memory_fault () =
+  let faulting addr =
+    match run_items (Asm.li Asm.t0 addr @ halt_after [ Isa.Lw (Asm.v0, Asm.t0, 0) ]) with
+    | _ -> false
+    | exception Machine.Fault _ -> true
+  in
+  check_bool "negative" true (faulting (-1));
+  check_bool "beyond" true (faulting 65536);
+  check_bool "in range" false (faulting 65535)
+
+let test_step_budget_fault () =
+  let spin = [ Asm.label "loop"; Asm.i (Isa.J "loop") ] in
+  check_bool "budget exhausted" true
+    (match Machine.run ~max_steps:100 (Asm.assemble spin) with
+    | _ -> false
+    | exception Machine.Fault msg -> String.length msg > 0)
+
+let test_fall_off_program () =
+  check_bool "missing halt faults" true
+    (match run_items [ Asm.i Isa.Nop ] with
+    | _ -> false
+    | exception Machine.Fault _ -> true)
+
+(* -- control flow -- *)
+
+let test_branches () =
+  let taken branch =
+    v0_of
+      (Asm.li Asm.t0 1 @ Asm.li Asm.t1 2
+      @ [
+          Asm.i (branch (Asm.t0, Asm.t1, "yes"));
+          Asm.i (Isa.Addi (Asm.v0, Asm.zero, 0));
+          Asm.i Isa.Halt;
+          Asm.label "yes";
+          Asm.i (Isa.Addi (Asm.v0, Asm.zero, 1));
+          Asm.i Isa.Halt;
+        ])
+  in
+  check_int "beq not taken" 0 (taken (fun (a, b, l) -> Isa.Beq (a, b, l)));
+  check_int "bne taken" 1 (taken (fun (a, b, l) -> Isa.Bne (a, b, l)));
+  check_int "blt taken" 1 (taken (fun (a, b, l) -> Isa.Blt (a, b, l)));
+  check_int "bge not taken" 0 (taken (fun (a, b, l) -> Isa.Bge (a, b, l)))
+
+let test_unsigned_branches () =
+  let taken branch =
+    v0_of
+      (Asm.li Asm.t0 (-1) @ Asm.li Asm.t1 1
+      @ [
+          Asm.i (branch (Asm.t0, Asm.t1, "yes"));
+          Asm.i (Isa.Addi (Asm.v0, Asm.zero, 0));
+          Asm.i Isa.Halt;
+          Asm.label "yes";
+          Asm.i (Isa.Addi (Asm.v0, Asm.zero, 1));
+          Asm.i Isa.Halt;
+        ])
+  in
+  (* unsigned: -1 = 0xFFFFFFFF is the largest value *)
+  check_int "bltu not taken" 0 (taken (fun (a, b, l) -> Isa.Bltu (a, b, l)));
+  check_int "bgeu taken" 1 (taken (fun (a, b, l) -> Isa.Bgeu (a, b, l)))
+
+let test_jal_jr () =
+  let program =
+    [
+      Asm.i (Isa.Jal "sub");
+      Asm.i Isa.Halt;
+      Asm.label "sub";
+      Asm.i (Isa.Addi (Asm.v0, Asm.zero, 99));
+      Asm.i (Isa.Jr Asm.ra);
+    ]
+  in
+  let result = run_items program in
+  check_int "returned" 99 (Machine.return_value result);
+  check_int "ra holds return address" 1 result.Machine.registers.(31)
+
+let test_fibonacci () =
+  (* iterative fibonacci(20) = 6765 *)
+  let program =
+    Asm.concat
+      [
+        Asm.li Asm.t0 20;
+        [
+          Asm.i (Isa.Addi (Asm.t1, Asm.zero, 0));
+          Asm.i (Isa.Addi (Asm.t2, Asm.zero, 1));
+          Asm.label "loop";
+          Asm.i (Isa.Beq (Asm.t0, Asm.zero, "done"));
+          Asm.i (Isa.Add (Asm.t3, Asm.t1, Asm.t2));
+          Asm.move Asm.t1 Asm.t2;
+          Asm.move Asm.t2 Asm.t3;
+          Asm.i (Isa.Addi (Asm.t0, Asm.t0, -1));
+          Asm.i (Isa.J "loop");
+          Asm.label "done";
+          Asm.move Asm.v0 Asm.t1;
+          Asm.i Isa.Halt;
+        ];
+      ]
+  in
+  check_int "fib 20" 6765 (v0_of program)
+
+(* -- tracing -- *)
+
+let test_tracing () =
+  let program =
+    Asm.li Asm.t0 50
+    @ halt_after
+        [ Isa.Sw (Asm.t0, Asm.t0, 0); Isa.Lw (Asm.v0, Asm.t0, 0); Isa.Nop ]
+  in
+  let itrace = Trace.create () and dtrace = Trace.create () in
+  let result = Machine.run ~itrace ~dtrace (Asm.assemble program) in
+  check_int "fetches = steps" result.Machine.steps (Trace.length itrace);
+  check_int "data accesses" 2 (Trace.length dtrace);
+  check_bool "write then read" true
+    (Trace.equal_kind Trace.Write (Trace.kind dtrace 0)
+    && Trace.equal_kind Trace.Read (Trace.kind dtrace 1));
+  check_int "data address" 50 (Trace.addr dtrace 0);
+  check_bool "fetch kinds" true
+    (Trace.to_list itrace |> List.for_all (fun a -> Trace.equal_kind Trace.Fetch a.Trace.kind));
+  check_int "first fetch at pc 0" 0 (Trace.addr itrace 0)
+
+(* -- encoder -- *)
+
+let all_instruction_shapes : int Isa.instr list =
+  [
+    Isa.Add (1, 2, 3); Isa.Sub (4, 5, 6); Isa.And (7, 8, 9); Isa.Or (10, 11, 12);
+    Isa.Xor (13, 14, 15); Isa.Nor (16, 17, 18); Isa.Slt (19, 20, 21);
+    Isa.Sltu (22, 23, 24); Isa.Mul (25, 26, 27); Isa.Div (28, 29, 30);
+    Isa.Rem (31, 0, 1); Isa.Sllv (2, 3, 4); Isa.Srlv (5, 6, 7); Isa.Srav (8, 9, 10);
+    Isa.Addi (11, 12, -32768); Isa.Andi (13, 14, 65535); Isa.Ori (15, 16, 0);
+    Isa.Xori (17, 18, 1); Isa.Slti (19, 20, 32767); Isa.Sltiu (21, 22, -1);
+    Isa.Lui (23, 65535); Isa.Sll (24, 25, 31); Isa.Srl (26, 27, 0); Isa.Sra (28, 29, 15);
+    Isa.Lw (30, 31, -4); Isa.Sw (0, 1, 4); Isa.Beq (2, 3, 100); Isa.Bne (4, 5, 0);
+    Isa.Blt (6, 7, 65535); Isa.Bge (8, 9, 1); Isa.Bltu (10, 11, 2); Isa.Bgeu (12, 13, 3);
+    Isa.J 0; Isa.Jal ((1 lsl 26) - 1); Isa.Jr 31; Isa.Nop; Isa.Halt;
+  ]
+
+let test_encode_roundtrip_all_shapes () =
+  List.iter
+    (fun instr ->
+      check_bool (Isa.mnemonic instr) true (Encode.decode (Encode.encode instr) = instr))
+    all_instruction_shapes
+
+let test_encode_rejects_out_of_range () =
+  let rejected instr =
+    match Encode.encode instr with _ -> false | exception Invalid_argument _ -> true
+  in
+  check_bool "imm too big" true (rejected (Isa.Addi (1, 2, 32768)));
+  check_bool "imm too small" true (rejected (Isa.Addi (1, 2, -32769)));
+  check_bool "andi negative" true (rejected (Isa.Andi (1, 2, -1)));
+  check_bool "jump too far" true (rejected (Isa.J (1 lsl 26)));
+  check_bool "branch target negative" true (rejected (Isa.Beq (1, 2, -1)))
+
+let test_decode_rejects_unknown_opcode () =
+  check_bool "opcode 63" true
+    (match Encode.decode (63 lsl 26) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_run_encoded () =
+  let program =
+    Asm.assemble
+      (Asm.li Asm.t0 7 @ [ Asm.i (Isa.Mul (Asm.v0, Asm.t0, Asm.t0)); Asm.i Isa.Halt ])
+  in
+  let direct = Machine.run program in
+  let encoded = Machine.run_encoded (Encode.encode_program program) in
+  check_int "same result" (Machine.return_value direct) (Machine.return_value encoded);
+  check_int "value" 49 (Machine.return_value encoded)
+
+let test_disassembler () =
+  let render instr = Format.asprintf "%a" Isa.pp_instr instr in
+  Alcotest.(check string) "add" "add    $t0, $t1, $t2" (render (Isa.Add (8, 9, 10)));
+  Alcotest.(check string) "addi" "addi   $v0, $zero, -5" (render (Isa.Addi (2, 0, -5)));
+  Alcotest.(check string) "lw" "lw     $s0, 3($sp)" (render (Isa.Lw (16, 29, 3)));
+  Alcotest.(check string) "beq" "beq    $a0, $a1, 12" (render (Isa.Beq (4, 5, 12)));
+  Alcotest.(check string) "jal" "jal    7" (render (Isa.Jal 7));
+  Alcotest.(check string) "jr" "jr     $ra" (render (Isa.Jr 31));
+  Alcotest.(check string) "halt" "halt" (render Isa.Halt);
+  check_bool "every shape renders" true
+    (List.for_all (fun i -> String.length (render i) > 0) all_instruction_shapes)
+
+let test_register_names () =
+  Alcotest.(check string) "zero" "$zero" (Isa.register_name 0);
+  Alcotest.(check string) "t8" "$t8" (Isa.register_name 24);
+  Alcotest.(check string) "gp" "$gp" (Isa.register_name 28);
+  check_bool "all distinct" true
+    (let names = List.init 32 Isa.register_name in
+     List.length (List.sort_uniq compare names) = 32)
+
+let test_encoded_program_roundtrip () =
+  let program =
+    Asm.assemble
+      (Asm.li Asm.t0 123
+      @ [ Asm.i (Isa.Sw (Asm.t0, Asm.zero, 9)); Asm.i (Isa.Lw (Asm.v0, Asm.zero, 9)); Asm.i Isa.Halt ])
+  in
+  let recovered = Encode.decode_program (Encode.encode_program program) in
+  check_bool "programs equal" true (recovered = program);
+  check_int "same result" 123 (Machine.return_value (Machine.run recovered))
+
+let prop_encode_roundtrip_random =
+  let gen =
+    QCheck2.Gen.(
+      let reg = int_bound 31 in
+      let imm = int_range (-32768) 32767 in
+      let uimm = int_bound 65535 in
+      oneof
+        [
+          map3 (fun d s t -> Isa.Add (d, s, t)) reg reg reg;
+          map3 (fun d s t -> Isa.Mul (d, s, t)) reg reg reg;
+          map3 (fun d s v -> Isa.Addi (d, s, v)) reg reg imm;
+          map3 (fun d s v -> Isa.Ori (d, s, v)) reg reg uimm;
+          map3 (fun d s v -> Isa.Lw (d, s, v)) reg reg imm;
+          map3 (fun d s v -> Isa.Sw (d, s, v)) reg reg imm;
+          map3 (fun a b l -> Isa.Beq (a, b, l)) reg reg uimm;
+          map (fun t -> Isa.J t) (int_bound ((1 lsl 26) - 1));
+          map (fun r -> Isa.Jr r) reg;
+        ])
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"encode/decode roundtrip (random)" gen (fun instr ->
+         Encode.decode (Encode.encode instr) = instr))
+
+let suites =
+  [
+    ( "vm:assembler",
+      [
+        Alcotest.test_case "labels resolve" `Quick test_labels_resolve;
+        Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+        Alcotest.test_case "undefined label" `Quick test_undefined_label;
+        Alcotest.test_case "register validation" `Quick test_register_validation;
+        Alcotest.test_case "comments ignored" `Quick test_comments_ignored;
+        Alcotest.test_case "li expansion" `Quick test_li_small_and_large;
+      ] );
+    ( "vm:semantics",
+      [
+        Alcotest.test_case "add wraps" `Quick test_add_wraps;
+        Alcotest.test_case "sub/mul" `Quick test_sub_mul;
+        Alcotest.test_case "div/rem" `Quick test_div_rem;
+        Alcotest.test_case "logic" `Quick test_logic;
+        Alcotest.test_case "comparisons" `Quick test_comparisons;
+        Alcotest.test_case "shifts" `Quick test_shifts;
+        Alcotest.test_case "immediates" `Quick test_immediates;
+        Alcotest.test_case "register zero wired" `Quick test_register_zero_wired;
+      ] );
+    ( "vm:memory",
+      [
+        Alcotest.test_case "load/store" `Quick test_load_store;
+        Alcotest.test_case "init segments" `Quick test_init_segments;
+        Alcotest.test_case "memory fault" `Quick test_memory_fault;
+        Alcotest.test_case "step budget fault" `Quick test_step_budget_fault;
+        Alcotest.test_case "fall off program" `Quick test_fall_off_program;
+      ] );
+    ( "vm:control",
+      [
+        Alcotest.test_case "branches" `Quick test_branches;
+        Alcotest.test_case "unsigned branches" `Quick test_unsigned_branches;
+        Alcotest.test_case "jal/jr" `Quick test_jal_jr;
+        Alcotest.test_case "fibonacci" `Quick test_fibonacci;
+      ] );
+    ("vm:tracing", [ Alcotest.test_case "fetch and data traces" `Quick test_tracing ]);
+    ( "vm:encode",
+      [
+        Alcotest.test_case "roundtrip all shapes" `Quick test_encode_roundtrip_all_shapes;
+        Alcotest.test_case "range rejection" `Quick test_encode_rejects_out_of_range;
+        Alcotest.test_case "unknown opcode" `Quick test_decode_rejects_unknown_opcode;
+        Alcotest.test_case "encoded program runs" `Quick test_encoded_program_roundtrip;
+        Alcotest.test_case "run_encoded" `Quick test_run_encoded;
+        Alcotest.test_case "disassembler" `Quick test_disassembler;
+        Alcotest.test_case "register names" `Quick test_register_names;
+        prop_encode_roundtrip_random;
+      ] );
+  ]
