@@ -312,7 +312,7 @@ let parallel_section () =
   let trace = List.assoc "compress" data_traces in
   let prepared = Analytical.prepare trace in
   let addresses = prepared.Analytical.stripped.Strip.uniques in
-  let mrct = prepared.Analytical.mrct in
+  let mrct = Analytical.mrct prepared in
   let max_level = prepared.Analytical.max_level in
   Format.printf "host reports %d recommended domain(s); speedups need > 1 core@."
     (Domain.recommended_domain_count ());
@@ -329,6 +329,128 @@ let parallel_section () =
         domains tn t1 (t1 /. tn)
         (Optimizer.optimal_pairs sequential = Optimizer.optimal_pairs parallel))
     [ 2; 4 ]
+
+(* -- A11: streaming fused kernel vs materialized MRCT -- *)
+
+let streaming_section () =
+  section "A11: streaming fused kernel vs materialized MRCT (identical histograms)";
+  Format.printf "%-10s %14s %14s %14s@." "benchmark" "materialized" "streaming" "streaming x4";
+  List.iter
+    (fun (name, trace) ->
+      let stripped = Strip.strip trace in
+      let max_level = Strip.address_bits stripped in
+      let materialized, tm =
+        Timing.time_wall (fun () ->
+            let mrct = Mrct.build stripped in
+            Dfs_optimizer.histograms ~addresses:stripped.Strip.uniques mrct ~max_level)
+      in
+      let streamed, ts =
+        Timing.time_wall (fun () -> Streaming.histograms stripped ~max_level)
+      in
+      let sharded, ts4 =
+        Timing.time_wall (fun () -> Streaming.histograms ~domains:4 stripped ~max_level)
+      in
+      if not (materialized = streamed && streamed = sharded) then
+        failwith (Printf.sprintf "A11: %s histograms diverge" name);
+      Format.printf "%-10s %12.4f s %12.4f s %12.4f s@." name tm ts ts4)
+    data_traces;
+  Format.printf "@.(PowerStone windows are below Streaming.min_shard_refs = %d, so the@."
+    Streaming.min_shard_refs;
+  Format.printf " x4 column exercises the sequential fallback; see A12 for real shards)@."
+
+(* -- A12: large synthetic trace, where O(N * N') materialization hurts -- *)
+
+type large_result = {
+  large_n : int;
+  large_n' : int;
+  mrct_words : int;
+  materialized_s : float;
+  streaming_s : float;
+  streaming4_s : float;
+  streaming_minor_words : float;
+}
+
+let large_trace_section () =
+  section "A12: streaming kernel on a 10M-reference synthetic trace";
+  let n = 10_000_000 in
+  (* a loop nest over 48 lines: every warm occurrence carries a 47-wide
+     conflict set, so the materialized table is ~470M words while the
+     streamed state is just the recency list *)
+  let trace = Synthetic.loop ~base:0 ~body:48 ~iterations:((n + 47) / 48) in
+  let stripped = Strip.strip trace in
+  let max_level = Strip.address_bits stripped in
+  let n = Strip.num_refs stripped in
+  Format.printf "N = %d, N' = %d, %d levels@." n (Strip.num_unique stripped) (max_level + 1);
+  let minor_before = Gc.minor_words () in
+  let streamed, streaming_s =
+    Timing.time_wall (fun () -> Streaming.histograms stripped ~max_level)
+  in
+  let streaming_minor_words = Gc.minor_words () -. minor_before in
+  let sharded, streaming4_s =
+    Timing.time_wall (fun () -> Streaming.histograms ~domains:4 stripped ~max_level)
+  in
+  let (materialized, mrct_words), materialized_s =
+    Timing.time_wall (fun () ->
+        let mrct = Mrct.build stripped in
+        ( Dfs_optimizer.histograms ~addresses:stripped.Strip.uniques mrct ~max_level,
+          Mrct.volume mrct + Mrct.total_sets mrct ))
+  in
+  Format.printf "materialized MRCT + DFS: %8.3f s  (table: %d words)@." materialized_s
+    mrct_words;
+  Format.printf "streaming, 1 domain:     %8.3f s  (%.0f minor words allocated)@." streaming_s
+    streaming_minor_words;
+  Format.printf "streaming, 4 domains:    %8.3f s@." streaming4_s;
+  if not (materialized = streamed && streamed = sharded) then
+    failwith "A12: histograms diverge";
+  (* the kernel's occurrence loop is allocation-free: storing even one
+     word per warm occurrence would show up as >= 10M minor words *)
+  if streaming_minor_words >= 1e6 then
+    failwith
+      (Printf.sprintf "A12: streaming kernel allocated %.0f minor words (expected < 1e6)"
+         streaming_minor_words);
+  if streaming4_s >= materialized_s then
+    failwith
+      (Printf.sprintf "A12: streaming x4 (%.3f s) did not beat materialized (%.3f s)"
+         streaming4_s materialized_s);
+  Format.printf "speedup vs materialized: %.2fx (x1), %.2fx (x4)@."
+    (materialized_s /. streaming_s)
+    (materialized_s /. streaming4_s);
+  {
+    large_n = n;
+    large_n' = Strip.num_unique stripped;
+    mrct_words;
+    materialized_s;
+    streaming_s;
+    streaming4_s;
+    streaming_minor_words;
+  }
+
+(* -- machine-readable output for tracking the perf trajectory -- *)
+
+let emit_json ~fast ~samples ~large =
+  let oc = open_out "BENCH_dse.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let stat = Gc.stat () in
+      Printf.fprintf oc "{\n  \"schema\": 1,\n  \"mode\": %S,\n" (if fast then "fast" else "full");
+      Printf.fprintf oc "  \"workloads\": [\n";
+      List.iteri
+        (fun idx ((kind : string), (s : Timing.sample)) ->
+          Printf.fprintf oc "    {\"name\": %S, \"kind\": %S, \"n\": %d, \"n_unique\": %d, \"wall_seconds\": %.6f}%s\n"
+            s.Timing.name kind s.Timing.n s.Timing.n_unique s.Timing.seconds
+            (if idx = List.length samples - 1 then "" else ","))
+        samples;
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc
+        "  \"large_trace\": {\"n\": %d, \"n_unique\": %d, \"mrct_words\": %d, \"materialized_wall_seconds\": %.6f, \"streaming_wall_seconds\": %.6f, \"streaming_domains4_wall_seconds\": %.6f, \"streaming_minor_words\": %.0f},\n"
+        large.large_n large.large_n' large.mrct_words large.materialized_s large.streaming_s
+        large.streaming4_s large.streaming_minor_words;
+      Printf.fprintf oc "  \"gc\": {\"top_heap_words\": %d, \"peak_heap_mb\": %.1f}\n"
+        stat.Gc.top_heap_words
+        (float_of_int (stat.Gc.top_heap_words * 8) /. 1048576.0);
+      Printf.fprintf oc "}\n");
+  Format.printf "@.(machine-readable results written to BENCH_dse.json)@."
 
 (* -- A8: replacement-policy ablation -- *)
 
@@ -405,8 +527,25 @@ let bechamel_suite () =
       (Staged.stage (fun () ->
            List.iter (fun (n, t) -> ignore (Timing.analytical_sample ~name:n t)) traces))
   in
+  let postlude_tests =
+    (* head-to-head on the heaviest PowerStone data trace: same histograms,
+       three kernels *)
+    let stripped = Strip.strip (List.assoc "compress" data_traces) in
+    let max_level = Strip.address_bits stripped in
+    [
+      Test.make ~name:"postlude:materialized"
+        (Staged.stage (fun () ->
+             let mrct = Mrct.build stripped in
+             ignore (Dfs_optimizer.histograms ~addresses:stripped.Strip.uniques mrct ~max_level)));
+      Test.make ~name:"postlude:streaming"
+        (Staged.stage (fun () -> ignore (Streaming.histograms stripped ~max_level)));
+      Test.make ~name:"postlude:streaming-x4"
+        (Staged.stage (fun () -> ignore (Streaming.histograms ~domains:4 stripped ~max_level)));
+    ]
+  in
   let tests =
     [ stats_test "table05:data-stats" data_traces; stats_test "table06:inst-stats" instruction_traces ]
+    @ postlude_tests
     @ List.mapi
         (fun idx (name, trace) -> table_test (Printf.sprintf "table%02d:%s-data" (7 + idx) name) trace)
         data_traces
@@ -470,8 +609,15 @@ let () =
   pareto_section ();
   reduction_section ();
   parallel_section ();
+  streaming_section ();
+  let large = large_trace_section () in
   policy_section ();
   compiled_workloads_section ();
   l2_section ();
   if not fast then bechamel_suite ();
+  let samples =
+    List.map (fun s -> ("data", s)) data_samples
+    @ List.map (fun s -> ("inst", s)) inst_samples
+  in
+  emit_json ~fast ~samples ~large;
   Format.printf "@.done.@."

@@ -76,24 +76,49 @@ let trim_arg =
   let doc = "Keep all depths instead of stopping at the first all-direct-mapped row." in
   Arg.(value & flag & info [ "no-trim" ] ~doc)
 
+let method_arg =
+  let methods =
+    [
+      ("streaming", Analytical.Streaming);
+      ("dfs", Analytical.Dfs);
+      ("bcat", Analytical.Bcat_walk);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum methods) Analytical.Streaming
+    & info [ "method" ] ~docv:"METHOD"
+        ~doc:
+          "Histogram kernel: $(b,streaming) (fused single pass, O(N') memory, the default), \
+           $(b,dfs) (materialized MRCT), or $(b,bcat) (Algorithms 1+3 as published). All \
+           methods produce identical results.")
+
+let domains_arg =
+  let doc =
+    "Number of parallel domains for the postlude. With $(b,--method streaming) the trace is \
+     sharded into windows; with $(b,--method dfs) the MRCT is partitioned by identifier."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let explore_cmd =
-  let run path format percents k max_depth csv no_trim =
+  let run path format percents k max_depth csv no_trim method_ domains =
     let trace = or_fail (load_trace format path) in
     let max_level = level_of_max_depth max_depth in
+    if domains < 1 then failwith "domains must be >= 1";
     let name = Filename.basename path in
     match k with
     | Some k ->
-      let result = Analytical.explore ?max_level trace ~k in
+      let result = Analytical.explore ?max_level ~method_ ~domains trace ~k in
       Format.printf "%a@." Optimizer.pp result
     | None ->
-      let table = Analytical_dse.run ~percents ?max_level ~name trace in
+      let table = Analytical_dse.run ~percents ?max_level ~method_ ~domains ~name trace in
       let table = if no_trim then table else Analytical_dse.trim table in
       if csv then print_string (Report.instances_to_csv table)
       else Format.printf "%a@." Report.pp_instances table
   in
   let term =
     Term.(const run $ trace_arg $ format_arg $ percents_arg $ absolute_k_arg $ max_depth_arg
-          $ csv_arg $ trim_arg)
+          $ csv_arg $ trim_arg $ method_arg $ domains_arg)
   in
   Cmd.v
     (Cmd.info "explore"

@@ -1,11 +1,13 @@
-type method_ = Bcat_walk | Dfs
+type method_ = Bcat_walk | Dfs | Streaming
 
 type prepared = {
   stripped : Strip.t;
-  mrct : Mrct.t;
+  mrct_lazy : Mrct.t Lazy.t;
   max_level : int;
   line_words : int;
 }
+
+let mrct prepared = Lazy.force prepared.mrct_lazy
 
 let prepare ?max_level ?(line_words = 1) trace =
   if line_words < 1 || line_words land (line_words - 1) <> 0 then
@@ -22,34 +24,38 @@ let prepare ?max_level ?(line_words = 1) trace =
   let max_level =
     match max_level with None -> bits | Some m -> max 0 (min m bits)
   in
-  { stripped; mrct = Mrct.build stripped; max_level; line_words }
+  { stripped; mrct_lazy = lazy (Mrct.build stripped); max_level; line_words }
 
-let explore_prepared ?(method_ = Dfs) prepared ~k =
+let histograms ?(method_ = Streaming) ?(domains = 1) prepared =
   match method_ with
+  | Streaming -> Streaming.histograms ~domains prepared.stripped ~max_level:prepared.max_level
   | Dfs ->
-    Dfs_optimizer.explore ~addresses:prepared.stripped.Strip.uniques prepared.mrct
-      ~max_level:prepared.max_level ~k
+    if domains > 1 then
+      Parallel_optimizer.histograms ~domains ~addresses:prepared.stripped.Strip.uniques
+        (mrct prepared) ~max_level:prepared.max_level
+    else
+      Dfs_optimizer.histograms ~addresses:prepared.stripped.Strip.uniques (mrct prepared)
+        ~max_level:prepared.max_level
   | Bcat_walk ->
     let zero_one = Zero_one.build prepared.stripped in
     let bcat = Bcat.build ~max_level:prepared.max_level zero_one in
-    Optimizer.explore bcat prepared.mrct ~k
+    Array.init (Bcat.max_level bcat + 1) (fun level ->
+        Optimizer.histogram_at bcat (mrct prepared) ~level)
 
-let explore_many ?(method_ = Dfs) prepared ~ks =
-  let histograms =
-    match method_ with
-    | Dfs ->
-      Dfs_optimizer.histograms ~addresses:prepared.stripped.Strip.uniques prepared.mrct
-        ~max_level:prepared.max_level
-    | Bcat_walk ->
-      let zero_one = Zero_one.build prepared.stripped in
-      let bcat = Bcat.build ~max_level:prepared.max_level zero_one in
-      Array.init (Bcat.max_level bcat + 1) (fun level ->
-          Optimizer.histogram_at bcat prepared.mrct ~level)
-  in
+let explore_prepared ?(method_ = Streaming) ?domains prepared ~k =
+  match method_ with
+  | Bcat_walk ->
+    let zero_one = Zero_one.build prepared.stripped in
+    let bcat = Bcat.build ~max_level:prepared.max_level zero_one in
+    Optimizer.explore bcat (mrct prepared) ~k
+  | Dfs | Streaming -> Optimizer.of_histograms ~k (histograms ~method_ ?domains prepared)
+
+let explore_many ?(method_ = Streaming) ?domains prepared ~ks =
+  let histograms = histograms ~method_ ?domains prepared in
   List.map (fun k -> Optimizer.of_histograms ~k histograms) ks
 
-let explore ?max_level ?line_words ?method_ trace ~k =
-  explore_prepared ?method_ (prepare ?max_level ?line_words trace) ~k
+let explore ?max_level ?line_words ?method_ ?domains trace ~k =
+  explore_prepared ?method_ ?domains (prepare ?max_level ?line_words trace) ~k
 
 let level_of_depth depth max_level =
   let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
@@ -61,16 +67,17 @@ let level_of_depth depth max_level =
       (Printf.sprintf "Analytical.misses: depth %d exceeds max level %d" depth max_level);
   level
 
-let misses ?(method_ = Dfs) prepared ~depth ~associativity =
+let misses ?(method_ = Streaming) ?domains prepared ~depth ~associativity =
   let level = level_of_depth depth prepared.max_level in
   match method_ with
+  | Streaming -> Streaming.misses ?domains prepared.stripped ~level ~associativity
   | Dfs ->
     let hists =
-      Dfs_optimizer.histograms ~addresses:prepared.stripped.Strip.uniques prepared.mrct
+      Dfs_optimizer.histograms ~addresses:prepared.stripped.Strip.uniques (mrct prepared)
         ~max_level:level
     in
     Optimizer.misses_of_histogram hists.(level) ~associativity
   | Bcat_walk ->
     let zero_one = Zero_one.build prepared.stripped in
     let bcat = Bcat.build ~max_level:level zero_one in
-    Optimizer.misses_at bcat prepared.mrct ~level ~associativity
+    Optimizer.misses_at bcat (mrct prepared) ~level ~associativity

@@ -1,19 +1,34 @@
 (** High-level entry points tying the prelude and postlude together
     (the paper's Figure 2 pipeline: strip -> MRCT/BCAT -> optimal set). *)
 
-type method_ = Bcat_walk  (** Algorithms 1 + 3 as published *)
-             | Dfs  (** the fused linear-space variant of section 2.4 *)
+type method_ =
+  | Bcat_walk  (** Algorithms 1 + 3 as published *)
+  | Dfs  (** the fused linear-space variant of section 2.4, over a
+             materialized MRCT; with [domains > 1] the MRCT is
+             partitioned by identifier across {!Parallel_optimizer} *)
+  | Streaming
+      (** the default: {!Streaming}'s single-pass fused kernel — no MRCT
+          is ever materialized, peak memory O(N'); with [domains > 1] the
+          trace is sharded into windows *)
 
 type prepared = {
   stripped : Strip.t;
-  mrct : Mrct.t;
+  mrct_lazy : Mrct.t Lazy.t;
+      (** forced only by the [Dfs]/[Bcat_walk] methods or {!mrct} — the
+          default [Streaming] path never materializes the table *)
   max_level : int;  (** number of address bits usable as index bits *)
   line_words : int;  (** line size the trace was folded to *)
 }
 
+(** [mrct prepared] forces and returns the materialized conflict table —
+    for callers that need explicit conflict sets (e.g. the Table-4
+    printer). The first call pays the O(N * N') build. *)
+val mrct : prepared -> Mrct.t
+
 (** [prepare ?max_level ?line_words trace] runs the prelude phase once;
     the result can be re-used for several budgets K. [max_level] defaults
-    to the number of address bits and is clamped to it.
+    to the number of address bits and is clamped to it. The MRCT is
+    built lazily, so preparing for the streaming method stays O(N').
 
     [line_words] (default 1, the paper's fixed choice) extends the model
     to larger lines: word addresses are folded to line addresses before
@@ -21,23 +36,38 @@ type prepared = {
     conflicts happen between lines. Must be a power of two. *)
 val prepare : ?max_level:int -> ?line_words:int -> Trace.t -> prepared
 
-(** [explore_prepared ?method_ prepared ~k] runs the postlude for one
-    budget. Default method is [Dfs]. *)
-val explore_prepared : ?method_:method_ -> prepared -> k:int -> Optimizer.t
+(** [histograms ?method_ ?domains prepared] is the per-level
+    conflict-cardinality histograms, the shared currency of every
+    postlude. All methods produce bit-identical arrays (property
+    tested). [domains] (default 1) parallelizes the [Streaming] and
+    [Dfs] methods; it is ignored by [Bcat_walk]. *)
+val histograms : ?method_:method_ -> ?domains:int -> prepared -> int array array
 
-(** [explore_many ?method_ prepared ~ks] answers several budgets from a
-    single histogram computation — the "prelude once, postlude per
+(** [explore_prepared ?method_ ?domains prepared ~k] runs the postlude
+    for one budget. Default method is [Streaming]. *)
+val explore_prepared : ?method_:method_ -> ?domains:int -> prepared -> k:int -> Optimizer.t
+
+(** [explore_many ?method_ ?domains prepared ~ks] answers several budgets
+    from a single histogram computation — the "prelude once, postlude per
     constraint" economy the paper's flow is built around. Results are in
     the order of [ks] and identical to per-budget {!explore_prepared}
     calls. *)
-val explore_many : ?method_:method_ -> prepared -> ks:int list -> Optimizer.t list
+val explore_many :
+  ?method_:method_ -> ?domains:int -> prepared -> ks:int list -> Optimizer.t list
 
-(** [explore ?max_level ?line_words ?method_ trace ~k] is
+(** [explore ?max_level ?line_words ?method_ ?domains trace ~k] is
     [explore_prepared (prepare trace) ~k]. *)
 val explore :
-  ?max_level:int -> ?line_words:int -> ?method_:method_ -> Trace.t -> k:int -> Optimizer.t
+  ?max_level:int ->
+  ?line_words:int ->
+  ?method_:method_ ->
+  ?domains:int ->
+  Trace.t ->
+  k:int ->
+  Optimizer.t
 
-(** [misses ?method_ prepared ~depth ~associativity] is the model's exact
-    non-cold miss count for one configuration. [depth] must be a power of
-    two no greater than [2 ^ max_level]. *)
-val misses : ?method_:method_ -> prepared -> depth:int -> associativity:int -> int
+(** [misses ?method_ ?domains prepared ~depth ~associativity] is the
+    model's exact non-cold miss count for one configuration. [depth] must
+    be a power of two no greater than [2 ^ max_level]. *)
+val misses :
+  ?method_:method_ -> ?domains:int -> prepared -> depth:int -> associativity:int -> int

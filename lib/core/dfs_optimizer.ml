@@ -1,11 +1,11 @@
-(* Count trailing zeros of a positive int, clamped to [limit]. *)
-let ctz_clamped x limit =
-  let rec loop x acc =
-    if acc >= limit then limit
-    else if x land 1 = 1 then acc
-    else loop (x lsr 1) (acc + 1)
-  in
-  loop x 0
+(* Count trailing zeros of a positive int, clamped to [limit]. [limit]
+   is threaded as an argument — a nested closure capturing it would
+   allocate on every call, and this runs once per conflicting
+   reference. *)
+let rec ctz_clamped x acc limit =
+  if acc >= limit then limit
+  else if x land 1 = 1 then acc
+  else ctz_clamped (x lsr 1) (acc + 1) limit
 
 (* Tally conflict sets into per-level histograms using a caller-supplied
    iteration over (reference, conflict set) pairs. *)
@@ -40,7 +40,7 @@ let histograms_of_iteration ~addresses ~max_level iterate =
         let au = addresses.(u) in
         Array.iter
           (fun v ->
-            let shared = ctz_clamped (au lxor addresses.(v)) max_level in
+            let shared = ctz_clamped (au lxor addresses.(v)) 0 max_level in
             depth_count.(shared) <- depth_count.(shared) + 1)
           conflict;
         let running = ref 0 in

@@ -1,0 +1,154 @@
+(* Count trailing zeros of a positive int, clamped to [limit]; two
+   references share a depth-2^l row iff their addresses agree on the low
+   l bits, i.e. ctz (a lxor b) >= l. [limit] is threaded as an argument —
+   a nested closure capturing it would allocate on every call, and this
+   runs once per conflicting reference. *)
+let rec ctz_clamped x acc limit =
+  if acc >= limit then limit
+  else if x land 1 = 1 then acc
+  else ctz_clamped (x lsr 1) (acc + 1) limit
+
+(* Growable per-level histograms, identical in growth and trimming to
+   Dfs_optimizer so the two paths produce bit-identical arrays. *)
+type tally = {
+  hists : int array array;
+  max_c : int array;
+  depth_count : int array;
+  max_level : int;
+}
+
+let tally_create max_level =
+  if max_level < 0 then invalid_arg "Streaming: negative max_level";
+  {
+    hists = Array.init (max_level + 1) (fun _ -> Array.make 1 0);
+    max_c = Array.make (max_level + 1) 0;
+    depth_count = Array.make (max_level + 1) 0;
+    max_level;
+  }
+
+let record t level c =
+  let h = t.hists.(level) in
+  let h =
+    if c >= Array.length h then begin
+      let bigger = Array.make (max (c + 1) (2 * Array.length h)) 0 in
+      Array.blit h 0 bigger 0 (Array.length h);
+      t.hists.(level) <- bigger;
+      bigger
+    end
+    else h
+  in
+  h.(c) <- h.(c) + 1;
+  if c > t.max_c.(level) then t.max_c.(level) <- c
+
+let tally_finish t = Array.mapi (fun l h -> Array.sub h 0 (t.max_c.(l) + 1)) t.hists
+
+(* The fused kernel over one trace window [lo, hi).
+
+   The recency list is the same intrusive prev/next structure as
+   Mrct.build (index n' is the sentinel). Positions [0, lo) are replayed
+   to reconstruct the list state at the window start — O(1) per access.
+   Within the window, a warm occurrence of [u] walks the list prefix
+   above [u] exactly as Mrct.build would to emit the conflict set, but
+   each member is folded into depth_count immediately; the suffix sums
+   then land in the histograms. No conflict set is ever stored. *)
+let window_histograms (s : Strip.t) ~max_level ~lo ~hi =
+  let t = tally_create max_level in
+  let n' = Strip.num_unique s in
+  let next = Array.make (n' + 1) n' in
+  let prev = Array.make (n' + 1) n' in
+  let in_list = Array.make (max n' 1) false in
+  let unlink u =
+    next.(prev.(u)) <- next.(u);
+    prev.(next.(u)) <- prev.(u)
+  in
+  let push_front u =
+    let first = next.(n') in
+    next.(n') <- u;
+    prev.(u) <- n';
+    next.(u) <- first;
+    prev.(first) <- u
+  in
+  let touch u =
+    if in_list.(u) then unlink u else in_list.(u) <- true;
+    push_front u
+  in
+  for j = 0 to lo - 1 do
+    touch s.Strip.ids.(j)
+  done;
+  let addresses = s.Strip.uniques in
+  let depth_count = t.depth_count in
+  for j = lo to hi - 1 do
+    let u = s.Strip.ids.(j) in
+    if in_list.(u) then begin
+      Array.fill depth_count 0 (max_level + 1) 0;
+      let au = addresses.(u) in
+      let v = ref next.(n') in
+      while !v <> u do
+        let shared = ctz_clamped (au lxor addresses.(!v)) 0 max_level in
+        depth_count.(shared) <- depth_count.(shared) + 1;
+        v := next.(!v)
+      done;
+      let running = ref 0 in
+      for l = max_level downto 0 do
+        running := !running + depth_count.(l);
+        if !running > 0 then record t l !running
+      done;
+      unlink u
+    end
+    else in_list.(u) <- true;
+    push_front u
+  done;
+  tally_finish t
+
+let merge_histograms parts =
+  match parts with
+  | [] -> [||]
+  | first :: _ ->
+    let levels = Array.length first in
+    Array.init levels (fun level ->
+        let width =
+          List.fold_left (fun acc part -> max acc (Array.length part.(level))) 1 parts
+        in
+        let merged = Array.make width 0 in
+        List.iter
+          (fun part ->
+            Array.iteri (fun c n -> merged.(c) <- merged.(c) + n) part.(level))
+          parts;
+        merged)
+
+(* Each shard pays an O(lo) replay prologue, so total replay work is
+   ~domains/2 passes over the trace; below this window size the replay
+   and Domain.spawn overhead outweigh the tally work split. *)
+let min_shard_refs = 65536
+
+let histograms ?(domains = 1) (s : Strip.t) ~max_level =
+  let n = Strip.num_refs s in
+  let domains = max 1 domains in
+  if domains = 1 || n < domains * min_shard_refs then
+    window_histograms s ~max_level ~lo:0 ~hi:n
+  else begin
+    let chunk = (n + domains - 1) / domains in
+    match
+      List.init domains (fun d -> (d * chunk, min n ((d + 1) * chunk)))
+      |> List.filter (fun (lo, hi) -> lo < hi)
+    with
+    | [] -> window_histograms s ~max_level ~lo:0 ~hi:n
+    | (lo0, hi0) :: rest ->
+      (* spawn workers for the tail windows, compute the first here *)
+      let workers =
+        List.map
+          (fun (lo, hi) ->
+            Domain.spawn (fun () -> window_histograms s ~max_level ~lo ~hi))
+          rest
+      in
+      let head = window_histograms s ~max_level ~lo:lo0 ~hi:hi0 in
+      merge_histograms (head :: List.map Domain.join workers)
+  end
+
+let explore ?domains s ~max_level ~k =
+  Optimizer.of_histograms ~k (histograms ?domains s ~max_level)
+
+let misses ?domains s ~level ~associativity =
+  if level < 0 then invalid_arg "Streaming.misses: negative level";
+  let hists = histograms ?domains s ~max_level:level in
+  Optimizer.misses_of_histogram hists.(level) ~associativity

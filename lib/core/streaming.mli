@@ -1,0 +1,44 @@
+(** Streaming fused MRCT->histogram kernel.
+
+    {!Mrct.build} followed by {!Dfs_optimizer.histograms} materializes one
+    conflict-set array per warm occurrence — O(N * N') words in the worst
+    case — only to fold each set into per-level histograms and throw it
+    away. This module fuses the two passes: it walks the same recency
+    list as {!Mrct.build}, but tallies every conflicting reference
+    directly into per-level depth counts and folds the suffix sums into
+    the histograms on the spot. The conflict table never exists; peak
+    memory is O(N' + levels * max_conflict) and the per-occurrence loop
+    is allocation-free (histogram growth is geometric and amortized).
+
+    Results are bit-identical to the materialized
+    {!Dfs_optimizer.histograms} path (property tested).
+
+    [domains > 1] shards the *trace* into per-domain windows. Each shard
+    replays the prefix before its window to reconstruct the recency-list
+    state (O(1) per replayed access, no tallying), then tallies its own
+    window; per-level histograms are summed. Warm occurrences partition
+    by position, so the merge is exact. Sharding falls back to the
+    sequential kernel when the windows are too small for the replay and
+    spawn overhead to pay off. *)
+
+(** [histograms ?domains stripped ~max_level] computes the per-level
+    conflict-cardinality histograms ([result.(l).(c)] counts warm
+    occurrences whose conflict set meets their depth-[2^l] row in exactly
+    [c] references). [domains] defaults to 1 and is clamped to at
+    least 1. Raises [Invalid_argument] on a negative [max_level]. *)
+val histograms : ?domains:int -> Strip.t -> max_level:int -> int array array
+
+(** [explore ?domains stripped ~max_level ~k] runs the full postlude on
+    the streamed histograms; equivalent to {!Dfs_optimizer.explore} on a
+    materialized MRCT. *)
+val explore : ?domains:int -> Strip.t -> max_level:int -> k:int -> Optimizer.t
+
+(** [misses ?domains stripped ~level ~associativity] is the exact
+    non-cold miss count of the [2^level] x [associativity] LRU cache,
+    computed without materializing the conflict table. *)
+val misses : ?domains:int -> Strip.t -> level:int -> associativity:int -> int
+
+(** [min_shard_refs] is the smallest per-domain window (in trace
+    references) for which sharding is attempted; below it the sequential
+    kernel runs regardless of [domains]. Exposed for the benchmarks. *)
+val min_shard_refs : int

@@ -6,11 +6,11 @@ type table = {
   rows : (int * int list) list;
 }
 
-let run ?(percents = [ 5; 10; 15; 20 ]) ?max_level ?line_words ~name trace =
+let run ?(percents = [ 5; 10; 15; 20 ]) ?max_level ?line_words ?method_ ?domains ~name trace =
   let prepared = Analytical.prepare ?max_level ?line_words trace in
   let stats = Stats.compute_stripped prepared.Analytical.stripped in
   let budgets = List.map (fun percent -> Stats.budget stats ~percent) percents in
-  let results = Analytical.explore_many prepared ~ks:budgets in
+  let results = Analytical.explore_many ?method_ ?domains prepared ~ks:budgets in
   let rows =
     List.init
       (prepared.Analytical.max_level + 1)

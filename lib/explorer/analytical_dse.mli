@@ -11,13 +11,23 @@ type table = {
       (** (depth, required associativity per percent), by increasing depth *)
 }
 
-(** [run ?percents ?max_level ?line_words ~name trace] strips and
-    analyses the trace once, then solves for each budget. [percents]
-    defaults to the paper's 5, 10, 15, 20; [max_level] defaults to the
-    trace's address bits; [line_words] (default 1) folds the trace to
-    line addresses first (model extension beyond the paper). *)
+(** [run ?percents ?max_level ?line_words ?method_ ?domains ~name trace]
+    strips and analyses the trace once, then solves for each budget.
+    [percents] defaults to the paper's 5, 10, 15, 20; [max_level]
+    defaults to the trace's address bits; [line_words] (default 1) folds
+    the trace to line addresses first (model extension beyond the
+    paper). [method_] (default [Streaming]) selects the histogram
+    kernel and [domains] (default 1) its parallelism, as in
+    {!Analytical.explore_many}. *)
 val run :
-  ?percents:int list -> ?max_level:int -> ?line_words:int -> name:string -> Trace.t -> table
+  ?percents:int list ->
+  ?max_level:int ->
+  ?line_words:int ->
+  ?method_:Analytical.method_ ->
+  ?domains:int ->
+  name:string ->
+  Trace.t ->
+  table
 
 (** [trim table] drops trailing rows where every budget already needs
     only a direct-mapped cache, keeping the first such row — the paper's

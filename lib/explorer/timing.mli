@@ -1,6 +1,7 @@
-(** CPU-time measurement for the run-time experiments (Tables 31/32,
-    Figure 4). Uses [Sys.time] (processor time), matching the paper's
-    reporting of algorithm execution time. *)
+(** Run-time measurement for the experiments (Tables 31/32, Figure 4).
+    Samples are wall-clock: CPU time accumulates across OCaml 5 domains,
+    so it silently over-reports as soon as a parallel postlude runs,
+    corrupting the Figure-4 fit. *)
 
 type sample = {
   name : string;
@@ -16,10 +17,18 @@ val time : (unit -> 'a) -> 'a * float
 (** [time_wall f] is [(f (), elapsed_wall_seconds)]. *)
 val time_wall : (unit -> 'a) -> 'a * float
 
-(** [analytical_sample ?repeats ~name trace] times a full analytical run
-    (prelude + postlude at the paper's four budgets), keeping the best of
-    [repeats] runs (default 1) to damp scheduler noise. *)
-val analytical_sample : ?repeats:int -> name:string -> Trace.t -> sample
+(** [analytical_sample ?repeats ?method_ ?domains ~name trace] times a
+    full analytical run (prelude + postlude at the paper's four budgets)
+    in wall-clock seconds, keeping the best of [repeats] runs (default 1)
+    to damp scheduler noise. [method_]/[domains] are forwarded to
+    {!Analytical_dse.run}. *)
+val analytical_sample :
+  ?repeats:int ->
+  ?method_:Analytical.method_ ->
+  ?domains:int ->
+  name:string ->
+  Trace.t ->
+  sample
 
 (** [work x] for Figure 4's x axis: [n * n_unique] as float. *)
 val work : sample -> float

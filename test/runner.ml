@@ -8,6 +8,7 @@ let () =
          Test_trace.suites;
          Test_cachesim.suites;
          Test_core.suites;
+         Test_streaming.suites;
          Test_vm.suites;
          Test_asm_parser.suites;
          Test_powerstone.suites;

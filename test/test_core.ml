@@ -347,7 +347,7 @@ let prop_model_monotone_in_depth =
       let misses level =
         let hist =
           Dfs_optimizer.histograms ~addresses:prepared.Analytical.stripped.Strip.uniques
-            prepared.Analytical.mrct ~max_level:level
+            (Analytical.mrct prepared) ~max_level:level
         in
         Optimizer.misses_of_histogram hist.(level) ~associativity:2
       in

@@ -120,15 +120,29 @@ let test_parallel_real_trace () =
   let trace = Workload.data_trace (Registry.find "engine") in
   let prepared = Analytical.prepare trace in
   let addresses = prepared.Analytical.stripped.Strip.uniques in
+  let mrct = Analytical.mrct prepared in
   let seq =
-    Dfs_optimizer.explore ~addresses prepared.Analytical.mrct
-      ~max_level:prepared.Analytical.max_level ~k:50
+    Dfs_optimizer.explore ~addresses mrct ~max_level:prepared.Analytical.max_level ~k:50
   in
   let par =
-    Parallel_optimizer.explore ~domains:4 ~addresses prepared.Analytical.mrct
+    Parallel_optimizer.explore ~domains:4 ~addresses mrct
       ~max_level:prepared.Analytical.max_level ~k:50
   in
   check_bool "same pairs" true (Optimizer.optimal_pairs seq = Optimizer.optimal_pairs par)
+
+(* the satellite guarantee behind `dse explore --method dfs --domains N`:
+   identifier-partitioned histograms match the sequential DFS bit for bit
+   on a real PowerStone trace *)
+let test_parallel_powerstone_histograms () =
+  let trace = Workload.data_trace (Registry.find "compress") in
+  let stripped = Strip.strip trace in
+  let mrct = Mrct.build stripped in
+  let max_level = Strip.address_bits stripped in
+  let seq = Dfs_optimizer.histograms ~addresses:stripped.Strip.uniques mrct ~max_level in
+  let par =
+    Parallel_optimizer.histograms ~domains:4 ~addresses:stripped.Strip.uniques mrct ~max_level
+  in
+  check_bool "histograms identical" true (seq = par)
 
 let test_parallel_degenerate () =
   let stripped = Strip.strip_addresses [||] in
@@ -198,6 +212,7 @@ let suites =
       [
         prop_parallel_equals_sequential;
         Alcotest.test_case "real trace" `Slow test_parallel_real_trace;
+        Alcotest.test_case "PowerStone histograms x4" `Slow test_parallel_powerstone_histograms;
         Alcotest.test_case "degenerate inputs" `Quick test_parallel_degenerate;
       ] );
     ( "extensions:synthetic",

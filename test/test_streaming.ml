@@ -1,0 +1,164 @@
+(* Tests for the streaming fused MRCT->histogram kernel: bit-identical
+   to the materialized DFS path, exact against the reference simulator,
+   shard-count invariant, and well-behaved on degenerate traces. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let prop ?(count = 120) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let gen_addresses = QCheck2.Gen.(array_size (int_range 1 250) (int_bound 127))
+
+let gen_line_words = QCheck2.Gen.map (fun k -> 1 lsl k) (QCheck2.Gen.int_bound 3)
+
+let materialized_histograms stripped ~max_level =
+  Dfs_optimizer.histograms ~addresses:stripped.Strip.uniques (Mrct.build stripped) ~max_level
+
+(* -- equivalence with the materialized path -- *)
+
+let test_streaming_paper () =
+  let stripped = Strip.strip (Paper_example.trace ()) in
+  let max_level = Strip.address_bits stripped in
+  Alcotest.(check bool)
+    "histograms identical" true
+    (Streaming.histograms stripped ~max_level = materialized_histograms stripped ~max_level);
+  let result = Streaming.explore stripped ~max_level ~k:0 in
+  Alcotest.(check (list (pair int int)))
+    "pairs" [ (1, 5); (2, 3); (4, 2); (8, 2); (16, 1) ]
+    (Optimizer.optimal_pairs result)
+
+let prop_streaming_equals_materialized =
+  prop "streaming histograms = materialized DFS histograms (random line_words)"
+    QCheck2.Gen.(pair gen_addresses gen_line_words)
+    (fun (addrs, line_words) ->
+      let prepared = Analytical.prepare ~line_words (Trace.of_addresses addrs) in
+      let stripped = prepared.Analytical.stripped in
+      let max_level = prepared.Analytical.max_level in
+      Streaming.histograms stripped ~max_level = materialized_histograms stripped ~max_level)
+
+let prop_streaming_shard_invariant =
+  prop ~count:60 "streaming histograms independent of domain count"
+    QCheck2.Gen.(pair gen_addresses (int_range 2 6))
+    (fun (addrs, domains) ->
+      let stripped = Strip.strip_addresses addrs in
+      let max_level = Strip.address_bits stripped in
+      Streaming.histograms ~domains stripped ~max_level
+      = Streaming.histograms stripped ~max_level)
+
+(* the fallback threshold hides the sharded path from small random
+   traces, so exercise the window kernel directly through a trace long
+   enough to shard: a loop both wraps shard boundaries and keeps every
+   occurrence warm *)
+let test_streaming_sharded_long_trace () =
+  let body = 37 and iterations = (4 * Streaming.min_shard_refs / 37) + 1 in
+  let stripped = Strip.strip (Synthetic.loop ~base:0 ~body ~iterations) in
+  let max_level = Strip.address_bits stripped in
+  check_bool "trace long enough to shard" true
+    (Strip.num_refs stripped >= 4 * Streaming.min_shard_refs);
+  let seq = Streaming.histograms stripped ~max_level in
+  check_bool "4 shards identical" true (Streaming.histograms ~domains:4 stripped ~max_level = seq);
+  check_bool "matches materialized" true (materialized_histograms stripped ~max_level = seq)
+
+(* -- three-way exactness: streaming = DFS = simulator -- *)
+
+let prop_streaming_exact_vs_simulator =
+  prop ~count:150 "streaming misses = DFS misses = simulated LRU non-cold misses"
+    QCheck2.Gen.(
+      quad gen_addresses (map (fun k -> 1 lsl k) (int_bound 5)) (int_range 1 6) gen_line_words)
+    (fun (addrs, depth, associativity, line_words) ->
+      QCheck2.assume (Array.length addrs > 0);
+      let trace = Trace.of_addresses addrs in
+      let prepared = Analytical.prepare ~line_words trace in
+      let depth = min depth (1 lsl prepared.Analytical.max_level) in
+      let streaming =
+        Analytical.misses ~method_:Analytical.Streaming prepared ~depth ~associativity
+      in
+      let dfs = Analytical.misses ~method_:Analytical.Dfs prepared ~depth ~associativity in
+      let sim =
+        (Cache.simulate (Config.make ~line_words ~depth ~associativity ()) trace).Cache.misses
+      in
+      streaming = dfs && streaming = sim)
+
+let prop_explore_methods_agree =
+  prop ~count:80 "explore: streaming = dfs = bcat walk" gen_addresses (fun addrs ->
+      QCheck2.assume (Array.length addrs > 0);
+      let prepared = Analytical.prepare (Trace.of_addresses addrs) in
+      let pairs method_ =
+        Optimizer.optimal_pairs (Analytical.explore_prepared ~method_ prepared ~k:7)
+      in
+      pairs Analytical.Streaming = pairs Analytical.Dfs
+      && pairs Analytical.Streaming = pairs Analytical.Bcat_walk)
+
+(* -- edge cases -- *)
+
+let test_streaming_empty_trace () =
+  let stripped = Strip.strip (Trace.create ()) in
+  let hists = Streaming.histograms stripped ~max_level:3 in
+  check_int "levels" 4 (Array.length hists);
+  Array.iter (fun h -> Alcotest.(check (array int)) "empty level" [| 0 |] h) hists;
+  let sharded = Streaming.histograms ~domains:8 stripped ~max_level:3 in
+  check_bool "sharded empty identical" true (hists = sharded)
+
+let test_streaming_single_ref () =
+  let stripped = Strip.strip_addresses [| 42 |] in
+  let max_level = Strip.address_bits stripped in
+  let hists = Streaming.histograms stripped ~max_level in
+  Array.iter (fun h -> Alcotest.(check (array int)) "cold only" [| 0 |] h) hists;
+  check_int "no non-cold misses" 0 (Streaming.misses stripped ~level:0 ~associativity:1)
+
+let test_streaming_repeated_single_address () =
+  (* every occurrence after the first is warm with an empty conflict set:
+     no misses at any depth or associativity *)
+  let stripped = Strip.strip_addresses (Array.make 1000 5) in
+  let hists = Streaming.histograms stripped ~max_level:2 in
+  Array.iter (fun h -> Alcotest.(check (array int)) "no conflicts" [| 0 |] h) hists
+
+let test_streaming_rejects_negative_level () =
+  Alcotest.check_raises "negative max_level" (Invalid_argument "Streaming: negative max_level")
+    (fun () -> ignore (Streaming.histograms (Strip.strip_addresses [| 1 |]) ~max_level:(-1)))
+
+(* -- the analytical facade defaults to the streaming method -- *)
+
+let test_facade_default_is_streaming () =
+  let trace = Paper_example.trace () in
+  let prepared = Analytical.prepare trace in
+  check_bool "mrct not forced by streaming explore" true
+    (ignore (Analytical.explore_prepared prepared ~k:0);
+     not (Lazy.is_val prepared.Analytical.mrct_lazy));
+  check_int "misses facade" 5 (Analytical.misses prepared ~depth:1 ~associativity:1);
+  check_bool "mrct forced on demand" true
+    (ignore (Analytical.mrct prepared);
+     Lazy.is_val prepared.Analytical.mrct_lazy)
+
+let prop_domains_facade_invariant =
+  prop ~count:50 "explore_prepared invariant in domains" gen_addresses (fun addrs ->
+      QCheck2.assume (Array.length addrs > 0);
+      let prepared = Analytical.prepare (Trace.of_addresses addrs) in
+      let pairs domains =
+        Optimizer.optimal_pairs (Analytical.explore_prepared ~domains prepared ~k:3)
+      in
+      pairs 1 = pairs 4)
+
+let suites =
+  [
+    ( "streaming:equivalence",
+      [
+        Alcotest.test_case "paper example" `Quick test_streaming_paper;
+        prop_streaming_equals_materialized;
+        prop_streaming_shard_invariant;
+        Alcotest.test_case "sharded long trace" `Slow test_streaming_sharded_long_trace;
+        prop_streaming_exact_vs_simulator;
+        prop_explore_methods_agree;
+      ] );
+    ( "streaming:edges",
+      [
+        Alcotest.test_case "empty trace" `Quick test_streaming_empty_trace;
+        Alcotest.test_case "single reference" `Quick test_streaming_single_ref;
+        Alcotest.test_case "repeated single address" `Quick test_streaming_repeated_single_address;
+        Alcotest.test_case "negative level rejected" `Quick test_streaming_rejects_negative_level;
+        Alcotest.test_case "facade defaults" `Quick test_facade_default_is_streaming;
+        prop_domains_facade_invariant;
+      ] );
+  ]
