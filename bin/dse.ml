@@ -10,20 +10,70 @@
 
 open Cmdliner
 
-let load_trace format path =
+(* Exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt data, 5 internal (see
+   Dse_error.exit_code). Every error goes to stderr, never stdout, and
+   traces are loaded before any report rendering starts, so diagnostics
+   cannot interleave with report output. *)
+
+let or_exit = function
+  | Ok v -> v
+  | Error e ->
+    Format.eprintf "dse: %s@." (Dse_error.to_string e);
+    exit (Dse_error.exit_code e)
+
+let usage_fail message =
+  Dse_error.fail (Dse_error.Constraint_violation { context = "usage"; message })
+
+let load_trace format on_error path =
   let loader =
     match format with
     | `Text -> Trace_io.load
     | `Binary -> Trace_io.load_binary
     | `Dinero -> Trace_io.load_dinero
   in
-  try Ok (loader path) with
-  | Sys_error msg -> Error msg
-  | Failure msg -> Error msg
+  let ingest = or_exit (loader ~on_error path) in
+  if ingest.Trace_io.skipped > 0 then begin
+    Format.eprintf "dse: %s: skipped %d malformed record(s)@." path ingest.Trace_io.skipped;
+    List.iter
+      (fun e -> Format.eprintf "dse:   %s@." (Dse_error.to_string e))
+      ingest.Trace_io.errors;
+    if ingest.Trace_io.skipped > Trace_io.max_reported_errors then
+      Format.eprintf "dse:   ... and %d more@."
+        (ingest.Trace_io.skipped - Trace_io.max_reported_errors)
+  end;
+  ingest.Trace_io.trace
+
+let on_error_arg =
+  let parse s =
+    match s with
+    | "fail" -> Ok Trace_io.Fail
+    | "skip" -> Ok Trace_io.Skip
+    | _ -> (
+      match String.split_on_char ':' s with
+      | [ "stop-after"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 -> Ok (Trace_io.Stop_after n)
+        | _ -> Error (`Msg (Printf.sprintf "bad stop-after count %S" n)))
+      | _ -> Error (`Msg (Printf.sprintf "bad on-error policy %S (expected fail, skip, or stop-after:N)" s)))
+  in
+  let print fmt = function
+    | Trace_io.Fail -> Format.fprintf fmt "fail"
+    | Trace_io.Skip -> Format.fprintf fmt "skip"
+    | Trace_io.Stop_after n -> Format.fprintf fmt "stop-after:%d" n
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Trace_io.Fail
+    & info [ "on-error" ] ~docv:"POLICY"
+        ~doc:
+          "What to do with malformed trace records: $(b,fail) (default), $(b,skip) (drop, \
+           count, and summarise them on stderr), or $(b,stop-after:N) (tolerate up to N).")
 
 let trace_arg =
   let doc = "Trace file (lines of '<F|R|W> <address>', hex or decimal)." in
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  (* [string], not [file]: a missing trace must surface as a typed
+     [Io_error] (exit 3), not a cmdliner usage error (exit 2) *)
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
 
 let format_arg =
   let formats = [ ("text", `Text); ("binary", `Binary); ("dinero", `Dinero) ] in
@@ -39,23 +89,21 @@ let max_depth_arg =
 let level_of_max_depth = function
   | None -> None
   | Some d ->
-    if d < 1 || d land (d - 1) <> 0 then failwith "max-depth must be a positive power of two"
+    if d < 1 || d land (d - 1) <> 0 then usage_fail "max-depth must be a positive power of two"
     else begin
       let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
       Some (log2 d 0)
     end
 
-let or_fail = function Ok v -> v | Error msg -> failwith msg
-
 (* -- stats -- *)
 
 let stats_cmd =
-  let run path format =
-    let trace = or_fail (load_trace format path) in
+  let run path format on_error =
+    let trace = load_trace format on_error path in
     let stats = Stats.compute trace in
     Format.printf "%a@." Report.pp_stats_table [ (Filename.basename path, stats) ]
   in
-  let term = Term.(const run $ trace_arg $ format_arg) in
+  let term = Term.(const run $ trace_arg $ format_arg $ on_error_arg) in
   Cmd.v (Cmd.info "stats" ~doc:"Print trace statistics (N, N', maximum misses).") term
 
 (* -- explore -- *)
@@ -101,10 +149,10 @@ let domains_arg =
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
 let explore_cmd =
-  let run path format percents k max_depth csv no_trim method_ domains =
-    let trace = or_fail (load_trace format path) in
+  let run path format on_error percents k max_depth csv no_trim method_ domains =
+    if domains < 1 then usage_fail "domains must be >= 1";
+    let trace = load_trace format on_error path in
     let max_level = level_of_max_depth max_depth in
-    if domains < 1 then failwith "domains must be >= 1";
     let name = Filename.basename path in
     match k with
     | Some k ->
@@ -117,8 +165,8 @@ let explore_cmd =
       else Format.printf "%a@." Report.pp_instances table
   in
   let term =
-    Term.(const run $ trace_arg $ format_arg $ percents_arg $ absolute_k_arg $ max_depth_arg
-          $ csv_arg $ trim_arg $ method_arg $ domains_arg)
+    Term.(const run $ trace_arg $ format_arg $ on_error_arg $ percents_arg $ absolute_k_arg
+          $ max_depth_arg $ csv_arg $ trim_arg $ method_arg $ domains_arg)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -141,8 +189,8 @@ let simulate_cmd =
     let policies = [ ("lru", `Lru); ("fifo", `Fifo); ("random", `Random) ] in
     Arg.(value & opt (enum policies) `Lru & info [ "policy" ] ~doc:"Replacement policy.")
   in
-  let run path format depth assoc line policy =
-    let trace = or_fail (load_trace format path) in
+  let run path format on_error depth assoc line policy =
+    let trace = load_trace format on_error path in
     let replacement =
       match policy with `Lru -> Config.Lru | `Fifo -> Config.Fifo | `Random -> Config.Random 1
     in
@@ -151,21 +199,22 @@ let simulate_cmd =
     Format.printf "%a@.%a@." Config.pp config Cache.pp_stats stats
   in
   let term =
-    Term.(const run $ trace_arg $ format_arg $ depth_arg $ assoc_arg $ line_arg $ policy_arg)
+    Term.(const run $ trace_arg $ format_arg $ on_error_arg $ depth_arg $ assoc_arg $ line_arg
+          $ policy_arg)
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Simulate one cache configuration over a trace.") term
 
 (* -- compare -- *)
 
 let compare_cmd =
-  let run path format max_depth =
-    let trace = or_fail (load_trace format path) in
+  let run path format on_error max_depth =
+    let trace = load_trace format on_error path in
     let max_level = level_of_max_depth max_depth in
     let outcome = Compare.trace ?max_level trace in
     Format.printf "%a@." Compare.pp outcome;
     if not (Compare.agree outcome) then exit 1
   in
-  let term = Term.(const run $ trace_arg $ format_arg $ max_depth_arg) in
+  let term = Term.(const run $ trace_arg $ format_arg $ on_error_arg $ max_depth_arg) in
   Cmd.v
     (Cmd.info "compare" ~doc:"Cross-check the analytical model against stack simulation.")
     term
@@ -189,11 +238,12 @@ let gen_cmd =
   in
   let run name kind out binary =
     let bench =
-      try Registry.find name with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
+      try Registry.find name
+      with Not_found -> usage_fail (Printf.sprintf "unknown benchmark %S" name)
     in
     let itrace, dtrace = Workload.traces bench in
     let trace = match kind with `Inst -> itrace | `Data -> dtrace in
-    if binary then Trace_io.save_binary out trace else Trace_io.save out trace;
+    or_exit (if binary then Trace_io.save_binary out trace else Trace_io.save out trace);
     Format.printf "wrote %d references to %s@." (Trace.length trace) out
   in
   let term = Term.(const run $ bench_arg $ kind_arg $ out_arg $ binary_arg) in
@@ -212,17 +262,17 @@ let reduce_cmd =
   let out_arg =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
   in
-  let run path format depth out =
-    let trace = or_fail (load_trace format path) in
+  let run path format on_error depth out =
+    let trace = load_trace format on_error path in
     let r = Reduce.filter ~depth trace in
-    Trace_io.save out r.Reduce.reduced;
+    or_exit (Trace_io.save out r.Reduce.reduced);
     Format.printf "kept %d of %d references (%.1f%%), removed %d filter hits@."
       (Trace.length r.Reduce.reduced)
       r.Reduce.original_length
       (100.0 *. Reduce.reduction_ratio r)
       r.Reduce.filter_hits
   in
-  let term = Term.(const run $ trace_arg $ format_arg $ depth_arg $ out_arg) in
+  let term = Term.(const run $ trace_arg $ format_arg $ on_error_arg $ depth_arg $ out_arg) in
   Cmd.v
     (Cmd.info "reduce"
        ~doc:"Strip a trace through a direct-mapped filter cache (Puzak/Wu-Wolf).")
@@ -234,8 +284,8 @@ let pareto_cmd =
   let k_arg =
     Arg.(required & opt (some int) None & info [ "k"; "budget" ] ~docv:"K" ~doc:"Miss budget.")
   in
-  let run path format k =
-    let trace = or_fail (load_trace format path) in
+  let run path format on_error k =
+    let trace = load_trace format on_error path in
     let points = Pareto.candidates trace ~k in
     let frontier = Pareto.frontier points in
     List.iter
@@ -244,7 +294,7 @@ let pareto_cmd =
       points;
     Format.printf "* = Pareto-optimal under (energy, time, area)@."
   in
-  let term = Term.(const run $ trace_arg $ format_arg $ k_arg) in
+  let term = Term.(const run $ trace_arg $ format_arg $ on_error_arg $ k_arg) in
   Cmd.v
     (Cmd.info "pareto" ~doc:"Cost the budget-meeting instances and mark the Pareto set.")
     term
@@ -261,7 +311,8 @@ let disasm_cmd =
   in
   let run name hex =
     let bench =
-      try Registry.find name with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
+      try Registry.find name
+      with Not_found -> usage_fail (Printf.sprintf "unknown benchmark %S" name)
     in
     let program = Asm.assemble bench.Workload.program in
     Array.iteri
@@ -288,7 +339,8 @@ let codesign_cmd =
   in
   let run name k_total =
     let bench =
-      try Registry.find name with Not_found -> failwith (Printf.sprintf "unknown benchmark %S" name)
+      try Registry.find name
+      with Not_found -> usage_fail (Printf.sprintf "unknown benchmark %S" name)
     in
     let itrace, dtrace = Workload.traces bench in
     let best = Codesign.partition ~itrace ~dtrace ~k_total () in
@@ -341,7 +393,7 @@ let cc_cmd =
       let dump out trace =
         match (out, trace) with
         | Some p, Some t ->
-          Trace_io.save p t;
+          or_exit (Trace_io.save p t);
           Format.printf "wrote %d references to %s@." (Trace.length t) p
         | _ -> ()
       in
@@ -390,7 +442,7 @@ let run_cmd =
     let dump out trace =
       match (out, trace) with
       | Some path, Some t ->
-        Trace_io.save path t;
+        or_exit (Trace_io.save path t);
         Format.printf "wrote %d references to %s@." (Trace.length t) path
       | _ -> ()
     in
@@ -422,15 +474,22 @@ let main =
     ]
 
 let () =
+  Fault.install_from_env ();
   match Cmd.eval_value ~catch:false main with
   | Ok _ -> ()
-  | Error _ -> exit 2
-  | exception Failure msg ->
-    Format.eprintf "dse: %s@." msg;
-    exit 1
-  | exception Machine.Fault msg ->
-    Format.eprintf "dse: machine fault: %s@." msg;
-    exit 1
+  | Error _ -> exit 2 (* cmdliner usage/parse error *)
+  | exception Dse_error.Error e ->
+    Format.eprintf "dse: %s@." (Dse_error.to_string e);
+    exit (Dse_error.exit_code e)
   | exception Sys_error msg ->
     Format.eprintf "dse: %s@." msg;
-    exit 1
+    exit 3
+  | exception Machine.Fault msg ->
+    Format.eprintf "dse: machine fault: %s@." msg;
+    exit 5
+  | exception Failure msg ->
+    Format.eprintf "dse: %s@." msg;
+    exit 5
+  | exception Invalid_argument msg ->
+    Format.eprintf "dse: internal error: %s@." msg;
+    exit 5

@@ -1,0 +1,32 @@
+type t =
+  | Parse_error of { file : string; line : int; message : string }
+  | Corrupt_binary of { file : string; offset : int; message : string }
+  | Constraint_violation of { context : string; message : string }
+  | Shard_failure of { shard : int; attempts : int; message : string }
+  | Io_error of { file : string; message : string }
+
+exception Error of t
+
+let fail e = raise (Error e)
+
+let to_string = function
+  | Parse_error { file; line; message } -> Printf.sprintf "%s: line %d: %s" file line message
+  | Corrupt_binary { file; offset; message } ->
+    Printf.sprintf "%s: corrupt binary trace at byte %d: %s" file offset message
+  | Constraint_violation { context; message } -> Printf.sprintf "%s: %s" context message
+  | Shard_failure { shard; attempts; message } ->
+    Printf.sprintf "shard %d failed after %d attempt(s): %s" shard attempts message
+  | Io_error { file; message } -> Printf.sprintf "%s: %s" file message
+
+let exit_code = function
+  | Constraint_violation _ -> 2
+  | Io_error _ -> 3
+  | Parse_error _ | Corrupt_binary _ -> 4
+  | Shard_failure _ -> 5
+
+let on_degradation = ref (fun msg -> prerr_endline ("dse: " ^ msg))
+
+let degraded msg = !on_degradation msg
+
+let () =
+  Printexc.register_printer (function Error e -> Some ("Dse_error: " ^ to_string e) | _ -> None)

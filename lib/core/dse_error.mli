@@ -1,0 +1,45 @@
+(** Typed error taxonomy for the DSE pipeline.
+
+    The analytical kernel is exact — but exactness is only as
+    trustworthy as the inputs and the engine. Every recoverable failure
+    in trace ingestion and parallel exploration is classified here, so
+    callers can react per class (and the [dse] CLI can map each class to
+    a distinct process exit code) instead of pattern-matching on
+    [Failure] strings. *)
+
+type t =
+  | Parse_error of { file : string; line : int; message : string }
+      (** A malformed line in a text or Dinero trace file. *)
+  | Corrupt_binary of { file : string; offset : int; message : string }
+      (** Structural damage in a binary trace: bad magic, truncated or
+          overlong varint, bad kind tag, length/CRC mismatch. [offset]
+          is the byte position where the damage was detected. *)
+  | Constraint_violation of { context : string; message : string }
+      (** A caller-supplied parameter outside its domain (usage error). *)
+  | Shard_failure of { shard : int; attempts : int; message : string }
+      (** A parallel shard kept failing after every recovery path
+          (respawn retry, then sequential recomputation) was exhausted. *)
+  | Io_error of { file : string; message : string }
+      (** The operating system refused an open/read/write. *)
+
+exception Error of t
+
+(** [fail e] raises {!Error}. *)
+val fail : t -> 'a
+
+(** [to_string e] renders the error with its location context. *)
+val to_string : t -> string
+
+(** [exit_code e] maps the class to the [dse] CLI exit-code scheme:
+    2 = usage ([Constraint_violation]), 3 = I/O ([Io_error]),
+    4 = corrupt data ([Parse_error], [Corrupt_binary]),
+    5 = internal ([Shard_failure]). *)
+val exit_code : t -> int
+
+(** Hook invoked whenever the parallel engine degrades (a shard retry or
+    a fall-back to sequential recomputation). Defaults to printing on
+    stderr; tests redirect it to capture or silence the log. *)
+val on_degradation : (string -> unit) ref
+
+(** [degraded msg] invokes {!on_degradation}. *)
+val degraded : string -> unit

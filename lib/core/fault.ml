@@ -1,0 +1,39 @@
+type spec = { shard : int; times : int }
+
+(* The armed state is written before any domain is spawned and only read
+   concurrently; the per-attempt budget is an atomic so parallel shards
+   cannot double-consume it. *)
+let state : (int * int Atomic.t) option ref = ref None
+
+let set = function
+  | None -> state := None
+  | Some { shard; times } -> state := Some (shard, Atomic.make times)
+
+let parse s =
+  match String.split_on_char ':' s with
+  | [ "shard"; k ] -> (
+    match int_of_string_opt k with
+    | Some shard when shard >= 0 -> Some { shard; times = 1 }
+    | _ -> None)
+  | [ "shard"; k; t ] -> (
+    match (int_of_string_opt k, int_of_string_opt t) with
+    | Some shard, Some times when shard >= 0 && times >= 1 -> Some { shard; times }
+    | _ -> None)
+  | _ -> None
+
+let install_from_env () =
+  set (Option.bind (Sys.getenv_opt "DSE_FAULT") parse)
+
+let should_fail ~shard =
+  match !state with
+  | None -> false
+  | Some (target, remaining) ->
+    target = shard
+    &&
+    let rec claim () =
+      let r = Atomic.get remaining in
+      if r <= 0 then false
+      else if Atomic.compare_and_set remaining r (r - 1) then true
+      else claim ()
+    in
+    claim ()

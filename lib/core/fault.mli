@@ -1,0 +1,34 @@
+(** Fault injection for testing shard recovery.
+
+    The parallel engine ({!Shard_exec}) consults this hook before each
+    shard attempt, so the recovery ladder — spawn, retry in a fresh
+    domain, sequential recomputation — is exercisable in CI without OS
+    tricks. An injection names one shard and how many consecutive
+    attempts on it must fail:
+
+    - [times = 1]: the first attempt dies, the retry succeeds;
+    - [times = 2]: the retry dies too, the sequential fall-back succeeds;
+    - [times >= 3]: every path dies and {!Dse_error.Shard_failure}
+      escapes.
+
+    The hook is off unless armed via {!set} (tests) or the [DSE_FAULT]
+    environment variable (CLI, see {!install_from_env}). *)
+
+type spec = { shard : int; times : int }
+
+(** [parse s] reads ["shard:K"] (one failure on shard [K]) or
+    ["shard:K:T"] ([T] failures). Returns [None] on anything else. *)
+val parse : string -> spec option
+
+(** [set spec] arms ([Some]) or disarms ([None]) the injection. The
+    attempt budget is reset. *)
+val set : spec option -> unit
+
+(** [install_from_env ()] arms from [DSE_FAULT] if set and well-formed;
+    disarms otherwise. *)
+val install_from_env : unit -> unit
+
+(** [should_fail ~shard] is [true] when this attempt on [shard] must be
+    failed; each [true] consumes one unit of the armed budget. Safe to
+    call from any domain. *)
+val should_fail : shard:int -> bool

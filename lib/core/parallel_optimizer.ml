@@ -20,24 +20,21 @@ let histograms ~domains ~addresses mrct ~max_level =
   if domains = 1 || n' = 0 then Dfs_optimizer.histograms ~addresses mrct ~max_level
   else begin
     let chunk = (n' + domains - 1) / domains in
-    let bounds =
+    match
       List.init domains (fun d -> (d * chunk, min n' ((d + 1) * chunk)))
       |> List.filter (fun (lo, hi) -> lo < hi)
-    in
-    match bounds with
-    | [] -> Dfs_optimizer.histograms ~addresses mrct ~max_level
-    | (lo0, hi0) :: rest ->
-      (* spawn workers for the tail chunks, compute the first here *)
-      let workers =
-        List.map
-          (fun (lo, hi) ->
-            Domain.spawn (fun () ->
-                Dfs_optimizer.histograms_range ~addresses mrct ~max_level ~lo ~hi))
-          rest
-      in
-      let head = Dfs_optimizer.histograms_range ~addresses mrct ~max_level ~lo:lo0 ~hi:hi0 in
-      let parts = head :: List.map Domain.join workers in
-      merge_histograms parts
+      |> Array.of_list
+    with
+    | [||] -> Dfs_optimizer.histograms ~addresses mrct ~max_level
+    | chunks ->
+      (* one shard-isolated domain per identifier chunk (shard 0 runs
+         here); a crashed shard is retried, then recomputed sequentially *)
+      merge_histograms
+        (Shard_exec.map
+           (fun shard ->
+             let lo, hi = chunks.(shard) in
+             Dfs_optimizer.histograms_range ~addresses mrct ~max_level ~lo ~hi)
+           (Array.length chunks))
   end
 
 let explore ~domains ~addresses mrct ~max_level ~k =

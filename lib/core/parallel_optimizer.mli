@@ -5,7 +5,12 @@
     single node: the MRCT is partitioned by reference identifier across
     OCaml 5 domains, each computes partial per-level histograms (the
     data are read-only), and the histograms are summed. Results are
-    identical to {!Dfs_optimizer} (property tested). *)
+    identical to {!Dfs_optimizer} (property tested).
+
+    Multi-domain runs are fault-isolated through {!Shard_exec}: a
+    crashing domain is retried once in a fresh domain, then its
+    identifier chunk is recomputed sequentially; only when all three
+    attempts fail does a typed {!Dse_error.Shard_failure} escape. *)
 
 (** [explore ~domains ~addresses mrct ~max_level ~k] runs the fused DFS
     postlude on [domains] domains (clamped to at least 1). *)

@@ -1,0 +1,20 @@
+(** Shard-isolated parallel execution.
+
+    [Domain.spawn] as used naively propagates any worker exception
+    through [Domain.join], so one crashing shard used to take down an
+    entire [--domains N] exploration. This module isolates each shard:
+    exceptions are captured per shard, a failed shard is retried once in
+    a fresh domain, and if the retry fails too the shard's work is
+    recomputed sequentially in the calling domain (both degradations are
+    reported through {!Dse_error.on_degradation}). Only when all three
+    attempts fail does a typed {!Dse_error.Shard_failure} escape.
+
+    {!Fault} is consulted before every attempt, making each rung of the
+    recovery ladder testable. *)
+
+(** [map f count] computes [[f 0; f 1; ...; f (count-1)]], one shard per
+    domain — shard [0] in the calling domain, the rest spawned. [f] must
+    be safe to re-execute (the shard kernels are pure). Raises
+    {!Dse_error.Error} ([Shard_failure]) only after retry and sequential
+    recomputation of a shard have both failed. *)
+val map : (int -> 'a) -> int -> 'a list

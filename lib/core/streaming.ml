@@ -121,34 +121,34 @@ let merge_histograms parts =
    and Domain.spawn overhead outweigh the tally work split. *)
 let min_shard_refs = 65536
 
-let histograms ?(domains = 1) (s : Strip.t) ~max_level =
+let histograms ?(domains = 1) ?(shard_threshold = min_shard_refs) (s : Strip.t) ~max_level =
   let n = Strip.num_refs s in
   let domains = max 1 domains in
-  if domains = 1 || n < domains * min_shard_refs then
+  if domains = 1 || n < domains * shard_threshold then
     window_histograms s ~max_level ~lo:0 ~hi:n
   else begin
     let chunk = (n + domains - 1) / domains in
     match
       List.init domains (fun d -> (d * chunk, min n ((d + 1) * chunk)))
       |> List.filter (fun (lo, hi) -> lo < hi)
+      |> Array.of_list
     with
-    | [] -> window_histograms s ~max_level ~lo:0 ~hi:n
-    | (lo0, hi0) :: rest ->
-      (* spawn workers for the tail windows, compute the first here *)
-      let workers =
-        List.map
-          (fun (lo, hi) ->
-            Domain.spawn (fun () -> window_histograms s ~max_level ~lo ~hi))
-          rest
-      in
-      let head = window_histograms s ~max_level ~lo:lo0 ~hi:hi0 in
-      merge_histograms (head :: List.map Domain.join workers)
+    | [||] -> window_histograms s ~max_level ~lo:0 ~hi:n
+    | windows ->
+      (* one shard-isolated domain per window (shard 0 runs here);
+         a crashed shard is retried, then recomputed sequentially *)
+      merge_histograms
+        (Shard_exec.map
+           (fun shard ->
+             let lo, hi = windows.(shard) in
+             window_histograms s ~max_level ~lo ~hi)
+           (Array.length windows))
   end
 
-let explore ?domains s ~max_level ~k =
-  Optimizer.of_histograms ~k (histograms ?domains s ~max_level)
+let explore ?domains ?shard_threshold s ~max_level ~k =
+  Optimizer.of_histograms ~k (histograms ?domains ?shard_threshold s ~max_level)
 
-let misses ?domains s ~level ~associativity =
+let misses ?domains ?shard_threshold s ~level ~associativity =
   if level < 0 then invalid_arg "Streaming.misses: negative level";
-  let hists = histograms ?domains s ~max_level:level in
+  let hists = histograms ?domains ?shard_threshold s ~max_level:level in
   Optimizer.misses_of_histogram hists.(level) ~associativity

@@ -19,24 +19,36 @@
     window; per-level histograms are summed. Warm occurrences partition
     by position, so the merge is exact. Sharding falls back to the
     sequential kernel when the windows are too small for the replay and
-    spawn overhead to pay off. *)
+    spawn overhead to pay off.
 
-(** [histograms ?domains stripped ~max_level] computes the per-level
-    conflict-cardinality histograms ([result.(l).(c)] counts warm
-    occurrences whose conflict set meets their depth-[2^l] row in exactly
-    [c] references). [domains] defaults to 1 and is clamped to at
-    least 1. Raises [Invalid_argument] on a negative [max_level]. *)
-val histograms : ?domains:int -> Strip.t -> max_level:int -> int array array
+    Sharded runs are fault-isolated through {!Shard_exec}: a crashing
+    domain is retried once in a fresh domain, then its window is
+    recomputed sequentially; only when all three attempts fail does a
+    typed {!Dse_error.Shard_failure} escape. *)
 
-(** [explore ?domains stripped ~max_level ~k] runs the full postlude on
-    the streamed histograms; equivalent to {!Dfs_optimizer.explore} on a
-    materialized MRCT. *)
-val explore : ?domains:int -> Strip.t -> max_level:int -> k:int -> Optimizer.t
+(** [histograms ?domains ?shard_threshold stripped ~max_level] computes
+    the per-level conflict-cardinality histograms ([result.(l).(c)]
+    counts warm occurrences whose conflict set meets their depth-[2^l]
+    row in exactly [c] references). [domains] defaults to 1 and is
+    clamped to at least 1; [shard_threshold] (default
+    {!min_shard_refs}) is the smallest per-domain window for which
+    sharding is attempted — tests lower it to exercise the sharded path
+    on short traces. Raises [Invalid_argument] on a negative
+    [max_level]. *)
+val histograms :
+  ?domains:int -> ?shard_threshold:int -> Strip.t -> max_level:int -> int array array
 
-(** [misses ?domains stripped ~level ~associativity] is the exact
-    non-cold miss count of the [2^level] x [associativity] LRU cache,
-    computed without materializing the conflict table. *)
-val misses : ?domains:int -> Strip.t -> level:int -> associativity:int -> int
+(** [explore ?domains ?shard_threshold stripped ~max_level ~k] runs the
+    full postlude on the streamed histograms; equivalent to
+    {!Dfs_optimizer.explore} on a materialized MRCT. *)
+val explore :
+  ?domains:int -> ?shard_threshold:int -> Strip.t -> max_level:int -> k:int -> Optimizer.t
+
+(** [misses ?domains ?shard_threshold stripped ~level ~associativity] is
+    the exact non-cold miss count of the [2^level] x [associativity]
+    LRU cache, computed without materializing the conflict table. *)
+val misses :
+  ?domains:int -> ?shard_threshold:int -> Strip.t -> level:int -> associativity:int -> int
 
 (** [min_shard_refs] is the smallest per-domain window (in trace
     references) for which sharding is attempted; below it the sequential

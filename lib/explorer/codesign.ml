@@ -28,9 +28,14 @@ let smallest_instance prepared ~k =
       size_words = size;
     }
 
+(* budget/steps arrive from the CLI, so a bad value is a typed
+   [Constraint_violation] (exit 2), not an [Invalid_argument] crash *)
+let constraint_fail message =
+  Dse_error.fail (Dse_error.Constraint_violation { context = "codesign"; message })
+
 let sweep ?(steps = 20) ~itrace ~dtrace ~k_total () =
-  if k_total < 0 then invalid_arg "Codesign.sweep: negative budget";
-  if steps < 1 then invalid_arg "Codesign.sweep: steps must be >= 1";
+  if k_total < 0 then constraint_fail "negative budget";
+  if steps < 1 then constraint_fail "steps must be >= 1";
   let instruction_side = Analytical.prepare itrace in
   let data_side = Analytical.prepare dtrace in
   List.init (steps + 1) (fun step ->

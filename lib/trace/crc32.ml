@@ -1,0 +1,18 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let init = 0xFFFFFFFF
+
+let update_byte crc byte =
+  (Lazy.force table).((crc lxor byte) land 0xFF) lxor (crc lsr 8)
+
+let finalize crc = (crc lxor 0xFFFFFFFF) land 0xFFFFFFFF
+
+let digest_string s =
+  finalize (String.fold_left (fun crc c -> update_byte crc (Char.code c)) init s)

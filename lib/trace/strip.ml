@@ -8,6 +8,15 @@ let strip_addresses addrs =
   let ids = Array.make n 0 in
   for i = 0 to n - 1 do
     let a = addrs.(i) in
+    if a < 0 then
+      (* a negative address would silently poison the ctz-based row
+         arithmetic downstream; reject it as a typed constraint *)
+      Dse_error.fail
+        (Dse_error.Constraint_violation
+           {
+             context = "Strip.strip_addresses";
+             message = Printf.sprintf "negative address %d at position %d" a i;
+           });
     match Hashtbl.find_opt table a with
     | Some id -> ids.(i) <- id
     | None ->
@@ -19,13 +28,27 @@ let strip_addresses addrs =
   done;
   { uniques = Array.of_list (List.rev !uniques); ids }
 
+let strip_addresses_result addrs =
+  match strip_addresses addrs with
+  | s -> Ok s
+  | exception Dse_error.Error e -> Error e
+
 let strip trace = strip_addresses (Trace.addresses trace)
 
 let num_unique s = Array.length s.uniques
 
 let num_refs s = Array.length s.ids
 
-let address_of s id = s.uniques.(id)
+let address_of s id =
+  if id < 0 || id >= Array.length s.uniques then
+    Dse_error.fail
+      (Dse_error.Constraint_violation
+         {
+           context = "Strip.address_of";
+           message =
+             Printf.sprintf "identifier %d out of [0, %d)" id (Array.length s.uniques);
+         });
+  s.uniques.(id)
 
 let reconstruct s = Array.map (fun id -> s.uniques.(id)) s.ids
 

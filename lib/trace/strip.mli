@@ -13,8 +13,14 @@ type t = {
 (** [strip trace] strips a full trace (all access kinds). *)
 val strip : Trace.t -> t
 
-(** [strip_addresses addrs] strips a raw address sequence. *)
+(** [strip_addresses addrs] strips a raw address sequence. Raises
+    {!Dse_error.Error} ([Constraint_violation]) on a negative address —
+    a {!Trace.t} cannot contain one, but a raw array can. *)
 val strip_addresses : int array -> t
+
+(** [strip_addresses_result addrs] is {!strip_addresses} with the
+    constraint violation returned instead of raised. *)
+val strip_addresses_result : int array -> (t, Dse_error.t) result
 
 (** [num_unique s] is N'. *)
 val num_unique : t -> int
@@ -22,7 +28,9 @@ val num_unique : t -> int
 (** [num_refs s] is the original N. *)
 val num_refs : t -> int
 
-(** [address_of s id] is the address carried by [id]. *)
+(** [address_of s id] is the address carried by [id]. Raises
+    {!Dse_error.Error} ([Constraint_violation]) when [id] is outside
+    [0, N'). *)
 val address_of : t -> int -> int
 
 (** [reconstruct s] rebuilds the original address sequence. *)

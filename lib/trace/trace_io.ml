@@ -1,3 +1,37 @@
+type on_error = Fail | Skip | Stop_after of int
+
+type ingest = { trace : Trace.t; skipped : int; errors : Dse_error.t list }
+
+let max_reported_errors = 5
+
+let max_line_length = 4096
+
+(* Tolerated-error accounting shared by every lenient reader. *)
+type tally = { mutable skipped : int; mutable noted : Dse_error.t list }
+
+let note tally err =
+  tally.skipped <- tally.skipped + 1;
+  if tally.skipped <= max_reported_errors then tally.noted <- err :: tally.noted
+
+(* [tolerate mode tally err] decides whether [err] is absorbed (skipped
+   and counted) or aborts the read. *)
+let tolerate mode tally err =
+  match mode with
+  | Fail -> Error err
+  | Skip ->
+    note tally err;
+    Ok ()
+  | Stop_after n ->
+    if tally.skipped >= n then Error err
+    else begin
+      note tally err;
+      Ok ()
+    end
+
+let finish trace tally = { trace; skipped = tally.skipped; errors = List.rev tally.noted }
+
+(* -- text format -- *)
+
 let write channel trace =
   Trace.iter
     (fun (a : Trace.access) ->
@@ -7,150 +41,318 @@ let write channel trace =
       Printf.fprintf channel "%c 0x%x\n" letter a.addr)
     trace
 
-let parse_line ~line_number line trace =
-  let line = String.trim line in
-  if line = "" || line.[0] = '#' then ()
+let parse_line ~file ~line_number line trace =
+  let fail message = Error (Dse_error.Parse_error { file; line = line_number; message }) in
+  if String.length line > max_line_length then
+    fail (Printf.sprintf "line exceeds %d bytes" max_line_length)
   else
-    let fail msg = failwith (Printf.sprintf "trace line %d: %s" line_number msg) in
-    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-    | [ k; a ] ->
-      let kind =
-        match k with
-        | "F" | "f" -> Trace.Fetch
-        | "R" | "r" -> Trace.Read
-        | "W" | "w" -> Trace.Write
-        | _ -> fail (Printf.sprintf "unknown access kind %S" k)
-      in
-      let addr =
-        match int_of_string_opt a with
-        | Some v when v >= 0 -> v
-        | Some _ -> fail "negative address"
-        | None -> fail (Printf.sprintf "bad address %S" a)
-      in
-      Trace.add trace ~addr ~kind
-    | _ -> fail "expected '<kind> <address>'"
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then Ok ()
+    else
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ k; a ] -> (
+        let kind =
+          match k with
+          | "F" | "f" -> Ok Trace.Fetch
+          | "R" | "r" -> Ok Trace.Read
+          | "W" | "w" -> Ok Trace.Write
+          | _ -> fail (Printf.sprintf "unknown access kind %S" k)
+        in
+        match kind with
+        | Error _ as e -> e
+        | Ok kind -> (
+          match int_of_string_opt a with
+          | Some v when v >= 0 ->
+            Trace.add trace ~addr:v ~kind;
+            Ok ()
+          | Some _ -> fail "negative address"
+          | None -> fail (Printf.sprintf "bad address %S" a)))
+      | _ -> fail "expected '<kind> <address>'"
 
-let read channel =
+let read_lines ~parse ~on_error ~file channel =
   let trace = Trace.create () in
+  let tally = { skipped = 0; noted = [] } in
   let rec loop line_number =
     match input_line channel with
-    | line ->
-      parse_line ~line_number line trace;
-      loop (line_number + 1)
-    | exception End_of_file -> trace
+    | exception End_of_file -> Ok (finish trace tally)
+    | line -> (
+      match parse ~file ~line_number line trace with
+      | Ok () -> loop (line_number + 1)
+      | Error err -> (
+        match tolerate on_error tally err with
+        | Ok () -> loop (line_number + 1)
+        | Error _ as e -> e))
   in
   loop 1
 
-let save path trace =
-  let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc trace)
+let read ?(on_error = Fail) ?(file = "<channel>") channel =
+  read_lines ~parse:parse_line ~on_error ~file channel
 
-let load path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic)
+(* -- file-path plumbing -- *)
 
-(* Binary format: "DSET", length as LEB128, then per access a LEB128 of
-   (addr lsl 2) lor kind_tag. *)
+(* [Sys_error] messages already lead with the file name; strip it so
+   [Io_error]'s own file field doesn't print it twice *)
+let io_error path message =
+  let prefix = path ^ ": " in
+  let message =
+    if String.starts_with ~prefix message then
+      String.sub message (String.length prefix) (String.length message - String.length prefix)
+    else message
+  in
+  Dse_error.Io_error { file = path; message }
 
-let magic = "DSET"
+let with_in opener path f =
+  match opener path with
+  | exception Sys_error message -> Error (io_error path message)
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try f ic
+        with Sys_error message -> Error (io_error path message))
+
+let with_out opener path f =
+  match opener path with
+  | exception Sys_error message -> Error (io_error path message)
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        try Ok (f oc)
+        with Sys_error message -> Error (io_error path message))
+
+let load ?on_error path = with_in open_in path (fun ic -> read ?on_error ~file:path ic)
+
+let save path trace = with_out open_out path (fun oc -> write oc trace)
+
+(* -- binary format --
+
+   v1 (legacy, still readable): "DSET", the length as LEB128, then one
+   LEB128 record per access of (addr lsl 2) lor kind_tag.
+
+   v2 (what the writer emits): "DSEB", a version byte (2), the same
+   length + records, then a CRC-32 footer (4 bytes little-endian) over
+   every preceding byte. Truncation and bit-rot are detected
+   deterministically instead of surfacing as a bogus varint. *)
+
+let magic_v1 = "DSET"
+
+let magic_v2 = "DSEB"
+
+let binary_version = 2
 
 let kind_tag = function Trace.Fetch -> 0 | Trace.Read -> 1 | Trace.Write -> 2
 
-let kind_of_tag = function
-  | 0 -> Trace.Fetch
-  | 1 -> Trace.Read
-  | 2 -> Trace.Write
-  | t -> failwith (Printf.sprintf "binary trace: bad kind tag %d" t)
+(* Internal: byte offset where the damage was detected + what it was. *)
+exception Corrupt of int * string
 
-let write_varint channel value =
+type reader = { ic : in_channel; mutable pos : int; mutable crc : int }
+
+let next_byte r =
+  match input_byte r.ic with
+  | b ->
+    r.pos <- r.pos + 1;
+    r.crc <- Crc32.update_byte r.crc b;
+    b
+  | exception End_of_file -> raise (Corrupt (r.pos, "unexpected end of file"))
+
+let read_magic r =
+  let b = Bytes.create 4 in
+  for i = 0 to 3 do
+    Bytes.set b i (Char.chr (next_byte r))
+  done;
+  Bytes.to_string b
+
+(* Every truncation site reports the byte offset: a varint cut mid-payload
+   is [Corrupt], never a raw [End_of_file]. Overwide varints (> 62 value
+   bits) are rejected before they can wrap into negative addresses. *)
+let read_varint r =
+  let start = r.pos in
+  let rec loop shift acc =
+    if shift > 56 then raise (Corrupt (start, "varint wider than 63 bits"))
+    else
+      let byte = next_byte r in
+      let acc = acc lor ((byte land 0x7F) lsl shift) in
+      if acc < 0 then raise (Corrupt (start, "varint overflows the address space"))
+      else if byte land 0x80 = 0 then acc
+      else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let emit_varint emit value =
   let v = ref value in
   let continue = ref true in
   while !continue do
     let byte = !v land 0x7F in
     v := !v lsr 7;
     if !v = 0 then begin
-      output_byte channel byte;
+      emit byte;
       continue := false
     end
-    else output_byte channel (byte lor 0x80)
+    else emit (byte lor 0x80)
   done
 
-let read_varint channel =
-  let rec loop shift acc =
-    match input_byte channel with
-    | byte ->
-      let acc = acc lor ((byte land 0x7F) lsl shift) in
-      if byte land 0x80 = 0 then acc else loop (shift + 7) acc
-    | exception End_of_file -> failwith "binary trace: truncated varint"
-  in
-  loop 0 0
-
 let write_binary channel trace =
-  output_string channel magic;
-  write_varint channel (Trace.length trace);
-  Trace.iter
-    (fun (a : Trace.access) -> write_varint channel ((a.Trace.addr lsl 2) lor kind_tag a.Trace.kind))
-    trace
-
-let read_binary channel =
-  let header = really_input_string channel (String.length magic) in
-  if header <> magic then failwith "binary trace: bad magic";
-  let length = read_varint channel in
-  let trace = Trace.create ~capacity:(max 1 length) () in
-  for _k = 1 to length do
-    let record = read_varint channel in
-    Trace.add trace ~addr:(record lsr 2) ~kind:(kind_of_tag (record land 3))
-  done;
-  trace
-
-let save_binary path trace =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_binary oc trace)
-
-let load_binary path =
-  let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_binary ic)
-
-(* Dinero/din format: "<label> <hex-addr>"; labels 0 read, 1 write, 2
-   instruction fetch. *)
-
-let parse_dinero_line ~line_number line trace =
-  let line = String.trim line in
-  if line = "" then ()
-  else
-    let fail msg = failwith (Printf.sprintf "dinero line %d: %s" line_number msg) in
-    match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-    | [ l; a ] ->
-      let kind =
-        match l with
-        | "0" -> Trace.Read
-        | "1" -> Trace.Write
-        | "2" -> Trace.Fetch
-        | _ -> fail (Printf.sprintf "unknown label %S" l)
-      in
-      let addr =
-        match int_of_string_opt ("0x" ^ a) with
-        | Some v when v >= 0 -> v
-        | Some _ | None -> (
-          (* some din files already carry a 0x prefix *)
-          match int_of_string_opt a with
-          | Some v when v >= 0 -> v
-          | Some _ | None -> fail (Printf.sprintf "bad address %S" a))
-      in
-      Trace.add trace ~addr ~kind
-    | _ -> fail "expected '<label> <address>'"
-
-let read_dinero channel =
-  let trace = Trace.create () in
-  let rec loop line_number =
-    match input_line channel with
-    | line ->
-      parse_dinero_line ~line_number line trace;
-      loop (line_number + 1)
-    | exception End_of_file -> trace
+  let crc = ref Crc32.init in
+  let out b =
+    crc := Crc32.update_byte !crc b;
+    output_byte channel b
   in
-  loop 1
+  String.iter (fun c -> out (Char.code c)) magic_v2;
+  out binary_version;
+  emit_varint out (Trace.length trace);
+  Trace.iter
+    (fun (a : Trace.access) -> emit_varint out ((a.Trace.addr lsl 2) lor kind_tag a.Trace.kind))
+    trace;
+  let digest = Crc32.finalize !crc in
+  for i = 0 to 3 do
+    output_byte channel ((digest lsr (8 * i)) land 0xFF)
+  done
 
-let load_dinero path =
-  let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_dinero ic)
+let read_binary ?(on_error = Fail) ?(file = "<channel>") channel =
+  let r = { ic = channel; pos = 0; crc = Crc32.init } in
+  let trace = Trace.create () in
+  let tally = { skipped = 0; noted = [] } in
+  let corrupt ~offset message = Dse_error.Corrupt_binary { file; offset; message } in
+  let read_records length =
+    let rec loop k =
+      if k = 0 then Ok ()
+      else
+        let start = r.pos in
+        let record = read_varint r in
+        match record land 3 with
+        | 3 -> (
+          match tolerate on_error tally (corrupt ~offset:start "bad kind tag 3") with
+          | Ok () -> loop (k - 1)
+          | Error _ as e -> e)
+        | tag ->
+          let kind =
+            match tag with 0 -> Trace.Fetch | 1 -> Trace.Read | _ -> Trace.Write
+          in
+          Trace.add trace ~addr:(record lsr 2) ~kind;
+          loop (k - 1)
+    in
+    loop length
+  in
+  let go () =
+    let header = read_magic r in
+    let version =
+      if header = magic_v1 then 1
+      else if header = magic_v2 then begin
+        let v = next_byte r in
+        if v <> binary_version then
+          raise (Corrupt (4, Printf.sprintf "unsupported binary version %d" v));
+        v
+      end
+      else raise (Corrupt (0, "bad magic"))
+    in
+    let length_offset = r.pos in
+    let length = read_varint r in
+    (* each record is at least one byte, so a declared length beyond the
+       remaining file size is corruption — caught before any attempt to
+       allocate or parse that many records (pipes skip the check) *)
+    (match (in_channel_length channel, pos_in channel) with
+    | total, here ->
+      let footer = if version = 2 then 4 else 0 in
+      if length > total - here - footer then
+        raise
+          (Corrupt
+             ( length_offset,
+               Printf.sprintf "declared length %d exceeds the %d remaining bytes" length
+                 (max 0 (total - here - footer)) ))
+    | exception Sys_error _ -> ());
+    match read_records length with
+    | Error _ as e -> e
+    | Ok () ->
+      if version = 2 then begin
+        let computed = Crc32.finalize r.crc in
+        let footer_offset = r.pos in
+        let footer_byte () =
+          match input_byte channel with
+          | b ->
+            r.pos <- r.pos + 1;
+            b
+          | exception End_of_file -> raise (Corrupt (r.pos, "truncated CRC footer"))
+        in
+        let stored = ref 0 in
+        for i = 0 to 3 do
+          stored := !stored lor (footer_byte () lsl (8 * i))
+        done;
+        if !stored <> computed then
+          raise
+            (Corrupt
+               ( footer_offset,
+                 Printf.sprintf "CRC mismatch (stored %08x, computed %08x)" !stored computed
+               ));
+        match input_byte channel with
+        | _ -> raise (Corrupt (r.pos, "trailing bytes after the CRC footer"))
+        | exception End_of_file -> Ok (finish trace tally)
+      end
+      else Ok (finish trace tally)
+  in
+  match go () with
+  | result -> result
+  | exception Corrupt (offset, message) -> (
+    (* structural damage: in lenient modes keep what parsed (no resync is
+       possible after a broken varint), in [Fail] abort *)
+    let err = corrupt ~offset message in
+    match tolerate on_error tally err with
+    | Ok () -> Ok (finish trace tally)
+    | Error _ as e -> e)
+
+let load_binary ?on_error path =
+  with_in open_in_bin path (fun ic -> read_binary ?on_error ~file:path ic)
+
+let save_binary path trace = with_out open_out_bin path (fun oc -> write_binary oc trace)
+
+(* -- Dinero/din format: "<label> <hex-addr>"; labels 0 read, 1 write, 2
+   instruction fetch -- *)
+
+let parse_dinero_line ~file ~line_number line trace =
+  let fail message = Error (Dse_error.Parse_error { file; line = line_number; message }) in
+  if String.length line > max_line_length then
+    fail (Printf.sprintf "line exceeds %d bytes" max_line_length)
+  else
+    let line = String.trim line in
+    if line = "" then Ok ()
+    else
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ l; a ] -> (
+        let kind =
+          match l with
+          | "0" -> Ok Trace.Read
+          | "1" -> Ok Trace.Write
+          | "2" -> Ok Trace.Fetch
+          | _ -> fail (Printf.sprintf "unknown label %S" l)
+        in
+        match kind with
+        | Error _ as e -> e
+        | Ok kind -> (
+          match int_of_string_opt ("0x" ^ a) with
+          | Some v when v >= 0 ->
+            Trace.add trace ~addr:v ~kind;
+            Ok ()
+          | Some _ | None -> (
+            (* some din files already carry a 0x prefix *)
+            match int_of_string_opt a with
+            | Some v when v >= 0 ->
+              Trace.add trace ~addr:v ~kind;
+              Ok ()
+            | Some _ | None -> fail (Printf.sprintf "bad address %S" a))))
+      | _ -> fail "expected '<label> <address>'"
+
+let read_dinero ?(on_error = Fail) ?(file = "<channel>") channel =
+  read_lines ~parse:parse_dinero_line ~on_error ~file channel
+
+let load_dinero ?on_error path =
+  with_in open_in path (fun ic -> read_dinero ?on_error ~file:path ic)
+
+(* -- raising conveniences -- *)
+
+let trace_exn = function Ok i -> i.trace | Error e -> Dse_error.fail e
+
+let load_exn ?on_error path = trace_exn (load ?on_error path)
+
+let load_binary_exn ?on_error path = trace_exn (load_binary ?on_error path)
+
+let load_dinero_exn ?on_error path = trace_exn (load_dinero ?on_error path)

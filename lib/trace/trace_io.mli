@@ -1,43 +1,85 @@
-(** Plain-text trace files.
+(** Trace file I/O: text, binary (versioned + checksummed), and Dinero.
+
+    Every reader returns a {!Stdlib.result} carrying a typed
+    {!Dse_error.t} — a corrupt input can never escape as a raw
+    [Failure] or [End_of_file]. Readers also support a lenient
+    ingestion mode ({!on_error}) that skips malformed records, counts
+    them, and reports the earliest few, for salvaging real-world traces
+    with isolated damage. *)
+
+(** What to do when a malformed line/record is encountered:
+    - [Fail] (the default): return the first error;
+    - [Skip]: drop malformed records, count them, keep reading;
+    - [Stop_after n]: tolerate up to [n] malformed records, then return
+      the next error ([Stop_after 0] behaves like [Fail]). *)
+type on_error = Fail | Skip | Stop_after of int
+
+(** A successful (possibly lenient) read: the parsed trace, how many
+    malformed records were skipped, and the earliest skipped errors
+    (capped at {!max_reported_errors}). *)
+type ingest = { trace : Trace.t; skipped : int; errors : Dse_error.t list }
+
+(** Cap on the per-read [errors] list (5). *)
+val max_reported_errors : int
+
+(** Lines longer than this (4096 bytes) are rejected as malformed. *)
+val max_line_length : int
+
+(** {2 Text format}
 
     One access per line: a kind letter ([F] fetch, [R] read, [W] write)
-    followed by a hexadecimal word address, e.g. [R 0x1a3f]. Blank lines
-    and lines starting with [#] are ignored. This is the on-disk format
-    consumed by the [dse] command-line tool. *)
+    followed by a word address ([0x]-prefixed hex or decimal), e.g.
+    [R 0x1a3f]. Blank lines and lines starting with [#] are ignored. *)
 
-(** [write channel trace] writes the textual form. *)
 val write : out_channel -> Trace.t -> unit
 
-(** [read channel] parses a trace. Raises [Failure] with a line number on
-    malformed input. *)
-val read : in_channel -> Trace.t
+(** [read ?on_error ?file channel] parses a text trace. [file] labels
+    errors (defaults to ["<channel>"]). *)
+val read : ?on_error:on_error -> ?file:string -> in_channel -> (ingest, Dse_error.t) result
 
-(** [save path trace] and [load path] are file-path conveniences. *)
-val save : string -> Trace.t -> unit
+val load : ?on_error:on_error -> string -> (ingest, Dse_error.t) result
 
-val load : string -> Trace.t
+val save : string -> Trace.t -> (unit, Dse_error.t) result
 
 (** {2 Binary format}
 
-    A compact binary form for large traces: the magic bytes ["DSET"], a
-    length, then one variable-width record per access (kind packed into
-    the low bits). Both formats round-trip losslessly. *)
+    The writer emits v2: the magic ["DSEB"], a version byte, a LEB128
+    length, one LEB128 record per access (kind packed into the two low
+    bits), and a CRC-32 footer over every preceding byte — any
+    single-byte corruption or truncation is detected deterministically.
+    Legacy v1 files (magic ["DSET"], no version byte, no footer) are
+    still readable. Structural damage (bad magic, truncated or overwide
+    varint, length or CRC mismatch) aborts the read under [Fail]; under
+    the lenient modes the records parsed so far are kept, since no
+    resynchronisation is possible inside a varint stream. *)
 
 val write_binary : out_channel -> Trace.t -> unit
 
-(** [read_binary channel] raises [Failure] on a bad magic or a truncated
-    stream. *)
-val read_binary : in_channel -> Trace.t
+val read_binary :
+  ?on_error:on_error -> ?file:string -> in_channel -> (ingest, Dse_error.t) result
 
-val save_binary : string -> Trace.t -> unit
+val load_binary : ?on_error:on_error -> string -> (ingest, Dse_error.t) result
 
-val load_binary : string -> Trace.t
+val save_binary : string -> Trace.t -> (unit, Dse_error.t) result
 
 (** {2 Dinero import}
 
-    [read_dinero channel] parses the classic Dinero/din format: one
-    access per line, a numeric label (0 read, 1 write, 2 instruction
-    fetch) followed by a hex address. Blank lines are ignored. *)
-val read_dinero : in_channel -> Trace.t
+    The classic Dinero/din format: one access per line, a numeric label
+    (0 read, 1 write, 2 instruction fetch) followed by a hex address.
+    Blank lines are ignored. *)
 
-val load_dinero : string -> Trace.t
+val read_dinero :
+  ?on_error:on_error -> ?file:string -> in_channel -> (ingest, Dse_error.t) result
+
+val load_dinero : ?on_error:on_error -> string -> (ingest, Dse_error.t) result
+
+(** {2 Raising conveniences}
+
+    For quick library use; each raises {!Dse_error.Error} instead of
+    returning a result, and discards the skipped-record summary. *)
+
+val load_exn : ?on_error:on_error -> string -> Trace.t
+
+val load_binary_exn : ?on_error:on_error -> string -> Trace.t
+
+val load_dinero_exn : ?on_error:on_error -> string -> Trace.t

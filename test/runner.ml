@@ -6,6 +6,7 @@ let () =
        [
          Test_bitset.suites;
          Test_trace.suites;
+         Test_robustness.suites;
          Test_cachesim.suites;
          Test_core.suites;
          Test_streaming.suites;

@@ -180,10 +180,13 @@ let test_codesign_beats_naive_split () =
 
 let test_codesign_validation () =
   let t = Paper_example.trace () in
-  Alcotest.check_raises "negative" (Invalid_argument "Codesign.sweep: negative budget")
-    (fun () -> ignore (Codesign.sweep ~itrace:t ~dtrace:t ~k_total:(-1) ()));
-  Alcotest.check_raises "steps" (Invalid_argument "Codesign.sweep: steps must be >= 1")
-    (fun () -> ignore (Codesign.sweep ~steps:0 ~itrace:t ~dtrace:t ~k_total:1 ()))
+  let violation message =
+    Dse_error.Error (Dse_error.Constraint_violation { context = "codesign"; message })
+  in
+  Alcotest.check_raises "negative" (violation "negative budget") (fun () ->
+      ignore (Codesign.sweep ~itrace:t ~dtrace:t ~k_total:(-1) ()));
+  Alcotest.check_raises "steps" (violation "steps must be >= 1") (fun () ->
+      ignore (Codesign.sweep ~steps:0 ~itrace:t ~dtrace:t ~k_total:1 ()))
 
 let test_smallest_instance () =
   let prepared = Analytical.prepare (Paper_example.trace ()) in

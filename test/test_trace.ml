@@ -164,13 +164,17 @@ let prop_stats_max_misses_vs_simulator =
 
 (* -- file I/O -- *)
 
+let io_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected I/O error: %s" (Dse_error.to_string e)
+
 let roundtrip trace =
   let path = Filename.temp_file "dse_trace" ".txt" in
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Trace_io.save path trace;
-      Trace_io.load path)
+      io_ok (Trace_io.save path trace);
+      (io_ok (Trace_io.load path)).Trace_io.trace)
 
 let test_io_roundtrip () =
   let t =
@@ -192,7 +196,7 @@ let test_io_comments_and_blanks () =
       let oc = open_out path in
       output_string oc contents;
       close_out oc;
-      let t = Trace_io.load path in
+      let t = (io_ok (Trace_io.load path)).Trace_io.trace in
       check_int "length" 2 (Trace.length t);
       check_int_array "addresses" [| 0x10; 0x20 |] (Trace.addresses t))
 
@@ -205,17 +209,15 @@ let test_io_malformed () =
         let oc = open_out path in
         output_string oc contents;
         close_out oc;
-        match Trace_io.load path with
-        | _ -> None
-        | exception Failure msg -> Some msg)
+        match Trace_io.load path with Ok _ -> None | Error e -> Some e)
   in
   check_bool "bad kind" true (attempt "Q 0x10\n" <> None);
   check_bool "bad address" true (attempt "R zz\n" <> None);
   check_bool "missing field" true (attempt "R\n" <> None);
   check_bool "line number reported" true
     (match attempt "R 0x1\nQ 0x2\n" with
-    | Some msg -> String.length msg > 0 && String.contains msg '2'
-    | None -> false)
+    | Some (Dse_error.Parse_error { line; _ }) -> line = 2
+    | Some _ | None -> false)
 
 let test_binary_roundtrip () =
   let t =
@@ -230,8 +232,8 @@ let test_binary_roundtrip () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Trace_io.save_binary path t;
-      let back = Trace_io.load_binary path in
+      io_ok (Trace_io.save_binary path t);
+      let back = (io_ok (Trace_io.load_binary path)).Trace_io.trace in
       check_bool "roundtrip" true (Trace.to_list back = Trace.to_list t))
 
 let prop_binary_roundtrip =
@@ -241,8 +243,12 @@ let prop_binary_roundtrip =
       Fun.protect
         ~finally:(fun () -> Sys.remove path)
         (fun () ->
-          Trace_io.save_binary path t;
-          Trace.to_list (Trace_io.load_binary path) = Trace.to_list t))
+          match Trace_io.save_binary path t with
+          | Error _ -> false
+          | Ok () -> (
+            match Trace_io.load_binary path with
+            | Ok i -> Trace.to_list i.Trace_io.trace = Trace.to_list t
+            | Error _ -> false)))
 
 let test_binary_bad_magic () =
   let path = Filename.temp_file "dse_trace" ".bin" in
@@ -253,7 +259,9 @@ let test_binary_bad_magic () =
       output_string oc "NOPE";
       close_out oc;
       check_bool "rejected" true
-        (match Trace_io.load_binary path with _ -> false | exception Failure _ -> true))
+        (match Trace_io.load_binary path with
+        | Error (Dse_error.Corrupt_binary _) -> true
+        | Ok _ | Error _ -> false))
 
 let test_dinero_import () =
   let contents = "0 1a3f\n1 0\n2 7f\n\n0 0x10\n" in
@@ -264,7 +272,7 @@ let test_dinero_import () =
       let oc = open_out path in
       output_string oc contents;
       close_out oc;
-      let t = Trace_io.load_dinero path in
+      let t = (io_ok (Trace_io.load_dinero path)).Trace_io.trace in
       check_int "length" 4 (Trace.length t);
       check_int_array "addresses" [| 0x1a3f; 0; 0x7f; 0x10 |] (Trace.addresses t);
       check_bool "kinds" true
@@ -281,7 +289,9 @@ let test_dinero_malformed () =
         let oc = open_out path in
         output_string oc contents;
         close_out oc;
-        match Trace_io.load_dinero path with _ -> false | exception Failure _ -> true)
+        match Trace_io.load_dinero path with
+        | Error (Dse_error.Parse_error _) -> true
+        | Ok _ | Error _ -> false)
   in
   check_bool "bad label" true (attempt "9 1a\n");
   check_bool "bad address" true (attempt "0 zz\n")
