@@ -101,7 +101,8 @@ let stats_cmd =
   let run path format on_error =
     let trace = load_trace format on_error path in
     let stats = Stats.compute trace in
-    Format.printf "%a@." Report.pp_stats_table [ (Filename.basename path, stats) ]
+    Format.printf "%a@." Report.pp_stats_table [ (Filename.basename path, stats) ];
+    Format.printf "fingerprint %016Lx@." (Trace.fingerprint trace)
   in
   let term = Term.(const run $ trace_arg $ format_arg $ on_error_arg) in
   Cmd.v (Cmd.info "stats" ~doc:"Print trace statistics (N, N', maximum misses).") term
@@ -352,6 +353,116 @@ let codesign_cmd =
        ~doc:"Partition one miss budget between the I- and D-cache, minimising total size.")
     term
 
+(* -- serve / submit -- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/dse.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the DSE service.")
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains running jobs (default 0 = one less than the host's cores, at least 1).")
+  in
+  let max_pending_arg =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "max-pending" ] ~docv:"M"
+          ~doc:
+            "Bound on queued jobs: submissions beyond it are rejected immediately with a typed \
+             queue-full error (exit 6 on the client) instead of buffering without limit.")
+  in
+  let run socket workers max_pending =
+    let workers =
+      if workers = 0 then max 1 (Domain.recommended_domain_count () - 1) else workers
+    in
+    if workers < 1 then usage_fail "workers must be >= 1";
+    if max_pending < 1 then usage_fail "max-pending must be >= 1";
+    let server =
+      or_exit (Server.create { Server.socket_path = socket; workers; max_pending })
+    in
+    Server.install_signal_handlers server;
+    Format.eprintf "dse: serving on %s (workers=%d, max-pending=%d); SIGTERM drains@." socket
+      workers max_pending;
+    (* the serve loop catches and logs per-connection/per-job failures
+       itself; Cmd.eval_value ~catch:false therefore never sees a raw
+       exception from the long-running path *)
+    Server.run server
+  in
+  let term = Term.(const run $ socket_arg $ workers_arg $ max_pending_arg) in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batch DSE service: a daemon answering submitted traces through a bounded job \
+          queue, a worker pool over domains, and a content-addressed result cache.")
+    term
+
+let submit_cmd =
+  let trace_opt_arg =
+    let doc = "Trace file to submit (optional with $(b,--ping) or $(b,--server-stats))." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let ping_arg =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Only check that the service is alive.")
+  in
+  let server_stats_arg =
+    Arg.(
+      value & flag & info [ "server-stats" ] ~doc:"Print the service's job and cache counters.")
+  in
+  let run socket path format on_error percents k max_depth csv no_trim method_ domains ping
+      server_stats =
+    if ping then begin
+      or_exit (Client.ping ~socket);
+      Format.printf "pong@."
+    end
+    else if server_stats then begin
+      let s = or_exit (Client.server_stats ~socket) in
+      Format.printf "jobs_completed %d@." s.Protocol.jobs_completed;
+      Format.printf "cache_hits %d@." s.Protocol.cache_hits;
+      Format.printf "cache_misses %d@." s.Protocol.cache_misses;
+      Format.printf "cache_entries %d@." s.Protocol.cache_entries;
+      Format.printf "pending %d@." s.Protocol.pending;
+      Format.printf "workers %d@." s.Protocol.workers
+    end
+    else begin
+      match path with
+      | None -> usage_fail "TRACE is required unless --ping or --server-stats is given"
+      | Some path ->
+        if domains < 1 then usage_fail "domains must be >= 1";
+        let trace = load_trace format on_error path in
+        let max_level = level_of_max_depth max_depth in
+        let name = Filename.basename path in
+        let payload =
+          or_exit (Client.submit ~socket ~percents ?k ?max_level ~method_ ~domains ~name trace)
+        in
+        if payload.Protocol.cache_hit then Format.eprintf "dse: served from the result cache@.";
+        (match payload.Protocol.outcome with
+        | Protocol.Optimal result -> Format.printf "%a@." Optimizer.pp result
+        | Protocol.Table table ->
+          let table = if no_trim then table else Analytical_dse.trim table in
+          if csv then print_string (Report.instances_to_csv table)
+          else Format.printf "%a@." Report.pp_instances table)
+    end
+  in
+  let term =
+    Term.(const run $ socket_arg $ trace_opt_arg $ format_arg $ on_error_arg $ percents_arg
+          $ absolute_k_arg $ max_depth_arg $ csv_arg $ trim_arg $ method_arg $ domains_arg
+          $ ping_arg $ server_stats_arg)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a trace to a running $(b,dse serve) daemon; output is identical to $(b,dse \
+          explore) on the same trace, and repeated submissions are answered from the service's \
+          result cache.")
+    term
+
 (* -- cc -- *)
 
 let cc_cmd =
@@ -470,7 +581,7 @@ let main =
   Cmd.group info
     [
       stats_cmd; explore_cmd; simulate_cmd; compare_cmd; gen_cmd; reduce_cmd; pareto_cmd;
-      disasm_cmd; codesign_cmd; run_cmd; cc_cmd; list_cmd;
+      disasm_cmd; codesign_cmd; run_cmd; cc_cmd; list_cmd; serve_cmd; submit_cmd;
     ]
 
 let () =
@@ -483,6 +594,9 @@ let () =
     exit (Dse_error.exit_code e)
   | exception Sys_error msg ->
     Format.eprintf "dse: %s@." msg;
+    exit 3
+  | exception Unix.Unix_error (err, fn, _) ->
+    Format.eprintf "dse: %s: %s@." fn (Unix.error_message err);
     exit 3
   | exception Machine.Fault msg ->
     Format.eprintf "dse: machine fault: %s@." msg;

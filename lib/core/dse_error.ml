@@ -4,6 +4,7 @@ type t =
   | Constraint_violation of { context : string; message : string }
   | Shard_failure of { shard : int; attempts : int; message : string }
   | Io_error of { file : string; message : string }
+  | Queue_full of { pending : int; max_pending : int }
 
 exception Error of t
 
@@ -17,12 +18,15 @@ let to_string = function
   | Shard_failure { shard; attempts; message } ->
     Printf.sprintf "shard %d failed after %d attempt(s): %s" shard attempts message
   | Io_error { file; message } -> Printf.sprintf "%s: %s" file message
+  | Queue_full { pending; max_pending } ->
+    Printf.sprintf "server busy: %d job(s) pending (max %d); retry later" pending max_pending
 
 let exit_code = function
   | Constraint_violation _ -> 2
   | Io_error _ -> 3
   | Parse_error _ | Corrupt_binary _ -> 4
   | Shard_failure _ -> 5
+  | Queue_full _ -> 6
 
 let on_degradation = ref (fun msg -> prerr_endline ("dse: " ^ msg))
 

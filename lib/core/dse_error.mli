@@ -21,6 +21,9 @@ type t =
           (respawn retry, then sequential recomputation) was exhausted. *)
   | Io_error of { file : string; message : string }
       (** The operating system refused an open/read/write. *)
+  | Queue_full of { pending : int; max_pending : int }
+      (** The [dse serve] job queue is at its [--max-pending] depth: the
+          submission was rejected, not buffered. Retryable by design. *)
 
 exception Error of t
 
@@ -33,7 +36,7 @@ val to_string : t -> string
 (** [exit_code e] maps the class to the [dse] CLI exit-code scheme:
     2 = usage ([Constraint_violation]), 3 = I/O ([Io_error]),
     4 = corrupt data ([Parse_error], [Corrupt_binary]),
-    5 = internal ([Shard_failure]). *)
+    5 = internal ([Shard_failure]), 6 = server busy ([Queue_full]). *)
 val exit_code : t -> int
 
 (** Hook invoked whenever the parallel engine degrades (a shard retry or

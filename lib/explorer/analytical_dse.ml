@@ -6,15 +6,12 @@ type table = {
   rows : (int * int list) list;
 }
 
-let run ?(percents = [ 5; 10; 15; 20 ]) ?max_level ?line_words ?method_ ?domains ~name trace =
-  let prepared = Analytical.prepare ?max_level ?line_words trace in
-  let stats = Stats.compute_stripped prepared.Analytical.stripped in
+let of_histograms ?(percents = [ 5; 10; 15; 20 ]) ~name ~stats histograms =
   let budgets = List.map (fun percent -> Stats.budget stats ~percent) percents in
-  let results = Analytical.explore_many ?method_ ?domains prepared ~ks:budgets in
+  let results = List.map (fun k -> Optimizer.of_histograms ~k histograms) budgets in
+  let max_level = Array.length histograms - 1 in
   let rows =
-    List.init
-      (prepared.Analytical.max_level + 1)
-      (fun level ->
+    List.init (max_level + 1) (fun level ->
         let depth = 1 lsl level in
         let assocs =
           List.map
@@ -24,6 +21,12 @@ let run ?(percents = [ 5; 10; 15; 20 ]) ?max_level ?line_words ?method_ ?domains
         (depth, assocs))
   in
   { name; stats; percents; budgets; rows }
+
+let run ?percents ?max_level ?line_words ?method_ ?domains ~name trace =
+  let prepared = Analytical.prepare ?max_level ?line_words trace in
+  let stats = Stats.compute_stripped prepared.Analytical.stripped in
+  let histograms = Analytical.histograms ?method_ ?domains prepared in
+  of_histograms ?percents ~name ~stats histograms
 
 let trim table =
   let rec keep = function

@@ -11,6 +11,16 @@ type table = {
       (** (depth, required associativity per percent), by increasing depth *)
 }
 
+(** [of_histograms ?percents ~name ~stats histograms] assembles a table
+    purely from already-computed per-level histograms (as produced by
+    {!Analytical.histograms}) — no kernel run, no trace. This is how the
+    [dse serve] result cache answers repeated and K-only re-queries:
+    one solved trace yields every subsequent budget's table for free.
+    [stats] calibrates the percentage budgets; the table spans exactly
+    the levels the histogram array covers. *)
+val of_histograms :
+  ?percents:int list -> name:string -> stats:Stats.t -> int array array -> table
+
 (** [run ?percents ?max_level ?line_words ?method_ ?domains ~name trace]
     strips and analyses the trace once, then solves for each budget.
     [percents] defaults to the paper's 5, 10, 15, 20; [max_level]

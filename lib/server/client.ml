@@ -1,0 +1,50 @@
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (err, _, _) ->
+    close_noerr fd;
+    Error (Dse_error.Io_error { file = path; message = Unix.error_message err })
+
+let request ~socket req =
+  match connect socket with
+  | Error _ as e -> e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> close_noerr fd)
+      (fun () ->
+        match Protocol.write_request ~peer:socket fd req with
+        | Error _ as e -> e
+        | Ok () -> Protocol.read_response ~peer:socket fd)
+
+let unexpected socket =
+  Error (Dse_error.Io_error { file = socket; message = "unexpected response kind from the server" })
+
+let submit ~socket ?(percents = [ 5; 10; 15; 20 ]) ?k ?max_level ?(method_ = Analytical.Streaming)
+    ?(domains = 1) ~name trace =
+  let query =
+    match k with Some k -> Protocol.Budget k | None -> Protocol.Percents percents
+  in
+  match
+    request ~socket (Protocol.Submit { name; trace; query; method_; domains; max_level })
+  with
+  | Error _ as e -> e
+  | Ok (Protocol.Result payload) -> Ok payload
+  | Ok (Protocol.Server_error e) -> Error e
+  | Ok (Protocol.Stats_reply _ | Protocol.Pong) -> unexpected socket
+
+let ping ~socket =
+  match request ~socket Protocol.Ping with
+  | Error _ as e -> e
+  | Ok Protocol.Pong -> Ok ()
+  | Ok (Protocol.Server_error e) -> Error e
+  | Ok (Protocol.Result _ | Protocol.Stats_reply _) -> unexpected socket
+
+let server_stats ~socket =
+  match request ~socket Protocol.Server_stats with
+  | Error _ as e -> e
+  | Ok (Protocol.Stats_reply s) -> Ok s
+  | Ok (Protocol.Server_error e) -> Error e
+  | Ok (Protocol.Result _ | Protocol.Pong) -> unexpected socket

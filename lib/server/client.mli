@@ -1,0 +1,32 @@
+(** Client side of the [dse serve] protocol.
+
+    One connection per request; every failure — refused socket, wire
+    damage, or a structured error relayed by the daemon — comes back as
+    a typed {!Dse_error.t}, so [dse submit] preserves the CLI exit-code
+    scheme (a corrupt trace is exit 4 whether it was detected locally or
+    by the daemon; a full queue is {!Dse_error.Queue_full}, exit 6). *)
+
+(** [request ~socket req] performs one request/response round trip. *)
+val request : socket:string -> Protocol.request -> (Protocol.response, Dse_error.t) result
+
+(** [submit ~socket ?percents ?k ?max_level ?method_ ?domains ~name
+    trace] submits one job. [k] switches from the percentage sweep
+    (default, the paper's 5/10/15/20) to one absolute budget, mirroring
+    [dse explore]'s [--percents]/[-k]. The payload says whether the
+    result came from the daemon's cache. *)
+val submit :
+  socket:string ->
+  ?percents:int list ->
+  ?k:int ->
+  ?max_level:int ->
+  ?method_:Analytical.method_ ->
+  ?domains:int ->
+  name:string ->
+  Trace.t ->
+  (Protocol.result_payload, Dse_error.t) result
+
+(** [ping ~socket] checks liveness. *)
+val ping : socket:string -> (unit, Dse_error.t) result
+
+(** [server_stats ~socket] fetches the daemon's counters. *)
+val server_stats : socket:string -> (Protocol.server_stats, Dse_error.t) result

@@ -1,0 +1,52 @@
+type 'a t = {
+  items : 'a Queue.t;
+  max_pending : int;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let create ~max_pending =
+  if max_pending < 1 then invalid_arg "Job_queue.create: max_pending must be >= 1";
+  {
+    items = Queue.create ();
+    max_pending;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let push t job =
+  with_lock t (fun () ->
+      if t.closed then `Closed
+      else if Queue.length t.items >= t.max_pending then `Full (Queue.length t.items)
+      else begin
+        Queue.push job t.items;
+        Condition.signal t.nonempty;
+        `Ok
+      end)
+
+let pop t =
+  with_lock t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let length t = with_lock t (fun () -> Queue.length t.items)
+
+let max_pending t = t.max_pending

@@ -1,0 +1,35 @@
+(** Bounded FIFO job queue with explicit backpressure.
+
+    The serving layer never buffers without limit: a [push] beyond
+    [max_pending] is rejected immediately (the caller turns the
+    rejection into a {!Dse_error.Queue_full} response), so a burst of
+    submissions degrades into fast, typed refusals instead of unbounded
+    memory growth and unbounded latency. Safe to share across OCaml 5
+    domains ([Mutex]/[Condition] from the standard library). *)
+
+type 'a t
+
+(** [create ~max_pending] is an empty queue admitting at most
+    [max_pending] buffered jobs. Raises [Invalid_argument] when
+    [max_pending < 1]. *)
+val create : max_pending:int -> 'a t
+
+(** [push t job] enqueues without blocking: [`Ok] on success, [`Full
+    pending] when the queue already holds [max_pending] jobs (the job is
+    NOT buffered), [`Closed] after {!close}. *)
+val push : 'a t -> 'a -> [ `Ok | `Full of int | `Closed ]
+
+(** [pop t] blocks until a job is available and dequeues it; [None] once
+    the queue is closed {e and} drained — the worker-pool exit signal,
+    which is what makes SIGTERM drain rather than drop queued jobs. *)
+val pop : 'a t -> 'a option
+
+(** [close t] rejects all future pushes and wakes every blocked {!pop};
+    already-queued jobs are still handed out. *)
+val close : 'a t -> unit
+
+(** [length t] is the number of queued jobs right now. *)
+val length : 'a t -> int
+
+(** [max_pending t] is the configured depth bound. *)
+val max_pending : 'a t -> int

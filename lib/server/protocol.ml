@@ -1,0 +1,537 @@
+(* Wire format, reusing the LEB128 + CRC-32 idiom of the v2 binary
+   trace framing (lib/trace/trace_io.ml):
+
+     "DSRV" | version (1 byte) | tag (1 byte) | payload length (LEB128)
+            | payload | CRC-32 (4 bytes LE, over every preceding byte)
+
+   All integer fields inside payloads are non-negative LEB128 varints;
+   strings are length-prefixed; trace records use the same
+   (addr lsl 2) lor kind_tag encoding as the binary trace format. Any
+   framing damage (bad magic, truncated varint, CRC mismatch, declared
+   lengths exceeding the payload) surfaces as a typed
+   [Dse_error.Corrupt_binary] with the byte offset, never a raw
+   exception — a corrupt submission must be a structured reply to that
+   one client, not a daemon crash. *)
+
+let magic = "DSRV"
+
+let version = 1
+
+(* Caps the payload a peer can make us allocate; a 10M-reference trace
+   encodes to ~50 MB, so this is generous without being unbounded. *)
+let max_payload = 256 * 1024 * 1024
+
+type query = Percents of int list | Budget of int
+
+type request =
+  | Submit of {
+      name : string;
+      trace : Trace.t;
+      query : query;
+      method_ : Analytical.method_;
+      domains : int;
+      max_level : int option;
+    }
+  | Server_stats
+  | Ping
+
+type server_stats = {
+  jobs_completed : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  pending : int;
+  workers : int;
+}
+
+type outcome = Table of Analytical_dse.table | Optimal of Optimizer.t
+
+type result_payload = { outcome : outcome; cache_hit : bool }
+
+type response =
+  | Result of result_payload
+  | Server_error of Dse_error.t
+  | Stats_reply of server_stats
+  | Pong
+
+let method_tag = function
+  | Analytical.Streaming -> 0
+  | Analytical.Dfs -> 1
+  | Analytical.Bcat_walk -> 2
+
+let kind_tag = function Trace.Fetch -> 0 | Trace.Read -> 1 | Trace.Write -> 2
+
+(* -- payload encoding -- *)
+
+let add_varint buf v =
+  if v < 0 then invalid_arg "Protocol: negative varint";
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7F in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char buf (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (byte lor 0x80))
+  done
+
+let add_string buf s =
+  add_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let add_list buf xs =
+  add_varint buf (List.length xs);
+  List.iter (add_varint buf) xs
+
+let add_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+let encode_query buf = function
+  | Percents ps ->
+    Buffer.add_char buf '\000';
+    add_list buf ps
+  | Budget k ->
+    Buffer.add_char buf '\001';
+    add_varint buf k
+
+let encode_trace buf trace =
+  add_varint buf (Trace.length trace);
+  Trace.iter
+    (fun (a : Trace.access) -> add_varint buf ((a.Trace.addr lsl 2) lor kind_tag a.Trace.kind))
+    trace
+
+let encode_request buf = function
+  | Submit { name; trace; query; method_; domains; max_level } ->
+    add_string buf name;
+    Buffer.add_char buf (Char.chr (method_tag method_));
+    add_varint buf domains;
+    (match max_level with
+    | None -> add_bool buf false
+    | Some level ->
+      add_bool buf true;
+      add_varint buf level);
+    encode_query buf query;
+    encode_trace buf trace
+  | Server_stats | Ping -> ()
+
+let encode_error buf = function
+  | Dse_error.Parse_error { file; line; message } ->
+    Buffer.add_char buf '\000';
+    add_string buf file;
+    add_varint buf line;
+    add_string buf message
+  | Dse_error.Corrupt_binary { file; offset; message } ->
+    Buffer.add_char buf '\001';
+    add_string buf file;
+    add_varint buf offset;
+    add_string buf message
+  | Dse_error.Constraint_violation { context; message } ->
+    Buffer.add_char buf '\002';
+    add_string buf context;
+    add_string buf message
+  | Dse_error.Shard_failure { shard; attempts; message } ->
+    Buffer.add_char buf '\003';
+    add_varint buf (max 0 shard);
+    add_varint buf attempts;
+    add_string buf message
+  | Dse_error.Io_error { file; message } ->
+    Buffer.add_char buf '\004';
+    add_string buf file;
+    add_string buf message
+  | Dse_error.Queue_full { pending; max_pending } ->
+    Buffer.add_char buf '\005';
+    add_varint buf pending;
+    add_varint buf max_pending
+
+let encode_stats buf (s : Stats.t) =
+  add_varint buf s.Stats.n;
+  add_varint buf s.Stats.n_unique;
+  add_varint buf s.Stats.address_bits;
+  add_varint buf s.Stats.max_misses
+
+let encode_outcome buf = function
+  | Table (t : Analytical_dse.table) ->
+    Buffer.add_char buf '\000';
+    add_string buf t.Analytical_dse.name;
+    encode_stats buf t.Analytical_dse.stats;
+    add_list buf t.Analytical_dse.percents;
+    add_list buf t.Analytical_dse.budgets;
+    add_varint buf (List.length t.Analytical_dse.rows);
+    List.iter
+      (fun (depth, assocs) ->
+        add_varint buf depth;
+        add_list buf assocs)
+      t.Analytical_dse.rows
+  | Optimal (r : Optimizer.t) ->
+    Buffer.add_char buf '\001';
+    add_varint buf r.Optimizer.k;
+    add_varint buf (Array.length r.Optimizer.levels);
+    Array.iter
+      (fun (l : Optimizer.level_result) ->
+        add_varint buf l.Optimizer.level;
+        add_varint buf l.Optimizer.depth;
+        add_varint buf l.Optimizer.min_associativity;
+        add_varint buf l.Optimizer.misses;
+        add_varint buf l.Optimizer.zero_miss_associativity)
+      r.Optimizer.levels
+
+let encode_response buf = function
+  | Result { outcome; cache_hit } ->
+    add_bool buf cache_hit;
+    encode_outcome buf outcome
+  | Server_error e -> encode_error buf e
+  | Stats_reply s ->
+    add_varint buf s.jobs_completed;
+    add_varint buf s.cache_hits;
+    add_varint buf s.cache_misses;
+    add_varint buf s.cache_entries;
+    add_varint buf s.pending;
+    add_varint buf s.workers
+  | Pong -> ()
+
+(* -- payload decoding -- *)
+
+(* Byte offset within the frame payload + what was wrong. *)
+exception Malformed of int * string
+
+type cursor = { data : string; mutable pos : int }
+
+let remaining c = String.length c.data - c.pos
+
+let byte c =
+  if c.pos >= String.length c.data then raise (Malformed (c.pos, "unexpected end of payload"));
+  let b = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  b
+
+let varint c =
+  let start = c.pos in
+  let rec loop shift acc =
+    if shift > 56 then raise (Malformed (start, "varint wider than 63 bits"))
+    else
+      let b = byte c in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if acc < 0 then raise (Malformed (start, "varint overflows the address space"))
+      else if b land 0x80 = 0 then acc
+      else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let string_field c =
+  let n = varint c in
+  if n > remaining c then raise (Malformed (c.pos, "declared string length exceeds the payload"));
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let bool_field c =
+  match byte c with
+  | 0 -> false
+  | 1 -> true
+  | b -> raise (Malformed (c.pos - 1, Printf.sprintf "bad boolean byte %d" b))
+
+let int_list c =
+  let n = varint c in
+  (* each element is at least one byte *)
+  if n > remaining c then raise (Malformed (c.pos, "declared list length exceeds the payload"));
+  List.init n (fun _ -> varint c)
+
+let method_field c =
+  match byte c with
+  | 0 -> Analytical.Streaming
+  | 1 -> Analytical.Dfs
+  | 2 -> Analytical.Bcat_walk
+  | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown method tag %d" b))
+
+let query_field c =
+  match byte c with
+  | 0 -> Percents (int_list c)
+  | 1 -> Budget (varint c)
+  | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown query tag %d" b))
+
+let trace_field c =
+  let declared = varint c in
+  (* each record is at least one byte, so a declared count beyond the
+     remaining payload is corruption — caught before allocation *)
+  if declared > remaining c then
+    raise (Malformed (c.pos, "declared trace length exceeds the payload"));
+  let trace = Trace.create ~capacity:(max 1 declared) () in
+  for _ = 1 to declared do
+    let start = c.pos in
+    let record = varint c in
+    let kind =
+      match record land 3 with
+      | 0 -> Trace.Fetch
+      | 1 -> Trace.Read
+      | 2 -> Trace.Write
+      | _ -> raise (Malformed (start, "bad kind tag 3"))
+    in
+    Trace.add trace ~addr:(record lsr 2) ~kind
+  done;
+  trace
+
+let decode_submit c =
+  let name = string_field c in
+  let method_ = method_field c in
+  let domains = varint c in
+  let max_level = if bool_field c then Some (varint c) else None in
+  let query = query_field c in
+  let trace = trace_field c in
+  Submit { name; trace; query; method_; domains; max_level }
+
+let decode_error c =
+  match byte c with
+  | 0 ->
+    let file = string_field c in
+    let line = varint c in
+    let message = string_field c in
+    Dse_error.Parse_error { file; line; message }
+  | 1 ->
+    let file = string_field c in
+    let offset = varint c in
+    let message = string_field c in
+    Dse_error.Corrupt_binary { file; offset; message }
+  | 2 ->
+    let context = string_field c in
+    let message = string_field c in
+    Dse_error.Constraint_violation { context; message }
+  | 3 ->
+    let shard = varint c in
+    let attempts = varint c in
+    let message = string_field c in
+    Dse_error.Shard_failure { shard; attempts; message }
+  | 4 ->
+    let file = string_field c in
+    let message = string_field c in
+    Dse_error.Io_error { file; message }
+  | 5 ->
+    let pending = varint c in
+    let max_pending = varint c in
+    Dse_error.Queue_full { pending; max_pending }
+  | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown error tag %d" b))
+
+let decode_stats c =
+  let n = varint c in
+  let n_unique = varint c in
+  let address_bits = varint c in
+  let max_misses = varint c in
+  { Stats.n; n_unique; address_bits; max_misses }
+
+let decode_outcome c =
+  match byte c with
+  | 0 ->
+    let name = string_field c in
+    let stats = decode_stats c in
+    let percents = int_list c in
+    let budgets = int_list c in
+    let row_count = varint c in
+    if row_count > remaining c then
+      raise (Malformed (c.pos, "declared row count exceeds the payload"));
+    let rows =
+      List.init row_count (fun _ ->
+          let depth = varint c in
+          let assocs = int_list c in
+          (depth, assocs))
+    in
+    Table { Analytical_dse.name; stats; percents; budgets; rows }
+  | 1 ->
+    let k = varint c in
+    let level_count = varint c in
+    if level_count > remaining c then
+      raise (Malformed (c.pos, "declared level count exceeds the payload"));
+    let levels =
+      Array.init level_count (fun _ ->
+          let level = varint c in
+          let depth = varint c in
+          let min_associativity = varint c in
+          let misses = varint c in
+          let zero_miss_associativity = varint c in
+          { Optimizer.level; depth; min_associativity; misses; zero_miss_associativity })
+    in
+    Optimal { Optimizer.k; levels }
+  | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown outcome tag %d" b))
+
+let decode_server_stats c =
+  let jobs_completed = varint c in
+  let cache_hits = varint c in
+  let cache_misses = varint c in
+  let cache_entries = varint c in
+  let pending = varint c in
+  let workers = varint c in
+  { jobs_completed; cache_hits; cache_misses; cache_entries; pending; workers }
+
+(* -- framing over a file descriptor -- *)
+
+let tag_submit = 1
+
+let tag_server_stats = 2
+
+let tag_ping = 3
+
+let tag_result = 0x81
+
+let tag_error = 0x82
+
+let tag_stats_reply = 0x83
+
+let tag_pong = 0x84
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+let send_frame fd ~tag payload =
+  let buf = Buffer.create (String.length payload + 16) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf (Char.chr tag);
+  add_varint buf (String.length payload);
+  Buffer.add_string buf payload;
+  let body = Buffer.contents buf in
+  let crc = Crc32.digest_string body in
+  let frame = Bytes.create (String.length body + 4) in
+  Bytes.blit_string body 0 frame 0 (String.length body);
+  for i = 0 to 3 do
+    Bytes.set frame (String.length body + i) (Char.chr ((crc lsr (8 * i)) land 0xFF))
+  done;
+  write_all fd frame
+
+type wire_reader = { fd : Unix.file_descr; mutable pos : int; mutable crc : int }
+
+let reader_byte r =
+  let b = Bytes.create 1 in
+  match Unix.read r.fd b 0 1 with
+  | 0 -> raise (Malformed (r.pos, "unexpected end of stream"))
+  | _ ->
+    let v = Char.code (Bytes.get b 0) in
+    r.pos <- r.pos + 1;
+    r.crc <- Crc32.update_byte r.crc v;
+    v
+
+let reader_exact r n =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.read r.fd b !off (n - !off) with
+    | 0 -> raise (Malformed (r.pos + !off, "unexpected end of stream"))
+    | k -> off := !off + k
+  done;
+  r.pos <- r.pos + n;
+  let s = Bytes.unsafe_to_string b in
+  r.crc <- Crc32.update_string r.crc s;
+  s
+
+let reader_varint r =
+  let start = r.pos in
+  let rec loop shift acc =
+    if shift > 56 then raise (Malformed (start, "varint wider than 63 bits"))
+    else
+      let b = reader_byte r in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if acc < 0 then raise (Malformed (start, "varint overflows the address space"))
+      else if b land 0x80 = 0 then acc
+      else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let read_frame fd =
+  let r = { fd; pos = 0; crc = Crc32.init } in
+  String.iter
+    (fun expected ->
+      let b = reader_byte r in
+      if Char.chr b <> expected then raise (Malformed (r.pos - 1, "bad magic")))
+    magic;
+  let v = reader_byte r in
+  if v <> version then
+    raise (Malformed (4, Printf.sprintf "unsupported protocol version %d" v));
+  let tag = reader_byte r in
+  let len = reader_varint r in
+  if len > max_payload then
+    raise (Malformed (r.pos, Printf.sprintf "payload of %d bytes exceeds the %d limit" len max_payload));
+  let payload = reader_exact r len in
+  let computed = Crc32.finalize r.crc in
+  (* the footer is over everything before it, so it is not folded in *)
+  let footer = Bytes.create 4 in
+  let off = ref 0 in
+  while !off < 4 do
+    match Unix.read r.fd footer !off (4 - !off) with
+    | 0 -> raise (Malformed (r.pos + !off, "truncated CRC footer"))
+    | k -> off := !off + k
+  done;
+  let stored = ref 0 in
+  for i = 0 to 3 do
+    stored := !stored lor (Char.code (Bytes.get footer i) lsl (8 * i))
+  done;
+  if !stored <> computed then
+    raise
+      (Malformed (r.pos, Printf.sprintf "CRC mismatch (stored %08x, computed %08x)" !stored computed));
+  (tag, payload)
+
+(* -- public API: every wire failure is a typed [Dse_error.t] -- *)
+
+let corrupt ~peer offset message = Dse_error.Corrupt_binary { file = peer; offset; message }
+
+let io_failure ~peer err = Dse_error.Io_error { file = peer; message = Unix.error_message err }
+
+let guard ~peer f =
+  match f () with
+  | v -> Ok v
+  | exception Malformed (offset, message) -> Error (corrupt ~peer offset message)
+  | exception Unix.Unix_error (err, _, _) -> Error (io_failure ~peer err)
+
+let write_request ?(peer = "<server>") fd request =
+  guard ~peer (fun () ->
+      let buf = Buffer.create 1024 in
+      encode_request buf request;
+      let tag =
+        match request with Submit _ -> tag_submit | Server_stats -> tag_server_stats | Ping -> tag_ping
+      in
+      send_frame fd ~tag (Buffer.contents buf))
+
+let write_response ?(peer = "<client>") fd response =
+  guard ~peer (fun () ->
+      let buf = Buffer.create 1024 in
+      encode_response buf response;
+      let tag =
+        match response with
+        | Result _ -> tag_result
+        | Server_error _ -> tag_error
+        | Stats_reply _ -> tag_stats_reply
+        | Pong -> tag_pong
+      in
+      send_frame fd ~tag (Buffer.contents buf))
+
+let read_request ?(peer = "<client>") fd =
+  guard ~peer (fun () ->
+      let tag, payload = read_frame fd in
+      let c = { data = payload; pos = 0 } in
+      let request =
+        if tag = tag_submit then decode_submit c
+        else if tag = tag_server_stats then Server_stats
+        else if tag = tag_ping then Ping
+        else raise (Malformed (5, Printf.sprintf "unknown request tag %d" tag))
+      in
+      if remaining c > 0 then raise (Malformed (c.pos, "trailing bytes after the request"));
+      request)
+
+let read_response ?(peer = "<server>") fd =
+  guard ~peer (fun () ->
+      let tag, payload = read_frame fd in
+      let c = { data = payload; pos = 0 } in
+      let response =
+        if tag = tag_result then begin
+          let cache_hit = bool_field c in
+          let outcome = decode_outcome c in
+          Result { outcome; cache_hit }
+        end
+        else if tag = tag_error then Server_error (decode_error c)
+        else if tag = tag_stats_reply then Stats_reply (decode_server_stats c)
+        else if tag = tag_pong then Pong
+        else raise (Malformed (5, Printf.sprintf "unknown response tag %d" tag))
+      in
+      if remaining c > 0 then raise (Malformed (c.pos, "trailing bytes after the response"));
+      response)

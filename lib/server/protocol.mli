@@ -1,0 +1,67 @@
+(** The [dse serve] wire protocol.
+
+    Length-prefixed binary frames over a Unix-domain socket, reusing the
+    LEB128 + CRC-32 framing idiom of the v2 binary trace format:
+
+    {v "DSRV" | version | tag | payload length (LEB128) | payload | CRC-32 (LE) v}
+
+    One request frame per connection, answered by one response frame.
+    Every framing or payload defect — bad magic, truncated varint,
+    declared lengths exceeding the payload, CRC mismatch — surfaces as a
+    typed {!Dse_error.Corrupt_binary} carrying the byte offset; OS-level
+    failures as {!Dse_error.Io_error}. Nothing in this module raises
+    across the API boundary, so one corrupt submission is a structured
+    reply to that client, never a daemon crash. *)
+
+(** A design-space query against a submitted trace: either the paper's
+    percentage sweep (Tables 7-30 layout) or one absolute miss budget. *)
+type query = Percents of int list | Budget of int
+
+type request =
+  | Submit of {
+      name : string;  (** display name for the rendered table *)
+      trace : Trace.t;
+      query : query;
+      method_ : Analytical.method_;
+      domains : int;  (** shard count for the job's kernel run *)
+      max_level : int option;  (** as [Analytical.prepare]'s [?max_level] *)
+    }
+  | Server_stats  (** query the daemon's counters (cache hits, pending) *)
+  | Ping
+
+type server_stats = {
+  jobs_completed : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  pending : int;
+  workers : int;
+}
+
+type outcome = Table of Analytical_dse.table | Optimal of Optimizer.t
+
+type result_payload = { outcome : outcome; cache_hit : bool }
+
+type response =
+  | Result of result_payload
+  | Server_error of Dse_error.t
+  | Stats_reply of server_stats
+  | Pong
+
+(** [method_tag m] is the stable wire tag of a kernel method (0 =
+    streaming, 1 = dfs, 2 = bcat) — also the cache-key component. *)
+val method_tag : Analytical.method_ -> int
+
+(** Largest accepted frame payload, in bytes. *)
+val max_payload : int
+
+(** [write_request ?peer fd r] / [read_request ?peer fd]: one frame.
+    [peer] labels errors (defaults: ["<server>"] when writing,
+    ["<client>"] when reading). *)
+val write_request : ?peer:string -> Unix.file_descr -> request -> (unit, Dse_error.t) result
+
+val read_request : ?peer:string -> Unix.file_descr -> (request, Dse_error.t) result
+
+val write_response : ?peer:string -> Unix.file_descr -> response -> (unit, Dse_error.t) result
+
+val read_response : ?peer:string -> Unix.file_descr -> (response, Dse_error.t) result

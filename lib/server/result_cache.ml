@@ -1,0 +1,33 @@
+type key = { fingerprint : int64; method_tag : int; domains : int; max_level : int }
+
+type entry = { stats : Stats.t; histograms : int array array }
+
+type counters = { hits : int; misses : int; entries : int }
+
+type t = {
+  table : (key, entry) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 64; mutex = Mutex.create (); hits = 0; misses = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some _ as hit ->
+        t.hits <- t.hits + 1;
+        hit
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let store t key entry = with_lock t (fun () -> Hashtbl.replace t.table key entry)
+
+let counters t =
+  with_lock t (fun () -> { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table })

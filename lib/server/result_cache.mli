@@ -1,0 +1,38 @@
+(** Content-addressed result cache for the serving layer.
+
+    The analytical method's core economy (paper Figure 1(b)) is that one
+    histogram computation answers {e every} subsequent budget query: the
+    per-level conflict-cardinality histograms are a complete summary of
+    the design space. The cache therefore stores exactly that — the
+    histograms plus the calibrating {!Stats.t} — keyed by the trace's
+    content ({!Trace.fingerprint}) together with the method, shard
+    count, and requested level bound, so a repeated submission (or a
+    K-only re-query of a solved trace) is answered without touching the
+    kernel at all, via {!Analytical_dse.of_histograms} /
+    {!Optimizer.of_histograms}.
+
+    Concurrent identical submissions may both miss and both compute; the
+    second {!store} overwrites with an identical entry (all methods are
+    bit-identical, property-tested), so the race is benign. *)
+
+type key = {
+  fingerprint : int64;  (** {!Trace.fingerprint} of the submitted trace *)
+  method_tag : int;  (** {!Protocol.method_tag} of the histogram kernel *)
+  domains : int;  (** shard count the job ran with *)
+  max_level : int;  (** requested level bound; [-1] encodes "unbounded" *)
+}
+
+type entry = { stats : Stats.t; histograms : int array array }
+
+type counters = { hits : int; misses : int; entries : int }
+
+type t
+
+val create : unit -> t
+
+(** [find t key] counts a hit or a miss. *)
+val find : t -> key -> entry option
+
+val store : t -> key -> entry -> unit
+
+val counters : t -> counters

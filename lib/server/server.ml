@@ -1,0 +1,223 @@
+type config = { socket_path : string; workers : int; max_pending : int }
+
+type job = {
+  fd : Unix.file_descr;
+  name : string;
+  trace : Trace.t;
+  query : Protocol.query;
+  method_ : Analytical.method_;
+  domains : int;
+  max_level : int option;
+  key : Result_cache.key;
+}
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  queue : job Job_queue.t;
+  cache : Result_cache.t;
+  stopping : bool Atomic.t;
+  jobs_completed : int Atomic.t;
+  on_job_start : unit -> unit;
+  log : string -> unit;
+}
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* A stale socket file (previous daemon crashed) is unlinked; a live one
+   (something accepts connections) is a configuration error. *)
+let claim_socket_path path =
+  if Sys.file_exists path then begin
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error (_, _, _) -> false
+    in
+    close_noerr probe;
+    if live then
+      Error (Dse_error.Io_error { file = path; message = "socket already in use by a live server" })
+    else begin
+      (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
+      Ok ()
+    end
+  end
+  else Ok ()
+
+let create ?(on_job_start = fun () -> ()) ?(log = fun msg -> Format.eprintf "dse-serve: %s@." msg)
+    config =
+  if config.workers < 1 then
+    Error (Dse_error.Constraint_violation { context = "serve"; message = "workers must be >= 1" })
+  else if config.max_pending < 1 then
+    Error
+      (Dse_error.Constraint_violation { context = "serve"; message = "max-pending must be >= 1" })
+  else
+    match claim_socket_path config.socket_path with
+    | Error _ as e -> e
+    | Ok () -> (
+      (* a client vanishing mid-reply must be an EPIPE result, not a
+         process-killing signal *)
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+      let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match
+        Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+        Unix.listen listen_fd 64
+      with
+      | () ->
+        Ok
+          {
+            config;
+            listen_fd;
+            queue = Job_queue.create ~max_pending:config.max_pending;
+            cache = Result_cache.create ();
+            stopping = Atomic.make false;
+            jobs_completed = Atomic.make 0;
+            on_job_start;
+            log;
+          }
+      | exception Unix.Unix_error (err, _, _) ->
+        close_noerr listen_fd;
+        Error (Dse_error.Io_error { file = config.socket_path; message = Unix.error_message err }))
+
+let stop t = Atomic.set t.stopping true
+
+let install_signal_handlers t =
+  let handler = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler
+
+let answer ~name ~query (entry : Result_cache.entry) =
+  match query with
+  | Protocol.Percents percents ->
+    Protocol.Table
+      (Analytical_dse.of_histograms ~percents ~name ~stats:entry.Result_cache.stats
+         entry.Result_cache.histograms)
+  | Protocol.Budget k -> Protocol.Optimal (Optimizer.of_histograms ~k entry.Result_cache.histograms)
+
+let stats_reply t =
+  let c = Result_cache.counters t.cache in
+  Protocol.Stats_reply
+    {
+      Protocol.jobs_completed = Atomic.get t.jobs_completed;
+      cache_hits = c.Result_cache.hits;
+      cache_misses = c.Result_cache.misses;
+      cache_entries = c.Result_cache.entries;
+      pending = Job_queue.length t.queue;
+      workers = t.config.workers;
+    }
+
+let respond_and_close t fd response =
+  (match Protocol.write_response fd response with
+  | Ok () -> ()
+  | Error e -> t.log (Printf.sprintf "reply failed: %s" (Dse_error.to_string e)));
+  close_noerr fd
+
+(* Runs in a worker domain. The kernel call goes through the standard
+   [Analytical] pipeline, so [domains > 1] jobs get Shard_exec's
+   per-shard recovery ladder; every failure becomes a structured reply
+   to this job's client and the worker lives on. *)
+let run_job t job =
+  t.on_job_start ();
+  let response =
+    match
+      let prepared = Analytical.prepare ?max_level:job.max_level job.trace in
+      let stats = Stats.compute_stripped prepared.Analytical.stripped in
+      let histograms = Analytical.histograms ~method_:job.method_ ~domains:job.domains prepared in
+      let entry = { Result_cache.stats; histograms } in
+      Result_cache.store t.cache job.key entry;
+      entry
+    with
+    | entry ->
+      Protocol.Result { Protocol.outcome = answer ~name:job.name ~query:job.query entry; cache_hit = false }
+    | exception Dse_error.Error e -> Protocol.Server_error e
+    | exception Invalid_argument message ->
+      Protocol.Server_error (Dse_error.Constraint_violation { context = "submit"; message })
+    | exception e ->
+      (* unexpected engine crash: internal-failure class (exit 5) *)
+      Protocol.Server_error
+        (Dse_error.Shard_failure { shard = 0; attempts = 1; message = Printexc.to_string e })
+  in
+  Atomic.incr t.jobs_completed;
+  respond_and_close t job.fd response
+
+let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level =
+  if Trace.length trace = 0 then
+    respond_and_close t fd
+      (Protocol.Server_error
+         (Dse_error.Constraint_violation { context = "submit"; message = "empty trace" }))
+  else if domains < 1 then
+    respond_and_close t fd
+      (Protocol.Server_error
+         (Dse_error.Constraint_violation { context = "submit"; message = "domains must be >= 1" }))
+  else begin
+    let key =
+      {
+        Result_cache.fingerprint = Trace.fingerprint trace;
+        method_tag = Protocol.method_tag method_;
+        domains;
+        max_level = (match max_level with None -> -1 | Some level -> level);
+      }
+    in
+    match Result_cache.find t.cache key with
+    | Some entry ->
+      (* hot path: answered in the accept loop, no queueing, no kernel *)
+      respond_and_close t fd
+        (Protocol.Result { Protocol.outcome = answer ~name ~query entry; cache_hit = true })
+    | None -> (
+      let job = { fd; name; trace; query; method_; domains; max_level; key } in
+      match Job_queue.push t.queue job with
+      | `Ok -> () (* the worker now owns [fd] *)
+      | `Full pending ->
+        respond_and_close t fd
+          (Protocol.Server_error
+             (Dse_error.Queue_full { pending; max_pending = t.config.max_pending }))
+      | `Closed ->
+        respond_and_close t fd
+          (Protocol.Server_error
+             (Dse_error.Io_error { file = t.config.socket_path; message = "server shutting down" })))
+  end
+
+let handle_connection t fd =
+  (* a stalled or hostile client cannot wedge the accept loop forever *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.0;
+  match Protocol.read_request fd with
+  | Error e -> respond_and_close t fd (Protocol.Server_error e)
+  | Ok Protocol.Ping -> respond_and_close t fd Protocol.Pong
+  | Ok Protocol.Server_stats -> respond_and_close t fd (stats_reply t)
+  | Ok (Protocol.Submit { name; trace; query; method_; domains; max_level }) ->
+    handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level
+
+let run t =
+  let pool = Worker_pool.start ~workers:t.config.workers ~run:(run_job t) t.queue in
+  let rec accept_loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.1 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.listen_fd with
+        | fd, _ -> (
+          (* the serve loop must outlive any one connection: log and
+             continue, never leak an exception to the top level *)
+          try handle_connection t fd
+          with e ->
+            t.log (Printf.sprintf "connection handler: %s" (Printexc.to_string e));
+            close_noerr fd)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* drain: no new connections, but every queued and in-flight job is
+     finished and answered before the daemon exits *)
+  let pending = Job_queue.length t.queue in
+  if pending > 0 then t.log (Printf.sprintf "draining %d pending job(s)" pending);
+  Job_queue.close t.queue;
+  Worker_pool.join pool;
+  close_noerr t.listen_fd;
+  (try Unix.unlink t.config.socket_path with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
+  t.log
+    (Printf.sprintf "drained; %d job(s) completed over this run" (Atomic.get t.jobs_completed))
+
+let socket_path t = t.config.socket_path

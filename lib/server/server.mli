@@ -1,0 +1,51 @@
+(** The [dse serve] daemon.
+
+    A long-running batch DSE service on a Unix-domain socket: the accept
+    loop reads one {!Protocol.request} per connection, answers cache
+    hits and malformed submissions inline, and hands cache misses to a
+    pool of worker domains through a bounded {!Job_queue}. Submissions
+    beyond [max_pending] are rejected with a typed
+    {!Dse_error.Queue_full} — explicit backpressure, never unbounded
+    buffering. Each job runs the standard [Analytical] pipeline
+    ([Streaming]/[Shard_exec] for [domains > 1]), so the per-shard
+    recovery ladder of the error taxonomy applies per job; any job
+    failure is a structured reply to that one client and the daemon
+    keeps serving.
+
+    Shutdown ({!stop}, or SIGTERM/SIGINT via
+    {!install_signal_handlers}) drains: the listener closes, queued and
+    in-flight jobs finish and are answered, the workers join, and the
+    socket file is unlinked. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** worker domains; must be >= 1 *)
+  max_pending : int;  (** job-queue depth bound; must be >= 1 *)
+}
+
+type t
+
+(** [create ?on_job_start ?log config] binds and listens (unlinking a
+    stale socket file; refusing one owned by a live server) and ignores
+    SIGPIPE. [on_job_start] is a test hook invoked by a worker as it
+    picks a job up — tests block it to hold jobs in flight
+    deterministically. [log] receives operational messages (default:
+    stderr). Errors are typed: [Constraint_violation] for bad config,
+    [Io_error] for socket failures. *)
+val create :
+  ?on_job_start:(unit -> unit) -> ?log:(string -> unit) -> config -> (t, Dse_error.t) result
+
+(** [run t] starts the workers and serves until {!stop}, then drains and
+    cleans up. Runs in the calling domain; spawn a domain (or a process)
+    around it to serve in the background. *)
+val run : t -> unit
+
+(** [stop t] requests shutdown-with-drain. Async-signal-safe (an atomic
+    store); the accept loop notices within its 100 ms select tick. *)
+val stop : t -> unit
+
+(** [install_signal_handlers t] routes SIGTERM and SIGINT to {!stop}. *)
+val install_signal_handlers : t -> unit
+
+(** [socket_path t] echoes the bound path. *)
+val socket_path : t -> string

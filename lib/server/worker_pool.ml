@@ -1,0 +1,20 @@
+type t = { domains : unit Domain.t list }
+
+let start ~workers ~run queue =
+  if workers < 1 then invalid_arg "Worker_pool.start: workers must be >= 1";
+  let worker () =
+    let rec loop () =
+      match Job_queue.pop queue with
+      | None -> ()
+      | Some job ->
+        (* [run] replies to its own client on failure; this guard only
+           keeps a worker alive if [run] itself escapes. *)
+        (try run job
+         with e -> Dse_error.degraded (Printf.sprintf "worker: %s" (Printexc.to_string e)));
+        loop ()
+    in
+    loop ()
+  in
+  { domains = List.init workers (fun _ -> Domain.spawn worker) }
+
+let join t = List.iter Domain.join t.domains

@@ -1,0 +1,22 @@
+(** Worker pool over OCaml 5 domains.
+
+    Each worker loops popping jobs from a {!Job_queue} and running them.
+    A job's own failures are the job runner's responsibility (it replies
+    a typed error to its client); an exception escaping the runner is
+    logged through {!Dse_error.degraded} and the worker keeps serving —
+    one poisonous job can never take a worker down. Jobs themselves may
+    spawn further domains (the [Streaming]/[Shard_exec] pipeline does
+    with [domains > 1]), so each job still gets PR 2's per-shard
+    recovery ladder. *)
+
+type t
+
+(** [start ~workers ~run queue] spawns [workers] domains, each looping
+    [Job_queue.pop queue] → [run]. Raises [Invalid_argument] when
+    [workers < 1]. *)
+val start : workers:int -> run:('job -> unit) -> 'job Job_queue.t -> t
+
+(** [join t] waits for every worker to exit. Workers exit when the queue
+    is closed and drained, so [Job_queue.close q; join t] is the drain
+    sequence: queued jobs finish, then the domains return. *)
+val join : t -> unit

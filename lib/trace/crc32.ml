@@ -14,5 +14,12 @@ let update_byte crc byte =
 
 let finalize crc = (crc lxor 0xFFFFFFFF) land 0xFFFFFFFF
 
-let digest_string s =
-  finalize (String.fold_left (fun crc c -> update_byte crc (Char.code c)) init s)
+let update_string crc s =
+  let table = Lazy.force table in
+  let crc = ref crc in
+  for i = 0 to String.length s - 1 do
+    crc := table.((!crc lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!crc lsr 8)
+  done;
+  !crc
+
+let digest_string s = finalize (update_string init s)

@@ -15,5 +15,9 @@ val update_byte : int -> int -> int
 (** [finalize crc] is the 32-bit digest of the bytes folded so far. *)
 val finalize : int -> int
 
+(** [update_string crc s] folds in a whole string (block form of
+    [update_byte], one table lookup per byte without a closure). *)
+val update_string : int -> string -> int
+
 (** [digest_string s] is the digest of a whole string. *)
 val digest_string : string -> int

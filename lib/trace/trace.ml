@@ -103,6 +103,29 @@ let address_bits t =
 let append dst src =
   iter (fun a -> add dst ~addr:a.addr ~kind:a.kind) src
 
+(* FNV-1a, 64-bit: offset basis 0xcbf29ce484222325, prime 0x100000001b3.
+   Folds each address as 8 little-endian bytes, then the length, so two
+   traces collide only if they agree on every address in order AND on N.
+   Kinds are excluded: the analytical model depends only on addresses, so
+   kind-differing traces may (deliberately) share a fingerprint. *)
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let fingerprint t =
+  let h = ref fnv_offset in
+  let fold_int v =
+    for shift = 0 to 7 do
+      let byte = (v lsr (8 * shift)) land 0xFF in
+      h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
+    done
+  in
+  for i = 0 to t.len - 1 do
+    fold_int t.addrs.(i)
+  done;
+  fold_int t.len;
+  !h
+
 let pp_kind fmt k = Format.fprintf fmt "%c" (kind_to_char k)
 
 let equal_kind a b =

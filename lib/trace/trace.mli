@@ -66,5 +66,12 @@ val address_bits : t -> int
 (** [append dst src] appends all of [src] to [dst]. *)
 val append : t -> t -> unit
 
+(** [fingerprint t] is a 64-bit FNV-1a digest over the address sequence
+    and the trace length — the content-addressing key of the [dse serve]
+    result cache. Access kinds are excluded: the analytical model is a
+    function of addresses only, so traces differing only in kinds share
+    their cached histograms by design. *)
+val fingerprint : t -> int64
+
 val pp_kind : Format.formatter -> kind -> unit
 val equal_kind : kind -> kind -> bool

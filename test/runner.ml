@@ -14,6 +14,7 @@ let () =
          Test_asm_parser.suites;
          Test_powerstone.suites;
          Test_explorer.suites;
+         Test_server.suites;
          Test_extensions.suites;
          Test_cost.suites;
          Test_hierarchy.suites;
