@@ -448,7 +448,8 @@ let server_section () =
   let server =
     match
       Server.create ~log:(fun _ -> ())
-        { Server.socket_path = socket; workers = 4; max_pending = 64 }
+        { Server.socket_path = socket; workers = 4; max_pending = 64;
+          cache_entries = Result_cache.default_capacity; wal_path = None }
     with
     | Ok s -> s
     | Error e -> failwith ("A13: " ^ Dse_error.to_string e)
@@ -529,9 +530,123 @@ let server_section () =
         p99_s = p99;
       })
 
+(* -- A14: self-healing — WAL-warm restart and coalesced bursts -- *)
+
+type selfheal_result = {
+  cold_start_to_answer_s : float;
+  warm_start_to_answer_s : float;
+  wal_records : int;
+  burst_clients : int;
+  burst_s : float;
+  burst_rps : float;
+  kernel_runs : int;
+  coalesced : int;
+}
+
+let selfheal_section () =
+  section "A14: self-healing — WAL-warm restart latency and single-flight bursts";
+  let socket = Filename.temp_file "dse_bench14" ".sock" in
+  Sys.remove socket;
+  let wal = Filename.temp_file "dse_bench14" ".wal" in
+  Sys.remove wal;
+  let kernel_runs = Atomic.make 0 in
+  let config =
+    { Server.socket_path = socket; workers = 4; max_pending = 64;
+      cache_entries = Result_cache.default_capacity; wal_path = Some wal }
+  in
+  let start () =
+    match
+      Server.create ~on_job_start:(fun () -> Atomic.incr kernel_runs) ~log:(fun _ -> ()) config
+    with
+    | Ok s ->
+      let runner = Domain.spawn (fun () -> Server.run s) in
+      (s, runner)
+    | Error e -> failwith ("A14: " ^ Dse_error.to_string e)
+  in
+  let stop (s, runner) =
+    Server.stop s;
+    Domain.join runner
+  in
+  let submit ~name trace =
+    match Client.submit ~socket ~name trace with
+    | Ok payload -> payload
+    | Error e -> failwith ("A14 submit: " ^ Dse_error.to_string e)
+  in
+  let trace = Synthetic.loop ~base:0 ~body:4096 ~iterations:16 in
+  (* cold: fresh daemon, empty WAL — the first answer pays the kernel *)
+  let cold_payload, cold_start_to_answer_s =
+    Timing.time_wall (fun () ->
+        let server = start () in
+        let payload = submit ~name:"a14" trace in
+        stop server;
+        payload)
+  in
+  assert (not cold_payload.Protocol.cache_hit);
+  (* warm: same WAL replayed on startup — the first answer is a cache
+     hit a kill -9'd daemon would serve identically, since every append
+     hit the log before the reply went out *)
+  let warm_payload, warm_start_to_answer_s =
+    Timing.time_wall (fun () ->
+        let server = start () in
+        let payload = submit ~name:"a14" trace in
+        stop server;
+        payload)
+  in
+  if not warm_payload.Protocol.cache_hit then failwith "A14: restart did not answer warm";
+  if cold_payload.Protocol.outcome <> warm_payload.Protocol.outcome then
+    failwith "A14: WAL-warm answer diverges from the cold one";
+  let wal_records =
+    match Wal.replay wal with
+    | Ok r -> r.Wal.intact
+    | Error e -> failwith ("A14 wal: " ^ Dse_error.to_string e)
+  in
+  (* coalesced burst: concurrent identical submissions of an uncached
+     trace must elect one leader; everyone gets the same answer for one
+     kernel run *)
+  let burst_trace = Synthetic.loop ~base:(1 lsl 20) ~body:4096 ~iterations:16 in
+  let server = start () in
+  let runs_before = Atomic.get kernel_runs in
+  let burst_clients = 8 in
+  let outcomes, burst_s =
+    Timing.time_wall (fun () ->
+        List.init burst_clients (fun _ ->
+            Domain.spawn (fun () -> submit ~name:"a14-burst" burst_trace))
+        |> List.map Domain.join)
+  in
+  let coalesced =
+    match Client.server_stats ~socket with
+    | Ok s -> s.Protocol.coalesced_hits
+    | Error e -> failwith ("A14 stats: " ^ Dse_error.to_string e)
+  in
+  stop server;
+  Sys.remove wal;
+  if Sys.file_exists socket then Sys.remove socket;
+  let kernel_runs = Atomic.get kernel_runs - runs_before in
+  let reference = List.hd outcomes in
+  List.iter
+    (fun (p : Protocol.result_payload) ->
+      if p.Protocol.outcome <> reference.Protocol.outcome then
+        failwith "A14: burst answers diverge")
+    outcomes;
+  let burst_rps = float_of_int burst_clients /. burst_s in
+  Format.printf "start-to-answer: cold %.4f s    WAL-warm %.4f s    (%d record(s) replayed)@."
+    cold_start_to_answer_s warm_start_to_answer_s wal_records;
+  Format.printf "burst of %d identical submissions: %.4f s (%.0f req/s), %d kernel run(s), %d coalesced@."
+    burst_clients burst_s burst_rps kernel_runs coalesced;
+  {
+    cold_start_to_answer_s;
+    warm_start_to_answer_s;
+    wal_records;
+    burst_clients;
+    burst_s;
+    burst_rps;
+    kernel_runs;
+    coalesced;
+  }
+
 (* -- machine-readable output for tracking the perf trajectory -- *)
 
-let emit_json ~fast ~samples ~large ~server =
+let emit_json ~fast ~samples ~large ~server ~selfheal =
   let oc = open_out "BENCH_dse.json" in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -554,6 +669,11 @@ let emit_json ~fast ~samples ~large ~server =
         "  \"server\": {\"cold_submit_seconds\": %.6f, \"cached_submit_seconds\": %.6f, \"cache_speedup\": %.1f, \"clients\": %d, \"requests\": %d, \"throughput_rps\": %.1f, \"p50_latency_seconds\": %.6f, \"p99_latency_seconds\": %.6f},\n"
         server.cold_s server.warm_s (server.cold_s /. server.warm_s) server.clients
         server.requests server.throughput_rps server.p50_s server.p99_s;
+      Printf.fprintf oc
+        "  \"selfheal\": {\"cold_start_to_answer_seconds\": %.6f, \"warm_start_to_answer_seconds\": %.6f, \"wal_records_replayed\": %d, \"burst_clients\": %d, \"burst_seconds\": %.6f, \"burst_rps\": %.1f, \"burst_kernel_runs\": %d, \"burst_coalesced_hits\": %d},\n"
+        selfheal.cold_start_to_answer_s selfheal.warm_start_to_answer_s selfheal.wal_records
+        selfheal.burst_clients selfheal.burst_s selfheal.burst_rps selfheal.kernel_runs
+        selfheal.coalesced;
       Printf.fprintf oc "  \"gc\": {\"top_heap_words\": %d, \"peak_heap_mb\": %.1f}\n"
         stat.Gc.top_heap_words
         (float_of_int (stat.Gc.top_heap_words * 8) /. 1048576.0);
@@ -720,6 +840,7 @@ let () =
   streaming_section ();
   let large = large_trace_section () in
   let server = server_section () in
+  let selfheal = selfheal_section () in
   policy_section ();
   compiled_workloads_section ();
   l2_section ();
@@ -728,5 +849,5 @@ let () =
     List.map (fun s -> ("data", s)) data_samples
     @ List.map (fun s -> ("inst", s)) inst_samples
   in
-  emit_json ~fast ~samples ~large ~server;
+  emit_json ~fast ~samples ~large ~server ~selfheal;
   Format.printf "@.done.@."

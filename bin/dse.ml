@@ -10,8 +10,9 @@
 
 open Cmdliner
 
-(* Exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt data, 5 internal (see
-   Dse_error.exit_code). Every error goes to stderr, never stdout, and
+(* Exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt data, 5 internal,
+   6 queue full, 7 deadline exceeded (see Dse_error.exit_code). Every
+   error goes to stderr, never stdout, and
    traces are loaded before any report rendering starts, so diagnostics
    cannot interleave with report output. *)
 
@@ -378,24 +379,49 @@ let serve_cmd =
             "Bound on queued jobs: submissions beyond it are rejected immediately with a typed \
              queue-full error (exit 6 on the client) instead of buffering without limit.")
   in
-  let run socket workers max_pending =
+  let cache_entries_arg =
+    Arg.(
+      value
+      & opt int Result_cache.default_capacity
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:
+            "Bound on in-memory cached results; storing past it evicts the least-recently-used \
+             entry (evictions are visible in $(b,--server-stats)).")
+  in
+  let wal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"PATH"
+          ~doc:
+            "Persist cached results to this crash-safe log and replay it on startup, so a \
+             restarted (even kill -9'd) daemon answers repeats warm. Torn or corrupted records \
+             are skipped; intact ones survive.")
+  in
+  let run socket workers max_pending cache_entries wal =
     let workers =
       if workers = 0 then max 1 (Domain.recommended_domain_count () - 1) else workers
     in
     if workers < 1 then usage_fail "workers must be >= 1";
     if max_pending < 1 then usage_fail "max-pending must be >= 1";
+    if cache_entries < 1 then usage_fail "cache-entries must be >= 1";
     let server =
-      or_exit (Server.create { Server.socket_path = socket; workers; max_pending })
+      or_exit
+        (Server.create
+           { Server.socket_path = socket; workers; max_pending; cache_entries; wal_path = wal })
     in
     Server.install_signal_handlers server;
-    Format.eprintf "dse: serving on %s (workers=%d, max-pending=%d); SIGTERM drains@." socket
-      workers max_pending;
+    Format.eprintf "dse: serving on %s (workers=%d, max-pending=%d, cache-entries=%d%s); SIGTERM drains@."
+      socket workers max_pending cache_entries
+      (match wal with None -> "" | Some path -> Printf.sprintf ", wal=%s" path);
     (* the serve loop catches and logs per-connection/per-job failures
        itself; Cmd.eval_value ~catch:false therefore never sees a raw
        exception from the long-running path *)
     Server.run server
   in
-  let term = Term.(const run $ socket_arg $ workers_arg $ max_pending_arg) in
+  let term =
+    Term.(const run $ socket_arg $ workers_arg $ max_pending_arg $ cache_entries_arg $ wal_arg)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -415,8 +441,42 @@ let submit_cmd =
     Arg.(
       value & flag & info [ "server-stats" ] ~doc:"Print the service's job and cache counters.")
   in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Bound the job's server-side runtime (queue wait included). The kernel polls the \
+             deadline cooperatively and expiry is a typed reply; the client exits 7.")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry transient failures (queue full, connection refused, read timeout) up to N \
+             times with jittered exponential backoff. Default 0: fail fast.")
+  in
+  let retry_base_arg =
+    Arg.(
+      value
+      & opt float 0.1
+      & info [ "retry-base" ] ~docv:"SECONDS"
+          ~doc:"Base backoff delay; attempt $(i,i) sleeps about base * 2^i, jittered.")
+  in
+  let retry_cap_arg =
+    Arg.(
+      value
+      & opt float 30.0
+      & info [ "retry-cap" ] ~docv:"SECONDS"
+          ~doc:
+            "Hard wall-clock bound across all retry attempts; once it would be exceeded the \
+             last typed error is reported instead of sleeping on.")
+  in
   let run socket path format on_error percents k max_depth csv no_trim method_ domains ping
-      server_stats =
+      server_stats deadline retries retry_base retry_cap =
     if ping then begin
       or_exit (Client.ping ~socket);
       Format.printf "pong@."
@@ -427,6 +487,8 @@ let submit_cmd =
       Format.printf "cache_hits %d@." s.Protocol.cache_hits;
       Format.printf "cache_misses %d@." s.Protocol.cache_misses;
       Format.printf "cache_entries %d@." s.Protocol.cache_entries;
+      Format.printf "cache_evictions %d@." s.Protocol.cache_evictions;
+      Format.printf "coalesced_hits %d@." s.Protocol.coalesced_hits;
       Format.printf "pending %d@." s.Protocol.pending;
       Format.printf "workers %d@." s.Protocol.workers
     end
@@ -435,11 +497,19 @@ let submit_cmd =
       | None -> usage_fail "TRACE is required unless --ping or --server-stats is given"
       | Some path ->
         if domains < 1 then usage_fail "domains must be >= 1";
+        (match deadline with
+        | Some d when not (d > 0.) -> usage_fail "deadline must be > 0 seconds"
+        | _ -> ());
+        if retries < 0 then usage_fail "retries must be >= 0";
+        if not (retry_base > 0.) then usage_fail "retry-base must be > 0";
+        if not (retry_cap > 0.) then usage_fail "retry-cap must be > 0";
         let trace = load_trace format on_error path in
         let max_level = level_of_max_depth max_depth in
         let name = Filename.basename path in
         let payload =
-          or_exit (Client.submit ~socket ~percents ?k ?max_level ~method_ ~domains ~name trace)
+          or_exit
+            (Client.submit ~socket ~percents ?k ?max_level ~method_ ~domains ?deadline ~retries
+               ~retry_base ~retry_cap ~name trace)
         in
         if payload.Protocol.cache_hit then Format.eprintf "dse: served from the result cache@.";
         (match payload.Protocol.outcome with
@@ -453,7 +523,8 @@ let submit_cmd =
   let term =
     Term.(const run $ socket_arg $ trace_opt_arg $ format_arg $ on_error_arg $ percents_arg
           $ absolute_k_arg $ max_depth_arg $ csv_arg $ trim_arg $ method_arg $ domains_arg
-          $ ping_arg $ server_stats_arg)
+          $ ping_arg $ server_stats_arg $ deadline_arg $ retries_arg $ retry_base_arg
+          $ retry_cap_arg)
   in
   Cmd.v
     (Cmd.info "submit"

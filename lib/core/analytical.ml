@@ -26,29 +26,35 @@ let prepare ?max_level ?(line_words = 1) trace =
   in
   { stripped; mrct_lazy = lazy (Mrct.build stripped); max_level; line_words }
 
-let histograms ?(method_ = Streaming) ?(domains = 1) prepared =
+let histograms ?(cancel = Cancel.none) ?(method_ = Streaming) ?(domains = 1) prepared =
   match method_ with
-  | Streaming -> Streaming.histograms ~domains prepared.stripped ~max_level:prepared.max_level
+  | Streaming ->
+    Streaming.histograms ~cancel ~domains prepared.stripped ~max_level:prepared.max_level
   | Dfs ->
     if domains > 1 then
-      Parallel_optimizer.histograms ~domains ~addresses:prepared.stripped.Strip.uniques
-        (mrct prepared) ~max_level:prepared.max_level
-    else
+      Parallel_optimizer.histograms ~cancel ~domains
+        ~addresses:prepared.stripped.Strip.uniques (mrct prepared)
+        ~max_level:prepared.max_level
+    else begin
+      Cancel.check cancel;
       Dfs_optimizer.histograms ~addresses:prepared.stripped.Strip.uniques (mrct prepared)
         ~max_level:prepared.max_level
+    end
   | Bcat_walk ->
     let zero_one = Zero_one.build prepared.stripped in
     let bcat = Bcat.build ~max_level:prepared.max_level zero_one in
     Array.init (Bcat.max_level bcat + 1) (fun level ->
+        (* level boundary: one poll per histogram of the walk *)
+        Cancel.check cancel;
         Optimizer.histogram_at bcat (mrct prepared) ~level)
 
-let explore_prepared ?(method_ = Streaming) ?domains prepared ~k =
+let explore_prepared ?cancel ?(method_ = Streaming) ?domains prepared ~k =
   match method_ with
   | Bcat_walk ->
     let zero_one = Zero_one.build prepared.stripped in
     let bcat = Bcat.build ~max_level:prepared.max_level zero_one in
     Optimizer.explore bcat (mrct prepared) ~k
-  | Dfs | Streaming -> Optimizer.of_histograms ~k (histograms ~method_ ?domains prepared)
+  | Dfs | Streaming -> Optimizer.of_histograms ~k (histograms ?cancel ~method_ ?domains prepared)
 
 let explore_many ?(method_ = Streaming) ?domains prepared ~ks =
   let histograms = histograms ~method_ ?domains prepared in

@@ -36,16 +36,22 @@ val mrct : prepared -> Mrct.t
     conflicts happen between lines. Must be a power of two. *)
 val prepare : ?max_level:int -> ?line_words:int -> Trace.t -> prepared
 
-(** [histograms ?method_ ?domains prepared] is the per-level
+(** [histograms ?cancel ?method_ ?domains prepared] is the per-level
     conflict-cardinality histograms, the shared currency of every
     postlude. All methods produce bit-identical arrays (property
     tested). [domains] (default 1) parallelizes the [Streaming] and
-    [Dfs] methods; it is ignored by [Bcat_walk]. *)
-val histograms : ?method_:method_ -> ?domains:int -> prepared -> int array array
+    [Dfs] methods; it is ignored by [Bcat_walk]. [cancel] (default
+    {!Cancel.none}) makes the run cooperatively cancellable: the
+    streaming kernel polls it every {!Cancel.poll_mask}+1 references,
+    sharded runs poll at shard boundaries, and the BCAT walk polls at
+    each level; expiry raises a typed {!Dse_error.Deadline_exceeded}. *)
+val histograms :
+  ?cancel:Cancel.t -> ?method_:method_ -> ?domains:int -> prepared -> int array array
 
-(** [explore_prepared ?method_ ?domains prepared ~k] runs the postlude
-    for one budget. Default method is [Streaming]. *)
-val explore_prepared : ?method_:method_ -> ?domains:int -> prepared -> k:int -> Optimizer.t
+(** [explore_prepared ?cancel ?method_ ?domains prepared ~k] runs the
+    postlude for one budget. Default method is [Streaming]. *)
+val explore_prepared :
+  ?cancel:Cancel.t -> ?method_:method_ -> ?domains:int -> prepared -> k:int -> Optimizer.t
 
 (** [explore_many ?method_ ?domains prepared ~ks] answers several budgets
     from a single histogram computation — the "prelude once, postlude per

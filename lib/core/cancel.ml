@@ -1,0 +1,30 @@
+type t =
+  | Never
+  | Token of { start : float; limit : float; deadline : float Atomic.t }
+
+let none = Never
+
+let after seconds =
+  if not (seconds > 0.0 && seconds < infinity) then
+    invalid_arg "Cancel.after: the deadline must be a positive finite number of seconds";
+  let now = Unix.gettimeofday () in
+  Token { start = now; limit = seconds; deadline = Atomic.make (now +. seconds) }
+
+let cancel = function
+  | Never -> ()
+  | Token { deadline; _ } -> Atomic.set deadline neg_infinity
+
+let expired = function
+  | Never -> false
+  | Token { deadline; _ } -> Unix.gettimeofday () >= Atomic.get deadline
+
+let check = function
+  | Never -> ()
+  | Token { start; limit; deadline } ->
+    let now = Unix.gettimeofday () in
+    if now >= Atomic.get deadline then
+      Dse_error.fail (Dse_error.Deadline_exceeded { elapsed = now -. start; limit })
+
+let limit = function Never -> None | Token { limit; _ } -> Some limit
+
+let poll_mask = 1023

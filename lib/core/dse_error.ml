@@ -5,6 +5,7 @@ type t =
   | Shard_failure of { shard : int; attempts : int; message : string }
   | Io_error of { file : string; message : string }
   | Queue_full of { pending : int; max_pending : int }
+  | Deadline_exceeded of { elapsed : float; limit : float }
 
 exception Error of t
 
@@ -20,6 +21,8 @@ let to_string = function
   | Io_error { file; message } -> Printf.sprintf "%s: %s" file message
   | Queue_full { pending; max_pending } ->
     Printf.sprintf "server busy: %d job(s) pending (max %d); retry later" pending max_pending
+  | Deadline_exceeded { elapsed; limit } ->
+    Printf.sprintf "deadline of %.3f s exceeded after %.3f s" limit elapsed
 
 let exit_code = function
   | Constraint_violation _ -> 2
@@ -27,6 +30,7 @@ let exit_code = function
   | Parse_error _ | Corrupt_binary _ -> 4
   | Shard_failure _ -> 5
   | Queue_full _ -> 6
+  | Deadline_exceeded _ -> 7
 
 let on_degradation = ref (fun msg -> prerr_endline ("dse: " ^ msg))
 

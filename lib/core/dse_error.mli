@@ -24,6 +24,11 @@ type t =
   | Queue_full of { pending : int; max_pending : int }
       (** The [dse serve] job queue is at its [--max-pending] depth: the
           submission was rejected, not buffered. Retryable by design. *)
+  | Deadline_exceeded of { elapsed : float; limit : float }
+      (** A job's cooperative-cancellation deadline expired: the kernel
+          polled its [Cancel] token past the [limit] (seconds) and
+          stopped after [elapsed] seconds. The worker is freed; whether
+          a retry makes sense is the submitter's call. *)
 
 exception Error of t
 
@@ -36,7 +41,8 @@ val to_string : t -> string
 (** [exit_code e] maps the class to the [dse] CLI exit-code scheme:
     2 = usage ([Constraint_violation]), 3 = I/O ([Io_error]),
     4 = corrupt data ([Parse_error], [Corrupt_binary]),
-    5 = internal ([Shard_failure]), 6 = server busy ([Queue_full]). *)
+    5 = internal ([Shard_failure]), 6 = server busy ([Queue_full]),
+    7 = deadline expired ([Deadline_exceeded]). *)
 val exit_code : t -> int
 
 (** Hook invoked whenever the parallel engine degrades (a shard retry or

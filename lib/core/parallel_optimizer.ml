@@ -14,9 +14,10 @@ let merge_histograms parts =
           parts;
         merged)
 
-let histograms ~domains ~addresses mrct ~max_level =
+let histograms ?(cancel = Cancel.none) ~domains ~addresses mrct ~max_level =
   let domains = max 1 domains in
   let n' = Mrct.num_unique mrct in
+  Cancel.check cancel;
   if domains = 1 || n' = 0 then Dfs_optimizer.histograms ~addresses mrct ~max_level
   else begin
     let chunk = (n' + domains - 1) / domains in
@@ -30,12 +31,12 @@ let histograms ~domains ~addresses mrct ~max_level =
       (* one shard-isolated domain per identifier chunk (shard 0 runs
          here); a crashed shard is retried, then recomputed sequentially *)
       merge_histograms
-        (Shard_exec.map
+        (Shard_exec.map ~cancel
            (fun shard ->
              let lo, hi = chunks.(shard) in
              Dfs_optimizer.histograms_range ~addresses mrct ~max_level ~lo ~hi)
            (Array.length chunks))
   end
 
-let explore ~domains ~addresses mrct ~max_level ~k =
-  Optimizer.of_histograms ~k (histograms ~domains ~addresses mrct ~max_level)
+let explore ?cancel ~domains ~addresses mrct ~max_level ~k =
+  Optimizer.of_histograms ~k (histograms ?cancel ~domains ~addresses mrct ~max_level)

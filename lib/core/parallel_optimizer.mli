@@ -12,12 +12,26 @@
     identifier chunk is recomputed sequentially; only when all three
     attempts fail does a typed {!Dse_error.Shard_failure} escape. *)
 
-(** [explore ~domains ~addresses mrct ~max_level ~k] runs the fused DFS
-    postlude on [domains] domains (clamped to at least 1). *)
+(** [explore ?cancel ~domains ~addresses mrct ~max_level ~k] runs the
+    fused DFS postlude on [domains] domains (clamped to at least 1).
+    [cancel] (default {!Cancel.none}) is polled at shard boundaries
+    through {!Shard_exec}; expiry raises a typed
+    {!Dse_error.Deadline_exceeded} without retrying the shard. *)
 val explore :
-  domains:int -> addresses:int array -> Mrct.t -> max_level:int -> k:int -> Optimizer.t
+  ?cancel:Cancel.t ->
+  domains:int ->
+  addresses:int array ->
+  Mrct.t ->
+  max_level:int ->
+  k:int ->
+  Optimizer.t
 
-(** [histograms ~domains ~addresses mrct ~max_level] exposes the merged
-    per-level histograms. *)
+(** [histograms ?cancel ~domains ~addresses mrct ~max_level] exposes the
+    merged per-level histograms. *)
 val histograms :
-  domains:int -> addresses:int array -> Mrct.t -> max_level:int -> int array array
+  ?cancel:Cancel.t ->
+  domains:int ->
+  addresses:int array ->
+  Mrct.t ->
+  max_level:int ->
+  int array array

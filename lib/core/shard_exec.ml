@@ -1,38 +1,49 @@
-let attempt f shard =
+let attempt ~cancel f shard =
+  Cancel.check cancel;
   if Fault.should_fail ~shard then
     Dse_error.fail
       (Dse_error.Shard_failure
          { shard; attempts = 1; message = "injected fault (DSE_FAULT)" });
   f shard
 
-let guarded f shard () = match attempt f shard with v -> Ok v | exception e -> Error e
+let guarded ~cancel f shard () =
+  match attempt ~cancel f shard with v -> Ok v | exception e -> Error e
 
-let recover f total shard outcome =
+(* Cancellation is cooperative, not a shard fault: re-running an expired
+   shard can only expire again, so the ladder is skipped entirely. *)
+let is_cancellation = function
+  | Dse_error.Error (Dse_error.Deadline_exceeded _) -> true
+  | _ -> false
+
+let recover ~cancel f total shard outcome =
   match outcome with
   | Ok v -> v
+  | Error e when is_cancellation e -> raise e
   | Error first -> (
     Dse_error.degraded
       (Printf.sprintf "shard %d/%d failed (%s); retrying in a fresh domain" shard total
          (Printexc.to_string first));
-    match Domain.join (Domain.spawn (guarded f shard)) with
+    match Domain.join (Domain.spawn (guarded ~cancel f shard)) with
     | Ok v -> v
+    | Error e when is_cancellation e -> raise e
     | Error second -> (
       Dse_error.degraded
         (Printf.sprintf "shard %d/%d failed twice (%s); recomputing it sequentially" shard
            total (Printexc.to_string second));
-      match guarded f shard () with
+      match guarded ~cancel f shard () with
       | Ok v -> v
+      | Error e when is_cancellation e -> raise e
       | Error third ->
         Dse_error.fail
           (Dse_error.Shard_failure
              { shard; attempts = 3; message = Printexc.to_string third })))
 
-let map f count =
+let map ?(cancel = Cancel.none) f count =
   if count <= 0 then []
-  else if count = 1 then [ recover f 1 0 (guarded f 0 ()) ]
+  else if count = 1 then [ recover ~cancel f 1 0 (guarded ~cancel f 0 ()) ]
   else begin
     (* spawn workers for shards 1..count-1, compute shard 0 here *)
-    let workers = List.init (count - 1) (fun i -> Domain.spawn (guarded f (i + 1))) in
-    let settled = guarded f 0 () :: List.map Domain.join workers in
-    List.mapi (recover f count) settled
+    let workers = List.init (count - 1) (fun i -> Domain.spawn (guarded ~cancel f (i + 1))) in
+    let settled = guarded ~cancel f 0 () :: List.map Domain.join workers in
+    List.mapi (recover ~cancel f count) settled
   end

@@ -10,11 +10,19 @@
     attempts fail does a typed {!Dse_error.Shard_failure} escape.
 
     {!Fault} is consulted before every attempt, making each rung of the
-    recovery ladder testable. *)
+    recovery ladder testable.
 
-(** [map f count] computes [[f 0; f 1; ...; f (count-1)]], one shard per
-    domain — shard [0] in the calling domain, the rest spawned. [f] must
-    be safe to re-execute (the shard kernels are pure). Raises
-    {!Dse_error.Error} ([Shard_failure]) only after retry and sequential
-    recomputation of a shard have both failed. *)
-val map : (int -> 'a) -> int -> 'a list
+    Cooperative cancellation cuts through the ladder: [cancel] is
+    checked before every attempt, and a {!Dse_error.Deadline_exceeded}
+    escaping a shard is re-raised immediately — an expired shard is
+    never retried or recomputed, so an expired job frees its domains at
+    the next poll instead of burning the full ladder. *)
+
+(** [map ?cancel f count] computes [[f 0; f 1; ...; f (count-1)]], one
+    shard per domain — shard [0] in the calling domain, the rest
+    spawned. [f] must be safe to re-execute (the shard kernels are
+    pure). Raises {!Dse_error.Error} ([Shard_failure]) only after retry
+    and sequential recomputation of a shard have both failed, or
+    ([Deadline_exceeded]) as soon as [cancel] (default {!Cancel.none})
+    expires. *)
+val map : ?cancel:Cancel.t -> (int -> 'a) -> int -> 'a list

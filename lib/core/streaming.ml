@@ -51,7 +51,7 @@ let tally_finish t = Array.mapi (fun l h -> Array.sub h 0 (t.max_c.(l) + 1)) t.h
    above [u] exactly as Mrct.build would to emit the conflict set, but
    each member is folded into depth_count immediately; the suffix sums
    then land in the histograms. No conflict set is ever stored. *)
-let window_histograms (s : Strip.t) ~max_level ~lo ~hi =
+let window_histograms ?(cancel = Cancel.none) (s : Strip.t) ~max_level ~lo ~hi =
   let t = tally_create max_level in
   let n' = Strip.num_unique s in
   let next = Array.make (n' + 1) n' in
@@ -73,11 +73,13 @@ let window_histograms (s : Strip.t) ~max_level ~lo ~hi =
     push_front u
   in
   for j = 0 to lo - 1 do
+    if j land Cancel.poll_mask = 0 then Cancel.check cancel;
     touch s.Strip.ids.(j)
   done;
   let addresses = s.Strip.uniques in
   let depth_count = t.depth_count in
   for j = lo to hi - 1 do
+    if j land Cancel.poll_mask = 0 then Cancel.check cancel;
     let u = s.Strip.ids.(j) in
     if in_list.(u) then begin
       Array.fill depth_count 0 (max_level + 1) 0;
@@ -121,11 +123,12 @@ let merge_histograms parts =
    and Domain.spawn overhead outweigh the tally work split. *)
 let min_shard_refs = 65536
 
-let histograms ?(domains = 1) ?(shard_threshold = min_shard_refs) (s : Strip.t) ~max_level =
+let histograms ?(cancel = Cancel.none) ?(domains = 1) ?(shard_threshold = min_shard_refs)
+    (s : Strip.t) ~max_level =
   let n = Strip.num_refs s in
   let domains = max 1 domains in
   if domains = 1 || n < domains * shard_threshold then
-    window_histograms s ~max_level ~lo:0 ~hi:n
+    window_histograms ~cancel s ~max_level ~lo:0 ~hi:n
   else begin
     let chunk = (n + domains - 1) / domains in
     match
@@ -133,22 +136,22 @@ let histograms ?(domains = 1) ?(shard_threshold = min_shard_refs) (s : Strip.t) 
       |> List.filter (fun (lo, hi) -> lo < hi)
       |> Array.of_list
     with
-    | [||] -> window_histograms s ~max_level ~lo:0 ~hi:n
+    | [||] -> window_histograms ~cancel s ~max_level ~lo:0 ~hi:n
     | windows ->
       (* one shard-isolated domain per window (shard 0 runs here);
          a crashed shard is retried, then recomputed sequentially *)
       merge_histograms
-        (Shard_exec.map
+        (Shard_exec.map ~cancel
            (fun shard ->
              let lo, hi = windows.(shard) in
-             window_histograms s ~max_level ~lo ~hi)
+             window_histograms ~cancel s ~max_level ~lo ~hi)
            (Array.length windows))
   end
 
-let explore ?domains ?shard_threshold s ~max_level ~k =
-  Optimizer.of_histograms ~k (histograms ?domains ?shard_threshold s ~max_level)
+let explore ?cancel ?domains ?shard_threshold s ~max_level ~k =
+  Optimizer.of_histograms ~k (histograms ?cancel ?domains ?shard_threshold s ~max_level)
 
-let misses ?domains ?shard_threshold s ~level ~associativity =
+let misses ?cancel ?domains ?shard_threshold s ~level ~associativity =
   if level < 0 then invalid_arg "Streaming.misses: negative level";
-  let hists = histograms ?domains ?shard_threshold s ~max_level:level in
+  let hists = histograms ?cancel ?domains ?shard_threshold s ~max_level:level in
   Optimizer.misses_of_histogram hists.(level) ~associativity

@@ -24,31 +24,55 @@
     Sharded runs are fault-isolated through {!Shard_exec}: a crashing
     domain is retried once in a fresh domain, then its window is
     recomputed sequentially; only when all three attempts fail does a
-    typed {!Dse_error.Shard_failure} escape. *)
+    typed {!Dse_error.Shard_failure} escape.
 
-(** [histograms ?domains ?shard_threshold stripped ~max_level] computes
-    the per-level conflict-cardinality histograms ([result.(l).(c)]
-    counts warm occurrences whose conflict set meets their depth-[2^l]
-    row in exactly [c] references). [domains] defaults to 1 and is
-    clamped to at least 1; [shard_threshold] (default
+    [cancel] (default {!Cancel.none}) is polled every
+    {!Cancel.poll_mask}+1 references of both the replay prologue and the
+    tally loop; an expired token raises a typed
+    {!Dse_error.Deadline_exceeded} from whichever shard notices first
+    (cancellation is not a shard fault: it is never retried). *)
+
+(** [histograms ?cancel ?domains ?shard_threshold stripped ~max_level]
+    computes the per-level conflict-cardinality histograms
+    ([result.(l).(c)] counts warm occurrences whose conflict set meets
+    their depth-[2^l] row in exactly [c] references). [domains] defaults
+    to 1 and is clamped to at least 1; [shard_threshold] (default
     {!min_shard_refs}) is the smallest per-domain window for which
     sharding is attempted — tests lower it to exercise the sharded path
     on short traces. Raises [Invalid_argument] on a negative
     [max_level]. *)
 val histograms :
-  ?domains:int -> ?shard_threshold:int -> Strip.t -> max_level:int -> int array array
+  ?cancel:Cancel.t ->
+  ?domains:int ->
+  ?shard_threshold:int ->
+  Strip.t ->
+  max_level:int ->
+  int array array
 
-(** [explore ?domains ?shard_threshold stripped ~max_level ~k] runs the
-    full postlude on the streamed histograms; equivalent to
+(** [explore ?cancel ?domains ?shard_threshold stripped ~max_level ~k]
+    runs the full postlude on the streamed histograms; equivalent to
     {!Dfs_optimizer.explore} on a materialized MRCT. *)
 val explore :
-  ?domains:int -> ?shard_threshold:int -> Strip.t -> max_level:int -> k:int -> Optimizer.t
+  ?cancel:Cancel.t ->
+  ?domains:int ->
+  ?shard_threshold:int ->
+  Strip.t ->
+  max_level:int ->
+  k:int ->
+  Optimizer.t
 
-(** [misses ?domains ?shard_threshold stripped ~level ~associativity] is
-    the exact non-cold miss count of the [2^level] x [associativity]
-    LRU cache, computed without materializing the conflict table. *)
+(** [misses ?cancel ?domains ?shard_threshold stripped ~level
+    ~associativity] is the exact non-cold miss count of the [2^level] x
+    [associativity] LRU cache, computed without materializing the
+    conflict table. *)
 val misses :
-  ?domains:int -> ?shard_threshold:int -> Strip.t -> level:int -> associativity:int -> int
+  ?cancel:Cancel.t ->
+  ?domains:int ->
+  ?shard_threshold:int ->
+  Strip.t ->
+  level:int ->
+  associativity:int ->
+  int
 
 (** [min_shard_refs] is the smallest per-domain window (in trace
     references) for which sharding is attempted; below it the sequential

@@ -19,21 +19,62 @@ let request ~socket req =
         | Error _ as e -> e
         | Ok () -> Protocol.read_response ~peer:socket fd)
 
+(* Transient failures worth a retry: the daemon shedding load
+   (Queue_full) and transport faults (connection refused while the
+   daemon restarts, a read timeout, a reset). Structured job outcomes —
+   constraint violations, corrupt traces, deadline expiry — would fail
+   identically on a resubmit, so they surface immediately. *)
+let retryable = function
+  | Dse_error.Queue_full _ | Dse_error.Io_error _ -> true
+  | _ -> false
+
+(* Full jitter on an exponential base: delay in [0.5, 1.5) * base * 2^attempt,
+   so a burst of failing clients decorrelates instead of re-stampeding
+   the daemon in lockstep. *)
+let backoff_delay ~base attempt =
+  base *. (2. ** float_of_int attempt) *. (0.5 +. Random.float 1.)
+
+let with_retry ~retries ~retry_base ~retry_cap f =
+  if retries = 0 then f ()
+  else begin
+    let started = Unix.gettimeofday () in
+    let rec go attempt =
+      match f () with
+      | Ok _ as ok -> ok
+      | Error e when attempt < retries && retryable e ->
+        let delay = backoff_delay ~base:retry_base attempt in
+        (* the cap is a hard wall-clock bound: give up with the last
+           typed error rather than sleep past it *)
+        if Unix.gettimeofday () -. started +. delay > retry_cap then Error e
+        else begin
+          Unix.sleepf delay;
+          go (attempt + 1)
+        end
+      | Error _ as e -> e
+    in
+    go 0
+  end
+
 let unexpected socket =
   Error (Dse_error.Io_error { file = socket; message = "unexpected response kind from the server" })
 
 let submit ~socket ?(percents = [ 5; 10; 15; 20 ]) ?k ?max_level ?(method_ = Analytical.Streaming)
-    ?(domains = 1) ~name trace =
+    ?(domains = 1) ?deadline ?(retries = 0) ?(retry_base = 0.1) ?(retry_cap = 30.) ~name trace =
+  if retries < 0 then invalid_arg "Client.submit: retries must be >= 0";
+  if not (retry_base > 0.) then invalid_arg "Client.submit: retry_base must be > 0";
+  if not (retry_cap > 0.) then invalid_arg "Client.submit: retry_cap must be > 0";
   let query =
     match k with Some k -> Protocol.Budget k | None -> Protocol.Percents percents
   in
-  match
-    request ~socket (Protocol.Submit { name; trace; query; method_; domains; max_level })
-  with
-  | Error _ as e -> e
-  | Ok (Protocol.Result payload) -> Ok payload
-  | Ok (Protocol.Server_error e) -> Error e
-  | Ok (Protocol.Stats_reply _ | Protocol.Pong) -> unexpected socket
+  with_retry ~retries ~retry_base ~retry_cap (fun () ->
+      match
+        request ~socket
+          (Protocol.Submit { name; trace; query; method_; domains; max_level; deadline })
+      with
+      | Error _ as e -> e
+      | Ok (Protocol.Result payload) -> Ok payload
+      | Ok (Protocol.Server_error e) -> Error e
+      | Ok (Protocol.Stats_reply _ | Protocol.Pong) -> unexpected socket)
 
 let ping ~socket =
   match request ~socket Protocol.Ping with

@@ -9,11 +9,25 @@
 (** [request ~socket req] performs one request/response round trip. *)
 val request : socket:string -> Protocol.request -> (Protocol.response, Dse_error.t) result
 
-(** [submit ~socket ?percents ?k ?max_level ?method_ ?domains ~name
-    trace] submits one job. [k] switches from the percentage sweep
-    (default, the paper's 5/10/15/20) to one absolute budget, mirroring
-    [dse explore]'s [--percents]/[-k]. The payload says whether the
-    result came from the daemon's cache. *)
+(** [submit ~socket ?percents ?k ?max_level ?method_ ?domains ?deadline
+    ?retries ?retry_base ?retry_cap ~name trace] submits one job. [k]
+    switches from the percentage sweep (default, the paper's
+    5/10/15/20) to one absolute budget, mirroring [dse explore]'s
+    [--percents]/[-k]. [deadline] bounds the job's server-side runtime
+    (queue wait included); expiry comes back as
+    {!Dse_error.Deadline_exceeded}.
+
+    [retries] (default 0: fail fast) enables jittered exponential
+    backoff for {e transient} failures only — {!Dse_error.Queue_full}
+    and transport-level {!Dse_error.Io_error} (connection refused while
+    the daemon restarts, read timeout). Attempt [i] sleeps
+    [retry_base * 2^i * U(0.5, 1.5)] seconds; [retry_cap] (default 30)
+    is a hard wall-clock bound across all attempts, after which the
+    last typed error is returned. Structured job failures (constraint
+    violations, corrupt traces, deadline expiry) are never retried.
+
+    The payload says whether the result came from the daemon's
+    cache. *)
 val submit :
   socket:string ->
   ?percents:int list ->
@@ -21,6 +35,10 @@ val submit :
   ?max_level:int ->
   ?method_:Analytical.method_ ->
   ?domains:int ->
+  ?deadline:float ->
+  ?retries:int ->
+  ?retry_base:float ->
+  ?retry_cap:float ->
   name:string ->
   Trace.t ->
   (Protocol.result_payload, Dse_error.t) result

@@ -1,0 +1,34 @@
+type waiter = { fd : Unix.file_descr; name : string; query : Protocol.query }
+
+type t = {
+  mutex : Mutex.t;
+  flights : (Result_cache.key, waiter list ref) Hashtbl.t;
+  mutable coalesced : int;
+}
+
+let create () = { mutex = Mutex.create (); flights = Hashtbl.create 16; coalesced = 0 }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let begin_ t key waiter =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.flights key with
+      | None ->
+        Hashtbl.replace t.flights key (ref []);
+        `Leader
+      | Some waiters ->
+        waiters := waiter :: !waiters;
+        t.coalesced <- t.coalesced + 1;
+        `Attached)
+
+let complete t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.flights key with
+      | None -> []
+      | Some waiters ->
+        Hashtbl.remove t.flights key;
+        List.rev !waiters)
+
+let coalesced t = with_lock t (fun () -> t.coalesced)

@@ -15,7 +15,11 @@
 
 let magic = "DSRV"
 
-let version = 1
+(* v2: Submit carries an optional deadline, error payloads gained the
+   Deadline_exceeded tag, and stats replies the coalesced-hit and
+   eviction counters. Client and daemon ship from the same tree, so the
+   version is bumped in lockstep rather than negotiated. *)
+let version = 2
 
 (* Caps the payload a peer can make us allocate; a 10M-reference trace
    encodes to ~50 MB, so this is generous without being unbounded. *)
@@ -31,6 +35,7 @@ type request =
       method_ : Analytical.method_;
       domains : int;
       max_level : int option;
+      deadline : float option;
     }
   | Server_stats
   | Ping
@@ -40,6 +45,8 @@ type server_stats = {
   cache_hits : int;
   cache_misses : int;
   cache_entries : int;
+  cache_evictions : int;
+  coalesced_hits : int;
   pending : int;
   workers : int;
 }
@@ -87,6 +94,13 @@ let add_list buf xs =
 
 let add_bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
 
+(* Deadlines are the only non-integral wire field; IEEE-754 bits, LE. *)
+let add_f64 buf v =
+  let bits = Int64.bits_of_float v in
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF))
+  done
+
 let encode_query buf = function
   | Percents ps ->
     Buffer.add_char buf '\000';
@@ -102,7 +116,7 @@ let encode_trace buf trace =
     trace
 
 let encode_request buf = function
-  | Submit { name; trace; query; method_; domains; max_level } ->
+  | Submit { name; trace; query; method_; domains; max_level; deadline } ->
     add_string buf name;
     Buffer.add_char buf (Char.chr (method_tag method_));
     add_varint buf domains;
@@ -111,6 +125,11 @@ let encode_request buf = function
     | Some level ->
       add_bool buf true;
       add_varint buf level);
+    (match deadline with
+    | None -> add_bool buf false
+    | Some seconds ->
+      add_bool buf true;
+      add_f64 buf seconds);
     encode_query buf query;
     encode_trace buf trace
   | Server_stats | Ping -> ()
@@ -143,6 +162,10 @@ let encode_error buf = function
     Buffer.add_char buf '\005';
     add_varint buf pending;
     add_varint buf max_pending
+  | Dse_error.Deadline_exceeded { elapsed; limit } ->
+    Buffer.add_char buf '\006';
+    add_f64 buf elapsed;
+    add_f64 buf limit
 
 let encode_stats buf (s : Stats.t) =
   add_varint buf s.Stats.n;
@@ -186,6 +209,8 @@ let encode_response buf = function
     add_varint buf s.cache_hits;
     add_varint buf s.cache_misses;
     add_varint buf s.cache_entries;
+    add_varint buf s.cache_evictions;
+    add_varint buf s.coalesced_hits;
     add_varint buf s.pending;
     add_varint buf s.workers
   | Pong -> ()
@@ -194,6 +219,10 @@ let encode_response buf = function
 
 (* Byte offset within the frame payload + what was wrong. *)
 exception Malformed of int * string
+
+(* The peer closed before sending a single byte — a liveness probe or
+   an abandoned connect, not damage. *)
+exception Clean_close
 
 type cursor = { data : string; mutable pos : int }
 
@@ -230,6 +259,13 @@ let bool_field c =
   | 0 -> false
   | 1 -> true
   | b -> raise (Malformed (c.pos - 1, Printf.sprintf "bad boolean byte %d" b))
+
+let f64_field c =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (byte c)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
 
 let int_list c =
   let n = varint c in
@@ -276,9 +312,10 @@ let decode_submit c =
   let method_ = method_field c in
   let domains = varint c in
   let max_level = if bool_field c then Some (varint c) else None in
+  let deadline = if bool_field c then Some (f64_field c) else None in
   let query = query_field c in
   let trace = trace_field c in
-  Submit { name; trace; query; method_; domains; max_level }
+  Submit { name; trace; query; method_; domains; max_level; deadline }
 
 let decode_error c =
   match byte c with
@@ -309,6 +346,10 @@ let decode_error c =
     let pending = varint c in
     let max_pending = varint c in
     Dse_error.Queue_full { pending; max_pending }
+  | 6 ->
+    let elapsed = f64_field c in
+    let limit = f64_field c in
+    Dse_error.Deadline_exceeded { elapsed; limit }
   | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown error tag %d" b))
 
 let decode_stats c =
@@ -357,9 +398,12 @@ let decode_server_stats c =
   let cache_hits = varint c in
   let cache_misses = varint c in
   let cache_entries = varint c in
+  let cache_evictions = varint c in
+  let coalesced_hits = varint c in
   let pending = varint c in
   let workers = varint c in
-  { jobs_completed; cache_hits; cache_misses; cache_entries; pending; workers }
+  { jobs_completed; cache_hits; cache_misses; cache_entries; cache_evictions;
+    coalesced_hits; pending; workers }
 
 (* -- framing over a file descriptor -- *)
 
@@ -405,7 +449,7 @@ type wire_reader = { fd : Unix.file_descr; mutable pos : int; mutable crc : int 
 let reader_byte r =
   let b = Bytes.create 1 in
   match Unix.read r.fd b 0 1 with
-  | 0 -> raise (Malformed (r.pos, "unexpected end of stream"))
+  | 0 -> if r.pos = 0 then raise Clean_close else raise (Malformed (r.pos, "unexpected end of stream"))
   | _ ->
     let v = Char.code (Bytes.get b 0) in
     r.pos <- r.pos + 1;
@@ -477,11 +521,23 @@ let corrupt ~peer offset message = Dse_error.Corrupt_binary { file = peer; offse
 
 let io_failure ~peer err = Dse_error.Io_error { file = peer; message = Unix.error_message err }
 
-let guard ~peer f =
+let timeout_message = "client timed out"
+
+(* SO_RCVTIMEO / SO_SNDTIMEO expiry surfaces as EAGAIN (or
+   EWOULDBLOCK); mapped to a recognisable typed error so the daemon can
+   log-and-close a stalled peer instead of attempting a reply that
+   would itself block for the send-timeout. *)
+let guard ~peer ?(timeout = "timed out") f =
   match f () with
   | v -> Ok v
   | exception Malformed (offset, message) -> Error (corrupt ~peer offset message)
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Error (Dse_error.Io_error { file = peer; message = timeout })
   | exception Unix.Unix_error (err, _, _) -> Error (io_failure ~peer err)
+
+let timed_out = function
+  | Dse_error.Io_error { message; _ } -> message = timeout_message
+  | _ -> false
 
 let write_request ?(peer = "<server>") fd request =
   guard ~peer (fun () ->
@@ -493,7 +549,7 @@ let write_request ?(peer = "<server>") fd request =
       send_frame fd ~tag (Buffer.contents buf))
 
 let write_response ?(peer = "<client>") fd response =
-  guard ~peer (fun () ->
+  guard ~peer ~timeout:timeout_message (fun () ->
       let buf = Buffer.create 1024 in
       encode_response buf response;
       let tag =
@@ -506,21 +562,27 @@ let write_response ?(peer = "<client>") fd response =
       send_frame fd ~tag (Buffer.contents buf))
 
 let read_request ?(peer = "<client>") fd =
-  guard ~peer (fun () ->
-      let tag, payload = read_frame fd in
-      let c = { data = payload; pos = 0 } in
-      let request =
-        if tag = tag_submit then decode_submit c
-        else if tag = tag_server_stats then Server_stats
-        else if tag = tag_ping then Ping
-        else raise (Malformed (5, Printf.sprintf "unknown request tag %d" tag))
-      in
-      if remaining c > 0 then raise (Malformed (c.pos, "trailing bytes after the request"));
-      request)
+  guard ~peer ~timeout:timeout_message (fun () ->
+      match read_frame fd with
+      | exception Clean_close -> None
+      | tag, payload ->
+        let c = { data = payload; pos = 0 } in
+        let request =
+          if tag = tag_submit then decode_submit c
+          else if tag = tag_server_stats then Server_stats
+          else if tag = tag_ping then Ping
+          else raise (Malformed (5, Printf.sprintf "unknown request tag %d" tag))
+        in
+        if remaining c > 0 then raise (Malformed (c.pos, "trailing bytes after the request"));
+        Some request)
 
 let read_response ?(peer = "<server>") fd =
   guard ~peer (fun () ->
-      let tag, payload = read_frame fd in
+      let tag, payload =
+        (* the server closing without answering is a failure on this
+           side of the wire, unlike a client probe *)
+        try read_frame fd with Clean_close -> raise (Malformed (0, "connection closed without a response"))
+      in
       let c = { data = payload; pos = 0 } in
       let response =
         if tag = tag_result then begin

@@ -25,6 +25,9 @@ type request =
       method_ : Analytical.method_;
       domains : int;  (** shard count for the job's kernel run *)
       max_level : int option;  (** as [Analytical.prepare]'s [?max_level] *)
+      deadline : float option;
+          (** seconds the job may spend, queue wait included; expiry is
+              a {!Dse_error.Deadline_exceeded} reply *)
     }
   | Server_stats  (** query the daemon's counters (cache hits, pending) *)
   | Ping
@@ -34,6 +37,8 @@ type server_stats = {
   cache_hits : int;
   cache_misses : int;
   cache_entries : int;
+  cache_evictions : int;  (** LRU entries dropped by the bounded cache *)
+  coalesced_hits : int;  (** submissions answered by attaching to another's flight *)
   pending : int;
   workers : int;
 }
@@ -60,8 +65,18 @@ val max_payload : int
     ["<client>"] when reading). *)
 val write_request : ?peer:string -> Unix.file_descr -> request -> (unit, Dse_error.t) result
 
-val read_request : ?peer:string -> Unix.file_descr -> (request, Dse_error.t) result
+(** [Ok None] means the peer closed the connection without sending a
+    byte — a liveness probe (the socket-claim check, monitoring), not a
+    defect; the daemon closes silently instead of logging or replying.
+    Any bytes at all followed by a close is still [Corrupt_binary]. *)
+val read_request : ?peer:string -> Unix.file_descr -> (request option, Dse_error.t) result
 
 val write_response : ?peer:string -> Unix.file_descr -> response -> (unit, Dse_error.t) result
 
 val read_response : ?peer:string -> Unix.file_descr -> (response, Dse_error.t) result
+
+(** [timed_out e] recognises the typed error produced when a socket
+    receive/send timeout (SO_RCVTIMEO / SO_SNDTIMEO) expired mid-frame
+    — the daemon logs and closes such connections without attempting a
+    reply (which would itself block for the send timeout). *)
+val timed_out : Dse_error.t -> bool

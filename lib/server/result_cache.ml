@@ -2,32 +2,88 @@ type key = { fingerprint : int64; method_tag : int; domains : int; max_level : i
 
 type entry = { stats : Stats.t; histograms : int array array }
 
-type counters = { hits : int; misses : int; entries : int }
+type counters = { hits : int; misses : int; entries : int; evictions : int }
+
+type node = { entry : entry; mutable last_used : int }
 
 type t = {
-  table : (key, entry) Hashtbl.t;
+  table : (key, node) Hashtbl.t;
+  capacity : int;
   mutex : Mutex.t;
+  mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
-let create () = { table = Hashtbl.create 64; mutex = Mutex.create (); hits = 0; misses = 0 }
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Result_cache.create: capacity must be >= 1";
+  {
+    table = Hashtbl.create 64;
+    capacity;
+    mutex = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
 
 let with_lock t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+let touch t node =
+  t.tick <- t.tick + 1;
+  node.last_used <- t.tick
+
 let find t key =
   with_lock t (fun () ->
       match Hashtbl.find_opt t.table key with
-      | Some _ as hit ->
+      | Some node ->
         t.hits <- t.hits + 1;
-        hit
+        touch t node;
+        Some node.entry
       | None ->
         t.misses <- t.misses + 1;
         None)
 
-let store t key entry = with_lock t (fun () -> Hashtbl.replace t.table key entry)
+(* O(entries) scan; entries is bounded by [capacity] (default 256), so
+   eviction cost is trivial next to the kernel run that preceded it. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key node ->
+      match !victim with
+      | Some (_, oldest) when oldest.last_used <= node.last_used -> ()
+      | _ -> victim := Some (key, node))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    t.evictions <- t.evictions + 1
+
+let store t key entry =
+  with_lock t (fun () ->
+      (match Hashtbl.find_opt t.table key with
+      | Some _ -> Hashtbl.remove t.table key
+      | None -> ());
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let node = { entry; last_used = 0 } in
+      touch t node;
+      Hashtbl.replace t.table key node)
+
+let snapshot t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun key node acc -> (key, node) :: acc) t.table []
+      |> List.sort (fun (_, a) (_, b) -> compare a.last_used b.last_used)
+      |> List.map (fun (key, node) -> (key, node.entry)))
+
+let capacity t = t.capacity
 
 let counters t =
-  with_lock t (fun () -> { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table })
+  with_lock t (fun () ->
+      { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table;
+        evictions = t.evictions })

@@ -1,4 +1,4 @@
-(** Content-addressed result cache for the serving layer.
+(** Content-addressed, LRU-bounded result cache for the serving layer.
 
     The analytical method's core economy (paper Figure 1(b)) is that one
     histogram computation answers {e every} subsequent budget query: the
@@ -11,9 +11,15 @@
     kernel at all, via {!Analytical_dse.of_histograms} /
     {!Optimizer.of_histograms}.
 
-    Concurrent identical submissions may both miss and both compute; the
-    second {!store} overwrites with an identical entry (all methods are
-    bit-identical, property-tested), so the race is benign. *)
+    The cache is bounded: storing past [capacity] entries evicts the
+    least-recently-used one (a long-lived daemon under many distinct
+    traces cannot grow without limit), and evictions are counted for
+    [dse submit --server-stats]. Eviction is O(entries) — trivial at the
+    default capacity of 256 against the kernel run each store follows.
+
+    Single-flight deduplication ({!Inflight}) means concurrent identical
+    submissions reach {!store} at most once; a racing duplicate store
+    would in any case overwrite with a bit-identical entry. *)
 
 type key = {
   fingerprint : int64;  (** {!Trace.fingerprint} of the submitted trace *)
@@ -24,15 +30,30 @@ type key = {
 
 type entry = { stats : Stats.t; histograms : int array array }
 
-type counters = { hits : int; misses : int; entries : int }
+type counters = { hits : int; misses : int; entries : int; evictions : int }
 
 type t
 
-val create : unit -> t
+(** Default LRU bound (the CLI's [--cache-entries] default). *)
+val default_capacity : int
 
-(** [find t key] counts a hit or a miss. *)
+(** [create ?capacity ()] makes an empty cache holding at most
+    [capacity] (default {!default_capacity}, must be >= 1) entries. *)
+val create : ?capacity:int -> unit -> t
+
+(** [find t key] counts a hit or a miss; a hit refreshes the entry's
+    recency. *)
 val find : t -> key -> entry option
 
+(** [store t key entry] inserts (or refreshes) the entry, evicting the
+    least-recently-used one first when the cache is full. *)
 val store : t -> key -> entry -> unit
+
+(** [snapshot t] is every live entry, least-recently-used first —
+    replaying a snapshot through {!store} in order reproduces both the
+    contents and the recency order (the WAL compaction format). *)
+val snapshot : t -> (key * entry) list
+
+val capacity : t -> int
 
 val counters : t -> counters

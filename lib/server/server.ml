@@ -1,4 +1,10 @@
-type config = { socket_path : string; workers : int; max_pending : int }
+type config = {
+  socket_path : string;
+  workers : int;
+  max_pending : int;
+  cache_entries : int;
+  wal_path : string option;
+}
 
 type job = {
   fd : Unix.file_descr;
@@ -9,6 +15,7 @@ type job = {
   domains : int;
   max_level : int option;
   key : Result_cache.key;
+  cancel : Cancel.t;
 }
 
 type t = {
@@ -16,6 +23,8 @@ type t = {
   listen_fd : Unix.file_descr;
   queue : job Job_queue.t;
   cache : Result_cache.t;
+  inflight : Inflight.t;
+  wal : Wal.t option;
   stopping : bool Atomic.t;
   jobs_completed : int Atomic.t;
   on_job_start : unit -> unit;
@@ -44,40 +53,78 @@ let claim_socket_path path =
   end
   else Ok ()
 
+(* Warm the cache from the WAL in append order (later duplicates win
+   and recency is reproduced); damage is tolerated by design and only
+   logged. *)
+let restore_from_wal ~log ~cache path =
+  match Wal.replay path with
+  | Error _ as e -> e
+  | Ok { Wal.entries; intact; damaged; truncated } ->
+    List.iter (fun (key, entry) -> Result_cache.store cache key entry) entries;
+    if intact > 0 || damaged > 0 || truncated then
+      log
+        (Printf.sprintf "wal: restored %d cached result(s) from %s%s%s" intact path
+           (if damaged > 0 then Printf.sprintf ", skipped %d damaged record(s)" damaged else "")
+           (if truncated then ", dropped a torn tail" else ""));
+    Ok ()
+
 let create ?(on_job_start = fun () -> ()) ?(log = fun msg -> Format.eprintf "dse-serve: %s@." msg)
     config =
-  if config.workers < 1 then
-    Error (Dse_error.Constraint_violation { context = "serve"; message = "workers must be >= 1" })
-  else if config.max_pending < 1 then
-    Error
-      (Dse_error.Constraint_violation { context = "serve"; message = "max-pending must be >= 1" })
+  let invalid message =
+    Error (Dse_error.Constraint_violation { context = "serve"; message })
+  in
+  if config.workers < 1 then invalid "workers must be >= 1"
+  else if config.max_pending < 1 then invalid "max-pending must be >= 1"
+  else if config.cache_entries < 1 then invalid "cache-entries must be >= 1"
   else
     match claim_socket_path config.socket_path with
     | Error _ as e -> e
     | Ok () -> (
-      (* a client vanishing mid-reply must be an EPIPE result, not a
-         process-killing signal *)
-      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-      let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      match
-        Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
-        Unix.listen listen_fd 64
-      with
-      | () ->
-        Ok
-          {
-            config;
-            listen_fd;
-            queue = Job_queue.create ~max_pending:config.max_pending;
-            cache = Result_cache.create ();
-            stopping = Atomic.make false;
-            jobs_completed = Atomic.make 0;
-            on_job_start;
-            log;
-          }
-      | exception Unix.Unix_error (err, _, _) ->
-        close_noerr listen_fd;
-        Error (Dse_error.Io_error { file = config.socket_path; message = Unix.error_message err }))
+      let cache = Result_cache.create ~capacity:config.cache_entries () in
+      let wal_result =
+        match config.wal_path with
+        | None -> Ok None
+        | Some path -> (
+          match restore_from_wal ~log ~cache path with
+          | Error _ as e -> e
+          | Ok () -> (
+            match
+              Wal.open_ ~capacity:config.cache_entries
+                ~snapshot:(fun () -> Result_cache.snapshot cache)
+                path
+            with
+            | Error _ as e -> e
+            | Ok wal -> Ok (Some wal)))
+      in
+      match wal_result with
+      | Error _ as e -> e
+      | Ok wal -> (
+        (* a client vanishing mid-reply must be an EPIPE result, not a
+           process-killing signal *)
+        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+        let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match
+          Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
+          Unix.listen listen_fd 64
+        with
+        | () ->
+          Ok
+            {
+              config;
+              listen_fd;
+              queue = Job_queue.create ~max_pending:config.max_pending;
+              cache;
+              inflight = Inflight.create ();
+              wal;
+              stopping = Atomic.make false;
+              jobs_completed = Atomic.make 0;
+              on_job_start;
+              log;
+            }
+        | exception Unix.Unix_error (err, _, _) ->
+          close_noerr listen_fd;
+          (match wal with Some w -> Wal.close w | None -> ());
+          Error (Dse_error.Io_error { file = config.socket_path; message = Unix.error_message err })))
 
 let stop t = Atomic.set t.stopping true
 
@@ -102,6 +149,8 @@ let stats_reply t =
       cache_hits = c.Result_cache.hits;
       cache_misses = c.Result_cache.misses;
       cache_entries = c.Result_cache.entries;
+      cache_evictions = c.Result_cache.evictions;
+      coalesced_hits = Inflight.coalesced t.inflight;
       pending = Job_queue.length t.queue;
       workers = t.config.workers;
     }
@@ -112,43 +161,73 @@ let respond_and_close t fd response =
   | Error e -> t.log (Printf.sprintf "reply failed: %s" (Dse_error.to_string e)));
   close_noerr fd
 
+(* Every party of a single flight — the leader plus its attached
+   waiters — gets a reply built from its own name and query. *)
+let respond_flight t job outcome =
+  let waiters = Inflight.complete t.inflight job.key in
+  let reply ~name ~query fd =
+    let response =
+      match outcome with
+      | Ok entry ->
+        Protocol.Result { Protocol.outcome = answer ~name ~query entry; cache_hit = false }
+      | Error e -> Protocol.Server_error e
+    in
+    respond_and_close t fd response
+  in
+  reply ~name:job.name ~query:job.query job.fd;
+  List.iter
+    (fun (w : Inflight.waiter) -> reply ~name:w.Inflight.name ~query:w.Inflight.query w.Inflight.fd)
+    waiters
+
 (* Runs in a worker domain. The kernel call goes through the standard
    [Analytical] pipeline, so [domains > 1] jobs get Shard_exec's
-   per-shard recovery ladder; every failure becomes a structured reply
-   to this job's client and the worker lives on. *)
+   per-shard recovery ladder and the job's cancel token is polled at
+   the documented points; every failure — deadline expiry included —
+   becomes a structured reply to this flight's clients and the worker
+   lives on. *)
 let run_job t job =
   t.on_job_start ();
-  let response =
+  let outcome =
     match
+      (* the deadline clock started at submission, so time spent queued
+         counts; an already-expired job fails here without a kernel run *)
+      Cancel.check job.cancel;
       let prepared = Analytical.prepare ?max_level:job.max_level job.trace in
       let stats = Stats.compute_stripped prepared.Analytical.stripped in
-      let histograms = Analytical.histograms ~method_:job.method_ ~domains:job.domains prepared in
+      let histograms =
+        Analytical.histograms ~cancel:job.cancel ~method_:job.method_ ~domains:job.domains prepared
+      in
       let entry = { Result_cache.stats; histograms } in
       Result_cache.store t.cache job.key entry;
+      (match t.wal with
+      | None -> ()
+      | Some wal -> (
+        (* a full disk degrades persistence, never serving *)
+        match Wal.append wal job.key entry with
+        | Ok () -> ()
+        | Error e -> t.log (Printf.sprintf "wal append failed: %s" (Dse_error.to_string e))));
       entry
     with
-    | entry ->
-      Protocol.Result { Protocol.outcome = answer ~name:job.name ~query:job.query entry; cache_hit = false }
-    | exception Dse_error.Error e -> Protocol.Server_error e
+    | entry -> Ok entry
+    | exception Dse_error.Error e -> Error e
     | exception Invalid_argument message ->
-      Protocol.Server_error (Dse_error.Constraint_violation { context = "submit"; message })
+      Error (Dse_error.Constraint_violation { context = "submit"; message })
     | exception e ->
       (* unexpected engine crash: internal-failure class (exit 5) *)
-      Protocol.Server_error
-        (Dse_error.Shard_failure { shard = 0; attempts = 1; message = Printexc.to_string e })
+      Error (Dse_error.Shard_failure { shard = 0; attempts = 1; message = Printexc.to_string e })
   in
   Atomic.incr t.jobs_completed;
-  respond_and_close t job.fd response
+  respond_flight t job outcome
 
-let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level =
-  if Trace.length trace = 0 then
+let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~deadline =
+  let reject message =
     respond_and_close t fd
-      (Protocol.Server_error
-         (Dse_error.Constraint_violation { context = "submit"; message = "empty trace" }))
-  else if domains < 1 then
-    respond_and_close t fd
-      (Protocol.Server_error
-         (Dse_error.Constraint_violation { context = "submit"; message = "domains must be >= 1" }))
+      (Protocol.Server_error (Dse_error.Constraint_violation { context = "submit"; message }))
+  in
+  if Trace.length trace = 0 then reject "empty trace"
+  else if domains < 1 then reject "domains must be >= 1"
+  else if (match deadline with Some d -> not (d > 0.) || d = infinity | None -> false) then
+    reject "deadline must be a positive finite number of seconds"
   else begin
     let key =
       {
@@ -164,17 +243,31 @@ let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level =
       respond_and_close t fd
         (Protocol.Result { Protocol.outcome = answer ~name ~query entry; cache_hit = true })
     | None -> (
-      let job = { fd; name; trace; query; method_; domains; max_level; key } in
-      match Job_queue.push t.queue job with
-      | `Ok -> () (* the worker now owns [fd] *)
-      | `Full pending ->
-        respond_and_close t fd
-          (Protocol.Server_error
-             (Dse_error.Queue_full { pending; max_pending = t.config.max_pending }))
-      | `Closed ->
-        respond_and_close t fd
-          (Protocol.Server_error
-             (Dse_error.Io_error { file = t.config.socket_path; message = "server shutting down" })))
+      (* single flight: a duplicate of a job already running attaches
+         to it instead of electing a redundant kernel run; the leader's
+         worker answers everyone *)
+      match Inflight.begin_ t.inflight key { Inflight.fd; name; query } with
+      | `Attached -> ()
+      | `Leader -> (
+        let cancel =
+          match deadline with None -> Cancel.none | Some seconds -> Cancel.after seconds
+        in
+        let job = { fd; name; trace; query; method_; domains; max_level; key; cancel } in
+        let fail_flight e =
+          let waiters = Inflight.complete t.inflight key in
+          respond_and_close t fd (Protocol.Server_error e);
+          List.iter
+            (fun (w : Inflight.waiter) ->
+              respond_and_close t w.Inflight.fd (Protocol.Server_error e))
+            waiters
+        in
+        match Job_queue.push t.queue job with
+        | `Ok -> () (* the worker now owns [fd] and the flight *)
+        | `Full pending ->
+          fail_flight (Dse_error.Queue_full { pending; max_pending = t.config.max_pending })
+        | `Closed ->
+          fail_flight
+            (Dse_error.Io_error { file = t.config.socket_path; message = "server shutting down" })))
   end
 
 let handle_connection t fd =
@@ -182,11 +275,19 @@ let handle_connection t fd =
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.0;
   match Protocol.read_request fd with
+  | Ok None ->
+    (* liveness probe (socket claim, monitoring): close silently *)
+    close_noerr fd
+  | Error e when Protocol.timed_out e ->
+    (* replying to a peer that stalled mid-frame would block the accept
+       loop for the send timeout on top of the receive one *)
+    t.log "dropped a connection that timed out mid-request";
+    close_noerr fd
   | Error e -> respond_and_close t fd (Protocol.Server_error e)
-  | Ok Protocol.Ping -> respond_and_close t fd Protocol.Pong
-  | Ok Protocol.Server_stats -> respond_and_close t fd (stats_reply t)
-  | Ok (Protocol.Submit { name; trace; query; method_; domains; max_level }) ->
-    handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level
+  | Ok (Some Protocol.Ping) -> respond_and_close t fd Protocol.Pong
+  | Ok (Some Protocol.Server_stats) -> respond_and_close t fd (stats_reply t)
+  | Ok (Some (Protocol.Submit { name; trace; query; method_; domains; max_level; deadline })) ->
+    handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~deadline
 
 let run t =
   let pool = Worker_pool.start ~workers:t.config.workers ~run:(run_job t) t.queue in
@@ -210,12 +311,13 @@ let run t =
   in
   accept_loop ();
   (* drain: no new connections, but every queued and in-flight job is
-     finished and answered before the daemon exits *)
+     finished and answered (waiters included) before the daemon exits *)
   let pending = Job_queue.length t.queue in
   if pending > 0 then t.log (Printf.sprintf "draining %d pending job(s)" pending);
   Job_queue.close t.queue;
   Worker_pool.join pool;
   close_noerr t.listen_fd;
+  (match t.wal with Some wal -> Wal.close wal | None -> ());
   (try Unix.unlink t.config.socket_path with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
   t.log
     (Printf.sprintf "drained; %d job(s) completed over this run" (Atomic.get t.jobs_completed))

@@ -12,6 +12,22 @@
     failure is a structured reply to that one client and the daemon
     keeps serving.
 
+    Self-healing behaviours layered on top:
+
+    - {b Deadlines.} A submission's [deadline] starts a {!Cancel} token
+      at accept time (queue wait counts); the kernel polls it and
+      expiry is a {!Dse_error.Deadline_exceeded} reply (exit 7 at the
+      CLI) — the worker moves on to the next job immediately.
+    - {b Single flight.} Concurrent identical submissions (same
+      {!Result_cache.key}) coalesce onto one kernel run via
+      {!Inflight}; duplicates are counted as [coalesced_hits].
+    - {b Persistence.} With [wal_path] set, every cached result is
+      appended to a crash-safe {!Wal}; on startup the log is replayed
+      (tolerating torn tails and bit flips), so a [kill -9]'d daemon
+      restarts warm and answers repeats from cache.
+    - {b Bounded memory.} The result cache holds at most
+      [cache_entries] entries (LRU eviction, counted in stats).
+
     Shutdown ({!stop}, or SIGTERM/SIGINT via
     {!install_signal_handlers}) drains: the listener closes, queued and
     in-flight jobs finish and are answered, the workers join, and the
@@ -21,17 +37,21 @@ type config = {
   socket_path : string;
   workers : int;  (** worker domains; must be >= 1 *)
   max_pending : int;  (** job-queue depth bound; must be >= 1 *)
+  cache_entries : int;  (** result-cache LRU bound; must be >= 1 *)
+  wal_path : string option;  (** persistent result log; [None] = in-memory only *)
 }
 
 type t
 
 (** [create ?on_job_start ?log config] binds and listens (unlinking a
-    stale socket file; refusing one owned by a live server) and ignores
-    SIGPIPE. [on_job_start] is a test hook invoked by a worker as it
-    picks a job up — tests block it to hold jobs in flight
-    deterministically. [log] receives operational messages (default:
-    stderr). Errors are typed: [Constraint_violation] for bad config,
-    [Io_error] for socket failures. *)
+    stale socket file; refusing one owned by a live server), ignores
+    SIGPIPE, and — when [wal_path] is set — replays the WAL to warm the
+    cache before the first connection is accepted. [on_job_start] is a
+    test hook invoked by a worker as it picks a job up — tests block it
+    to hold jobs in flight deterministically, and count it to assert
+    single-flight coalescing. [log] receives operational messages
+    (default: stderr). Errors are typed: [Constraint_violation] for bad
+    config, [Io_error] for socket/WAL failures. *)
 val create :
   ?on_job_start:(unit -> unit) -> ?log:(string -> unit) -> config -> (t, Dse_error.t) result
 

@@ -1,0 +1,280 @@
+(* Per-record framing (one frame per record so a torn write damages at
+   most that record):
+
+     "DSEW" | version (1 byte) | payload length (LEB128) | payload
+            | CRC-32 (4 bytes LE, over every preceding record byte)
+
+   Payload layout: fingerprint (8 bytes LE) | method_tag | domains |
+   max_level + 1 | n | n_unique | address_bits | max_misses
+   | level count | per level: count | values...  (all LEB128 varints,
+   max_level shifted by one because -1 encodes "unbounded"). *)
+
+let magic = "DSEW"
+
+let version = 1
+
+(* Matches the protocol's frame cap: a record is one cached result, far
+   smaller than a submitted trace, so this is purely an allocation
+   guard against CRC-colliding garbage lengths. *)
+let max_payload = 256 * 1024 * 1024
+
+(* -- encoding -- *)
+
+let add_varint buf v =
+  if v < 0 then invalid_arg "Wal: negative varint";
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7F in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char buf (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (byte lor 0x80))
+  done
+
+let add_fingerprint buf fp =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical fp (8 * i)) land 0xFF))
+  done
+
+let encode_record (key : Result_cache.key) (entry : Result_cache.entry) =
+  let payload = Buffer.create 256 in
+  add_fingerprint payload key.Result_cache.fingerprint;
+  add_varint payload key.Result_cache.method_tag;
+  add_varint payload key.Result_cache.domains;
+  add_varint payload (key.Result_cache.max_level + 1);
+  let stats = entry.Result_cache.stats in
+  add_varint payload stats.Stats.n;
+  add_varint payload stats.Stats.n_unique;
+  add_varint payload stats.Stats.address_bits;
+  add_varint payload stats.Stats.max_misses;
+  let histograms = entry.Result_cache.histograms in
+  add_varint payload (Array.length histograms);
+  Array.iter
+    (fun histogram ->
+      add_varint payload (Array.length histogram);
+      Array.iter (add_varint payload) histogram)
+    histograms;
+  let payload = Buffer.contents payload in
+  let buf = Buffer.create (String.length payload + 16) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  add_varint buf (String.length payload);
+  Buffer.add_string buf payload;
+  let body = Buffer.contents buf in
+  let crc = Crc32.digest_string body in
+  let record = Buffer.create (String.length body + 4) in
+  Buffer.add_string record body;
+  for i = 0 to 3 do
+    Buffer.add_char record (Char.chr ((crc lsr (8 * i)) land 0xFF))
+  done;
+  Buffer.contents record
+
+(* -- replay -- *)
+
+(* Structural damage inside a record: skip it and resync on the next
+   magic. *)
+exception Bad
+
+(* The record extends past end-of-file: either a torn tail (a crash
+   mid-append) or length-field damage; disambiguated by whether another
+   magic follows. *)
+exception Short
+
+type cursor = { data : string; mutable pos : int }
+
+let cursor_byte c =
+  if c.pos >= String.length c.data then raise Short;
+  let b = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  b
+
+let cursor_varint c =
+  let rec loop shift acc =
+    if shift > 56 then raise Bad
+    else
+      let b = cursor_byte c in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if acc < 0 then raise Bad
+      else if b land 0x80 = 0 then acc
+      else loop (shift + 7) acc
+  in
+  loop 0 0
+
+let cursor_fingerprint c =
+  let fp = ref 0L in
+  for i = 0 to 7 do
+    fp := Int64.logor !fp (Int64.shift_left (Int64.of_int (cursor_byte c)) (8 * i))
+  done;
+  !fp
+
+let find_magic data pos =
+  let len = String.length data in
+  let rec go i =
+    if i + String.length magic > len then None
+    else if String.sub data i (String.length magic) = magic then Some i
+    else go (i + 1)
+  in
+  go pos
+
+(* Parse the record whose magic starts at [pos]; returns the decoded
+   entry and the position just past its CRC footer. *)
+let parse_record data pos =
+  let c = { data; pos = pos + String.length magic } in
+  let v = cursor_byte c in
+  if v <> version then raise Bad;
+  let payload_len = cursor_varint c in
+  if payload_len > max_payload then raise Bad;
+  let payload_end = c.pos + payload_len in
+  if payload_end + 4 > String.length data then raise Short;
+  let stored_crc = ref 0 in
+  for i = 0 to 3 do
+    stored_crc := !stored_crc lor (Char.code data.[payload_end + i] lsl (8 * i))
+  done;
+  let computed = Crc32.digest_string (String.sub data pos (payload_end - pos)) in
+  if !stored_crc <> computed then raise Bad;
+  let fingerprint = cursor_fingerprint c in
+  let method_tag = cursor_varint c in
+  let domains = cursor_varint c in
+  let max_level = cursor_varint c - 1 in
+  let n = cursor_varint c in
+  let n_unique = cursor_varint c in
+  let address_bits = cursor_varint c in
+  let max_misses = cursor_varint c in
+  let level_count = cursor_varint c in
+  (* each histogram contributes at least one byte, so a declared count
+     beyond the payload is damage the CRC happened to miss *)
+  if level_count > payload_end - c.pos then raise Bad;
+  let histograms =
+    Array.init level_count (fun _ ->
+        let count = cursor_varint c in
+        if count > payload_end - c.pos then raise Bad;
+        Array.init count (fun _ -> cursor_varint c))
+  in
+  if c.pos <> payload_end then raise Bad;
+  let key = { Result_cache.fingerprint; method_tag; domains; max_level } in
+  let entry = { Result_cache.stats = { Stats.n; n_unique; address_bits; max_misses }; histograms } in
+  ((key, entry), payload_end + 4)
+
+type replay = {
+  entries : (Result_cache.key * Result_cache.entry) list;
+  intact : int;
+  damaged : int;
+  truncated : bool;
+}
+
+let replay_string data =
+  let len = String.length data in
+  let entries = ref [] in
+  let intact = ref 0 in
+  let damaged = ref 0 in
+  let truncated = ref false in
+  let rec scan pos =
+    if pos < len then
+      match find_magic data pos with
+      | None ->
+        (* trailing bytes with no frame start: damage, not a torn
+           record (a torn record keeps its magic) *)
+        incr damaged
+      | Some start ->
+        if start > pos then incr damaged;
+        (match parse_record data start with
+        | entry_and_next ->
+          let entry, next = entry_and_next in
+          entries := entry :: !entries;
+          incr intact;
+          scan next
+        | exception Bad ->
+          incr damaged;
+          scan (start + String.length magic)
+        | exception Short -> (
+          (* torn tail only if no later magic; otherwise the length
+             field was damaged mid-file *)
+          match find_magic data (start + String.length magic) with
+          | Some next ->
+            incr damaged;
+            scan next
+          | None -> truncated := true))
+  in
+  scan 0;
+  { entries = List.rev !entries; intact = !intact; damaged = !damaged; truncated = !truncated }
+
+let replay path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | data -> Ok (replay_string data)
+  | exception Sys_error _ when not (Sys.file_exists path) ->
+    Ok { entries = []; intact = 0; damaged = 0; truncated = false }
+  | exception Sys_error message -> Error (Dse_error.Io_error { file = path; message })
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Dse_error.Io_error { file = path; message = Unix.error_message err })
+
+(* -- appending -- *)
+
+type t = {
+  path : string;
+  capacity : int;
+  compact_factor : int;
+  snapshot : unit -> (Result_cache.key * Result_cache.entry) list;
+  mutex : Mutex.t;
+  mutable fd : Unix.file_descr;
+  mutable appended : int;
+}
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let guard ~path f =
+  match f () with
+  | v -> Ok v
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Dse_error.Io_error { file = path; message = Unix.error_message err })
+  | exception Sys_error message -> Error (Dse_error.Io_error { file = path; message })
+
+let open_append path = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+
+let open_ ?(compact_factor = 4) ~capacity ~snapshot path =
+  if capacity < 1 then invalid_arg "Wal.open_: capacity must be >= 1";
+  if compact_factor < 1 then invalid_arg "Wal.open_: compact_factor must be >= 1";
+  guard ~path (fun () ->
+      let fd = open_append path in
+      { path; capacity; compact_factor; snapshot; mutex = Mutex.create (); fd; appended = 0 })
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
+(* Rewrite the log as the live snapshot: temp file, fsync, atomic
+   rename — a crash leaves either the old log or the new one. *)
+let compact_locked t =
+  let entries = t.snapshot () in
+  let tmp = t.path ^ ".compact" in
+  let tmp_fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close tmp_fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.iter (fun (key, entry) -> write_all tmp_fd (encode_record key entry)) entries;
+      Unix.fsync tmp_fd);
+  Unix.rename tmp t.path;
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  t.fd <- open_append t.path;
+  t.appended <- 0
+
+let append t key entry =
+  with_lock t (fun () ->
+      guard ~path:t.path (fun () ->
+          write_all t.fd (encode_record key entry);
+          t.appended <- t.appended + 1;
+          if t.appended >= t.compact_factor * t.capacity then compact_locked t))
+
+let appended_since_compact t = with_lock t (fun () -> t.appended)
+
+let path t = t.path
+
+let close t = with_lock t (fun () -> try Unix.close t.fd with Unix.Unix_error _ -> ())

@@ -15,6 +15,7 @@ let () =
          Test_powerstone.suites;
          Test_explorer.suites;
          Test_server.suites;
+         Test_selfheal.suites;
          Test_extensions.suites;
          Test_cost.suites;
          Test_hierarchy.suites;

@@ -30,7 +30,9 @@ let with_socketpair f =
 let roundtrip_request request =
   with_socketpair (fun a b ->
       ok_or_fail (Protocol.write_request a request);
-      ok_or_fail (Protocol.read_request b))
+      match ok_or_fail (Protocol.read_request b) with
+      | Some request -> request
+      | None -> Alcotest.fail "request read as a clean close")
 
 let roundtrip_response response =
   with_socketpair (fun a b ->
@@ -51,6 +53,7 @@ let test_request_roundtrip () =
             method_ = Analytical.Dfs;
             domains = 3;
             max_level = Some 7;
+            deadline = Some 1.5;
           })
    with
   | Protocol.Submit s ->
@@ -59,7 +62,8 @@ let test_request_roundtrip () =
     check_bool "query" true (s.query = Protocol.Percents [ 5; 10 ]);
     check_bool "method" true (s.method_ = Analytical.Dfs);
     check_int "domains" 3 s.domains;
-    check_bool "max_level" true (s.max_level = Some 7)
+    check_bool "max_level" true (s.max_level = Some 7);
+    check_bool "deadline" true (s.deadline = Some 1.5)
   | _ -> Alcotest.fail "expected Submit");
   (match
      roundtrip_request
@@ -71,11 +75,13 @@ let test_request_roundtrip () =
             method_ = Analytical.Streaming;
             domains = 1;
             max_level = None;
+            deadline = None;
           })
    with
   | Protocol.Submit s ->
     check_bool "budget" true (s.query = Protocol.Budget 42);
-    check_bool "no max_level" true (s.max_level = None)
+    check_bool "no max_level" true (s.max_level = None);
+    check_bool "no deadline" true (s.deadline = None)
   | _ -> Alcotest.fail "expected Submit");
   check_bool "ping" true (roundtrip_request Protocol.Ping = Protocol.Ping);
   check_bool "stats" true (roundtrip_request Protocol.Server_stats = Protocol.Server_stats)
@@ -105,6 +111,7 @@ let test_response_roundtrip () =
       Dse_error.Shard_failure { shard = 1; attempts = 3; message = "m" };
       Dse_error.Io_error { file = "f"; message = "m" };
       Dse_error.Queue_full { pending = 4; max_pending = 4 };
+      Dse_error.Deadline_exceeded { elapsed = 2.25; limit = 1.5 };
     ]
   in
   List.iter
@@ -119,6 +126,8 @@ let test_response_roundtrip () =
       cache_hits = 2;
       cache_misses = 3;
       cache_entries = 3;
+      cache_evictions = 1;
+      coalesced_hits = 2;
       pending = 1;
       workers = 4;
     }
@@ -166,6 +175,7 @@ let test_protocol_damage () =
                 method_ = Analytical.Streaming;
                 domains = 1;
                 max_level = None;
+                deadline = None;
               }));
       let frame = Bytes.create 256 in
       let n = Unix.read read_end frame 0 256 in
@@ -238,12 +248,13 @@ let temp_socket_path () =
   Sys.remove path;
   path
 
-let with_server ?(workers = 2) ?(max_pending = 16) ?on_job_start f =
+let with_server ?(workers = 2) ?(max_pending = 16) ?(cache_entries = Result_cache.default_capacity)
+    ?wal_path ?on_job_start f =
   let path = temp_socket_path () in
   let server =
     match
       Server.create ?on_job_start ~log:(fun _ -> ())
-        { Server.socket_path = path; workers; max_pending }
+        { Server.socket_path = path; workers; max_pending; cache_entries; wal_path }
     with
     | Ok s -> s
     | Error e -> Alcotest.failf "server create: %s" (Dse_error.to_string e)
@@ -394,7 +405,8 @@ let test_sigterm_drains () =
       let server =
         ok_or_fail
           (Server.create ~on_job_start:hook ~log:(fun _ -> ())
-             { Server.socket_path = path; workers = 1; max_pending = 4 })
+             { Server.socket_path = path; workers = 1; max_pending = 4;
+               cache_entries = Result_cache.default_capacity; wal_path = None })
       in
       Server.install_signal_handlers server;
       let runner = Domain.spawn (fun () -> Server.run server) in
