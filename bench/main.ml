@@ -449,7 +449,8 @@ let server_section () =
     match
       Server.create ~log:(fun _ -> ())
         { Server.socket_path = socket; workers = 4; max_pending = 64;
-          cache_entries = Result_cache.default_capacity; wal_path = None }
+          cache_entries = Result_cache.default_capacity; wal_path = None;
+          hang_timeout = 30.; max_job_refs = None; memory_budget = None }
     with
     | Ok s -> s
     | Error e -> failwith ("A13: " ^ Dse_error.to_string e)
@@ -552,7 +553,8 @@ let selfheal_section () =
   let kernel_runs = Atomic.make 0 in
   let config =
     { Server.socket_path = socket; workers = 4; max_pending = 64;
-      cache_entries = Result_cache.default_capacity; wal_path = Some wal }
+      cache_entries = Result_cache.default_capacity; wal_path = Some wal;
+      hang_timeout = 30.; max_job_refs = None; memory_budget = None }
   in
   let start () =
     match
@@ -644,9 +646,126 @@ let selfheal_section () =
     coalesced;
   }
 
+(* -- A15: supervision — hang recovery latency, shed-mode burst -- *)
+
+type supervision_result = {
+  hang_timeout_s : float;
+  stall_detect_s : float;
+  recovery_submit_s : float;
+  burst_jobs : int;
+  burst_accepted : int;
+  burst_shed : int;
+  burst_rejected_full : int;
+  burst_s : float;
+  accepted_rps : float;
+}
+
+let supervision_section () =
+  section "A15: supervision — watchdog time-to-recovery and shed-mode burst throughput";
+  let socket = Filename.temp_file "dse_bench15" ".sock" in
+  Sys.remove socket;
+  let start ~workers ~max_pending ~hang_timeout =
+    let config =
+      { Server.socket_path = socket; workers; max_pending;
+        cache_entries = Result_cache.default_capacity; wal_path = None;
+        hang_timeout; max_job_refs = None; memory_budget = None }
+    in
+    match Server.create ~log:(fun _ -> ()) config with
+    | Ok s ->
+      let runner = Domain.spawn (fun () -> Server.run s) in
+      (s, runner)
+    | Error e -> failwith ("A15: " ^ Dse_error.to_string e)
+  in
+  let stop (s, runner) =
+    Server.stop s;
+    Domain.join runner
+  in
+  (* time-to-recovery: a wedged worker (injected hang on shard 0) is
+     detected, abandoned and answered; the replacement then serves the
+     identical resubmission. Wide-but-cheap trace: >= 2 shards at
+     --domains 2, tiny unique set so the healthy shard drains fast and
+     the rerun is cheap. *)
+  let hang_timeout = 0.5 in
+  let hang_trace = Synthetic.loop ~base:0 ~body:256 ~iterations:544 in
+  let server = start ~workers:1 ~max_pending:16 ~hang_timeout in
+  Fault.set (Some { Fault.kind = Fault.Hang; shard = 0; times = 1 });
+  let stall_detect_s =
+    let result, seconds =
+      Timing.time_wall (fun () -> Client.submit ~socket ~domains:2 ~name:"a15" hang_trace)
+    in
+    (match result with
+    | Error (Dse_error.Worker_stalled _) -> ()
+    | Error e -> failwith ("A15 stall: " ^ Dse_error.to_string e)
+    | Ok _ -> failwith "A15: hung job produced a result");
+    seconds
+  in
+  let recovery_submit_s =
+    let result, seconds =
+      Timing.time_wall (fun () -> Client.submit ~socket ~domains:2 ~name:"a15" hang_trace)
+    in
+    (match result with
+    | Ok _ -> ()
+    | Error e -> failwith ("A15 recovery: " ^ Dse_error.to_string e));
+    seconds
+  in
+  Fault.set None;
+  Fault.release_hangs ();
+  stop server;
+  Format.printf
+    "hang-timeout %.2f s: stall answered in %.4f s, replacement served the resubmit in %.4f s@."
+    hang_timeout stall_detect_s recovery_submit_s;
+  (* shed-mode burst: 4x queue capacity of heavy jobs (a streaming
+     shard of references, ~0.5 s of kernel each — enough service time
+     to back the queue up past its watermark) against a small pool. The
+     daemon sheds instead of queueing; everything it accepts it
+     answers. *)
+  let workers = 2 and max_pending = 8 in
+  let server = start ~workers ~max_pending ~hang_timeout:30. in
+  let burst_jobs = 4 * max_pending in
+  let replies, burst_s =
+    Timing.time_wall (fun () ->
+        List.init burst_jobs (fun i ->
+            Domain.spawn (fun () ->
+                Client.submit ~socket ~name:(Printf.sprintf "a15-burst-%d" i)
+                  (Synthetic.loop ~base:(i lsl 20) ~body:1024 ~iterations:68)))
+        |> List.map Domain.join)
+  in
+  let shed =
+    match Client.health ~socket with
+    | Ok h -> h.Protocol.shed
+    | Error e -> failwith ("A15 health: " ^ Dse_error.to_string e)
+  in
+  stop server;
+  if Sys.file_exists socket then Sys.remove socket;
+  let accepted =
+    List.length (List.filter (function Ok _ -> true | Error _ -> false) replies)
+  in
+  List.iter
+    (function
+      | Ok _ | Error (Dse_error.Queue_full _) -> ()
+      | Error e -> failwith ("A15 burst: " ^ Dse_error.to_string e))
+    replies;
+  if accepted = 0 then failwith "A15: shed-mode burst answered nothing";
+  let burst_rejected_full = burst_jobs - accepted - shed in
+  let accepted_rps = float_of_int accepted /. burst_s in
+  Format.printf
+    "burst of %d heavy jobs over %d workers / queue %d: %d answered, %d shed, %d full, %.4f s (%.0f accepted req/s)@."
+    burst_jobs workers max_pending accepted shed burst_rejected_full burst_s accepted_rps;
+  {
+    hang_timeout_s = hang_timeout;
+    stall_detect_s;
+    recovery_submit_s;
+    burst_jobs;
+    burst_accepted = accepted;
+    burst_shed = shed;
+    burst_rejected_full;
+    burst_s;
+    accepted_rps;
+  }
+
 (* -- machine-readable output for tracking the perf trajectory -- *)
 
-let emit_json ~fast ~samples ~large ~server ~selfheal =
+let emit_json ~fast ~samples ~large ~server ~selfheal ~supervision =
   let oc = open_out "BENCH_dse.json" in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -674,6 +793,11 @@ let emit_json ~fast ~samples ~large ~server ~selfheal =
         selfheal.cold_start_to_answer_s selfheal.warm_start_to_answer_s selfheal.wal_records
         selfheal.burst_clients selfheal.burst_s selfheal.burst_rps selfheal.kernel_runs
         selfheal.coalesced;
+      Printf.fprintf oc
+        "  \"supervision\": {\"hang_timeout_seconds\": %.2f, \"stall_detect_seconds\": %.6f, \"recovery_submit_seconds\": %.6f, \"burst_jobs\": %d, \"burst_accepted\": %d, \"burst_shed\": %d, \"burst_rejected_full\": %d, \"burst_seconds\": %.6f, \"accepted_rps\": %.1f},\n"
+        supervision.hang_timeout_s supervision.stall_detect_s supervision.recovery_submit_s
+        supervision.burst_jobs supervision.burst_accepted supervision.burst_shed
+        supervision.burst_rejected_full supervision.burst_s supervision.accepted_rps;
       Printf.fprintf oc "  \"gc\": {\"top_heap_words\": %d, \"peak_heap_mb\": %.1f}\n"
         stat.Gc.top_heap_words
         (float_of_int (stat.Gc.top_heap_words * 8) /. 1048576.0);
@@ -841,6 +965,7 @@ let () =
   let large = large_trace_section () in
   let server = server_section () in
   let selfheal = selfheal_section () in
+  let supervision = supervision_section () in
   policy_section ();
   compiled_workloads_section ();
   l2_section ();
@@ -849,5 +974,5 @@ let () =
     List.map (fun s -> ("data", s)) data_samples
     @ List.map (fun s -> ("inst", s)) inst_samples
   in
-  emit_json ~fast ~samples ~large ~server ~selfheal;
+  emit_json ~fast ~samples ~large ~server ~selfheal ~supervision;
   Format.printf "@.done.@."

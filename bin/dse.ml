@@ -11,7 +11,8 @@
 open Cmdliner
 
 (* Exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt data, 5 internal,
-   6 queue full, 7 deadline exceeded (see Dse_error.exit_code). Every
+   6 queue full, 7 deadline exceeded, 8 supervision (worker stalled /
+   admission rejected; see Dse_error.exit_code). Every
    error goes to stderr, never stdout, and
    traces are loaded before any report rendering starts, so diagnostics
    cannot interleave with report output. *)
@@ -99,13 +100,26 @@ let level_of_max_depth = function
 (* -- stats -- *)
 
 let stats_cmd =
-  let run path format on_error =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one machine-readable JSON object (name, fingerprint, N, N', address bits, \
+             maximum misses) instead of the aligned table.")
+  in
+  let run path format on_error json =
     let trace = load_trace format on_error path in
     let stats = Stats.compute trace in
-    Format.printf "%a@." Report.pp_stats_table [ (Filename.basename path, stats) ];
-    Format.printf "fingerprint %016Lx@." (Trace.fingerprint trace)
+    let name = Filename.basename path in
+    let fingerprint = Trace.fingerprint trace in
+    if json then print_endline (Report.stats_to_json ~name ~fingerprint stats)
+    else begin
+      Format.printf "%a@." Report.pp_stats_table [ (name, stats) ];
+      Format.printf "fingerprint %016Lx@." fingerprint
+    end
   in
-  let term = Term.(const run $ trace_arg $ format_arg $ on_error_arg) in
+  let term = Term.(const run $ trace_arg $ format_arg $ on_error_arg $ json_arg) in
   Cmd.v (Cmd.info "stats" ~doc:"Print trace statistics (N, N', maximum misses).") term
 
 (* -- explore -- *)
@@ -398,29 +412,97 @@ let serve_cmd =
              restarted (even kill -9'd) daemon answers repeats warm. Torn or corrupted records \
              are skipped; intact ones survive.")
   in
-  let run socket workers max_pending cache_entries wal =
+  let hang_timeout_arg =
+    Arg.(
+      value
+      & opt float 30.0
+      & info [ "hang-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Seconds of worker-heartbeat silence before the watchdog declares the worker wedged: \
+             its job is answered with a typed worker-stalled error (exit 8 on the client), the \
+             domain is abandoned and a replacement is spawned.")
+  in
+  let max_job_refs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-job-refs" ] ~docv:"N"
+          ~doc:
+            "Admission bound on a submission's declared reference count; larger jobs are \
+             rejected with a typed resource-exhausted error before their trace is allocated.")
+  in
+  let memory_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "memory-budget" ] ~docv:"MIB"
+          ~doc:
+            "Admission bound on a submission's estimated memory footprint, in MiB (judged from \
+             the declared reference count, before allocation).")
+  in
+  let supervise_arg =
+    Arg.(
+      value & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Run the daemon as a supervised child process, respawning it on abnormal exit with \
+             exponential crash-loop backoff (giving up after repeated rapid crashes). Combined \
+             with $(b,--wal), each respawn replays the result log and answers warm.")
+  in
+  let run socket workers max_pending cache_entries wal hang_timeout max_job_refs
+      memory_budget_mib supervise =
     let workers =
       if workers = 0 then max 1 (Domain.recommended_domain_count () - 1) else workers
     in
     if workers < 1 then usage_fail "workers must be >= 1";
     if max_pending < 1 then usage_fail "max-pending must be >= 1";
     if cache_entries < 1 then usage_fail "cache-entries must be >= 1";
-    let server =
-      or_exit
-        (Server.create
-           { Server.socket_path = socket; workers; max_pending; cache_entries; wal_path = wal })
+    if not (hang_timeout > 0.) then usage_fail "hang-timeout must be > 0 seconds";
+    (match max_job_refs with
+    | Some n when n < 1 -> usage_fail "max-job-refs must be >= 1"
+    | _ -> ());
+    (match memory_budget_mib with
+    | Some n when n < 1 -> usage_fail "memory-budget must be >= 1 MiB"
+    | _ -> ());
+    let memory_budget = Option.map (fun mib -> mib * 1024 * 1024) memory_budget_mib in
+    let serve_once () =
+      let server =
+        or_exit
+          (Server.create
+             {
+               Server.socket_path = socket;
+               workers;
+               max_pending;
+               cache_entries;
+               wal_path = wal;
+               hang_timeout;
+               max_job_refs;
+               memory_budget;
+             })
+      in
+      Server.install_signal_handlers server;
+      Format.eprintf
+        "dse: serving on %s (workers=%d, max-pending=%d, cache-entries=%d, hang-timeout=%g%s); \
+         SIGTERM drains@."
+        socket workers max_pending cache_entries hang_timeout
+        (match wal with None -> "" | Some path -> Printf.sprintf ", wal=%s" path);
+      (* the serve loop catches and logs per-connection/per-job failures
+         itself; Cmd.eval_value ~catch:false therefore never sees a raw
+         exception from the long-running path *)
+      Server.run server
     in
-    Server.install_signal_handlers server;
-    Format.eprintf "dse: serving on %s (workers=%d, max-pending=%d, cache-entries=%d%s); SIGTERM drains@."
-      socket workers max_pending cache_entries
-      (match wal with None -> "" | Some path -> Printf.sprintf ", wal=%s" path);
-    (* the serve loop catches and logs per-connection/per-job failures
-       itself; Cmd.eval_value ~catch:false therefore never sees a raw
-       exception from the long-running path *)
-    Server.run server
+    if supervise then begin
+      (* flush before forking so the child does not replay buffered
+         parent output *)
+      flush stdout;
+      flush stderr;
+      exit (Supervisor.run ~log:(fun msg -> Format.eprintf "dse: %s@." msg) serve_once)
+    end
+    else serve_once ()
   in
   let term =
-    Term.(const run $ socket_arg $ workers_arg $ max_pending_arg $ cache_entries_arg $ wal_arg)
+    Term.(const run $ socket_arg $ workers_arg $ max_pending_arg $ cache_entries_arg $ wal_arg
+          $ hang_timeout_arg $ max_job_refs_arg $ memory_budget_arg $ supervise_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -440,6 +522,15 @@ let submit_cmd =
   let server_stats_arg =
     Arg.(
       value & flag & info [ "server-stats" ] ~doc:"Print the service's job and cache counters.")
+  in
+  let health_arg =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "Print the service's structured readiness: per-worker state and heartbeat age, \
+             queue depth against its shedding watermark, shed/admission counters, cache and WAL \
+             health, uptime.")
   in
   let deadline_arg =
     Arg.(
@@ -476,10 +567,37 @@ let submit_cmd =
              last typed error is reported instead of sleeping on.")
   in
   let run socket path format on_error percents k max_depth csv no_trim method_ domains ping
-      server_stats deadline retries retry_base retry_cap =
+      server_stats health deadline retries retry_base retry_cap =
     if ping then begin
       or_exit (Client.ping ~socket);
       Format.printf "pong@."
+    end
+    else if health then begin
+      let h = or_exit (Client.health ~socket) in
+      Format.printf "uptime %.1f@." h.Protocol.uptime;
+      Format.printf "workers %d@." (List.length h.Protocol.workers);
+      List.iter
+        (fun (w : Protocol.worker_health) ->
+          if w.Protocol.busy then
+            Format.printf "worker %d busy job %s heartbeat_age %.3f jobs_done %d@."
+              w.Protocol.slot w.Protocol.job w.Protocol.heartbeat_age w.Protocol.jobs_done
+          else Format.printf "worker %d idle jobs_done %d@." w.Protocol.slot w.Protocol.jobs_done)
+        h.Protocol.workers;
+      Format.printf "workers_replaced %d@." h.Protocol.workers_replaced;
+      Format.printf "queue_depth %d@." h.Protocol.queue_depth;
+      Format.printf "queue_watermark %d@." h.Protocol.queue_watermark;
+      Format.printf "max_pending %d@." h.Protocol.max_pending;
+      Format.printf "shed %d@." h.Protocol.shed;
+      Format.printf "admission_rejected %d@." h.Protocol.admission_rejected;
+      Format.printf "jobs_completed %d@." h.Protocol.jobs_completed;
+      Format.printf "cache_hits %d@." h.Protocol.cache_hits;
+      Format.printf "cache_misses %d@." h.Protocol.cache_misses;
+      Format.printf "cache_entries %d@." h.Protocol.cache_entries;
+      Format.printf "cache_evictions %d@." h.Protocol.cache_evictions;
+      Format.printf "coalesced_hits %d@." h.Protocol.coalesced_hits;
+      Format.printf "wal %s@." (if h.Protocol.wal_enabled then "enabled" else "disabled");
+      Format.printf "wal_appends %d@." h.Protocol.wal_appends;
+      Format.printf "wal_failures %d@." h.Protocol.wal_failures
     end
     else if server_stats then begin
       let s = or_exit (Client.server_stats ~socket) in
@@ -494,7 +612,7 @@ let submit_cmd =
     end
     else begin
       match path with
-      | None -> usage_fail "TRACE is required unless --ping or --server-stats is given"
+      | None -> usage_fail "TRACE is required unless --ping, --health or --server-stats is given"
       | Some path ->
         if domains < 1 then usage_fail "domains must be >= 1";
         (match deadline with
@@ -523,8 +641,8 @@ let submit_cmd =
   let term =
     Term.(const run $ socket_arg $ trace_opt_arg $ format_arg $ on_error_arg $ percents_arg
           $ absolute_k_arg $ max_depth_arg $ csv_arg $ trim_arg $ method_arg $ domains_arg
-          $ ping_arg $ server_stats_arg $ deadline_arg $ retries_arg $ retry_base_arg
-          $ retry_cap_arg)
+          $ ping_arg $ server_stats_arg $ health_arg $ deadline_arg $ retries_arg
+          $ retry_base_arg $ retry_cap_arg)
   in
   Cmd.v
     (Cmd.info "submit"

@@ -1,30 +1,45 @@
-type t =
-  | Never
-  | Token of { start : float; limit : float; deadline : float Atomic.t }
+type deadline = { start : float; limit : float; cell : float Atomic.t }
 
-let none = Never
+type t = { deadline : deadline option; heartbeat : Heartbeat.t option }
+
+let none = { deadline = None; heartbeat = None }
 
 let after seconds =
   if not (seconds > 0.0 && seconds < infinity) then
     invalid_arg "Cancel.after: the deadline must be a positive finite number of seconds";
   let now = Unix.gettimeofday () in
-  Token { start = now; limit = seconds; deadline = Atomic.make (now +. seconds) }
+  { deadline = Some { start = now; limit = seconds; cell = Atomic.make (now +. seconds) };
+    heartbeat = None }
 
-let cancel = function
-  | Never -> ()
-  | Token { deadline; _ } -> Atomic.set deadline neg_infinity
+let cancellable () =
+  let now = Unix.gettimeofday () in
+  { deadline = Some { start = now; limit = infinity; cell = Atomic.make infinity };
+    heartbeat = None }
 
-let expired = function
-  | Never -> false
-  | Token { deadline; _ } -> Unix.gettimeofday () >= Atomic.get deadline
+let with_heartbeat heartbeat t = { t with heartbeat = Some heartbeat }
 
-let check = function
-  | Never -> ()
-  | Token { start; limit; deadline } ->
+let cancel t =
+  match t.deadline with
+  | None -> ()
+  | Some { cell; _ } -> Atomic.set cell neg_infinity
+
+let expired t =
+  match t.deadline with
+  | None -> false
+  | Some { cell; _ } -> Unix.gettimeofday () >= Atomic.get cell
+
+let check t =
+  (match t.heartbeat with None -> () | Some hb -> Heartbeat.beat hb);
+  match t.deadline with
+  | None -> ()
+  | Some { start; limit; cell } ->
     let now = Unix.gettimeofday () in
-    if now >= Atomic.get deadline then
+    if now >= Atomic.get cell then
       Dse_error.fail (Dse_error.Deadline_exceeded { elapsed = now -. start; limit })
 
-let limit = function Never -> None | Token { limit; _ } -> Some limit
+let limit t =
+  match t.deadline with
+  | Some { limit; _ } when limit < infinity -> Some limit
+  | _ -> None
 
 let poll_mask = 1023

@@ -4,8 +4,10 @@ type t =
   | Constraint_violation of { context : string; message : string }
   | Shard_failure of { shard : int; attempts : int; message : string }
   | Io_error of { file : string; message : string }
-  | Queue_full of { pending : int; max_pending : int }
+  | Queue_full of { pending : int; max_pending : int; retry_after : float }
   | Deadline_exceeded of { elapsed : float; limit : float }
+  | Worker_stalled of { elapsed : float; job : string }
+  | Resource_exhausted of { resource : string; needed : int; budget : int }
 
 exception Error of t
 
@@ -19,10 +21,17 @@ let to_string = function
   | Shard_failure { shard; attempts; message } ->
     Printf.sprintf "shard %d failed after %d attempt(s): %s" shard attempts message
   | Io_error { file; message } -> Printf.sprintf "%s: %s" file message
-  | Queue_full { pending; max_pending } ->
-    Printf.sprintf "server busy: %d job(s) pending (max %d); retry later" pending max_pending
+  | Queue_full { pending; max_pending; retry_after } ->
+    Printf.sprintf "server busy: %d job(s) pending (max %d); retry in %.2f s" pending
+      max_pending retry_after
   | Deadline_exceeded { elapsed; limit } ->
     Printf.sprintf "deadline of %.3f s exceeded after %.3f s" limit elapsed
+  | Worker_stalled { elapsed; job } ->
+    Printf.sprintf "worker stalled for %.3f s while running %s; the job was abandoned" elapsed
+      job
+  | Resource_exhausted { resource; needed; budget } ->
+    Printf.sprintf "job rejected before allocation: needs %d %s but the budget is %d" needed
+      resource budget
 
 let exit_code = function
   | Constraint_violation _ -> 2
@@ -31,6 +40,7 @@ let exit_code = function
   | Shard_failure _ -> 5
   | Queue_full _ -> 6
   | Deadline_exceeded _ -> 7
+  | Worker_stalled _ | Resource_exhausted _ -> 8
 
 let on_degradation = ref (fun msg -> prerr_endline ("dse: " ^ msg))
 

@@ -21,14 +21,30 @@ type t =
           (respawn retry, then sequential recomputation) was exhausted. *)
   | Io_error of { file : string; message : string }
       (** The operating system refused an open/read/write. *)
-  | Queue_full of { pending : int; max_pending : int }
-      (** The [dse serve] job queue is at its [--max-pending] depth: the
-          submission was rejected, not buffered. Retryable by design. *)
+  | Queue_full of { pending : int; max_pending : int; retry_after : float }
+      (** The [dse serve] job queue is at its [--max-pending] depth — or
+          past its shed watermark for heavy jobs — so the submission was
+          rejected, not buffered. Retryable by design; [retry_after] is
+          the server's hint (seconds) for when capacity should free up,
+          and the client backoff never sleeps less than it. *)
   | Deadline_exceeded of { elapsed : float; limit : float }
       (** A job's cooperative-cancellation deadline expired: the kernel
           polled its [Cancel] token past the [limit] (seconds) and
           stopped after [elapsed] seconds. The worker is freed; whether
           a retry makes sense is the submitter's call. *)
+  | Worker_stalled of { elapsed : float; job : string }
+      (** The watchdog saw no heartbeat from the worker running [job]
+          for [elapsed] seconds (past [--hang-timeout]): the worker
+          stopped reaching its cancellation poll points. The wedged
+          domain was abandoned and a replacement spawned; the job itself
+          is lost and deliberately not retried (a deterministic hang
+          would wedge the replacement too). *)
+  | Resource_exhausted of { resource : string; needed : int; budget : int }
+      (** Admission control rejected the job up front — its declared
+          size exceeds [--max-job-refs] or its estimated footprint
+          exceeds [--memory-budget] — before any trace allocation, so an
+          oversized submission cannot OOM the daemon. Not retryable
+          against the same server. *)
 
 exception Error of t
 
@@ -42,7 +58,8 @@ val to_string : t -> string
     2 = usage ([Constraint_violation]), 3 = I/O ([Io_error]),
     4 = corrupt data ([Parse_error], [Corrupt_binary]),
     5 = internal ([Shard_failure]), 6 = server busy ([Queue_full]),
-    7 = deadline expired ([Deadline_exceeded]). *)
+    7 = deadline expired ([Deadline_exceeded]), 8 = supervision
+    ([Worker_stalled], [Resource_exhausted]). *)
 val exit_code : t -> int
 
 (** Hook invoked whenever the parallel engine degrades (a shard retry or

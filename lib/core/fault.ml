@@ -1,34 +1,46 @@
-type spec = { shard : int; times : int }
+type kind = Fail | Hang
+
+type spec = { kind : kind; shard : int; times : int }
 
 (* The armed state is written before any domain is spawned and only read
    concurrently; the per-attempt budget is an atomic so parallel shards
    cannot double-consume it. *)
-let state : (int * int Atomic.t) option ref = ref None
+let state : (kind * int * int Atomic.t) option ref = ref None
 
-let set = function
+(* Hung shards spin on this flag (via Shard_exec) instead of sleeping
+   forever, so tests and benches can unwedge their zombie domains during
+   teardown. Releases are sticky until the next [set]. *)
+let released = Atomic.make false
+
+let set spec =
+  Atomic.set released false;
+  match spec with
   | None -> state := None
-  | Some { shard; times } -> state := Some (shard, Atomic.make times)
+  | Some { kind; shard; times } -> state := Some (kind, shard, Atomic.make times)
 
 let parse s =
+  let spec kind shard times = Some { kind; shard; times } in
   match String.split_on_char ':' s with
-  | [ "shard"; k ] -> (
+  | [ ("shard" | "hang") as which; k ] -> (
     match int_of_string_opt k with
-    | Some shard when shard >= 0 -> Some { shard; times = 1 }
+    | Some shard when shard >= 0 ->
+      spec (if which = "hang" then Hang else Fail) shard 1
     | _ -> None)
-  | [ "shard"; k; t ] -> (
+  | [ ("shard" | "hang") as which; k; t ] -> (
     match (int_of_string_opt k, int_of_string_opt t) with
-    | Some shard, Some times when shard >= 0 && times >= 1 -> Some { shard; times }
+    | Some shard, Some times when shard >= 0 && times >= 1 ->
+      spec (if which = "hang" then Hang else Fail) shard times
     | _ -> None)
   | _ -> None
 
 let install_from_env () =
   set (Option.bind (Sys.getenv_opt "DSE_FAULT") parse)
 
-let should_fail ~shard =
+let claim want ~shard =
   match !state with
   | None -> false
-  | Some (target, remaining) ->
-    target = shard
+  | Some (kind, target, remaining) ->
+    kind = want && target = shard
     &&
     let rec claim () =
       let r = Atomic.get remaining in
@@ -37,3 +49,11 @@ let should_fail ~shard =
       else claim ()
     in
     claim ()
+
+let should_fail = claim Fail
+
+let should_hang = claim Hang
+
+let release_hangs () = Atomic.set released true
+
+let hang_released () = Atomic.get released

@@ -1,34 +1,61 @@
-(** Fault injection for testing shard recovery.
+(** Fault injection for testing shard recovery and worker supervision.
 
     The parallel engine ({!Shard_exec}) consults this hook before each
     shard attempt, so the recovery ladder — spawn, retry in a fresh
-    domain, sequential recomputation — is exercisable in CI without OS
-    tricks. An injection names one shard and how many consecutive
-    attempts on it must fail:
+    domain, sequential recomputation — and the [dse serve] watchdog are
+    exercisable in CI without OS tricks. An injection names one shard, a
+    kind, and how many consecutive attempts on it are affected.
 
+    With [kind = Fail] (the ladder):
     - [times = 1]: the first attempt dies, the retry succeeds;
     - [times = 2]: the retry dies too, the sequential fall-back succeeds;
     - [times >= 3]: every path dies and {!Dse_error.Shard_failure}
       escapes.
 
+    With [kind = Hang] (the watchdog): the attempt blocks silently —
+    no exception, no cancellation poll, no heartbeat — until
+    {!release_hangs}, simulating a wedged worker. Under [dse serve] the
+    watchdog detects the silence past [--hang-timeout], abandons the
+    domain and answers {!Dse_error.Worker_stalled}.
+
     The hook is off unless armed via {!set} (tests) or the [DSE_FAULT]
     environment variable (CLI, see {!install_from_env}). *)
 
-type spec = { shard : int; times : int }
+type kind =
+  | Fail  (** The attempt raises {!Dse_error.Shard_failure}. *)
+  | Hang  (** The attempt blocks until {!release_hangs}. *)
 
-(** [parse s] reads ["shard:K"] (one failure on shard [K]) or
-    ["shard:K:T"] ([T] failures). Returns [None] on anything else. *)
+type spec = { kind : kind; shard : int; times : int }
+
+(** [parse s] reads ["shard:K"] / ["shard:K:T"] ([Fail] on shard [K],
+    once or [T] times) or ["hang:K"] / ["hang:K:T"] (same for [Hang]).
+    Returns [None] on anything else. *)
 val parse : string -> spec option
 
 (** [set spec] arms ([Some]) or disarms ([None]) the injection. The
-    attempt budget is reset. *)
+    attempt budget is reset and any previous {!release_hangs} is
+    forgotten. *)
 val set : spec option -> unit
 
 (** [install_from_env ()] arms from [DSE_FAULT] if set and well-formed;
     disarms otherwise. *)
 val install_from_env : unit -> unit
 
-(** [should_fail ~shard] is [true] when this attempt on [shard] must be
-    failed; each [true] consumes one unit of the armed budget. Safe to
+(** [should_fail ~shard] is [true] when this attempt on [shard] must
+    raise; each [true] consumes one unit of the armed budget. Safe to
     call from any domain. *)
 val should_fail : shard:int -> bool
+
+(** [should_hang ~shard] is [true] when this attempt on [shard] must
+    block (see {!Shard_exec}); each [true] consumes one unit of the
+    armed budget. Safe to call from any domain. *)
+val should_hang : shard:int -> bool
+
+(** [release_hangs ()] unwedges every hung attempt, current and future,
+    until the next {!set}. Tests call it during teardown so abandoned
+    zombie domains can run to completion instead of leaking a spinning
+    core past the process's lifetime. *)
+val release_hangs : unit -> unit
+
+(** [hang_released ()] is polled by the hung attempt's wait loop. *)
+val hang_released : unit -> bool

@@ -1,0 +1,11 @@
+type t = float Atomic.t
+
+let create () = Atomic.make (Unix.gettimeofday ())
+
+let beat t = Atomic.set t (Unix.gettimeofday ())
+
+let last t = Atomic.get t
+
+let age ?now t =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+  now -. Atomic.get t

@@ -1,4 +1,15 @@
+(* An injected hang blocks *before* the first cancellation poll of the
+   attempt: the worker goes silent immediately, exactly like a wedged
+   loop. The spin wait (rather than an unbounded sleep) lets tests
+   unwedge the zombie via [Fault.release_hangs] during teardown. *)
+let hang_if_injected ~shard =
+  if Fault.should_hang ~shard then
+    while not (Fault.hang_released ()) do
+      Unix.sleepf 0.01
+    done
+
 let attempt ~cancel f shard =
+  hang_if_injected ~shard;
   Cancel.check cancel;
   if Fault.should_fail ~shard then
     Dse_error.fail

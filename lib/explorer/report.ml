@@ -21,6 +21,30 @@ let pp_stats_table fmt rows =
   List.iter (fun row -> Format.fprintf fmt "%a@," pp_stats_row row) rows;
   Format.fprintf fmt "@]"
 
+let json_escape s =
+  let buffer = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+(* The fingerprint is a full 64-bit value; JSON numbers are only safe to
+   2^53, so it is emitted as the same 16-digit hex string the human
+   output prints. *)
+let stats_to_json ~name ~fingerprint (stats : Stats.t) =
+  Printf.sprintf
+    "{\"name\": \"%s\", \"fingerprint\": \"%016Lx\", \"n\": %d, \"n_unique\": %d, \
+     \"address_bits\": %d, \"max_misses\": %d}"
+    (json_escape name) fingerprint stats.Stats.n stats.Stats.n_unique stats.Stats.address_bits
+    stats.Stats.max_misses
+
 let instances_to_csv (table : Analytical_dse.table) =
   let buffer = Buffer.create 256 in
   Buffer.add_string buffer "depth";

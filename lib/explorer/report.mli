@@ -15,3 +15,10 @@ val pp_stats_table : Format.formatter -> (string * Stats.t) list -> unit
 
 (** [instances_to_csv table] renders the table as CSV (header included). *)
 val instances_to_csv : Analytical_dse.table -> string
+
+(** [stats_to_json ~name ~fingerprint stats] renders one trace's
+    statistics as a single-line JSON object ([dse stats --json]): name,
+    cache fingerprint (16 hex digits — 64 bits exceed JSON's safe
+    integer range, so it is a string), N, N', address bits and the
+    fully-associative miss bound. *)
+val stats_to_json : name:string -> fingerprint:int64 -> Stats.t -> string

@@ -22,8 +22,9 @@ let request ~socket req =
 (* Transient failures worth a retry: the daemon shedding load
    (Queue_full) and transport faults (connection refused while the
    daemon restarts, a read timeout, a reset). Structured job outcomes —
-   constraint violations, corrupt traces, deadline expiry — would fail
-   identically on a resubmit, so they surface immediately. *)
+   constraint violations, corrupt traces, deadline expiry, a stalled
+   worker, an admission rejection — would fail identically on a
+   resubmit, so they surface immediately. *)
 let retryable = function
   | Dse_error.Queue_full _ | Dse_error.Io_error _ -> true
   | _ -> false
@@ -34,6 +35,12 @@ let retryable = function
 let backoff_delay ~base attempt =
   base *. (2. ** float_of_int attempt) *. (0.5 +. Random.float 1.)
 
+(* A shedding daemon knows its own drain rate better than our blind
+   exponential does: never sleep less than its hint. *)
+let server_hint = function
+  | Dse_error.Queue_full { retry_after; _ } when retry_after > 0. -> retry_after
+  | _ -> 0.
+
 let with_retry ~retries ~retry_base ~retry_cap f =
   if retries = 0 then f ()
   else begin
@@ -42,7 +49,7 @@ let with_retry ~retries ~retry_base ~retry_cap f =
       match f () with
       | Ok _ as ok -> ok
       | Error e when attempt < retries && retryable e ->
-        let delay = backoff_delay ~base:retry_base attempt in
+        let delay = Float.max (backoff_delay ~base:retry_base attempt) (server_hint e) in
         (* the cap is a hard wall-clock bound: give up with the last
            typed error rather than sleep past it *)
         if Unix.gettimeofday () -. started +. delay > retry_cap then Error e
@@ -74,18 +81,27 @@ let submit ~socket ?(percents = [ 5; 10; 15; 20 ]) ?k ?max_level ?(method_ = Ana
       | Error _ as e -> e
       | Ok (Protocol.Result payload) -> Ok payload
       | Ok (Protocol.Server_error e) -> Error e
-      | Ok (Protocol.Stats_reply _ | Protocol.Pong) -> unexpected socket)
+      | Ok (Protocol.Stats_reply _ | Protocol.Pong | Protocol.Health_reply _) ->
+        unexpected socket)
 
 let ping ~socket =
   match request ~socket Protocol.Ping with
   | Error _ as e -> e
   | Ok Protocol.Pong -> Ok ()
   | Ok (Protocol.Server_error e) -> Error e
-  | Ok (Protocol.Result _ | Protocol.Stats_reply _) -> unexpected socket
+  | Ok (Protocol.Result _ | Protocol.Stats_reply _ | Protocol.Health_reply _) ->
+    unexpected socket
 
 let server_stats ~socket =
   match request ~socket Protocol.Server_stats with
   | Error _ as e -> e
   | Ok (Protocol.Stats_reply s) -> Ok s
   | Ok (Protocol.Server_error e) -> Error e
-  | Ok (Protocol.Result _ | Protocol.Pong) -> unexpected socket
+  | Ok (Protocol.Result _ | Protocol.Pong | Protocol.Health_reply _) -> unexpected socket
+
+let health ~socket =
+  match request ~socket Protocol.Health with
+  | Error _ as e -> e
+  | Ok (Protocol.Health_reply h) -> Ok h
+  | Ok (Protocol.Server_error e) -> Error e
+  | Ok (Protocol.Result _ | Protocol.Stats_reply _ | Protocol.Pong) -> unexpected socket

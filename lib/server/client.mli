@@ -21,10 +21,12 @@ val request : socket:string -> Protocol.request -> (Protocol.response, Dse_error
     backoff for {e transient} failures only — {!Dse_error.Queue_full}
     and transport-level {!Dse_error.Io_error} (connection refused while
     the daemon restarts, read timeout). Attempt [i] sleeps
-    [retry_base * 2^i * U(0.5, 1.5)] seconds; [retry_cap] (default 30)
-    is a hard wall-clock bound across all attempts, after which the
-    last typed error is returned. Structured job failures (constraint
-    violations, corrupt traces, deadline expiry) are never retried.
+    [retry_base * 2^i * U(0.5, 1.5)] seconds, raised to the server's
+    [retry_after] hint when a shedding daemon provided one; [retry_cap]
+    (default 30) is a hard wall-clock bound across all attempts, after
+    which the last typed error is returned. Structured job failures
+    (constraint violations, corrupt traces, deadline expiry, stalled
+    workers, admission rejections) are never retried.
 
     The payload says whether the result came from the daemon's
     cache. *)
@@ -48,3 +50,9 @@ val ping : socket:string -> (unit, Dse_error.t) result
 
 (** [server_stats ~socket] fetches the daemon's counters. *)
 val server_stats : socket:string -> (Protocol.server_stats, Dse_error.t) result
+
+(** [health ~socket] fetches the daemon's structured readiness: per-
+    worker state and heartbeat ages, queue depth against its shedding
+    watermark, shed and admission-rejection counters, cache/WAL health
+    and uptime ([dse submit --health]). *)
+val health : socket:string -> (Protocol.health, Dse_error.t) result

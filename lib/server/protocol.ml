@@ -18,8 +18,13 @@ let magic = "DSRV"
 (* v2: Submit carries an optional deadline, error payloads gained the
    Deadline_exceeded tag, and stats replies the coalesced-hit and
    eviction counters. Client and daemon ship from the same tree, so the
-   version is bumped in lockstep rather than negotiated. *)
-let version = 2
+   version is bumped in lockstep rather than negotiated.
+
+   v3: Queue_full carries a retry-after hint, error payloads gained the
+   Worker_stalled and Resource_exhausted tags, and a Health request /
+   Health_reply pair exposes the readiness plane (per-worker heartbeat
+   ages, queue watermark, shed and admission counters, WAL health). *)
+let version = 3
 
 (* Caps the payload a peer can make us allocate; a 10M-reference trace
    encodes to ~50 MB, so this is generous without being unbounded. *)
@@ -39,6 +44,7 @@ type request =
     }
   | Server_stats
   | Ping
+  | Health
 
 type server_stats = {
   jobs_completed : int;
@@ -51,6 +57,34 @@ type server_stats = {
   workers : int;
 }
 
+type worker_health = {
+  slot : int;
+  busy : bool;
+  job : string;
+  heartbeat_age : float;
+  jobs_done : int;
+}
+
+type health = {
+  uptime : float;
+  workers : worker_health list;
+  workers_replaced : int;
+  queue_depth : int;
+  queue_watermark : int;
+  max_pending : int;
+  shed : int;
+  admission_rejected : int;
+  jobs_completed : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  cache_evictions : int;
+  coalesced_hits : int;
+  wal_enabled : bool;
+  wal_appends : int;
+  wal_failures : int;
+}
+
 type outcome = Table of Analytical_dse.table | Optimal of Optimizer.t
 
 type result_payload = { outcome : outcome; cache_hit : bool }
@@ -60,6 +94,7 @@ type response =
   | Server_error of Dse_error.t
   | Stats_reply of server_stats
   | Pong
+  | Health_reply of health
 
 let method_tag = function
   | Analytical.Streaming -> 0
@@ -132,7 +167,7 @@ let encode_request buf = function
       add_f64 buf seconds);
     encode_query buf query;
     encode_trace buf trace
-  | Server_stats | Ping -> ()
+  | Server_stats | Ping | Health -> ()
 
 let encode_error buf = function
   | Dse_error.Parse_error { file; line; message } ->
@@ -158,14 +193,24 @@ let encode_error buf = function
     Buffer.add_char buf '\004';
     add_string buf file;
     add_string buf message
-  | Dse_error.Queue_full { pending; max_pending } ->
+  | Dse_error.Queue_full { pending; max_pending; retry_after } ->
     Buffer.add_char buf '\005';
     add_varint buf pending;
-    add_varint buf max_pending
+    add_varint buf max_pending;
+    add_f64 buf retry_after
   | Dse_error.Deadline_exceeded { elapsed; limit } ->
     Buffer.add_char buf '\006';
     add_f64 buf elapsed;
     add_f64 buf limit
+  | Dse_error.Worker_stalled { elapsed; job } ->
+    Buffer.add_char buf '\007';
+    add_f64 buf elapsed;
+    add_string buf job
+  | Dse_error.Resource_exhausted { resource; needed; budget } ->
+    Buffer.add_char buf '\008';
+    add_string buf resource;
+    add_varint buf needed;
+    add_varint buf budget
 
 let encode_stats buf (s : Stats.t) =
   add_varint buf s.Stats.n;
@@ -214,6 +259,32 @@ let encode_response buf = function
     add_varint buf s.pending;
     add_varint buf s.workers
   | Pong -> ()
+  | Health_reply h ->
+    add_f64 buf h.uptime;
+    add_varint buf (List.length h.workers);
+    List.iter
+      (fun w ->
+        add_varint buf w.slot;
+        add_bool buf w.busy;
+        add_string buf w.job;
+        add_f64 buf w.heartbeat_age;
+        add_varint buf w.jobs_done)
+      h.workers;
+    add_varint buf h.workers_replaced;
+    add_varint buf h.queue_depth;
+    add_varint buf h.queue_watermark;
+    add_varint buf h.max_pending;
+    add_varint buf h.shed;
+    add_varint buf h.admission_rejected;
+    add_varint buf h.jobs_completed;
+    add_varint buf h.cache_hits;
+    add_varint buf h.cache_misses;
+    add_varint buf h.cache_entries;
+    add_varint buf h.cache_evictions;
+    add_varint buf h.coalesced_hits;
+    add_bool buf h.wal_enabled;
+    add_varint buf h.wal_appends;
+    add_varint buf h.wal_failures
 
 (* -- payload decoding -- *)
 
@@ -286,8 +357,23 @@ let query_field c =
   | 1 -> Budget (varint c)
   | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown query tag %d" b))
 
-let trace_field c =
+let trace_field ?max_job_refs ?memory_budget c =
   let declared = varint c in
+  (* Admission control runs on the declared count alone — before the
+     corruption check, before [Trace.create] — so an oversized job is
+     rejected while it is still a varint and a string of frame bytes,
+     never having cost the daemon its decoded footprint. *)
+  (match max_job_refs with
+  | Some budget when declared > budget ->
+    Dse_error.fail
+      (Dse_error.Resource_exhausted { resource = "trace references"; needed = declared; budget })
+  | _ -> ());
+  (match memory_budget with
+  | Some budget when Trace.estimate_bytes ~refs:declared > budget ->
+    Dse_error.fail
+      (Dse_error.Resource_exhausted
+         { resource = "estimated bytes"; needed = Trace.estimate_bytes ~refs:declared; budget })
+  | _ -> ());
   (* each record is at least one byte, so a declared count beyond the
      remaining payload is corruption — caught before allocation *)
   if declared > remaining c then
@@ -307,14 +393,14 @@ let trace_field c =
   done;
   trace
 
-let decode_submit c =
+let decode_submit ?max_job_refs ?memory_budget c =
   let name = string_field c in
   let method_ = method_field c in
   let domains = varint c in
   let max_level = if bool_field c then Some (varint c) else None in
   let deadline = if bool_field c then Some (f64_field c) else None in
   let query = query_field c in
-  let trace = trace_field c in
+  let trace = trace_field ?max_job_refs ?memory_budget c in
   Submit { name; trace; query; method_; domains; max_level; deadline }
 
 let decode_error c =
@@ -345,11 +431,21 @@ let decode_error c =
   | 5 ->
     let pending = varint c in
     let max_pending = varint c in
-    Dse_error.Queue_full { pending; max_pending }
+    let retry_after = f64_field c in
+    Dse_error.Queue_full { pending; max_pending; retry_after }
   | 6 ->
     let elapsed = f64_field c in
     let limit = f64_field c in
     Dse_error.Deadline_exceeded { elapsed; limit }
+  | 7 ->
+    let elapsed = f64_field c in
+    let job = string_field c in
+    Dse_error.Worker_stalled { elapsed; job }
+  | 8 ->
+    let resource = string_field c in
+    let needed = varint c in
+    let budget = varint c in
+    Dse_error.Resource_exhausted { resource; needed; budget }
   | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown error tag %d" b))
 
 let decode_stats c =
@@ -405,6 +501,56 @@ let decode_server_stats c =
   { jobs_completed; cache_hits; cache_misses; cache_entries; cache_evictions;
     coalesced_hits; pending; workers }
 
+let decode_health c =
+  let uptime = f64_field c in
+  let worker_count = varint c in
+  (* each worker record is at least four bytes *)
+  if worker_count > remaining c then
+    raise (Malformed (c.pos, "declared worker count exceeds the payload"));
+  let workers =
+    List.init worker_count (fun _ ->
+        let slot = varint c in
+        let busy = bool_field c in
+        let job = string_field c in
+        let heartbeat_age = f64_field c in
+        let jobs_done = varint c in
+        { slot; busy; job; heartbeat_age; jobs_done })
+  in
+  let workers_replaced = varint c in
+  let queue_depth = varint c in
+  let queue_watermark = varint c in
+  let max_pending = varint c in
+  let shed = varint c in
+  let admission_rejected = varint c in
+  let jobs_completed = varint c in
+  let cache_hits = varint c in
+  let cache_misses = varint c in
+  let cache_entries = varint c in
+  let cache_evictions = varint c in
+  let coalesced_hits = varint c in
+  let wal_enabled = bool_field c in
+  let wal_appends = varint c in
+  let wal_failures = varint c in
+  {
+    uptime;
+    workers;
+    workers_replaced;
+    queue_depth;
+    queue_watermark;
+    max_pending;
+    shed;
+    admission_rejected;
+    jobs_completed;
+    cache_hits;
+    cache_misses;
+    cache_entries;
+    cache_evictions;
+    coalesced_hits;
+    wal_enabled;
+    wal_appends;
+    wal_failures;
+  }
+
 (* -- framing over a file descriptor -- *)
 
 let tag_submit = 1
@@ -413,6 +559,8 @@ let tag_server_stats = 2
 
 let tag_ping = 3
 
+let tag_health = 4
+
 let tag_result = 0x81
 
 let tag_error = 0x82
@@ -420,6 +568,8 @@ let tag_error = 0x82
 let tag_stats_reply = 0x83
 
 let tag_pong = 0x84
+
+let tag_health_reply = 0x85
 
 let write_all fd bytes =
   let len = Bytes.length bytes in
@@ -531,6 +681,9 @@ let guard ~peer ?(timeout = "timed out") f =
   match f () with
   | v -> Ok v
   | exception Malformed (offset, message) -> Error (corrupt ~peer offset message)
+  | exception Dse_error.Error e ->
+    (* admission control rejecting a declared size mid-decode *)
+    Error e
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
     Error (Dse_error.Io_error { file = peer; message = timeout })
   | exception Unix.Unix_error (err, _, _) -> Error (io_failure ~peer err)
@@ -544,7 +697,11 @@ let write_request ?(peer = "<server>") fd request =
       let buf = Buffer.create 1024 in
       encode_request buf request;
       let tag =
-        match request with Submit _ -> tag_submit | Server_stats -> tag_server_stats | Ping -> tag_ping
+        match request with
+        | Submit _ -> tag_submit
+        | Server_stats -> tag_server_stats
+        | Ping -> tag_ping
+        | Health -> tag_health
       in
       send_frame fd ~tag (Buffer.contents buf))
 
@@ -558,19 +715,21 @@ let write_response ?(peer = "<client>") fd response =
         | Server_error _ -> tag_error
         | Stats_reply _ -> tag_stats_reply
         | Pong -> tag_pong
+        | Health_reply _ -> tag_health_reply
       in
       send_frame fd ~tag (Buffer.contents buf))
 
-let read_request ?(peer = "<client>") fd =
+let read_request ?(peer = "<client>") ?max_job_refs ?memory_budget fd =
   guard ~peer ~timeout:timeout_message (fun () ->
       match read_frame fd with
       | exception Clean_close -> None
       | tag, payload ->
         let c = { data = payload; pos = 0 } in
         let request =
-          if tag = tag_submit then decode_submit c
+          if tag = tag_submit then decode_submit ?max_job_refs ?memory_budget c
           else if tag = tag_server_stats then Server_stats
           else if tag = tag_ping then Ping
+          else if tag = tag_health then Health
           else raise (Malformed (5, Printf.sprintf "unknown request tag %d" tag))
         in
         if remaining c > 0 then raise (Malformed (c.pos, "trailing bytes after the request"));
@@ -593,6 +752,7 @@ let read_response ?(peer = "<server>") fd =
         else if tag = tag_error then Server_error (decode_error c)
         else if tag = tag_stats_reply then Stats_reply (decode_server_stats c)
         else if tag = tag_pong then Pong
+        else if tag = tag_health_reply then Health_reply (decode_health c)
         else raise (Malformed (5, Printf.sprintf "unknown response tag %d" tag))
       in
       if remaining c > 0 then raise (Malformed (c.pos, "trailing bytes after the response"));

@@ -31,6 +31,7 @@ type request =
     }
   | Server_stats  (** query the daemon's counters (cache hits, pending) *)
   | Ping
+  | Health  (** query the readiness plane (see {!health}) *)
 
 type server_stats = {
   jobs_completed : int;
@@ -43,6 +44,41 @@ type server_stats = {
   workers : int;
 }
 
+(** One worker slot's state as sampled at the health request. *)
+type worker_health = {
+  slot : int;
+  busy : bool;
+  job : string;  (** the display name of the running job; [""] when idle *)
+  heartbeat_age : float;  (** seconds since the worker's last beat; [0.] when idle *)
+  jobs_done : int;  (** jobs finished by this incarnation *)
+}
+
+(** Structured readiness for [dse submit --health]: the supervision
+    plane's view of the daemon. [workers_replaced] counts watchdog
+    replacements, [shed] heavy jobs refused past the queue watermark,
+    [admission_rejected] submissions refused by the declared-size
+    budgets, [wal_failures] append errors (persistence degraded, serving
+    unaffected). *)
+type health = {
+  uptime : float;
+  workers : worker_health list;
+  workers_replaced : int;
+  queue_depth : int;
+  queue_watermark : int;
+  max_pending : int;
+  shed : int;
+  admission_rejected : int;
+  jobs_completed : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_entries : int;
+  cache_evictions : int;
+  coalesced_hits : int;
+  wal_enabled : bool;
+  wal_appends : int;
+  wal_failures : int;
+}
+
 type outcome = Table of Analytical_dse.table | Optimal of Optimizer.t
 
 type result_payload = { outcome : outcome; cache_hit : bool }
@@ -52,6 +88,7 @@ type response =
   | Server_error of Dse_error.t
   | Stats_reply of server_stats
   | Pong
+  | Health_reply of health
 
 (** [method_tag m] is the stable wire tag of a kernel method (0 =
     streaming, 1 = dfs, 2 = bcat) — also the cache-key component. *)
@@ -68,8 +105,20 @@ val write_request : ?peer:string -> Unix.file_descr -> request -> (unit, Dse_err
 (** [Ok None] means the peer closed the connection without sending a
     byte — a liveness probe (the socket-claim check, monitoring), not a
     defect; the daemon closes silently instead of logging or replying.
-    Any bytes at all followed by a close is still [Corrupt_binary]. *)
-val read_request : ?peer:string -> Unix.file_descr -> (request option, Dse_error.t) result
+    Any bytes at all followed by a close is still [Corrupt_binary].
+
+    [max_job_refs] / [memory_budget] (bytes) arm admission control: a
+    [Submit] whose {e declared} reference count exceeds [max_job_refs],
+    or whose {!Trace.estimate_bytes} exceeds [memory_budget], is
+    rejected as [Error (Resource_exhausted _)] before the trace is
+    decoded or allocated — the declared count is judged while it is
+    still a varint. *)
+val read_request :
+  ?peer:string ->
+  ?max_job_refs:int ->
+  ?memory_budget:int ->
+  Unix.file_descr ->
+  (request option, Dse_error.t) result
 
 val write_response : ?peer:string -> Unix.file_descr -> response -> (unit, Dse_error.t) result
 

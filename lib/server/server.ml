@@ -4,6 +4,9 @@ type config = {
   max_pending : int;
   cache_entries : int;
   wal_path : string option;
+  hang_timeout : float;
+  max_job_refs : int option;
+  memory_budget : int option;
 }
 
 type job = {
@@ -16,6 +19,12 @@ type job = {
   max_level : int option;
   key : Result_cache.key;
   cancel : Cancel.t;
+  (* Exactly one party replies to this flight: the worker that finishes
+     the job, or the watchdog that declares it stalled. Whoever wins
+     this CAS owns [fd] (and the flight's waiters); the loser — e.g. an
+     abandoned worker that unwedges hours later, when the fd number may
+     already belong to a different connection — discards silently. *)
+  settled : bool Atomic.t;
 }
 
 type t = {
@@ -27,11 +36,34 @@ type t = {
   wal : Wal.t option;
   stopping : bool Atomic.t;
   jobs_completed : int Atomic.t;
+  shed : int Atomic.t;
+  admission_rejected : int Atomic.t;
+  wal_appends : int Atomic.t;
+  wal_failures : int Atomic.t;
+  started : float;
+  mutable pool : job Worker_pool.t option;
   on_job_start : unit -> unit;
   log : string -> unit;
 }
 
 let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Shedding starts at 3/4 of the queue bound (rounded up): the last
+   quarter of the queue is reserved for light jobs, pings and cache
+   probes, so an overload of heavy submissions degrades the heavy tier
+   first while the cheap tier keeps answering. *)
+let watermark config = max 1 (((3 * config.max_pending) + 3) / 4)
+
+(* A job at or above one shard of streaming work is "heavy" for
+   shedding purposes: it is the class whose kernel time dominates queue
+   drain time under overload. *)
+let heavy_refs = Streaming.min_shard_refs
+
+(* How long until a worker likely frees up: queue depth spread over the
+   pool, at an assumed quarter-second per heavy job — deliberately
+   rough, it only has to make client backoff proportional to load. *)
+let retry_hint config ~pending =
+  Float.min 10. (0.25 *. (float_of_int (pending + config.workers) /. float_of_int config.workers))
 
 (* A stale socket file (previous daemon crashed) is unlinked; a live one
    (something accepts connections) is a configuration error. *)
@@ -76,6 +108,12 @@ let create ?(on_job_start = fun () -> ()) ?(log = fun msg -> Format.eprintf "dse
   if config.workers < 1 then invalid "workers must be >= 1"
   else if config.max_pending < 1 then invalid "max-pending must be >= 1"
   else if config.cache_entries < 1 then invalid "cache-entries must be >= 1"
+  else if not (config.hang_timeout > 0. && config.hang_timeout < infinity) then
+    invalid "hang-timeout must be a positive finite number of seconds"
+  else if (match config.max_job_refs with Some n -> n < 1 | None -> false) then
+    invalid "max-job-refs must be >= 1"
+  else if (match config.memory_budget with Some n -> n < 1 | None -> false) then
+    invalid "memory-budget must be >= 1"
   else
     match claim_socket_path config.socket_path with
     | Error _ as e -> e
@@ -118,6 +156,12 @@ let create ?(on_job_start = fun () -> ()) ?(log = fun msg -> Format.eprintf "dse
               wal;
               stopping = Atomic.make false;
               jobs_completed = Atomic.make 0;
+              shed = Atomic.make 0;
+              admission_rejected = Atomic.make 0;
+              wal_appends = Atomic.make 0;
+              wal_failures = Atomic.make 0;
+              started = Unix.gettimeofday ();
+              pool = None;
               on_job_start;
               log;
             }
@@ -155,6 +199,56 @@ let stats_reply t =
       workers = t.config.workers;
     }
 
+let health_reply t =
+  let c = Result_cache.counters t.cache in
+  let now = Unix.gettimeofday () in
+  let workers, workers_replaced =
+    match t.pool with
+    | None -> ([], 0)
+    | Some pool ->
+      ( List.map
+          (fun (v : job Worker_pool.view) ->
+            match v.Worker_pool.running with
+            | Some r ->
+              {
+                Protocol.slot = v.Worker_pool.slot;
+                busy = true;
+                job = r.Worker_pool.job.name;
+                heartbeat_age = Heartbeat.age ~now r.Worker_pool.heartbeat;
+                jobs_done = v.Worker_pool.jobs_done;
+              }
+            | None ->
+              {
+                Protocol.slot = v.Worker_pool.slot;
+                busy = false;
+                job = "";
+                heartbeat_age = 0.;
+                jobs_done = v.Worker_pool.jobs_done;
+              })
+          (Worker_pool.snapshot pool),
+        Worker_pool.replaced pool )
+  in
+  Protocol.Health_reply
+    {
+      Protocol.uptime = now -. t.started;
+      workers;
+      workers_replaced;
+      queue_depth = Job_queue.length t.queue;
+      queue_watermark = watermark t.config;
+      max_pending = t.config.max_pending;
+      shed = Atomic.get t.shed;
+      admission_rejected = Atomic.get t.admission_rejected;
+      jobs_completed = Atomic.get t.jobs_completed;
+      cache_hits = c.Result_cache.hits;
+      cache_misses = c.Result_cache.misses;
+      cache_entries = c.Result_cache.entries;
+      cache_evictions = c.Result_cache.evictions;
+      coalesced_hits = Inflight.coalesced t.inflight;
+      wal_enabled = t.wal <> None;
+      wal_appends = Atomic.get t.wal_appends;
+      wal_failures = Atomic.get t.wal_failures;
+    }
+
 let respond_and_close t fd response =
   (match Protocol.write_response fd response with
   | Ok () -> ()
@@ -181,32 +275,27 @@ let respond_flight t job outcome =
 
 (* Runs in a worker domain. The kernel call goes through the standard
    [Analytical] pipeline, so [domains > 1] jobs get Shard_exec's
-   per-shard recovery ladder and the job's cancel token is polled at
-   the documented points; every failure — deadline expiry included —
-   becomes a structured reply to this flight's clients and the worker
-   lives on. *)
-let run_job t job =
+   per-shard recovery ladder and the job's cancel token — carrying this
+   worker's heartbeat — is polled at the documented points; every
+   failure — deadline expiry included — becomes a structured reply to
+   this flight's clients and the worker lives on. A worker that lost
+   the settled race (the watchdog already answered this flight) stores
+   nothing and replies to no one: its fd may have been reused and a new
+   flight for the same key may be in progress. *)
+let run_job t ~heartbeat job =
   t.on_job_start ();
+  let cancel = Cancel.with_heartbeat heartbeat job.cancel in
   let outcome =
     match
       (* the deadline clock started at submission, so time spent queued
          counts; an already-expired job fails here without a kernel run *)
-      Cancel.check job.cancel;
+      Cancel.check cancel;
       let prepared = Analytical.prepare ?max_level:job.max_level job.trace in
       let stats = Stats.compute_stripped prepared.Analytical.stripped in
       let histograms =
-        Analytical.histograms ~cancel:job.cancel ~method_:job.method_ ~domains:job.domains prepared
+        Analytical.histograms ~cancel ~method_:job.method_ ~domains:job.domains prepared
       in
-      let entry = { Result_cache.stats; histograms } in
-      Result_cache.store t.cache job.key entry;
-      (match t.wal with
-      | None -> ()
-      | Some wal -> (
-        (* a full disk degrades persistence, never serving *)
-        match Wal.append wal job.key entry with
-        | Ok () -> ()
-        | Error e -> t.log (Printf.sprintf "wal append failed: %s" (Dse_error.to_string e))));
-      entry
+      { Result_cache.stats; histograms }
     with
     | entry -> Ok entry
     | exception Dse_error.Error e -> Error e
@@ -216,8 +305,48 @@ let run_job t job =
       (* unexpected engine crash: internal-failure class (exit 5) *)
       Error (Dse_error.Shard_failure { shard = 0; attempts = 1; message = Printexc.to_string e })
   in
-  Atomic.incr t.jobs_completed;
-  respond_flight t job outcome
+  if Atomic.compare_and_set job.settled false true then begin
+    (match outcome with
+    | Ok entry ->
+      Result_cache.store t.cache job.key entry;
+      (match t.wal with
+      | None -> ()
+      | Some wal -> (
+        (* a full disk degrades persistence, never serving *)
+        match Wal.append wal job.key entry with
+        | Ok () -> Atomic.incr t.wal_appends
+        | Error e ->
+          Atomic.incr t.wal_failures;
+          t.log (Printf.sprintf "wal append failed: %s" (Dse_error.to_string e))))
+    | Error _ -> ());
+    Atomic.incr t.jobs_completed;
+    respond_flight t job outcome
+  end
+  else
+    t.log
+      (Printf.sprintf "abandoned worker finished %s after the watchdog answered; result discarded"
+         job.name)
+
+(* The watchdog found a worker silent past the hang timeout and already
+   replaced it ([Watchdog.scan] is atomic per worker). Settle the flight
+   from the accept loop: cancel the job's token (an abandoned worker
+   that was merely slow aborts at its next poll instead of burning a
+   core to the end) and answer everyone with the typed stall. *)
+let settle_stalled t (s : job Watchdog.stalled) =
+  let job = s.Watchdog.job in
+  if Atomic.compare_and_set job.settled false true then begin
+    Cancel.cancel job.cancel;
+    t.log
+      (Printf.sprintf
+         "watchdog: worker %d silent for %.2f s running %s; domain abandoned, replacement spawned"
+         s.Watchdog.slot s.Watchdog.silent_for job.name);
+    let e = Dse_error.Worker_stalled { elapsed = s.Watchdog.elapsed; job = job.name } in
+    let waiters = Inflight.complete t.inflight job.key in
+    respond_and_close t job.fd (Protocol.Server_error e);
+    List.iter
+      (fun (w : Inflight.waiter) -> respond_and_close t w.Inflight.fd (Protocol.Server_error e))
+      waiters
+  end
 
 let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~deadline =
   let reject message =
@@ -239,7 +368,8 @@ let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~dea
     in
     match Result_cache.find t.cache key with
     | Some entry ->
-      (* hot path: answered in the accept loop, no queueing, no kernel *)
+      (* hot path: answered in the accept loop, no queueing, no kernel —
+         cache hits stay answerable even when the queue is shedding *)
       respond_and_close t fd
         (Protocol.Result { Protocol.outcome = answer ~name ~query entry; cache_hit = true })
     | None -> (
@@ -250,9 +380,14 @@ let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~dea
       | `Attached -> ()
       | `Leader -> (
         let cancel =
-          match deadline with None -> Cancel.none | Some seconds -> Cancel.after seconds
+          match deadline with
+          | None -> Cancel.cancellable ()
+          | Some seconds -> Cancel.after seconds
         in
-        let job = { fd; name; trace; query; method_; domains; max_level; key; cancel } in
+        let job =
+          { fd; name; trace; query; method_; domains; max_level; key; cancel;
+            settled = Atomic.make false }
+        in
         let fail_flight e =
           let waiters = Inflight.complete t.inflight key in
           respond_and_close t fd (Protocol.Server_error e);
@@ -261,20 +396,39 @@ let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~dea
               respond_and_close t w.Inflight.fd (Protocol.Server_error e))
             waiters
         in
-        match Job_queue.push t.queue job with
-        | `Ok -> () (* the worker now owns [fd] and the flight *)
-        | `Full pending ->
-          fail_flight (Dse_error.Queue_full { pending; max_pending = t.config.max_pending })
-        | `Closed ->
+        let pending = Job_queue.length t.queue in
+        if pending >= watermark t.config && Trace.length trace >= heavy_refs then begin
+          (* overload shedding: past the watermark, heavy jobs are
+             refused up front with a load-proportional retry hint, while
+             light jobs, pings, health probes and cache hits still go
+             through — graceful degradation instead of queue collapse *)
+          Atomic.incr t.shed;
           fail_flight
-            (Dse_error.Io_error { file = t.config.socket_path; message = "server shutting down" })))
+            (Dse_error.Queue_full
+               { pending; max_pending = t.config.max_pending;
+                 retry_after = retry_hint t.config ~pending })
+        end
+        else
+          match Job_queue.push t.queue job with
+          | `Ok -> () (* the worker now owns [fd] and the flight *)
+          | `Full pending ->
+            fail_flight
+              (Dse_error.Queue_full
+                 { pending; max_pending = t.config.max_pending;
+                   retry_after = retry_hint t.config ~pending })
+          | `Closed ->
+            fail_flight
+              (Dse_error.Io_error { file = t.config.socket_path; message = "server shutting down" })))
   end
 
 let handle_connection t fd =
   (* a stalled or hostile client cannot wedge the accept loop forever *)
   Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.0;
-  match Protocol.read_request fd with
+  match
+    Protocol.read_request ?max_job_refs:t.config.max_job_refs
+      ?memory_budget:t.config.memory_budget fd
+  with
   | Ok None ->
     (* liveness probe (socket claim, monitoring): close silently *)
     close_noerr fd
@@ -283,14 +437,25 @@ let handle_connection t fd =
        loop for the send timeout on top of the receive one *)
     t.log "dropped a connection that timed out mid-request";
     close_noerr fd
+  | Error (Dse_error.Resource_exhausted _ as e) ->
+    (* admission control tripped while the declared size was still a
+       varint: nothing was allocated, the refusal is structured *)
+    Atomic.incr t.admission_rejected;
+    respond_and_close t fd (Protocol.Server_error e)
   | Error e -> respond_and_close t fd (Protocol.Server_error e)
   | Ok (Some Protocol.Ping) -> respond_and_close t fd Protocol.Pong
   | Ok (Some Protocol.Server_stats) -> respond_and_close t fd (stats_reply t)
+  | Ok (Some Protocol.Health) -> respond_and_close t fd (health_reply t)
   | Ok (Some (Protocol.Submit { name; trace; query; method_; domains; max_level; deadline })) ->
     handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~deadline
 
 let run t =
-  let pool = Worker_pool.start ~workers:t.config.workers ~run:(run_job t) t.queue in
+  let pool =
+    Worker_pool.start ~workers:t.config.workers
+      ~run:(fun ~heartbeat job -> run_job t ~heartbeat job)
+      t.queue
+  in
+  t.pool <- Some pool;
   let rec accept_loop () =
     if not (Atomic.get t.stopping) then begin
       (match Unix.select [ t.listen_fd ] [] [] 0.1 with
@@ -306,12 +471,16 @@ let run t =
             close_noerr fd)
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      (* the watchdog rides the select tick: detection latency is
+         bounded by hang_timeout plus one 0.1 s tick *)
+      List.iter (settle_stalled t) (Watchdog.scan pool ~hang_timeout:t.config.hang_timeout);
       accept_loop ()
     end
   in
   accept_loop ();
   (* drain: no new connections, but every queued and in-flight job is
-     finished and answered (waiters included) before the daemon exits *)
+     finished and answered (waiters included) before the daemon exits.
+     Abandoned worker domains are deliberately not waited for. *)
   let pending = Job_queue.length t.queue in
   if pending > 0 then t.log (Printf.sprintf "draining %d pending job(s)" pending);
   Job_queue.close t.queue;

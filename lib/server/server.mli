@@ -28,6 +28,31 @@
     - {b Bounded memory.} The result cache holds at most
       [cache_entries] entries (LRU eviction, counted in stats).
 
+    Supervision behaviours (the watchdog plane):
+
+    - {b Worker watchdog.} Every job runs under a {!Heartbeat.t} beaten
+      at the kernel's cancellation poll points. The accept loop's 0.1 s
+      select tick scans the pool; a worker silent past [hang_timeout]
+      is declared wedged: its domain is abandoned (OCaml domains cannot
+      be killed), a replacement is spawned on the same slot, the flight
+      is answered with {!Dse_error.Worker_stalled} (exit 8) and the
+      job's token cancelled. A settled-flag CAS on each job guarantees
+      exactly one party — finishing worker or watchdog — ever replies.
+    - {b Admission control.} With [max_job_refs] / [memory_budget] set,
+      a submission's {e declared} trace size is judged while it is
+      still a varint on the wire ({!Trace.estimate_bytes}); oversized
+      jobs get a typed {!Dse_error.Resource_exhausted} before any trace
+      allocation.
+    - {b Overload shedding.} Past the queue watermark (3/4 of
+      [max_pending]), heavy submissions (a streaming shard or more of
+      references) are refused with a load-proportional [retry_after]
+      hint that client backoff honors; light jobs, pings, health
+      probes and cache hits keep being answered.
+    - {b Health plane.} A {!Protocol.Health} request is answered inline
+      from the accept loop with per-worker heartbeat ages, queue depth
+      and watermark, shed/admission counters, cache and WAL health, and
+      uptime.
+
     Shutdown ({!stop}, or SIGTERM/SIGINT via
     {!install_signal_handlers}) drains: the listener closes, queued and
     in-flight jobs finish and are answered, the workers join, and the
@@ -39,6 +64,13 @@ type config = {
   max_pending : int;  (** job-queue depth bound; must be >= 1 *)
   cache_entries : int;  (** result-cache LRU bound; must be >= 1 *)
   wal_path : string option;  (** persistent result log; [None] = in-memory only *)
+  hang_timeout : float;
+      (** seconds of worker heartbeat silence before the watchdog
+          replaces it; must be positive and finite *)
+  max_job_refs : int option;
+      (** admission bound on a submission's declared reference count *)
+  memory_budget : int option;
+      (** admission bound on a submission's estimated footprint, bytes *)
 }
 
 type t

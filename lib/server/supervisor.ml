@@ -1,0 +1,109 @@
+(* Process-level self-healing for [dse serve --supervise].
+
+   The daemon runs as a forked child; the parent is a tiny loop that
+   waits, and on abnormal exit respawns with exponential crash-loop
+   backoff. Composed with the WAL ([--wal]), a respawned daemon replays
+   its cache and answers warm — the supervisor turns "kill -9 twice"
+   into two short gaps in service rather than two cold starts.
+
+   Forking is safe here because the supervisor runs before any domain
+   is spawned: the daemon's worker domains are created inside the child
+   by [Server.run]. *)
+
+type outcome = Clean | Crashed of string
+
+let wait_child pid =
+  let rec wait () =
+    match Unix.waitpid [] pid with
+    | _, status -> status
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+  in
+  match wait () with
+  | Unix.WEXITED 0 -> Clean
+  | Unix.WEXITED code -> Crashed (Printf.sprintf "exited with code %d" code)
+  | Unix.WSIGNALED signal -> Crashed (Printf.sprintf "killed by signal %d" signal)
+  | Unix.WSTOPPED signal -> Crashed (Printf.sprintf "stopped by signal %d" signal)
+
+let run ?(max_rapid_crashes = 5) ?(rapid_window = 30.) ?(backoff_base = 0.5) ?(backoff_cap = 30.)
+    ?(log = fun msg -> Format.eprintf "dse-supervise: %s@." msg) child =
+  if max_rapid_crashes < 1 then invalid_arg "Supervisor.run: max_rapid_crashes must be >= 1";
+  if not (rapid_window > 0.) then invalid_arg "Supervisor.run: rapid_window must be > 0";
+  if not (backoff_base > 0.) then invalid_arg "Supervisor.run: backoff_base must be > 0";
+  let stopping = ref false in
+  let child_pid = ref None in
+  (* Forward operator shutdown to the child and stop respawning; a
+     TERM'd supervisor must not resurrect the daemon it was asked to
+     take down. *)
+  let forward signal =
+    Sys.set_signal signal
+      (Sys.Signal_handle
+         (fun s ->
+           stopping := true;
+           match !child_pid with
+           | Some pid -> ( try Unix.kill pid s with Unix.Unix_error _ -> ())
+           | None -> ()))
+  in
+  (try forward Sys.sigterm with Invalid_argument _ -> ());
+  (try forward Sys.sigint with Invalid_argument _ -> ());
+  let spawn () =
+    match Unix.fork () with
+    | 0 ->
+      (* The child is the daemon: default signal dispositions so the
+         daemon's own SIGTERM drain handler installs over a clean
+         slate, then never return into the supervisor loop. *)
+      (try Sys.set_signal Sys.sigterm Sys.Signal_default with Invalid_argument _ -> ());
+      (try Sys.set_signal Sys.sigint Sys.Signal_default with Invalid_argument _ -> ());
+      let code =
+        match child () with
+        | () -> 0
+        | exception Dse_error.Error e ->
+          prerr_endline ("dse: " ^ Dse_error.to_string e);
+          Dse_error.exit_code e
+        | exception e ->
+          prerr_endline ("dse: " ^ Printexc.to_string e);
+          1
+      in
+      (try flush stdout with Sys_error _ -> ());
+      (try flush stderr with Sys_error _ -> ());
+      (* _exit, not exit: inherited at_exit hooks belong to the
+         supervisor process, not to this child *)
+      Unix._exit code
+    | pid -> pid
+  in
+  let rec supervise ~rapid ~window_start =
+    let pid = spawn () in
+    child_pid := Some pid;
+    let outcome = wait_child pid in
+    child_pid := None;
+    match outcome with
+    | Clean ->
+      log "daemon exited cleanly";
+      0
+    | Crashed reason ->
+      if !stopping then begin
+        log (Printf.sprintf "daemon %s during shutdown; not respawning" reason);
+        0
+      end
+      else begin
+        let now = Unix.gettimeofday () in
+        (* crashes separated by a quiet stretch are independent events,
+           not a crash loop: reset the strike counter *)
+        let rapid = if now -. window_start > rapid_window then 1 else rapid + 1 in
+        let window_start = if rapid = 1 then now else window_start in
+        if rapid > max_rapid_crashes then begin
+          log
+            (Printf.sprintf "daemon %s; %d rapid crashes within %.0f s — giving up" reason rapid
+               rapid_window);
+          1
+        end
+        else begin
+          let delay =
+            Float.min backoff_cap (backoff_base *. (2. ** float_of_int (rapid - 1)))
+          in
+          log (Printf.sprintf "daemon %s; respawning in %.2f s (crash %d)" reason delay rapid);
+          Unix.sleepf delay;
+          if !stopping then 0 else supervise ~rapid ~window_start
+        end
+      end
+  in
+  supervise ~rapid:0 ~window_start:(Unix.gettimeofday ())

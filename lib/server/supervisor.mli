@@ -1,0 +1,39 @@
+(** Crash-loop supervisor for [dse serve --supervise].
+
+    Runs the daemon as a forked child and respawns it on abnormal exit
+    (non-zero code or a fatal signal — the [kill -9] the in-process
+    watchdog cannot defend against). Respawn delay grows exponentially
+    from [backoff_base], capped at [backoff_cap]; crashes further apart
+    than [rapid_window] seconds reset the strike counter, and more than
+    [max_rapid_crashes] rapid crashes make the supervisor give up with
+    exit 1 instead of looping a doomed configuration forever.
+
+    Composes with the WAL: each respawned daemon replays its result log
+    on startup, so supervision turns a crash into a short warm-restart
+    gap rather than a cold cache.
+
+    SIGTERM/SIGINT at the supervisor are forwarded to the child and
+    disable respawning (the child's own drain handler runs); the child
+    resets both signals to their defaults before the daemon installs its
+    handlers. [run] must be called before any domain is spawned in this
+    process — it forks. *)
+
+(** [run ?max_rapid_crashes ?rapid_window ?backoff_base ?backoff_cap
+    ?log child] supervises [child] until it exits cleanly (returns, or
+    a crash during operator shutdown) — result 0 — or crashes
+    [max_rapid_crashes]+1 times within rolling [rapid_window]-second
+    spans — result 1. The result is the supervisor's process exit code.
+    In the child, [child ()]'s return and exceptions are mapped to exit
+    codes exactly as the CLI maps them ({!Dse_error.exit_code}).
+
+    Defaults: 5 rapid crashes, 30 s window, 0.5 s base, 30 s cap, [log]
+    to stderr. Raises [Invalid_argument] on a non-positive window/base
+    or [max_rapid_crashes < 1]. *)
+val run :
+  ?max_rapid_crashes:int ->
+  ?rapid_window:float ->
+  ?backoff_base:float ->
+  ?backoff_cap:float ->
+  ?log:(string -> unit) ->
+  (unit -> unit) ->
+  int

@@ -250,8 +250,25 @@ let write_all fd s =
     off := !off + Unix.write fd bytes !off (len - !off)
   done
 
+(* The rename above made the compacted log the live one in the
+   directory's in-memory state, but the directory entry itself is not
+   durable until the directory inode is flushed: a power cut between
+   rename and the next incidental directory sync could resurrect the
+   pre-compaction log. Filesystems that refuse fsync on a directory fd
+   (EINVAL, or EBADF once closed by a racing close) already order the
+   rename themselves, so those are safe to ignore. *)
+let fsync_parent_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dir_fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close dir_fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        try Unix.fsync dir_fd with Unix.Unix_error ((Unix.EINVAL | Unix.EBADF), _, _) -> ())
+
 (* Rewrite the log as the live snapshot: temp file, fsync, atomic
-   rename — a crash leaves either the old log or the new one. *)
+   rename, parent-directory fsync — a crash leaves either the old log
+   or the new one, durably. *)
 let compact_locked t =
   let entries = t.snapshot () in
   let tmp = t.path ^ ".compact" in
@@ -262,6 +279,7 @@ let compact_locked t =
       List.iter (fun (key, entry) -> write_all tmp_fd (encode_record key entry)) entries;
       Unix.fsync tmp_fd);
   Unix.rename tmp t.path;
+  fsync_parent_dir t.path;
   (try Unix.close t.fd with Unix.Unix_error _ -> ());
   t.fd <- open_append t.path;
   t.appended <- 0

@@ -1,0 +1,25 @@
+type 'job stalled = { slot : int; job : 'job; elapsed : float; silent_for : float }
+
+(* Scanning is cheap (a snapshot walk and one clock read), so the accept
+   loop can afford it on every 0.1 s select tick. Replacement goes
+   through [Worker_pool.replace ~expected], which re-checks under the
+   pool lock that the worker is still on the very job this scan saw —
+   a worker that finished between snapshot and replace is left alone. *)
+let scan pool ~hang_timeout =
+  if not (hang_timeout > 0.) then invalid_arg "Watchdog.scan: hang_timeout must be positive";
+  let now = Unix.gettimeofday () in
+  List.filter_map
+    (fun (v : _ Worker_pool.view) ->
+      match v.Worker_pool.running with
+      | Some r when Heartbeat.age ~now r.Worker_pool.heartbeat > hang_timeout ->
+        if Worker_pool.replace pool v.Worker_pool.handle ~expected:r then
+          Some
+            {
+              slot = v.Worker_pool.slot;
+              job = r.Worker_pool.job;
+              elapsed = now -. r.Worker_pool.started;
+              silent_for = Heartbeat.age ~now r.Worker_pool.heartbeat;
+            }
+        else None
+      | _ -> None)
+    (Worker_pool.snapshot pool)

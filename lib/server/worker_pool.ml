@@ -1,20 +1,105 @@
-type t = { domains : unit Domain.t list }
+type 'job running = { job : 'job; heartbeat : Heartbeat.t; started : float }
+
+(* One incarnation of a worker slot. [state]/[abandoned] are atomics
+   because the worker domain writes them while the watchdog (accept
+   loop) reads them; everything structural — the live list, the domain
+   handles — is guarded by the pool mutex. *)
+type 'job handle = {
+  slot : int;
+  abandoned : bool Atomic.t;
+  state : 'job running option Atomic.t;
+  jobs_done : int Atomic.t;
+  mutable domain : unit Domain.t option;
+}
+
+type 'job view = { slot : int; running : 'job running option; jobs_done : int; handle : 'job handle }
+
+type 'job t = {
+  queue : 'job Job_queue.t;
+  run : heartbeat:Heartbeat.t -> 'job -> unit;
+  mutex : Mutex.t;
+  mutable live : 'job handle list;
+  replaced : int Atomic.t;
+}
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let worker_loop pool w =
+  let rec loop () =
+    match Job_queue.pop pool.queue with
+    | None -> ()
+    | Some job ->
+      let heartbeat = Heartbeat.create () in
+      Atomic.set w.state (Some { job; heartbeat; started = Heartbeat.last heartbeat });
+      (* [run] replies to its own client on failure; this guard only
+         keeps a worker alive if [run] itself escapes. *)
+      (try pool.run ~heartbeat job
+       with e ->
+         Dse_error.degraded (Printf.sprintf "worker %d: %s" w.slot (Printexc.to_string e)));
+      Atomic.set w.state None;
+      Atomic.incr w.jobs_done;
+      (* An abandoned worker that turned out to be slow rather than
+         wedged finishes the job it owns (the reply path deduplicates
+         against the watchdog's), then exits instead of competing with
+         its replacement for the queue. *)
+      if not (Atomic.get w.abandoned) then loop ()
+  in
+  loop ()
+
+let spawn_locked pool slot =
+  let w =
+    {
+      slot;
+      abandoned = Atomic.make false;
+      state = Atomic.make None;
+      jobs_done = Atomic.make 0;
+      domain = None;
+    }
+  in
+  w.domain <- Some (Domain.spawn (fun () -> worker_loop pool w));
+  w
 
 let start ~workers ~run queue =
   if workers < 1 then invalid_arg "Worker_pool.start: workers must be >= 1";
-  let worker () =
-    let rec loop () =
-      match Job_queue.pop queue with
-      | None -> ()
-      | Some job ->
-        (* [run] replies to its own client on failure; this guard only
-           keeps a worker alive if [run] itself escapes. *)
-        (try run job
-         with e -> Dse_error.degraded (Printf.sprintf "worker: %s" (Printexc.to_string e)));
-        loop ()
-    in
-    loop ()
-  in
-  { domains = List.init workers (fun _ -> Domain.spawn worker) }
+  let pool = { queue; run; mutex = Mutex.create (); live = []; replaced = Atomic.make 0 } in
+  with_lock pool (fun () ->
+      pool.live <- List.init workers (fun slot -> spawn_locked pool slot));
+  pool
 
-let join t = List.iter Domain.join t.domains
+let view_of (w : _ handle) =
+  { slot = w.slot; running = Atomic.get w.state; jobs_done = Atomic.get w.jobs_done; handle = w }
+
+let snapshot t =
+  with_lock t (fun () ->
+      t.live |> List.map view_of
+      |> List.sort (fun (a : _ view) (b : _ view) -> compare a.slot b.slot))
+
+let replace t handle ~expected =
+  with_lock t (fun () ->
+      let still_live = List.memq handle t.live in
+      let still_on_job =
+        match Atomic.get handle.state with Some r -> r == expected | None -> false
+      in
+      if not (still_live && still_on_job) then false
+      else begin
+        (* Order matters: mark the incarnation abandoned before its
+           replacement exists, so at no point can two live workers race
+           for the same slot's identity. The wedged domain is never
+           joined — OCaml domains cannot be killed, so it is leaked and
+           its eventual reply (if it ever unwedges) loses the job's
+           settled race. *)
+        Atomic.set handle.abandoned true;
+        t.live <- spawn_locked t handle.slot :: List.filter (fun w -> w != handle) t.live;
+        Atomic.incr t.replaced;
+        true
+      end)
+
+let replaced t = Atomic.get t.replaced
+
+let join t =
+  let live = with_lock t (fun () -> t.live) in
+  List.iter
+    (fun w -> match w.domain with Some d -> Domain.join d | None -> ())
+    live

@@ -1,22 +1,64 @@
-(** Worker pool over OCaml 5 domains.
+(** Worker pool over OCaml 5 domains, with replaceable incarnations.
 
-    Each worker loops popping jobs from a {!Job_queue} and running them.
-    A job's own failures are the job runner's responsibility (it replies
-    a typed error to its client); an exception escaping the runner is
-    logged through {!Dse_error.degraded} and the worker keeps serving —
-    one poisonous job can never take a worker down. Jobs themselves may
-    spawn further domains (the [Streaming]/[Shard_exec] pipeline does
-    with [domains > 1]), so each job still gets PR 2's per-shard
-    recovery ladder. *)
+    Each worker loops popping jobs from a {!Job_queue} and running them
+    under a fresh {!Heartbeat.t} (handed to [run], which threads it into
+    the job's [Cancel] token so every kernel poll beats it). A job's own
+    failures are the job runner's responsibility (it replies a typed
+    error to its client); an exception escaping the runner is logged
+    through {!Dse_error.degraded} and the worker keeps serving — one
+    poisonous job can never take a worker down.
 
-type t
+    What one poisonous job {e can} do is wedge: loop without reaching a
+    cancellation poll. OCaml domains cannot be killed, so the pool
+    instead tracks {e incarnations}: {!replace} marks a wedged
+    incarnation abandoned (it is leaked, never joined; if it ever
+    unwedges it finishes its job and exits without touching the queue
+    again) and spawns a fresh domain on the same slot. The watchdog
+    ({!Watchdog.scan}) drives this from heartbeat ages. *)
+
+(** What a busy worker is doing, as sampled by {!snapshot}. The record
+    is allocated fresh per job, so physical identity pins a specific
+    (worker, job) incarnation across the snapshot → {!replace} window. *)
+type 'job running = { job : 'job; heartbeat : Heartbeat.t; started : float }
+
+(** Opaque identity of one worker incarnation. *)
+type 'job handle
+
+type 'job view = {
+  slot : int;  (** Stable slot index, [0 .. workers-1]; survives replacement. *)
+  running : 'job running option;  (** [None] when idle between jobs. *)
+  jobs_done : int;  (** Jobs this incarnation finished (not the slot's lifetime total). *)
+  handle : 'job handle;
+}
+
+type 'job t
 
 (** [start ~workers ~run queue] spawns [workers] domains, each looping
-    [Job_queue.pop queue] → [run]. Raises [Invalid_argument] when
-    [workers < 1]. *)
-val start : workers:int -> run:('job -> unit) -> 'job Job_queue.t -> t
+    [Job_queue.pop queue] → [run ~heartbeat]. Raises [Invalid_argument]
+    when [workers < 1]. *)
+val start :
+  workers:int -> run:(heartbeat:Heartbeat.t -> 'job -> unit) -> 'job Job_queue.t -> 'job t
 
-(** [join t] waits for every worker to exit. Workers exit when the queue
-    is closed and drained, so [Job_queue.close q; join t] is the drain
-    sequence: queued jobs finish, then the domains return. *)
-val join : t -> unit
+(** [snapshot t] is the current live incarnations, sorted by slot. Safe
+    from any domain; the [running] fields are a point-in-time sample. *)
+val snapshot : 'job t -> 'job view list
+
+(** [replace t handle ~expected] abandons the incarnation [handle] and
+    spawns a fresh worker on its slot — iff [handle] is still live and
+    still running the exact [expected] job (physical equality on the
+    {!running} record). Returns [false] without side effects when the
+    worker already finished that job or was already replaced, so a
+    watchdog acting on a stale snapshot can never shoot a healthy
+    worker. *)
+val replace : 'job t -> 'job handle -> expected:'job running -> bool
+
+(** [replaced t] counts successful {!replace} calls over the pool's
+    lifetime. *)
+val replaced : 'job t -> int
+
+(** [join t] waits for every *live* worker to exit. Workers exit when
+    the queue is closed and drained, so [Job_queue.close q; join t] is
+    the drain sequence: queued jobs finish, then the domains return.
+    Abandoned incarnations are not joined — a wedged domain would block
+    shutdown forever. *)
+val join : 'job t -> unit

@@ -126,6 +126,21 @@ let fingerprint t =
   fold_int t.len;
   !h
 
+(* Pessimistic per-reference footprint, in bytes, of admitting a job:
+     9  the trace itself (8-byte address word + 1 kind byte),
+    24  Stats.compute_stripped scratch (stripped-id array, hash-set slot
+        for the unique-address probe, growth slack),
+    17  streaming-kernel recency state (per-unique list cell amortised
+        across references, window scratch).
+   50 per reference plus a 1 KiB fixed floor is an over- rather than
+   under-estimate on every workload in the registry, which is the right
+   direction for admission control: rejecting a job that would have fit
+   costs a retry elsewhere; admitting one that does not fit OOMs the
+   daemon. *)
+let estimate_bytes ~refs =
+  if refs < 0 then invalid_arg "Trace.estimate_bytes: negative reference count";
+  1024 + (refs * 50)
+
 let pp_kind fmt k = Format.fprintf fmt "%c" (kind_to_char k)
 
 let equal_kind a b =

@@ -73,5 +73,15 @@ val append : t -> t -> unit
     their cached histograms by design. *)
 val fingerprint : t -> int64
 
+(** [estimate_bytes ~refs] is a pessimistic upper bound on the bytes a
+    job over a [refs]-reference trace costs the daemon (trace storage +
+    stripping scratch + streaming recency state). Computed from the
+    *declared* reference count of a submission frame, before any
+    allocation, so [dse serve] admission control ([--memory-budget],
+    [--max-job-refs]) can reject oversized jobs while they are still
+    just a varint on the wire. Raises [Invalid_argument] on a negative
+    count. *)
+val estimate_bytes : refs:int -> int
+
 val pp_kind : Format.formatter -> kind -> unit
 val equal_kind : kind -> kind -> bool

@@ -16,6 +16,7 @@ let () =
          Test_explorer.suites;
          Test_server.suites;
          Test_selfheal.suites;
+         Test_supervision.suites;
          Test_extensions.suites;
          Test_cost.suites;
          Test_hierarchy.suites;

@@ -1,0 +1,7 @@
+(* Separate entry point for the fork-based supervisor tests: OCaml
+   forbids [Unix.fork] in a process that has ever spawned a domain, and
+   the main [runner] exercises worker-pool domains long before the
+   supervision suites run. This executable forks first, so the
+   restriction never bites. *)
+
+let () = Alcotest.run "cache_dse_supervisor" Test_supervision.supervisor_suites

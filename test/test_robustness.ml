@@ -53,10 +53,17 @@ let test_crc32_vector () =
   check_int "crc32(123456789)" 0xCBF43926 (Crc32.digest_string "123456789")
 
 let test_fault_parse () =
-  check_bool "shard:2" true (Fault.parse "shard:2" = Some { Fault.shard = 2; times = 1 });
-  check_bool "shard:0:3" true (Fault.parse "shard:0:3" = Some { Fault.shard = 0; times = 3 });
+  check_bool "shard:2" true
+    (Fault.parse "shard:2" = Some { Fault.kind = Fault.Fail; shard = 2; times = 1 });
+  check_bool "shard:0:3" true
+    (Fault.parse "shard:0:3" = Some { Fault.kind = Fault.Fail; shard = 0; times = 3 });
+  check_bool "hang:1" true
+    (Fault.parse "hang:1" = Some { Fault.kind = Fault.Hang; shard = 1; times = 1 });
+  check_bool "hang:0:2" true
+    (Fault.parse "hang:0:2" = Some { Fault.kind = Fault.Hang; shard = 0; times = 2 });
   check_bool "garbage" true (Fault.parse "shard" = None);
   check_bool "negative" true (Fault.parse "shard:-1" = None);
+  check_bool "hang negative" true (Fault.parse "hang:-1" = None);
   check_bool "zero times" true (Fault.parse "shard:1:0" = None)
 
 (* -- binary v2 framing -- *)
@@ -274,7 +281,7 @@ let streaming_with_fault ~times =
   let stripped = recovery_stripped () in
   let max_level = Strip.address_bits stripped in
   let expected = Streaming.histograms stripped ~max_level in
-  with_fault (Some { Fault.shard = 2; times }) (fun logs ->
+  with_fault (Some { Fault.kind = Fault.Fail; shard = 2; times }) (fun logs ->
       let got = Streaming.histograms ~domains:4 ~shard_threshold:64 stripped ~max_level in
       (got = expected, List.length !logs))
 
@@ -291,7 +298,7 @@ let test_shard_sequential_fallback () =
 let test_shard_failure_exhausted () =
   let stripped = recovery_stripped () in
   let max_level = Strip.address_bits stripped in
-  with_fault (Some { Fault.shard = 2; times = 3 }) (fun _logs ->
+  with_fault (Some { Fault.kind = Fault.Fail; shard = 2; times = 3 }) (fun _logs ->
       match Streaming.histograms ~domains:4 ~shard_threshold:64 stripped ~max_level with
       | _ -> Alcotest.fail "expected Shard_failure"
       | exception Dse_error.Error (Dse_error.Shard_failure { shard; attempts; _ } as e) ->
@@ -305,7 +312,7 @@ let test_parallel_optimizer_recovers () =
   let addresses = stripped.Strip.uniques in
   let mrct = Mrct.build stripped in
   let expected = Dfs_optimizer.histograms ~addresses mrct ~max_level in
-  with_fault (Some { Fault.shard = 1; times = 2 }) (fun logs ->
+  with_fault (Some { Fault.kind = Fault.Fail; shard = 1; times = 2 }) (fun logs ->
       let got = Parallel_optimizer.histograms ~domains:3 ~addresses mrct ~max_level in
       check_bool "identifier-sharded histograms identical" true (got = expected);
       check_int "degradations logged" 2 (List.length !logs))
@@ -318,7 +325,7 @@ let test_explore_invariant_under_fault () =
   let baseline =
     Optimizer.optimal_pairs (Analytical.explore_prepared ~method_:Analytical.Dfs prepared ~k:5)
   in
-  with_fault (Some { Fault.shard = 1; times = 1 }) (fun _logs ->
+  with_fault (Some { Fault.kind = Fault.Fail; shard = 1; times = 1 }) (fun _logs ->
       let faulted =
         Optimizer.optimal_pairs
           (Analytical.explore_prepared ~method_:Analytical.Dfs ~domains:3 prepared ~k:5)
@@ -332,7 +339,7 @@ let prop_streaming_shards_with_faults =
       let stripped = Strip.strip_addresses addrs in
       let max_level = Strip.address_bits stripped in
       let expected = Streaming.histograms stripped ~max_level in
-      with_fault (Some { Fault.shard = faulty_shard; times = 1 }) (fun _logs ->
+      with_fault (Some { Fault.kind = Fault.Fail; shard = faulty_shard; times = 1 }) (fun _logs ->
           Streaming.histograms ~domains ~shard_threshold:1 stripped ~max_level = expected))
 
 let suites =

@@ -110,8 +110,11 @@ let test_response_roundtrip () =
       Dse_error.Constraint_violation { context = "c"; message = "m" };
       Dse_error.Shard_failure { shard = 1; attempts = 3; message = "m" };
       Dse_error.Io_error { file = "f"; message = "m" };
-      Dse_error.Queue_full { pending = 4; max_pending = 4 };
+      Dse_error.Queue_full { pending = 4; max_pending = 4; retry_after = 0.75 };
       Dse_error.Deadline_exceeded { elapsed = 2.25; limit = 1.5 };
+      Dse_error.Worker_stalled { elapsed = 3.5; job = "loop-139264" };
+      Dse_error.Resource_exhausted
+        { resource = "trace references"; needed = 200_000; budget = 4096 };
     ]
   in
   List.iter
@@ -249,12 +252,13 @@ let temp_socket_path () =
   path
 
 let with_server ?(workers = 2) ?(max_pending = 16) ?(cache_entries = Result_cache.default_capacity)
-    ?wal_path ?on_job_start f =
+    ?wal_path ?on_job_start ?(hang_timeout = 30.) ?max_job_refs ?memory_budget f =
   let path = temp_socket_path () in
   let server =
     match
       Server.create ?on_job_start ~log:(fun _ -> ())
-        { Server.socket_path = path; workers; max_pending; cache_entries; wal_path }
+        { Server.socket_path = path; workers; max_pending; cache_entries; wal_path;
+          hang_timeout; max_job_refs; memory_budget }
     with
     | Ok s -> s
     | Error e -> Alcotest.failf "server create: %s" (Dse_error.to_string e)
@@ -346,7 +350,7 @@ let test_queue_overflow () =
       wait_pending 250;
       (* C must be rejected immediately — not buffered, not hung *)
       (match Client.submit ~socket ~name:"c" trace_c with
-      | Error (Dse_error.Queue_full { pending; max_pending }) ->
+      | Error (Dse_error.Queue_full { pending; max_pending; _ }) ->
         check_int "pending" 1 pending;
         check_int "max_pending" 1 max_pending
       | Error e -> Alcotest.failf "wrong error: %s" (Dse_error.to_string e)
@@ -406,7 +410,8 @@ let test_sigterm_drains () =
         ok_or_fail
           (Server.create ~on_job_start:hook ~log:(fun _ -> ())
              { Server.socket_path = path; workers = 1; max_pending = 4;
-               cache_entries = Result_cache.default_capacity; wal_path = None })
+               cache_entries = Result_cache.default_capacity; wal_path = None;
+               hang_timeout = 30.; max_job_refs = None; memory_budget = None })
       in
       Server.install_signal_handlers server;
       let runner = Domain.spawn (fun () -> Server.run server) in
@@ -431,7 +436,7 @@ let test_job_shard_recovery () =
   with_server ~workers:1 (fun socket _server ->
       let name, trace = List.hd (Lazy.force small_traces) in
       let clean = ok_or_fail (Client.submit ~socket ~method_:Analytical.Dfs ~name trace) in
-      Fault.set (Some { Fault.shard = 1; times = 1 });
+      Fault.set (Some { Fault.kind = Fault.Fail; shard = 1; times = 1 });
       Fun.protect
         ~finally:(fun () -> Fault.set None)
         (fun () ->
