@@ -7,6 +7,21 @@
 
 let section title = Format.printf "@.==== %s ====@.@." title
 
+(* Per-section GC watermarks: [Gc.stat ()] sampled at section
+   boundaries, keyed by bench section, so a heap regression is
+   attributable to a kernel or the serving layer instead of showing up
+   only in one end-of-run figure. [top_heap_words] is monotone across
+   the process lifetime — which is also why A12 runs first and measures
+   its arena phase before any boxed strip or MRCT exists. *)
+let gc_sections : (string * Gc.stat) list ref = ref []
+
+let mb_of_words w = float_of_int (w * 8) /. 1048576.0
+
+let record_gc key =
+  let stat = Gc.stat () in
+  gc_sections := !gc_sections @ [ (key, stat) ];
+  stat
+
 (* Traces are produced once and shared by every experiment. *)
 let workloads : (string * Trace.t * Trace.t) list =
   List.map
@@ -204,7 +219,7 @@ let ablation_dfs () =
   Format.printf "results identical: %b@."
     (Optimizer.optimal_pairs bcat_result = Optimizer.optimal_pairs dfs_result);
   Format.printf "BCAT walk: %.4f s    fused DFS: %.4f s@." bcat_time dfs_time;
-  let zero_one = Zero_one.build prepared.Analytical.stripped in
+  let zero_one = Zero_one.build (Analytical.stripped prepared) in
   let bcat = Bcat.build zero_one in
   Format.printf "materialised tree: %d nodes; the DFS variant allocates none@."
     (Bcat.node_count bcat)
@@ -311,9 +326,9 @@ let parallel_section () =
   section "A7: extension — multicore postlude (the paper's 'distributed sets' remark)";
   let trace = List.assoc "compress" data_traces in
   let prepared = Analytical.prepare trace in
-  let addresses = prepared.Analytical.stripped.Strip.uniques in
+  let addresses = (Analytical.stripped prepared).Strip.uniques in
   let mrct = Analytical.mrct prepared in
-  let max_level = prepared.Analytical.max_level in
+  let max_level = Analytical.max_level prepared in
   Format.printf "host reports %d recommended domain(s); speedups need > 1 core@."
     (Domain.recommended_domain_count ());
   let sequential, t1 =
@@ -333,8 +348,9 @@ let parallel_section () =
 (* -- A11: streaming fused kernel vs materialized MRCT -- *)
 
 let streaming_section () =
-  section "A11: streaming fused kernel vs materialized MRCT (identical histograms)";
-  Format.printf "%-10s %14s %14s %14s@." "benchmark" "materialized" "streaming" "streaming x4";
+  section "A11: arena and streaming fused kernels vs materialized MRCT (identical histograms)";
+  Format.printf "%-10s %14s %14s %14s %14s@." "benchmark" "materialized" "streaming"
+    "streaming x4" "arena";
   List.iter
     (fun (name, trace) ->
       let stripped = Strip.strip trace in
@@ -350,13 +366,18 @@ let streaming_section () =
       let sharded, ts4 =
         Timing.time_wall (fun () -> Streaming.histograms ~domains:4 stripped ~max_level)
       in
-      if not (materialized = streamed && streamed = sharded) then
+      let astrip = Arena_kernel.of_trace trace in
+      let arena, ta =
+        Timing.time_wall (fun () -> Arena_kernel.histograms astrip ~max_level)
+      in
+      if not (materialized = streamed && streamed = sharded && streamed = arena) then
         failwith (Printf.sprintf "A11: %s histograms diverge" name);
-      Format.printf "%-10s %12.4f s %12.4f s %12.4f s@." name tm ts ts4)
+      Format.printf "%-10s %12.4f s %12.4f s %12.4f s %12.4f s@." name tm ts ts4 ta)
     data_traces;
   Format.printf "@.(PowerStone windows are below Streaming.min_shard_refs = %d, so the@."
     Streaming.min_shard_refs;
-  Format.printf " x4 column exercises the sequential fallback; see A12 for real shards)@."
+  Format.printf " x4 column exercises the sequential fallback; see A12 for real shards)@.";
+  ignore (record_gc "a11")
 
 (* -- A12: large synthetic trace, where O(N * N') materialization hurts -- *)
 
@@ -368,19 +389,41 @@ type large_result = {
   streaming_s : float;
   streaming4_s : float;
   streaming_minor_words : float;
+  arena_s : float;
+  arena4_s : float;
+  arena_minor_words : float;
+  arena_peak_mb : float;
+  boxed_peak_mb : float;
 }
 
 let large_trace_section () =
-  section "A12: streaming kernel on a 10M-reference synthetic trace";
+  section "A12: 10M-reference synthetic trace — off-heap arena vs boxed streaming/materialized";
   let n = 10_000_000 in
   (* a loop nest over 48 lines: every warm occurrence carries a 47-wide
      conflict set, so the materialized table is ~470M words while the
-     streamed state is just the recency list *)
+     fused kernels keep just the recency list *)
   let trace = Synthetic.loop ~base:0 ~body:48 ~iterations:((n + 47) / 48) in
+  (* Arena phase FIRST: [top_heap_words] is monotone over the process
+     lifetime, so the off-heap kernel's watermark must be sampled
+     before any boxed strip or MRCT has ever existed. At this point the
+     heap holds the trace itself and little else. *)
+  let astrip, arena_build_s = Timing.time_wall (fun () -> Arena_kernel.of_trace trace) in
+  let max_level = Arena_kernel.address_bits astrip in
+  let n = Arena_kernel.num_refs astrip in
+  Format.printf "N = %d, N' = %d, %d levels@." n (Arena_kernel.num_unique astrip)
+    (max_level + 1);
+  let minor_before = Gc.minor_words () in
+  let arena, arena_s =
+    Timing.time_wall (fun () -> Arena_kernel.histograms astrip ~max_level)
+  in
+  let arena_minor_words = Gc.minor_words () -. minor_before in
+  let arena4, arena4_s =
+    Timing.time_wall (fun () -> Arena_kernel.histograms ~domains:4 astrip ~max_level)
+  in
+  let arena_peak_mb = mb_of_words (record_gc "a12_arena").Gc.top_heap_words in
+  (* boxed phase: the classic strip, the boxed streaming kernel, and the
+     materialized MRCT cross-check *)
   let stripped = Strip.strip trace in
-  let max_level = Strip.address_bits stripped in
-  let n = Strip.num_refs stripped in
-  Format.printf "N = %d, N' = %d, %d levels@." n (Strip.num_unique stripped) (max_level + 1);
   let minor_before = Gc.minor_words () in
   let streamed, streaming_s =
     Timing.time_wall (fun () -> Streaming.histograms stripped ~max_level)
@@ -395,26 +438,51 @@ let large_trace_section () =
         ( Dfs_optimizer.histograms ~addresses:stripped.Strip.uniques mrct ~max_level,
           Mrct.volume mrct + Mrct.total_sets mrct ))
   in
+  let boxed_peak_mb = mb_of_words (record_gc "a12_boxed").Gc.top_heap_words in
   Format.printf "materialized MRCT + DFS: %8.3f s  (table: %d words)@." materialized_s
     mrct_words;
   Format.printf "streaming, 1 domain:     %8.3f s  (%.0f minor words allocated)@." streaming_s
     streaming_minor_words;
   Format.printf "streaming, 4 domains:    %8.3f s@." streaming4_s;
+  Format.printf "arena, 1 domain:         %8.3f s  (%.0f minor words; strip built in %.3f s)@."
+    arena_s arena_minor_words arena_build_s;
+  Format.printf "arena, 4 domains:        %8.3f s@." arena4_s;
+  Format.printf "peak heap: arena phase %.1f MB, boxed phase %.1f MB (%.1fx)@." arena_peak_mb
+    boxed_peak_mb
+    (boxed_peak_mb /. arena_peak_mb);
   if not (materialized = streamed && streamed = sharded) then
     failwith "A12: histograms diverge";
-  (* the kernel's occurrence loop is allocation-free: storing even one
-     word per warm occurrence would show up as >= 10M minor words *)
+  if not (arena = streamed && arena4 = streamed) then
+    failwith "A12: arena histograms diverge from streaming";
+  (* both fused kernels' occurrence loops are allocation-free: storing
+     even one word per warm occurrence would show up as >= 10M minor
+     words *)
   if streaming_minor_words >= 1e6 then
     failwith
       (Printf.sprintf "A12: streaming kernel allocated %.0f minor words (expected < 1e6)"
          streaming_minor_words);
+  if arena_minor_words >= 1e6 then
+    failwith
+      (Printf.sprintf "A12: arena kernel allocated %.0f minor words (expected < 1e6)"
+         arena_minor_words);
   if streaming4_s >= materialized_s then
     failwith
       (Printf.sprintf "A12: streaming x4 (%.3f s) did not beat materialized (%.3f s)"
          streaming4_s materialized_s);
-  Format.printf "speedup vs materialized: %.2fx (x1), %.2fx (x4)@."
+  (* the tentpole guarantees: the off-heap kernel is no slower than the
+     boxed one (locality should make it faster; 5%% noise allowance) and
+     its GC-visible watermark is >= 10x below the boxed phase's *)
+  if arena_s > streaming_s *. 1.05 then
+    failwith
+      (Printf.sprintf "A12: arena (%.3f s) slower than streaming (%.3f s)" arena_s
+         streaming_s);
+  if arena_peak_mb *. 10. > boxed_peak_mb then
+    failwith
+      (Printf.sprintf "A12: arena peak %.1f MB not 10x below boxed peak %.1f MB"
+         arena_peak_mb boxed_peak_mb);
+  Format.printf "speedup vs materialized: %.2fx (streaming), %.2fx (arena)@."
     (materialized_s /. streaming_s)
-    (materialized_s /. streaming4_s);
+    (materialized_s /. arena_s);
   {
     large_n = n;
     large_n' = Strip.num_unique stripped;
@@ -423,6 +491,11 @@ let large_trace_section () =
     streaming_s;
     streaming4_s;
     streaming_minor_words;
+    arena_s;
+    arena4_s;
+    arena_minor_words;
+    arena_peak_mb;
+    boxed_peak_mb;
   }
 
 (* -- A13: serving layer — cold vs cached latency, concurrent clients -- *)
@@ -770,7 +843,6 @@ let emit_json ~fast ~samples ~large ~server ~selfheal ~supervision =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      let stat = Gc.stat () in
       Printf.fprintf oc "{\n  \"schema\": 1,\n  \"mode\": %S,\n" (if fast then "fast" else "full");
       Printf.fprintf oc "  \"workloads\": [\n";
       List.iteri
@@ -781,9 +853,10 @@ let emit_json ~fast ~samples ~large ~server ~selfheal ~supervision =
         samples;
       Printf.fprintf oc "  ],\n";
       Printf.fprintf oc
-        "  \"large_trace\": {\"n\": %d, \"n_unique\": %d, \"mrct_words\": %d, \"materialized_wall_seconds\": %.6f, \"streaming_wall_seconds\": %.6f, \"streaming_domains4_wall_seconds\": %.6f, \"streaming_minor_words\": %.0f},\n"
+        "  \"large_trace\": {\"n\": %d, \"n_unique\": %d, \"mrct_words\": %d, \"materialized_wall_seconds\": %.6f, \"streaming_wall_seconds\": %.6f, \"streaming_domains4_wall_seconds\": %.6f, \"streaming_minor_words\": %.0f, \"arena_wall_seconds\": %.6f, \"arena_domains4_wall_seconds\": %.6f, \"arena_minor_words\": %.0f, \"arena_peak_heap_mb\": %.1f, \"streaming_peak_heap_mb\": %.1f, \"histograms_identical\": true},\n"
         large.large_n large.large_n' large.mrct_words large.materialized_s large.streaming_s
-        large.streaming4_s large.streaming_minor_words;
+        large.streaming4_s large.streaming_minor_words large.arena_s large.arena4_s
+        large.arena_minor_words large.arena_peak_mb large.boxed_peak_mb;
       Printf.fprintf oc
         "  \"server\": {\"cold_submit_seconds\": %.6f, \"cached_submit_seconds\": %.6f, \"cache_speedup\": %.1f, \"clients\": %d, \"requests\": %d, \"throughput_rps\": %.1f, \"p50_latency_seconds\": %.6f, \"p99_latency_seconds\": %.6f},\n"
         server.cold_s server.warm_s (server.cold_s /. server.warm_s) server.clients
@@ -798,9 +871,20 @@ let emit_json ~fast ~samples ~large ~server ~selfheal ~supervision =
         supervision.hang_timeout_s supervision.stall_detect_s supervision.recovery_submit_s
         supervision.burst_jobs supervision.burst_accepted supervision.burst_shed
         supervision.burst_rejected_full supervision.burst_s supervision.accepted_rps;
-      Printf.fprintf oc "  \"gc\": {\"top_heap_words\": %d, \"peak_heap_mb\": %.1f}\n"
-        stat.Gc.top_heap_words
-        (float_of_int (stat.Gc.top_heap_words * 8) /. 1048576.0);
+      (* per-section GC watermarks: each key is the cumulative
+         top_heap at the end of that section (monotone, so the first
+         key is the purest reading) *)
+      Printf.fprintf oc "  \"gc\": {\n";
+      let n_gc = List.length !gc_sections in
+      List.iteri
+        (fun idx (key, (stat : Gc.stat)) ->
+          Printf.fprintf oc
+            "    %S: {\"top_heap_words\": %d, \"peak_heap_mb\": %.1f}%s\n" key
+            stat.Gc.top_heap_words
+            (mb_of_words stat.Gc.top_heap_words)
+            (if idx = n_gc - 1 then "" else ","))
+        !gc_sections;
+      Printf.fprintf oc "  }\n";
       Printf.fprintf oc "}\n");
   Format.printf "@.(machine-readable results written to BENCH_dse.json)@."
 
@@ -882,7 +966,9 @@ let bechamel_suite () =
   let postlude_tests =
     (* head-to-head on the heaviest PowerStone data trace: same histograms,
        three kernels *)
-    let stripped = Strip.strip (List.assoc "compress" data_traces) in
+    let trace = List.assoc "compress" data_traces in
+    let stripped = Strip.strip trace in
+    let astrip = Arena_kernel.of_trace trace in
     let max_level = Strip.address_bits stripped in
     [
       Test.make ~name:"postlude:materialized"
@@ -893,6 +979,8 @@ let bechamel_suite () =
         (Staged.stage (fun () -> ignore (Streaming.histograms stripped ~max_level)));
       Test.make ~name:"postlude:streaming-x4"
         (Staged.stage (fun () -> ignore (Streaming.histograms ~domains:4 stripped ~max_level)));
+      Test.make ~name:"postlude:arena"
+        (Staged.stage (fun () -> ignore (Arena_kernel.histograms astrip ~max_level)));
     ]
   in
   let tests =
@@ -931,6 +1019,10 @@ let () =
   let fast = Array.exists (fun a -> a = "--fast") Sys.argv in
   Format.printf "Analytical Design Space Exploration of Caches — reproduction harness@.";
   running_example ();
+  (* A12 runs first: its arena phase's GC watermark is only meaningful
+     while no boxed strip/MRCT has ever been live (top_heap_words is
+     monotone over the process lifetime) *)
+  let large = large_trace_section () in
   let _ = stats_table "E2: Table 5 (data trace statistics)" data_traces in
   let _ = stats_table "E3: Table 6 (instruction trace statistics)" instruction_traces in
   instance_tables "E4: Tables 7-18 (optimal data cache instances, K = 5/10/15/20%)" data_traces;
@@ -962,10 +1054,12 @@ let () =
   reduction_section ();
   parallel_section ();
   streaming_section ();
-  let large = large_trace_section () in
   let server = server_section () in
+  ignore (record_gc "server");
   let selfheal = selfheal_section () in
+  ignore (record_gc "selfheal");
   let supervision = supervision_section () in
+  ignore (record_gc "supervision");
   policy_section ();
   compiled_workloads_section ();
   l2_section ();

@@ -1,0 +1,110 @@
+(* Off-heap flat storage for the hot analysis state.
+
+   Bigarray data lives outside the OCaml major heap: the GC neither
+   scans nor copies it, [Gc.stat ()]'s [top_heap_words] does not count
+   it, and multiple domains can read one array through the same handle
+   without per-domain copies (only the small proxy record is on-heap).
+   That combination is exactly what the sharded kernel wants — a strip
+   built once and shared read-only by every shard, with none of the
+   boxed [int array] footprint that used to dominate peak heap.
+
+   Two element widths cover every table the kernel keeps:
+     - [i32]: per-reference tables (stripped ids, recency next/prev).
+       4 bytes per entry; ids and list indices are bounded by N' < 2^31,
+       checked at creation time by the callers that narrow.
+     - [word]: tables indexed by or holding full addresses / counters
+       (uniques, tallies). Native 63-bit ints, 8 bytes per entry,
+       unboxed on access.
+
+   The accessors convert at the boundary ([Int32.of_int]/[to_int]);
+   classic ocamlopt unboxes these locally, so reads and writes in the
+   kernel loops allocate nothing (asserted by the bench's minor-word
+   counters and the zero-copy test). *)
+
+type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type word = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let i32_create n : i32 =
+  let a = Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (max n 1) in
+  Bigarray.Array1.fill a 0l;
+  a
+
+let word_create n : word =
+  let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (max n 1) in
+  Bigarray.Array1.fill a 0;
+  a
+
+let i32_length (a : i32) = Bigarray.Array1.dim a
+
+let word_length (a : word) = Bigarray.Array1.dim a
+
+(* Small bodies on purpose: classic ocamlopt (no flambda) still inlines
+   them cross-module, which keeps the int32 boxing local and erased. *)
+let i32_get (a : i32) i = Int32.to_int (Bigarray.Array1.unsafe_get a i)
+
+let i32_set (a : i32) i v = Bigarray.Array1.unsafe_set a i (Int32.of_int v)
+
+let i32_fill (a : i32) v = Bigarray.Array1.fill a (Int32.of_int v)
+
+let word_get (a : word) i = Bigarray.Array1.unsafe_get a i
+
+let word_set (a : word) i (v : int) = Bigarray.Array1.unsafe_set a i v
+
+let word_fill (a : word) v = Bigarray.Array1.fill a v
+
+(* [word_grow a len cap'] is a fresh zeroed arena of [cap'] entries with
+   the first [len] copied over — the doubling step of growable tables.
+   The copy is bigarray-to-bigarray: no boxed intermediate. *)
+let word_grow (a : word) ~len ~capacity =
+  let bigger = word_create capacity in
+  Bigarray.Array1.blit (Bigarray.Array1.sub a 0 len) (Bigarray.Array1.sub bigger 0 len);
+  bigger
+
+(* -- packed bitset ----------------------------------------------------
+
+   63 usable bits per word arena entry (OCaml's native int). Packing at
+   63 rather than 64 keeps every mask operation in immediate-int range —
+   no Int64 boxing anywhere — at the cost of a division by a constant
+   the compiler strengths-reduces to a multiply. *)
+
+module Bits = struct
+  type t = { data : word; bits : int }
+
+  let bits_per_word = 63
+
+  let create bits =
+    if bits < 0 then invalid_arg "Arena.Bits.create: negative size";
+    { data = word_create ((bits + bits_per_word - 1) / bits_per_word); bits }
+
+  let length t = t.bits
+
+  let get t i = (word_get t.data (i / bits_per_word) lsr (i mod bits_per_word)) land 1 = 1
+
+  let set t i =
+    let w = i / bits_per_word in
+    word_set t.data w (word_get t.data w lor (1 lsl (i mod bits_per_word)))
+
+  let unset t i =
+    let w = i / bits_per_word in
+    word_set t.data w (word_get t.data w land lnot (1 lsl (i mod bits_per_word)))
+
+  let clear t = word_fill t.data 0
+
+  (* SWAR popcount of one 63-bit word: pairwise sums, nibble sums, then
+     a multiply gathers the byte sums into the top byte. All constants
+     fit OCaml's 63-bit int; the final shift keeps only the gathered
+     total (<= 63, so no overflow into the truncated sign position). *)
+  let popcount_word x =
+    let x = x - ((x lsr 1) land 0x5555555555555555) in
+    let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+    let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+    (x * 0x0101010101010101) lsr 56
+
+  let popcount t =
+    let total = ref 0 in
+    for w = 0 to word_length t.data - 1 do
+      total := !total + popcount_word (word_get t.data w)
+    done;
+    !total
+end

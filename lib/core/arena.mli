@@ -1,0 +1,74 @@
+(** Off-heap flat arenas for the hot analysis state.
+
+    [Bigarray]-backed storage the GC never scans, copies, or counts:
+    the data plane of the [--method arena] kernel. A handle is a small
+    on-heap proxy; the payload lives outside the OCaml heap, so domains
+    can share one read-only arena by reference and [top_heap_words]
+    stays proportional to the boxed control state, not the trace.
+
+    Accessors are bounds-unchecked by design — every index in the
+    kernel is derived from a length the arena was created with. The
+    int32/int conversions at the boundary are erased by the compiler's
+    local unboxing (no per-access allocation; property-checked by the
+    bench minor-word assertions). *)
+
+(** 4-byte entries: per-reference tables (ids, recency links). Callers
+    must keep values within int32 range; the strip builder enforces
+    N' < 2^31. *)
+type i32 = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** 8-byte native-int entries: address and counter tables. *)
+type word = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** Creation zero-fills. A requested size of 0 still allocates one
+    entry, so sentinel-at-[n] layouts stay addressable on empty input. *)
+val i32_create : int -> i32
+
+val word_create : int -> word
+
+val i32_length : i32 -> int
+
+val word_length : word -> int
+
+val i32_get : i32 -> int -> int
+
+val i32_set : i32 -> int -> int -> unit
+
+val i32_fill : i32 -> int -> unit
+
+val word_get : word -> int -> int
+
+val word_set : word -> int -> int -> unit
+
+val word_fill : word -> int -> unit
+
+(** [word_grow a ~len ~capacity] is a zeroed arena of [capacity] entries
+    with [a]'s first [len] entries blitted in — the doubling step of the
+    growable tally and unique tables, bigarray-to-bigarray. *)
+val word_grow : word -> len:int -> capacity:int -> word
+
+(** Packed bitsets at 63 bits per word-arena entry: membership flags for
+    up to [length] elements in [length/63] words, off-heap. 63 (not 64)
+    keeps every mask an immediate OCaml int — no [Int64] boxing. *)
+module Bits : sig
+  type t
+
+  val bits_per_word : int
+
+  (** [create n] is a cleared set over [0, n). Raises [Invalid_argument]
+      on a negative [n]. *)
+  val create : int -> t
+
+  val length : t -> int
+
+  val get : t -> int -> bool
+
+  val set : t -> int -> unit
+
+  val unset : t -> int -> unit
+
+  val clear : t -> unit
+
+  (** [popcount t] is the number of set bits (SWAR, no branches). *)
+  val popcount : t -> int
+end

@@ -82,18 +82,26 @@ let window_histograms ?(cancel = Cancel.none) (s : Strip.t) ~max_level ~lo ~hi =
     if j land Cancel.poll_mask = 0 then Cancel.check cancel;
     let u = s.Strip.ids.(j) in
     if in_list.(u) then begin
-      Array.fill depth_count 0 (max_level + 1) 0;
       let au = addresses.(u) in
       let v = ref next.(n') in
+      let max_touched = ref (-1) in
       while !v <> u do
         let shared = ctz_clamped (au lxor addresses.(!v)) 0 max_level in
         depth_count.(shared) <- depth_count.(shared) + 1;
+        if shared > !max_touched then max_touched := shared;
         v := next.(!v)
       done;
+      (* suffix-sum over the levels the walk actually touched, clearing
+         each slot as it is read: [running >= 1] for every
+         [l <= max_touched], so the recorded (level, count) pairs are
+         those of a full 0..max_level sweep without the per-occurrence
+         [Array.fill] over all levels. [depth_count] stays all-zero
+         between occurrences. *)
       let running = ref 0 in
-      for l = max_level downto 0 do
+      for l = !max_touched downto 0 do
         running := !running + depth_count.(l);
-        if !running > 0 then record t l !running
+        depth_count.(l) <- 0;
+        record t l !running
       done;
       unlink u
     end

@@ -65,7 +65,7 @@ let with_retry ~retries ~retry_base ~retry_cap f =
 let unexpected socket =
   Error (Dse_error.Io_error { file = socket; message = "unexpected response kind from the server" })
 
-let submit ~socket ?(percents = [ 5; 10; 15; 20 ]) ?k ?max_level ?(method_ = Analytical.Streaming)
+let submit ~socket ?(percents = [ 5; 10; 15; 20 ]) ?k ?max_level ?(method_ = Analytical.Arena)
     ?(domains = 1) ?deadline ?(retries = 0) ?(retry_base = 0.1) ?(retry_cap = 30.) ~name trace =
   if retries < 0 then invalid_arg "Client.submit: retries must be >= 0";
   if not (retry_base > 0.) then invalid_arg "Client.submit: retry_base must be > 0";

@@ -100,6 +100,7 @@ let method_tag = function
   | Analytical.Streaming -> 0
   | Analytical.Dfs -> 1
   | Analytical.Bcat_walk -> 2
+  | Analytical.Arena -> 3
 
 let kind_tag = function Trace.Fetch -> 0 | Trace.Read -> 1 | Trace.Write -> 2
 
@@ -349,6 +350,7 @@ let method_field c =
   | 0 -> Analytical.Streaming
   | 1 -> Analytical.Dfs
   | 2 -> Analytical.Bcat_walk
+  | 3 -> Analytical.Arena
   | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown method tag %d" b))
 
 let query_field c =
@@ -357,22 +359,32 @@ let query_field c =
   | 1 -> Budget (varint c)
   | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown query tag %d" b))
 
-let trace_field ?max_job_refs ?memory_budget c =
+let trace_field ?max_job_refs ?memory_budget ~method_ c =
   let declared = varint c in
   (* Admission control runs on the declared count alone — before the
      corruption check, before [Trace.create] — so an oversized job is
      rejected while it is still a varint and a string of frame bytes,
-     never having cost the daemon its decoded footprint. *)
+     never having cost the daemon its decoded footprint. The byte
+     estimate is priced per kernel family: the submission's method was
+     decoded before the trace, so an arena job is judged by the arena
+     model (18 B/ref) and only the boxed methods pay the classic 50. *)
+  let model =
+    match method_ with
+    | Analytical.Arena -> `Arena
+    | Analytical.Streaming | Analytical.Dfs | Analytical.Bcat_walk -> `Boxed
+  in
   (match max_job_refs with
   | Some budget when declared > budget ->
     Dse_error.fail
       (Dse_error.Resource_exhausted { resource = "trace references"; needed = declared; budget })
   | _ -> ());
   (match memory_budget with
-  | Some budget when Trace.estimate_bytes ~refs:declared > budget ->
+  | Some budget when Trace.estimate_bytes ~model ~refs:declared > budget ->
     Dse_error.fail
       (Dse_error.Resource_exhausted
-         { resource = "estimated bytes"; needed = Trace.estimate_bytes ~refs:declared; budget })
+         { resource = "estimated bytes";
+           needed = Trace.estimate_bytes ~model ~refs:declared;
+           budget })
   | _ -> ());
   (* each record is at least one byte, so a declared count beyond the
      remaining payload is corruption — caught before allocation *)
@@ -400,7 +412,7 @@ let decode_submit ?max_job_refs ?memory_budget c =
   let max_level = if bool_field c then Some (varint c) else None in
   let deadline = if bool_field c then Some (f64_field c) else None in
   let query = query_field c in
-  let trace = trace_field ?max_job_refs ?memory_budget c in
+  let trace = trace_field ?max_job_refs ?memory_budget ~method_ c in
   Submit { name; trace; query; method_; domains; max_level; deadline }
 
 let decode_error c =

@@ -91,7 +91,8 @@ type response =
   | Health_reply of health
 
 (** [method_tag m] is the stable wire tag of a kernel method (0 =
-    streaming, 1 = dfs, 2 = bcat) — also the cache-key component. *)
+    streaming, 1 = dfs, 2 = bcat, 3 = arena) — also the cache-key
+    component. *)
 val method_tag : Analytical.method_ -> int
 
 (** Largest accepted frame payload, in bytes. *)
@@ -112,7 +113,10 @@ val write_request : ?peer:string -> Unix.file_descr -> request -> (unit, Dse_err
     or whose {!Trace.estimate_bytes} exceeds [memory_budget], is
     rejected as [Error (Resource_exhausted _)] before the trace is
     decoded or allocated — the declared count is judged while it is
-    still a varint. *)
+    still a varint. The estimate is priced per kernel family (the
+    method field precedes the trace on the wire): arena jobs use the
+    [`Arena] model, the boxed methods the [`Boxed] one — so under one
+    [--memory-budget] the daemon admits arena jobs nearly 3x larger. *)
 val read_request :
   ?peer:string ->
   ?max_job_refs:int ->

@@ -291,7 +291,9 @@ let run_job t ~heartbeat job =
          counts; an already-expired job fails here without a kernel run *)
       Cancel.check cancel;
       let prepared = Analytical.prepare ?max_level:job.max_level job.trace in
-      let stats = Stats.compute_stripped prepared.Analytical.stripped in
+      (* O(1) off the arena build: the default arena method never boxes
+         the strip, so a job's heap cost is the decoded trace alone *)
+      let stats = Analytical.stats prepared in
       let histograms =
         Analytical.histograms ~cancel ~method_:job.method_ ~domains:job.domains prepared
       in

@@ -7,7 +7,8 @@
     beyond [max_pending] are rejected with a typed
     {!Dse_error.Queue_full} — explicit backpressure, never unbounded
     buffering. Each job runs the standard [Analytical] pipeline
-    ([Streaming]/[Shard_exec] for [domains > 1]), so the per-shard
+    (the arena kernel by default, [Shard_exec] windows for
+    [domains > 1]), so the per-shard
     recovery ladder of the error taxonomy applies per job; any job
     failure is a structured reply to that one client and the daemon
     keeps serving.
@@ -40,9 +41,10 @@
       exactly one party — finishing worker or watchdog — ever replies.
     - {b Admission control.} With [max_job_refs] / [memory_budget] set,
       a submission's {e declared} trace size is judged while it is
-      still a varint on the wire ({!Trace.estimate_bytes}); oversized
-      jobs get a typed {!Dse_error.Resource_exhausted} before any trace
-      allocation.
+      still a varint on the wire ({!Trace.estimate_bytes}, priced per
+      kernel family — arena jobs are charged their smaller off-heap
+      footprint); oversized jobs get a typed
+      {!Dse_error.Resource_exhausted} before any trace allocation.
     - {b Overload shedding.} Past the queue watermark (3/4 of
       [max_pending]), heavy submissions (a streaming shard or more of
       references) are refused with a load-proportional [retry_after]

@@ -61,6 +61,13 @@ let iteri f t =
 
 let iter f t = iteri (fun _ a -> f a) t
 
+(* The arena strip builder's input loop: no access record, no kind
+   decode, no bounds check per element — [len] bounds the unsafe read. *)
+let iter_addrs f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.addrs i)
+  done
+
 let fold f init t =
   let acc = ref init in
   iter (fun a -> acc := f !acc a) t;
@@ -126,20 +133,35 @@ let fingerprint t =
   fold_int t.len;
   !h
 
-(* Pessimistic per-reference footprint, in bytes, of admitting a job:
+(* Pessimistic per-reference footprint, in bytes, of admitting a job.
+   Two cost models, one per kernel family:
+
+   [`Boxed] — the classic strip + boxed streaming kernel:
      9  the trace itself (8-byte address word + 1 kind byte),
-    24  Stats.compute_stripped scratch (stripped-id array, hash-set slot
-        for the unique-address probe, growth slack),
+    24  stripping scratch (boxed line-address copy, stripped-id array,
+        hash-table slot for the unique-address probe, growth slack),
     17  streaming-kernel recency state (per-unique list cell amortised
         across references, window scratch).
-   50 per reference plus a 1 KiB fixed floor is an over- rather than
-   under-estimate on every workload in the registry, which is the right
+   50 per reference plus a 1 KiB fixed floor.
+
+   [`Arena] — the off-heap arena kernel (the default method): the strip
+   is built straight from the trace into bigarrays, so the boxed copies
+   above never exist and the GC never has to head-room them:
+     9  the decoded trace (same as above — it is boxed either way),
+     4  the int32 id arena,
+     5  uniques + hash table + recency arenas and bitset, amortised
+        per reference (they are per-unique; on every registry workload
+        the true share is far smaller, this allows N' close to N).
+   18 per reference plus the same floor.
+
+   Both are over- rather than under-estimates, which is the right
    direction for admission control: rejecting a job that would have fit
    costs a retry elsewhere; admitting one that does not fit OOMs the
    daemon. *)
-let estimate_bytes ~refs =
+let estimate_bytes ~model ~refs =
   if refs < 0 then invalid_arg "Trace.estimate_bytes: negative reference count";
-  1024 + (refs * 50)
+  let per_ref = match model with `Boxed -> 50 | `Arena -> 18 in
+  1024 + (refs * per_ref)
 
 let pp_kind fmt k = Format.fprintf fmt "%c" (kind_to_char k)
 

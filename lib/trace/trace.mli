@@ -33,6 +33,11 @@ val kind : t -> int -> kind
 
 val iter : (access -> unit) -> t -> unit
 val iteri : (int -> access -> unit) -> t -> unit
+
+(** [iter_addrs f t] applies [f] to every address in order without
+    materialising access records or an address array — the zero-copy
+    input loop of the arena strip builder. *)
+val iter_addrs : (int -> unit) -> t -> unit
 val fold : ('a -> access -> 'a) -> 'a -> t -> 'a
 
 (** [of_list accesses] builds a trace from a list. *)
@@ -73,15 +78,21 @@ val append : t -> t -> unit
     their cached histograms by design. *)
 val fingerprint : t -> int64
 
-(** [estimate_bytes ~refs] is a pessimistic upper bound on the bytes a
-    job over a [refs]-reference trace costs the daemon (trace storage +
-    stripping scratch + streaming recency state). Computed from the
-    *declared* reference count of a submission frame, before any
-    allocation, so [dse serve] admission control ([--memory-budget],
-    [--max-job-refs]) can reject oversized jobs while they are still
-    just a varint on the wire. Raises [Invalid_argument] on a negative
-    count. *)
-val estimate_bytes : refs:int -> int
+(** [estimate_bytes ~model ~refs] is a pessimistic upper bound on the
+    bytes a job over a [refs]-reference trace costs the daemon.
+    Computed from the *declared* reference count of a submission frame,
+    before any allocation, so [dse serve] admission control
+    ([--memory-budget], [--max-job-refs]) can reject oversized jobs
+    while they are still just a varint on the wire.
+
+    [model] selects the kernel family the job will run on: [`Boxed]
+    (50 B/ref — decoded trace + boxed stripping scratch + streaming
+    recency state; the streaming/dfs/bcat methods) or [`Arena]
+    (18 B/ref — decoded trace + int32 id arena + amortised off-heap
+    unique/recency state; the default arena method, whose strip never
+    exists as boxed arrays). Both include a 1 KiB fixed floor. Raises
+    [Invalid_argument] on a negative count. *)
+val estimate_bytes : model:[ `Boxed | `Arena ] -> refs:int -> int
 
 val pp_kind : Format.formatter -> kind -> unit
 val equal_kind : kind -> kind -> bool

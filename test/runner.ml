@@ -10,6 +10,7 @@ let () =
          Test_cachesim.suites;
          Test_core.suites;
          Test_streaming.suites;
+         Test_arena.suites;
          Test_vm.suites;
          Test_asm_parser.suites;
          Test_powerstone.suites;

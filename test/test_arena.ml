@@ -1,0 +1,284 @@
+(* Tests for the off-heap arena kernel: the Arena primitives (bitsets,
+   growable word arenas), the arena strip builder against the boxed
+   prelude, and bit-identity of the arena histograms with the streaming
+   kernel, the materialized DFS path, and the reference simulator —
+   including the zero-copy guarantee that sharding never clones the
+   strip onto the GC heap. *)
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let prop ?(count = 120) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let gen_addresses = QCheck2.Gen.(array_size (int_range 1 250) (int_bound 127))
+
+let gen_line_words = QCheck2.Gen.map (fun k -> 1 lsl k) (QCheck2.Gen.int_bound 3)
+
+let materialized_histograms stripped ~max_level =
+  Dfs_optimizer.histograms ~addresses:stripped.Strip.uniques (Mrct.build stripped) ~max_level
+
+(* -- Arena primitives -- *)
+
+let test_i32_roundtrip () =
+  let a = Arena.i32_create 5 in
+  check_int "zero-filled" 0 (Arena.i32_get a 3);
+  Arena.i32_set a 3 123456;
+  check_int "set/get" 123456 (Arena.i32_get a 3);
+  Arena.i32_set a 0 (-7);
+  check_int "negative survives the int32 round-trip" (-7) (Arena.i32_get a 0);
+  Arena.i32_fill a 9;
+  check_int "fill" 9 (Arena.i32_get a 4);
+  check_int "length" 5 (Arena.i32_length a);
+  (* a requested size of 0 still allocates a sentinel slot *)
+  check_int "empty arena still addressable" 1 (Arena.i32_length (Arena.i32_create 0))
+
+let test_word_grow () =
+  let a = Arena.word_create 4 in
+  for i = 0 to 3 do
+    Arena.word_set a i (10 * i)
+  done;
+  let b = Arena.word_grow a ~len:4 ~capacity:10 in
+  check_int "grown length" 10 (Arena.word_length b);
+  for i = 0 to 3 do
+    check_int "prefix preserved" (10 * i) (Arena.word_get b i)
+  done;
+  for i = 4 to 9 do
+    check_int "tail zeroed" 0 (Arena.word_get b i)
+  done
+
+let test_bits_basic () =
+  (* indices straddling the 63-bit word boundary *)
+  let b = Arena.Bits.create 200 in
+  check_int "length" 200 (Arena.Bits.length b);
+  List.iter
+    (fun i ->
+      check_bool "initially clear" false (Arena.Bits.get b i);
+      Arena.Bits.set b i;
+      check_bool "set" true (Arena.Bits.get b i))
+    [ 0; 62; 63; 64; 125; 126; 127; 199 ];
+  check_int "popcount" 8 (Arena.Bits.popcount b);
+  Arena.Bits.unset b 63;
+  check_bool "unset" false (Arena.Bits.get b 63);
+  check_bool "neighbours untouched" true (Arena.Bits.get b 62 && Arena.Bits.get b 64);
+  check_int "popcount after unset" 7 (Arena.Bits.popcount b);
+  Arena.Bits.clear b;
+  check_int "popcount after clear" 0 (Arena.Bits.popcount b);
+  check_bool "cleared" false (Arena.Bits.get b 126);
+  Alcotest.check_raises "negative size" (Invalid_argument "Arena.Bits.create: negative size")
+    (fun () -> ignore (Arena.Bits.create (-1)))
+
+let prop_bits_popcount =
+  prop "Bits.popcount = cardinality of the set index set"
+    QCheck2.Gen.(list_size (int_bound 80) (int_bound 499))
+    (fun indices ->
+      let b = Arena.Bits.create 500 in
+      List.iter (Arena.Bits.set b) indices;
+      let distinct = List.sort_uniq compare indices in
+      Arena.Bits.popcount b = List.length distinct
+      && List.for_all (Arena.Bits.get b) distinct)
+
+(* -- the arena strip vs the boxed prelude -- *)
+
+let test_strip_paper_example () =
+  let trace = Paper_example.trace () in
+  let astrip = Arena_kernel.of_trace trace in
+  let stripped = Strip.strip trace in
+  check_int "num_refs" (Strip.num_refs stripped) (Arena_kernel.num_refs astrip);
+  check_int "num_unique" (Strip.num_unique stripped) (Arena_kernel.num_unique astrip);
+  check_int "address_bits" (Strip.address_bits stripped) (Arena_kernel.address_bits astrip);
+  check_bool "to_strip = Strip.strip" true (Arena_kernel.to_strip astrip = stripped);
+  check_bool "stats = compute_stripped" true
+    (Arena_kernel.stats astrip = Stats.compute_stripped stripped)
+
+let prop_strip_equals_boxed =
+  prop "arena strip = boxed strip (ids, uniques, stats; random line_words)"
+    QCheck2.Gen.(pair gen_addresses gen_line_words)
+    (fun (addrs, line_words) ->
+      let prepared = Analytical.prepare ~line_words (Trace.of_addresses addrs) in
+      let astrip = Analytical.arena_strip prepared in
+      let stripped = Analytical.stripped prepared in
+      Arena_kernel.to_strip astrip = stripped
+      && Arena_kernel.stats astrip = Stats.compute_stripped stripped)
+
+let test_strip_empty_trace () =
+  let astrip = Arena_kernel.of_trace (Trace.create ()) in
+  check_int "no refs" 0 (Arena_kernel.num_refs astrip);
+  check_int "no uniques" 0 (Arena_kernel.num_unique astrip);
+  check_int "address_bits floor" 1 (Arena_kernel.address_bits astrip);
+  let hists = Arena_kernel.histograms astrip ~max_level:3 in
+  check_int "levels" 4 (Array.length hists);
+  Array.iter (fun h -> Alcotest.(check (array int)) "empty level" [| 0 |] h) hists;
+  check_bool "sharded empty identical" true
+    (Arena_kernel.histograms ~domains:8 astrip ~max_level:3 = hists)
+
+let test_strip_rejects_bad_line_words () =
+  let trace = Trace.of_addresses [| 1; 2; 3 |] in
+  List.iter
+    (fun line_words ->
+      Alcotest.check_raises "bad line_words"
+        (Invalid_argument "Arena_kernel.of_trace: line_words must be a positive power of two")
+        (fun () -> ignore (Arena_kernel.of_trace ~line_words trace)))
+    [ 0; -4; 3; 12 ]
+
+(* -- histogram identity: arena = streaming = materialized = simulator -- *)
+
+let prop_arena_equals_streaming =
+  prop "arena histograms = streaming = materialized DFS (random line_words)"
+    QCheck2.Gen.(pair gen_addresses gen_line_words)
+    (fun (addrs, line_words) ->
+      let prepared = Analytical.prepare ~line_words (Trace.of_addresses addrs) in
+      let stripped = Analytical.stripped prepared in
+      let max_level = Analytical.max_level prepared in
+      let arena = Arena_kernel.histograms (Analytical.arena_strip prepared) ~max_level in
+      arena = Streaming.histograms stripped ~max_level
+      && arena = materialized_histograms stripped ~max_level)
+
+let prop_arena_shard_invariant =
+  prop ~count:60 "arena histograms independent of domain count (forced sharding)"
+    QCheck2.Gen.(pair gen_addresses (int_range 2 6))
+    (fun (addrs, domains) ->
+      let astrip = Arena_kernel.of_trace (Trace.of_addresses addrs) in
+      let max_level = Arena_kernel.address_bits astrip in
+      let seq = Arena_kernel.histograms astrip ~max_level in
+      (* shard_threshold 8 defeats the min_shard_refs fallback, so even
+         these small traces genuinely split into windows *)
+      Arena_kernel.histograms ~domains ~shard_threshold:8 astrip ~max_level = seq
+      && Arena_kernel.histograms ~domains astrip ~max_level = seq)
+
+let prop_arena_exact_vs_simulator =
+  prop ~count:150 "arena misses = streaming misses = simulated LRU non-cold misses"
+    QCheck2.Gen.(
+      quad gen_addresses (map (fun k -> 1 lsl k) (int_bound 5)) (int_range 1 6) gen_line_words)
+    (fun (addrs, depth, associativity, line_words) ->
+      QCheck2.assume (Array.length addrs > 0);
+      let trace = Trace.of_addresses addrs in
+      let prepared = Analytical.prepare ~line_words trace in
+      let depth = min depth (1 lsl Analytical.max_level prepared) in
+      let arena = Analytical.misses ~method_:Analytical.Arena prepared ~depth ~associativity in
+      let streaming =
+        Analytical.misses ~method_:Analytical.Streaming prepared ~depth ~associativity
+      in
+      let sim =
+        (Cache.simulate (Config.make ~line_words ~depth ~associativity ()) trace).Cache.misses
+      in
+      arena = streaming && arena = sim)
+
+let prop_explore_arena_agrees =
+  prop ~count:80 "explore: arena = streaming = dfs" gen_addresses (fun addrs ->
+      QCheck2.assume (Array.length addrs > 0);
+      let prepared = Analytical.prepare (Trace.of_addresses addrs) in
+      let pairs method_ =
+        Optimizer.optimal_pairs (Analytical.explore_prepared ~method_ prepared ~k:7)
+      in
+      pairs Analytical.Arena = pairs Analytical.Streaming
+      && pairs Analytical.Arena = pairs Analytical.Dfs)
+
+(* the fallback threshold hides the sharded path from small random
+   traces, so also drive a trace long enough to shard for real *)
+let test_arena_sharded_long_trace () =
+  let body = 37 and iterations = (4 * Streaming.min_shard_refs / 37) + 1 in
+  let trace = Synthetic.loop ~base:0 ~body ~iterations in
+  let astrip = Arena_kernel.of_trace trace in
+  let max_level = Arena_kernel.address_bits astrip in
+  check_bool "trace long enough to shard" true
+    (Arena_kernel.num_refs astrip >= 4 * Streaming.min_shard_refs);
+  let seq = Arena_kernel.histograms astrip ~max_level in
+  check_bool "4 shards identical" true
+    (Arena_kernel.histograms ~domains:4 astrip ~max_level = seq);
+  check_bool "matches streaming" true
+    (Streaming.histograms (Strip.strip trace) ~max_level = seq)
+
+(* every PowerStone workload, both trace kinds: the kernel that ships as
+   the default must agree with the boxed one on all 24 real traces *)
+let powerstone_identity_case (b : Workload.t) =
+  Alcotest.test_case (b.Workload.name ^ " arena = streaming (inst + data)") `Slow (fun () ->
+      let itrace, dtrace = Workload.traces b in
+      List.iter
+        (fun trace ->
+          let stripped = Strip.strip trace in
+          let max_level = Strip.address_bits stripped in
+          check_bool "identical histograms" true
+            (Arena_kernel.histograms (Arena_kernel.of_trace trace) ~max_level
+            = Streaming.histograms stripped ~max_level))
+        [ itrace; dtrace ])
+
+(* -- the zero-copy guarantee -- *)
+
+let test_sharded_run_copies_no_strip () =
+  (* 4 x min_shard_refs references: a boxed clone of the ids array alone
+     would put >= 262144 words on the major heap (large arrays are
+     allocated there directly). The sharded arena run hands every domain
+     the same bigarray handles, so cumulative major-heap allocation
+     stays orders of magnitude below one strip copy. *)
+  let refs = 4 * Streaming.min_shard_refs in
+  let trace = Synthetic.loop ~base:0 ~body:48 ~iterations:((refs + 47) / 48) in
+  let astrip = Arena_kernel.of_trace trace in
+  let max_level = Arena_kernel.address_bits astrip in
+  Gc.full_major ();
+  let before = (Gc.stat ()).Gc.major_words in
+  let hists = Arena_kernel.histograms ~domains:4 astrip ~max_level in
+  let major_delta = (Gc.stat ()).Gc.major_words -. before in
+  check_bool
+    (Printf.sprintf "major-heap allocation (%.0f words) below half a strip copy" major_delta)
+    true
+    (major_delta < float_of_int (Arena_kernel.num_refs astrip) /. 2.);
+  check_bool "and the result is right" true
+    (Streaming.histograms (Strip.strip trace) ~max_level = hists)
+
+(* -- errors and degenerate input -- *)
+
+let test_arena_rejects_negative_level () =
+  let astrip = Arena_kernel.of_trace (Trace.of_addresses [| 1 |]) in
+  Alcotest.check_raises "negative max_level"
+    (Invalid_argument "Arena_kernel: negative max_level") (fun () ->
+      ignore (Arena_kernel.histograms astrip ~max_level:(-1)));
+  Alcotest.check_raises "negative misses level"
+    (Invalid_argument "Arena_kernel.misses: negative level") (fun () ->
+      ignore (Arena_kernel.misses astrip ~level:(-1) ~associativity:1))
+
+let test_arena_repeated_single_address () =
+  let astrip = Arena_kernel.of_trace (Trace.of_addresses (Array.make 1000 5)) in
+  let hists = Arena_kernel.histograms astrip ~max_level:2 in
+  Array.iter (fun h -> Alcotest.(check (array int)) "no conflicts" [| 0 |] h) hists;
+  check_int "no non-cold misses" 0 (Arena_kernel.misses astrip ~level:0 ~associativity:1)
+
+let test_arena_cancellation () =
+  let astrip =
+    Arena_kernel.of_trace (Synthetic.loop ~base:0 ~body:48 ~iterations:4096)
+  in
+  let cancel = Cancel.cancellable () in
+  Cancel.cancel cancel;
+  match Arena_kernel.histograms ~cancel astrip ~max_level:(Arena_kernel.address_bits astrip) with
+  | exception Dse_error.Error (Dse_error.Deadline_exceeded _) -> ()
+  | _ -> Alcotest.fail "already-cancelled token did not stop the kernel"
+
+let suites =
+  [
+    ( "arena",
+      [
+        Alcotest.test_case "i32 arena round-trip" `Quick test_i32_roundtrip;
+        Alcotest.test_case "word_grow preserves prefix, zeroes tail" `Quick test_word_grow;
+        Alcotest.test_case "bitset across word boundaries" `Quick test_bits_basic;
+        prop_bits_popcount;
+      ] );
+    ( "arena-kernel",
+      [
+        Alcotest.test_case "paper example strip" `Quick test_strip_paper_example;
+        prop_strip_equals_boxed;
+        Alcotest.test_case "empty trace" `Quick test_strip_empty_trace;
+        Alcotest.test_case "bad line_words rejected" `Quick test_strip_rejects_bad_line_words;
+        prop_arena_equals_streaming;
+        prop_arena_shard_invariant;
+        prop_arena_exact_vs_simulator;
+        prop_explore_arena_agrees;
+        Alcotest.test_case "sharded long trace" `Quick test_arena_sharded_long_trace;
+        Alcotest.test_case "sharded run copies no strip" `Quick
+          test_sharded_run_copies_no_strip;
+        Alcotest.test_case "negative levels rejected" `Quick test_arena_rejects_negative_level;
+        Alcotest.test_case "repeated single address" `Quick test_arena_repeated_single_address;
+        Alcotest.test_case "pre-cancelled token" `Quick test_arena_cancellation;
+      ] );
+    ("arena-powerstone", List.map powerstone_identity_case Registry.all);
+  ]

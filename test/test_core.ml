@@ -346,7 +346,7 @@ let prop_model_monotone_in_depth =
       let result = Analytical.explore_prepared prepared ~k:0 in
       let misses level =
         let hist =
-          Dfs_optimizer.histograms ~addresses:prepared.Analytical.stripped.Strip.uniques
+          Dfs_optimizer.histograms ~addresses:(Analytical.stripped prepared).Strip.uniques
             (Analytical.mrct prepared) ~max_level:level
         in
         Optimizer.misses_of_histogram hist.(level) ~associativity:2

@@ -21,7 +21,7 @@ let prop_line_size_exact =
     (fun (addrs, depth, associativity, line_words) ->
       let trace = Trace.of_addresses addrs in
       let prepared = Analytical.prepare ~line_words trace in
-      let depth = min depth (1 lsl prepared.Analytical.max_level) in
+      let depth = min depth (1 lsl Analytical.max_level prepared) in
       let analytical = Analytical.misses prepared ~depth ~associativity in
       let sim =
         Cache.simulate (Config.make ~line_words ~depth ~associativity ()) trace
@@ -37,7 +37,7 @@ let test_line_size_folds_uniques () =
   (* words 0..7 fold to 2 lines of 4 words *)
   let trace = Trace.of_addresses [| 0; 1; 2; 3; 4; 5; 6; 7 |] in
   let prepared = Analytical.prepare ~line_words:4 trace in
-  check_int "unique lines" 2 (Strip.num_unique prepared.Analytical.stripped)
+  check_int "unique lines" 2 (Strip.num_unique (Analytical.stripped prepared))
 
 (* -- trace reduction -- *)
 
@@ -119,14 +119,14 @@ let prop_parallel_equals_sequential =
 let test_parallel_real_trace () =
   let trace = Workload.data_trace (Registry.find "engine") in
   let prepared = Analytical.prepare trace in
-  let addresses = prepared.Analytical.stripped.Strip.uniques in
+  let addresses = (Analytical.stripped prepared).Strip.uniques in
   let mrct = Analytical.mrct prepared in
   let seq =
-    Dfs_optimizer.explore ~addresses mrct ~max_level:prepared.Analytical.max_level ~k:50
+    Dfs_optimizer.explore ~addresses mrct ~max_level:(Analytical.max_level prepared) ~k:50
   in
   let par =
     Parallel_optimizer.explore ~domains:4 ~addresses mrct
-      ~max_level:prepared.Analytical.max_level ~k:50
+      ~max_level:(Analytical.max_level prepared) ~k:50
   in
   check_bool "same pairs" true (Optimizer.optimal_pairs seq = Optimizer.optimal_pairs par)
 

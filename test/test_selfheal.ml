@@ -83,7 +83,7 @@ let test_kernels_honour_cancellation () =
      after three futile retries *)
   raises_deadline "no shard retries" (fun () ->
       Streaming.histograms ~cancel:(expired_token ()) ~domains:4 ~shard_threshold:1
-        prepared.Analytical.stripped ~max_level:prepared.Analytical.max_level)
+        (Analytical.stripped prepared) ~max_level:(Analytical.max_level prepared))
 
 (* -- LRU result cache -- *)
 

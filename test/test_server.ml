@@ -213,7 +213,7 @@ let test_of_histograms_identity () =
     (fun (name, trace) ->
       let direct = Analytical_dse.run ~name trace in
       let prepared = Analytical.prepare trace in
-      let stats = Stats.compute_stripped prepared.Analytical.stripped in
+      let stats = Analytical.stats prepared in
       let histograms = Analytical.histograms prepared in
       let replayed = Analytical_dse.of_histograms ~name ~stats histograms in
       check_bool (name ^ " table") true (direct = replayed);

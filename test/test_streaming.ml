@@ -34,8 +34,8 @@ let prop_streaming_equals_materialized =
     QCheck2.Gen.(pair gen_addresses gen_line_words)
     (fun (addrs, line_words) ->
       let prepared = Analytical.prepare ~line_words (Trace.of_addresses addrs) in
-      let stripped = prepared.Analytical.stripped in
-      let max_level = prepared.Analytical.max_level in
+      let stripped = Analytical.stripped prepared in
+      let max_level = Analytical.max_level prepared in
       Streaming.histograms stripped ~max_level = materialized_histograms stripped ~max_level)
 
 let prop_streaming_shard_invariant =
@@ -71,7 +71,7 @@ let prop_streaming_exact_vs_simulator =
       QCheck2.assume (Array.length addrs > 0);
       let trace = Trace.of_addresses addrs in
       let prepared = Analytical.prepare ~line_words trace in
-      let depth = min depth (1 lsl prepared.Analytical.max_level) in
+      let depth = min depth (1 lsl Analytical.max_level prepared) in
       let streaming =
         Analytical.misses ~method_:Analytical.Streaming prepared ~depth ~associativity
       in
@@ -119,18 +119,23 @@ let test_streaming_rejects_negative_level () =
   Alcotest.check_raises "negative max_level" (Invalid_argument "Streaming: negative max_level")
     (fun () -> ignore (Streaming.histograms (Strip.strip_addresses [| 1 |]) ~max_level:(-1)))
 
-(* -- the analytical facade defaults to the streaming method -- *)
+(* -- the analytical facade defaults to the arena method -- *)
 
-let test_facade_default_is_streaming () =
+let test_facade_default_is_arena () =
   let trace = Paper_example.trace () in
   let prepared = Analytical.prepare trace in
-  check_bool "mrct not forced by streaming explore" true
-    (ignore (Analytical.explore_prepared prepared ~k:0);
-     not (Lazy.is_val prepared.Analytical.mrct_lazy));
+  ignore (Analytical.explore_prepared prepared ~k:0);
+  check_bool "boxed strip not forced by default explore" true
+    (not (Analytical.stripped_forced prepared));
+  check_bool "mrct not forced by default explore" true (not (Analytical.mrct_forced prepared));
   check_int "misses facade" 5 (Analytical.misses prepared ~depth:1 ~associativity:1);
+  (* the boxed streaming method forces the strip view but not the MRCT *)
+  ignore (Analytical.misses ~method_:Analytical.Streaming prepared ~depth:1 ~associativity:1);
+  check_bool "streaming forces only the boxed strip" true
+    (Analytical.stripped_forced prepared && not (Analytical.mrct_forced prepared));
   check_bool "mrct forced on demand" true
     (ignore (Analytical.mrct prepared);
-     Lazy.is_val prepared.Analytical.mrct_lazy)
+     Analytical.mrct_forced prepared)
 
 let prop_domains_facade_invariant =
   prop ~count:50 "explore_prepared invariant in domains" gen_addresses (fun addrs ->
@@ -158,7 +163,7 @@ let suites =
         Alcotest.test_case "single reference" `Quick test_streaming_single_ref;
         Alcotest.test_case "repeated single address" `Quick test_streaming_repeated_single_address;
         Alcotest.test_case "negative level rejected" `Quick test_streaming_rejects_negative_level;
-        Alcotest.test_case "facade defaults" `Quick test_facade_default_is_streaming;
+        Alcotest.test_case "facade defaults" `Quick test_facade_default_is_arena;
         prop_domains_facade_invariant;
       ] );
   ]

@@ -40,15 +40,24 @@ let test_heartbeat () =
 (* -- admission estimate -- *)
 
 let test_estimate_bytes () =
-  check_bool "zero refs still costs the envelope" true (Trace.estimate_bytes ~refs:0 > 0);
+  check_bool "zero refs still costs the envelope" true
+    (Trace.estimate_bytes ~model:`Boxed ~refs:0 > 0);
   check_bool "monotone" true
-    (Trace.estimate_bytes ~refs:1000 < Trace.estimate_bytes ~refs:2000);
-  (* pessimistic: a real trace's storage never exceeds the estimate *)
+    (Trace.estimate_bytes ~model:`Boxed ~refs:1000
+    < Trace.estimate_bytes ~model:`Boxed ~refs:2000);
+  (* the arena model is strictly cheaper per reference — the whole point
+     of pricing admission per kernel family *)
+  check_bool "arena cheaper than boxed" true
+    (Trace.estimate_bytes ~model:`Arena ~refs:1_000_000
+    < Trace.estimate_bytes ~model:`Boxed ~refs:1_000_000 / 2);
+  (* pessimistic: a real trace's storage never exceeds either estimate *)
   let trace = Trace.of_addresses (Array.init 4096 (fun i -> i)) in
   let words = Obj.reachable_words (Obj.repr trace) in
-  check_bool "upper bound on real storage" true
-    (words * 8 < Trace.estimate_bytes ~refs:(Trace.length trace));
-  (match Trace.estimate_bytes ~refs:(-1) with
+  check_bool "boxed upper bound on real storage" true
+    (words * 8 < Trace.estimate_bytes ~model:`Boxed ~refs:(Trace.length trace));
+  check_bool "arena upper bound on real storage" true
+    (words * 8 < Trace.estimate_bytes ~model:`Arena ~refs:(Trace.length trace));
+  (match Trace.estimate_bytes ~model:`Arena ~refs:(-1) with
   | _ -> Alcotest.fail "negative refs accepted"
   | exception Invalid_argument _ -> ())
 
@@ -364,6 +373,40 @@ let test_admission_rejects_oversized_trace () =
       let h = ok_or_fail (Client.health ~socket) in
       check_int "rejection counted" 1 h.Protocol.admission_rejected)
 
+(* Admission prices per kernel family: under one memory budget the same
+   trace is rejected as a streaming job (50 B/ref boxed model) and
+   accepted as an arena job (18 B/ref off-heap model) — the operational
+   payoff of the arena kernel. *)
+let test_admission_prices_per_kernel () =
+  let refs = 100_000 in
+  let trace = Trace.of_addresses (Array.init refs (fun i -> i land 255)) in
+  (* 3 MiB sits between the arena estimate (~1.8 MB) and the boxed
+     estimate (~5.0 MB) for 100k references *)
+  let budget = 3 * 1024 * 1024 in
+  check_bool "budget splits the two cost models" true
+    (Trace.estimate_bytes ~model:`Arena ~refs <= budget
+    && Trace.estimate_bytes ~model:`Boxed ~refs > budget);
+  with_server ~memory_budget:budget (fun socket _server ->
+      (match Client.submit ~socket ~method_:Analytical.Streaming ~name:"j" trace with
+      | Error (Dse_error.Resource_exhausted { resource; needed; budget = echoed }) ->
+        check_bool "estimate named" true (resource = "estimated bytes");
+        check_int "boxed pricing" (Trace.estimate_bytes ~model:`Boxed ~refs) needed;
+        check_int "budget echoed" budget echoed
+      | Error e -> Alcotest.failf "wrong error class: %s" (Dse_error.to_string e)
+      | Ok _ -> Alcotest.fail "streaming job admitted over budget");
+      let cold = ok_or_fail (Client.submit ~socket ~method_:Analytical.Arena ~name:"j" trace) in
+      check_bool "arena job admitted and computed" true (not cold.Protocol.cache_hit);
+      check_bool "arena result is the boxed kernel's result" true
+        (cold.Protocol.outcome = Protocol.Table (Analytical_dse.run ~name:"j" trace));
+      (* cached re-query of the admitted job is bit-identical *)
+      let warm = ok_or_fail (Client.submit ~socket ~method_:Analytical.Arena ~name:"j" trace) in
+      check_bool "cache hit" true warm.Protocol.cache_hit;
+      check_bool "bit-identical outcome" true (warm.Protocol.outcome = cold.Protocol.outcome);
+      let h = ok_or_fail (Client.health ~socket) in
+      check_int "one admission rejection" 1 h.Protocol.admission_rejected;
+      check_int "one kernel run" 1 h.Protocol.jobs_completed;
+      check_int "one cache hit" 1 h.Protocol.cache_hits)
+
 (* A submission frame declaring [refs] references but carrying none of
    them: admission must judge the declared varint, not the bytes. *)
 let declared_refs_frame ~refs =
@@ -426,8 +469,10 @@ let test_admission_runs_before_allocation () =
           match ok_or_fail (Protocol.read_response fd) with
           | Protocol.Server_error (Dse_error.Resource_exhausted { resource; needed; budget }) ->
             check_bool "estimate named" true (resource = "estimated bytes");
+            (* the raw frame declares method streaming, so the boxed
+               cost model prices it *)
             check_bool "needed reflects the declaration" true
-              (needed = Trace.estimate_bytes ~refs:declared);
+              (needed = Trace.estimate_bytes ~model:`Boxed ~refs:declared);
             check_int "budget echoed" (64 * 1024 * 1024) budget
           | Protocol.Server_error e -> Alcotest.failf "wrong error: %s" (Dse_error.to_string e)
           | _ -> Alcotest.fail "declared-oversized submission accepted");
@@ -544,6 +589,8 @@ let suites =
           test_admission_rejects_oversized_trace;
         Alcotest.test_case "admission precedes allocation" `Quick
           test_admission_runs_before_allocation;
+        Alcotest.test_case "admission prices per kernel" `Quick
+          test_admission_prices_per_kernel;
         Alcotest.test_case "sheds heavy jobs past watermark" `Quick
           test_shedding_heavy_jobs_past_watermark;
       ] );
