@@ -521,9 +521,9 @@ let server_section () =
   let server =
     match
       Server.create ~log:(fun _ -> ())
-        { Server.socket_path = socket; workers = 4; max_pending = 64;
-          cache_entries = Result_cache.default_capacity; wal_path = None;
-          hang_timeout = 30.; max_job_refs = None; memory_budget = None }
+        { Server.socket_path = socket; tcp = None; node_id = None; workers = 4;
+          max_pending = 64; cache_entries = Result_cache.default_capacity;
+          wal_path = None; hang_timeout = 30.; max_job_refs = None; memory_budget = None }
     with
     | Ok s -> s
     | Error e -> failwith ("A13: " ^ Dse_error.to_string e)
@@ -625,9 +625,9 @@ let selfheal_section () =
   Sys.remove wal;
   let kernel_runs = Atomic.make 0 in
   let config =
-    { Server.socket_path = socket; workers = 4; max_pending = 64;
-      cache_entries = Result_cache.default_capacity; wal_path = Some wal;
-      hang_timeout = 30.; max_job_refs = None; memory_budget = None }
+    { Server.socket_path = socket; tcp = None; node_id = None; workers = 4;
+      max_pending = 64; cache_entries = Result_cache.default_capacity;
+      wal_path = Some wal; hang_timeout = 30.; max_job_refs = None; memory_budget = None }
   in
   let start () =
     match
@@ -739,7 +739,7 @@ let supervision_section () =
   Sys.remove socket;
   let start ~workers ~max_pending ~hang_timeout =
     let config =
-      { Server.socket_path = socket; workers; max_pending;
+      { Server.socket_path = socket; tcp = None; node_id = None; workers; max_pending;
         cache_entries = Result_cache.default_capacity; wal_path = None;
         hang_timeout; max_job_refs = None; memory_budget = None }
     in
@@ -836,9 +836,174 @@ let supervision_section () =
     accepted_rps;
   }
 
+(* -- A16: multi-node routing -- *)
+
+type router_result = {
+  fleet_nodes : int;
+  distinct_traces : int;
+  mix_requests : int;
+  single_node_rps : float;
+  fleet_rps : float;
+  locality_hit_rate : float;
+  kill_requests : int;
+  kill_failures : int;
+  kill_failovers : int;
+  max_failover_latency_s : float;
+}
+
+let router_section () =
+  section "A16: routing — aggregate throughput 1 vs 3 nodes, cache locality, failover latency";
+  let start_backend () =
+    let socket = Filename.temp_file "dse_bench16b" ".sock" in
+    Sys.remove socket;
+    let config =
+      { Server.socket_path = socket; tcp = None; node_id = None; workers = 2; max_pending = 32;
+        cache_entries = Result_cache.default_capacity; wal_path = None; hang_timeout = 30.;
+        max_job_refs = None; memory_budget = None }
+    in
+    match Server.create ~log:(fun _ -> ()) config with
+    | Ok s -> (socket, s, Domain.spawn (fun () -> Server.run s))
+    | Error e -> failwith ("A16 backend: " ^ Dse_error.to_string e)
+  in
+  let stop_backend (socket, s, runner) =
+    Server.stop s;
+    Domain.join runner;
+    if Sys.file_exists socket then Sys.remove socket
+  in
+  let start_router backends =
+    let listen = Filename.temp_file "dse_bench16r" ".sock" in
+    Sys.remove listen;
+    let config = { Router.default_config with Router.listen; backends } in
+    match Router.create ~log:(fun _ -> ()) config with
+    | Ok r -> (listen, r, Domain.spawn (fun () -> Router.run r))
+    | Error e -> failwith ("A16 router: " ^ Dse_error.to_string e)
+  in
+  let stop_router (listen, r, runner) =
+    Router.stop r;
+    Domain.join runner;
+    if Sys.file_exists listen then Sys.remove listen
+  in
+  (* the client mix: a zipfian popularity law over a dozen distinct
+     traces — a few dominate, most are rare — which is the regime where
+     fingerprint locality pays: each popular trace is computed once on
+     its owning node and every repeat is that node's cache hit *)
+  let distinct = 12 and requests = 96 in
+  let traces =
+    Array.init distinct (fun i ->
+        ( Printf.sprintf "a16-%d" i,
+          Synthetic.uniform ~seed:(1001 + (2 * i)) ~span:4096 ~length:8192 ))
+  in
+  let mix =
+    let draw = Synthetic.zipf_sampler ~seed:7 ~n:distinct ~skew:1.1 in
+    List.init requests (fun _ -> traces.(draw ()))
+  in
+  let run_mix ~clients addr jobs =
+    (* split the mix over [clients] domains of sequential submitters *)
+    let chunks = Array.make clients [] in
+    List.iteri (fun i job -> chunks.(i mod clients) <- job :: chunks.(i mod clients)) jobs;
+    let failures = Atomic.make 0 in
+    let slowest = Atomic.make 0. in
+    let note_latency dt =
+      let rec bump () =
+        let seen = Atomic.get slowest in
+        if dt > seen && not (Atomic.compare_and_set slowest seen dt) then bump ()
+      in
+      bump ()
+    in
+    let _, seconds =
+      Timing.time_wall (fun () ->
+          Array.to_list chunks
+          |> List.map (fun chunk ->
+                 Domain.spawn (fun () ->
+                     List.iter
+                       (fun (name, trace) ->
+                         let result, dt =
+                           Timing.time_wall (fun () ->
+                               Client.submit ~socket:addr ~name trace)
+                         in
+                         note_latency dt;
+                         match result with
+                         | Ok _ -> ()
+                         | Error _ -> Atomic.incr failures)
+                       chunk))
+          |> List.iter Domain.join)
+    in
+    (seconds, Atomic.get failures, Atomic.get slowest)
+  in
+  (* one node behind the gateway: the routing-overhead baseline *)
+  let b = start_backend () in
+  let socket_of (socket, _, _) = socket in
+  let r = start_router [ socket_of b ] in
+  let addr_of (listen, _, _) = listen in
+  let single_s, single_failures, _ = run_mix ~clients:8 (addr_of r) mix in
+  stop_router r;
+  stop_backend b;
+  if single_failures > 0 then failwith "A16: failures against a single healthy node";
+  let single_node_rps = float_of_int requests /. single_s in
+  (* the same mix over three nodes *)
+  let backends = [ start_backend (); start_backend (); start_backend () ] in
+  let names = List.map socket_of backends in
+  let r = start_router names in
+  let fleet_s, fleet_failures, _ = run_mix ~clients:8 (addr_of r) mix in
+  if fleet_failures > 0 then failwith "A16: failures against a healthy fleet";
+  let fleet_rps = float_of_int requests /. fleet_s in
+  (* locality: every repeat of a popular trace should be a cache hit on
+     its owning node, so fleet-wide hits/(hits+misses) approaches
+     (requests - distinct) / requests *)
+  let hits, misses =
+    List.fold_left
+      (fun (h, m) socket ->
+        match Client.server_stats ~socket with
+        | Ok s -> (h + s.Protocol.cache_hits, m + s.Protocol.cache_misses)
+        | Error e -> failwith ("A16 stats: " ^ Dse_error.to_string e))
+      (0, 0) names
+  in
+  let locality_hit_rate = float_of_int hits /. float_of_int (max 1 (hits + misses)) in
+  (* losing a node mid-burst: stop one backend while the warm mix
+     replays; every client request must still be answered, and the
+     slowest answer bounds the failover + recompute detour *)
+  let kill_requests = 48 in
+  let kill_mix =
+    let draw = Synthetic.zipf_sampler ~seed:9 ~n:distinct ~skew:1.1 in
+    List.init kill_requests (fun _ -> traces.(draw ()))
+  in
+  let victim = List.hd backends in
+  let assassin =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.05;
+        stop_backend victim)
+  in
+  let kill_s, kill_failures, max_failover_latency_s = run_mix ~clients:8 (addr_of r) kill_mix in
+  Domain.join assassin;
+  let failovers = (Router.stats (match r with _, router, _ -> router)).Router.failovers in
+  stop_router r;
+  List.iter stop_backend (List.tl backends);
+  Format.printf "zipfian mix: %d requests over %d distinct traces (skew 1.1)@." requests distinct;
+  Format.printf "aggregate throughput: %.0f req/s on 1 node, %.0f req/s on 3 nodes@."
+    single_node_rps fleet_rps;
+  Format.printf "fleet cache locality: %.1f%% hit rate (ideal %.1f%%)@."
+    (100. *. locality_hit_rate)
+    (100. *. float_of_int (requests - distinct) /. float_of_int requests);
+  Format.printf
+    "node killed mid-burst: %d/%d answered, %d failover(s), slowest answer %.4f s (%.4f s burst)@."
+    (kill_requests - kill_failures) kill_requests failovers max_failover_latency_s kill_s;
+  if kill_failures > 0 then failwith "A16: client-visible failures during the node loss";
+  {
+    fleet_nodes = 3;
+    distinct_traces = distinct;
+    mix_requests = requests;
+    single_node_rps;
+    fleet_rps;
+    locality_hit_rate;
+    kill_requests;
+    kill_failures;
+    kill_failovers = failovers;
+    max_failover_latency_s;
+  }
+
 (* -- machine-readable output for tracking the perf trajectory -- *)
 
-let emit_json ~fast ~samples ~large ~server ~selfheal ~supervision =
+let emit_json ~fast ~samples ~large ~server ~selfheal ~supervision ~router =
   let oc = open_out "BENCH_dse.json" in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -871,6 +1036,11 @@ let emit_json ~fast ~samples ~large ~server ~selfheal ~supervision =
         supervision.hang_timeout_s supervision.stall_detect_s supervision.recovery_submit_s
         supervision.burst_jobs supervision.burst_accepted supervision.burst_shed
         supervision.burst_rejected_full supervision.burst_s supervision.accepted_rps;
+      Printf.fprintf oc
+        "  \"router\": {\"fleet_nodes\": %d, \"distinct_traces\": %d, \"mix_requests\": %d, \"single_node_rps\": %.1f, \"fleet_rps\": %.1f, \"locality_hit_rate\": %.3f, \"kill_burst_requests\": %d, \"kill_client_failures\": %d, \"kill_failovers\": %d, \"max_failover_latency_seconds\": %.6f},\n"
+        router.fleet_nodes router.distinct_traces router.mix_requests router.single_node_rps
+        router.fleet_rps router.locality_hit_rate router.kill_requests router.kill_failures
+        router.kill_failovers router.max_failover_latency_s;
       (* per-section GC watermarks: each key is the cumulative
          top_heap at the end of that section (monotone, so the first
          key is the purest reading) *)
@@ -1060,6 +1230,8 @@ let () =
   ignore (record_gc "selfheal");
   let supervision = supervision_section () in
   ignore (record_gc "supervision");
+  let router = router_section () in
+  ignore (record_gc "router");
   policy_section ();
   compiled_workloads_section ();
   l2_section ();
@@ -1068,5 +1240,5 @@ let () =
     List.map (fun s -> ("data", s)) data_samples
     @ List.map (fun s -> ("inst", s)) inst_samples
   in
-  emit_json ~fast ~samples ~large ~server ~selfheal ~supervision;
+  emit_json ~fast ~samples ~large ~server ~selfheal ~supervision ~router;
   Format.printf "@.done.@."

@@ -12,7 +12,8 @@ open Cmdliner
 
 (* Exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt data, 5 internal,
    6 queue full, 7 deadline exceeded, 8 supervision (worker stalled /
-   admission rejected; see Dse_error.exit_code). Every
+   admission rejected), 9 routing (backend unavailable after failover;
+   see Dse_error.exit_code). Every
    error goes to stderr, never stdout, and
    traces are loaded before any report rendering starts, so diagnostics
    cannot interleave with report output. *)
@@ -454,8 +455,28 @@ let serve_cmd =
              exponential crash-loop backoff (giving up after repeated rapid crashes). Combined \
              with $(b,--wal), each respawn replays the result log and answers warm.")
   in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Also listen on TCP (same wire protocol as the Unix socket), so the daemon can \
+             serve other hosts — typically as a backend behind $(b,dse route). An empty host \
+             binds every interface.")
+  in
+  let node_id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "node-id" ] ~docv:"ID"
+          ~doc:
+            "Identity reported in health replies (default: the TCP address, else the socket \
+             path). Stable across restarts, which is how a router tells a respawn — same id, \
+             newer start epoch — from a different node.")
+  in
   let run socket workers max_pending cache_entries wal hang_timeout max_job_refs
-      memory_budget_mib supervise =
+      memory_budget_mib supervise tcp node_id =
     let workers =
       if workers = 0 then max 1 (Domain.recommended_domain_count () - 1) else workers
     in
@@ -476,6 +497,8 @@ let serve_cmd =
           (Server.create
              {
                Server.socket_path = socket;
+               tcp;
+               node_id;
                workers;
                max_pending;
                cache_entries;
@@ -487,9 +510,11 @@ let serve_cmd =
       in
       Server.install_signal_handlers server;
       Format.eprintf
-        "dse: serving on %s (workers=%d, max-pending=%d, cache-entries=%d, hang-timeout=%g%s); \
+        "dse: serving on %s%s (workers=%d, max-pending=%d, cache-entries=%d, hang-timeout=%g%s); \
          SIGTERM drains@."
-        socket workers max_pending cache_entries hang_timeout
+        socket
+        (match tcp with None -> "" | Some addr -> Printf.sprintf " and tcp %s" addr)
+        workers max_pending cache_entries hang_timeout
         (match wal with None -> "" | Some path -> Printf.sprintf ", wal=%s" path);
       (* the serve loop catches and logs per-connection/per-job failures
          itself; Cmd.eval_value ~catch:false therefore never sees a raw
@@ -507,7 +532,8 @@ let serve_cmd =
   in
   let term =
     Term.(const run $ socket_arg $ workers_arg $ max_pending_arg $ cache_entries_arg $ wal_arg
-          $ hang_timeout_arg $ max_job_refs_arg $ memory_budget_arg $ supervise_arg)
+          $ hang_timeout_arg $ max_job_refs_arg $ memory_budget_arg $ supervise_arg $ tcp_arg
+          $ node_id_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -571,14 +597,26 @@ let submit_cmd =
             "Hard wall-clock bound across all retry attempts; once it would be exceeded the \
              last typed error is reported instead of sleeping on.")
   in
-  let run socket path format on_error percents k max_depth csv no_trim method_ domains ping
+  let addr_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "addr" ] ~docv:"ADDR"
+          ~doc:
+            "Service address, overriding $(b,--socket): either $(i,HOST:PORT) for a TCP \
+             listener or router, or a Unix socket path.")
+  in
+  let run socket addr path format on_error percents k max_depth csv no_trim method_ domains ping
       server_stats health deadline retries retry_base retry_cap =
+    let socket = Option.value addr ~default:socket in
     if ping then begin
       or_exit (Client.ping ~socket);
       Format.printf "pong@."
     end
     else if health then begin
       let h = or_exit (Client.health ~socket) in
+      Format.printf "node_id %s@." h.Protocol.node_id;
+      Format.printf "start_epoch %.3f@." h.Protocol.start_epoch;
       Format.printf "uptime %.1f@." h.Protocol.uptime;
       Format.printf "workers %d@." (List.length h.Protocol.workers);
       List.iter
@@ -644,9 +682,9 @@ let submit_cmd =
     end
   in
   let term =
-    Term.(const run $ socket_arg $ trace_opt_arg $ format_arg $ on_error_arg $ percents_arg
-          $ absolute_k_arg $ max_depth_arg $ csv_arg $ trim_arg $ method_arg $ domains_arg
-          $ ping_arg $ server_stats_arg $ health_arg $ deadline_arg $ retries_arg
+    Term.(const run $ socket_arg $ addr_arg $ trace_opt_arg $ format_arg $ on_error_arg
+          $ percents_arg $ absolute_k_arg $ max_depth_arg $ csv_arg $ trim_arg $ method_arg
+          $ domains_arg $ ping_arg $ server_stats_arg $ health_arg $ deadline_arg $ retries_arg
           $ retry_base_arg $ retry_cap_arg)
   in
   Cmd.v
@@ -767,6 +805,128 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List the bundled PowerStone-style benchmarks.") Term.(const run $ const ())
 
+(* -- route -- *)
+
+let route_cmd =
+  let listen_arg =
+    Arg.(
+      value
+      & opt string "127.0.0.1:7700"
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:"Address to serve clients on: $(i,HOST:PORT) or a Unix socket path.")
+  in
+  let backend_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "backend" ] ~docv:"ADDR"
+          ~doc:
+            "A $(b,dse serve) backend ($(i,HOST:PORT) or Unix socket path). Repeat once per \
+             node; traces are consistent-hashed on their fingerprint across the set.")
+  in
+  let forwarders_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "forwarders" ] ~docv:"N"
+          ~doc:"Forwarder domains; the maximum number of concurrently routed requests.")
+  in
+  let max_pending_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:"Accepted connections queued beyond the forwarders before refusing (exit 6).")
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "replicas" ] ~docv:"N" ~doc:"Virtual ring points per backend.")
+  in
+  let connect_timeout_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "connect-timeout" ] ~docv:"SECONDS"
+          ~doc:"Bound on establishing a backend connection before failing over.")
+  in
+  let request_timeout_arg =
+    Arg.(
+      value & opt float 120.0
+      & info [ "request-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-attempt silence bound on a forwarded request.")
+  in
+  let hedge_after_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "hedge-after" ] ~docv:"SECONDS"
+          ~doc:
+            "Duplicate a silent submission to the next live backend after this long; the first \
+             answer wins. Default: adaptive, 3x the rolling p99 of forwarded latencies.")
+  in
+  let health_interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "health-interval" ] ~docv:"SECONDS"
+          ~doc:"Target interval between health polls of any one backend.")
+  in
+  let breaker_failures_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "breaker-failures" ] ~docv:"N"
+          ~doc:"Consecutive failures that trip a backend's circuit breaker open.")
+  in
+  let breaker_cooldown_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "breaker-cooldown" ] ~docv:"SECONDS"
+          ~doc:
+            "Base open-state cooldown before a half-open probe; doubles per consecutive trip, \
+             capped at 10 s.")
+  in
+  let run listen backends forwarders max_pending replicas connect_timeout request_timeout
+      hedge_after health_interval breaker_failures breaker_cooldown =
+    if backends = [] then usage_fail "at least one --backend is required";
+    let config =
+      {
+        Router.default_config with
+        Router.listen;
+        backends;
+        replicas;
+        forwarders;
+        max_pending;
+        connect_timeout;
+        request_timeout;
+        hedge =
+          (match hedge_after with None -> Router.Adaptive | Some s -> Router.Fixed s);
+        health_interval;
+        breaker =
+          {
+            Breaker.default_config with
+            Breaker.failure_threshold = breaker_failures;
+            cooldown_base = breaker_cooldown;
+          };
+      }
+    in
+    let router = or_exit (Router.create config) in
+    Router.install_signal_handlers router;
+    Format.eprintf
+      "dse: routing on %s across %d backend(s) (forwarders=%d, hedge=%s); SIGTERM drains@."
+      listen (List.length backends) forwarders
+      (match hedge_after with None -> "adaptive" | Some s -> Printf.sprintf "%gs" s);
+    Router.run router
+  in
+  let term =
+    Term.(const run $ listen_arg $ backend_arg $ forwarders_arg $ max_pending_arg $ replicas_arg
+          $ connect_timeout_arg $ request_timeout_arg $ hedge_after_arg $ health_interval_arg
+          $ breaker_failures_arg $ breaker_cooldown_arg)
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Run a gateway that consistent-hashes submissions across several $(b,dse serve) \
+          backends, with health-driven failover, per-backend circuit breakers, and hedged \
+          retries. Clients point $(b,dse submit --addr) at it; results are bit-identical to \
+          $(b,dse explore).")
+    term
+
 let main =
   let info =
     Cmd.info "dse" ~version:"1.0.0"
@@ -775,7 +935,7 @@ let main =
   Cmd.group info
     [
       stats_cmd; explore_cmd; simulate_cmd; compare_cmd; gen_cmd; reduce_cmd; pareto_cmd;
-      disasm_cmd; codesign_cmd; run_cmd; cc_cmd; list_cmd; serve_cmd; submit_cmd;
+      disasm_cmd; codesign_cmd; run_cmd; cc_cmd; list_cmd; serve_cmd; submit_cmd; route_cmd;
     ]
 
 let () =

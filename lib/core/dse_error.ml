@@ -8,6 +8,7 @@ type t =
   | Deadline_exceeded of { elapsed : float; limit : float }
   | Worker_stalled of { elapsed : float; job : string }
   | Resource_exhausted of { resource : string; needed : int; budget : int }
+  | Backend_unavailable of { node : string; attempts : int }
 
 exception Error of t
 
@@ -32,6 +33,9 @@ let to_string = function
   | Resource_exhausted { resource; needed; budget } ->
     Printf.sprintf "job rejected before allocation: needs %d %s but the budget is %d" needed
       resource budget
+  | Backend_unavailable { node; attempts } ->
+    Printf.sprintf "backend %s unavailable after %d failover attempt(s): no live node owns this job"
+      node attempts
 
 let exit_code = function
   | Constraint_violation _ -> 2
@@ -41,6 +45,7 @@ let exit_code = function
   | Queue_full _ -> 6
   | Deadline_exceeded _ -> 7
   | Worker_stalled _ | Resource_exhausted _ -> 8
+  | Backend_unavailable _ -> 9
 
 let on_degradation = ref (fun msg -> prerr_endline ("dse: " ^ msg))
 

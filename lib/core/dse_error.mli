@@ -45,6 +45,13 @@ type t =
           exceeds [--memory-budget] — before any trace allocation, so an
           oversized submission cannot OOM the daemon. Not retryable
           against the same server. *)
+  | Backend_unavailable of { node : string; attempts : int }
+      (** The [dse route] gateway exhausted failover: the ring node
+          owning the job's fingerprint ([node]) and every fallback
+          candidate were dead, wedged, or breaker-open across [attempts]
+          forwarding attempts. Raised only after the whole ring was
+          tried — a single backend death never surfaces this. Retryable
+          once any backend returns. *)
 
 exception Error of t
 
@@ -59,7 +66,8 @@ val to_string : t -> string
     4 = corrupt data ([Parse_error], [Corrupt_binary]),
     5 = internal ([Shard_failure]), 6 = server busy ([Queue_full]),
     7 = deadline expired ([Deadline_exceeded]), 8 = supervision
-    ([Worker_stalled], [Resource_exhausted]). *)
+    ([Worker_stalled], [Resource_exhausted]), 9 = routing
+    ([Backend_unavailable]). *)
 val exit_code : t -> int
 
 (** Hook invoked whenever the parallel engine degrades (a shard retry or

@@ -1,12 +1,9 @@
 let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let connect path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX path) with
-  | () -> Ok fd
-  | exception Unix.Unix_error (err, _, _) ->
-    close_noerr fd;
-    Error (Dse_error.Io_error { file = path; message = Unix.error_message err })
+(* [socket] is an address string: a Unix-socket path, or host:port for
+   a TCP daemon / router. A 10 s connect bound keeps a partitioned TCP
+   peer from holding the client for the kernel's SYN-retry minutes. *)
+let connect socket = Transport.connect ~timeout:10. (Transport.parse socket)
 
 let request ~socket req =
   match connect socket with
@@ -20,13 +17,20 @@ let request ~socket req =
         | Ok () -> Protocol.read_response ~peer:socket fd)
 
 (* Transient failures worth a retry: the daemon shedding load
-   (Queue_full) and transport faults (connection refused while the
-   daemon restarts, a read timeout, a reset). Structured job outcomes —
-   constraint violations, corrupt traces, deadline expiry, a stalled
-   worker, an admission rejection — would fail identically on a
-   resubmit, so they surface immediately. *)
+   (Queue_full), a gateway with its whole ring briefly dark
+   (Backend_unavailable — the typical cause is a rolling restart), and
+   transport faults, which cover the entire daemon-restart window:
+   ECONNREFUSED (socket bound, listener not yet accepting — or a stale
+   file), ENOENT (socket file not yet recreated), ECONNRESET and a
+   connection closed without a response (daemon killed mid-exchange),
+   and read timeouts. All of these map to Io_error by Protocol/Transport,
+   so a client with [--retries] rides out a supervised respawn instead
+   of failing fast. Structured job outcomes — constraint violations,
+   corrupt traces, deadline expiry, a stalled worker, an admission
+   rejection — would fail identically on a resubmit, so they surface
+   immediately. *)
 let retryable = function
-  | Dse_error.Queue_full _ | Dse_error.Io_error _ -> true
+  | Dse_error.Queue_full _ | Dse_error.Io_error _ | Dse_error.Backend_unavailable _ -> true
   | _ -> false
 
 (* Full jitter on an exponential base: delay in [0.5, 1.5) * base * 2^attempt,

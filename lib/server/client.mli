@@ -4,7 +4,11 @@
     damage, or a structured error relayed by the daemon — comes back as
     a typed {!Dse_error.t}, so [dse submit] preserves the CLI exit-code
     scheme (a corrupt trace is exit 4 whether it was detected locally or
-    by the daemon; a full queue is {!Dse_error.Queue_full}, exit 6). *)
+    by the daemon; a full queue is {!Dse_error.Queue_full}, exit 6).
+
+    [socket] everywhere is an address string in {!Transport.parse}'s
+    grammar: a Unix-socket path, or ["host:port"] for a TCP daemon or a
+    [dse route] gateway — the wire protocol is identical. *)
 
 (** [request ~socket req] performs one request/response round trip. *)
 val request : socket:string -> Protocol.request -> (Protocol.response, Dse_error.t) result
@@ -18,9 +22,12 @@ val request : socket:string -> Protocol.request -> (Protocol.response, Dse_error
     {!Dse_error.Deadline_exceeded}.
 
     [retries] (default 0: fail fast) enables jittered exponential
-    backoff for {e transient} failures only — {!Dse_error.Queue_full}
-    and transport-level {!Dse_error.Io_error} (connection refused while
-    the daemon restarts, read timeout). Attempt [i] sleeps
+    backoff for {e transient} failures only — {!Dse_error.Queue_full},
+    {!Dse_error.Backend_unavailable} (a gateway whose ring is briefly
+    all-dark, e.g. a rolling restart), and transport-level
+    {!Dse_error.Io_error}, which covers the whole daemon-restart
+    window: [ECONNREFUSED], a missing socket file, [ECONNRESET], a
+    connection closed before the response, a read timeout. Attempt [i] sleeps
     [retry_base * 2^i * U(0.5, 1.5)] seconds, raised to the server's
     [retry_after] hint when a shedding daemon provided one; [retry_cap]
     (default 30) is a hard wall-clock bound across all attempts, after

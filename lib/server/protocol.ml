@@ -23,8 +23,13 @@ let magic = "DSRV"
    v3: Queue_full carries a retry-after hint, error payloads gained the
    Worker_stalled and Resource_exhausted tags, and a Health request /
    Health_reply pair exposes the readiness plane (per-worker heartbeat
-   ages, queue watermark, shed and admission counters, WAL health). *)
-let version = 3
+   ages, queue watermark, shed and admission counters, WAL health).
+
+   v4: Health_reply carries the node's identity (stable node id + start
+   epoch) so a router can tell a respawned backend — cold cache, fresh
+   breaker slate — from a long-lived one, and error payloads gained the
+   Backend_unavailable tag for exhausted gateway failover. *)
+let version = 4
 
 (* Caps the payload a peer can make us allocate; a 10M-reference trace
    encodes to ~50 MB, so this is generous without being unbounded. *)
@@ -66,6 +71,8 @@ type worker_health = {
 }
 
 type health = {
+  node_id : string;
+  start_epoch : float;
   uptime : float;
   workers : worker_health list;
   workers_replaced : int;
@@ -212,6 +219,10 @@ let encode_error buf = function
     add_string buf resource;
     add_varint buf needed;
     add_varint buf budget
+  | Dse_error.Backend_unavailable { node; attempts } ->
+    Buffer.add_char buf '\009';
+    add_string buf node;
+    add_varint buf attempts
 
 let encode_stats buf (s : Stats.t) =
   add_varint buf s.Stats.n;
@@ -261,6 +272,8 @@ let encode_response buf = function
     add_varint buf s.workers
   | Pong -> ()
   | Health_reply h ->
+    add_string buf h.node_id;
+    add_f64 buf h.start_epoch;
     add_f64 buf h.uptime;
     add_varint buf (List.length h.workers);
     List.iter
@@ -458,6 +471,10 @@ let decode_error c =
     let needed = varint c in
     let budget = varint c in
     Dse_error.Resource_exhausted { resource; needed; budget }
+  | 9 ->
+    let node = string_field c in
+    let attempts = varint c in
+    Dse_error.Backend_unavailable { node; attempts }
   | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown error tag %d" b))
 
 let decode_stats c =
@@ -514,6 +531,8 @@ let decode_server_stats c =
     coalesced_hits; pending; workers }
 
 let decode_health c =
+  let node_id = string_field c in
+  let start_epoch = f64_field c in
   let uptime = f64_field c in
   let worker_count = varint c in
   (* each worker record is at least four bytes *)
@@ -544,6 +563,8 @@ let decode_health c =
   let wal_appends = varint c in
   let wal_failures = varint c in
   {
+    node_id;
+    start_epoch;
     uptime;
     workers;
     workers_replaced;
@@ -750,9 +771,16 @@ let read_request ?(peer = "<client>") ?max_job_refs ?memory_budget fd =
 let read_response ?(peer = "<server>") fd =
   guard ~peer (fun () ->
       let tag, payload =
-        (* the server closing without answering is a failure on this
-           side of the wire, unlike a client probe *)
-        try read_frame fd with Clean_close -> raise (Malformed (0, "connection closed without a response"))
+        (* The server closing without answering is a transport fault on
+           this side of the wire, unlike a client probe — and it is
+           [Io_error], not [Corrupt_binary]: a daemon killed between
+           accept and reply (restart, kill -9) looks exactly like this,
+           and the client retry loop must treat it like a refused
+           connection, not like damaged data. *)
+        try read_frame fd
+        with Clean_close ->
+          Dse_error.fail
+            (Dse_error.Io_error { file = peer; message = "connection closed without a response" })
       in
       let c = { data = payload; pos = 0 } in
       let response =

@@ -1,7 +1,8 @@
 (** The [dse serve] wire protocol.
 
-    Length-prefixed binary frames over a Unix-domain socket, reusing the
-    LEB128 + CRC-32 framing idiom of the v2 binary trace format:
+    Length-prefixed binary frames over a Unix-domain socket or TCP
+    (see {!Transport}), reusing the LEB128 + CRC-32 framing idiom of
+    the v2 binary trace format:
 
     {v "DSRV" | version | tag | payload length (LEB128) | payload | CRC-32 (LE) v}
 
@@ -11,7 +12,16 @@
     typed {!Dse_error.Corrupt_binary} carrying the byte offset; OS-level
     failures as {!Dse_error.Io_error}. Nothing in this module raises
     across the API boundary, so one corrupt submission is a structured
-    reply to that client, never a daemon crash. *)
+    reply to that client, never a daemon crash.
+
+    Every frame read and write loops on short counts — a TCP segment
+    boundary (or a byte-at-a-time sender) can split a frame anywhere,
+    and the decoder must not care. *)
+
+(** The frame-header version byte. Client, daemon, and router ship
+    together, so it is bumped in lockstep rather than negotiated; tests
+    that hand-craft frames use it to stay in step. *)
+val version : int
 
 (** A design-space query against a submitted trace: either the paper's
     percentage sweep (Tables 7-30 layout) or one absolute miss budget. *)
@@ -58,8 +68,16 @@ type worker_health = {
     replacements, [shed] heavy jobs refused past the queue watermark,
     [admission_rejected] submissions refused by the declared-size
     budgets, [wal_failures] append errors (persistence degraded, serving
-    unaffected). *)
+    unaffected).
+
+    [node_id] and [start_epoch] identify the process: the id is stable
+    across restarts of the same configuration, while the epoch (the
+    daemon's start time) changes on every respawn — a router that sees
+    the same id with a newer epoch knows the backend was restarted
+    (cold cache, stale breaker verdicts) rather than merely slow. *)
 type health = {
+  node_id : string;
+  start_epoch : float;
   uptime : float;
   workers : worker_health list;
   workers_replaced : int;

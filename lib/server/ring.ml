@@ -1,0 +1,108 @@
+(* Consistent-hash ring over backend node names.
+
+   Each node contributes [replicas] virtual points (FNV-1a-64 of
+   "name#i") on a 64-bit circle; a trace fingerprint is placed by
+   re-hashing its bytes through the same FNV and owned by the first
+   point clockwise. Virtual points serve two ends: load spreads evenly
+   (the per-node share concentrates around 1/N as replicas grow), and a
+   node's departure scatters its keys across all survivors instead of
+   dumping them on one neighbour. Keys never move between surviving
+   nodes on a join or leave — that is the property that keeps N-1
+   result caches warm when the Nth daemon dies. *)
+
+type t = {
+  nodes : string array;
+  (* ascending by unsigned point; snd indexes [nodes] *)
+  points : (int64 * int) array;
+}
+
+let fnv_offset = 0xcbf29ce484222325L
+
+let fnv_prime = 0x100000001b3L
+
+let fnv_fold h byte =
+  Int64.mul (Int64.logxor h (Int64.of_int byte)) fnv_prime
+
+(* FNV of a short string concentrates its entropy in the low bits (each
+   byte enters through a multiply), but ring placement is decided by
+   the *unsigned order* of points — i.e. by the high bits. Without a
+   finalizer, the virtual points of similar names ("n0#7" vs "n4#7")
+   cluster and per-node arcs are wildly uneven (a 5th node was observed
+   taking ~60% of the key space instead of ~20%). The splitmix64
+   avalanche spreads the entropy over all 64 bits. *)
+let avalanche h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+  Int64.logxor h (Int64.shift_right_logical h 33)
+
+let fnv_string s =
+  avalanche (String.fold_left (fun h c -> fnv_fold h (Char.code c)) fnv_offset s)
+
+(* Fingerprints are themselves FNV outputs; folding their bytes through
+   a fresh FNV (plus the same finalizer) decorrelates key placement
+   from whatever structure the fingerprint space has. *)
+let hash_key fp =
+  let h = ref fnv_offset in
+  for i = 0 to 7 do
+    h := fnv_fold !h (Int64.to_int (Int64.shift_right_logical fp (8 * i)) land 0xFF)
+  done;
+  avalanche !h
+
+let create ?(replicas = 64) nodes =
+  if nodes = [] then invalid_arg "Ring.create: at least one node";
+  if replicas < 1 then invalid_arg "Ring.create: replicas must be >= 1";
+  let distinct = List.sort_uniq String.compare nodes in
+  if List.length distinct <> List.length nodes then
+    invalid_arg "Ring.create: duplicate node name";
+  let nodes = Array.of_list nodes in
+  let points =
+    Array.init
+      (Array.length nodes * replicas)
+      (fun k ->
+        let node = k / replicas and replica = k mod replicas in
+        (fnv_string (Printf.sprintf "%s#%d" nodes.(node) replica), node))
+  in
+  Array.sort (fun (a, _) (b, _) -> Int64.unsigned_compare a b) points;
+  { nodes; points }
+
+let nodes t = Array.to_list t.nodes
+
+(* First point clockwise from [key] (wrapping), as an index into
+   [points]. *)
+let successor_index t key =
+  let n = Array.length t.points in
+  (* binary search for the leftmost point >= key *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.unsigned_compare (fst t.points.(mid)) key < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let route t fingerprint =
+  t.nodes.(snd t.points.(successor_index t (hash_key fingerprint)))
+
+(* Distinct nodes in clockwise order from the key's owner: the failover
+   candidate list. Walking the point array (rather than hashing again)
+   means every caller agrees on the fallback for a given key, so a
+   rerouted fingerprint lands in one deterministic spill cache. *)
+let successors t fingerprint =
+  let n = Array.length t.points in
+  let total = Array.length t.nodes in
+  let seen = Array.make total false in
+  let start = successor_index t (hash_key fingerprint) in
+  let order = ref [] in
+  let found = ref 0 in
+  let k = ref 0 in
+  while !found < total && !k < n do
+    let node = snd t.points.((start + !k) mod n) in
+    if not seen.(node) then begin
+      seen.(node) <- true;
+      order := t.nodes.(node) :: !order;
+      incr found
+    end;
+    incr k
+  done;
+  List.rev !order

@@ -1,0 +1,27 @@
+(** Consistent-hash ring mapping trace fingerprints to backend nodes.
+
+    The router uses this to concentrate each trace's results on one
+    backend's [Result_cache]: the same fingerprint always routes to the
+    same node, and when a node joins or leaves only ~1/N of the key
+    space moves (keys never migrate between surviving nodes), so the
+    fleet's caches stay warm through membership churn. *)
+
+type t
+
+(** [create ?replicas nodes] builds a ring with [replicas] virtual
+    points per node (default 64 — enough to hold per-node load within a
+    few percent of 1/N). Raises [Invalid_argument] on an empty or
+    duplicate-bearing node list, or [replicas < 1]. *)
+val create : ?replicas:int -> string list -> t
+
+(** The node names, in construction order. *)
+val nodes : t -> string list
+
+(** [route t fingerprint] is the owning node. *)
+val route : t -> int64 -> string
+
+(** [successors t fingerprint] lists every node in clockwise ring order
+    starting at the owner — the failover order for that key. All
+    callers agree on it, so a rerouted fingerprint warms exactly one
+    deterministic spill cache. *)
+val successors : t -> int64 -> string list

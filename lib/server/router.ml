@@ -1,0 +1,598 @@
+(* The [dse route] gateway: a fingerprint-routed front for a fleet of
+   [dse serve] backends.
+
+   Every submission is consistent-hashed on its trace fingerprint
+   (Ring) so repeats of the same trace land on the same backend's
+   Result_cache — the fleet's aggregate cache behaves like one big
+   cache instead of N overlapping cold ones. The robustness plane is
+   the point of the module:
+
+   - The accept loop's 0.1 s select tick polls one backend's health
+     plane per slice of [health_interval], keeping node identity (id +
+     start epoch) fresh and feeding the per-backend circuit breaker.
+   - A Breaker per backend trips open on consecutive connect/timeout
+     failures (forwarding or health), reroutes that node's hash range
+     to the next live ring candidate, and readmits via a single
+     half-open probe after an exponentially backed-off cooldown.
+   - A request silent past the hedging threshold (a fixed --hedge-after
+     or 3x the rolling p99 of forwarded latencies) fires a second
+     attempt at the next live candidate; first answer wins and the
+     loser's connection is closed — a slow-but-alive node degrades
+     latency, never availability. Jobs are pure functions of the trace
+     and query, so duplicated execution is always safe.
+   - A respawned backend (same node id, newer start epoch in its health
+     reply) gets its breaker reset: the restart is a different process
+     and owes none of its predecessor's failures — but its cache is
+     presumed cold.
+
+   Only when the owner and every fallback candidate have been tried (or
+   stand breaker-open) does a submission fail, with the typed
+   Dse_error.Backend_unavailable carrying the owning node and the
+   attempt count — exit 9 at the CLI. *)
+
+type hedge = Fixed of float | Adaptive
+
+type config = {
+  listen : string;
+  backends : string list;
+  replicas : int;
+  forwarders : int;
+  max_pending : int;
+  connect_timeout : float;
+  request_timeout : float;
+  hedge : hedge;
+  health_interval : float;
+  health_timeout : float;
+  breaker : Breaker.config;
+}
+
+let default_config =
+  {
+    listen = "";
+    backends = [];
+    replicas = 64;
+    forwarders = 8;
+    max_pending = 64;
+    connect_timeout = 2.;
+    request_timeout = 120.;
+    hedge = Adaptive;
+    health_interval = 1.;
+    health_timeout = 2.;
+    breaker = Breaker.default_config;
+  }
+
+type backend = {
+  name : string;  (* the address string: also the ring key *)
+  addr : Transport.addr;
+  breaker : Breaker.t;
+  mu : Mutex.t;
+  mutable node_id : string;
+  mutable start_epoch : float;
+  mutable last_seen : float;  (* last successful health exchange *)
+  mutable last_state : Breaker.state;  (* for transition logging only *)
+}
+
+type backend_view = {
+  backend : string;
+  state : Breaker.state;
+  id : string;
+  epoch : float;
+  seen : float;
+}
+
+type stats = {
+  forwarded : int;
+  failovers : int;
+  hedged : int;
+  hedge_wins : int;
+  rejected : int;
+  unavailable : int;
+}
+
+(* The rolling latency window sizing the adaptive hedge threshold. *)
+let window_size = 256
+
+type t = {
+  config : config;
+  listen_addr : Transport.addr;
+  listen_fd : Unix.file_descr;
+  backends : backend array;
+  by_name : (string, backend) Hashtbl.t;
+  ring : Ring.t;
+  queue : Unix.file_descr Job_queue.t;
+  stopping : bool Atomic.t;
+  forwarded : int Atomic.t;
+  failovers : int Atomic.t;
+  hedged : int Atomic.t;
+  hedge_wins : int Atomic.t;
+  rejected : int Atomic.t;
+  unavailable : int Atomic.t;
+  lat_mu : Mutex.t;
+  latencies : float array;
+  mutable lat_count : int;
+  mutable next_poll : int;
+  mutable last_poll : float;
+  mutable pool : Unix.file_descr Worker_pool.t option;
+  log : string -> unit;
+}
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let create ?(log = fun msg -> Format.eprintf "dse-route: %s@." msg) (config : config) =
+  let invalid message = Error (Dse_error.Constraint_violation { context = "route"; message }) in
+  if config.backends = [] then invalid "at least one --backend is required"
+  else if List.length (List.sort_uniq String.compare config.backends)
+          <> List.length config.backends
+  then invalid "duplicate --backend address"
+  else if config.forwarders < 1 then invalid "forwarders must be >= 1"
+  else if config.max_pending < 1 then invalid "max-pending must be >= 1"
+  else if config.replicas < 1 then invalid "replicas must be >= 1"
+  else if not (config.connect_timeout > 0.) then invalid "connect-timeout must be > 0"
+  else if not (config.request_timeout > 0.) then invalid "request-timeout must be > 0"
+  else if (match config.hedge with Fixed s -> not (s > 0.) | Adaptive -> false) then
+    invalid "hedge-after must be > 0"
+  else if not (config.health_interval > 0.) then invalid "health-interval must be > 0"
+  else if not (config.health_timeout > 0.) then invalid "health-timeout must be > 0"
+  else
+    match
+      (try Ok (Breaker.create ~config:config.breaker ())
+       with Invalid_argument m -> invalid m)
+    with
+    | Error _ as e -> e
+    | Ok _ -> (
+      let listen_addr = Transport.parse config.listen in
+      match Transport.listen listen_addr with
+      | Error _ as e -> e
+      | Ok listen_fd ->
+        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+        let backends =
+          Array.of_list
+            (List.map
+               (fun name ->
+                 {
+                   name;
+                   addr = Transport.parse name;
+                   breaker = Breaker.create ~config:config.breaker ();
+                   mu = Mutex.create ();
+                   node_id = "";
+                   start_epoch = 0.;
+                   last_seen = 0.;
+                   last_state = Breaker.Closed;
+                 })
+               config.backends)
+        in
+        let by_name = Hashtbl.create (Array.length backends) in
+        Array.iter (fun b -> Hashtbl.replace by_name b.name b) backends;
+        Ok
+          {
+            config;
+            listen_addr;
+            listen_fd;
+            backends;
+            by_name;
+            ring = Ring.create ~replicas:config.replicas config.backends;
+            queue = Job_queue.create ~max_pending:config.max_pending;
+            stopping = Atomic.make false;
+            forwarded = Atomic.make 0;
+            failovers = Atomic.make 0;
+            hedged = Atomic.make 0;
+            hedge_wins = Atomic.make 0;
+            rejected = Atomic.make 0;
+            unavailable = Atomic.make 0;
+            lat_mu = Mutex.create ();
+            latencies = Array.make window_size 0.;
+            lat_count = 0;
+            next_poll = 0;
+            last_poll = 0.;
+            pool = None;
+            log;
+          })
+
+let stop t = Atomic.set t.stopping true
+
+let install_signal_handlers t =
+  let handler = Sys.Signal_handle (fun _ -> stop t) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler
+
+let stats t =
+  {
+    forwarded = Atomic.get t.forwarded;
+    failovers = Atomic.get t.failovers;
+    hedged = Atomic.get t.hedged;
+    hedge_wins = Atomic.get t.hedge_wins;
+    rejected = Atomic.get t.rejected;
+    unavailable = Atomic.get t.unavailable;
+  }
+
+let snapshot t =
+  Array.to_list
+    (Array.map
+       (fun b ->
+         Mutex.lock b.mu;
+         let view =
+           {
+             backend = b.name;
+             state = Breaker.state b.breaker;
+             id = b.node_id;
+             epoch = b.start_epoch;
+             seen = b.last_seen;
+           }
+         in
+         Mutex.unlock b.mu;
+         view)
+       t.backends)
+
+(* Log breaker transitions exactly once per edge; every path that feeds
+   a breaker calls this afterwards. *)
+let note_state t b =
+  let s = Breaker.state b.breaker in
+  Mutex.lock b.mu;
+  let changed = s <> b.last_state in
+  if changed then b.last_state <- s;
+  Mutex.unlock b.mu;
+  if changed then
+    t.log (Printf.sprintf "breaker for %s is now %s" b.name (Breaker.state_name s))
+
+let record_latency t dt =
+  Mutex.lock t.lat_mu;
+  t.latencies.(t.lat_count mod window_size) <- dt;
+  t.lat_count <- t.lat_count + 1;
+  Mutex.unlock t.lat_mu
+
+(* 3x the rolling p99, clamped to [0.05, 10] s; 1 s before any sample.
+   The multiplier means a healthy fleet hedges on well under 1% of
+   requests — hedging is a tail-latency rescue, not a default path. *)
+let hedge_threshold t =
+  match t.config.hedge with
+  | Fixed s -> s
+  | Adaptive ->
+    Mutex.lock t.lat_mu;
+    let n = min t.lat_count window_size in
+    let sample = Array.sub t.latencies 0 n in
+    Mutex.unlock t.lat_mu;
+    if n = 0 then 1.
+    else begin
+      Array.sort compare sample;
+      let p99 = sample.(min (n - 1) (n * 99 / 100)) in
+      Float.min 10. (Float.max 0.05 (3. *. p99))
+    end
+
+let backend_of t name = Hashtbl.find t.by_name name
+
+let fail_breaker t b =
+  Breaker.record_failure b.breaker ~now:(Unix.gettimeofday ());
+  note_state t b
+
+(* -- forwarding -- *)
+
+type flight = { b : backend; fd : Unix.file_descr; started : float; is_hedge : bool }
+
+(* Connect (bounded) and write the frame; the request timeout rides the
+   socket as SO_RCVTIMEO so even a mid-frame stall is bounded. *)
+let send_to t b request =
+  match Transport.connect ~timeout:t.config.connect_timeout b.addr with
+  | Error _ as e -> e
+  | Ok fd -> (
+    match
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.request_timeout;
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.request_timeout;
+      Protocol.write_request ~peer:b.name fd request
+    with
+    | Ok () -> Ok fd
+    | Error e ->
+      close_noerr fd;
+      Error e
+    | exception Unix.Unix_error (err, _, _) ->
+      close_noerr fd;
+      Error (Dse_error.Io_error { file = b.name; message = Unix.error_message err }))
+
+(* Read and classify one backend reply.
+
+   [`Answered]: relayed verbatim — including structured job errors
+   (corrupt trace, deadline, admission, a stalled worker): those are
+   properties of the job, not the node, and would reproduce anywhere.
+   [`Spill]: Queue_full — the node is alive but loaded, so the request
+   may spill to the next candidate while the refusal is remembered as
+   the fallback answer. [`Failed]: a transport-level failure (reset,
+   timeout, damage) — feeds the breaker and triggers failover. *)
+let settle_flight t fl =
+  match Protocol.read_response ~peer:fl.b.name fl.fd with
+  | Ok (Protocol.Server_error (Dse_error.Queue_full _ as e)) ->
+    Breaker.record_success fl.b.breaker;
+    note_state t fl.b;
+    `Spill e
+  | Ok response ->
+    Breaker.record_success fl.b.breaker;
+    note_state t fl.b;
+    record_latency t (Unix.gettimeofday () -. fl.started);
+    `Answered response
+  | Error e ->
+    fail_breaker t fl.b;
+    t.log (Printf.sprintf "reply from %s failed: %s" fl.b.name (Dse_error.to_string e));
+    `Failed
+
+let select_readable fds timeout =
+  match Unix.select fds [] [] timeout with
+  | ready, _, _ -> ready
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+
+(* Walk the candidate list (ring successor order), at most one hedged
+   duplicate in flight at a time. [busy] remembers the best Queue_full
+   refusal: if the whole ring is merely loaded (not dead) the client
+   gets the retryable Queue_full, not Backend_unavailable. *)
+let rec try_next t ~hedging ~primary ~attempts ~busy request candidates =
+  match candidates with
+  | [] -> (
+    match !busy with
+    | Some e -> Protocol.Server_error e
+    | None ->
+      Atomic.incr t.unavailable;
+      Protocol.Server_error
+        (Dse_error.Backend_unavailable { node = primary; attempts = !attempts }))
+  | name :: rest -> (
+    let b = backend_of t name in
+    if not (Breaker.acquire b.breaker ~now:(Unix.gettimeofday ())) then
+      try_next t ~hedging ~primary ~attempts ~busy request rest
+    else begin
+      incr attempts;
+      if !attempts > 1 then Atomic.incr t.failovers;
+      match send_to t b request with
+      | Error e ->
+        fail_breaker t b;
+        t.log (Printf.sprintf "forward to %s failed: %s" b.name (Dse_error.to_string e));
+        try_next t ~hedging ~primary ~attempts ~busy request rest
+      | Ok fd ->
+        await_one t ~hedging ~primary ~attempts ~busy request
+          { b; fd; started = Unix.gettimeofday (); is_hedge = false }
+          rest
+    end)
+
+(* One flight outstanding. Silence past the hedge threshold fires the
+   duplicate; silence past the request timeout is a node failure. *)
+and await_one t ~hedging ~primary ~attempts ~busy request fl rest =
+  let deadline = fl.started +. t.config.request_timeout in
+  let hedge_at = fl.started +. hedge_threshold t in
+  let giveup () =
+    fail_breaker t fl.b;
+    close_noerr fl.fd;
+    t.log (Printf.sprintf "%s silent for %.1f s; failing over" fl.b.name t.config.request_timeout);
+    try_next t ~hedging ~primary ~attempts ~busy request rest
+  in
+  let settle () =
+    match settle_flight t fl with
+    | `Answered response ->
+      close_noerr fl.fd;
+      response
+    | `Spill e ->
+      close_noerr fl.fd;
+      busy := Some e;
+      try_next t ~hedging ~primary ~attempts ~busy request rest
+    | `Failed ->
+      close_noerr fl.fd;
+      try_next t ~hedging ~primary ~attempts ~busy request rest
+  in
+  let rec wait ~may_hedge =
+    let now = Unix.gettimeofday () in
+    if now >= deadline then giveup ()
+    else begin
+      let until = if may_hedge then Float.min deadline hedge_at else deadline in
+      match select_readable [ fl.fd ] (Float.max 0. (until -. now)) with
+      | _ :: _ -> settle ()
+      | [] ->
+        if may_hedge && Unix.gettimeofday () >= hedge_at then spawn_hedge rest
+        else wait ~may_hedge
+    end
+  and spawn_hedge = function
+    | [] -> wait ~may_hedge:false
+    | name :: more -> (
+      let b = backend_of t name in
+      if not (Breaker.acquire b.breaker ~now:(Unix.gettimeofday ())) then spawn_hedge more
+      else begin
+        Atomic.incr t.hedged;
+        incr attempts;
+        t.log
+          (Printf.sprintf "%s slow (past %.2f s); hedging to %s" fl.b.name
+             (hedge_threshold t) b.name);
+        match send_to t b request with
+        | Error e ->
+          fail_breaker t b;
+          t.log (Printf.sprintf "hedge to %s failed: %s" b.name (Dse_error.to_string e));
+          spawn_hedge more
+        | Ok fd ->
+          await_two t ~primary ~attempts ~busy request fl
+            { b; fd; started = Unix.gettimeofday (); is_hedge = true }
+            more
+      end)
+  in
+  wait ~may_hedge:(hedging && rest <> [])
+
+(* Two flights racing: first answer wins, the loser's connection is
+   closed unread (transport-level cancellation — the backend's reply
+   hits EPIPE and is discarded; the job itself is pure, so the wasted
+   kernel run costs time on that node and nothing else). The deadline
+   is the primary's: the hedge gets whatever remains of it. *)
+and await_two t ~primary ~attempts ~busy request fl1 fl2 rest =
+  let deadline = fl1.started +. t.config.request_timeout in
+  let continue_with survivor =
+    await_one t ~hedging:false ~primary ~attempts ~busy request survivor rest
+  in
+  let rec wait () =
+    let now = Unix.gettimeofday () in
+    if now >= deadline then begin
+      fail_breaker t fl1.b;
+      fail_breaker t fl2.b;
+      close_noerr fl1.fd;
+      close_noerr fl2.fd;
+      try_next t ~hedging:false ~primary ~attempts ~busy request rest
+    end
+    else begin
+      match select_readable [ fl1.fd; fl2.fd ] (deadline -. now) with
+      | [] -> wait ()
+      | ready :: _ -> (
+        let winner, loser = if ready = fl1.fd then (fl1, fl2) else (fl2, fl1) in
+        match settle_flight t winner with
+        | `Answered response ->
+          close_noerr winner.fd;
+          close_noerr loser.fd;
+          if winner.is_hedge then Atomic.incr t.hedge_wins;
+          response
+        | `Spill e ->
+          close_noerr winner.fd;
+          busy := Some e;
+          continue_with loser
+        | `Failed ->
+          close_noerr winner.fd;
+          continue_with loser)
+    end
+  in
+  wait ()
+
+let forward t ~hedging ~candidates request =
+  match candidates with
+  | [] -> assert false (* create refuses an empty backend list *)
+  | primary :: _ ->
+    Atomic.incr t.forwarded;
+    try_next t ~hedging ~primary ~attempts:(ref 0) ~busy:(ref None) request candidates
+
+let respond_and_close t fd response =
+  (match Protocol.write_response fd response with
+  | Ok () -> ()
+  | Error e -> t.log (Printf.sprintf "reply failed: %s" (Dse_error.to_string e)));
+  close_noerr fd
+
+(* Runs in a forwarder domain: one client connection end to end. The
+   router imposes no admission budgets of its own — the owning backend
+   prices the job against its memory; what the router enforces is its
+   bounded connection queue. *)
+let handle_client t fd =
+  match Protocol.read_request fd with
+  | Ok None -> close_noerr fd (* liveness probe *)
+  | Error e when Protocol.timed_out e ->
+    t.log "dropped a connection that timed out mid-request";
+    close_noerr fd
+  | Error e -> respond_and_close t fd (Protocol.Server_error e)
+  | Ok (Some Protocol.Ping) ->
+    (* answered locally: a ping asks "is the gateway up" *)
+    respond_and_close t fd Protocol.Pong
+  | Ok (Some ((Protocol.Server_stats | Protocol.Health) as request)) ->
+    (* forwarded to the first live backend in configuration order — a
+       single node's view, for fleet-wide numbers ask each backend *)
+    let candidates = List.map (fun b -> b.name) (Array.to_list t.backends) in
+    respond_and_close t fd (forward t ~hedging:false ~candidates request)
+  | Ok (Some (Protocol.Submit { trace; _ } as request)) ->
+    let candidates = Ring.successors t.ring (Trace.fingerprint trace) in
+    respond_and_close t fd (forward t ~hedging:true ~candidates request)
+
+(* -- health polling, from the accept loop's select tick -- *)
+
+let probe_backend t b =
+  let finish fd outcome =
+    close_noerr fd;
+    match outcome with
+    | `Up (h : Protocol.health) ->
+      let now = Unix.gettimeofday () in
+      Mutex.lock b.mu;
+      let respawned =
+        b.start_epoch > 0.
+        && (h.Protocol.start_epoch -. b.start_epoch > 1e-6 || h.Protocol.node_id <> b.node_id)
+      in
+      b.node_id <- h.Protocol.node_id;
+      b.start_epoch <- h.Protocol.start_epoch;
+      b.last_seen <- now;
+      Mutex.unlock b.mu;
+      if respawned then begin
+        t.log
+          (Printf.sprintf "%s respawned (node %s, new epoch): breaker reset, cache presumed cold"
+             b.name h.Protocol.node_id);
+        Breaker.reset b.breaker
+      end;
+      Breaker.record_success b.breaker;
+      note_state t b
+    | `Down -> fail_breaker t b
+  in
+  match Transport.connect ~timeout:t.config.health_timeout b.addr with
+  | Error _ -> fail_breaker t b
+  | Ok fd -> (
+    match
+      Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.health_timeout;
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.health_timeout;
+      Protocol.write_request ~peer:b.name fd Protocol.Health
+    with
+    | Error _ -> finish fd `Down
+    | Ok () -> (
+      match Protocol.read_response ~peer:b.name fd with
+      | Ok (Protocol.Health_reply h) -> finish fd (`Up h)
+      | Ok _ | Error _ -> finish fd `Down)
+    | exception Unix.Unix_error _ -> finish fd `Down)
+
+(* One backend per slice so a poll's worst case (health_timeout on a
+   dead node) stalls the accept loop briefly and rarely, instead of
+   N timeouts back to back; every backend is still probed once per
+   health_interval. *)
+let poll_health t =
+  let n = Array.length t.backends in
+  let now = Unix.gettimeofday () in
+  if now -. t.last_poll >= t.config.health_interval /. float_of_int n then begin
+    t.last_poll <- now;
+    let b = t.backends.(t.next_poll mod n) in
+    t.next_poll <- t.next_poll + 1;
+    probe_backend t b
+  end
+
+let run t =
+  let pool =
+    Worker_pool.start ~workers:t.config.forwarders
+      ~run:(fun ~heartbeat:_ fd -> handle_client t fd)
+      t.queue
+  in
+  t.pool <- Some pool;
+  let accept_client () =
+    match Unix.accept t.listen_fd with
+    | fd, _ -> (
+      Transport.tune fd;
+      (* a stalled or hostile client cannot wedge a forwarder forever *)
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.0
+       with Unix.Unix_error _ -> ());
+      match Job_queue.push t.queue fd with
+      | `Ok -> ()
+      | `Full pending ->
+        (* explicit backpressure, mirroring the daemon's shedding *)
+        Atomic.incr t.rejected;
+        respond_and_close t fd
+          (Protocol.Server_error
+             (Dse_error.Queue_full
+                { pending; max_pending = t.config.max_pending; retry_after = 0.5 }))
+      | `Closed -> close_noerr fd)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  let rec accept_loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.1 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        try accept_client ()
+        with e -> t.log (Printf.sprintf "accept: %s" (Printexc.to_string e)))
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      (* the health poll rides the select tick, like the daemon's
+         watchdog *)
+      poll_health t;
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* drain: queued client connections are still answered (forwarded or
+     refused) before the gateway exits *)
+  let pending = Job_queue.length t.queue in
+  if pending > 0 then t.log (Printf.sprintf "draining %d pending connection(s)" pending);
+  Job_queue.close t.queue;
+  Worker_pool.join pool;
+  close_noerr t.listen_fd;
+  Transport.unlink t.listen_addr;
+  t.log
+    (Printf.sprintf "drained; %d request(s) forwarded, %d failover(s), %d hedged"
+       (Atomic.get t.forwarded) (Atomic.get t.failovers) (Atomic.get t.hedged))
+
+let listen_address t = Transport.to_string t.listen_addr

@@ -1,5 +1,7 @@
 type config = {
   socket_path : string;
+  tcp : string option;
+  node_id : string option;
   workers : int;
   max_pending : int;
   cache_entries : int;
@@ -30,6 +32,8 @@ type job = {
 type t = {
   config : config;
   listen_fd : Unix.file_descr;
+  tcp_fd : Unix.file_descr option;
+  node_id : string;
   queue : job Job_queue.t;
   cache : Result_cache.t;
   inflight : Inflight.t;
@@ -65,26 +69,6 @@ let heavy_refs = Streaming.min_shard_refs
 let retry_hint config ~pending =
   Float.min 10. (0.25 *. (float_of_int (pending + config.workers) /. float_of_int config.workers))
 
-(* A stale socket file (previous daemon crashed) is unlinked; a live one
-   (something accepts connections) is a configuration error. *)
-let claim_socket_path path =
-  if Sys.file_exists path then begin
-    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    let live =
-      match Unix.connect probe (Unix.ADDR_UNIX path) with
-      | () -> true
-      | exception Unix.Unix_error (_, _, _) -> false
-    in
-    close_noerr probe;
-    if live then
-      Error (Dse_error.Io_error { file = path; message = "socket already in use by a live server" })
-    else begin
-      (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
-      Ok ()
-    end
-  end
-  else Ok ()
-
 (* Warm the cache from the WAL in append order (later duplicates win
    and recency is reproduced); damage is tolerated by design and only
    logged. *)
@@ -115,60 +99,97 @@ let create ?(on_job_start = fun () -> ()) ?(log = fun msg -> Format.eprintf "dse
   else if (match config.memory_budget with Some n -> n < 1 | None -> false) then
     invalid "memory-budget must be >= 1"
   else
-    match claim_socket_path config.socket_path with
+    (* The TCP address is validated before any socket is bound: "--tcp"
+       must actually be host:port, not a path that fell through parse. *)
+    let tcp_addr =
+      match config.tcp with
+      | None -> Ok None
+      | Some s -> (
+        match Transport.parse s with
+        | Transport.Tcp _ as addr -> Ok (Some addr)
+        | Transport.Unix_socket _ ->
+          invalid (Printf.sprintf "--tcp expects host:port, got %S" s))
+    in
+    match tcp_addr with
     | Error _ as e -> e
-    | Ok () -> (
-      let cache = Result_cache.create ~capacity:config.cache_entries () in
-      let wal_result =
-        match config.wal_path with
-        | None -> Ok None
-        | Some path -> (
-          match restore_from_wal ~log ~cache path with
-          | Error _ as e -> e
-          | Ok () -> (
-            match
-              Wal.open_ ~capacity:config.cache_entries
-                ~snapshot:(fun () -> Result_cache.snapshot cache)
-                path
-            with
-            | Error _ as e -> e
-            | Ok wal -> Ok (Some wal)))
-      in
-      match wal_result with
+    | Ok tcp_addr -> (
+      match Transport.listen (Transport.Unix_socket config.socket_path) with
       | Error _ as e -> e
-      | Ok wal -> (
-        (* a client vanishing mid-reply must be an EPIPE result, not a
-           process-killing signal *)
-        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-        let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        match
-          Unix.bind listen_fd (Unix.ADDR_UNIX config.socket_path);
-          Unix.listen listen_fd 64
-        with
-        | () ->
-          Ok
-            {
-              config;
-              listen_fd;
-              queue = Job_queue.create ~max_pending:config.max_pending;
-              cache;
-              inflight = Inflight.create ();
-              wal;
-              stopping = Atomic.make false;
-              jobs_completed = Atomic.make 0;
-              shed = Atomic.make 0;
-              admission_rejected = Atomic.make 0;
-              wal_appends = Atomic.make 0;
-              wal_failures = Atomic.make 0;
-              started = Unix.gettimeofday ();
-              pool = None;
-              on_job_start;
-              log;
-            }
-        | exception Unix.Unix_error (err, _, _) ->
-          close_noerr listen_fd;
-          (match wal with Some w -> Wal.close w | None -> ());
-          Error (Dse_error.Io_error { file = config.socket_path; message = Unix.error_message err })))
+      | Ok listen_fd -> (
+        let tcp_fd =
+          match tcp_addr with
+          | None -> Ok None
+          | Some addr -> (
+            match Transport.listen addr with
+            | Ok fd -> Ok (Some fd)
+            | Error _ as e ->
+              close_noerr listen_fd;
+              Transport.unlink (Transport.Unix_socket config.socket_path);
+              e)
+        in
+        match tcp_fd with
+        | Error e -> Error e
+        | Ok tcp_fd -> (
+          let release_listeners () =
+            close_noerr listen_fd;
+            (match tcp_fd with Some fd -> close_noerr fd | None -> ());
+            Transport.unlink (Transport.Unix_socket config.socket_path)
+          in
+          let cache = Result_cache.create ~capacity:config.cache_entries () in
+          let wal_result =
+            match config.wal_path with
+            | None -> Ok None
+            | Some path -> (
+              match restore_from_wal ~log ~cache path with
+              | Error _ as e -> e
+              | Ok () -> (
+                match
+                  Wal.open_ ~capacity:config.cache_entries
+                    ~snapshot:(fun () -> Result_cache.snapshot cache)
+                    path
+                with
+                | Error _ as e -> e
+                | Ok wal -> Ok (Some wal)))
+          in
+          match wal_result with
+          | Error e ->
+            release_listeners ();
+            Error e
+          | Ok wal ->
+            (* a client vanishing mid-reply must be an EPIPE result, not
+               a process-killing signal *)
+            (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+            (* The id must survive a respawn (that is its point: the
+               router pairs a stable id with a changing start epoch), so
+               it defaults to the daemon's address — TCP when serving a
+               fleet, else the socket path. *)
+            let node_id =
+              match config.node_id with
+              | Some id -> id
+              | None -> (
+                match config.tcp with Some addr -> addr | None -> config.socket_path)
+            in
+            Ok
+              {
+                config;
+                listen_fd;
+                tcp_fd;
+                node_id;
+                queue = Job_queue.create ~max_pending:config.max_pending;
+                cache;
+                inflight = Inflight.create ();
+                wal;
+                stopping = Atomic.make false;
+                jobs_completed = Atomic.make 0;
+                shed = Atomic.make 0;
+                admission_rejected = Atomic.make 0;
+                wal_appends = Atomic.make 0;
+                wal_failures = Atomic.make 0;
+                started = Unix.gettimeofday ();
+                pool = None;
+                on_job_start;
+                log;
+              })))
 
 let stop t = Atomic.set t.stopping true
 
@@ -230,7 +251,9 @@ let health_reply t =
   in
   Protocol.Health_reply
     {
-      Protocol.uptime = now -. t.started;
+      Protocol.node_id = t.node_id;
+      start_epoch = t.started;
+      uptime = now -. t.started;
       workers;
       workers_replaced;
       queue_depth = Job_queue.length t.queue;
@@ -458,20 +481,27 @@ let run t =
       t.queue
   in
   t.pool <- Some pool;
+  let listeners =
+    t.listen_fd :: (match t.tcp_fd with Some fd -> [ fd ] | None -> [])
+  in
+  let accept_from listen_fd =
+    match Unix.accept listen_fd with
+    | fd, _ -> (
+      (* an accepted TCP connection wants Nagle off just like an
+         outbound one; no-op on the Unix socket *)
+      Transport.tune fd;
+      (* the serve loop must outlive any one connection: log and
+         continue, never leak an exception to the top level *)
+      try handle_connection t fd
+      with e ->
+        t.log (Printf.sprintf "connection handler: %s" (Printexc.to_string e));
+        close_noerr fd)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
   let rec accept_loop () =
     if not (Atomic.get t.stopping) then begin
-      (match Unix.select [ t.listen_fd ] [] [] 0.1 with
-      | [], _, _ -> ()
-      | _ :: _, _, _ -> (
-        match Unix.accept t.listen_fd with
-        | fd, _ -> (
-          (* the serve loop must outlive any one connection: log and
-             continue, never leak an exception to the top level *)
-          try handle_connection t fd
-          with e ->
-            t.log (Printf.sprintf "connection handler: %s" (Printexc.to_string e));
-            close_noerr fd)
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      (match Unix.select listeners [] [] 0.1 with
+      | ready, _, _ -> List.iter accept_from ready
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       (* the watchdog rides the select tick: detection latency is
          bounded by hang_timeout plus one 0.1 s tick *)
@@ -488,6 +518,7 @@ let run t =
   Job_queue.close t.queue;
   Worker_pool.join pool;
   close_noerr t.listen_fd;
+  (match t.tcp_fd with Some fd -> close_noerr fd | None -> ());
   (match t.wal with Some wal -> Wal.close wal | None -> ());
   (try Unix.unlink t.config.socket_path with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
   t.log

@@ -1,7 +1,9 @@
 (** The [dse serve] daemon.
 
-    A long-running batch DSE service on a Unix-domain socket: the accept
-    loop reads one {!Protocol.request} per connection, answers cache
+    A long-running batch DSE service on a Unix-domain socket — and,
+    with [tcp] set, a TCP listener beside it carrying the identical
+    DSRV framing for multi-host fleets fronted by [dse route]: the
+    accept loop reads one {!Protocol.request} per connection, answers cache
     hits and malformed submissions inline, and hands cache misses to a
     pool of worker domains through a bounded {!Job_queue}. Submissions
     beyond [max_pending] are rejected with a typed
@@ -62,6 +64,14 @@
 
 type config = {
   socket_path : string;
+  tcp : string option;
+      (** additional TCP listen address, ["host:port"] (empty host =
+          all interfaces); [None] = Unix socket only *)
+  node_id : string option;
+      (** identity reported in health replies; defaults to the TCP
+          address when serving one, else the socket path — stable
+          across respawns, which is what lets a router tell a restart
+          (same id, newer start epoch) from a distinct node *)
   workers : int;  (** worker domains; must be >= 1 *)
   max_pending : int;  (** job-queue depth bound; must be >= 1 *)
   cache_entries : int;  (** result-cache LRU bound; must be >= 1 *)

@@ -65,3 +65,46 @@ let uniform ~seed ~span ~length =
     Trace.add trace ~addr:(next_random state mod span) ~kind:Trace.Read
   done;
   trace
+
+(* Zipf-distributed rank sampler: P(k) proportional to 1/(k+1)^skew.
+   Inverse-CDF with binary search — the CDF table is built once per
+   sampler, so drawing is O(log n). This is the popularity shape of
+   web/CDN traffic (Berthet's power-law miss-rate work builds on it),
+   and the client mix under which cache-locality routing is honest:
+   a few traces dominate, most are rare. *)
+let zipf_sampler ~seed ~n ~skew =
+  check_positive "n" n;
+  if not (skew > 0.) then invalid_arg "Synthetic: skew must be positive";
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for k = 0 to n - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (k + 1)) skew);
+    cdf.(k) <- !total
+  done;
+  (* [(seed * 2) lor 1] is odd-and-nonzero like the other generators'
+     [seed lor 1], but injective: consecutive seeds must not collapse
+     to the same stream (seed 12 and 13 would otherwise draw
+     identically, which silently deduplicates "distinct" workloads) *)
+  let state = ref ((seed * 2) lor 1) in
+  fun () ->
+    let u = float_of_int (next_random state) /. float_of_int max_int *. !total in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+let zipfian ~seed ~span ~skew ~length =
+  check_positive "span" span;
+  check_positive "length" length;
+  let draw = zipf_sampler ~seed ~n:span ~skew in
+  (* ranks map to addresses through a multiplicative shuffle, so the
+     popular addresses are scattered over the span instead of packed at
+     its bottom (which would make every hot line a neighbour) *)
+  let trace = Trace.create ~capacity:length () in
+  for _k = 1 to length do
+    let rank = draw () in
+    Trace.add trace ~addr:(rank * 2654435761 mod span) ~kind:Trace.Read
+  done;
+  trace

@@ -24,3 +24,16 @@ val hot_cold : seed:int -> hot:int -> cold:int -> hot_percent:int -> length:int 
 (** [uniform ~seed ~span ~length] draws addresses uniformly from
     [0, span). *)
 val uniform : seed:int -> span:int -> length:int -> Trace.t
+
+(** [zipf_sampler ~seed ~n ~skew ()] draws ranks in [0, n) with
+    P(k) proportional to 1/(k+1)^skew — the power-law popularity of
+    web/CDN traffic. O(log n) per draw (inverse CDF, binary search);
+    deterministic per seed. Also the client mix generator for the
+    router bench: rank selects {e which trace} to submit, so a few
+    traces dominate as they would in production. *)
+val zipf_sampler : seed:int -> n:int -> skew:float -> unit -> int
+
+(** [zipfian ~seed ~span ~skew ~length] draws addresses from [0, span)
+    with Zipf popularity, scattered over the span by a multiplicative
+    hash so hot addresses are not all neighbours. *)
+val zipfian : seed:int -> span:int -> skew:float -> length:int -> Trace.t

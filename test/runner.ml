@@ -16,6 +16,7 @@ let () =
          Test_powerstone.suites;
          Test_explorer.suites;
          Test_server.suites;
+         Test_router.suites;
          Test_selfheal.suites;
          Test_supervision.suites;
          Test_extensions.suites;

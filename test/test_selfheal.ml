@@ -275,8 +275,9 @@ let with_server ?(workers = 2) ?(max_pending = 16) ?(cache_entries = Result_cach
   let server =
     match
       Server.create ?on_job_start ~log
-        { Server.socket_path = path; workers; max_pending; cache_entries; wal_path;
-          hang_timeout = 30.; max_job_refs = None; memory_budget = None }
+        { Server.socket_path = path; tcp = None; node_id = None; workers; max_pending;
+          cache_entries; wal_path; hang_timeout = 30.; max_job_refs = None;
+          memory_budget = None }
     with
     | Ok s -> s
     | Error e -> Alcotest.failf "server create: %s" (Dse_error.to_string e)

@@ -115,6 +115,7 @@ let test_response_roundtrip () =
       Dse_error.Worker_stalled { elapsed = 3.5; job = "loop-139264" };
       Dse_error.Resource_exhausted
         { resource = "trace references"; needed = 200_000; budget = 4096 };
+      Dse_error.Backend_unavailable { node = "127.0.0.1:7701"; attempts = 3 };
     ]
   in
   List.iter
@@ -257,8 +258,8 @@ let with_server ?(workers = 2) ?(max_pending = 16) ?(cache_entries = Result_cach
   let server =
     match
       Server.create ?on_job_start ~log:(fun _ -> ())
-        { Server.socket_path = path; workers; max_pending; cache_entries; wal_path;
-          hang_timeout; max_job_refs; memory_budget }
+        { Server.socket_path = path; tcp = None; node_id = None; workers; max_pending;
+          cache_entries; wal_path; hang_timeout; max_job_refs; memory_budget }
     with
     | Ok s -> s
     | Error e -> Alcotest.failf "server create: %s" (Dse_error.to_string e)
@@ -409,9 +410,10 @@ let test_sigterm_drains () =
       let server =
         ok_or_fail
           (Server.create ~on_job_start:hook ~log:(fun _ -> ())
-             { Server.socket_path = path; workers = 1; max_pending = 4;
-               cache_entries = Result_cache.default_capacity; wal_path = None;
-               hang_timeout = 30.; max_job_refs = None; memory_budget = None })
+             { Server.socket_path = path; tcp = None; node_id = None; workers = 1;
+               max_pending = 4; cache_entries = Result_cache.default_capacity;
+               wal_path = None; hang_timeout = 30.; max_job_refs = None;
+               memory_budget = None })
       in
       Server.install_signal_handlers server;
       let runner = Domain.spawn (fun () -> Server.run server) in

@@ -97,7 +97,9 @@ let test_health_roundtrip () =
       | _ -> Alcotest.fail "expected Health");
   let health =
     {
-      Protocol.uptime = 12.5;
+      Protocol.node_id = "127.0.0.1:7700";
+      start_epoch = 1722400000.5;
+      uptime = 12.5;
       workers =
         [
           { Protocol.slot = 0; busy = true; job = "loop-139264"; heartbeat_age = 0.25; jobs_done = 3 };
@@ -268,6 +270,8 @@ let with_server ?(workers = 2) ?(max_pending = 16) ?(hang_timeout = 30.) ?max_jo
       Server.create ?on_job_start ~log:(fun _ -> ())
         {
           Server.socket_path = path;
+          tcp = None;
+          node_id = None;
           workers;
           max_pending;
           cache_entries = Result_cache.default_capacity;
@@ -436,7 +440,7 @@ let declared_refs_frame ~refs =
   let payload = Buffer.contents payload in
   let frame = Buffer.create 64 in
   Buffer.add_string frame "DSRV";
-  Buffer.add_char frame '\003' (* protocol version *);
+  Buffer.add_char frame (Char.chr Protocol.version);
   Buffer.add_char frame '\001' (* tag: submit *);
   varint frame (String.length payload);
   Buffer.add_string frame payload;
