@@ -27,6 +27,14 @@ let or_exit = function
 let usage_fail message =
   Dse_error.fail (Dse_error.Constraint_violation { context = "usage"; message })
 
+let report_skipped path skipped errors =
+  if skipped > 0 then begin
+    Format.eprintf "dse: %s: skipped %d malformed record(s)@." path skipped;
+    List.iter (fun e -> Format.eprintf "dse:   %s@." (Dse_error.to_string e)) errors;
+    if skipped > Trace_io.max_reported_errors then
+      Format.eprintf "dse:   ... and %d more@." (skipped - Trace_io.max_reported_errors)
+  end
+
 let load_trace format on_error path =
   let loader =
     match format with
@@ -35,16 +43,16 @@ let load_trace format on_error path =
     | `Dinero -> Trace_io.load_dinero
   in
   let ingest = or_exit (loader ~on_error path) in
-  if ingest.Trace_io.skipped > 0 then begin
-    Format.eprintf "dse: %s: skipped %d malformed record(s)@." path ingest.Trace_io.skipped;
-    List.iter
-      (fun e -> Format.eprintf "dse:   %s@." (Dse_error.to_string e))
-      ingest.Trace_io.errors;
-    if ingest.Trace_io.skipped > Trace_io.max_reported_errors then
-      Format.eprintf "dse:   ... and %d more@."
-        (ingest.Trace_io.skipped - Trace_io.max_reported_errors)
-  end;
+  report_skipped path ingest.Trace_io.skipped ingest.Trace_io.errors;
   ingest.Trace_io.trace
+
+(* The streaming ingestion for the approximate plane: the trace file is
+   folded straight into the sketch, so nothing trace-length-sized is
+   ever allocated. *)
+let sketch_trace_file format on_error path =
+  let profile, stream = or_exit (Approx_dse.sketch_file ~on_error ~format path) in
+  report_skipped path stream.Trace_io.skipped stream.Trace_io.errors;
+  profile
 
 let on_error_arg =
   let parse s =
@@ -114,10 +122,15 @@ let stats_cmd =
     let stats = Stats.compute trace in
     let name = Filename.basename path in
     let fingerprint = Trace.fingerprint trace in
-    if json then print_endline (Report.stats_to_json ~name ~fingerprint stats)
+    (* the sketch's cardinality estimate beside the exact N': the
+       always-on cross-check of the approximate plane *)
+    let distinct_addrs_approx = Sketch.distinct_of_trace trace in
+    if json then
+      print_endline (Report.stats_to_json ~name ~fingerprint ~distinct_addrs_approx stats)
     else begin
       Format.printf "%a@." Report.pp_stats_table [ (name, stats) ];
-      Format.printf "fingerprint %016Lx@." fingerprint
+      Format.printf "fingerprint %016Lx@." fingerprint;
+      Format.printf "distinct_addrs_approx %.1f@." distinct_addrs_approx
     end
   in
   let term = Term.(const run $ trace_arg $ format_arg $ on_error_arg $ json_arg) in
@@ -144,21 +157,33 @@ let trim_arg =
 let method_arg =
   let methods =
     [
-      ("arena", Analytical.Arena);
-      ("streaming", Analytical.Streaming);
-      ("dfs", Analytical.Dfs);
-      ("bcat", Analytical.Bcat_walk);
+      ("arena", `Exact Analytical.Arena);
+      ("streaming", `Exact Analytical.Streaming);
+      ("dfs", `Exact Analytical.Dfs);
+      ("bcat", `Exact Analytical.Bcat_walk);
+      ("approx", `Approx);
     ]
   in
   Arg.(
     value
-    & opt (enum methods) Analytical.Arena
+    & opt (enum methods) (`Exact Analytical.Arena)
     & info [ "method" ] ~docv:"METHOD"
         ~doc:
-          "Histogram kernel: $(b,arena) (fused single pass over off-heap flat arenas, \
-           GC-invisible state, the default), $(b,streaming) (the same kernel on boxed \
-           arrays), $(b,dfs) (materialized MRCT), or $(b,bcat) (Algorithms 1+3 as \
-           published). All methods produce identical results.")
+          "Analysis method. Exact histogram kernels: $(b,arena) (fused single pass over \
+           off-heap flat arenas, GC-invisible state, the default), $(b,streaming) (the same \
+           kernel on boxed arrays), $(b,dfs) (materialized MRCT), or $(b,bcat) (Algorithms \
+           1+3 as published) — all exact methods produce identical results. $(b,approx) \
+           estimates miss counts with error bars from a one-pass O(kilobytes) sketch \
+           (equivalent to $(b,--approx)).")
+
+let approx_arg =
+  let doc =
+    "Approximate analysis: profile the trace in one streaming pass (HyperLogLog + top-K + \
+     reuse probes, O(kilobytes) whatever the trace length) and estimate per-(depth, \
+     associativity) miss counts with error bars via a Che/Fagin power-law model, instead of \
+     running an exact kernel. The trace file is never loaded into memory."
+  in
+  Arg.(value & flag & info [ "approx" ] ~doc)
 
 let domains_arg =
   let doc =
@@ -169,24 +194,40 @@ let domains_arg =
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
 let explore_cmd =
-  let run path format on_error percents k max_depth csv no_trim method_ domains =
+  let run path format on_error percents k max_depth csv no_trim method_ domains approx =
     if domains < 1 then usage_fail "domains must be >= 1";
-    let trace = load_trace format on_error path in
     let max_level = level_of_max_depth max_depth in
     let name = Filename.basename path in
-    match k with
-    | Some k ->
-      let result = Analytical.explore ?max_level ~method_ ~domains trace ~k in
-      Format.printf "%a@." Optimizer.pp result
-    | None ->
-      let table = Analytical_dse.run ~percents ?max_level ~method_ ~domains ~name trace in
-      let table = if no_trim then table else Analytical_dse.trim table in
-      if csv then print_string (Report.instances_to_csv table)
-      else Format.printf "%a@." Report.pp_instances table
+    let approx = approx || (match method_ with `Approx -> true | `Exact _ -> false) in
+    if approx then begin
+      let profile = sketch_trace_file format on_error path in
+      let prepared = Approx_dse.prepare profile in
+      match k with
+      | Some k ->
+        Format.printf "%a@." Report.pp_approx_optimal (Approx_dse.optimal ?max_level ~k prepared)
+      | None ->
+        let table = Approx_dse.table ~percents ?max_level ~name prepared in
+        let table = if no_trim then table else Approx_dse.trim table in
+        if csv then print_string (Report.approx_to_csv table)
+        else Format.printf "%a@." Report.pp_approx_instances table
+    end
+    else begin
+      let method_ = match method_ with `Exact m -> m | `Approx -> assert false in
+      let trace = load_trace format on_error path in
+      match k with
+      | Some k ->
+        let result = Analytical.explore ?max_level ~method_ ~domains trace ~k in
+        Format.printf "%a@." Optimizer.pp result
+      | None ->
+        let table = Analytical_dse.run ~percents ?max_level ~method_ ~domains ~name trace in
+        let table = if no_trim then table else Analytical_dse.trim table in
+        if csv then print_string (Report.instances_to_csv table)
+        else Format.printf "%a@." Report.pp_instances table
+    end
   in
   let term =
     Term.(const run $ trace_arg $ format_arg $ on_error_arg $ percents_arg $ absolute_k_arg
-          $ max_depth_arg $ csv_arg $ trim_arg $ method_arg $ domains_arg)
+          $ max_depth_arg $ csv_arg $ trim_arg $ method_arg $ domains_arg $ approx_arg)
   in
   Cmd.v
     (Cmd.info "explore"
@@ -268,6 +309,85 @@ let gen_cmd =
   in
   let term = Term.(const run $ bench_arg $ kind_arg $ out_arg $ binary_arg) in
   Cmd.v (Cmd.info "gen" ~doc:"Run a bundled benchmark on the VM and save its trace.") term
+
+(* -- synth -- *)
+
+let synth_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  let refs_arg =
+    Arg.(
+      value
+      & opt int 10_000_000
+      & info [ "refs"; "length" ] ~docv:"N"
+          ~doc:
+            "Number of references to emit. The generator and the binary writer are both \
+             streaming (O(1) state per reference), so 10^8+ is fine.")
+  in
+  let span_arg =
+    Arg.(
+      value
+      & opt int 65536
+      & info [ "span" ] ~docv:"WORDS" ~doc:"Address-space size the popularity law is drawn over.")
+  in
+  let skew_arg =
+    Arg.(
+      value
+      & opt float 0.8
+      & info [ "skew"; "alpha" ] ~docv:"ALPHA"
+          ~doc:"Zipf exponent: P(rank k) proportional to 1/(k+1)^ALPHA.")
+  in
+  let churn_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "churn" ] ~docv:"P"
+          ~doc:
+            "Per-reference probability that the drawn object is remapped to a fresh address — \
+             a stationary popularity shape over a drifting working set.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic generator seed.")
+  in
+  let binary_arg =
+    Arg.(value & flag & info [ "binary" ] ~doc:"Write the compact binary format.")
+  in
+  let run out refs span skew churn seed binary =
+    if refs < 1 then usage_fail "refs must be >= 1";
+    if span < 1 then usage_fail "span must be >= 1";
+    if not (skew >= 0.) then usage_fail "skew must be >= 0";
+    if churn < 0. || churn > 1. then usage_fail "churn must be in [0, 1]";
+    let generate = Synthetic.iter_power_law ~seed ~span ~skew ~churn ~length:refs in
+    let write oc =
+      if binary then Trace_io.write_binary_stream oc ~length:refs generate
+      else
+        generate (fun ~addr ~kind ->
+            let letter =
+              match kind with Trace.Fetch -> 'F' | Trace.Read -> 'R' | Trace.Write -> 'W'
+            in
+            Printf.fprintf oc "%c 0x%x\n" letter addr)
+    in
+    (match
+       try
+         let oc = open_out_bin out in
+         Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write oc);
+         Ok ()
+       with Sys_error message -> Error (Dse_error.Io_error { file = out; message })
+     with
+    | Ok () -> ()
+    | Error e -> or_exit (Error e));
+    Format.printf "wrote %d references to %s@." refs out
+  in
+  let term =
+    Term.(const run $ out_arg $ refs_arg $ span_arg $ skew_arg $ churn_arg $ seed_arg $ binary_arg)
+  in
+  Cmd.v
+    (Cmd.info "synth"
+       ~doc:
+         "Stream a synthetic power-law (zipfian) trace to a file without materialising it: \
+          the scaling companion to $(b,dse explore --approx).")
+    term
 
 (* -- reduce -- *)
 
@@ -606,8 +726,8 @@ let submit_cmd =
             "Service address, overriding $(b,--socket): either $(i,HOST:PORT) for a TCP \
              listener or router, or a Unix socket path.")
   in
-  let run socket addr path format on_error percents k max_depth csv no_trim method_ domains ping
-      server_stats health deadline retries retry_base retry_cap =
+  let run socket addr path format on_error percents k max_depth csv no_trim method_ domains
+      approx ping server_stats health deadline retries retry_base retry_cap =
     let socket = Option.value addr ~default:socket in
     if ping then begin
       or_exit (Client.ping ~socket);
@@ -667,10 +787,16 @@ let submit_cmd =
         let trace = load_trace format on_error path in
         let max_level = level_of_max_depth max_depth in
         let name = Filename.basename path in
+        let approx = approx || (match method_ with `Approx -> true | `Exact _ -> false) in
         let payload =
           or_exit
-            (Client.submit ~socket ~percents ?k ?max_level ~method_ ~domains ?deadline ~retries
-               ~retry_base ~retry_cap ~name trace)
+            (if approx then
+               Client.submit ~socket ~percents ?k ?max_level ~approx:true ~domains ?deadline
+                 ~retries ~retry_base ~retry_cap ~name trace
+             else
+               let method_ = match method_ with `Exact m -> m | `Approx -> assert false in
+               Client.submit ~socket ~percents ?k ?max_level ~method_ ~domains ?deadline
+                 ~retries ~retry_base ~retry_cap ~name trace)
         in
         if payload.Protocol.cache_hit then Format.eprintf "dse: served from the result cache@.";
         (match payload.Protocol.outcome with
@@ -678,14 +804,19 @@ let submit_cmd =
         | Protocol.Table table ->
           let table = if no_trim then table else Analytical_dse.trim table in
           if csv then print_string (Report.instances_to_csv table)
-          else Format.printf "%a@." Report.pp_instances table)
+          else Format.printf "%a@." Report.pp_instances table
+        | Protocol.Approx_optimal result -> Format.printf "%a@." Report.pp_approx_optimal result
+        | Protocol.Approx_table table ->
+          let table = if no_trim then table else Approx_dse.trim table in
+          if csv then print_string (Report.approx_to_csv table)
+          else Format.printf "%a@." Report.pp_approx_instances table)
     end
   in
   let term =
     Term.(const run $ socket_arg $ addr_arg $ trace_opt_arg $ format_arg $ on_error_arg
           $ percents_arg $ absolute_k_arg $ max_depth_arg $ csv_arg $ trim_arg $ method_arg
-          $ domains_arg $ ping_arg $ server_stats_arg $ health_arg $ deadline_arg $ retries_arg
-          $ retry_base_arg $ retry_cap_arg)
+          $ domains_arg $ approx_arg $ ping_arg $ server_stats_arg $ health_arg $ deadline_arg
+          $ retries_arg $ retry_base_arg $ retry_cap_arg)
   in
   Cmd.v
     (Cmd.info "submit"
@@ -934,8 +1065,9 @@ let main =
   in
   Cmd.group info
     [
-      stats_cmd; explore_cmd; simulate_cmd; compare_cmd; gen_cmd; reduce_cmd; pareto_cmd;
-      disasm_cmd; codesign_cmd; run_cmd; cc_cmd; list_cmd; serve_cmd; submit_cmd; route_cmd;
+      stats_cmd; explore_cmd; simulate_cmd; compare_cmd; gen_cmd; synth_cmd; reduce_cmd;
+      pareto_cmd; disasm_cmd; codesign_cmd; run_cmd; cc_cmd; list_cmd; serve_cmd; submit_cmd;
+      route_cmd;
     ]
 
 let () =

@@ -1,0 +1,343 @@
+(* The Analytical_dse-shaped driver for approximate mode: profile a
+   trace in one pass (or accept a profile sketched elsewhere, e.g. by
+   the daemon's wire decoder), then answer per-(D, A) miss-count
+   queries and assemble paper-style tables — every number wearing an
+   error bar.
+
+   The estimate pipeline per (D, A):
+     1. Che/Fagin set-associative estimate from the popularity model
+        (Che.estimate);
+     2. multiplied by a calibration ratio rho(C), C = D*A: the observed
+        fully-associative warm miss rate at capacity C (from the
+        bucketed-LRU probes) over the model's prediction, log-log
+        interpolated across the probe ladder. This anchors the IRM
+        model to the trace's real temporal structure — loops and
+        strides, which pure Che gets badly wrong, are corrected by
+        measurement;
+     3. an error bar combining the statistical terms (probe sampling
+        noise, HLL cardinality error, Space-Saving overcount mass),
+        the probe ladder's local variation (a miss-rate cliff between
+        two rungs is genuine uncertainty), the residual of the
+        calibration itself, the set-imbalance correction magnitude, and
+        an extrapolation penalty once C leaves the probed range. *)
+
+type bounds = { est : float; lo : float; hi : float }
+
+type cell = { assoc : int; assoc_lo : int; assoc_hi : int }
+
+type table = {
+  name : string;
+  n : int;
+  distinct : bounds;
+  max_misses : bounds;
+  alpha : float;
+  fit_r2 : float;
+  address_bits : int;
+  percents : int list;
+  budgets : int list;
+  rows : (int * cell list) list;
+}
+
+type level_estimate = { level : int; depth : int; cell : cell; misses : bounds }
+
+type optimal = { k : int; levels : level_estimate list }
+
+(* -- profiling front doors -- *)
+
+let sketch_trace ?top_k trace = Sketch.of_trace ?top_k trace
+
+let sketch_file ?on_error ?format path =
+  let sk = Sketch.create () in
+  match Trace_io.iter ?on_error ?format path (Sketch.feed sk) with
+  | Ok stream -> Ok (Sketch.finalize sk, stream)
+  | Error _ as e -> e
+
+(* -- prepared estimator -- *)
+
+type cal = { cap : float; obs : float; sigma : float; rho : float }
+
+type t = {
+  profile : Sketch.profile;
+  model : Che.model;
+  cal : cal array;
+  overcount_frac : float;  (* untrusted Space-Saving mass / n *)
+  loopiness : float;
+      (* 0..1: how cliff-like the observed miss-rate curve is. A sharp
+         drop between adjacent probe rungs is the signature of
+         deterministic cycling over a working set — exactly the regime
+         where the independent-reference model's set-level predictions
+         can be wrong in either direction, so the placement slack terms
+         are scaled by this *)
+}
+
+let z = 2.0
+
+(* The ratio is measurement-driven where the ladder reaches; the clamp
+   only guards against degenerate observations (zero counts against a
+   near-zero prediction). *)
+let rho_clamp r = Float.min 64. (Float.max (1. /. 1024.) r)
+
+let prepare (profile : Sketch.profile) =
+  let model = Che.of_profile profile in
+  let cal =
+    Array.map
+      (fun (pt : Sketch.probe_point) ->
+        let cap = float_of_int pt.capacity in
+        let predicted = Che.rate_fa model ~capacity:cap in
+        let rho =
+          if predicted < 1e-9 && pt.rate < 1e-9 then 1.
+          else if predicted < 1e-9 then 64.
+          else rho_clamp (pt.rate /. predicted)
+        in
+        { cap; obs = pt.rate; sigma = pt.rate_err; rho })
+      profile.probes
+  in
+  let overcount =
+    Array.fold_left
+      (fun acc (h : Sketch.heavy) -> acc +. float_of_int h.overcount)
+      0. profile.heavy
+  in
+  let n = Float.max 1. (float_of_int profile.n) in
+  let loopiness =
+    let ps = profile.Sketch.probes in
+    let worst = ref 0. in
+    for i = 0 to Array.length ps - 2 do
+      let a = ps.(i) and b = ps.(i + 1) in
+      (* only meaningful drops count: rungs past the trivial small
+         capacities, carrying real miss mass *)
+      if a.Sketch.capacity >= 8 && a.Sketch.rate >= 0.05 then begin
+        let drop = (a.Sketch.rate -. b.Sketch.rate) /. a.Sketch.rate in
+        if drop > !worst then worst := drop
+      end
+    done;
+    Float.min 1. (Float.max 0. ((!worst -. 0.3) /. 0.35))
+  in
+  { profile; model; cal; overcount_frac = overcount /. n; loopiness }
+
+(* Calibration lookup at capacity [c]: rho (log-log interpolated), the
+   1-sigma observation noise, the local ladder variation, and a
+   relative extrapolation penalty outside the probed range. *)
+let calibration t c =
+  let cal = t.cal in
+  let len = Array.length cal in
+  (* a (D, A) product landing exactly on a rung is a measurement, not an
+     interpolation: no cliff, no extrapolation penalty *)
+  let exact_rung =
+    let found = ref None in
+    Array.iter (fun k -> if Float.abs (k.cap -. c) < 0.5 then found := Some k) cal;
+    !found
+  in
+  match exact_rung with
+  | Some k -> (k.rho, k.sigma, 0., 0.)
+  | None ->
+  if len = 0 then (1., 0., 0., 0.5)
+  else if len = 1 then
+    let k = cal.(0) in
+    (k.rho, k.sigma, 0., 0.1 *. Float.abs (log (c /. k.cap) /. log 2.))
+  else if c <= cal.(0).cap then
+    let k = cal.(0) in
+    let cliff = 0.5 *. Float.abs (cal.(0).obs -. cal.(1).obs) in
+    (k.rho, k.sigma, cliff, 0.1 *. (log (k.cap /. c) /. log 2.))
+  else if c >= cal.(len - 1).cap then
+    let k = cal.(len - 1) in
+    let cliff = 0.5 *. Float.abs (cal.(len - 1).obs -. cal.(len - 2).obs) in
+    (k.rho, k.sigma, cliff, 0.15 *. (log (c /. k.cap) /. log 2.))
+  else begin
+    let j = ref 0 in
+    while cal.(!j + 1).cap < c do
+      incr j
+    done;
+    let a = cal.(!j) and b = cal.(!j + 1) in
+    let w = log (c /. a.cap) /. log (b.cap /. a.cap) in
+    let rho = exp (((1. -. w) *. log a.rho) +. (w *. log b.rho)) in
+    let sigma = Float.max a.sigma b.sigma in
+    let cliff = 0.5 *. Float.abs (a.obs -. b.obs) in
+    (rho, sigma, cliff, 0.)
+  end
+
+(* -- budget calibration: the depth-1 direct-mapped warm miss count is
+   transitions - N', with only the cardinality estimate uncertain -- *)
+
+let max_misses t =
+  let transitions = float_of_int t.profile.Sketch.transitions in
+  let d = t.profile.Sketch.distinct in
+  let spread = z *. d *. t.profile.Sketch.distinct_rel_err in
+  let est = Float.max 0. (transitions -. d) in
+  {
+    est;
+    lo = Float.max 0. (transitions -. d -. spread);
+    hi = Float.max 0. (transitions -. d +. spread);
+  }
+
+let misses t ~depth ~assoc =
+  if depth = 1 && assoc = 1 then
+    (* exactly the max-misses identity: an access to a 1-line cache
+       misses iff the address changed, cold misses excepted *)
+    max_misses t
+  else if
+    (* Once the associativity alone covers the whole working set (at
+       its upper cardinality bound), every set holds every line that
+       can ever map to it and warm misses are exactly zero — no model,
+       no bar. This is also what terminates the budget searches: the
+       conservative (hi-bound) answer retains floor terms that never
+       meet a small budget on their own, so without a provably-zero
+       point the associativity ladder would climb forever. *)
+    float_of_int assoc
+    >= t.profile.Sketch.distinct
+       *. (1. +. (z *. t.profile.Sketch.distinct_rel_err))
+  then { est = 0.; lo = 0.; hi = 0. }
+  else
+  let e = Che.estimate t.model ~depth ~assoc in
+  let warm = t.model.Che.warm in
+  if warm <= 0. then { est = 0.; lo = 0.; hi = 0. }
+  else begin
+    let c = float_of_int depth *. float_of_int assoc in
+    let rho, sigma, cliff, extrap = calibration t c in
+    (* The calibration ratio corrects the model's *fully-associative*
+       account of temporal structure, so it scales only the capacity
+       (generic) component; the set-conflict excess on top of it is a
+       placement prediction the probes cannot confirm, carried through
+       uncalibrated and reflected symmetrically in the bars. *)
+    let gen_cal = Float.min warm (e.Che.generic *. rho) in
+    let excess = Float.max 0. (e.Che.misses -. e.Che.generic) in
+    let est = Float.min warm (gen_cal +. excess +. (0.3 *. e.Che.dispersion)) in
+    (* Under deterministic cycling the FA measurement does not transfer
+       to a set-partitioned cache (a thrashing FA stack says nothing
+       about sets that each hold their members), so the pure per-set
+       IRM figure is a live alternative hypothesis exactly to the
+       degree the trace looks loop-like. *)
+    let raw = Float.min warm e.Che.misses in
+    let core_lo, core_hi =
+      if depth = 1 then (est, est)
+      else begin
+        let alt = (t.loopiness *. raw) +. ((1. -. t.loopiness) *. est) in
+        (Float.min est alt, Float.max est alt)
+      end
+    in
+    (* rate-unit terms: what the probes cannot pin down at this capacity *)
+    let u_rate = (z *. sigma) +. cliff in
+    (* relative terms: model risk scales with the estimate itself *)
+    let u_rel =
+      (z *. t.profile.Sketch.distinct_rel_err)
+      +. t.overcount_frac
+      +. (0.1 /. sqrt (float_of_int assoc))
+      +. extrap
+    in
+    let half = (est *. u_rel) +. (warm *. u_rate) +. Float.max 2. (0.005 *. est) in
+    (* Loop-structured traces (cliff-like miss-rate curve) break the
+       IRM's set-level story in both directions: deterministic
+       alternation can miss up to the overfull-set ceiling, and lucky
+       placement/phasing can erase both the predicted conflicts and a
+       chunk of the capacity misses. *)
+    let up =
+      excess +. e.Che.dispersion +. (t.loopiness *. Float.max 0. (e.Che.ceiling -. est))
+    in
+    let down =
+      excess
+      +. (t.loopiness *. ((0.5 *. gen_cal) +. Float.min est (0.02 *. warm)))
+    in
+    {
+      est;
+      lo = Float.max 0. (core_lo -. down -. half);
+      hi = Float.min warm (core_hi +. up +. half);
+    }
+  end
+
+let distinct t =
+  let d = t.profile.Sketch.distinct in
+  let spread = z *. d *. t.profile.Sketch.distinct_rel_err in
+  { est = d; lo = Float.max 0. (d -. spread); hi = d +. spread }
+
+(* -- minimal-associativity search under a budget --
+
+   Like Optimizer.level_result_of_histogram but over the estimator:
+   find the smallest A whose (approximately monotone) estimated miss
+   count meets K. Exponential bracket + binary search, so a deep level
+   on a high-cardinality trace costs O(log A) evaluations instead of A.
+   Memoised per prepared estimator: the est/lo/hi searches and every
+   percent column share (depth, assoc) evaluations. *)
+
+let search_min pred =
+  if pred 1 then 1
+  else begin
+    let hi = ref 2 in
+    while not (pred !hi) && !hi < 1 lsl 30 do
+      hi := !hi * 2
+    done;
+    let lo = ref (!hi / 2) and hi = ref !hi in
+    (* invariant: pred !hi holds, pred !lo does not *)
+    while !hi - !lo > 1 do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if pred mid then hi := mid else lo := mid
+    done;
+    !hi
+  end
+
+let memo_misses t memo ~level ~assoc =
+  let key = (level, assoc) in
+  match Hashtbl.find_opt memo key with
+  | Some b -> b
+  | None ->
+    let b = misses t ~depth:(1 lsl level) ~assoc in
+    Hashtbl.add memo key b;
+    b
+
+let cell_of t memo ~level ~k =
+  let fk = float_of_int k in
+  let assoc = search_min (fun a -> (memo_misses t memo ~level ~assoc:a).est <= fk) in
+  let assoc_lo = search_min (fun a -> (memo_misses t memo ~level ~assoc:a).lo <= fk) in
+  let assoc_hi = search_min (fun a -> (memo_misses t memo ~level ~assoc:a).hi <= fk) in
+  { assoc; assoc_lo; assoc_hi }
+
+let default_percents = [ 5; 10; 15; 20 ]
+
+let table ?(percents = default_percents) ?max_level ~name prepared =
+  let address_bits = Sketch.address_bits prepared.profile in
+  let max_level =
+    match max_level with None -> address_bits | Some m -> max 0 (min m address_bits)
+  in
+  let mm = max_misses prepared in
+  let budgets = List.map (fun percent -> int_of_float mm.est * percent / 100) percents in
+  let memo = Hashtbl.create 256 in
+  let rows =
+    List.init (max_level + 1) (fun level ->
+        let depth = 1 lsl level in
+        let cells = List.map (fun k -> cell_of prepared memo ~level ~k) budgets in
+        (depth, cells))
+  in
+  {
+    name;
+    n = prepared.profile.Sketch.n;
+    distinct = distinct prepared;
+    max_misses = mm;
+    alpha = prepared.model.Che.fit.Che.alpha;
+    fit_r2 = prepared.model.Che.fit.Che.r2;
+    address_bits;
+    percents;
+    budgets;
+    rows;
+  }
+
+let optimal ?max_level ~k prepared =
+  let address_bits = Sketch.address_bits prepared.profile in
+  let max_level =
+    match max_level with None -> address_bits | Some m -> max 0 (min m address_bits)
+  in
+  let memo = Hashtbl.create 256 in
+  let levels =
+    List.init (max_level + 1) (fun level ->
+        let cell = cell_of prepared memo ~level ~k in
+        let misses = memo_misses prepared memo ~level ~assoc:cell.assoc in
+        { level; depth = 1 lsl level; cell; misses })
+  in
+  { k; levels }
+
+(* paper-style trimming: once every budget column is direct-mapped the
+   remaining rows are all 1s — keep the first and drop the rest *)
+let trim table =
+  let rec keep = function
+    | [] -> []
+    | ((_, cells) as row) :: rest ->
+      if List.for_all (fun c -> c.assoc = 1) cells then [ row ] else row :: keep rest
+  in
+  { table with rows = keep table.rows }

@@ -1,0 +1,83 @@
+(** Approximate design-space exploration: the {!Analytical_dse}-shaped
+    driver over sketches instead of exact conflict sets.
+
+    Every estimate carries an error bar. The bars are not decorative:
+    the acceptance property (tested on all PowerStone traces plus
+    synthetic zipfian grids) is that the *exact* miss count falls
+    inside [[lo, hi]] for >= 95% of (D, A) points — approximate mode
+    is allowed to be wrong, not allowed to be confidently wrong. *)
+
+(** An estimated quantity with its uncertainty interval. *)
+type bounds = { est : float; lo : float; hi : float }
+
+(** One table cell: the minimal associativity meeting the budget by the
+    point estimate, bracketed by the optimistic ([assoc_lo], from the
+    lower miss bound) and conservative ([assoc_hi], from the upper)
+    answers. *)
+type cell = { assoc : int; assoc_lo : int; assoc_hi : int }
+
+(** The paper-style exploration table, approximate edition: same
+    (depth x budget-percent) layout as {!Analytical_dse.table}, plus
+    the profile headline (N, estimated N', estimated max-misses, the
+    fitted zipf exponent and its regression quality). *)
+type table = {
+  name : string;
+  n : int;
+  distinct : bounds;
+  max_misses : bounds;
+  alpha : float;
+  fit_r2 : float;
+  address_bits : int;
+  percents : int list;
+  budgets : int list;
+  rows : (int * cell list) list;
+}
+
+type level_estimate = { level : int; depth : int; cell : cell; misses : bounds }
+
+(** Per-level answer to an absolute-budget (K) query. *)
+type optimal = { k : int; levels : level_estimate list }
+
+(** [sketch_trace ?top_k trace] profiles a materialised trace. *)
+val sketch_trace : ?top_k:int -> Trace.t -> Sketch.profile
+
+(** [sketch_file ?on_error ?format path] profiles a trace file in one
+    streaming pass — no boxed address array ever exists, so the peak
+    heap is the sketch plus the read buffer whatever the file size. *)
+val sketch_file :
+  ?on_error:Trace_io.on_error ->
+  ?format:Trace_io.format ->
+  string ->
+  (Sketch.profile * Trace_io.stream, Dse_error.t) result
+
+(** A prepared estimator: the popularity model plus the probe-ladder
+    calibration, built once per profile and shared across queries. *)
+type t
+
+val prepare : Sketch.profile -> t
+
+(** [misses t ~depth ~assoc] — estimated warm miss count with bars.
+    [depth] must be a positive power of two. *)
+val misses : t -> depth:int -> assoc:int -> bounds
+
+(** Estimated depth-1 direct-mapped warm misses (the budget
+    calibrator; exact up to the N' estimate). *)
+val max_misses : t -> bounds
+
+val distinct : t -> bounds
+
+val default_percents : int list
+
+(** [table ?percents ?max_level ~name prepared] mirrors
+    {!Analytical_dse.of_histograms}: budgets are [percents] of the
+    estimated max-misses, rows span depths up to [max_level] (default:
+    the profile's address bits). *)
+val table : ?percents:int list -> ?max_level:int -> name:string -> t -> table
+
+(** [optimal ?max_level ~k prepared] answers an absolute-budget query
+    with per-level associativities and miss bounds. *)
+val optimal : ?max_level:int -> k:int -> t -> optimal
+
+(** Drop trailing all-direct-mapped rows, keeping the first — the same
+    presentation rule as {!Analytical_dse.trim}. *)
+val trim : table -> table

@@ -1,0 +1,443 @@
+(* Che/Fagin miss-rate approximation over a sketched popularity profile.
+
+   Under the independent-reference model, an LRU cache of capacity C
+   behaves as if every object stays resident for a fixed *characteristic
+   time* T after its last access (Fagin 1977's window, Che et al.'s
+   fixed point): T solves
+
+       Phi(T) = sum_i (1 - e^{-lambda_i T}) = C
+
+   (expected number of distinct objects referenced in a window of T
+   accesses equals the capacity), and object i then misses each warm
+   access with probability e^{-lambda_i T}. The popularity profile comes
+   from the sketch: the top-K heavy hitters carry near-exact counts; the
+   tail is a fitted power law (log-log regression over the ranked head)
+   binned geometrically and rescaled so mass is conserved.
+
+   Set-associativity refinement: a depth-D cache splits addresses by
+   their low log2(D) bits (exactly the paper's conflict-set rule), so
+   each set is its own little LRU of capacity A. The heavy hitters'
+   *actual* set placement is known from their addresses; each set
+   containing hot items gets its own characteristic time (first-order
+   Newton correction from the generic T, escalating to a full solve when
+   badly off), the remaining sets share a tail-only solution. Cold
+   misses are excluded throughout, matching the exact kernel's
+   warm-only histograms. *)
+
+(* -- power-law fit: ln(count) ~ intercept - alpha * ln(rank) -- *)
+
+type fit = { alpha : float; intercept : float; r2 : float }
+
+let fit_power_law counts =
+  let pts =
+    Array.to_list counts
+    |> List.mapi (fun i c -> (log (float_of_int (i + 1)), c))
+    |> List.filter_map (fun (x, c) -> if c > 0. then Some (x, log c) else None)
+  in
+  let m = List.length pts in
+  if m < 4 then { alpha = 1.0; intercept = 0.; r2 = 0. }
+  else
+    let fm = float_of_int m in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+    let syy = List.fold_left (fun a (_, y) -> a +. (y *. y)) 0. pts in
+    let denom = (fm *. sxx) -. (sx *. sx) in
+    if denom <= 1e-12 then { alpha = 1.0; intercept = 0.; r2 = 0. }
+    else
+      let slope = ((fm *. sxy) -. (sx *. sy)) /. denom in
+      let intercept = (sy -. (slope *. sx)) /. fm in
+      let sst = syy -. (sy *. sy /. fm) in
+      let ssr =
+        List.fold_left
+          (fun a (x, y) ->
+            let e = y -. (intercept +. (slope *. x)) in
+            a +. (e *. e))
+          0. pts
+      in
+      let r2 = if sst <= 1e-12 then 1. else Float.max 0. (1. -. (ssr /. sst)) in
+      { alpha = -.slope; intercept; r2 }
+
+(* -- the popularity model -- *)
+
+type model = {
+  n : float;  (* total references *)
+  distinct : float;  (* N' estimate *)
+  warm : float;  (* n - distinct: max possible warm misses *)
+  hot_addrs : int array;  (* heavy hitters, count-descending *)
+  hot_w : float array;  (* their access counts *)
+  bin_items : float array;  (* tail bins: item count ... *)
+  bin_each : float array;  (* ... and per-item access count *)
+  fit : fit;
+}
+
+let tail_bins = 96
+
+let of_profile (p : Sketch.profile) =
+  let n = float_of_int p.n in
+  let distinct = Float.max 1. p.distinct in
+  let warm = Float.max 0. (n -. distinct) in
+  (* keep only counters whose Space-Saving overcount bound is small
+     relative to the count; the rest are unmonitored-tail noise whose
+     mass belongs to the fitted tail *)
+  let trusted =
+    Array.to_list p.heavy
+    |> List.filter (fun (h : Sketch.heavy) -> h.count >= 2 * h.overcount)
+  in
+  let hot_addrs = Array.of_list (List.map (fun (h : Sketch.heavy) -> h.addr) trusted) in
+  let hot_w =
+    Array.of_list
+      (List.map
+         (fun (h : Sketch.heavy) ->
+           float_of_int h.count -. (float_of_int h.overcount /. 2.))
+         trusted)
+  in
+  let fit = fit_power_law hot_w in
+  let h = Array.length hot_w in
+  let hot_mass = Array.fold_left ( +. ) 0. hot_w in
+  let tail_items = Float.max 0. (distinct -. float_of_int h) in
+  let tail_mass = Float.max 0. (n -. hot_mass) in
+  let bin_items, bin_each =
+    if tail_items < 0.5 || tail_mass < 0.5 then ([||], [||])
+    else begin
+      let nb = min tail_bins (max 1 (int_of_float (ceil tail_items))) in
+      let alpha = Float.min 3.5 (Float.max 0.2 fit.alpha) in
+      let edge k = exp (log (tail_items +. 1.) *. (float_of_int k /. float_of_int nb)) in
+      let items = Array.make nb 0. in
+      let weight = Array.make nb 0. in
+      for k = 0 to nb - 1 do
+        let lo = edge k and hi = edge (k + 1) in
+        items.(k) <- hi -. lo;
+        let rank = float_of_int h +. ((lo +. hi) /. 2.) in
+        weight.(k) <- Float.pow rank (-.alpha)
+      done;
+      let total = ref 0. in
+      for k = 0 to nb - 1 do
+        total := !total +. (items.(k) *. weight.(k))
+      done;
+      let scale = if !total > 0. then tail_mass /. !total else 0. in
+      let each = Array.map (fun w -> Float.max 1. (scale *. w)) weight in
+      (items, each)
+    end
+  in
+  { n; distinct; warm; hot_addrs; hot_w; bin_items; bin_each; fit }
+
+(* -- the characteristic-time fixed point -- *)
+
+let tail_phi model t =
+  let acc = ref 0. in
+  for k = 0 to Array.length model.bin_items - 1 do
+    acc := !acc +. (model.bin_items.(k) *. (1. -. exp (-.model.bin_each.(k) *. t /. model.n)))
+  done;
+  !acc
+
+let tail_phi' model t =
+  let acc = ref 0. in
+  for k = 0 to Array.length model.bin_items - 1 do
+    let l = model.bin_each.(k) /. model.n in
+    acc := !acc +. (model.bin_items.(k) *. l *. exp (-.l *. t))
+  done;
+  !acc
+
+let tail_misses model t =
+  let acc = ref 0. in
+  for k = 0 to Array.length model.bin_items - 1 do
+    let each = model.bin_each.(k) in
+    if each > 1. then
+      acc := !acc +. (model.bin_items.(k) *. (each -. 1.) *. exp (-.each *. t /. model.n))
+  done;
+  !acc
+
+let phi model t =
+  let acc = ref (tail_phi model t) in
+  for i = 0 to Array.length model.hot_w - 1 do
+    acc := !acc +. (1. -. exp (-.model.hot_w.(i) *. t /. model.n))
+  done;
+  !acc
+
+(* Monotone bisection for Phi(T) = capacity. [infinity] when the whole
+   working set fits: the cache never evicts, so warm misses are zero. *)
+let solve_on f ~target =
+  if f infinity <= target +. 1e-9 then infinity
+  else begin
+    let hi = ref 1. in
+    while f !hi < target do
+      hi := !hi *. 2.
+    done;
+    let lo = ref 0. and hi = ref !hi in
+    for _ = 1 to 64 do
+      let mid = 0.5 *. (!lo +. !hi) in
+      if f mid < target then lo := mid else hi := mid
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+let solve_t model ~capacity =
+  if capacity >= model.distinct -. 0.5 then infinity
+  else solve_on (fun t -> phi model t) ~target:capacity
+
+let misses_at model t =
+  if t = infinity then 0.
+  else begin
+    let acc = ref (tail_misses model t) in
+    for i = 0 to Array.length model.hot_w - 1 do
+      let w = model.hot_w.(i) in
+      if w > 1. then acc := !acc +. ((w -. 1.) *. exp (-.w *. t /. model.n))
+    done;
+    !acc
+  end
+
+let warm_misses_fa model ~capacity = misses_at model (solve_t model ~capacity)
+
+let rate_fa model ~capacity =
+  if model.warm <= 0. then 0. else warm_misses_fa model ~capacity /. model.warm
+
+(* -- set-associative estimate -- *)
+
+type set_estimate = {
+  misses : float;
+  generic : float;
+  imbalance : float;
+  dispersion : float;
+  ceiling : float;
+}
+
+(* beyond this many badly-off sets we fall back to the Newton step
+   rather than a full per-set solve, to bound the per-(D,A) cost *)
+let max_exact_groups = 64
+
+(* [poisson_upper_tail lam jmax] returns j -> P(X >= j) for
+   X ~ Poisson(lam), valid for any j (j <= 0 reads as 1). The tail is
+   truncated 12 sigma past the mean (the probability beyond is
+   < 1e-30; larger j read as 0). When exp(-lam) underflows every tail
+   up to the truncation point is reported as 1 — at such lam the sets
+   are certainly overfull, which is the conservative direction here —
+   and that regime is returned as a closed-form step so a huge-span
+   trace (lam in the hundreds of thousands during an associativity
+   search) never materializes an O(lam) array: the only array ever
+   allocated is bounded by the lam < 746 regime, ~1.1k floats. *)
+let poisson_upper_tail lam jmax =
+  let jcut = min jmax (32 + int_of_float (ceil (lam +. (12. *. sqrt (Float.max 0. lam))))) in
+  if lam <= 0. then fun j -> if j <= 0 then 1. else 0.
+  else begin
+    let p0 = exp (-.lam) in
+    if p0 = 0. then fun j -> if j <= jcut then 1. else 0.
+    else begin
+      let tails = Array.make (jcut + 1) 1. in
+      let p = ref p0 in
+      let cum = ref 0. in
+      for j = 1 to jcut do
+        cum := !cum +. !p;
+        tails.(j) <- Float.max 0. (1. -. !cum);
+        p := !p *. lam /. float_of_int j
+      done;
+      fun j -> if j <= 0 then 1. else if j > jcut then 0. else tails.(j)
+    end
+  end
+
+(* E[(X - a)+] - max(0, lam - a), X ~ Poisson(lam): the overflow that
+   placement *granularity* creates beyond what the uniform-spread tail
+   solve already sees. Vanishes both when the tail is sparse and when
+   it is dense enough that the uniform pressure dominates. *)
+let overflow_excess lam a =
+  if lam <= 0. || a < 1 then 0.
+  else if float_of_int a >= lam +. (12. *. sqrt lam) +. 32. then
+    (* the set's capacity is >= 12 sigma past the expected occupancy:
+       the overflow expectation is < 1e-30, and computing the series up
+       to [a] would cost O(a) for nothing *)
+    0.
+  else if exp (-.lam) = 0. then
+    (* the pmf recurrence starts (and stays) at literal zero, so the
+       series contributes nothing: the answer is max(0, -uniform) = 0
+       without walking O(lam) terms *)
+    0.
+  else begin
+    let fa = float_of_int a in
+    let uniform = Float.max 0. (lam -. fa) in
+    let kmax = a + int_of_float (ceil (lam +. (8. *. sqrt lam))) + 10 in
+    let p = ref (exp (-.lam)) in
+    let acc = ref 0. in
+    for k = 0 to kmax do
+      if k > a then acc := !acc +. (float_of_int (k - a) *. !p);
+      p := !p *. lam /. float_of_int (k + 1)
+    done;
+    Float.max 0. (!acc -. uniform)
+  end
+
+let estimate model ~depth ~assoc =
+  if depth < 1 || depth land (depth - 1) <> 0 then
+    invalid_arg "Che.estimate: depth must be a positive power of two";
+  if assoc < 1 then invalid_arg "Che.estimate: assoc must be positive";
+  let capacity = float_of_int depth *. float_of_int assoc in
+  let fits = capacity >= model.distinct -. 0.5 in
+  if model.warm <= 0. then
+    { misses = 0.; generic = 0.; imbalance = 0.; dispersion = 0.; ceiling = 0. }
+  else if depth = 1 then begin
+    (* one set: no placement risk, and the reuse probes measure this
+       configuration directly *)
+    let generic = if fits then 0. else misses_at model (solve_t model ~capacity) in
+    { misses = generic; generic; imbalance = 0.; dispersion = 0.; ceiling = 0. }
+  end
+  else begin
+    let d = float_of_int depth in
+    let target = float_of_int assoc in
+    let nhot = Array.length model.hot_w in
+    (* group heavy hitters by their actual cache set (low depth bits) *)
+    let groups = Hashtbl.create (2 * max 1 nhot) in
+    for i = 0 to nhot - 1 do
+      let set = model.hot_addrs.(i) land (depth - 1) in
+      Hashtbl.replace groups set (i :: (try Hashtbl.find groups set with Not_found -> []))
+    done;
+    (* Placement terms, computed even when the uniform model says the
+       working set fits: [dispersion] is the expected overflow from
+       Poisson granularity of the tail placement; [ceiling] the warm
+       mass of probably-overfull sets — what worst-case deterministic
+       alternation (a loop cycling through a set's members) could miss. *)
+    let tail_items = Array.fold_left ( +. ) 0. model.bin_items in
+    let tail_warm_mass = ref 0. in
+    for k = 0 to Array.length model.bin_items - 1 do
+      tail_warm_mass :=
+        !tail_warm_mass +. (model.bin_items.(k) *. Float.max 0. (model.bin_each.(k) -. 1.))
+    done;
+    let lam = tail_items /. d in
+    let tail_each_warm = if tail_items > 0.5 then !tail_warm_mass /. tail_items else 0. in
+    let tail_p = poisson_upper_tail lam (assoc + 1) in
+    let dispersion = ref 0. in
+    let ceiling = ref 0. in
+    Hashtbl.iter
+      (fun _set idxs ->
+        let h = List.length idxs in
+        let mass =
+          List.fold_left
+            (fun acc i -> acc +. Float.max 0. (model.hot_w.(i) -. 1.))
+            0. idxs
+        in
+        let j = assoc - h + 1 in
+        (* hot mass at risk once the set is overfull, plus the expected
+           tail warm mass landing in its overfull configurations
+           (E[X 1{X >= j}] = lam P(X >= j-1)) *)
+        ceiling :=
+          !ceiling +. (tail_p j *. mass) +. (lam *. tail_p (j - 1) *. tail_each_warm);
+        dispersion := !dispersion +. (overflow_excess lam (assoc - h) *. tail_each_warm))
+      groups;
+    let rest = Float.max 0. (d -. float_of_int (Hashtbl.length groups)) in
+    ceiling := !ceiling +. (rest *. lam *. tail_p assoc *. tail_each_warm);
+    dispersion := !dispersion +. (rest *. overflow_excess lam assoc *. tail_each_warm);
+    let dispersion = Float.min model.warm !dispersion in
+    let ceiling = Float.min model.warm !ceiling in
+    if fits then { misses = 0.; generic = 0.; imbalance = 0.; dispersion; ceiling }
+    else begin
+      let t0 = solve_t model ~capacity in
+      let generic = misses_at model t0 in
+      let tp0 = tail_phi model t0 /. d in
+      let tp0' = tail_phi' model t0 /. d in
+      let tm t = tail_misses model t /. d in
+      let group_occ idxs t =
+        List.fold_left
+          (fun acc i -> acc +. (1. -. exp (-.model.hot_w.(i) *. t /. model.n)))
+          0. idxs
+      in
+      let group_occ' idxs t =
+        List.fold_left
+          (fun acc i ->
+            let l = model.hot_w.(i) /. model.n in
+            acc +. (l *. exp (-.l *. t)))
+          0. idxs
+      in
+      let group_misses idxs t =
+        List.fold_left
+          (fun acc i ->
+            let w = model.hot_w.(i) in
+            if w > 1. then acc +. ((w -. 1.) *. exp (-.w *. t /. model.n)) else acc)
+          0. idxs
+      in
+      let entries =
+        Hashtbl.fold
+          (fun _set idxs acc ->
+            let occ = group_occ idxs t0 +. tp0 in
+            (idxs, occ) :: acc)
+          groups []
+      in
+      (* the badly-off sets get a real solve; ranked so a pathological
+         mapping cannot make one (D,A) point arbitrarily expensive *)
+      let deviant (_, occ) = Float.abs (occ -. target) > 0.25 *. Float.max target occ in
+      let bad = List.filter deviant entries in
+      let bad =
+        List.sort
+          (fun (_, o1) (_, o2) ->
+            compare (Float.abs (o2 -. target)) (Float.abs (o1 -. target)))
+          bad
+      in
+      let exact_set = Hashtbl.create 64 in
+      List.iteri
+        (fun rank (idxs, _) -> if rank < max_exact_groups then Hashtbl.replace exact_set idxs ())
+        bad;
+      let total = ref 0. in
+      let ngroups = ref 0 in
+      List.iter
+        (fun (idxs, occ) ->
+          incr ngroups;
+          let tg =
+            if Hashtbl.mem exact_set idxs then
+              solve_on
+                (fun t -> group_occ idxs t +. (tail_phi model t /. d))
+                ~target
+            else begin
+              let occ' = group_occ' idxs t0 +. tp0' in
+              if occ' <= 1e-300 then t0
+              else
+                let t = t0 +. ((target -. occ) /. occ') in
+                Float.min (t0 *. 16.) (Float.max (t0 /. 16.) t)
+            end
+          in
+          total := !total +. group_misses idxs tg +. tm tg)
+        entries;
+      (* sets with no heavy hitter share a tail-only characteristic time *)
+      let rest = d -. float_of_int !ngroups in
+      if rest > 0. then begin
+        let t_rest = solve_on (fun t -> tail_phi model t /. d) ~target in
+        total := !total +. (rest /. d *. tail_misses model t_rest)
+      end;
+      let misses = Float.min model.warm (Float.max 0. !total) in
+      { misses; generic; imbalance = Float.abs (misses -. generic); dispersion; ceiling }
+    end
+  end
+
+(* -- closed-form power-law miss rate (Berthet / Che asymptotics) --
+
+   For an infinite catalogue with popularity density p(r) = (a-1) r^{-a}
+   (a > 1), the fixed point integrates in closed form and the miss rate
+   at capacity C collapses to
+
+       M(C) = ((a-1)/a) * Gamma(1 - 1/a)^a * (C+1)^{1-a}
+
+   — the unit-vector formula the solver is tested against. *)
+
+(* Lanczos g=7 log-gamma, with reflection for x < 0.5 *)
+let lngamma x =
+  let coef =
+    [|
+      676.5203681218851; -1259.1392167224028; 771.32342877765313; -176.61502916214059;
+      12.507343278686905; -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7;
+    |]
+  in
+  let rec go x =
+    if x < 0.5 then log (Float.pi /. sin (Float.pi *. x)) -. go (1. -. x)
+    else begin
+      let x = x -. 1. in
+      let a = ref 0.99999999999980993 in
+      for i = 0 to 7 do
+        a := !a +. (coef.(i) /. (x +. float_of_int (i + 1)))
+      done;
+      let t = x +. 7.5 in
+      (0.5 *. log (2. *. Float.pi)) +. (((x +. 0.5) *. log t) -. t) +. log !a
+    end
+  in
+  go x
+
+let zipf_miss_rate ~alpha ~capacity =
+  if not (alpha > 1.) then invalid_arg "Che.zipf_miss_rate: alpha must exceed 1";
+  if not (capacity >= 0.) then invalid_arg "Che.zipf_miss_rate: negative capacity";
+  let g = exp (alpha *. lngamma (1. -. (1. /. alpha))) in
+  (alpha -. 1.) /. alpha *. g *. Float.pow (capacity +. 1.) (1. -. alpha)

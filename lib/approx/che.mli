@@ -1,0 +1,80 @@
+(** Che/Fagin characteristic-time miss-rate estimation over a sketched
+    popularity profile.
+
+    Under the independent-reference model an LRU cache of capacity [C]
+    admits a characteristic time [T] solving the fixed point
+    [Phi(T) = sum_i (1 - exp(-lambda_i T)) = C]; object [i] then misses
+    each warm access with probability [exp(-lambda_i T)] (Fagin 1977,
+    Che et al. 2002, Berthet's power-law application). The popularity
+    model is assembled from a {!Sketch.profile}: exact-ish heavy-hitter
+    counts for the head, a fitted power-law tail (log-log regression)
+    binned geometrically with mass conserved. *)
+
+(** Least-squares fit of [ln count ~ intercept - alpha * ln rank]. *)
+type fit = { alpha : float; intercept : float; r2 : float }
+
+(** [fit_power_law counts] regresses over the ranked (descending)
+    [counts]; degenerate inputs (< 4 positive points) fall back to
+    [alpha = 1, r2 = 0]. *)
+val fit_power_law : float array -> fit
+
+(** The popularity model: heavy head + binned power-law tail. *)
+type model = {
+  n : float;
+  distinct : float;
+  warm : float;  (** [n - distinct]: the warm-access (and miss) ceiling *)
+  hot_addrs : int array;
+  hot_w : float array;
+  bin_items : float array;
+  bin_each : float array;
+  fit : fit;
+}
+
+val of_profile : Sketch.profile -> model
+
+(** [phi model t] — expected distinct objects referenced in a window of
+    [t] accesses; monotone in [t], saturating at [distinct]. *)
+val phi : model -> float -> float
+
+(** [solve_t model ~capacity] solves the fixed point by bisection;
+    [infinity] when the working set fits ([capacity >= distinct]),
+    meaning zero warm misses. *)
+val solve_t : model -> capacity:float -> float
+
+(** Expected warm misses of a fully-associative LRU of [capacity]
+    lines. *)
+val warm_misses_fa : model -> capacity:float -> float
+
+(** The same as a fraction of warm accesses — what the reuse probes
+    observe, hence the calibration axis. *)
+val rate_fa : model -> capacity:float -> float
+
+(** Set-associative estimate at a (depth, associativity) point.
+    [misses] uses the heavy hitters' actual set placement (low
+    [log2 depth] address bits, the paper's conflict-set rule) with
+    per-set characteristic times; [generic] is the uniform-spread
+    estimate; [imbalance] their gap. [dispersion] is the expected
+    overflow warm mass from Poisson granularity of tail placement —
+    misses the uniform tail spread cannot see near the fits boundary.
+    [ceiling] is the warm mass of probably-overfull sets: what
+    worst-case deterministic alternation (a loop cycling through a
+    set's members, which the independent-reference model cannot
+    represent) could turn into misses. Both are 0 at [depth = 1],
+    where the reuse probes measure the configuration directly. *)
+type set_estimate = {
+  misses : float;
+  generic : float;
+  imbalance : float;
+  dispersion : float;
+  ceiling : float;
+}
+
+(** Raises [Invalid_argument] unless [depth] is a positive power of two
+    and [assoc] positive. *)
+val estimate : model -> depth:int -> assoc:int -> set_estimate
+
+(** Closed form for an infinite power-law catalogue with exponent
+    [alpha > 1]: [M(C) = ((a-1)/a) * Gamma(1-1/a)^a * (C+1)^(1-a)] —
+    the unit-vector formula the solver is tested against. Raises
+    [Invalid_argument] when [alpha <= 1] or [capacity < 0]. *)
+val zipf_miss_rate : alpha:float -> capacity:float -> float

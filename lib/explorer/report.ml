@@ -21,6 +21,63 @@ let pp_stats_table fmt rows =
   List.iter (fun row -> Format.fprintf fmt "%a@," pp_stats_row row) rows;
   Format.fprintf fmt "@]"
 
+(* -- approximate tables: every quantity carries its error bar -- *)
+
+let approx_cell_to_string (c : Approx_dse.cell) =
+  if c.Approx_dse.assoc_lo = c.Approx_dse.assoc_hi then string_of_int c.Approx_dse.assoc
+  else Printf.sprintf "%d [%d,%d]" c.Approx_dse.assoc c.Approx_dse.assoc_lo c.Approx_dse.assoc_hi
+
+let pp_approx_instances fmt (t : Approx_dse.table) =
+  Format.fprintf fmt
+    "@[<v>%s (approx: N=%d, N'~%.0f [%.0f, %.0f], max misses~%.0f [%.0f, %.0f], zipf \
+     alpha=%.2f, fit r2=%.2f)@,"
+    t.Approx_dse.name t.Approx_dse.n t.Approx_dse.distinct.Approx_dse.est
+    t.Approx_dse.distinct.Approx_dse.lo t.Approx_dse.distinct.Approx_dse.hi
+    t.Approx_dse.max_misses.Approx_dse.est t.Approx_dse.max_misses.Approx_dse.lo
+    t.Approx_dse.max_misses.Approx_dse.hi t.Approx_dse.alpha t.Approx_dse.fit_r2;
+  Format.fprintf fmt "%-8s" "depth";
+  List.iter (fun p -> Format.fprintf fmt " %11d%%" p) t.Approx_dse.percents;
+  Format.fprintf fmt "@,";
+  List.iter
+    (fun (depth, cells) ->
+      Format.fprintf fmt "%-8d" depth;
+      List.iter (fun c -> Format.fprintf fmt " %12s" (approx_cell_to_string c)) cells;
+      Format.fprintf fmt "@,")
+    t.Approx_dse.rows;
+  Format.fprintf fmt "@]"
+
+let pp_approx_optimal fmt (r : Approx_dse.optimal) =
+  Format.fprintf fmt "@[<v>approx instances for K=%d@," r.Approx_dse.k;
+  List.iter
+    (fun (l : Approx_dse.level_estimate) ->
+      Format.fprintf fmt "level %-2d depth %-8d assoc %-12s misses~%.0f [%.0f, %.0f]@,"
+        l.Approx_dse.level l.Approx_dse.depth
+        (approx_cell_to_string l.Approx_dse.cell)
+        l.Approx_dse.misses.Approx_dse.est l.Approx_dse.misses.Approx_dse.lo
+        l.Approx_dse.misses.Approx_dse.hi)
+    r.Approx_dse.levels;
+  Format.fprintf fmt "@]"
+
+let approx_to_csv (t : Approx_dse.table) =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer "depth";
+  List.iter
+    (fun p -> Buffer.add_string buffer (Printf.sprintf ",%d%%,%d%%_lo,%d%%_hi" p p p))
+    t.Approx_dse.percents;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun (depth, cells) ->
+      Buffer.add_string buffer (string_of_int depth);
+      List.iter
+        (fun (c : Approx_dse.cell) ->
+          Buffer.add_string buffer
+            (Printf.sprintf ",%d,%d,%d" c.Approx_dse.assoc c.Approx_dse.assoc_lo
+               c.Approx_dse.assoc_hi))
+        cells;
+      Buffer.add_char buffer '\n')
+    t.Approx_dse.rows;
+  Buffer.contents buffer
+
 let json_escape s =
   let buffer = Buffer.create (String.length s + 2) in
   String.iter
@@ -38,12 +95,15 @@ let json_escape s =
 (* The fingerprint is a full 64-bit value; JSON numbers are only safe to
    2^53, so it is emitted as the same 16-digit hex string the human
    output prints. *)
-let stats_to_json ~name ~fingerprint (stats : Stats.t) =
+let stats_to_json ~name ~fingerprint ?distinct_addrs_approx (stats : Stats.t) =
   Printf.sprintf
     "{\"name\": \"%s\", \"fingerprint\": \"%016Lx\", \"n\": %d, \"n_unique\": %d, \
-     \"address_bits\": %d, \"max_misses\": %d}"
+     \"address_bits\": %d, \"max_misses\": %d%s}"
     (json_escape name) fingerprint stats.Stats.n stats.Stats.n_unique stats.Stats.address_bits
     stats.Stats.max_misses
+    (match distinct_addrs_approx with
+    | None -> ""
+    | Some estimate -> Printf.sprintf ", \"distinct_addrs_approx\": %.1f" estimate)
 
 let instances_to_csv (table : Analytical_dse.table) =
   let buffer = Buffer.create 256 in

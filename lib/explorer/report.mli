@@ -16,9 +16,29 @@ val pp_stats_table : Format.formatter -> (string * Stats.t) list -> unit
 (** [instances_to_csv table] renders the table as CSV (header included). *)
 val instances_to_csv : Analytical_dse.table -> string
 
-(** [stats_to_json ~name ~fingerprint stats] renders one trace's
-    statistics as a single-line JSON object ([dse stats --json]): name,
-    cache fingerprint (16 hex digits — 64 bits exceed JSON's safe
-    integer range, so it is a string), N, N', address bits and the
-    fully-associative miss bound. *)
-val stats_to_json : name:string -> fingerprint:int64 -> Stats.t -> string
+(** [pp_approx_instances fmt table] is the approximate edition of
+    {!pp_instances}: the headline carries the profile's estimates with
+    their error bars (N' and max-misses intervals, the fitted zipf
+    exponent and its regression quality), and a cell whose bracket
+    [[assoc_lo, assoc_hi]] is wider than a point prints it — the table
+    says not just the answer but how sure the sketch is of it. *)
+val pp_approx_instances : Format.formatter -> Approx_dse.table -> unit
+
+(** [pp_approx_optimal fmt optimal] renders an absolute-budget answer
+    with per-level miss estimates and bars. *)
+val pp_approx_optimal : Format.formatter -> Approx_dse.optimal -> unit
+
+(** [approx_to_csv table] renders the approximate table as CSV; each
+    budget column expands to three ([p%], [p%_lo], [p%_hi]). *)
+val approx_to_csv : Approx_dse.table -> string
+
+(** [stats_to_json ~name ~fingerprint ?distinct_addrs_approx stats]
+    renders one trace's statistics as a single-line JSON object ([dse
+    stats --json]): name, cache fingerprint (16 hex digits — 64 bits
+    exceed JSON's safe integer range, so it is a string), N, N',
+    address bits and the fully-associative miss bound.
+    [distinct_addrs_approx] (the sketch's cardinality estimate, [dse
+    stats]'s cross-check of the approximate plane against the exact N'
+    beside it) is emitted when given. *)
+val stats_to_json :
+  name:string -> fingerprint:int64 -> ?distinct_addrs_approx:float -> Stats.t -> string

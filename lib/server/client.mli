@@ -35,6 +35,13 @@ val request : socket:string -> Protocol.request -> (Protocol.response, Dse_error
     (constraint violations, corrupt traces, deadline expiry, stalled
     workers, admission rejections) are never retried.
 
+    [approx] (default false) submits the job for approximate analysis:
+    the daemon decodes the record stream straight into a one-pass
+    sketch (the trace never materialises server-side, and admission
+    prices it at the sketch's fixed footprint) and answers with
+    {!Protocol.Approx_table} / {!Protocol.Approx_optimal} — estimates
+    with error bars. [method_] is ignored when [approx] is set.
+
     The payload says whether the result came from the daemon's
     cache. *)
 val submit :
@@ -43,6 +50,7 @@ val submit :
   ?k:int ->
   ?max_level:int ->
   ?method_:Analytical.method_ ->
+  ?approx:bool ->
   ?domains:int ->
   ?deadline:float ->
   ?retries:int ->

@@ -28,8 +28,16 @@ let magic = "DSRV"
    v4: Health_reply carries the node's identity (stable node id + start
    epoch) so a router can tell a respawned backend — cold cache, fresh
    breaker slate — from a long-lived one, and error payloads gained the
-   Backend_unavailable tag for exhausted gateway failover. *)
-let version = 4
+   Backend_unavailable tag for exhausted gateway failover.
+
+   v5: the Submit method byte grew a fifth value (4 = approx), outcomes
+   gained the Approx_table and Approx_optimal tags (error-bar fields as
+   IEEE-754 bits, so a cached re-query is bit-identical to the first
+   answer), and the daemon decodes an approx submission's records
+   straight into a streaming sketch — the trace never materialises
+   server-side, which is why admission prices it at the sketch's fixed
+   footprint instead of per reference. *)
+let version = 5
 
 (* Caps the payload a peer can make us allocate; a 10M-reference trace
    encodes to ~50 MB, so this is generous without being unbounded. *)
@@ -37,12 +45,16 @@ let max_payload = 256 * 1024 * 1024
 
 type query = Percents of int list | Budget of int
 
+type method_spec = Exact of Analytical.method_ | Approx
+
+type submission = Full of Trace.t | Sketched of Sketch.profile
+
 type request =
   | Submit of {
       name : string;
-      trace : Trace.t;
+      trace : submission;
       query : query;
-      method_ : Analytical.method_;
+      method_ : method_spec;
       domains : int;
       max_level : int option;
       deadline : float option;
@@ -92,7 +104,11 @@ type health = {
   wal_failures : int;
 }
 
-type outcome = Table of Analytical_dse.table | Optimal of Optimizer.t
+type outcome =
+  | Table of Analytical_dse.table
+  | Optimal of Optimizer.t
+  | Approx_table of Approx_dse.table
+  | Approx_optimal of Approx_dse.optimal
 
 type result_payload = { outcome : outcome; cache_hit : bool }
 
@@ -108,6 +124,16 @@ let method_tag = function
   | Analytical.Dfs -> 1
   | Analytical.Bcat_walk -> 2
   | Analytical.Arena -> 3
+
+let method_spec_tag = function Exact m -> method_tag m | Approx -> 4
+
+let submission_fingerprint = function
+  | Full trace -> Trace.fingerprint trace
+  | Sketched profile -> profile.Sketch.fingerprint
+
+let submission_refs = function
+  | Full trace -> Trace.length trace
+  | Sketched profile -> profile.Sketch.n
 
 let kind_tag = function Trace.Fetch -> 0 | Trace.Read -> 1 | Trace.Write -> 2
 
@@ -160,8 +186,16 @@ let encode_trace buf trace =
 
 let encode_request buf = function
   | Submit { name; trace; query; method_; domains; max_level; deadline } ->
+    (* the record stream on the wire is the same whatever the method;
+       only a decoder (the daemon) turns it into a sketch, so a profile
+       is a decode-only representation with no encoding *)
+    let trace =
+      match trace with
+      | Full trace -> trace
+      | Sketched _ -> invalid_arg "Protocol: a sketched submission cannot be re-encoded"
+    in
     add_string buf name;
-    Buffer.add_char buf (Char.chr (method_tag method_));
+    Buffer.add_char buf (Char.chr (method_spec_tag method_));
     add_varint buf domains;
     (match max_level with
     | None -> add_bool buf false
@@ -224,6 +258,19 @@ let encode_error buf = function
     add_string buf node;
     add_varint buf attempts
 
+(* Approximate quantities cross the wire as raw IEEE-754 bits: a cached
+   re-query must be bit-identical to the first answer, and any decimal
+   round-trip would break that. *)
+let add_bounds buf (b : Approx_dse.bounds) =
+  add_f64 buf b.Approx_dse.est;
+  add_f64 buf b.Approx_dse.lo;
+  add_f64 buf b.Approx_dse.hi
+
+let add_cell buf (c : Approx_dse.cell) =
+  add_varint buf c.Approx_dse.assoc;
+  add_varint buf c.Approx_dse.assoc_lo;
+  add_varint buf c.Approx_dse.assoc_hi
+
 let encode_stats buf (s : Stats.t) =
   add_varint buf s.Stats.n;
   add_varint buf s.Stats.n_unique;
@@ -255,6 +302,35 @@ let encode_outcome buf = function
         add_varint buf l.Optimizer.misses;
         add_varint buf l.Optimizer.zero_miss_associativity)
       r.Optimizer.levels
+  | Approx_table (t : Approx_dse.table) ->
+    Buffer.add_char buf '\002';
+    add_string buf t.Approx_dse.name;
+    add_varint buf t.Approx_dse.n;
+    add_bounds buf t.Approx_dse.distinct;
+    add_bounds buf t.Approx_dse.max_misses;
+    add_f64 buf t.Approx_dse.alpha;
+    add_f64 buf t.Approx_dse.fit_r2;
+    add_varint buf t.Approx_dse.address_bits;
+    add_list buf t.Approx_dse.percents;
+    add_list buf t.Approx_dse.budgets;
+    add_varint buf (List.length t.Approx_dse.rows);
+    List.iter
+      (fun (depth, cells) ->
+        add_varint buf depth;
+        add_varint buf (List.length cells);
+        List.iter (add_cell buf) cells)
+      t.Approx_dse.rows
+  | Approx_optimal (r : Approx_dse.optimal) ->
+    Buffer.add_char buf '\003';
+    add_varint buf r.Approx_dse.k;
+    add_varint buf (List.length r.Approx_dse.levels);
+    List.iter
+      (fun (l : Approx_dse.level_estimate) ->
+        add_varint buf l.Approx_dse.level;
+        add_varint buf l.Approx_dse.depth;
+        add_cell buf l.Approx_dse.cell;
+        add_bounds buf l.Approx_dse.misses)
+      r.Approx_dse.levels
 
 let encode_response buf = function
   | Result { outcome; cache_hit } ->
@@ -360,10 +436,11 @@ let int_list c =
 
 let method_field c =
   match byte c with
-  | 0 -> Analytical.Streaming
-  | 1 -> Analytical.Dfs
-  | 2 -> Analytical.Bcat_walk
-  | 3 -> Analytical.Arena
+  | 0 -> Exact Analytical.Streaming
+  | 1 -> Exact Analytical.Dfs
+  | 2 -> Exact Analytical.Bcat_walk
+  | 3 -> Exact Analytical.Arena
+  | 4 -> Approx
   | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown method tag %d" b))
 
 let query_field c =
@@ -372,60 +449,93 @@ let query_field c =
   | 1 -> Budget (varint c)
   | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown query tag %d" b))
 
-let trace_field ?max_job_refs ?memory_budget ~method_ c =
-  let declared = varint c in
-  (* Admission control runs on the declared count alone — before the
-     corruption check, before [Trace.create] — so an oversized job is
-     rejected while it is still a varint and a string of frame bytes,
-     never having cost the daemon its decoded footprint. The byte
-     estimate is priced per kernel family: the submission's method was
-     decoded before the trace, so an arena job is judged by the arena
-     model (18 B/ref) and only the boxed methods pay the classic 50. *)
+(* Admission control runs on the declared count alone — before the
+   corruption check, before any allocation — so an oversized job is
+   rejected while it is still a varint and a string of frame bytes,
+   never having cost the daemon its decoded footprint. The byte
+   estimate is priced per kernel family: the submission's method was
+   decoded before the trace, so an arena job is judged by the arena
+   model (18 B/ref), the boxed methods pay the classic 50, and an
+   approx job the sketch's fixed footprint — reference count does not
+   enter its price at all, which is what lets a budget that rejects a
+   100M-reference exact job admit the same trace approximately. *)
+let admit ?max_job_refs ?memory_budget ~method_ declared =
   let model =
     match method_ with
-    | Analytical.Arena -> `Arena
-    | Analytical.Streaming | Analytical.Dfs | Analytical.Bcat_walk -> `Boxed
+    | Exact Analytical.Arena -> `Arena
+    | Exact (Analytical.Streaming | Analytical.Dfs | Analytical.Bcat_walk) -> `Boxed
+    | Approx -> `Sketch
   in
   (match max_job_refs with
   | Some budget when declared > budget ->
     Dse_error.fail
       (Dse_error.Resource_exhausted { resource = "trace references"; needed = declared; budget })
   | _ -> ());
-  (match memory_budget with
+  match memory_budget with
   | Some budget when Trace.estimate_bytes ~model ~refs:declared > budget ->
     Dse_error.fail
       (Dse_error.Resource_exhausted
          { resource = "estimated bytes";
            needed = Trace.estimate_bytes ~model ~refs:declared;
            budget })
-  | _ -> ());
+  | _ -> ()
+
+let decode_record c =
+  let start = c.pos in
+  let record = varint c in
+  let kind =
+    match record land 3 with
+    | 0 -> Trace.Fetch
+    | 1 -> Trace.Read
+    | 2 -> Trace.Write
+    | _ -> raise (Malformed (start, "bad kind tag 3"))
+  in
+  (record lsr 2, kind)
+
+let trace_field ?max_job_refs ?memory_budget ~method_ c =
+  let declared = varint c in
+  admit ?max_job_refs ?memory_budget ~method_ declared;
   (* each record is at least one byte, so a declared count beyond the
      remaining payload is corruption — caught before allocation *)
   if declared > remaining c then
     raise (Malformed (c.pos, "declared trace length exceeds the payload"));
   let trace = Trace.create ~capacity:(max 1 declared) () in
   for _ = 1 to declared do
-    let start = c.pos in
-    let record = varint c in
-    let kind =
-      match record land 3 with
-      | 0 -> Trace.Fetch
-      | 1 -> Trace.Read
-      | 2 -> Trace.Write
-      | _ -> raise (Malformed (start, "bad kind tag 3"))
-    in
-    Trace.add trace ~addr:(record lsr 2) ~kind
+    let addr, kind = decode_record c in
+    Trace.add trace ~addr ~kind
   done;
   trace
 
-let decode_submit ?max_job_refs ?memory_budget c =
+(* The approx decode path: the same record stream, fed straight into
+   the streaming sketch. No Trace.t — the daemon's peak per-job heap
+   for an approx submission is the sketch state, whatever the declared
+   length, matching the [`Sketch] admission price. The profile's
+   fingerprint is computed by the sketch over the same stream, so an
+   approx job lands on the same cache identity as an exact one. *)
+let sketch_field ?max_job_refs ?memory_budget ~method_ c =
+  let declared = varint c in
+  admit ?max_job_refs ?memory_budget ~method_ declared;
+  if declared > remaining c then
+    raise (Malformed (c.pos, "declared trace length exceeds the payload"));
+  let sketch = Sketch.create () in
+  for _ = 1 to declared do
+    let addr, kind = decode_record c in
+    Sketch.add sketch ~addr ~kind
+  done;
+  Sketch.finalize sketch
+
+let decode_submit ?max_job_refs ?memory_budget ?(sketch_approx = false) c =
   let name = string_field c in
   let method_ = method_field c in
   let domains = varint c in
   let max_level = if bool_field c then Some (varint c) else None in
   let deadline = if bool_field c then Some (f64_field c) else None in
   let query = query_field c in
-  let trace = trace_field ?max_job_refs ?memory_budget ~method_ c in
+  let trace =
+    match (method_, sketch_approx) with
+    | Approx, true -> Sketched (sketch_field ?max_job_refs ?memory_budget ~method_ c)
+    | _ -> Full (trace_field ?max_job_refs ?memory_budget ~method_ c)
+  in
   Submit { name; trace; query; method_; domains; max_level; deadline }
 
 let decode_error c =
@@ -484,6 +594,18 @@ let decode_stats c =
   let max_misses = varint c in
   { Stats.n; n_unique; address_bits; max_misses }
 
+let bounds_field c =
+  let est = f64_field c in
+  let lo = f64_field c in
+  let hi = f64_field c in
+  { Approx_dse.est; lo; hi }
+
+let cell_field c =
+  let assoc = varint c in
+  let assoc_lo = varint c in
+  let assoc_hi = varint c in
+  { Approx_dse.assoc; assoc_lo; assoc_hi }
+
 let decode_outcome c =
   match byte c with
   | 0 ->
@@ -516,6 +638,44 @@ let decode_outcome c =
           { Optimizer.level; depth; min_associativity; misses; zero_miss_associativity })
     in
     Optimal { Optimizer.k; levels }
+  | 2 ->
+    let name = string_field c in
+    let n = varint c in
+    let distinct = bounds_field c in
+    let max_misses = bounds_field c in
+    let alpha = f64_field c in
+    let fit_r2 = f64_field c in
+    let address_bits = varint c in
+    let percents = int_list c in
+    let budgets = int_list c in
+    let row_count = varint c in
+    if row_count > remaining c then
+      raise (Malformed (c.pos, "declared row count exceeds the payload"));
+    let rows =
+      List.init row_count (fun _ ->
+          let depth = varint c in
+          let cell_count = varint c in
+          if cell_count > remaining c then
+            raise (Malformed (c.pos, "declared cell count exceeds the payload"));
+          (depth, List.init cell_count (fun _ -> cell_field c)))
+    in
+    Approx_table
+      { Approx_dse.name; n; distinct; max_misses; alpha; fit_r2; address_bits; percents;
+        budgets; rows }
+  | 3 ->
+    let k = varint c in
+    let level_count = varint c in
+    if level_count > remaining c then
+      raise (Malformed (c.pos, "declared level count exceeds the payload"));
+    let levels =
+      List.init level_count (fun _ ->
+          let level = varint c in
+          let depth = varint c in
+          let cell = cell_field c in
+          let misses = bounds_field c in
+          { Approx_dse.level; depth; cell; misses })
+    in
+    Approx_optimal { Approx_dse.k; levels }
   | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown outcome tag %d" b))
 
 let decode_server_stats c =
@@ -752,14 +912,14 @@ let write_response ?(peer = "<client>") fd response =
       in
       send_frame fd ~tag (Buffer.contents buf))
 
-let read_request ?(peer = "<client>") ?max_job_refs ?memory_budget fd =
+let read_request ?(peer = "<client>") ?max_job_refs ?memory_budget ?sketch_approx fd =
   guard ~peer ~timeout:timeout_message (fun () ->
       match read_frame fd with
       | exception Clean_close -> None
       | tag, payload ->
         let c = { data = payload; pos = 0 } in
         let request =
-          if tag = tag_submit then decode_submit ?max_job_refs ?memory_budget c
+          if tag = tag_submit then decode_submit ?max_job_refs ?memory_budget ?sketch_approx c
           else if tag = tag_server_stats then Server_stats
           else if tag = tag_ping then Ping
           else if tag = tag_health then Health

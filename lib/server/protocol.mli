@@ -27,12 +27,25 @@ val version : int
     percentage sweep (Tables 7-30 layout) or one absolute miss budget. *)
 type query = Percents of int list | Budget of int
 
+(** How the daemon should analyse the submission: one of the exact
+    histogram kernels, or the one-pass approximate estimator. *)
+type method_spec = Exact of Analytical.method_ | Approx
+
+(** The decoded form of a submission's reference stream. Clients always
+    {e send} records ([Full]); what a decoder builds from them depends
+    on the method: the daemon decodes an [Approx] submission's records
+    straight into a streaming sketch ([Sketched]) so the trace never
+    materialises server-side. A [Sketched] value cannot be re-encoded
+    ({!write_request} raises [Invalid_argument]) — it is a decode-only
+    representation. *)
+type submission = Full of Trace.t | Sketched of Sketch.profile
+
 type request =
   | Submit of {
       name : string;  (** display name for the rendered table *)
-      trace : Trace.t;
+      trace : submission;
       query : query;
-      method_ : Analytical.method_;
+      method_ : method_spec;
       domains : int;  (** shard count for the job's kernel run *)
       max_level : int option;  (** as [Analytical.prepare]'s [?max_level] *)
       deadline : float option;
@@ -97,7 +110,14 @@ type health = {
   wal_failures : int;
 }
 
-type outcome = Table of Analytical_dse.table | Optimal of Optimizer.t
+(** Approximate outcomes carry their error-bar floats as raw IEEE-754
+    bits on the wire, so a cached re-query decodes bit-identically to
+    the first answer. *)
+type outcome =
+  | Table of Analytical_dse.table
+  | Optimal of Optimizer.t
+  | Approx_table of Approx_dse.table
+  | Approx_optimal of Approx_dse.optimal
 
 type result_payload = { outcome : outcome; cache_hit : bool }
 
@@ -108,10 +128,23 @@ type response =
   | Pong
   | Health_reply of health
 
-(** [method_tag m] is the stable wire tag of a kernel method (0 =
+(** [method_tag m] is the stable wire tag of an exact kernel method (0 =
     streaming, 1 = dfs, 2 = bcat, 3 = arena) — also the cache-key
     component. *)
 val method_tag : Analytical.method_ -> int
+
+(** [method_spec_tag s] extends {!method_tag} with 4 = approx — the
+    Submit method byte and the approx entries' cache-key component. *)
+val method_spec_tag : method_spec -> int
+
+(** The trace's content identity, however the submission was decoded —
+    a sketched stream fingerprints identically to the materialised
+    trace ({!Sketch.profile.fingerprint} = {!Trace.fingerprint}). *)
+val submission_fingerprint : submission -> int64
+
+(** Reference count of the submission ([Trace.length], or the sketch's
+    stream length). *)
+val submission_refs : submission -> int
 
 (** Largest accepted frame payload, in bytes. *)
 val max_payload : int
@@ -134,11 +167,22 @@ val write_request : ?peer:string -> Unix.file_descr -> request -> (unit, Dse_err
     still a varint. The estimate is priced per kernel family (the
     method field precedes the trace on the wire): arena jobs use the
     [`Arena] model, the boxed methods the [`Boxed] one — so under one
-    [--memory-budget] the daemon admits arena jobs nearly 3x larger. *)
+    [--memory-budget] the daemon admits arena jobs nearly 3x larger —
+    and approx jobs the [`Sketch] model, whose price is a fixed few MiB
+    independent of the declared length.
+
+    [sketch_approx] (default false) selects the daemon's decode for
+    [Approx] submissions: when set, the record stream is fed straight
+    into a streaming sketch and the request carries a [Sketched]
+    profile — no [Trace.t] is ever allocated, honouring the [`Sketch]
+    admission price. When unset (the router, tests), approx submissions
+    materialise like any other so the frame can be re-encoded
+    downstream. *)
 val read_request :
   ?peer:string ->
   ?max_job_refs:int ->
   ?memory_budget:int ->
+  ?sketch_approx:bool ->
   Unix.file_descr ->
   (request option, Dse_error.t) result
 

@@ -1,6 +1,8 @@
 type key = { fingerprint : int64; method_tag : int; domains : int; max_level : int }
 
-type entry = { stats : Stats.t; histograms : int array array }
+type entry =
+  | Exact of { stats : Stats.t; histograms : int array array }
+  | Approx of Sketch.profile
 
 type counters = { hits : int; misses : int; entries : int; evictions : int }
 

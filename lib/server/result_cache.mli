@@ -23,12 +23,20 @@
 
 type key = {
   fingerprint : int64;  (** {!Trace.fingerprint} of the submitted trace *)
-  method_tag : int;  (** {!Protocol.method_tag} of the histogram kernel *)
+  method_tag : int;  (** {!Protocol.method_spec_tag}: the histogram kernel, or 4 = approx *)
   domains : int;  (** shard count the job ran with *)
   max_level : int;  (** requested level bound; [-1] encodes "unbounded" *)
 }
 
-type entry = { stats : Stats.t; histograms : int array array }
+(** An exact entry is the complete design-space summary (histograms +
+    calibrating stats). An approx entry is the finalized sketch profile
+    — the approximate analogue of the same economy: every budget query
+    against it is answered by re-running the O(ms) estimator, and
+    because the estimator is deterministic in the profile, a cached
+    re-query is bit-identical to the first answer. *)
+type entry =
+  | Exact of { stats : Stats.t; histograms : int array array }
+  | Approx of Sketch.profile
 
 type counters = { hits : int; misses : int; entries : int; evictions : int }
 

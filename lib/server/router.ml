@@ -481,7 +481,7 @@ let handle_client t fd =
     let candidates = List.map (fun b -> b.name) (Array.to_list t.backends) in
     respond_and_close t fd (forward t ~hedging:false ~candidates request)
   | Ok (Some (Protocol.Submit { trace; _ } as request)) ->
-    let candidates = Ring.successors t.ring (Trace.fingerprint trace) in
+    let candidates = Ring.successors t.ring (Protocol.submission_fingerprint trace) in
     respond_and_close t fd (forward t ~hedging:true ~candidates request)
 
 (* -- health polling, from the accept loop's select tick -- *)

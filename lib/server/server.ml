@@ -11,12 +11,18 @@ type config = {
   memory_budget : int option;
 }
 
+(* What the worker actually runs: an exact kernel over a materialised
+   trace, or the approximate estimator over a profile the protocol
+   layer already sketched during decode (no trace ever existed). *)
+type work =
+  | Exact_work of { trace : Trace.t; method_ : Analytical.method_ }
+  | Approx_work of Sketch.profile
+
 type job = {
   fd : Unix.file_descr;
   name : string;
-  trace : Trace.t;
+  work : work;
   query : Protocol.query;
-  method_ : Analytical.method_;
   domains : int;
   max_level : int option;
   key : Result_cache.key;
@@ -198,13 +204,26 @@ let install_signal_handlers t =
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler
 
-let answer ~name ~query (entry : Result_cache.entry) =
-  match query with
-  | Protocol.Percents percents ->
-    Protocol.Table
-      (Analytical_dse.of_histograms ~percents ~name ~stats:entry.Result_cache.stats
-         entry.Result_cache.histograms)
-  | Protocol.Budget k -> Protocol.Optimal (Optimizer.of_histograms ~k entry.Result_cache.histograms)
+(* An exact entry answers any query straight from its histograms; an
+   approx entry re-runs the O(ms) estimator over the cached profile.
+   The estimator is deterministic in the profile, so a cached re-query
+   produces bit-identical floats to the first answer. [max_level] only
+   matters for approx (exact histograms were already bounded at
+   prepare time); it rides in the cache key, so every party of a
+   flight shares it. *)
+let answer ~name ~query ~max_level (entry : Result_cache.entry) =
+  match entry with
+  | Result_cache.Exact { stats; histograms } -> (
+    match query with
+    | Protocol.Percents percents ->
+      Protocol.Table (Analytical_dse.of_histograms ~percents ~name ~stats histograms)
+    | Protocol.Budget k -> Protocol.Optimal (Optimizer.of_histograms ~k histograms))
+  | Result_cache.Approx profile -> (
+    let prepared = Approx_dse.prepare profile in
+    match query with
+    | Protocol.Percents percents ->
+      Protocol.Approx_table (Approx_dse.table ~percents ?max_level ~name prepared)
+    | Protocol.Budget k -> Protocol.Approx_optimal (Approx_dse.optimal ?max_level ~k prepared))
 
 let stats_reply t =
   let c = Result_cache.counters t.cache in
@@ -286,7 +305,9 @@ let respond_flight t job outcome =
     let response =
       match outcome with
       | Ok entry ->
-        Protocol.Result { Protocol.outcome = answer ~name ~query entry; cache_hit = false }
+        Protocol.Result
+          { Protocol.outcome = answer ~name ~query ~max_level:job.max_level entry;
+            cache_hit = false }
       | Error e -> Protocol.Server_error e
     in
     respond_and_close t fd response
@@ -313,14 +334,22 @@ let run_job t ~heartbeat job =
       (* the deadline clock started at submission, so time spent queued
          counts; an already-expired job fails here without a kernel run *)
       Cancel.check cancel;
-      let prepared = Analytical.prepare ?max_level:job.max_level job.trace in
-      (* O(1) off the arena build: the default arena method never boxes
-         the strip, so a job's heap cost is the decoded trace alone *)
-      let stats = Analytical.stats prepared in
-      let histograms =
-        Analytical.histograms ~cancel ~method_:job.method_ ~domains:job.domains prepared
-      in
-      { Result_cache.stats; histograms }
+      (match job.work with
+      | Exact_work { trace; method_ } ->
+        let prepared = Analytical.prepare ?max_level:job.max_level trace in
+        (* O(1) off the arena build: the default arena method never boxes
+           the strip, so a job's heap cost is the decoded trace alone *)
+        let stats = Analytical.stats prepared in
+        let histograms =
+          Analytical.histograms ~cancel ~method_ ~domains:job.domains prepared
+        in
+        Result_cache.Exact { stats; histograms }
+      | Approx_work profile ->
+        (* the estimator is exercised once here, so a degenerate profile
+           becomes a typed reply from the worker instead of an exception
+           in the accept loop's answer path *)
+        ignore (Approx_dse.prepare profile);
+        Result_cache.Approx profile)
     with
     | entry -> Ok entry
     | exception Dse_error.Error e -> Error e
@@ -378,15 +407,30 @@ let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~dea
     respond_and_close t fd
       (Protocol.Server_error (Dse_error.Constraint_violation { context = "submit"; message }))
   in
-  if Trace.length trace = 0 then reject "empty trace"
+  (* Total over (spec, decoded payload). The daemon's decoder sketches
+     approx submissions, so Approx normally arrives Sketched; a
+     materialised approx submission (a hand-crafted frame) is sketched
+     here, and a sketched exact one is impossible to serve. *)
+  let work =
+    match (method_, trace) with
+    | Protocol.Exact m, Protocol.Full trace -> Ok (Exact_work { trace; method_ = m })
+    | Protocol.Approx, Protocol.Sketched profile -> Ok (Approx_work profile)
+    | Protocol.Approx, Protocol.Full trace -> Ok (Approx_work (Sketch.of_trace trace))
+    | Protocol.Exact _, Protocol.Sketched _ ->
+      Error "a sketched submission cannot run an exact method"
+  in
+  match work with
+  | Error message -> reject message
+  | Ok work ->
+  if Protocol.submission_refs trace = 0 then reject "empty trace"
   else if domains < 1 then reject "domains must be >= 1"
   else if (match deadline with Some d -> not (d > 0.) || d = infinity | None -> false) then
     reject "deadline must be a positive finite number of seconds"
   else begin
     let key =
       {
-        Result_cache.fingerprint = Trace.fingerprint trace;
-        method_tag = Protocol.method_tag method_;
+        Result_cache.fingerprint = Protocol.submission_fingerprint trace;
+        method_tag = Protocol.method_spec_tag method_;
         domains;
         max_level = (match max_level with None -> -1 | Some level -> level);
       }
@@ -396,7 +440,8 @@ let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~dea
       (* hot path: answered in the accept loop, no queueing, no kernel —
          cache hits stay answerable even when the queue is shedding *)
       respond_and_close t fd
-        (Protocol.Result { Protocol.outcome = answer ~name ~query entry; cache_hit = true })
+        (Protocol.Result
+           { Protocol.outcome = answer ~name ~query ~max_level entry; cache_hit = true })
     | None -> (
       (* single flight: a duplicate of a job already running attaches
          to it instead of electing a redundant kernel run; the leader's
@@ -410,7 +455,7 @@ let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~dea
           | Some seconds -> Cancel.after seconds
         in
         let job =
-          { fd; name; trace; query; method_; domains; max_level; key; cancel;
+          { fd; name; work; query; domains; max_level; key; cancel;
             settled = Atomic.make false }
         in
         let fail_flight e =
@@ -421,8 +466,16 @@ let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~dea
               respond_and_close t w.Inflight.fd (Protocol.Server_error e))
             waiters
         in
+        (* Approx jobs are never shed: their kernel is O(ms) over O(kB)
+           of state whatever the stream length, so they ride the light
+           tier with pings and cache probes. *)
+        let heavy =
+          match work with
+          | Exact_work { trace; _ } -> Trace.length trace >= heavy_refs
+          | Approx_work _ -> false
+        in
         let pending = Job_queue.length t.queue in
-        if pending >= watermark t.config && Trace.length trace >= heavy_refs then begin
+        if pending >= watermark t.config && heavy then begin
           (* overload shedding: past the watermark, heavy jobs are
              refused up front with a load-proportional retry hint, while
              light jobs, pings, health probes and cache hits still go
@@ -452,7 +505,7 @@ let handle_connection t fd =
   Unix.setsockopt_float fd Unix.SO_SNDTIMEO 30.0;
   match
     Protocol.read_request ?max_job_refs:t.config.max_job_refs
-      ?memory_budget:t.config.memory_budget fd
+      ?memory_budget:t.config.memory_budget ~sketch_approx:true fd
   with
   | Ok None ->
     (* liveness probe (socket claim, monitoring): close silently *)

@@ -39,38 +39,44 @@ let add_fingerprint buf fp =
     Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical fp (8 * i)) land 0xFF))
   done
 
+(* Approx entries are deliberately not persisted: the record format is
+   the exact histogram summary, and an approx profile is cheap to
+   recompute from a resubmission (one streaming pass) — so a restarted
+   daemon simply answers approx repeats cold. [None] means "nothing to
+   write", and both the append path and compaction skip it. *)
 let encode_record (key : Result_cache.key) (entry : Result_cache.entry) =
-  let payload = Buffer.create 256 in
-  add_fingerprint payload key.Result_cache.fingerprint;
-  add_varint payload key.Result_cache.method_tag;
-  add_varint payload key.Result_cache.domains;
-  add_varint payload (key.Result_cache.max_level + 1);
-  let stats = entry.Result_cache.stats in
-  add_varint payload stats.Stats.n;
-  add_varint payload stats.Stats.n_unique;
-  add_varint payload stats.Stats.address_bits;
-  add_varint payload stats.Stats.max_misses;
-  let histograms = entry.Result_cache.histograms in
-  add_varint payload (Array.length histograms);
-  Array.iter
-    (fun histogram ->
-      add_varint payload (Array.length histogram);
-      Array.iter (add_varint payload) histogram)
-    histograms;
-  let payload = Buffer.contents payload in
-  let buf = Buffer.create (String.length payload + 16) in
-  Buffer.add_string buf magic;
-  Buffer.add_char buf (Char.chr version);
-  add_varint buf (String.length payload);
-  Buffer.add_string buf payload;
-  let body = Buffer.contents buf in
-  let crc = Crc32.digest_string body in
-  let record = Buffer.create (String.length body + 4) in
-  Buffer.add_string record body;
-  for i = 0 to 3 do
-    Buffer.add_char record (Char.chr ((crc lsr (8 * i)) land 0xFF))
-  done;
-  Buffer.contents record
+  match entry with
+  | Result_cache.Approx _ -> None
+  | Result_cache.Exact { stats; histograms } ->
+    let payload = Buffer.create 256 in
+    add_fingerprint payload key.Result_cache.fingerprint;
+    add_varint payload key.Result_cache.method_tag;
+    add_varint payload key.Result_cache.domains;
+    add_varint payload (key.Result_cache.max_level + 1);
+    add_varint payload stats.Stats.n;
+    add_varint payload stats.Stats.n_unique;
+    add_varint payload stats.Stats.address_bits;
+    add_varint payload stats.Stats.max_misses;
+    add_varint payload (Array.length histograms);
+    Array.iter
+      (fun histogram ->
+        add_varint payload (Array.length histogram);
+        Array.iter (add_varint payload) histogram)
+      histograms;
+    let payload = Buffer.contents payload in
+    let buf = Buffer.create (String.length payload + 16) in
+    Buffer.add_string buf magic;
+    Buffer.add_char buf (Char.chr version);
+    add_varint buf (String.length payload);
+    Buffer.add_string buf payload;
+    let body = Buffer.contents buf in
+    let crc = Crc32.digest_string body in
+    let record = Buffer.create (String.length body + 4) in
+    Buffer.add_string record body;
+    for i = 0 to 3 do
+      Buffer.add_char record (Char.chr ((crc lsr (8 * i)) land 0xFF))
+    done;
+    Some (Buffer.contents record)
 
 (* -- replay -- *)
 
@@ -155,7 +161,9 @@ let parse_record data pos =
   in
   if c.pos <> payload_end then raise Bad;
   let key = { Result_cache.fingerprint; method_tag; domains; max_level } in
-  let entry = { Result_cache.stats = { Stats.n; n_unique; address_bits; max_misses }; histograms } in
+  let entry =
+    Result_cache.Exact { stats = { Stats.n; n_unique; address_bits; max_misses }; histograms }
+  in
   ((key, entry), payload_end + 4)
 
 type replay = {
@@ -276,7 +284,12 @@ let compact_locked t =
   Fun.protect
     ~finally:(fun () -> try Unix.close tmp_fd with Unix.Unix_error _ -> ())
     (fun () ->
-      List.iter (fun (key, entry) -> write_all tmp_fd (encode_record key entry)) entries;
+      List.iter
+        (fun (key, entry) ->
+          match encode_record key entry with
+          | Some record -> write_all tmp_fd record
+          | None -> ())
+        entries;
       Unix.fsync tmp_fd);
   Unix.rename tmp t.path;
   fsync_parent_dir t.path;
@@ -285,11 +298,14 @@ let compact_locked t =
   t.appended <- 0
 
 let append t key entry =
-  with_lock t (fun () ->
-      guard ~path:t.path (fun () ->
-          write_all t.fd (encode_record key entry);
-          t.appended <- t.appended + 1;
-          if t.appended >= t.compact_factor * t.capacity then compact_locked t))
+  match encode_record key entry with
+  | None -> Ok () (* approx entries are not persisted *)
+  | Some record ->
+    with_lock t (fun () ->
+        guard ~path:t.path (fun () ->
+            write_all t.fd record;
+            t.appended <- t.appended + 1;
+            if t.appended >= t.compact_factor * t.capacity then compact_locked t))
 
 let appended_since_compact t = with_lock t (fun () -> t.appended)
 

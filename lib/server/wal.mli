@@ -55,7 +55,10 @@ val open_ :
   (t, Dse_error.t) result
 
 (** [append t key entry] logs one store (and compacts if due). Safe from
-    any domain. *)
+    any domain. An {!Result_cache.Approx} entry is a no-op [Ok ()]: the
+    record format is the exact histogram summary, and a sketch profile
+    is cheap to recompute from a resubmission (one streaming pass), so
+    approx results are served warm only within a daemon's lifetime. *)
 val append : t -> Result_cache.key -> Result_cache.entry -> (unit, Dse_error.t) result
 
 (** [appended_since_compact t] — exposed for tests of the compaction

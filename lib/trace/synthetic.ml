@@ -108,3 +108,41 @@ let zipfian ~seed ~span ~skew ~length =
     Trace.add trace ~addr:(rank * 2654435761 mod span) ~kind:Trace.Read
   done;
   trace
+
+(* CDN/web-shaped workload: Zipf popularity over [span] objects plus
+   optional working-set churn. Each rank carries a salt; with
+   probability [churn] per reference the drawn rank's salt is bumped
+   before the access, remapping that rank to a fresh address inside the
+   span — the popularity *shape* is stationary but its *support* drifts,
+   the way a CDN's hot set rolls over as content is published. The
+   second shuffle constant is odd, so both terms permute [span] when it
+   is a power of two. Generator state is O(span) (CDF table + salts);
+   the emitted stream is unbounded — pair with
+   [Trace_io.write_binary_stream] or a sketch sink for huge lengths. *)
+let iter_power_law ~seed ~span ~skew ?(churn = 0.) ~length sink =
+  check_positive "span" span;
+  check_positive "length" length;
+  if not (churn >= 0. && churn <= 1.) then
+    invalid_arg "Synthetic: churn must be within [0, 1]";
+  let draw = zipf_sampler ~seed ~n:span ~skew in
+  let salts = if churn > 0. then Array.make span 0 else [||] in
+  let state = ref ((seed * 2) lor 5) in
+  for _k = 1 to length do
+    let rank = draw () in
+    let salt =
+      if churn > 0. then begin
+        if float_of_int (next_random state) /. float_of_int max_int < churn then
+          salts.(rank) <- salts.(rank) + 1;
+        salts.(rank)
+      end
+      else 0
+    in
+    let addr = ((rank * 2654435761) + (salt * 1540483477)) mod span in
+    sink ~addr ~kind:Trace.Read
+  done
+
+let power_law ~seed ~span ~skew ?churn ~length () =
+  let trace = Trace.create ~capacity:length () in
+  iter_power_law ~seed ~span ~skew ?churn ~length (fun ~addr ~kind ->
+      Trace.add trace ~addr ~kind);
+  trace

@@ -37,3 +37,27 @@ val zipf_sampler : seed:int -> n:int -> skew:float -> unit -> int
     with Zipf popularity, scattered over the span by a multiplicative
     hash so hot addresses are not all neighbours. *)
 val zipfian : seed:int -> span:int -> skew:float -> length:int -> Trace.t
+
+(** [iter_power_law ~seed ~span ~skew ?churn ~length sink] streams a
+    CDN/web-shaped reference trace to [sink] without materialising it:
+    Zipf([skew]) popularity over an address space of [span] words, and
+    with probability [churn] (default 0, per reference) the drawn
+    object is remapped to a fresh address — stationary popularity shape
+    over a drifting working set, the temporal-locality profile of a
+    content catalogue that rolls over. Deterministic per seed; O(span)
+    generator state but O(1) per emitted reference, so [length] can be
+    10^8+ when the sink is a file writer or a sketch. *)
+val iter_power_law :
+  seed:int ->
+  span:int ->
+  skew:float ->
+  ?churn:float ->
+  length:int ->
+  (addr:int -> kind:Trace.kind -> unit) ->
+  unit
+
+(** [power_law ~seed ~span ~skew ?churn ~length ()] materialises
+    {!iter_power_law}'s stream as a trace, for grids small enough to
+    compare against the exact kernels. *)
+val power_law :
+  seed:int -> span:int -> skew:float -> ?churn:float -> length:int -> unit -> Trace.t

@@ -119,19 +119,24 @@ let fnv_offset = 0xcbf29ce484222325L
 
 let fnv_prime = 0x100000001b3L
 
-let fingerprint t =
-  let h = ref fnv_offset in
-  let fold_int v =
-    for shift = 0 to 7 do
-      let byte = (v lsr (8 * shift)) land 0xFF in
-      h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
-    done
-  in
-  for i = 0 to t.len - 1 do
-    fold_int t.addrs.(i)
+let fingerprint_init = fnv_offset
+
+let fingerprint_add h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    let byte = (v lsr (8 * shift)) land 0xFF in
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
   done;
-  fold_int t.len;
   !h
+
+let fingerprint_finish h ~len = fingerprint_add h len
+
+let fingerprint t =
+  let h = ref fingerprint_init in
+  for i = 0 to t.len - 1 do
+    h := fingerprint_add !h t.addrs.(i)
+  done;
+  fingerprint_finish !h ~len:t.len
 
 (* Pessimistic per-reference footprint, in bytes, of admitting a job.
    Two cost models, one per kernel family:
@@ -158,10 +163,18 @@ let fingerprint t =
    direction for admission control: rejecting a job that would have fit
    costs a retry elsewhere; admitting one that does not fit OOMs the
    daemon. *)
+(* [`Sketch] — the one-pass approximate profiler never materialises the
+   trace at all: HLL registers (8 KiB), the top-K table (~100 KiB) and
+   two bucketed-LRU probes (~1 MiB) are fixed-size whatever [refs] is.
+   4 MiB is a generous ceiling over the measured footprint. *)
+let sketch_bytes = 4 * 1024 * 1024
+
 let estimate_bytes ~model ~refs =
   if refs < 0 then invalid_arg "Trace.estimate_bytes: negative reference count";
-  let per_ref = match model with `Boxed -> 50 | `Arena -> 18 in
-  1024 + (refs * per_ref)
+  match model with
+  | `Boxed -> 1024 + (refs * 50)
+  | `Arena -> 1024 + (refs * 18)
+  | `Sketch -> sketch_bytes
 
 let pp_kind fmt k = Format.fprintf fmt "%c" (kind_to_char k)
 

@@ -78,6 +78,17 @@ val append : t -> t -> unit
     their cached histograms by design. *)
 val fingerprint : t -> int64
 
+(** Streaming fingerprint: fold addresses one at a time without holding
+    a trace. [fingerprint t] is exactly
+    [fingerprint_finish (fold fingerprint_add fingerprint_init addrs) ~len],
+    so a sketch built from a file stream lands on the same cache key as
+    the equivalent materialised trace. *)
+val fingerprint_init : int64
+
+val fingerprint_add : int64 -> int -> int64
+
+val fingerprint_finish : int64 -> len:int -> int64
+
 (** [estimate_bytes ~model ~refs] is a pessimistic upper bound on the
     bytes a job over a [refs]-reference trace costs the daemon.
     Computed from the *declared* reference count of a submission frame,
@@ -90,9 +101,14 @@ val fingerprint : t -> int64
     recency state; the streaming/dfs/bcat methods) or [`Arena]
     (18 B/ref — decoded trace + int32 id arena + amortised off-heap
     unique/recency state; the default arena method, whose strip never
-    exists as boxed arrays). Both include a 1 KiB fixed floor. Raises
-    [Invalid_argument] on a negative count. *)
-val estimate_bytes : model:[ `Boxed | `Arena ] -> refs:int -> int
+    exists as boxed arrays) or [`Sketch] (the one-pass approximate
+    profiler: a fixed 4 MiB regardless of [refs] — HyperLogLog
+    registers, the top-K heavy-hitter table and the two bucketed-LRU
+    probes are all trace-length-independent, which is what lets the
+    daemon admit billion-reference approx jobs under a memory budget
+    that would reject them exactly). The per-ref models include a 1 KiB
+    fixed floor. Raises [Invalid_argument] on a negative count. *)
+val estimate_bytes : model:[ `Boxed | `Arena | `Sketch ] -> refs:int -> int
 
 val pp_kind : Format.formatter -> kind -> unit
 val equal_kind : kind -> kind -> bool

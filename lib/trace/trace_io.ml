@@ -2,6 +2,10 @@ type on_error = Fail | Skip | Stop_after of int
 
 type ingest = { trace : Trace.t; skipped : int; errors : Dse_error.t list }
 
+type stream = { refs : int; skipped : int; errors : Dse_error.t list }
+
+type format = [ `Text | `Binary | `Dinero ]
+
 let max_reported_errors = 5
 
 let max_line_length = 4096
@@ -28,8 +32,6 @@ let tolerate mode tally err =
       Ok ()
     end
 
-let finish trace tally = { trace; skipped = tally.skipped; errors = List.rev tally.noted }
-
 (* -- text format -- *)
 
 let write channel trace =
@@ -41,7 +43,10 @@ let write channel trace =
       Printf.fprintf channel "%c 0x%x\n" letter a.addr)
     trace
 
-let parse_line ~file ~line_number line trace =
+(* Text parsers feed a sink callback rather than a trace, so the same
+   grammar serves both the materialising readers below and the one-pass
+   [scan]/[iter] path (where the sink is a sketch, never an array). *)
+let parse_line ~file ~line_number line sink =
   let fail message = Error (Dse_error.Parse_error { file; line = line_number; message }) in
   if String.length line > max_line_length then
     fail (Printf.sprintf "line exceeds %d bytes" max_line_length)
@@ -63,20 +68,25 @@ let parse_line ~file ~line_number line trace =
         | Ok kind -> (
           match int_of_string_opt a with
           | Some v when v >= 0 ->
-            Trace.add trace ~addr:v ~kind;
+            sink ~addr:v ~kind;
             Ok ()
           | Some _ -> fail "negative address"
           | None -> fail (Printf.sprintf "bad address %S" a)))
       | _ -> fail "expected '<kind> <address>'"
 
-let read_lines ~parse ~on_error ~file channel =
-  let trace = Trace.create () in
+let scan_lines ~parse ~on_error ~file channel sink =
   let tally = { skipped = 0; noted = [] } in
+  let refs = ref 0 in
+  let sink ~addr ~kind =
+    incr refs;
+    sink ~addr ~kind
+  in
   let rec loop line_number =
     match input_line channel with
-    | exception End_of_file -> Ok (finish trace tally)
+    | exception End_of_file ->
+      Ok { refs = !refs; skipped = tally.skipped; errors = List.rev tally.noted }
     | line -> (
-      match parse ~file ~line_number line trace with
+      match parse ~file ~line_number line sink with
       | Ok () -> loop (line_number + 1)
       | Error err -> (
         match tolerate on_error tally err with
@@ -84,6 +94,14 @@ let read_lines ~parse ~on_error ~file channel =
         | Error _ as e -> e))
   in
   loop 1
+
+let read_lines ~parse ~on_error ~file channel =
+  let trace = Trace.create () in
+  match
+    scan_lines ~parse ~on_error ~file channel (fun ~addr ~kind -> Trace.add trace ~addr ~kind)
+  with
+  | Ok s -> Ok { trace; skipped = s.skipped; errors = s.errors }
+  | Error _ as e -> e
 
 let read ?(on_error = Fail) ?(file = "<channel>") channel =
   read_lines ~parse:parse_line ~on_error ~file channel
@@ -192,7 +210,14 @@ let emit_varint emit value =
     else emit (byte lor 0x80)
   done
 
-let write_binary channel trace =
+(* Streaming v2 writer: the record count must be declared up front (the
+   format leads with it), but the records themselves are produced by a
+   callback — a synthetic generator can emit a 10^8-reference file
+   without ever holding a trace. Raises [Invalid_argument] if the
+   producer emits a different number of records than declared, since the
+   file would otherwise be structurally corrupt. *)
+let write_binary_stream channel ~length produce =
+  if length < 0 then invalid_arg "Trace_io.write_binary_stream: negative length";
   let crc = ref Crc32.init in
   let out b =
     crc := Crc32.update_byte !crc b;
@@ -200,19 +225,32 @@ let write_binary channel trace =
   in
   String.iter (fun c -> out (Char.code c)) magic_v2;
   out binary_version;
-  emit_varint out (Trace.length trace);
-  Trace.iter
-    (fun (a : Trace.access) -> emit_varint out ((a.Trace.addr lsl 2) lor kind_tag a.Trace.kind))
-    trace;
+  emit_varint out length;
+  let written = ref 0 in
+  let emit ~addr ~kind =
+    if addr < 0 then invalid_arg "Trace_io.write_binary_stream: negative address";
+    incr written;
+    emit_varint out ((addr lsl 2) lor kind_tag kind)
+  in
+  produce emit;
+  if !written <> length then
+    invalid_arg
+      (Printf.sprintf "Trace_io.write_binary_stream: declared %d records, produced %d" length
+         !written);
   let digest = Crc32.finalize !crc in
   for i = 0 to 3 do
     output_byte channel ((digest lsr (8 * i)) land 0xFF)
   done
 
-let read_binary ?(on_error = Fail) ?(file = "<channel>") channel =
+let write_binary channel trace =
+  write_binary_stream channel ~length:(Trace.length trace) (fun emit ->
+      Trace.iter (fun (a : Trace.access) -> emit ~addr:a.Trace.addr ~kind:a.Trace.kind) trace)
+
+let scan_binary ~on_error ~file channel sink =
   let r = { ic = channel; pos = 0; crc = Crc32.init } in
-  let trace = Trace.create () in
+  let refs = ref 0 in
   let tally = { skipped = 0; noted = [] } in
+  let drained () = { refs = !refs; skipped = tally.skipped; errors = List.rev tally.noted } in
   let corrupt ~offset message = Dse_error.Corrupt_binary { file; offset; message } in
   let read_records length =
     let rec loop k =
@@ -229,7 +267,8 @@ let read_binary ?(on_error = Fail) ?(file = "<channel>") channel =
           let kind =
             match tag with 0 -> Trace.Fetch | 1 -> Trace.Read | _ -> Trace.Write
           in
-          Trace.add trace ~addr:(record lsr 2) ~kind;
+          incr refs;
+          sink ~addr:(record lsr 2) ~kind;
           loop (k - 1)
     in
     loop length
@@ -286,9 +325,9 @@ let read_binary ?(on_error = Fail) ?(file = "<channel>") channel =
                ));
         match input_byte channel with
         | _ -> raise (Corrupt (r.pos, "trailing bytes after the CRC footer"))
-        | exception End_of_file -> Ok (finish trace tally)
+        | exception End_of_file -> Ok (drained ())
       end
-      else Ok (finish trace tally)
+      else Ok (drained ())
   in
   match go () with
   | result -> result
@@ -297,8 +336,16 @@ let read_binary ?(on_error = Fail) ?(file = "<channel>") channel =
        possible after a broken varint), in [Fail] abort *)
     let err = corrupt ~offset message in
     match tolerate on_error tally err with
-    | Ok () -> Ok (finish trace tally)
+    | Ok () -> Ok (drained ())
     | Error _ as e -> e)
+
+let read_binary ?(on_error = Fail) ?(file = "<channel>") channel =
+  let trace = Trace.create () in
+  match
+    scan_binary ~on_error ~file channel (fun ~addr ~kind -> Trace.add trace ~addr ~kind)
+  with
+  | Ok s -> Ok { trace; skipped = s.skipped; errors = s.errors }
+  | Error _ as e -> e
 
 let load_binary ?on_error path =
   with_in open_in_bin path (fun ic -> read_binary ?on_error ~file:path ic)
@@ -308,7 +355,7 @@ let save_binary path trace = with_out open_out_bin path (fun oc -> write_binary 
 (* -- Dinero/din format: "<label> <hex-addr>"; labels 0 read, 1 write, 2
    instruction fetch -- *)
 
-let parse_dinero_line ~file ~line_number line trace =
+let parse_dinero_line ~file ~line_number line sink =
   let fail message = Error (Dse_error.Parse_error { file; line = line_number; message }) in
   if String.length line > max_line_length then
     fail (Printf.sprintf "line exceeds %d bytes" max_line_length)
@@ -330,13 +377,13 @@ let parse_dinero_line ~file ~line_number line trace =
         | Ok kind -> (
           match int_of_string_opt ("0x" ^ a) with
           | Some v when v >= 0 ->
-            Trace.add trace ~addr:v ~kind;
+            sink ~addr:v ~kind;
             Ok ()
           | Some _ | None -> (
             (* some din files already carry a 0x prefix *)
             match int_of_string_opt a with
             | Some v when v >= 0 ->
-              Trace.add trace ~addr:v ~kind;
+              sink ~addr:v ~kind;
               Ok ()
             | Some _ | None -> fail (Printf.sprintf "bad address %S" a))))
       | _ -> fail "expected '<label> <address>'"
@@ -346,6 +393,18 @@ let read_dinero ?(on_error = Fail) ?(file = "<channel>") channel =
 
 let load_dinero ?on_error path =
   with_in open_in path (fun ic -> read_dinero ?on_error ~file:path ic)
+
+(* -- one-pass streaming -- *)
+
+let scan ?(on_error = Fail) ?(file = "<channel>") ?(format = `Text) channel sink =
+  match format with
+  | `Text -> scan_lines ~parse:parse_line ~on_error ~file channel sink
+  | `Dinero -> scan_lines ~parse:parse_dinero_line ~on_error ~file channel sink
+  | `Binary -> scan_binary ~on_error ~file channel sink
+
+let iter ?on_error ?(format = `Text) path sink =
+  let opener = match format with `Binary -> open_in_bin | `Text | `Dinero -> open_in in
+  with_in opener path (fun ic -> scan ?on_error ~file:path ~format ic sink)
 
 (* -- raising conveniences -- *)
 

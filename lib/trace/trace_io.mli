@@ -19,6 +19,14 @@ type on_error = Fail | Skip | Stop_after of int
     (capped at {!max_reported_errors}). *)
 type ingest = { trace : Trace.t; skipped : int; errors : Dse_error.t list }
 
+(** A successful one-pass scan ({!scan}/{!iter}): how many well-formed
+    references were fed to the sink, plus the same lenient-mode
+    accounting as {!ingest} — but no trace, because none was built. *)
+type stream = { refs : int; skipped : int; errors : Dse_error.t list }
+
+(** The three on-disk trace encodings, as selected by [dse --format]. *)
+type format = [ `Text | `Binary | `Dinero ]
+
 (** Cap on the per-read [errors] list (5). *)
 val max_reported_errors : int
 
@@ -55,6 +63,15 @@ val save : string -> Trace.t -> (unit, Dse_error.t) result
 
 val write_binary : out_channel -> Trace.t -> unit
 
+(** [write_binary_stream channel ~length produce] writes a v2 binary
+    trace whose records are produced one at a time by the callback
+    handed to [produce] — the generator side of the no-boxed-array
+    pipeline, so a 10^8-reference synthetic file never exists in memory.
+    Raises [Invalid_argument] if [produce] emits a number of records
+    different from the declared [length]. *)
+val write_binary_stream :
+  out_channel -> length:int -> ((addr:int -> kind:Trace.kind -> unit) -> unit) -> unit
+
 val read_binary :
   ?on_error:on_error -> ?file:string -> in_channel -> (ingest, Dse_error.t) result
 
@@ -72,6 +89,37 @@ val read_dinero :
   ?on_error:on_error -> ?file:string -> in_channel -> (ingest, Dse_error.t) result
 
 val load_dinero : ?on_error:on_error -> string -> (ingest, Dse_error.t) result
+
+(** {2 One-pass streaming}
+
+    The memory-honest ingestion path: every well-formed access is handed
+    to a sink callback in file order and nothing is retained — no boxed
+    address array, no {!Trace.t}. This is what [dse explore --approx]
+    and [dse stats --approx] feed their sketches from, which is the
+    whole reason a 10^8-reference trace fits in O(kilobytes) of analysis
+    state. Error handling (lenient modes, typed failures, CRC checking
+    for the binary format) is byte-for-byte the same machinery as the
+    materialising readers — the parsers are shared. *)
+
+(** [scan ?on_error ?file ?format channel sink] drains [channel],
+    calling [sink] once per well-formed access. [format] defaults to
+    [`Text]. *)
+val scan :
+  ?on_error:on_error ->
+  ?file:string ->
+  ?format:format ->
+  in_channel ->
+  (addr:int -> kind:Trace.kind -> unit) ->
+  (stream, Dse_error.t) result
+
+(** [iter ?on_error ?format path sink] opens [path] (binary-safe when
+    [format] is [`Binary]) and {!scan}s it. *)
+val iter :
+  ?on_error:on_error ->
+  ?format:format ->
+  string ->
+  (addr:int -> kind:Trace.kind -> unit) ->
+  (stream, Dse_error.t) result
 
 (** {2 Raising conveniences}
 

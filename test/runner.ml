@@ -15,6 +15,7 @@ let () =
          Test_asm_parser.suites;
          Test_powerstone.suites;
          Test_explorer.suites;
+         Test_approx.suites;
          Test_server.suites;
          Test_router.suites;
          Test_selfheal.suites;

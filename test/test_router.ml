@@ -199,8 +199,9 @@ let test_frame_reads_survive_dripping () =
                               { Trace.addr = 4096; kind = Trace.Write } ] in
   let request =
     Protocol.Submit
-      { name = "drip"; trace; query = Protocol.Percents [ 5; 10 ]; method_ = Analytical.Dfs;
-        domains = 2; max_level = Some 6; deadline = None }
+      { name = "drip"; trace = Protocol.Full trace; query = Protocol.Percents [ 5; 10 ];
+        method_ = Protocol.Exact Analytical.Dfs; domains = 2; max_level = Some 6;
+        deadline = None }
   in
   let request_bytes = capture_frame (fun fd -> Protocol.write_request fd request) in
   check_bool "frame spans many reads" true (Bytes.length request_bytes > 16);
@@ -216,7 +217,10 @@ let test_frame_reads_survive_dripping () =
   Unix.close b;
   (match (read_back, request) with
   | Protocol.Submit got, Protocol.Submit sent ->
-    check_bool "trace intact" true (Trace.to_list got.trace = Trace.to_list sent.trace);
+    check_bool "trace intact" true
+      (match (got.trace, sent.trace) with
+      | Protocol.Full g, Protocol.Full s -> Trace.to_list g = Trace.to_list s
+      | _ -> false);
     check_bool "query intact" true (got.query = sent.query);
     check_int "domains intact" sent.domains got.domains
   | _ -> Alcotest.fail "expected Submit");

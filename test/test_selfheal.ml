@@ -90,10 +90,11 @@ let test_kernels_honour_cancellation () =
 let key fp = { Result_cache.fingerprint = Int64.of_int fp; method_tag = 0; domains = 1; max_level = -1 }
 
 let entry seed =
-  {
-    Result_cache.stats = { Stats.n = 10 * seed; n_unique = seed; address_bits = 3; max_misses = 9 };
-    histograms = [| [| seed |]; [| seed; seed + 1 |] |];
-  }
+  Result_cache.Exact
+    {
+      stats = { Stats.n = 10 * seed; n_unique = seed; address_bits = 3; max_misses = 9 };
+      histograms = [| [| seed |]; [| seed; seed + 1 |] |];
+    }
 
 let test_cache_lru_bound () =
   let cache = Result_cache.create ~capacity:2 () in

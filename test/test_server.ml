@@ -48,9 +48,9 @@ let test_request_roundtrip () =
        (Protocol.Submit
           {
             name = "t";
-            trace;
+            trace = Protocol.Full trace;
             query = Protocol.Percents [ 5; 10 ];
-            method_ = Analytical.Dfs;
+            method_ = Protocol.Exact Analytical.Dfs;
             domains = 3;
             max_level = Some 7;
             deadline = Some 1.5;
@@ -58,9 +58,12 @@ let test_request_roundtrip () =
    with
   | Protocol.Submit s ->
     check_int "name" 1 (String.length s.name);
-    check_bool "trace" true (Trace.to_list s.trace = Trace.to_list trace);
+    check_bool "trace" true
+      (match s.trace with
+      | Protocol.Full t -> Trace.to_list t = Trace.to_list trace
+      | Protocol.Sketched _ -> false);
     check_bool "query" true (s.query = Protocol.Percents [ 5; 10 ]);
-    check_bool "method" true (s.method_ = Analytical.Dfs);
+    check_bool "method" true (s.method_ = Protocol.Exact Analytical.Dfs);
     check_int "domains" 3 s.domains;
     check_bool "max_level" true (s.max_level = Some 7);
     check_bool "deadline" true (s.deadline = Some 1.5)
@@ -70,9 +73,9 @@ let test_request_roundtrip () =
        (Protocol.Submit
           {
             name = "";
-            trace;
+            trace = Protocol.Full trace;
             query = Protocol.Budget 42;
-            method_ = Analytical.Streaming;
+            method_ = Protocol.Exact Analytical.Streaming;
             domains = 1;
             max_level = None;
             deadline = None;
@@ -174,9 +177,9 @@ let test_protocol_damage () =
            (Protocol.Submit
               {
                 name = "t";
-                trace = Trace.of_addresses [| 1; 2; 3; 4; 5 |];
+                trace = Protocol.Full (Trace.of_addresses [| 1; 2; 3; 4; 5 |]);
                 query = Protocol.Budget 1;
-                method_ = Analytical.Streaming;
+                method_ = Protocol.Exact Analytical.Streaming;
                 domains = 1;
                 max_level = None;
                 deadline = None;
@@ -281,7 +284,7 @@ let test_loopback_identity () =
           let direct = Analytical_dse.run ~name trace in
           match payload.Protocol.outcome with
           | Protocol.Table t -> check_bool (name ^ " identity") true (t = direct)
-          | Protocol.Optimal _ -> Alcotest.fail "expected a table")
+          | _ -> Alcotest.fail "expected a table")
         (Lazy.force small_traces))
 
 let test_cache_hit_identity () =
@@ -299,7 +302,7 @@ let test_cache_hit_identity () =
       check_bool "k-query hits" true k_payload.Protocol.cache_hit;
       (match k_payload.Protocol.outcome with
       | Protocol.Optimal r -> check_bool "k identity" true (r = Analytical.explore trace ~k)
-      | Protocol.Table _ -> Alcotest.fail "expected an optimizer result");
+      | _ -> Alcotest.fail "expected an optimizer result");
       let stats = ok_or_fail (Client.server_stats ~socket) in
       check_int "one kernel job" 1 stats.Protocol.jobs_completed;
       check_bool "hits counted" true (stats.Protocol.cache_hits >= 2);
