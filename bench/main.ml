@@ -646,7 +646,8 @@ let server_section () =
       Server.create ~log:(fun _ -> ())
         { Server.socket_path = socket; tcp = None; node_id = None; workers = 4;
           max_pending = 64; cache_entries = Result_cache.default_capacity;
-          wal_path = None; hang_timeout = 30.; max_job_refs = None; memory_budget = None }
+          wal_path = None; hang_timeout = 30.; max_job_refs = None; memory_budget = None;
+          peers = []; replication = 2; replication_queue = 256; anti_entropy = false }
     with
     | Ok s -> s
     | Error e -> failwith ("A13: " ^ Dse_error.to_string e)
@@ -750,7 +751,8 @@ let selfheal_section () =
   let config =
     { Server.socket_path = socket; tcp = None; node_id = None; workers = 4;
       max_pending = 64; cache_entries = Result_cache.default_capacity;
-      wal_path = Some wal; hang_timeout = 30.; max_job_refs = None; memory_budget = None }
+      wal_path = Some wal; hang_timeout = 30.; max_job_refs = None; memory_budget = None;
+      peers = []; replication = 2; replication_queue = 256; anti_entropy = false }
   in
   let start () =
     match
@@ -864,7 +866,8 @@ let supervision_section () =
     let config =
       { Server.socket_path = socket; tcp = None; node_id = None; workers; max_pending;
         cache_entries = Result_cache.default_capacity; wal_path = None;
-        hang_timeout; max_job_refs = None; memory_budget = None }
+        hang_timeout; max_job_refs = None; memory_budget = None;
+        peers = []; replication = 2; replication_queue = 256; anti_entropy = false }
     in
     match Server.create ~log:(fun _ -> ()) config with
     | Ok s ->
@@ -982,7 +985,8 @@ let router_section () =
     let config =
       { Server.socket_path = socket; tcp = None; node_id = None; workers = 2; max_pending = 32;
         cache_entries = Result_cache.default_capacity; wal_path = None; hang_timeout = 30.;
-        max_job_refs = None; memory_budget = None }
+        max_job_refs = None; memory_budget = None;
+        peers = []; replication = 2; replication_queue = 256; anti_entropy = false }
     in
     match Server.create ~log:(fun _ -> ()) config with
     | Ok s -> (socket, s, Domain.spawn (fun () -> Server.run s))
@@ -1124,9 +1128,166 @@ let router_section () =
     max_failover_latency_s;
   }
 
+(* -- A18: warm-state replication -- *)
+
+type replication_result = {
+  repl_nodes : int;
+  repl_traces : int;
+  replication_factor : int;
+  burst_rps_off : float;
+  burst_rps_on : float;
+  push_drain_seconds : float;
+  failover_cold_seconds : float;
+  failover_warm_seconds : float;
+  warm_peer_hits : int;
+  warm_kernel_reruns : int;
+  cold_kernel_reruns : int;
+}
+
+let replication_section () =
+  section "A18: replication — warm vs cold failover after losing the busiest node";
+  let boot (socket, peers, replication) =
+    let config =
+      { Server.socket_path = socket; tcp = None; node_id = None; workers = 2; max_pending = 32;
+        cache_entries = Result_cache.default_capacity; wal_path = None; hang_timeout = 30.;
+        max_job_refs = None; memory_budget = None;
+        peers; replication; replication_queue = 256; anti_entropy = false }
+    in
+    match Server.create ~log:(fun _ -> ()) config with
+    | Ok s -> (socket, s, Domain.spawn (fun () -> Server.run s))
+    | Error e -> failwith ("A18 backend: " ^ Dse_error.to_string e)
+  in
+  let stop_backend (socket, s, runner) =
+    Server.stop s;
+    Domain.join runner;
+    if Sys.file_exists socket then Sys.remove socket
+  in
+  let health socket =
+    match Client.health ~socket with
+    | Ok h -> h
+    | Error e -> failwith ("A18 health: " ^ Dse_error.to_string e)
+  in
+  let traces =
+    List.init 8 (fun i ->
+        ( Printf.sprintf "a18-%d" i,
+          Synthetic.zipfian ~seed:(1801 + i) ~span:4096 ~skew:1.1 ~length:20_000 ))
+  in
+  (* one cluster pass: warm the fleet through the router, kill the
+     busiest node, resubmit everything and time the slowest answer *)
+  let run_pass ~replicated =
+    let sockets = List.init 3 (fun _ -> Filename.temp_file "dse_bench18b" ".sock") in
+    List.iter Sys.remove sockets;
+    let servers =
+      List.map
+        (fun s ->
+          if replicated then
+            boot (s, List.filter (fun p -> p <> s) sockets, 2)
+          else boot (s, [], 1))
+        sockets
+    in
+    let listen = Filename.temp_file "dse_bench18r" ".sock" in
+    Sys.remove listen;
+    let router =
+      match
+        Router.create ~log:(fun _ -> ())
+          { Router.default_config with Router.listen; backends = sockets;
+            health_interval = 0.2; breaker = { Breaker.default_config with cooldown_base = 0.2 } }
+      with
+      | Ok r -> (listen, r, Domain.spawn (fun () -> Router.run r))
+      | Error e -> failwith ("A18 router: " ^ Dse_error.to_string e)
+    in
+    let listen, r, r_runner = router in
+    let submit (name, trace) =
+      match Client.submit ~socket:listen ~name trace with
+      | Ok payload -> payload
+      | Error e -> failwith ("A18 submit: " ^ Dse_error.to_string e)
+    in
+    (* the warm-up burst: its throughput with replication on vs off is
+       the replication overhead on the serving path (pushes are
+       off-path, so the cost should be the queue insert alone) *)
+    let (), burst_s = Timing.time_wall (fun () -> List.iter (fun job -> ignore (submit job)) traces) in
+    let burst_rps = float_of_int (List.length traces) /. burst_s in
+    (* wait for the push queues to drain so the warm pass measures
+       failover, not replication-in-flight *)
+    let (), push_drain_s =
+      Timing.time_wall (fun () ->
+          if replicated then begin
+            let deadline = Unix.gettimeofday () +. 10. in
+            let drained () =
+              List.for_all
+                (fun s ->
+                  let h = health s in
+                  h.Protocol.replication_lag = 0
+                  && h.Protocol.replicated_out = h.Protocol.jobs_completed)
+                sockets
+            in
+            while (not (drained ())) && Unix.gettimeofday () < deadline do
+              Unix.sleepf 0.02
+            done;
+            if not (drained ()) then failwith "A18: replication never drained"
+          end)
+    in
+    (* the busiest node hurts the most to lose *)
+    let victim_socket, _ =
+      List.fold_left
+        (fun (best, jobs) s ->
+          let j = (health s).Protocol.jobs_completed in
+          if j > jobs then (s, j) else (best, jobs))
+        ("", -1) sockets
+    in
+    let survivors = List.filter (fun s -> s <> victim_socket) sockets in
+    let jobs_before = List.map (fun s -> (health s).Protocol.jobs_completed) survivors in
+    let victim = List.find (fun (s, _, _) -> s = victim_socket) servers in
+    stop_backend victim;
+    let slowest = ref 0. in
+    List.iter
+      (fun job ->
+        let payload, dt = Timing.time_wall (fun () -> submit job) in
+        ignore payload;
+        if dt > !slowest then slowest := dt)
+      traces;
+    let reruns =
+      List.fold_left2
+        (fun acc s before -> acc + (health s).Protocol.jobs_completed - before)
+        0 survivors jobs_before
+    in
+    let peer_hits = (Router.stats r).Router.peer_hits in
+    Router.stop r;
+    Domain.join r_runner;
+    if Sys.file_exists listen then Sys.remove listen;
+    List.iter (fun ((s, _, _) as srv) -> if s <> victim_socket then stop_backend srv) servers;
+    (!slowest, reruns, peer_hits, push_drain_s, burst_rps)
+  in
+  let cold_s, cold_reruns, _, _, burst_rps_off = run_pass ~replicated:false in
+  let warm_s, warm_reruns, warm_peer_hits, push_drain_s, burst_rps_on =
+    run_pass ~replicated:true
+  in
+  Format.printf "fleet of 3, %d distinct traces, busiest node killed after warm-up@."
+    (List.length traces);
+  Format.printf "replication off: %.1f req/s burst, slowest resubmit %.4f s, %d kernel rerun(s)@."
+    burst_rps_off cold_s cold_reruns;
+  Format.printf
+    "replication on (R=2): %.1f req/s burst, slowest resubmit %.4f s, %d kernel rerun(s), %d peer hit(s), pushes drained in %.4f s@."
+    burst_rps_on warm_s warm_reruns warm_peer_hits push_drain_s;
+  if warm_peer_hits < 1 then failwith "A18: warm failover produced no peer hits";
+  if warm_reruns > 0 then failwith "A18: warm failover re-ran the kernel";
+  {
+    repl_nodes = 3;
+    repl_traces = List.length traces;
+    replication_factor = 2;
+    burst_rps_off;
+    burst_rps_on;
+    push_drain_seconds = push_drain_s;
+    failover_cold_seconds = cold_s;
+    failover_warm_seconds = warm_s;
+    warm_peer_hits;
+    warm_kernel_reruns = warm_reruns;
+    cold_kernel_reruns = cold_reruns;
+  }
+
 (* -- machine-readable output for tracking the perf trajectory -- *)
 
-let emit_json ~fast ~samples ~large ~approx ~server ~selfheal ~supervision ~router =
+let emit_json ~fast ~samples ~large ~approx ~server ~selfheal ~supervision ~router ~replication =
   let oc = open_out "BENCH_dse.json" in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -1173,6 +1334,13 @@ let emit_json ~fast ~samples ~large ~approx ~server ~selfheal ~supervision ~rout
         router.fleet_nodes router.distinct_traces router.mix_requests router.single_node_rps
         router.fleet_rps router.locality_hit_rate router.kill_requests router.kill_failures
         router.kill_failovers router.max_failover_latency_s;
+      Printf.fprintf oc
+        "  \"replication\": {\"fleet_nodes\": %d, \"distinct_traces\": %d, \"replication_factor\": %d, \"burst_rps_replication_off\": %.1f, \"burst_rps_replication_on\": %.1f, \"push_drain_seconds\": %.6f, \"failover_cold_seconds\": %.6f, \"failover_warm_seconds\": %.6f, \"warm_peer_hits\": %d, \"warm_kernel_reruns\": %d, \"cold_kernel_reruns\": %d},\n"
+        replication.repl_nodes replication.repl_traces replication.replication_factor
+        replication.burst_rps_off replication.burst_rps_on
+        replication.push_drain_seconds replication.failover_cold_seconds
+        replication.failover_warm_seconds replication.warm_peer_hits
+        replication.warm_kernel_reruns replication.cold_kernel_reruns;
       (* per-section GC watermarks: each key is the cumulative
          top_heap at the end of that section (monotone, so the first
          key is the purest reading) *)
@@ -1366,6 +1534,8 @@ let () =
   ignore (record_gc "supervision");
   let router = router_section () in
   ignore (record_gc "router");
+  let replication = replication_section () in
+  ignore (record_gc "replication");
   policy_section ();
   compiled_workloads_section ();
   l2_section ();
@@ -1374,5 +1544,5 @@ let () =
     List.map (fun s -> ("data", s)) data_samples
     @ List.map (fun s -> ("inst", s)) inst_samples
   in
-  emit_json ~fast ~samples ~large ~approx ~server ~selfheal ~supervision ~router;
+  emit_json ~fast ~samples ~large ~approx ~server ~selfheal ~supervision ~router ~replication;
   Format.printf "@.done.@."

@@ -595,8 +595,43 @@ let serve_cmd =
              path). Stable across restarts, which is how a router tells a respawn — same id, \
              newer start epoch — from a different node.")
   in
+  let peer_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "peer" ] ~docv:"ADDR"
+          ~doc:
+            "Another $(b,dse serve) node of the same cluster, spelled exactly as the router's \
+             $(b,--backend) for it (and as its $(b,--node-id)). Repeat once per peer. Enables \
+             the cluster-durability plane: finished results are replicated to ring successors \
+             and peers' caches answer $(b,Cache_query) lookups.")
+  in
+  let replication_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "replication" ] ~docv:"R"
+          ~doc:
+            "Total copies (the computing node included) each finished result should have on \
+             the ring; 1 disables pushes. Only meaningful with $(b,--peer).")
+  in
+  let replication_queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "replication-queue" ] ~docv:"N"
+          ~doc:
+            "Bound on queued outbound replication pushes; overflow drops the push (counted) \
+             rather than stalling job completion.")
+  in
+  let anti_entropy_arg =
+    Arg.(
+      value & flag
+      & info [ "anti-entropy" ]
+          ~doc:
+            "On startup, exchange cache-key digests with ring neighbours and pull the entries \
+             of this node's key range it does not hold — a WAL-less respawn re-warms from its \
+             peers.")
+  in
   let run socket workers max_pending cache_entries wal hang_timeout max_job_refs
-      memory_budget_mib supervise tcp node_id =
+      memory_budget_mib supervise tcp node_id peers replication replication_queue anti_entropy =
     let workers =
       if workers = 0 then max 1 (Domain.recommended_domain_count () - 1) else workers
     in
@@ -610,6 +645,8 @@ let serve_cmd =
     (match memory_budget_mib with
     | Some n when n < 1 -> usage_fail "memory-budget must be >= 1 MiB"
     | _ -> ());
+    if replication < 1 then usage_fail "replication must be >= 1";
+    if replication_queue < 1 then usage_fail "replication-queue must be >= 1";
     let memory_budget = Option.map (fun mib -> mib * 1024 * 1024) memory_budget_mib in
     let serve_once () =
       let server =
@@ -626,16 +663,23 @@ let serve_cmd =
                hang_timeout;
                max_job_refs;
                memory_budget;
+               peers;
+               replication;
+               replication_queue;
+               anti_entropy;
              })
       in
       Server.install_signal_handlers server;
       Format.eprintf
-        "dse: serving on %s%s (workers=%d, max-pending=%d, cache-entries=%d, hang-timeout=%g%s); \
+        "dse: serving on %s%s (workers=%d, max-pending=%d, cache-entries=%d, hang-timeout=%g%s%s); \
          SIGTERM drains@."
         socket
         (match tcp with None -> "" | Some addr -> Printf.sprintf " and tcp %s" addr)
         workers max_pending cache_entries hang_timeout
-        (match wal with None -> "" | Some path -> Printf.sprintf ", wal=%s" path);
+        (match wal with None -> "" | Some path -> Printf.sprintf ", wal=%s" path)
+        (match peers with
+        | [] -> ""
+        | ps -> Printf.sprintf ", peers=%d, replication=%d" (List.length ps) replication);
       (* the serve loop catches and logs per-connection/per-job failures
          itself; Cmd.eval_value ~catch:false therefore never sees a raw
          exception from the long-running path *)
@@ -653,7 +697,7 @@ let serve_cmd =
   let term =
     Term.(const run $ socket_arg $ workers_arg $ max_pending_arg $ cache_entries_arg $ wal_arg
           $ hang_timeout_arg $ max_job_refs_arg $ memory_budget_arg $ supervise_arg $ tcp_arg
-          $ node_id_arg)
+          $ node_id_arg $ peer_arg $ replication_arg $ replication_queue_arg $ anti_entropy_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -760,7 +804,12 @@ let submit_cmd =
       Format.printf "coalesced_hits %d@." h.Protocol.coalesced_hits;
       Format.printf "wal %s@." (if h.Protocol.wal_enabled then "enabled" else "disabled");
       Format.printf "wal_appends %d@." h.Protocol.wal_appends;
-      Format.printf "wal_failures %d@." h.Protocol.wal_failures
+      Format.printf "wal_failures %d@." h.Protocol.wal_failures;
+      Format.printf "peer_hits %d@." h.Protocol.peer_hits;
+      Format.printf "replicated_in %d@." h.Protocol.replicated_in;
+      Format.printf "replicated_out %d@." h.Protocol.replicated_out;
+      Format.printf "replication_lag %d@." h.Protocol.replication_lag;
+      Format.printf "replication_dropped %d@." h.Protocol.replication_dropped
     end
     else if server_stats then begin
       let s = or_exit (Client.server_stats ~socket) in
@@ -1012,42 +1061,149 @@ let route_cmd =
             "Base open-state cooldown before a half-open probe; doubles per consecutive trip, \
              capped at 10 s.")
   in
-  let run listen backends forwarders max_pending replicas connect_timeout request_timeout
-      hedge_after health_interval breaker_failures breaker_cooldown =
-    if backends = [] then usage_fail "at least one --backend is required";
-    let config =
-      {
-        Router.default_config with
-        Router.listen;
-        backends;
-        replicas;
-        forwarders;
-        max_pending;
-        connect_timeout;
-        request_timeout;
-        hedge =
-          (match hedge_after with None -> Router.Adaptive | Some s -> Router.Fixed s);
-        health_interval;
-        breaker =
-          {
-            Breaker.default_config with
-            Breaker.failure_threshold = breaker_failures;
-            cooldown_base = breaker_cooldown;
-          };
-      }
+  let spill_threshold_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "spill-threshold" ] ~docv:"RATIO"
+          ~doc:
+            "Spill a submission off its owning backend when the owner's last-polled \
+             queue-depth per worker exceeds this ratio, routing to the least-loaded live node \
+             instead. Default: never spill.")
+  in
+  let health_flag =
+    Arg.(
+      value & flag
+      & info [ "health" ]
+          ~doc:
+            "One-shot cluster health: query every $(b,--backend)'s health plane directly, \
+             print the aggregated view, and exit (9 if no backend answered). No gateway is \
+             started.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"With $(b,--health): emit one machine-readable JSON object.")
+  in
+  (* One-shot aggregated cluster health, for operators and the CI smoke:
+     each backend is asked directly (no gateway in the path), so a dead
+     node shows as down while its survivors still report. *)
+  let cluster_health backends json =
+    let views =
+      List.map
+        (fun addr ->
+          match Client.health ~socket:addr with
+          | Ok h -> (addr, Ok h)
+          | Error e -> (addr, Error (Dse_error.to_string e)))
+        backends
     in
-    let router = or_exit (Router.create config) in
-    Router.install_signal_handlers router;
-    Format.eprintf
-      "dse: routing on %s across %d backend(s) (forwarders=%d, hedge=%s); SIGTERM drains@."
-      listen (List.length backends) forwarders
-      (match hedge_after with None -> "adaptive" | Some s -> Printf.sprintf "%gs" s);
-    Router.run router
+    let up = List.filter_map (function _, Ok h -> Some h | _, Error _ -> None) views in
+    let sum f = List.fold_left (fun acc h -> acc + f h) 0 up in
+    if json then begin
+      let backend_json (addr, view) =
+        match view with
+        | Ok (h : Protocol.health) ->
+          Printf.sprintf
+            "{\"backend\":%S,\"up\":true,\"node_id\":%S,\"start_epoch\":%.3f,\"uptime\":%.3f,\
+             \"workers\":%d,\"queue_depth\":%d,\"jobs_completed\":%d,\"cache_hits\":%d,\
+             \"cache_entries\":%d,\"wal_appends\":%d,\"peer_hits\":%d,\"replicated_in\":%d,\
+             \"replicated_out\":%d,\"replication_lag\":%d,\"replication_dropped\":%d}"
+            addr h.Protocol.node_id h.Protocol.start_epoch h.Protocol.uptime
+            (List.length h.Protocol.workers)
+            h.Protocol.queue_depth h.Protocol.jobs_completed h.Protocol.cache_hits
+            h.Protocol.cache_entries h.Protocol.wal_appends h.Protocol.peer_hits
+            h.Protocol.replicated_in h.Protocol.replicated_out h.Protocol.replication_lag
+            h.Protocol.replication_dropped
+        | Error message -> Printf.sprintf "{\"backend\":%S,\"up\":false,\"error\":%S}" addr message
+      in
+      Printf.printf
+        "{\"backends\":[%s],\"up\":%d,\"total\":%d,\"jobs_completed\":%d,\"cache_entries\":%d,\
+         \"peer_hits\":%d,\"replicated_in\":%d,\"replicated_out\":%d,\"replication_dropped\":%d}\n"
+        (String.concat "," (List.map backend_json views))
+        (List.length up) (List.length views)
+        (sum (fun h -> h.Protocol.jobs_completed))
+        (sum (fun h -> h.Protocol.cache_entries))
+        (sum (fun h -> h.Protocol.peer_hits))
+        (sum (fun h -> h.Protocol.replicated_in))
+        (sum (fun h -> h.Protocol.replicated_out))
+        (sum (fun h -> h.Protocol.replication_dropped))
+    end
+    else begin
+      List.iter
+        (fun (addr, view) ->
+          match view with
+          | Ok (h : Protocol.health) ->
+            Format.printf
+              "backend %s up node_id=%s uptime=%.1f workers=%d queue_depth=%d \
+               jobs_completed=%d cache_entries=%d peer_hits=%d replicated_in=%d \
+               replicated_out=%d replication_lag=%d replication_dropped=%d@."
+              addr h.Protocol.node_id h.Protocol.uptime
+              (List.length h.Protocol.workers)
+              h.Protocol.queue_depth h.Protocol.jobs_completed h.Protocol.cache_entries
+              h.Protocol.peer_hits h.Protocol.replicated_in h.Protocol.replicated_out
+              h.Protocol.replication_lag h.Protocol.replication_dropped
+          | Error message -> Format.printf "backend %s down (%s)@." addr message)
+        views;
+      Format.printf
+        "cluster up=%d/%d jobs_completed=%d cache_entries=%d peer_hits=%d replicated_in=%d \
+         replicated_out=%d replication_dropped=%d@."
+        (List.length up) (List.length views)
+        (sum (fun h -> h.Protocol.jobs_completed))
+        (sum (fun h -> h.Protocol.cache_entries))
+        (sum (fun h -> h.Protocol.peer_hits))
+        (sum (fun h -> h.Protocol.replicated_in))
+        (sum (fun h -> h.Protocol.replicated_out))
+        (sum (fun h -> h.Protocol.replication_dropped))
+    end;
+    if up = [] then
+      or_exit
+        (Error
+           (Dse_error.Backend_unavailable
+              { node = List.hd backends; attempts = List.length backends }))
+  in
+  let run listen backends forwarders max_pending replicas connect_timeout request_timeout
+      hedge_after health_interval breaker_failures breaker_cooldown spill_threshold health json =
+    if backends = [] then usage_fail "at least one --backend is required";
+    if health then cluster_health backends json
+    else
+      let config =
+        {
+          Router.default_config with
+          Router.listen;
+          backends;
+          replicas;
+          forwarders;
+          max_pending;
+          connect_timeout;
+          request_timeout;
+          hedge =
+            (match hedge_after with None -> Router.Adaptive | Some s -> Router.Fixed s);
+          health_interval;
+          breaker =
+            {
+              Breaker.default_config with
+              Breaker.failure_threshold = breaker_failures;
+              cooldown_base = breaker_cooldown;
+            };
+          spill_threshold;
+        }
+      in
+      let router = or_exit (Router.create config) in
+      Router.install_signal_handlers router;
+      Format.eprintf
+        "dse: routing on %s across %d backend(s) (forwarders=%d, hedge=%s%s); SIGTERM drains@."
+        listen (List.length backends) forwarders
+        (match hedge_after with None -> "adaptive" | Some s -> Printf.sprintf "%gs" s)
+        (match spill_threshold with
+        | None -> ""
+        | Some r -> Printf.sprintf ", spill>%g jobs/worker" r);
+      Router.run router
   in
   let term =
     Term.(const run $ listen_arg $ backend_arg $ forwarders_arg $ max_pending_arg $ replicas_arg
           $ connect_timeout_arg $ request_timeout_arg $ hedge_after_arg $ health_interval_arg
-          $ breaker_failures_arg $ breaker_cooldown_arg)
+          $ breaker_failures_arg $ breaker_cooldown_arg $ spill_threshold_arg $ health_flag
+          $ json_flag)
   in
   Cmd.v
     (Cmd.info "route"

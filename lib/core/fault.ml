@@ -1,4 +1,4 @@
-type kind = Fail | Hang
+type kind = Fail | Hang | Net_drop | Net_delay of int
 
 type spec = { kind : kind; shard : int; times : int }
 
@@ -31,28 +31,46 @@ let parse s =
     | Some shard, Some times when shard >= 0 && times >= 1 ->
       spec (if which = "hang" then Hang else Fail) shard times
     | _ -> None)
+  | [ "net"; "drop"; k ] -> (
+    match int_of_string_opt k with
+    | Some times when times >= 1 -> spec Net_drop 0 times
+    | _ -> None)
+  | [ "net"; "delay"; k; ms ] -> (
+    match (int_of_string_opt k, int_of_string_opt ms) with
+    | Some times, Some ms when times >= 1 && ms >= 0 -> spec (Net_delay ms) 0 times
+    | _ -> None)
   | _ -> None
 
 let install_from_env () =
   set (Option.bind (Sys.getenv_opt "DSE_FAULT") parse)
 
+let take remaining =
+  let rec take () =
+    let r = Atomic.get remaining in
+    if r <= 0 then false
+    else if Atomic.compare_and_set remaining r (r - 1) then true
+    else take ()
+  in
+  take ()
+
 let claim want ~shard =
   match !state with
   | None -> false
-  | Some (kind, target, remaining) ->
-    kind = want && target = shard
-    &&
-    let rec claim () =
-      let r = Atomic.get remaining in
-      if r <= 0 then false
-      else if Atomic.compare_and_set remaining r (r - 1) then true
-      else claim ()
-    in
-    claim ()
+  | Some (kind, target, remaining) -> kind = want && target = shard && take remaining
 
 let should_fail = claim Fail
 
 let should_hang = claim Hang
+
+let net_drop () =
+  match !state with
+  | Some (Net_drop, _, remaining) -> take remaining
+  | _ -> false
+
+let net_delay () =
+  match !state with
+  | Some (Net_delay ms, _, remaining) -> if take remaining then Some ms else None
+  | _ -> None
 
 let release_hangs () = Atomic.set released true
 

@@ -24,11 +24,21 @@
 type kind =
   | Fail  (** The attempt raises {!Dse_error.Shard_failure}. *)
   | Hang  (** The attempt blocks until {!release_hangs}. *)
+  | Net_drop
+      (** The next transport read/write raises [ECONNRESET] — a peer
+          vanishing mid-frame. Consulted by [Transport], not the shard
+          engine; [shard] is ignored. *)
+  | Net_delay of int
+      (** The next transport read/write stalls for the given number of
+          milliseconds before proceeding — a congested or lossy link.
+          [shard] is ignored. *)
 
 type spec = { kind : kind; shard : int; times : int }
 
 (** [parse s] reads ["shard:K"] / ["shard:K:T"] ([Fail] on shard [K],
-    once or [T] times) or ["hang:K"] / ["hang:K:T"] (same for [Hang]).
+    once or [T] times), ["hang:K"] / ["hang:K:T"] (same for [Hang]),
+    ["net:drop:K"] ([Net_drop] on the next [K] transport operations) or
+    ["net:delay:K:MS"] ([Net_delay MS], same budget scheme).
     Returns [None] on anything else. *)
 val parse : string -> spec option
 
@@ -59,3 +69,13 @@ val release_hangs : unit -> unit
 
 (** [hang_released ()] is polled by the hung attempt's wait loop. *)
 val hang_released : unit -> bool
+
+(** [net_drop ()] is [true] when the next transport operation must fail
+    with a connection reset; each [true] consumes one unit of the armed
+    budget. Safe to call from any domain. *)
+val net_drop : unit -> bool
+
+(** [net_delay ()] is [Some ms] when the next transport operation must
+    stall for [ms] milliseconds; each [Some] consumes one unit of the
+    armed budget. Safe to call from any domain. *)
+val net_delay : unit -> int option

@@ -88,7 +88,9 @@ let submit ~socket ?(percents = [ 5; 10; 15; 20 ]) ?k ?max_level ?(method_ = Ana
       | Error _ as e -> e
       | Ok (Protocol.Result payload) -> Ok payload
       | Ok (Protocol.Server_error e) -> Error e
-      | Ok (Protocol.Stats_reply _ | Protocol.Pong | Protocol.Health_reply _) ->
+      | Ok
+          ( Protocol.Stats_reply _ | Protocol.Pong | Protocol.Health_reply _
+          | Protocol.Replicate_ack _ | Protocol.Cache_reply _ ) ->
         unexpected socket)
 
 let ping ~socket =
@@ -96,7 +98,9 @@ let ping ~socket =
   | Error _ as e -> e
   | Ok Protocol.Pong -> Ok ()
   | Ok (Protocol.Server_error e) -> Error e
-  | Ok (Protocol.Result _ | Protocol.Stats_reply _ | Protocol.Health_reply _) ->
+  | Ok
+      ( Protocol.Result _ | Protocol.Stats_reply _ | Protocol.Health_reply _
+      | Protocol.Replicate_ack _ | Protocol.Cache_reply _ ) ->
     unexpected socket
 
 let server_stats ~socket =
@@ -104,11 +108,17 @@ let server_stats ~socket =
   | Error _ as e -> e
   | Ok (Protocol.Stats_reply s) -> Ok s
   | Ok (Protocol.Server_error e) -> Error e
-  | Ok (Protocol.Result _ | Protocol.Pong | Protocol.Health_reply _) -> unexpected socket
+  | Ok
+      ( Protocol.Result _ | Protocol.Pong | Protocol.Health_reply _ | Protocol.Replicate_ack _
+      | Protocol.Cache_reply _ ) ->
+    unexpected socket
 
 let health ~socket =
   match request ~socket Protocol.Health with
   | Error _ as e -> e
   | Ok (Protocol.Health_reply h) -> Ok h
   | Ok (Protocol.Server_error e) -> Error e
-  | Ok (Protocol.Result _ | Protocol.Stats_reply _ | Protocol.Pong) -> unexpected socket
+  | Ok
+      ( Protocol.Result _ | Protocol.Stats_reply _ | Protocol.Pong | Protocol.Replicate_ack _
+      | Protocol.Cache_reply _ ) ->
+    unexpected socket

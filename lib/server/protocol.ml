@@ -36,8 +36,17 @@ let magic = "DSRV"
    answer), and the daemon decodes an approx submission's records
    straight into a streaming sketch — the trace never materialises
    server-side, which is why admission prices it at the sketch's fixed
-   footprint instead of per reference. *)
-let version = 5
+   footprint instead of per reference.
+
+   v6: the cluster-durability verbs. Replicate carries finished result
+   entries (in the WAL snapshot record encoding, opaque strings at this
+   layer) to a backend's ring successors; Cache_query asks a peer for
+   its cache-key digest (empty key list) or for the entries of specific
+   keys, answered by Cache_reply — the same verb pair serves the
+   router's failover peer lookup and a respawned node's anti-entropy
+   pull. Health_reply grew the replication counters (peer_hits,
+   replicated in/out, queue lag, drops). *)
+let version = 6
 
 (* Caps the payload a peer can make us allocate; a 10M-reference trace
    encodes to ~50 MB, so this is generous without being unbounded. *)
@@ -62,6 +71,8 @@ type request =
   | Server_stats
   | Ping
   | Health
+  | Replicate of { records : string list }
+  | Cache_query of { keys : Result_cache.key list }
 
 type server_stats = {
   jobs_completed : int;
@@ -102,6 +113,11 @@ type health = {
   wal_enabled : bool;
   wal_appends : int;
   wal_failures : int;
+  peer_hits : int;
+  replicated_in : int;
+  replicated_out : int;
+  replication_lag : int;
+  replication_dropped : int;
 }
 
 type outcome =
@@ -118,6 +134,8 @@ type response =
   | Stats_reply of server_stats
   | Pong
   | Health_reply of health
+  | Replicate_ack of { stored : int }
+  | Cache_reply of { keys : Result_cache.key list; records : string list }
 
 let method_tag = function
   | Analytical.Streaming -> 0
@@ -170,6 +188,21 @@ let add_f64 buf v =
     Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF))
   done
 
+let add_i64 buf bits =
+  for i = 0 to 7 do
+    Buffer.add_char buf (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF))
+  done
+
+(* Cache keys cross the wire for the replication verbs; the fingerprint
+   is raw 8-byte LE (it is a full 64-bit hash, varint would inflate it)
+   and max_level rides +1 so the "unbounded" sentinel (-1) stays a
+   non-negative varint — the same layout as the WAL record header. *)
+let add_cache_key buf (k : Result_cache.key) =
+  add_i64 buf k.Result_cache.fingerprint;
+  add_varint buf k.Result_cache.method_tag;
+  add_varint buf k.Result_cache.domains;
+  add_varint buf (k.Result_cache.max_level + 1)
+
 let encode_query buf = function
   | Percents ps ->
     Buffer.add_char buf '\000';
@@ -210,6 +243,12 @@ let encode_request buf = function
     encode_query buf query;
     encode_trace buf trace
   | Server_stats | Ping | Health -> ()
+  | Replicate { records } ->
+    add_varint buf (List.length records);
+    List.iter (add_string buf) records
+  | Cache_query { keys } ->
+    add_varint buf (List.length keys);
+    List.iter (add_cache_key buf) keys
 
 let encode_error buf = function
   | Dse_error.Parse_error { file; line; message } ->
@@ -347,6 +386,12 @@ let encode_response buf = function
     add_varint buf s.pending;
     add_varint buf s.workers
   | Pong -> ()
+  | Replicate_ack { stored } -> add_varint buf stored
+  | Cache_reply { keys; records } ->
+    add_varint buf (List.length keys);
+    List.iter (add_cache_key buf) keys;
+    add_varint buf (List.length records);
+    List.iter (add_string buf) records
   | Health_reply h ->
     add_string buf h.node_id;
     add_f64 buf h.start_epoch;
@@ -374,7 +419,12 @@ let encode_response buf = function
     add_varint buf h.coalesced_hits;
     add_bool buf h.wal_enabled;
     add_varint buf h.wal_appends;
-    add_varint buf h.wal_failures
+    add_varint buf h.wal_failures;
+    add_varint buf h.peer_hits;
+    add_varint buf h.replicated_in;
+    add_varint buf h.replicated_out;
+    add_varint buf h.replication_lag;
+    add_varint buf h.replication_dropped
 
 (* -- payload decoding -- *)
 
@@ -433,6 +483,31 @@ let int_list c =
   (* each element is at least one byte *)
   if n > remaining c then raise (Malformed (c.pos, "declared list length exceeds the payload"));
   List.init n (fun _ -> varint c)
+
+let i64_field c =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits := Int64.logor !bits (Int64.shift_left (Int64.of_int (byte c)) (8 * i))
+  done;
+  !bits
+
+let cache_key_field c : Result_cache.key =
+  let fingerprint = i64_field c in
+  let method_tag = varint c in
+  let domains = varint c in
+  let max_level = varint c - 1 in
+  { Result_cache.fingerprint; method_tag; domains; max_level }
+
+let cache_key_list c =
+  let n = varint c in
+  (* each key is at least eleven bytes *)
+  if n > remaining c then raise (Malformed (c.pos, "declared key count exceeds the payload"));
+  List.init n (fun _ -> cache_key_field c)
+
+let string_list c =
+  let n = varint c in
+  if n > remaining c then raise (Malformed (c.pos, "declared record count exceeds the payload"));
+  List.init n (fun _ -> string_field c)
 
 let method_field c =
   match byte c with
@@ -722,6 +797,11 @@ let decode_health c =
   let wal_enabled = bool_field c in
   let wal_appends = varint c in
   let wal_failures = varint c in
+  let peer_hits = varint c in
+  let replicated_in = varint c in
+  let replicated_out = varint c in
+  let replication_lag = varint c in
+  let replication_dropped = varint c in
   {
     node_id;
     start_epoch;
@@ -742,6 +822,11 @@ let decode_health c =
     wal_enabled;
     wal_appends;
     wal_failures;
+    peer_hits;
+    replicated_in;
+    replicated_out;
+    replication_lag;
+    replication_dropped;
   }
 
 (* -- framing over a file descriptor -- *)
@@ -754,6 +839,10 @@ let tag_ping = 3
 
 let tag_health = 4
 
+let tag_replicate = 5
+
+let tag_cache_query = 6
+
 let tag_result = 0x81
 
 let tag_error = 0x82
@@ -764,12 +853,9 @@ let tag_pong = 0x84
 
 let tag_health_reply = 0x85
 
-let write_all fd bytes =
-  let len = Bytes.length bytes in
-  let off = ref 0 in
-  while !off < len do
-    off := !off + Unix.write fd bytes !off (len - !off)
-  done
+let tag_replicate_ack = 0x86
+
+let tag_cache_reply = 0x87
 
 let send_frame fd ~tag payload =
   let buf = Buffer.create (String.length payload + 16) in
@@ -785,13 +871,13 @@ let send_frame fd ~tag payload =
   for i = 0 to 3 do
     Bytes.set frame (String.length body + i) (Char.chr ((crc lsr (8 * i)) land 0xFF))
   done;
-  write_all fd frame
+  Transport.write_all fd frame
 
 type wire_reader = { fd : Unix.file_descr; mutable pos : int; mutable crc : int }
 
 let reader_byte r =
   let b = Bytes.create 1 in
-  match Unix.read r.fd b 0 1 with
+  match Transport.read_some r.fd b 0 1 with
   | 0 -> if r.pos = 0 then raise Clean_close else raise (Malformed (r.pos, "unexpected end of stream"))
   | _ ->
     let v = Char.code (Bytes.get b 0) in
@@ -803,7 +889,7 @@ let reader_exact r n =
   let b = Bytes.create n in
   let off = ref 0 in
   while !off < n do
-    match Unix.read r.fd b !off (n - !off) with
+    match Transport.read_some r.fd b !off (n - !off) with
     | 0 -> raise (Malformed (r.pos + !off, "unexpected end of stream"))
     | k -> off := !off + k
   done;
@@ -845,7 +931,7 @@ let read_frame fd =
   let footer = Bytes.create 4 in
   let off = ref 0 in
   while !off < 4 do
-    match Unix.read r.fd footer !off (4 - !off) with
+    match Transport.read_some r.fd footer !off (4 - !off) with
     | 0 -> raise (Malformed (r.pos + !off, "truncated CRC footer"))
     | k -> off := !off + k
   done;
@@ -895,6 +981,8 @@ let write_request ?(peer = "<server>") fd request =
         | Server_stats -> tag_server_stats
         | Ping -> tag_ping
         | Health -> tag_health
+        | Replicate _ -> tag_replicate
+        | Cache_query _ -> tag_cache_query
       in
       send_frame fd ~tag (Buffer.contents buf))
 
@@ -909,6 +997,8 @@ let write_response ?(peer = "<client>") fd response =
         | Stats_reply _ -> tag_stats_reply
         | Pong -> tag_pong
         | Health_reply _ -> tag_health_reply
+        | Replicate_ack _ -> tag_replicate_ack
+        | Cache_reply _ -> tag_cache_reply
       in
       send_frame fd ~tag (Buffer.contents buf))
 
@@ -923,6 +1013,8 @@ let read_request ?(peer = "<client>") ?max_job_refs ?memory_budget ?sketch_appro
           else if tag = tag_server_stats then Server_stats
           else if tag = tag_ping then Ping
           else if tag = tag_health then Health
+          else if tag = tag_replicate then Replicate { records = string_list c }
+          else if tag = tag_cache_query then Cache_query { keys = cache_key_list c }
           else raise (Malformed (5, Printf.sprintf "unknown request tag %d" tag))
         in
         if remaining c > 0 then raise (Malformed (c.pos, "trailing bytes after the request"));
@@ -953,7 +1045,35 @@ let read_response ?(peer = "<server>") fd =
         else if tag = tag_stats_reply then Stats_reply (decode_server_stats c)
         else if tag = tag_pong then Pong
         else if tag = tag_health_reply then Health_reply (decode_health c)
+        else if tag = tag_replicate_ack then Replicate_ack { stored = varint c }
+        else if tag = tag_cache_reply then begin
+          let keys = cache_key_list c in
+          let records = string_list c in
+          Cache_reply { keys; records }
+        end
         else raise (Malformed (5, Printf.sprintf "unknown response tag %d" tag))
       in
       if remaining c > 0 then raise (Malformed (c.pos, "trailing bytes after the response"));
       response)
+
+(* An exact entry answers any query straight from its histograms; an
+   approx entry re-runs the O(ms) estimator over the cached profile.
+   The estimator is deterministic in the profile, so a cached re-query
+   produces bit-identical floats to the first answer — which is also
+   what makes a replicated entry interchangeable with the original:
+   whoever holds the entry (the computing node, a ring successor, the
+   router relaying a peer's copy) derives the same outcome. [max_level]
+   only matters for approx (exact histograms were already bounded at
+   prepare time); it rides in the cache key, so every holder of the
+   entry shares it. *)
+let answer_entry ~name ~query ~max_level (entry : Result_cache.entry) =
+  match entry with
+  | Result_cache.Exact { stats; histograms } -> (
+    match query with
+    | Percents percents -> Table (Analytical_dse.of_histograms ~percents ~name ~stats histograms)
+    | Budget k -> Optimal (Optimizer.of_histograms ~k histograms))
+  | Result_cache.Approx profile -> (
+    let prepared = Approx_dse.prepare profile in
+    match query with
+    | Percents percents -> Approx_table (Approx_dse.table ~percents ?max_level ~name prepared)
+    | Budget k -> Approx_optimal (Approx_dse.optimal ?max_level ~k prepared))

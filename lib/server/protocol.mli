@@ -55,6 +55,18 @@ type request =
   | Server_stats  (** query the daemon's counters (cache hits, pending) *)
   | Ping
   | Health  (** query the readiness plane (see {!health}) *)
+  | Replicate of { records : string list }
+      (** push finished result entries to a ring successor. Each record
+          is a WAL snapshot record ({!Wal.encode_record}) — opaque bytes
+          at this layer, so replication and WAL persistence stay one
+          format. Answered by [Replicate_ack]. *)
+  | Cache_query of { keys : Result_cache.key list }
+      (** ask a peer about its result cache. An empty key list is the
+          digest form ([Cache_reply] carries every exact cache key, no
+          records); a non-empty list asks for those entries
+          ([Cache_reply] carries the matching WAL-encoded records).
+          Serves both the router's failover peer lookup (one key) and
+          anti-entropy on rejoin (digest, then the missing keys). *)
 
 type server_stats = {
   jobs_completed : int;
@@ -108,6 +120,15 @@ type health = {
   wal_enabled : bool;
   wal_appends : int;
   wal_failures : int;
+  peer_hits : int;
+      (** cache entries served to peers via [Cache_query] (router
+          failover relays and anti-entropy pulls) *)
+  replicated_in : int;  (** entries received via [Replicate] or pulled by anti-entropy *)
+  replicated_out : int;  (** entries successfully pushed to ring successors *)
+  replication_lag : int;  (** entries waiting in the outbound replication queue *)
+  replication_dropped : int;
+      (** pushes dropped by the bounded replication queue (a slow peer
+          degrades durability, never serving) *)
 }
 
 (** Approximate outcomes carry their error-bar floats as raw IEEE-754
@@ -127,6 +148,11 @@ type response =
   | Stats_reply of server_stats
   | Pong
   | Health_reply of health
+  | Replicate_ack of { stored : int }
+      (** how many pushed records were decoded and stored *)
+  | Cache_reply of { keys : Result_cache.key list; records : string list }
+      (** digest form: every exact cache key, [records = []]; fetch
+          form: the WAL-encoded records found, [keys = []] *)
 
 (** [method_tag m] is the stable wire tag of an exact kernel method (0 =
     streaming, 1 = dfs, 2 = bcat, 3 = arena) — also the cache-key
@@ -195,3 +221,13 @@ val read_response : ?peer:string -> Unix.file_descr -> (response, Dse_error.t) r
     — the daemon logs and closes such connections without attempting a
     reply (which would itself block for the send timeout). *)
 val timed_out : Dse_error.t -> bool
+
+(** [answer_entry ~name ~query ~max_level entry] derives the response
+    outcome for a query from a cached result entry — straight from the
+    histograms for an exact entry, by re-running the deterministic
+    estimator for an approx one. Whoever holds the entry (the computing
+    daemon, a ring successor's replica, the router relaying a peer's
+    copy) derives a bit-identical outcome, which is what makes
+    replicated entries interchangeable with originals. *)
+val answer_entry :
+  name:string -> query:query -> max_level:int option -> Result_cache.entry -> outcome

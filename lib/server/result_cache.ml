@@ -77,6 +77,20 @@ let store t key entry =
       touch t node;
       Hashtbl.replace t.table key node)
 
+(* Peek without counting or recency: anti-entropy probes ("do I already
+   hold this key?") must not distort the hit/miss counters or the LRU
+   order that serving traffic establishes. *)
+let mem t key = with_lock t (fun () -> Hashtbl.mem t.table key)
+
+(* The anti-entropy digest: exact keys only, matching what [Wal.
+   encode_record] can carry — approx entries are neither persisted nor
+   replicated, so advertising them would only cause futile pulls. *)
+let exact_keys t =
+  with_lock t (fun () ->
+      Hashtbl.fold
+        (fun key node acc -> match node.entry with Exact _ -> key :: acc | Approx _ -> acc)
+        t.table [])
+
 let snapshot t =
   with_lock t (fun () ->
       Hashtbl.fold (fun key node acc -> (key, node) :: acc) t.table []

@@ -57,6 +57,16 @@ val find : t -> key -> entry option
     least-recently-used one first when the cache is full. *)
 val store : t -> key -> entry -> unit
 
+(** [mem t key] is a pure peek: no hit/miss counting, no recency touch.
+    Anti-entropy probes use it so replication traffic cannot distort
+    the counters or LRU order established by serving traffic. *)
+val mem : t -> key -> bool
+
+(** [exact_keys t] is the cache-key digest exchanged by anti-entropy:
+    the keys of every [Exact] entry, in no particular order. Approx
+    entries are omitted — they are neither persisted nor replicated. *)
+val exact_keys : t -> key list
+
 (** [snapshot t] is every live entry, least-recently-used first —
     replaying a snapshot through {!store} in order reproduces both the
     contents and the recency order (the WAL compaction format). *)

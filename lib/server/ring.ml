@@ -106,3 +106,46 @@ let successors t fingerprint =
     incr k
   done;
   List.rev !order
+
+(* The distinct nodes owning points adjacent (either side) to [name]'s
+   virtual points — the peers whose replica ranges border this node's
+   arcs, i.e. where copies of the keys this node participates in live.
+   With the default 64 points per node this is effectively every other
+   node on a small fleet and a bounded neighbourhood on a large one.
+   Deterministic (a scan of the sorted point array), so a rejoining
+   node always asks the same peers. *)
+let neighbors t name =
+  let target =
+    let found = ref (-1) in
+    Array.iteri (fun i node -> if node = name then found := i) t.nodes;
+    if !found < 0 then invalid_arg "Ring.neighbors: unknown node";
+    !found
+  in
+  let n = Array.length t.points in
+  let seen = Array.make (Array.length t.nodes) false in
+  seen.(target) <- true;
+  let order = ref [] in
+  (* first distinct node walking from point [start] by [step] (+1 /
+     -1), skipping the target's own contiguous run of points *)
+  let first_other start step =
+    let rec go j remaining =
+      if remaining = 0 then None
+      else
+        let node = snd t.points.(((j mod n) + n) mod n) in
+        if node = target then go (j + step) (remaining - 1) else Some node
+    in
+    go start n
+  in
+  let note = function
+    | Some node when not seen.(node) ->
+      seen.(node) <- true;
+      order := t.nodes.(node) :: !order
+    | _ -> ()
+  in
+  for k = 0 to n - 1 do
+    if snd t.points.(k) = target then begin
+      note (first_other (k + 1) 1);
+      note (first_other (k - 1) (-1))
+    end
+  done;
+  List.rev !order

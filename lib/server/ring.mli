@@ -23,5 +23,14 @@ val route : t -> int64 -> string
 (** [successors t fingerprint] lists every node in clockwise ring order
     starting at the owner — the failover order for that key. All
     callers agree on it, so a rerouted fingerprint warms exactly one
-    deterministic spill cache. *)
+    deterministic spill cache. The first R entries are also the
+    replica placement for that key: a completing node pushes copies to
+    the first R−1 entries other than itself. *)
 val successors : t -> int64 -> string list
+
+(** [neighbors t name] is the distinct nodes owning virtual points
+    adjacent to [name]'s, in deterministic point order, never including
+    [name] itself — the anti-entropy partners a (re)joining node
+    exchanges digests with. Raises [Invalid_argument] if [name] is not
+    on the ring. *)
+val neighbors : t -> string -> string list

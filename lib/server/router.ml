@@ -21,9 +21,21 @@
      latency, never availability. Jobs are pure functions of the trace
      and query, so duplicated execution is always safe.
    - A respawned backend (same node id, newer start epoch in its health
-     reply) gets its breaker reset: the restart is a different process
-     and owes none of its predecessor's failures — but its cache is
-     presumed cold.
+     reply) gets its breaker reset AND its hedge latency window cleared:
+     the restart is a different process and owes none of its
+     predecessor's failures or latencies (stale pre-crash samples would
+     poison the adaptive threshold for the first window_size post-respawn
+     requests) — but its cache is presumed cold.
+   - When the walk has already passed a dead or breaker-open node
+     (degraded mode), each subsequent candidate is first asked for the
+     submission's cached result (Cache_query on the key): with
+     replication enabled on the backends, the dead node's warm range
+     lives on its ring successors, and a hit is relayed with zero kernel
+     work (counted as peer_hits).
+   - With --spill-threshold set, a submission bound for an owner whose
+     health-polled queue-depth/worker ratio exceeds the threshold is
+     sent to the least-loaded live node instead (counted as spilled) —
+     cache locality deliberately sacrificed under load.
 
    Only when the owner and every fallback candidate have been tried (or
    stand breaker-open) does a submission fail, with the typed
@@ -44,6 +56,7 @@ type config = {
   health_interval : float;
   health_timeout : float;
   breaker : Breaker.config;
+  spill_threshold : float option;
 }
 
 let default_config =
@@ -59,7 +72,11 @@ let default_config =
     health_interval = 1.;
     health_timeout = 2.;
     breaker = Breaker.default_config;
+    spill_threshold = None;
   }
+
+(* The rolling latency window sizing the adaptive hedge threshold. *)
+let window_size = 256
 
 type backend = {
   name : string;  (* the address string: also the ring key *)
@@ -70,6 +87,14 @@ type backend = {
   mutable start_epoch : float;
   mutable last_seen : float;  (* last successful health exchange *)
   mutable last_state : Breaker.state;  (* for transition logging only *)
+  (* load picture from the last health reply, for spill decisions *)
+  mutable queue_depth : int;
+  mutable worker_count : int;
+  (* per-backend rolling latency window (guarded by [mu]): hedging
+     judges each node against its own history, and a respawn clears
+     exactly the dead process's samples *)
+  latencies : float array;
+  mutable lat_count : int;
 }
 
 type backend_view = {
@@ -78,6 +103,9 @@ type backend_view = {
   id : string;
   epoch : float;
   seen : float;
+  queue : int;
+  workers : int;
+  hedge_samples : int;
 }
 
 type stats = {
@@ -87,10 +115,9 @@ type stats = {
   hedge_wins : int;
   rejected : int;
   unavailable : int;
+  peer_hits : int;
+  spilled : int;
 }
-
-(* The rolling latency window sizing the adaptive hedge threshold. *)
-let window_size = 256
 
 type t = {
   config : config;
@@ -107,9 +134,8 @@ type t = {
   hedge_wins : int Atomic.t;
   rejected : int Atomic.t;
   unavailable : int Atomic.t;
-  lat_mu : Mutex.t;
-  latencies : float array;
-  mutable lat_count : int;
+  peer_hits : int Atomic.t;
+  spilled : int Atomic.t;
   mutable next_poll : int;
   mutable last_poll : float;
   mutable pool : Unix.file_descr Worker_pool.t option;
@@ -133,6 +159,8 @@ let create ?(log = fun msg -> Format.eprintf "dse-route: %s@." msg) (config : co
     invalid "hedge-after must be > 0"
   else if not (config.health_interval > 0.) then invalid "health-interval must be > 0"
   else if not (config.health_timeout > 0.) then invalid "health-timeout must be > 0"
+  else if (match config.spill_threshold with Some s -> not (s > 0.) | None -> false) then
+    invalid "spill-threshold must be > 0"
   else
     match
       (try Ok (Breaker.create ~config:config.breaker ())
@@ -158,6 +186,10 @@ let create ?(log = fun msg -> Format.eprintf "dse-route: %s@." msg) (config : co
                    start_epoch = 0.;
                    last_seen = 0.;
                    last_state = Breaker.Closed;
+                   queue_depth = 0;
+                   worker_count = 1;
+                   latencies = Array.make window_size 0.;
+                   lat_count = 0;
                  })
                config.backends)
         in
@@ -179,9 +211,8 @@ let create ?(log = fun msg -> Format.eprintf "dse-route: %s@." msg) (config : co
             hedge_wins = Atomic.make 0;
             rejected = Atomic.make 0;
             unavailable = Atomic.make 0;
-            lat_mu = Mutex.create ();
-            latencies = Array.make window_size 0.;
-            lat_count = 0;
+            peer_hits = Atomic.make 0;
+            spilled = Atomic.make 0;
             next_poll = 0;
             last_poll = 0.;
             pool = None;
@@ -203,6 +234,8 @@ let stats t =
     hedge_wins = Atomic.get t.hedge_wins;
     rejected = Atomic.get t.rejected;
     unavailable = Atomic.get t.unavailable;
+    peer_hits = Atomic.get t.peer_hits;
+    spilled = Atomic.get t.spilled;
   }
 
 let snapshot t =
@@ -217,6 +250,9 @@ let snapshot t =
              id = b.node_id;
              epoch = b.start_epoch;
              seen = b.last_seen;
+             queue = b.queue_depth;
+             workers = b.worker_count;
+             hedge_samples = min b.lat_count window_size;
            }
          in
          Mutex.unlock b.mu;
@@ -234,23 +270,27 @@ let note_state t b =
   if changed then
     t.log (Printf.sprintf "breaker for %s is now %s" b.name (Breaker.state_name s))
 
-let record_latency t dt =
-  Mutex.lock t.lat_mu;
-  t.latencies.(t.lat_count mod window_size) <- dt;
-  t.lat_count <- t.lat_count + 1;
-  Mutex.unlock t.lat_mu
+let record_latency b dt =
+  Mutex.lock b.mu;
+  b.latencies.(b.lat_count mod window_size) <- dt;
+  b.lat_count <- b.lat_count + 1;
+  Mutex.unlock b.mu
 
-(* 3x the rolling p99, clamped to [0.05, 10] s; 1 s before any sample.
-   The multiplier means a healthy fleet hedges on well under 1% of
-   requests — hedging is a tail-latency rescue, not a default path. *)
-let hedge_threshold t =
+(* 3x the backend's rolling p99, clamped to [0.05, 10] s; 1 s before
+   any sample. Per-backend windows mean a chronically slow node is
+   judged against itself (not hedged on every request because a fast
+   sibling dominates the fleet window), and a respawn starts from the
+   no-sample default instead of its predecessor's history. The
+   multiplier means a healthy node hedges on well under 1% of requests
+   — hedging is a tail-latency rescue, not a default path. *)
+let hedge_threshold t b =
   match t.config.hedge with
   | Fixed s -> s
   | Adaptive ->
-    Mutex.lock t.lat_mu;
-    let n = min t.lat_count window_size in
-    let sample = Array.sub t.latencies 0 n in
-    Mutex.unlock t.lat_mu;
+    Mutex.lock b.mu;
+    let n = min b.lat_count window_size in
+    let sample = Array.sub b.latencies 0 n in
+    Mutex.unlock b.mu;
     if n = 0 then 1.
     else begin
       Array.sort compare sample;
@@ -267,6 +307,59 @@ let fail_breaker t b =
 (* -- forwarding -- *)
 
 type flight = { b : backend; fd : Unix.file_descr; started : float; is_hedge : bool }
+
+(* What a submission would look like as a cache entry, precomputed at
+   the gateway so a degraded ring walk can ask surviving candidates for
+   the finished result before re-running the job. *)
+type peek = {
+  peek_key : Result_cache.key;
+  peek_name : string;
+  peek_query : Protocol.query;
+  peek_max_level : int option;
+}
+
+(* Ask [b] whether it already holds the submission's result (replicated
+   from the dead owner, or warmed by an earlier spill). A hit is
+   relayed as a normal cache-hit Result — zero kernel work; any miss or
+   transport trouble just means the walk proceeds to a real forward.
+   The exchange is cheap (one key, no trace), so it rides the health
+   timeout, not the request timeout. *)
+let peer_lookup t b p =
+  let exchange () =
+    match Transport.connect ~timeout:t.config.connect_timeout b.addr with
+    | Error _ -> None
+    | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> close_noerr fd)
+        (fun () ->
+          match
+            Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.health_timeout;
+            Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.health_timeout;
+            Protocol.write_request ~peer:b.name fd
+              (Protocol.Cache_query { keys = [ p.peek_key ] })
+          with
+          | Error _ -> None
+          | Ok () -> (
+            match Protocol.read_response ~peer:b.name fd with
+            | Ok (Protocol.Cache_reply { records = [ record ]; _ }) -> Some record
+            | Ok _ | Error _ -> None)
+          | exception Unix.Unix_error _ -> None)
+  in
+  match exchange () with
+  | None -> None
+  | Some record -> (
+    match Wal.decode_record record with
+    | Some (key, entry) when key = p.peek_key -> (
+      match
+        Protocol.answer_entry ~name:p.peek_name ~query:p.peek_query
+          ~max_level:p.peek_max_level entry
+      with
+      | outcome ->
+        Atomic.incr t.peer_hits;
+        t.log (Printf.sprintf "peer cache hit on %s; relaying without kernel work" b.name);
+        Some (Protocol.Result { outcome; cache_hit = true })
+      | exception _ -> None)
+    | Some _ | None -> None)
 
 (* Connect (bounded) and write the frame; the request timeout rides the
    socket as SO_RCVTIMEO so even a mid-frame stall is bounded. *)
@@ -305,7 +398,7 @@ let settle_flight t fl =
   | Ok response ->
     Breaker.record_success fl.b.breaker;
     note_state t fl.b;
-    record_latency t (Unix.gettimeofday () -. fl.started);
+    record_latency fl.b (Unix.gettimeofday () -. fl.started);
     `Answered response
   | Error e ->
     fail_breaker t fl.b;
@@ -320,8 +413,12 @@ let select_readable fds timeout =
 (* Walk the candidate list (ring successor order), at most one hedged
    duplicate in flight at a time. [busy] remembers the best Queue_full
    refusal: if the whole ring is merely loaded (not dead) the client
-   gets the retryable Queue_full, not Backend_unavailable. *)
-let rec try_next t ~hedging ~primary ~attempts ~busy request candidates =
+   gets the retryable Queue_full, not Backend_unavailable. [degraded]
+   flips once the walk has passed a dead or breaker-open node; from
+   then on each candidate is first asked for the cached result
+   ([peek]), because the failed node's warm range lives replicated on
+   exactly these successors. *)
+let rec try_next t ~hedging ~primary ~attempts ~busy ~peek ~degraded request candidates =
   match candidates with
   | [] -> (
     match !busy with
@@ -332,32 +429,42 @@ let rec try_next t ~hedging ~primary ~attempts ~busy request candidates =
         (Dse_error.Backend_unavailable { node = primary; attempts = !attempts }))
   | name :: rest -> (
     let b = backend_of t name in
-    if not (Breaker.acquire b.breaker ~now:(Unix.gettimeofday ())) then
-      try_next t ~hedging ~primary ~attempts ~busy request rest
-    else begin
-      incr attempts;
-      if !attempts > 1 then Atomic.incr t.failovers;
-      match send_to t b request with
-      | Error e ->
-        fail_breaker t b;
-        t.log (Printf.sprintf "forward to %s failed: %s" b.name (Dse_error.to_string e));
-        try_next t ~hedging ~primary ~attempts ~busy request rest
-      | Ok fd ->
-        await_one t ~hedging ~primary ~attempts ~busy request
-          { b; fd; started = Unix.gettimeofday (); is_hedge = false }
-          rest
-    end)
+    if not (Breaker.acquire b.breaker ~now:(Unix.gettimeofday ())) then begin
+      degraded := true;
+      try_next t ~hedging ~primary ~attempts ~busy ~peek ~degraded request rest
+    end
+    else
+      match (if !degraded then Option.bind peek (peer_lookup t b) else None) with
+      | Some response ->
+        (* the Cache_query round-trip itself proved the node healthy *)
+        Breaker.record_success b.breaker;
+        note_state t b;
+        response
+      | None -> (
+        incr attempts;
+        if !attempts > 1 then Atomic.incr t.failovers;
+        match send_to t b request with
+        | Error e ->
+          fail_breaker t b;
+          degraded := true;
+          t.log (Printf.sprintf "forward to %s failed: %s" b.name (Dse_error.to_string e));
+          try_next t ~hedging ~primary ~attempts ~busy ~peek ~degraded request rest
+        | Ok fd ->
+          await_one t ~hedging ~primary ~attempts ~busy ~peek ~degraded request
+            { b; fd; started = Unix.gettimeofday (); is_hedge = false }
+            rest))
 
 (* One flight outstanding. Silence past the hedge threshold fires the
    duplicate; silence past the request timeout is a node failure. *)
-and await_one t ~hedging ~primary ~attempts ~busy request fl rest =
+and await_one t ~hedging ~primary ~attempts ~busy ~peek ~degraded request fl rest =
   let deadline = fl.started +. t.config.request_timeout in
-  let hedge_at = fl.started +. hedge_threshold t in
+  let hedge_at = fl.started +. hedge_threshold t fl.b in
   let giveup () =
     fail_breaker t fl.b;
     close_noerr fl.fd;
+    degraded := true;
     t.log (Printf.sprintf "%s silent for %.1f s; failing over" fl.b.name t.config.request_timeout);
-    try_next t ~hedging ~primary ~attempts ~busy request rest
+    try_next t ~hedging ~primary ~attempts ~busy ~peek ~degraded request rest
   in
   let settle () =
     match settle_flight t fl with
@@ -367,10 +474,11 @@ and await_one t ~hedging ~primary ~attempts ~busy request fl rest =
     | `Spill e ->
       close_noerr fl.fd;
       busy := Some e;
-      try_next t ~hedging ~primary ~attempts ~busy request rest
+      try_next t ~hedging ~primary ~attempts ~busy ~peek ~degraded request rest
     | `Failed ->
       close_noerr fl.fd;
-      try_next t ~hedging ~primary ~attempts ~busy request rest
+      degraded := true;
+      try_next t ~hedging ~primary ~attempts ~busy ~peek ~degraded request rest
   in
   let rec wait ~may_hedge =
     let now = Unix.gettimeofday () in
@@ -393,14 +501,14 @@ and await_one t ~hedging ~primary ~attempts ~busy request fl rest =
         incr attempts;
         t.log
           (Printf.sprintf "%s slow (past %.2f s); hedging to %s" fl.b.name
-             (hedge_threshold t) b.name);
+             (hedge_threshold t fl.b) b.name);
         match send_to t b request with
         | Error e ->
           fail_breaker t b;
           t.log (Printf.sprintf "hedge to %s failed: %s" b.name (Dse_error.to_string e));
           spawn_hedge more
         | Ok fd ->
-          await_two t ~primary ~attempts ~busy request fl
+          await_two t ~primary ~attempts ~busy ~peek ~degraded request fl
             { b; fd; started = Unix.gettimeofday (); is_hedge = true }
             more
       end)
@@ -412,10 +520,10 @@ and await_one t ~hedging ~primary ~attempts ~busy request fl rest =
    hits EPIPE and is discarded; the job itself is pure, so the wasted
    kernel run costs time on that node and nothing else). The deadline
    is the primary's: the hedge gets whatever remains of it. *)
-and await_two t ~primary ~attempts ~busy request fl1 fl2 rest =
+and await_two t ~primary ~attempts ~busy ~peek ~degraded request fl1 fl2 rest =
   let deadline = fl1.started +. t.config.request_timeout in
   let continue_with survivor =
-    await_one t ~hedging:false ~primary ~attempts ~busy request survivor rest
+    await_one t ~hedging:false ~primary ~attempts ~busy ~peek ~degraded request survivor rest
   in
   let rec wait () =
     let now = Unix.gettimeofday () in
@@ -424,7 +532,8 @@ and await_two t ~primary ~attempts ~busy request fl1 fl2 rest =
       fail_breaker t fl2.b;
       close_noerr fl1.fd;
       close_noerr fl2.fd;
-      try_next t ~hedging:false ~primary ~attempts ~busy request rest
+      degraded := true;
+      try_next t ~hedging:false ~primary ~attempts ~busy ~peek ~degraded request rest
     end
     else begin
       match select_readable [ fl1.fd; fl2.fd ] (deadline -. now) with
@@ -443,17 +552,54 @@ and await_two t ~primary ~attempts ~busy request fl1 fl2 rest =
           continue_with loser
         | `Failed ->
           close_noerr winner.fd;
+          degraded := true;
           continue_with loser)
     end
   in
   wait ()
 
-let forward t ~hedging ~candidates request =
+let forward ?peek t ~hedging ~candidates request =
   match candidates with
   | [] -> assert false (* create refuses an empty backend list *)
   | primary :: _ ->
     Atomic.incr t.forwarded;
-    try_next t ~hedging ~primary ~attempts:(ref 0) ~busy:(ref None) request candidates
+    try_next t ~hedging ~primary ~attempts:(ref 0) ~busy:(ref None) ~peek
+      ~degraded:(ref false) request candidates
+
+(* Least-loaded spill: when the owner's last-polled queue-depth/worker
+   ratio exceeds the threshold, promote the least-loaded live candidate
+   to the front of the walk. Ring order is otherwise preserved, so the
+   spilled job still warms a deterministic cache — and with replication
+   on, the result is pushed back to the owner's range anyway. Load data
+   is as fresh as the last health poll; a node never polled (or not
+   breaker-Closed) is not a spill target. *)
+let maybe_spill t candidates =
+  match (t.config.spill_threshold, candidates) with
+  | None, _ | _, [] -> candidates
+  | Some threshold, owner_name :: _ -> (
+    let load b = float_of_int b.queue_depth /. float_of_int (max 1 b.worker_count) in
+    let owner = backend_of t owner_name in
+    if Breaker.state owner.breaker <> Breaker.Closed || load owner <= threshold then candidates
+    else
+      let best =
+        List.fold_left
+          (fun acc name ->
+            let b = backend_of t name in
+            if b.last_seen <= 0. || Breaker.state b.breaker <> Breaker.Closed then acc
+            else
+              match acc with
+              | Some best when load best <= load b -> acc
+              | _ -> Some b)
+          None candidates
+      in
+      match best with
+      | Some b when b.name <> owner_name ->
+        Atomic.incr t.spilled;
+        t.log
+          (Printf.sprintf "%s loaded (%.1f jobs/worker > %.1f); spilling to %s (%.1f)"
+             owner_name (load owner) threshold b.name (load b));
+        b.name :: List.filter (fun n -> n <> b.name) candidates
+      | _ -> candidates)
 
 let respond_and_close t fd response =
   (match Protocol.write_response fd response with
@@ -480,9 +626,33 @@ let handle_client t fd =
        single node's view, for fleet-wide numbers ask each backend *)
     let candidates = List.map (fun b -> b.name) (Array.to_list t.backends) in
     respond_and_close t fd (forward t ~hedging:false ~candidates request)
-  | Ok (Some (Protocol.Submit { trace; _ } as request)) ->
-    let candidates = Ring.successors t.ring (Protocol.submission_fingerprint trace) in
-    respond_and_close t fd (forward t ~hedging:true ~candidates request)
+  | Ok (Some (Protocol.Replicate _ | Protocol.Cache_query _)) ->
+    (* cluster-internal verbs: backends talk to each other directly;
+       the gateway is for clients *)
+    respond_and_close t fd
+      (Protocol.Server_error
+         (Dse_error.Constraint_violation
+            { context = "route"; message = "cluster-internal verb not accepted at the gateway" }))
+  | Ok (Some (Protocol.Submit { name; trace; query; method_; domains; max_level; _ } as request))
+    ->
+    let fingerprint = Protocol.submission_fingerprint trace in
+    let candidates = maybe_spill t (Ring.successors t.ring fingerprint) in
+    let peek =
+      Some
+        {
+          peek_key =
+            {
+              Result_cache.fingerprint;
+              method_tag = Protocol.method_spec_tag method_;
+              domains;
+              max_level = (match max_level with None -> -1 | Some l -> l);
+            };
+          peek_name = name;
+          peek_query = query;
+          peek_max_level = max_level;
+        }
+    in
+    respond_and_close t fd (forward ?peek t ~hedging:true ~candidates request)
 
 (* -- health polling, from the accept loop's select tick -- *)
 
@@ -500,10 +670,18 @@ let probe_backend t b =
       b.node_id <- h.Protocol.node_id;
       b.start_epoch <- h.Protocol.start_epoch;
       b.last_seen <- now;
+      b.queue_depth <- h.Protocol.queue_depth;
+      b.worker_count <- List.length h.Protocol.workers;
+      (* a respawn is a different process: its predecessor's latency
+         samples would mis-size the adaptive hedge threshold until the
+         whole window refilled, so drop them with the breaker state *)
+      if respawned then b.lat_count <- 0;
       Mutex.unlock b.mu;
       if respawned then begin
         t.log
-          (Printf.sprintf "%s respawned (node %s, new epoch): breaker reset, cache presumed cold"
+          (Printf.sprintf
+             "%s respawned (node %s, new epoch): breaker reset, hedge window cleared, cache \
+              presumed cold"
              b.name h.Protocol.node_id);
         Breaker.reset b.breaker
       end;
@@ -592,7 +770,10 @@ let run t =
   close_noerr t.listen_fd;
   Transport.unlink t.listen_addr;
   t.log
-    (Printf.sprintf "drained; %d request(s) forwarded, %d failover(s), %d hedged"
-       (Atomic.get t.forwarded) (Atomic.get t.failovers) (Atomic.get t.hedged))
+    (Printf.sprintf
+       "drained; %d request(s) forwarded, %d failover(s), %d hedged, %d peer hit(s), %d \
+        spilled"
+       (Atomic.get t.forwarded) (Atomic.get t.failovers) (Atomic.get t.hedged)
+       (Atomic.get t.peer_hits) (Atomic.get t.spilled))
 
 let listen_address t = Transport.to_string t.listen_addr

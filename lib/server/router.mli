@@ -20,10 +20,25 @@
       new start epoch resets the breaker — a respawn owes nothing for
       its predecessor's failures (but its cache is presumed cold).
     - {b Hedged requests.} A submission silent past the hedge threshold
-      ([Fixed] seconds, or [Adaptive]: 3x the rolling p99 of forwarded
-      latencies, clamped to [0.05, 10] s) is duplicated to the next
-      live candidate; the first answer wins and the loser's connection
-      is closed. Jobs are pure, so duplicate execution is safe.
+      ([Fixed] seconds, or [Adaptive]: 3x the rolling p99 of {e that
+      backend's} forwarded latencies, clamped to [0.05, 10] s) is
+      duplicated to the next live candidate; the first answer wins and
+      the loser's connection is closed. Jobs are pure, so duplicate
+      execution is safe. A respawn clears its backend's latency window
+      along with the breaker — stale pre-crash samples must not size
+      the new process's threshold.
+    - {b Peer cache lookup.} Once a submission's ring walk has passed a
+      dead or breaker-open node, each further candidate is first asked
+      ({!Protocol.Cache_query}) whether it already holds the result —
+      with replication enabled on the backends the dead owner's warm
+      range lives on exactly these successors, and a hit is relayed
+      with zero kernel work (counted as [peer_hits]).
+    - {b Least-loaded spill.} With [spill_threshold] set, a submission
+      whose owner's health-polled queue-depth/worker ratio exceeds the
+      threshold is routed to the least-loaded live candidate instead
+      (counted as [spilled]) — cache locality traded for latency under
+      load, and replication pushes the result back to the owner's
+      range regardless.
     - {b Typed exhaustion.} Only when every ring candidate has failed
       or stands breaker-open does the client see
       {!Dse_error.Backend_unavailable} (exit 9) — with one exception:
@@ -50,11 +65,14 @@ type config = {
   health_interval : float;  (** seconds between polls of one backend *)
   health_timeout : float;
   breaker : Breaker.config;
+  spill_threshold : float option;
+      (** spill a submission off its owner when the owner's last-polled
+          queue-depth/worker ratio exceeds this; [None] disables *)
 }
 
 (** Empty listen/backends (caller must fill), 64 replicas,
     8 forwarders, 64 pending, 2 s connect, 120 s request, adaptive
-    hedging, 1 s health interval, default breaker. *)
+    hedging, 1 s health interval, default breaker, no spill. *)
 val default_config : config
 
 type t
@@ -66,6 +84,10 @@ type backend_view = {
   id : string;  (** node id from its last health reply; [""] before one *)
   epoch : float;  (** its start epoch; [0.] before one *)
   seen : float;  (** time of the last successful health exchange *)
+  queue : int;  (** queue depth from its last health reply *)
+  workers : int;  (** worker count from its last health reply *)
+  hedge_samples : int;
+      (** latency samples in its hedge window (0 right after a respawn) *)
 }
 
 type stats = {
@@ -75,6 +97,8 @@ type stats = {
   hedge_wins : int;  (** races won by the hedge *)
   rejected : int;  (** connections refused by the bounded queue *)
   unavailable : int;  (** requests that exhausted the whole ring *)
+  peer_hits : int;  (** degraded-walk submissions answered from a peer's cache *)
+  spilled : int;  (** submissions rerouted off a loaded owner *)
 }
 
 (** [create ?log config] binds the listen address and builds the ring;

@@ -9,6 +9,10 @@ type config = {
   hang_timeout : float;
   max_job_refs : int option;
   memory_budget : int option;
+  peers : string list;
+  replication : int;
+  replication_queue : int;
+  anti_entropy : bool;
 }
 
 (* What the worker actually runs: an exact kernel over a materialised
@@ -44,12 +48,24 @@ type t = {
   cache : Result_cache.t;
   inflight : Inflight.t;
   wal : Wal.t option;
+  (* [Some] iff peers were configured: this node's view of the fleet
+     (itself + peers), agreeing with the router's ring as long as both
+     spell node names the same way *)
+  ring : Ring.t option;
+  (* outbound (target node, encoded record) pushes; bounded, so a slow
+     peer costs at most [replication_queue] buffered records and then
+     durability (drops are counted), never serving *)
+  repl_queue : (string * string) Job_queue.t option;
   stopping : bool Atomic.t;
   jobs_completed : int Atomic.t;
   shed : int Atomic.t;
   admission_rejected : int Atomic.t;
   wal_appends : int Atomic.t;
   wal_failures : int Atomic.t;
+  peer_hits : int Atomic.t;
+  replicated_in : int Atomic.t;
+  replicated_out : int Atomic.t;
+  replication_dropped : int Atomic.t;
   started : float;
   mutable pool : job Worker_pool.t option;
   on_job_start : unit -> unit;
@@ -104,6 +120,11 @@ let create ?(on_job_start = fun () -> ()) ?(log = fun msg -> Format.eprintf "dse
     invalid "max-job-refs must be >= 1"
   else if (match config.memory_budget with Some n -> n < 1 | None -> false) then
     invalid "memory-budget must be >= 1"
+  else if config.replication < 1 then invalid "replication must be >= 1"
+  else if config.replication_queue < 1 then invalid "replication-queue must be >= 1"
+  else if
+    List.length (List.sort_uniq String.compare config.peers) <> List.length config.peers
+  then invalid "duplicate peer address"
   else
     (* The TCP address is validated before any socket is bound: "--tcp"
        must actually be host:port, not a path that fell through parse. *)
@@ -175,27 +196,55 @@ let create ?(on_job_start = fun () -> ()) ?(log = fun msg -> Format.eprintf "dse
               | None -> (
                 match config.tcp with Some addr -> addr | None -> config.socket_path)
             in
-            Ok
-              {
-                config;
-                listen_fd;
-                tcp_fd;
-                node_id;
-                queue = Job_queue.create ~max_pending:config.max_pending;
-                cache;
-                inflight = Inflight.create ();
-                wal;
-                stopping = Atomic.make false;
-                jobs_completed = Atomic.make 0;
-                shed = Atomic.make 0;
-                admission_rejected = Atomic.make 0;
-                wal_appends = Atomic.make 0;
-                wal_failures = Atomic.make 0;
-                started = Unix.gettimeofday ();
-                pool = None;
-                on_job_start;
-                log;
-              })))
+            if List.mem node_id config.peers then begin
+              release_listeners ();
+              (match wal with Some w -> Wal.close w | None -> ());
+              invalid (Printf.sprintf "peer list includes this node's own id %S" node_id)
+            end
+            else
+              (* Replica placement needs a fleet view: the ring over
+                 self + peers. The peer strings must be dialable
+                 addresses AND spelled exactly as the router spells its
+                 --backend list, or the two rings disagree on
+                 successors — which is why node_id defaults to the
+                 daemon's address. *)
+              let ring =
+                match config.peers with
+                | [] -> None
+                | peers -> Some (Ring.create (node_id :: peers))
+              in
+              let repl_queue =
+                match ring with
+                | None -> None
+                | Some _ -> Some (Job_queue.create ~max_pending:config.replication_queue)
+              in
+              Ok
+                {
+                  config;
+                  listen_fd;
+                  tcp_fd;
+                  node_id;
+                  queue = Job_queue.create ~max_pending:config.max_pending;
+                  cache;
+                  inflight = Inflight.create ();
+                  wal;
+                  ring;
+                  repl_queue;
+                  stopping = Atomic.make false;
+                  jobs_completed = Atomic.make 0;
+                  shed = Atomic.make 0;
+                  admission_rejected = Atomic.make 0;
+                  wal_appends = Atomic.make 0;
+                  wal_failures = Atomic.make 0;
+                  peer_hits = Atomic.make 0;
+                  replicated_in = Atomic.make 0;
+                  replicated_out = Atomic.make 0;
+                  replication_dropped = Atomic.make 0;
+                  started = Unix.gettimeofday ();
+                  pool = None;
+                  on_job_start;
+                  log;
+                })))
 
 let stop t = Atomic.set t.stopping true
 
@@ -204,26 +253,122 @@ let install_signal_handlers t =
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler
 
-(* An exact entry answers any query straight from its histograms; an
-   approx entry re-runs the O(ms) estimator over the cached profile.
-   The estimator is deterministic in the profile, so a cached re-query
-   produces bit-identical floats to the first answer. [max_level] only
-   matters for approx (exact histograms were already bounded at
-   prepare time); it rides in the cache key, so every party of a
-   flight shares it. *)
-let answer ~name ~query ~max_level (entry : Result_cache.entry) =
-  match entry with
-  | Result_cache.Exact { stats; histograms } -> (
-    match query with
-    | Protocol.Percents percents ->
-      Protocol.Table (Analytical_dse.of_histograms ~percents ~name ~stats histograms)
-    | Protocol.Budget k -> Protocol.Optimal (Optimizer.of_histograms ~k histograms))
-  | Result_cache.Approx profile -> (
-    let prepared = Approx_dse.prepare profile in
-    match query with
-    | Protocol.Percents percents ->
-      Protocol.Approx_table (Approx_dse.table ~percents ?max_level ~name prepared)
-    | Protocol.Budget k -> Protocol.Approx_optimal (Approx_dse.optimal ?max_level ~k prepared))
+(* The entry→outcome derivation lives in Protocol (answer_entry) so the
+   router can build the same reply from a peer's replicated record. *)
+let answer = Protocol.answer_entry
+
+(* -- replication -- *)
+
+(* Store a record that arrived from a peer (a Replicate push or an
+   anti-entropy pull). It takes the same path as a locally computed
+   result — cache store + WAL append — so a replica is durable here
+   too, and a later restart of this node warms it from its own WAL. *)
+let store_replica t key entry =
+  Result_cache.store t.cache key entry;
+  Atomic.incr t.replicated_in;
+  match t.wal with
+  | None -> ()
+  | Some wal -> (
+    match Wal.append wal key entry with
+    | Ok () -> Atomic.incr t.wal_appends
+    | Error e ->
+      Atomic.incr t.wal_failures;
+      t.log (Printf.sprintf "wal append failed: %s" (Dse_error.to_string e)))
+
+(* Fire-and-forget: a finished entry is queued for this node's R−1
+   distinct ring successors *for the key* — so a spilled or failed-over
+   job's result still lands on the nodes any router will walk for that
+   fingerprint, the owner included. A full queue drops the push and
+   counts it: a slow peer degrades durability, never serving. *)
+let replicate t key entry =
+  match (t.ring, t.repl_queue) with
+  | Some ring, Some queue when t.config.replication > 1 -> (
+    match Wal.encode_record key entry with
+    | None -> () (* approx entries are not replicated, mirroring the WAL *)
+    | Some record ->
+      Ring.successors ring key.Result_cache.fingerprint
+      |> List.filter (fun node -> node <> t.node_id)
+      |> List.filteri (fun i _ -> i < t.config.replication - 1)
+      |> List.iter (fun target ->
+             match Job_queue.push queue (target, record) with
+             | `Ok -> ()
+             | `Full _ -> Atomic.incr t.replication_dropped
+             | `Closed -> ()))
+  | _ -> ()
+
+(* One request/response exchange with a peer daemon, from the
+   replication domain. Bounded everywhere (connect, send, receive): a
+   wedged peer must not wedge the pusher. *)
+let peer_exchange target request =
+  let addr = Transport.parse target in
+  match Transport.connect ~timeout:2.0 addr with
+  | Error e -> Error e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> close_noerr fd)
+      (fun () ->
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO 10.0;
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+        match Protocol.write_request ~peer:target fd request with
+        | Error _ as e -> e
+        | Ok () -> Protocol.read_response ~peer:target fd)
+
+let push_record t target record =
+  match peer_exchange target (Protocol.Replicate { records = [ record ] }) with
+  | Ok (Protocol.Replicate_ack { stored }) when stored >= 1 -> Atomic.incr t.replicated_out
+  | Ok _ ->
+    t.log (Printf.sprintf "replication: peer %s refused a record" target)
+  | Error e ->
+    t.log (Printf.sprintf "replication: push to %s failed: %s" target (Dse_error.to_string e))
+
+(* Anti-entropy on (re)join: ask each ring neighbour for its cache-key
+   digest, keep the keys this node participates in (it is among the
+   first R nodes of the key's ring walk) and does not already hold,
+   and pull exactly those. A WAL-restored restart pulls nothing; a
+   WAL-less respawn re-warms its whole range from its peers. *)
+let anti_entropy t ring =
+  let r = t.config.replication in
+  let wanted key =
+    (not (Result_cache.mem t.cache key))
+    &&
+    let rec placed i = function
+      | [] -> false
+      | node :: rest -> (i < r && node = t.node_id) || (i + 1 < r && placed (i + 1) rest)
+    in
+    placed 0 (Ring.successors ring key.Result_cache.fingerprint)
+  in
+  List.iter
+    (fun peer ->
+      match peer_exchange peer (Protocol.Cache_query { keys = [] }) with
+      | Ok (Protocol.Cache_reply { keys; _ }) -> (
+        match List.filter wanted keys with
+        | [] -> ()
+        | missing -> (
+          match peer_exchange peer (Protocol.Cache_query { keys = missing }) with
+          | Ok (Protocol.Cache_reply { records; _ }) ->
+            let pulled =
+              List.fold_left
+                (fun acc record ->
+                  match Wal.decode_record record with
+                  | Some (key, entry) ->
+                    store_replica t key entry;
+                    acc + 1
+                  | None -> acc)
+                0 records
+            in
+            t.log
+              (Printf.sprintf "anti-entropy: pulled %d/%d missing entr%s from %s" pulled
+                 (List.length missing)
+                 (if pulled = 1 then "y" else "ies")
+                 peer)
+          | Ok _ | Error _ ->
+            t.log (Printf.sprintf "anti-entropy: pull from %s failed" peer)))
+      | Ok _ -> t.log (Printf.sprintf "anti-entropy: unexpected digest reply from %s" peer)
+      | Error _ ->
+        (* a dead or not-yet-started neighbour is normal during a rolling
+           (re)start; replication-on-completion covers the gap *)
+        t.log (Printf.sprintf "anti-entropy: %s unreachable, skipped" peer))
+    (Ring.neighbors ring t.node_id)
 
 let stats_reply t =
   let c = Result_cache.counters t.cache in
@@ -289,6 +434,11 @@ let health_reply t =
       wal_enabled = t.wal <> None;
       wal_appends = Atomic.get t.wal_appends;
       wal_failures = Atomic.get t.wal_failures;
+      peer_hits = Atomic.get t.peer_hits;
+      replicated_in = Atomic.get t.replicated_in;
+      replicated_out = Atomic.get t.replicated_out;
+      replication_lag = (match t.repl_queue with Some q -> Job_queue.length q | None -> 0);
+      replication_dropped = Atomic.get t.replication_dropped;
     }
 
 let respond_and_close t fd response =
@@ -371,7 +521,8 @@ let run_job t ~heartbeat job =
         | Ok () -> Atomic.incr t.wal_appends
         | Error e ->
           Atomic.incr t.wal_failures;
-          t.log (Printf.sprintf "wal append failed: %s" (Dse_error.to_string e))))
+          t.log (Printf.sprintf "wal append failed: %s" (Dse_error.to_string e))));
+      replicate t job.key entry
     | Error _ -> ());
     Atomic.incr t.jobs_completed;
     respond_flight t job outcome
@@ -524,6 +675,43 @@ let handle_connection t fd =
   | Ok (Some Protocol.Ping) -> respond_and_close t fd Protocol.Pong
   | Ok (Some Protocol.Server_stats) -> respond_and_close t fd (stats_reply t)
   | Ok (Some Protocol.Health) -> respond_and_close t fd (health_reply t)
+  | Ok (Some (Protocol.Replicate { records })) ->
+    (* a peer pushing warm results; an undecodable record is dropped
+       (the ack count tells the pusher), it can never corrupt us *)
+    let stored =
+      List.fold_left
+        (fun acc record ->
+          match Wal.decode_record record with
+          | Some (key, entry) ->
+            store_replica t key entry;
+            acc + 1
+          | None ->
+            t.log "replicate: dropped an undecodable record from a peer";
+            acc)
+        0 records
+    in
+    respond_and_close t fd (Protocol.Replicate_ack { stored })
+  | Ok (Some (Protocol.Cache_query { keys = [] })) ->
+    (* digest form: advertise every replicable (exact) cache key *)
+    respond_and_close t fd
+      (Protocol.Cache_reply { keys = Result_cache.exact_keys t.cache; records = [] })
+  | Ok (Some (Protocol.Cache_query { keys })) ->
+    (* fetch form: a router failover lookup or an anti-entropy pull;
+       each served entry is a kernel run someone else did not repeat *)
+    let records =
+      List.filter_map
+        (fun key ->
+          match Result_cache.find t.cache key with
+          | Some entry -> (
+            match Wal.encode_record key entry with
+            | Some record ->
+              Atomic.incr t.peer_hits;
+              Some record
+            | None -> None)
+          | None -> None)
+        keys
+    in
+    respond_and_close t fd (Protocol.Cache_reply { keys = []; records })
   | Ok (Some (Protocol.Submit { name; trace; query; method_; domains; max_level; deadline })) ->
     handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~deadline
 
@@ -534,6 +722,34 @@ let run t =
       t.queue
   in
   t.pool <- Some pool;
+  (* One domain owns all outbound peer traffic: first the anti-entropy
+     exchange (serving has already started — a node warms up while it
+     answers), then the push-queue drain loop. Single-threaded pushes
+     keep per-peer ordering and bound the node's outbound fan-out. *)
+  let repl_domain =
+    match (t.ring, t.repl_queue) with
+    | Some ring, Some queue ->
+      Some
+        (Domain.spawn (fun () ->
+             if t.config.anti_entropy then begin
+               match anti_entropy t ring with
+               | () -> ()
+               | exception e ->
+                 t.log (Printf.sprintf "anti-entropy failed: %s" (Printexc.to_string e))
+             end;
+             let rec drain () =
+               match Job_queue.pop queue with
+               | None -> ()
+               | Some (target, record) ->
+                 (match push_record t target record with
+                 | () -> ()
+                 | exception e ->
+                   t.log (Printf.sprintf "replication push: %s" (Printexc.to_string e)));
+                 drain ()
+             in
+             drain ()))
+    | _ -> None
+  in
   let listeners =
     t.listen_fd :: (match t.tcp_fd with Some fd -> [ fd ] | None -> [])
   in
@@ -570,6 +786,10 @@ let run t =
   if pending > 0 then t.log (Printf.sprintf "draining %d pending job(s)" pending);
   Job_queue.close t.queue;
   Worker_pool.join pool;
+  (* workers are done, so no new pushes can be queued: close the
+     replication queue and let the domain drain what remains *)
+  (match t.repl_queue with Some queue -> Job_queue.close queue | None -> ());
+  (match repl_domain with Some d -> Domain.join d | None -> ());
   close_noerr t.listen_fd;
   (match t.tcp_fd with Some fd -> close_noerr fd | None -> ());
   (match t.wal with Some wal -> Wal.close wal | None -> ());

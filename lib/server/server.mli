@@ -57,10 +57,27 @@
       and watermark, shed/admission counters, cache and WAL health, and
       uptime.
 
+    Cluster durability (with [peers] set):
+
+    - {b Replication on completion.} A finished exact result is pushed
+      (as its WAL record — one format for disk and wire) to the first
+      [replication − 1] non-self nodes of the key's ring walk, via a
+      bounded queue drained by a dedicated domain: a slow or dead peer
+      costs buffered records and then counted drops, never serving
+      latency.
+    - {b Peer serving.} {!Protocol.Cache_query} answers from the cache
+      without kernel work — the router's failover lookup and peers'
+      anti-entropy pulls ride it, counted as [peer_hits].
+    - {b Anti-entropy on (re)join.} With [anti_entropy] set, startup
+      exchanges cache-key digests with the ring neighbours and pulls
+      exactly the keys this node participates in but does not hold — a
+      WAL-less respawn re-warms its range from its peers, a
+      WAL-restored one pulls nothing.
+
     Shutdown ({!stop}, or SIGTERM/SIGINT via
     {!install_signal_handlers}) drains: the listener closes, queued and
-    in-flight jobs finish and are answered, the workers join, and the
-    socket file is unlinked. *)
+    in-flight jobs finish and are answered, the workers join, queued
+    replication pushes drain, and the socket file is unlinked. *)
 
 type config = {
   socket_path : string;
@@ -83,6 +100,20 @@ type config = {
       (** admission bound on a submission's declared reference count *)
   memory_budget : int option;
       (** admission bound on a submission's estimated footprint, bytes *)
+  peers : string list;
+      (** the rest of the fleet, as dialable addresses spelled exactly
+          as the router's backend list (and as each peer's node id) so
+          every party derives the same ring; [[]] disables the cluster
+          plane entirely. Must not include this node's own id. *)
+  replication : int;
+      (** total copies (computing node included) a finished result
+          should have; must be >= 1, and 1 means "no pushes" *)
+  replication_queue : int;
+      (** outbound push-queue bound; overflow drops the push (counted
+          as [replication_dropped]); must be >= 1 *)
+  anti_entropy : bool;
+      (** exchange digests with ring neighbours at startup and pull the
+          missing entries of this node's key range *)
 }
 
 type t

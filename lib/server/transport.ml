@@ -39,6 +39,39 @@ let tune fd =
 let io_error ~addr err =
   Dse_error.Io_error { file = to_string addr; message = Unix.error_message err }
 
+(* Packet-level chaos: DSE_FAULT net:drop:K / net:delay:K:MS fire here,
+   at the lowest byte-I/O layer every frame passes through, so the
+   replication and anti-entropy paths can be tested against abrupt
+   resets and congested links without real network flakiness. A drop is
+   indistinguishable from a peer vanishing mid-frame (ECONNRESET). *)
+let chaos op =
+  (match Fault.net_delay () with
+  | Some ms -> Unix.sleepf (float_of_int ms /. 1000.)
+  | None -> ());
+  if Fault.net_drop () then raise (Unix.Unix_error (Unix.ECONNRESET, op, "fault injection"))
+
+let read_some fd buf off len =
+  chaos "read";
+  Unix.read fd buf off len
+
+let read_exact fd n =
+  let buf = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    match read_some fd buf !off (n - !off) with
+    | 0 -> raise End_of_file
+    | k -> off := !off + k
+  done;
+  buf
+
+let write_all fd bytes =
+  chaos "write";
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write fd bytes !off (len - !off)
+  done
+
 let resolve_host host =
   if host = "" then Unix.inet_addr_loopback
   else

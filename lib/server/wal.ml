@@ -209,6 +209,19 @@ let replay_string data =
   scan 0;
   { entries = List.rev !entries; intact = !intact; damaged = !damaged; truncated = !truncated }
 
+(* One record as a standalone string — the Replicate verb's payload
+   unit. Accepts exactly one whole well-formed record; anything else
+   (damage, trailing bytes, a torn prefix) is [None], so a replication
+   receiver can never be corrupted by a bad peer. *)
+let decode_record data =
+  if String.length data < String.length magic + 1 then None
+  else if String.sub data 0 (String.length magic) <> magic then None
+  else
+    match parse_record data 0 with
+    | (key, entry), next when next = String.length data -> Some (key, entry)
+    | _ -> None
+    | exception (Bad | Short) -> None
+
 let replay path =
   match In_channel.with_open_bin path In_channel.input_all with
   | data -> Ok (replay_string data)

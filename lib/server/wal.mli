@@ -27,6 +27,19 @@
     atomically renamed over the log — a crash during compaction leaves
     either the old or the new file, never a mix. *)
 
+(** [encode_record key entry] is the entry as one self-framing record —
+    the unit of both WAL persistence and the cluster's [Replicate] /
+    [Cache_reply] payloads, so warm state travels in the same bytes it
+    is persisted in. [None] for an {!Result_cache.Approx} entry (not
+    persisted, hence not replicated — cheap to recompute). *)
+val encode_record : Result_cache.key -> Result_cache.entry -> string option
+
+(** [decode_record data] parses exactly one whole record as produced by
+    {!encode_record}. Damage, trailing bytes, or a torn prefix is
+    [None] — a replication receiver cannot be corrupted by a bad
+    peer. *)
+val decode_record : string -> (Result_cache.key * Result_cache.entry) option
+
 type replay = {
   entries : (Result_cache.key * Result_cache.entry) list;  (** in append order *)
   intact : int;  (** records recovered *)

@@ -19,6 +19,7 @@ let () =
          Test_server.suites;
          Test_router.suites;
          Test_selfheal.suites;
+         Test_replication.suites;
          Test_supervision.suites;
          Test_extensions.suites;
          Test_cost.suites;

@@ -357,7 +357,8 @@ let test_daemon_approx_smoke () =
       Server.create ~log:(fun _ -> ())
         { Server.socket_path = path; tcp = None; node_id = None; workers = 2; max_pending = 16;
           cache_entries = 64; wal_path = None; hang_timeout = 30.; max_job_refs = None;
-          memory_budget = Some (8 * 1024 * 1024) }
+          memory_budget = Some (8 * 1024 * 1024);
+          peers = []; replication = 2; replication_queue = 256; anti_entropy = false }
     with
     | Ok s -> s
     | Error e -> Alcotest.failf "server create: %s" (Dse_error.to_string e)

@@ -33,7 +33,8 @@ let free_port () =
 let server_config ?(workers = 2) ?tcp ?node_id socket =
   { Server.socket_path = socket; tcp; node_id; workers; max_pending = 16;
     cache_entries = Result_cache.default_capacity; wal_path = None; hang_timeout = 30.;
-    max_job_refs = None; memory_budget = None }
+    max_job_refs = None; memory_budget = None;
+    peers = []; replication = 2; replication_queue = 256; anti_entropy = false }
 
 let start_server config =
   let server =

@@ -278,7 +278,8 @@ let with_server ?(workers = 2) ?(max_pending = 16) ?(cache_entries = Result_cach
       Server.create ?on_job_start ~log
         { Server.socket_path = path; tcp = None; node_id = None; workers; max_pending;
           cache_entries; wal_path; hang_timeout = 30.; max_job_refs = None;
-          memory_budget = None }
+          memory_budget = None;
+          peers = []; replication = 2; replication_queue = 256; anti_entropy = false }
     with
     | Ok s -> s
     | Error e -> Alcotest.failf "server create: %s" (Dse_error.to_string e)

@@ -262,7 +262,8 @@ let with_server ?(workers = 2) ?(max_pending = 16) ?(cache_entries = Result_cach
     match
       Server.create ?on_job_start ~log:(fun _ -> ())
         { Server.socket_path = path; tcp = None; node_id = None; workers; max_pending;
-          cache_entries; wal_path; hang_timeout; max_job_refs; memory_budget }
+          cache_entries; wal_path; hang_timeout; max_job_refs; memory_budget;
+          peers = []; replication = 2; replication_queue = 256; anti_entropy = false }
     with
     | Ok s -> s
     | Error e -> Alcotest.failf "server create: %s" (Dse_error.to_string e)
@@ -416,7 +417,8 @@ let test_sigterm_drains () =
              { Server.socket_path = path; tcp = None; node_id = None; workers = 1;
                max_pending = 4; cache_entries = Result_cache.default_capacity;
                wal_path = None; hang_timeout = 30.; max_job_refs = None;
-               memory_budget = None })
+               memory_budget = None;
+               peers = []; replication = 2; replication_queue = 256; anti_entropy = false })
       in
       Server.install_signal_handlers server;
       let runner = Domain.spawn (fun () -> Server.run server) in

@@ -120,6 +120,11 @@ let test_health_roundtrip () =
       wal_enabled = true;
       wal_appends = 6;
       wal_failures = 1;
+      peer_hits = 3;
+      replicated_in = 4;
+      replicated_out = 5;
+      replication_lag = 1;
+      replication_dropped = 2;
     }
   in
   with_socketpair (fun a b ->
@@ -279,6 +284,10 @@ let with_server ?(workers = 2) ?(max_pending = 16) ?(hang_timeout = 30.) ?max_jo
           hang_timeout;
           max_job_refs;
           memory_budget;
+          peers = [];
+          replication = 2;
+          replication_queue = 256;
+          anti_entropy = false;
         }
     with
     | Ok s -> s
