@@ -1285,9 +1285,150 @@ let replication_section () =
     cold_kernel_reruns = cold_reruns;
   }
 
+(* -- A19: online membership -- *)
+
+type membership_result = {
+  member_nodes : int;
+  member_traces : int;
+  drain_handoff_seconds : float;
+  drain_pushed : int;
+  join_warmup_seconds : float;
+  identity_submissions : int;
+  identity_identical : int;
+}
+
+let membership_section () =
+  section "A19: membership — drain handoff, join warm-up, answer identity under churn";
+  let boot socket peers =
+    let config =
+      { Server.socket_path = socket; tcp = None; node_id = None; workers = 2; max_pending = 32;
+        cache_entries = Result_cache.default_capacity; wal_path = None; hang_timeout = 30.;
+        max_job_refs = None; memory_budget = None;
+        peers; replication = 2; replication_queue = 256; anti_entropy = true }
+    in
+    match Server.create ~log:(fun _ -> ()) config with
+    | Ok s -> (socket, s, Domain.spawn (fun () -> Server.run s))
+    | Error e -> failwith ("A19 backend: " ^ Dse_error.to_string e)
+  in
+  let stop_backend (socket, s, runner) =
+    Server.stop s;
+    Domain.join runner;
+    if Sys.file_exists socket then Sys.remove socket
+  in
+  let sockets = List.init 3 (fun _ -> Filename.temp_file "dse_bench19b" ".sock") in
+  List.iter Sys.remove sockets;
+  let servers =
+    ref (List.map (fun s -> boot s (List.filter (fun p -> p <> s) sockets)) sockets)
+  in
+  let listen = Filename.temp_file "dse_bench19r" ".sock" in
+  Sys.remove listen;
+  let router, r_runner =
+    match
+      Router.create ~log:(fun _ -> ())
+        { Router.default_config with Router.listen; backends = sockets;
+          health_interval = 0.2; breaker = { Breaker.default_config with cooldown_base = 0.2 } }
+    with
+    | Ok r -> (r, Domain.spawn (fun () -> Router.run r))
+    | Error e -> failwith ("A19 router: " ^ Dse_error.to_string e)
+  in
+  let traces =
+    List.init 8 (fun i ->
+        ( Printf.sprintf "a19-%d" i,
+          Synthetic.zipfian ~seed:(1901 + i) ~span:4096 ~skew:1.1 ~length:20_000 ))
+  in
+  (* the identity oracle: what the in-process pipeline answers *)
+  let expected =
+    List.map (fun (name, trace) -> (name, Protocol.Table (Analytical_dse.run ~name trace))) traces
+  in
+  let submissions = ref 0 and identical = ref 0 in
+  let pass () =
+    List.iter
+      (fun (name, trace) ->
+        incr submissions;
+        match Client.submit ~socket:listen ~retries:5 ~name trace with
+        | Ok payload -> if payload.Protocol.outcome = List.assoc name expected then incr identical
+        | Error _ -> ())
+      traces
+  in
+  let digest socket =
+    match Client.request ~socket (Protocol.Cache_query { ring_version = 0; keys = [] }) with
+    | Ok (Protocol.Cache_reply { keys; _ }) -> keys
+    | _ -> failwith "A19: digest query failed"
+  in
+  pass ();
+  (* graceful drain of a live member, timed end to end: survivors adopt,
+     the leaver settles and hands off its warm range, routing moves *)
+  let leaver = List.hd sockets in
+  let survivors = List.tl sockets in
+  let (_, pushed, failed), drain_s =
+    Timing.time_wall (fun () ->
+        match Admin.drain ~gateway:listen ~contacts:sockets leaver with
+        | Ok r -> r
+        | Error e -> failwith ("A19 drain: " ^ Dse_error.to_string e))
+  in
+  if failed <> [] then failwith "A19: drain config push failed";
+  let leaver_srv = List.find (fun (s, _, _) -> s = leaver) !servers in
+  servers := List.filter (fun (s, _, _) -> s <> leaver) !servers;
+  stop_backend leaver_srv;
+  pass ();
+  (* runtime join of a cold node, timed until anti-entropy has pulled
+     every key placed on it under the published ring *)
+  let newcomer = Filename.temp_file "dse_bench19j" ".sock" in
+  Sys.remove newcomer;
+  servers := boot newcomer [] :: !servers;
+  let (), join_s =
+    Timing.time_wall (fun () ->
+        let config =
+          match Admin.join ~gateway:listen ~contacts:survivors newcomer with
+          | Ok (config, []) -> config
+          | Ok (_, (target, e) :: _) ->
+            failwith
+              (Printf.sprintf "A19 join: push to %s failed: %s" target (Dse_error.to_string e))
+          | Error e -> failwith ("A19 join: " ^ Dse_error.to_string e)
+        in
+        let ring = Ring.create config.Protocol.nodes in
+        let wanted =
+          List.filter
+            (fun (key : Result_cache.key) ->
+              Ring.successors ring key.Result_cache.fingerprint
+              |> List.filteri (fun i _ -> i < config.Protocol.replication)
+              |> List.mem newcomer)
+            (List.sort_uniq compare (List.concat_map digest survivors))
+        in
+        let warmed () =
+          let have = digest newcomer in
+          List.for_all (fun key -> List.mem key have) wanted
+        in
+        let deadline = Unix.gettimeofday () +. 15. in
+        while (not (warmed ())) && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.02
+        done;
+        if not (warmed ()) then failwith "A19: the joining node never warmed its range")
+  in
+  pass ();
+  Router.stop router;
+  Domain.join r_runner;
+  if Sys.file_exists listen then Sys.remove listen;
+  List.iter stop_backend !servers;
+  Format.printf
+    "drain handoff %.4f s (%d record(s)); join warm-up %.4f s; %d/%d answers identical across the churn@."
+    drain_s pushed join_s !identical !submissions;
+  if pushed < 1 then failwith "A19: the drain handed off nothing";
+  if !identical < !submissions then failwith "A19: a routed answer diverged during membership churn";
+  {
+    member_nodes = 3;
+    member_traces = List.length traces;
+    drain_handoff_seconds = drain_s;
+    drain_pushed = pushed;
+    join_warmup_seconds = join_s;
+    identity_submissions = !submissions;
+    identity_identical = !identical;
+  }
+
 (* -- machine-readable output for tracking the perf trajectory -- *)
 
-let emit_json ~fast ~samples ~large ~approx ~server ~selfheal ~supervision ~router ~replication =
+let emit_json ~fast ~samples ~large ~approx ~server ~selfheal ~supervision ~router ~replication
+    ~membership =
   let oc = open_out "BENCH_dse.json" in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -1341,6 +1482,11 @@ let emit_json ~fast ~samples ~large ~approx ~server ~selfheal ~supervision ~rout
         replication.push_drain_seconds replication.failover_cold_seconds
         replication.failover_warm_seconds replication.warm_peer_hits
         replication.warm_kernel_reruns replication.cold_kernel_reruns;
+      Printf.fprintf oc
+        "  \"membership\": {\"fleet_nodes\": %d, \"distinct_traces\": %d, \"drain_handoff_seconds\": %.6f, \"drain_pushed\": %d, \"join_warmup_seconds\": %.6f, \"identity_submissions\": %d, \"identity_identical\": %d},\n"
+        membership.member_nodes membership.member_traces membership.drain_handoff_seconds
+        membership.drain_pushed membership.join_warmup_seconds membership.identity_submissions
+        membership.identity_identical;
       (* per-section GC watermarks: each key is the cumulative
          top_heap at the end of that section (monotone, so the first
          key is the purest reading) *)
@@ -1536,6 +1682,8 @@ let () =
   ignore (record_gc "router");
   let replication = replication_section () in
   ignore (record_gc "replication");
+  let membership = membership_section () in
+  ignore (record_gc "membership");
   policy_section ();
   compiled_workloads_section ();
   l2_section ();
@@ -1544,5 +1692,6 @@ let () =
     List.map (fun s -> ("data", s)) data_samples
     @ List.map (fun s -> ("inst", s)) inst_samples
   in
-  emit_json ~fast ~samples ~large ~approx ~server ~selfheal ~supervision ~router ~replication;
+  emit_json ~fast ~samples ~large ~approx ~server ~selfheal ~supervision ~router ~replication
+    ~membership;
   Format.printf "@.done.@."

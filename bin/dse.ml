@@ -12,8 +12,9 @@ open Cmdliner
 
 (* Exit codes: 0 ok, 2 usage, 3 I/O, 4 corrupt data, 5 internal,
    6 queue full, 7 deadline exceeded, 8 supervision (worker stalled /
-   admission rejected), 9 routing (backend unavailable after failover;
-   see Dse_error.exit_code). Every
+   admission rejected), 9 routing (backend unavailable after failover),
+   10 stale ring (a cluster exchange fenced by a newer membership
+   epoch; see Dse_error.exit_code). Every
    error goes to stderr, never stdout, and
    traces are loaded before any report rendering starts, so diagnostics
    cannot interleave with report output. *)
@@ -809,7 +810,10 @@ let submit_cmd =
       Format.printf "replicated_in %d@." h.Protocol.replicated_in;
       Format.printf "replicated_out %d@." h.Protocol.replicated_out;
       Format.printf "replication_lag %d@." h.Protocol.replication_lag;
-      Format.printf "replication_dropped %d@." h.Protocol.replication_dropped
+      Format.printf "replication_dropped %d@." h.Protocol.replication_dropped;
+      Format.printf "ring_version %d@." h.Protocol.ring_version;
+      Format.printf "draining %b@." h.Protocol.draining;
+      Format.printf "replica_gc_dropped %d@." h.Protocol.replica_gc_dropped
     end
     else if server_stats then begin
       let s = or_exit (Client.server_stats ~socket) in
@@ -1085,6 +1089,103 @@ let route_cmd =
       value & flag
       & info [ "json" ] ~doc:"With $(b,--health): emit one machine-readable JSON object.")
   in
+  let admin_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "admin" ] ~docv:"VERB"
+          ~doc:
+            "One-shot fleet-membership operation instead of running a gateway. Contacts are \
+             the $(b,--backend) list. $(i,VERB) is one of: $(b,ring-status) (print every \
+             contact's fleet view); $(b,join) $(i,ADDR) (add a running daemon to the ring — \
+             its range is pulled by anti-entropy while it serves); $(b,drain) $(i,ADDR) \
+             (graceful decommission: the node sheds new work, hands its warm entries to the \
+             post-drain owners, and leaves — zero kernel re-runs); $(b,leave) $(i,ADDR) \
+             (remove a dead node without contacting it); $(b,set-replication) $(i,R) (change \
+             the fleet's replication factor; a shrink triggers replica GC). Each change \
+             publishes a version-bumped ring config; stragglers catch up via the stale-ring \
+             fence.")
+  in
+  let gateway_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "gateway" ] ~docv:"ADDR"
+          ~doc:
+            "With $(b,--admin): a running $(b,dse route) gateway to update too. It is always \
+             updated last, so a draining node keeps serving its cache until routing moves.")
+  in
+  let admin_operand_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"ARG"
+          ~doc:"Operand of $(b,--admin): the node address, or the replication factor.")
+  in
+  let run_admin backends gateway verb operand =
+    if backends = [] then usage_fail "at least one --backend contact is required";
+    let contacts = backends in
+    let report_failed failed =
+      List.iter
+        (fun (target, e) ->
+          Format.eprintf "dse: warning: push to %s failed: %s@." target (Dse_error.to_string e))
+        failed
+    in
+    let print_config (c : Protocol.ring_config) =
+      Format.printf "ring_version %d@." c.Protocol.ring_version;
+      Format.printf "replication %d@." c.Protocol.replication;
+      Format.printf "nodes %s@." (String.concat "," c.Protocol.nodes)
+    in
+    let need what = match operand with Some v -> v | None -> usage_fail what in
+    match verb with
+    | "ring-status" ->
+      let any_up = ref false in
+      List.iter
+        (fun target ->
+          match Admin.ring_status target with
+          | Ok (c, draining, _) ->
+            any_up := true;
+            Format.printf "%s v%d nodes=%d replication=%d%s@." target c.Protocol.ring_version
+              (List.length c.Protocol.nodes)
+              c.Protocol.replication
+              (if draining then " draining" else "")
+          | Error e -> Format.printf "%s down (%s)@." target (Dse_error.to_string e))
+        contacts;
+      if not !any_up then
+        or_exit
+          (Error
+             (Dse_error.Backend_unavailable
+                { node = List.hd contacts; attempts = List.length contacts }))
+    | "join" ->
+      let node = need "join needs the joining node's ADDR" in
+      let config, failed = or_exit (Admin.join ?gateway ~contacts node) in
+      report_failed failed;
+      Format.printf "joined %s@." node;
+      print_config config
+    | "drain" ->
+      let node = need "drain needs the leaving node's ADDR" in
+      let config, pushed, failed = or_exit (Admin.drain ?gateway ~contacts node) in
+      report_failed failed;
+      Format.printf "drained %s; %d warm record(s) accepted by the new owners@." node pushed;
+      print_config config
+    | "leave" ->
+      let node = need "leave needs the dead node's ADDR" in
+      let config, failed = or_exit (Admin.leave ?gateway ~contacts node) in
+      report_failed failed;
+      Format.printf "removed %s@." node;
+      print_config config
+    | "set-replication" ->
+      let r = need "set-replication needs the new factor" in
+      let r =
+        match int_of_string_opt r with
+        | Some r -> r
+        | None -> usage_fail "set-replication needs an integer factor"
+      in
+      let config, failed = or_exit (Admin.set_replication ?gateway ~contacts r) in
+      report_failed failed;
+      print_config config
+    | v -> usage_fail (Printf.sprintf "unknown --admin verb %s" v)
+  in
   (* One-shot aggregated cluster health, for operators and the CI smoke:
      each backend is asked directly (no gateway in the path), so a dead
      node shows as down while its survivors still report. *)
@@ -1107,18 +1208,21 @@ let route_cmd =
             "{\"backend\":%S,\"up\":true,\"node_id\":%S,\"start_epoch\":%.3f,\"uptime\":%.3f,\
              \"workers\":%d,\"queue_depth\":%d,\"jobs_completed\":%d,\"cache_hits\":%d,\
              \"cache_entries\":%d,\"wal_appends\":%d,\"peer_hits\":%d,\"replicated_in\":%d,\
-             \"replicated_out\":%d,\"replication_lag\":%d,\"replication_dropped\":%d}"
+             \"replicated_out\":%d,\"replication_lag\":%d,\"replication_dropped\":%d,\
+             \"ring_version\":%d,\"draining\":%b,\"replica_gc_dropped\":%d}"
             addr h.Protocol.node_id h.Protocol.start_epoch h.Protocol.uptime
             (List.length h.Protocol.workers)
             h.Protocol.queue_depth h.Protocol.jobs_completed h.Protocol.cache_hits
             h.Protocol.cache_entries h.Protocol.wal_appends h.Protocol.peer_hits
             h.Protocol.replicated_in h.Protocol.replicated_out h.Protocol.replication_lag
-            h.Protocol.replication_dropped
+            h.Protocol.replication_dropped h.Protocol.ring_version h.Protocol.draining
+            h.Protocol.replica_gc_dropped
         | Error message -> Printf.sprintf "{\"backend\":%S,\"up\":false,\"error\":%S}" addr message
       in
       Printf.printf
         "{\"backends\":[%s],\"up\":%d,\"total\":%d,\"jobs_completed\":%d,\"cache_entries\":%d,\
-         \"peer_hits\":%d,\"replicated_in\":%d,\"replicated_out\":%d,\"replication_dropped\":%d}\n"
+         \"peer_hits\":%d,\"replicated_in\":%d,\"replicated_out\":%d,\"replication_dropped\":%d,\
+         \"replica_gc_dropped\":%d}\n"
         (String.concat "," (List.map backend_json views))
         (List.length up) (List.length views)
         (sum (fun h -> h.Protocol.jobs_completed))
@@ -1127,6 +1231,7 @@ let route_cmd =
         (sum (fun h -> h.Protocol.replicated_in))
         (sum (fun h -> h.Protocol.replicated_out))
         (sum (fun h -> h.Protocol.replication_dropped))
+        (sum (fun h -> h.Protocol.replica_gc_dropped))
     end
     else begin
       List.iter
@@ -1136,17 +1241,20 @@ let route_cmd =
             Format.printf
               "backend %s up node_id=%s uptime=%.1f workers=%d queue_depth=%d \
                jobs_completed=%d cache_entries=%d peer_hits=%d replicated_in=%d \
-               replicated_out=%d replication_lag=%d replication_dropped=%d@."
+               replicated_out=%d replication_lag=%d replication_dropped=%d ring_version=%d%s \
+               replica_gc_dropped=%d@."
               addr h.Protocol.node_id h.Protocol.uptime
               (List.length h.Protocol.workers)
               h.Protocol.queue_depth h.Protocol.jobs_completed h.Protocol.cache_entries
               h.Protocol.peer_hits h.Protocol.replicated_in h.Protocol.replicated_out
-              h.Protocol.replication_lag h.Protocol.replication_dropped
+              h.Protocol.replication_lag h.Protocol.replication_dropped h.Protocol.ring_version
+              (if h.Protocol.draining then " draining" else "")
+              h.Protocol.replica_gc_dropped
           | Error message -> Format.printf "backend %s down (%s)@." addr message)
         views;
       Format.printf
         "cluster up=%d/%d jobs_completed=%d cache_entries=%d peer_hits=%d replicated_in=%d \
-         replicated_out=%d replication_dropped=%d@."
+         replicated_out=%d replication_dropped=%d replica_gc_dropped=%d@."
         (List.length up) (List.length views)
         (sum (fun h -> h.Protocol.jobs_completed))
         (sum (fun h -> h.Protocol.cache_entries))
@@ -1154,7 +1262,16 @@ let route_cmd =
         (sum (fun h -> h.Protocol.replicated_in))
         (sum (fun h -> h.Protocol.replicated_out))
         (sum (fun h -> h.Protocol.replication_dropped))
+        (sum (fun h -> h.Protocol.replica_gc_dropped))
     end;
+    (* durability is degrading if pushes are being dropped: one line on
+       stderr so scripts parsing stdout JSON still see it *)
+    let dropped = sum (fun h -> h.Protocol.replication_dropped) in
+    if dropped > 0 then
+      Format.eprintf
+        "dse: warning: %d replication push(es) dropped across the fleet — a slow or dead peer \
+         is degrading durability@."
+        dropped;
     if up = [] then
       or_exit
         (Error
@@ -1162,8 +1279,12 @@ let route_cmd =
               { node = List.hd backends; attempts = List.length backends }))
   in
   let run listen backends forwarders max_pending replicas connect_timeout request_timeout
-      hedge_after health_interval breaker_failures breaker_cooldown spill_threshold health json =
+      hedge_after health_interval breaker_failures breaker_cooldown spill_threshold health json
+      admin gateway operand =
     if backends = [] then usage_fail "at least one --backend is required";
+    match admin with
+    | Some verb -> run_admin backends gateway verb operand
+    | None ->
     if health then cluster_health backends json
     else
       let config =
@@ -1203,15 +1324,551 @@ let route_cmd =
     Term.(const run $ listen_arg $ backend_arg $ forwarders_arg $ max_pending_arg $ replicas_arg
           $ connect_timeout_arg $ request_timeout_arg $ hedge_after_arg $ health_interval_arg
           $ breaker_failures_arg $ breaker_cooldown_arg $ spill_threshold_arg $ health_flag
-          $ json_flag)
+          $ json_flag $ admin_arg $ gateway_arg $ admin_operand_arg)
   in
   Cmd.v
     (Cmd.info "route"
        ~doc:
          "Run a gateway that consistent-hashes submissions across several $(b,dse serve) \
           backends, with health-driven failover, per-backend circuit breakers, and hedged \
-          retries. Clients point $(b,dse submit --addr) at it; results are bit-identical to \
-          $(b,dse explore).")
+          retries — or, with $(b,--admin), perform a one-shot fleet-membership operation \
+          (join, drain, leave, ring-status, set-replication). Clients point $(b,dse submit \
+          --addr) at it; results are bit-identical to $(b,dse explore).")
+    term
+
+(* -- chaos -- *)
+
+(* One scripted membership/fault event, fired at a wall-clock offset
+   from harness start. *)
+type chaos_action =
+  | C_kill of int
+  | C_respawn of int
+  | C_join of int
+  | C_drain of int
+  | C_leave of int
+  | C_fault of string
+
+type chaos_node = {
+  c_index : int;
+  c_addr : string;  (* TCP address: the node id and ring name *)
+  c_sock : string;
+  c_wal : string;
+  c_log : string;
+  mutable c_pid : int option;
+  mutable c_member : bool;
+}
+
+let chaos_cmd =
+  let schedule_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:
+            "Event script: one $(i,AT ACTION [ARG]) per line ($(i,AT) in seconds from start; \
+             $(b,#) comments). Actions: $(b,kill) $(i,I) (SIGKILL node I), $(b,respawn) \
+             $(i,I), $(b,join) $(i,I) (start node I and add it to the ring), $(b,drain) \
+             $(i,I) (graceful decommission), $(b,leave) $(i,I) (remove without contact), \
+             $(b,fault) $(i,SPEC) (arm the harness-side injection hook, e.g. \
+             $(i,net:drop:3)).")
+  in
+  let nodes_arg =
+    Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"N" ~doc:"Initial fleet size.")
+  in
+  let base_port_arg =
+    Arg.(
+      value & opt int 7760
+      & info [ "base-port" ] ~docv:"PORT"
+          ~doc:"Node $(i,I) listens on 127.0.0.1:PORT+I; the gateway on PORT-1.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed; the trace mix is a pure function of it.")
+  in
+  let chaos_replication_arg =
+    Arg.(value & opt int 2 & info [ "replication" ] ~docv:"R" ~doc:"Fleet replication factor.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 40
+      & info [ "requests" ] ~docv:"N"
+          ~doc:"Minimum workload submissions (the loop also runs until the schedule is drained).")
+  in
+  let keep_arg =
+    Arg.(
+      value & flag
+      & info [ "keep" ] ~doc:"Keep the scratch directory (WALs, per-node logs) for inspection.")
+  in
+  let parse_schedule path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec read lineno acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | line ->
+            let line =
+              match String.index_opt line '#' with
+              | Some i -> String.sub line 0 i
+              | None -> line
+            in
+            let tokens =
+              List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+            in
+            let bad what =
+              usage_fail (Printf.sprintf "%s:%d: %s" path lineno what)
+            in
+            let index s =
+              match int_of_string_opt s with
+              | Some i when i >= 0 -> i
+              | _ -> bad (Printf.sprintf "bad node index %S" s)
+            in
+            let event =
+              match tokens with
+              | [] -> None
+              | at :: action -> (
+                let at =
+                  match float_of_string_opt at with
+                  | Some t when t >= 0. -> t
+                  | _ -> bad (Printf.sprintf "bad offset %S" at)
+                in
+                match action with
+                | [ "kill"; i ] -> Some (at, C_kill (index i))
+                | [ "respawn"; i ] -> Some (at, C_respawn (index i))
+                | [ "join"; i ] -> Some (at, C_join (index i))
+                | [ "drain"; i ] -> Some (at, C_drain (index i))
+                | [ "leave"; i ] -> Some (at, C_leave (index i))
+                | [ "fault"; spec ] ->
+                  if Fault.parse spec = None then bad (Printf.sprintf "bad fault spec %S" spec)
+                  else Some (at, C_fault spec)
+                | _ -> bad "unknown action")
+            in
+            read (lineno + 1) (match event with Some e -> e :: acc | None -> acc)
+        in
+        let events = read 1 [] in
+        (* stable sort: same-offset events fire in file order *)
+        List.stable_sort (fun (a, _) (b, _) -> compare a b) events)
+  in
+  let run schedule nodes base_port seed replication requests keep =
+    if nodes < 2 then usage_fail "nodes must be >= 2";
+    if replication < 1 then usage_fail "replication must be >= 1";
+    if requests < 1 then usage_fail "requests must be >= 1";
+    let events = parse_schedule schedule in
+    let max_index =
+      List.fold_left
+        (fun m (_, a) ->
+          match a with
+          | C_kill i | C_respawn i | C_join i | C_drain i | C_leave i -> max m i
+          | C_fault _ -> m)
+        (nodes - 1) events
+    in
+    let dir =
+      let d = Filename.temp_file "dse_chaos" "" in
+      Sys.remove d;
+      Unix.mkdir d 0o700;
+      d
+    in
+    let fleet =
+      Array.init (max_index + 1) (fun i ->
+          {
+            c_index = i;
+            c_addr = Printf.sprintf "127.0.0.1:%d" (base_port + i);
+            c_sock = Filename.concat dir (Printf.sprintf "node-%d.sock" i);
+            c_wal = Filename.concat dir (Printf.sprintf "node-%d.wal" i);
+            c_log = Filename.concat dir (Printf.sprintf "node-%d.log" i);
+            c_pid = None;
+            c_member = i < nodes;
+          })
+    in
+    let gateway = Printf.sprintf "127.0.0.1:%d" (base_port - 1) in
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+    let spawn argv logf =
+      let log_fd =
+        Unix.openfile logf [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o600
+      in
+      let pid =
+        Unix.create_process Sys.executable_name (Array.of_list argv) devnull log_fd log_fd
+      in
+      Unix.close log_fd;
+      pid
+    in
+    let spawn_node ~peers n =
+      let argv =
+        [
+          "dse"; "serve"; "--socket"; n.c_sock; "--tcp"; n.c_addr; "--node-id"; n.c_addr;
+          "--workers"; "2"; "--wal"; n.c_wal; "--anti-entropy"; "--replication";
+          string_of_int replication;
+        ]
+        @ List.concat_map (fun p -> [ "--peer"; p ]) peers
+      in
+      n.c_pid <- Some (spawn argv n.c_log)
+    in
+    let kill_node n =
+      match n.c_pid with
+      | None -> ()
+      | Some pid ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+        n.c_pid <- None;
+        if Sys.file_exists n.c_sock then Sys.remove n.c_sock
+    in
+    let wait_ready what addr =
+      let deadline = Unix.gettimeofday () +. 15. in
+      let rec go () =
+        match Client.ping ~socket:addr with
+        | Ok () -> ()
+        | Error _ ->
+          if Unix.gettimeofday () > deadline then
+            usage_fail (Printf.sprintf "%s (%s) did not come up within 15 s" what addr)
+          else begin
+            Unix.sleepf 0.05;
+            go ()
+          end
+      in
+      go ()
+    in
+    let live_members () =
+      Array.to_list fleet
+      |> List.filter_map (fun n ->
+             if n.c_member && n.c_pid <> None then Some n.c_addr else None)
+    in
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+    (* drain handoff latency and join warm-up, for the summary line *)
+    let drain_pushed = ref 0 in
+    let drain_latency = ref 0. in
+    let join_warmup = ref 0. in
+    let fire = function
+      | C_kill i ->
+        Format.eprintf "chaos: kill -9 node %d@." i;
+        kill_node fleet.(i)
+      | C_respawn i ->
+        let n = fleet.(i) in
+        if n.c_pid <> None then fail "respawn %d: node is already running" i
+        else begin
+          Format.eprintf "chaos: respawn node %d@." i;
+          let peers = List.filter (fun a -> a <> n.c_addr) (live_members ()) in
+          spawn_node ~peers n;
+          wait_ready "respawned node" n.c_addr;
+          (* hand the respawn the fleet's current view so it does not
+             wait for the fence to teach it *)
+          match Admin.fetch_config peers with
+          | Ok config -> ignore (Admin.push_config config [ n.c_addr ])
+          | Error _ -> ()
+        end
+      | C_join i ->
+        let n = fleet.(i) in
+        if n.c_member then fail "join %d: node is already a member" i
+        else begin
+          Format.eprintf "chaos: join node %d@." i;
+          (* a joiner boots standalone (unfenced v0) and learns the ring
+             from the published config; anti-entropy then pulls its range *)
+          spawn_node ~peers:[] n;
+          wait_ready "joining node" n.c_addr;
+          let t0 = Unix.gettimeofday () in
+          match Admin.join ~gateway ~contacts:(live_members ()) n.c_addr with
+          | Ok (config, failed) ->
+            n.c_member <- true;
+            List.iter
+              (fun (target, e) ->
+                fail "join %d: push to %s failed: %s" i target (Dse_error.to_string e))
+              failed;
+            (* warm-up: the joiner has adopted when its health plane
+               reports the published epoch *)
+            let deadline = Unix.gettimeofday () +. 10. in
+            let rec warm () =
+              match Client.health ~socket:n.c_addr with
+              | Ok h when h.Protocol.ring_version >= config.Protocol.ring_version ->
+                join_warmup := Unix.gettimeofday () -. t0
+              | _ ->
+                if Unix.gettimeofday () > deadline then
+                  fail "join %d: node never adopted v%d" i config.Protocol.ring_version
+                else begin
+                  Unix.sleepf 0.05;
+                  warm ()
+                end
+            in
+            warm ()
+          | Error e -> fail "join %d: %s" i (Dse_error.to_string e)
+        end
+      | C_drain i ->
+        let n = fleet.(i) in
+        Format.eprintf "chaos: drain node %d@." i;
+        let t0 = Unix.gettimeofday () in
+        (match Admin.drain ~gateway ~contacts:(live_members ()) n.c_addr with
+        | Ok (_, pushed, failed) ->
+          n.c_member <- false;
+          drain_pushed := !drain_pushed + pushed;
+          drain_latency := Unix.gettimeofday () -. t0;
+          List.iter
+            (fun (target, e) ->
+              fail "drain %d: push to %s failed: %s" i target (Dse_error.to_string e))
+            failed
+        | Error e -> fail "drain %d: %s" i (Dse_error.to_string e))
+      | C_leave i ->
+        let n = fleet.(i) in
+        Format.eprintf "chaos: leave node %d@." i;
+        (match Admin.leave ~gateway ~contacts:(live_members ()) n.c_addr with
+        | Ok (_, failed) ->
+          n.c_member <- false;
+          List.iter
+            (fun (target, e) ->
+              fail "leave %d: push to %s failed: %s" i target (Dse_error.to_string e))
+            failed
+        | Error e -> fail "leave %d: %s" i (Dse_error.to_string e))
+      | C_fault spec ->
+        Format.eprintf "chaos: arming fault %s@." spec;
+        ignore (Fault.arm spec)
+    in
+    let cleanup () =
+      Array.iter kill_node fleet;
+      if not keep then begin
+        Array.iter
+          (fun n ->
+            List.iter
+              (fun f -> if Sys.file_exists f then Sys.remove f)
+              [ n.c_sock; n.c_wal; n.c_log ])
+          fleet;
+        let gwlog = Filename.concat dir "gateway.log" in
+        if Sys.file_exists gwlog then Sys.remove gwlog;
+        (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      end
+      else Format.eprintf "chaos: scratch kept in %s@." dir
+    in
+    let gateway_pid = ref None in
+    Fun.protect
+      ~finally:(fun () ->
+        (match !gateway_pid with
+        | Some pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        | None -> ());
+        cleanup ();
+        Unix.close devnull)
+      (fun () ->
+        (* boot the initial fleet, fully peered, and the gateway *)
+        let initial = List.filteri (fun i _ -> i < nodes) (Array.to_list fleet) in
+        List.iter
+          (fun n ->
+            let peers =
+              List.filter_map
+                (fun p -> if p.c_addr <> n.c_addr then Some p.c_addr else None)
+                initial
+            in
+            spawn_node ~peers n)
+          initial;
+        List.iter (fun n -> wait_ready "fleet node" n.c_addr) initial;
+        let gw_argv =
+          [
+            "dse"; "route"; "--listen"; gateway; "--request-timeout"; "30";
+            "--health-interval"; "0.3"; "--breaker-cooldown"; "0.2";
+          ]
+          @ List.concat_map (fun n -> [ "--backend"; n.c_addr ]) initial
+        in
+        gateway_pid := Some (spawn gw_argv (Filename.concat dir "gateway.log"));
+        wait_ready "gateway" gateway;
+        (* the workload: a fixed mix of traces, every reply diffed
+           structurally against a locally computed oracle *)
+        let mix = 12 in
+        let trace_of i = Synthetic.zipfian ~seed:(seed + (i mod mix)) ~span:2048 ~skew:1.1 ~length:800 in
+        let name_of i = Printf.sprintf "chaos-%d" (seed + (i mod mix)) in
+        let oracle = Hashtbl.create mix in
+        let expected i =
+          let key = i mod mix in
+          match Hashtbl.find_opt oracle key with
+          | Some o -> o
+          | None ->
+            let o = Protocol.Table (Analytical_dse.run ~name:(name_of i) (trace_of i)) in
+            Hashtbl.add oracle key o;
+            o
+        in
+        let submitted = ref 0 and identical = ref 0 and wrong = ref 0 and errored = ref 0 in
+        let verified = Hashtbl.create mix in
+        let submit_one i =
+          incr submitted;
+          match
+            Client.submit ~socket:gateway ~retries:8 ~retry_base:0.1 ~retry_cap:20.
+              ~name:(name_of i) (trace_of i)
+          with
+          | Ok payload ->
+            if payload.Protocol.outcome = expected i then begin
+              incr identical;
+              Hashtbl.replace verified (i mod mix) ()
+            end
+            else begin
+              incr wrong;
+              fail "request %d: reply differs from direct explore" i
+            end
+          | Error e ->
+            incr errored;
+            fail "request %d: %s" i (Dse_error.to_string e)
+        in
+        let start = Unix.gettimeofday () in
+        let pending = ref events in
+        let rec fire_due () =
+          match !pending with
+          | (at, action) :: rest when Unix.gettimeofday () -. start >= at ->
+            pending := rest;
+            fire action;
+            fire_due ()
+          | _ -> ()
+        in
+        let i = ref 0 in
+        while !pending <> [] || !submitted < requests do
+          fire_due ();
+          submit_one !i;
+          incr i;
+          Unix.sleepf 0.05
+        done;
+        (* -- post-schedule assertions -- *)
+        let members = live_members () in
+        if members = [] then fail "no live members at end of schedule"
+        else begin
+          (* 1. every live member settles on one ring version *)
+          let deadline = Unix.gettimeofday () +. 20. in
+          let rec settle () =
+            let views = List.filter_map (fun a ->
+                match Admin.ring_status a with Ok (c, _, _) -> Some c | Error _ -> None)
+                members
+            in
+            let versions =
+              List.sort_uniq compare
+                (List.map (fun (c : Protocol.ring_config) -> c.Protocol.ring_version) views)
+            in
+            if List.length views = List.length members && List.length versions = 1 then
+              List.hd views
+            else if Unix.gettimeofday () > deadline then begin
+              fail "ring versions never converged (saw %s)"
+                (String.concat ","
+                   (List.map string_of_int versions));
+              List.hd views
+            end
+            else begin
+              Unix.sleepf 0.1;
+              settle ()
+            end
+          in
+          let config = settle () in
+          (* 2. digests converge and replica GC has left no stray copies:
+             every key lives on exactly its first-R ring walk *)
+          let ring = Ring.create config.Protocol.nodes in
+          let owners key =
+            let r = min config.Protocol.replication (List.length config.Protocol.nodes) in
+            List.filteri (fun i _ -> i < r)
+              (Ring.successors ring key.Result_cache.fingerprint)
+          in
+          let digest addr =
+            match
+              Client.request ~socket:addr (Protocol.Cache_query { ring_version = 0; keys = [] })
+            with
+            | Ok (Protocol.Cache_reply { keys; _ }) -> Some keys
+            | Ok _ | Error _ -> None
+          in
+          let deadline = Unix.gettimeofday () +. 20. in
+          let rec converge () =
+            let digests =
+              List.filter_map (fun a -> Option.map (fun k -> (a, k)) (digest a)) members
+            in
+            if List.length digests <> List.length members then
+              if Unix.gettimeofday () > deadline then fail "digest exchange failed"
+              else begin Unix.sleepf 0.1; converge () end
+            else begin
+              let union =
+                List.sort_uniq compare (List.concat_map snd digests)
+              in
+              let missing =
+                List.concat_map
+                  (fun key ->
+                    List.filter_map
+                      (fun owner ->
+                        match List.assoc_opt owner digests with
+                        | Some keys when List.mem key keys -> None
+                        | Some _ -> Some (owner, key)
+                        | None -> None)
+                      (owners key))
+                  union
+              in
+              let strays =
+                List.concat_map
+                  (fun (addr, keys) ->
+                    List.filter_map
+                      (fun key ->
+                        if List.mem addr (owners key) then None else Some (addr, key))
+                      keys)
+                  digests
+              in
+              if missing = [] && strays = [] then ()
+              else if Unix.gettimeofday () > deadline then begin
+                if missing <> [] then
+                  fail "%d replica(s) missing after convergence window" (List.length missing);
+                if strays <> [] then
+                  fail "%d stray cop(ies) outside placement (replica GC incomplete)"
+                    (List.length strays)
+              end
+              else begin
+                Unix.sleepf 0.1;
+                converge ()
+              end
+            end
+          in
+          converge ();
+          (* 3. repeats of everything verified earlier are answered from
+             warm state: bit-identical, cache-hit, zero kernel re-runs *)
+          let jobs_sum () =
+            List.fold_left
+              (fun acc a ->
+                match Client.server_stats ~socket:a with
+                | Ok s -> acc + s.Protocol.jobs_completed
+                | Error _ -> acc)
+              0 members
+          in
+          let before = jobs_sum () in
+          Hashtbl.iter
+            (fun key () ->
+              match
+                Client.submit ~socket:gateway ~retries:4 ~retry_base:0.1 ~retry_cap:10.
+                  ~name:(name_of key) (trace_of key)
+              with
+              | Ok payload ->
+                if payload.Protocol.outcome <> expected key then
+                  fail "repeat %d: reply differs from direct explore" key;
+                if not payload.Protocol.cache_hit then
+                  fail "repeat %d: served cold (expected the fleet to stay warm)" key
+              | Error e -> fail "repeat %d: %s" key (Dse_error.to_string e))
+            verified;
+          let after = jobs_sum () in
+          if after <> before then
+            fail "%d kernel re-run(s) on warm repeats (expected zero)" (after - before);
+          Format.printf
+            "chaos: %d submission(s), %d identical, %d mismatched, %d errored@." !submitted
+            !identical !wrong !errored;
+          Format.printf
+            "chaos: final ring v%d (%d node(s), replication %d); drain handoff %.3fs \
+             (%d record(s)), join warm-up %.3fs@."
+            config.Protocol.ring_version
+            (List.length config.Protocol.nodes)
+            config.Protocol.replication !drain_latency !drain_pushed !join_warmup
+        end;
+        match !failures with
+        | [] -> Format.printf "chaos: all assertions held@."
+        | fs ->
+          List.iter (fun m -> Format.eprintf "chaos: FAIL %s@." m) (List.rev fs);
+          exit 1)
+  in
+  let term =
+    Term.(const run $ schedule_arg $ nodes_arg $ base_port_arg $ seed_arg
+          $ chaos_replication_arg $ requests_arg $ keep_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Drive a live multi-process fleet through a scripted sequence of kills, respawns, \
+          joins, drains and injected network faults while submitting a seeded workload \
+          through the gateway — asserting every reply stays bit-identical to $(b,dse \
+          explore), warm repeats run zero kernels, and the fleet's caches converge to exactly \
+          the post-schedule placement.")
     term
 
 let main =
@@ -1223,7 +1880,7 @@ let main =
     [
       stats_cmd; explore_cmd; simulate_cmd; compare_cmd; gen_cmd; synth_cmd; reduce_cmd;
       pareto_cmd; disasm_cmd; codesign_cmd; run_cmd; cc_cmd; list_cmd; serve_cmd; submit_cmd;
-      route_cmd;
+      route_cmd; chaos_cmd;
     ]
 
 let () =

@@ -9,6 +9,7 @@ type t =
   | Worker_stalled of { elapsed : float; job : string }
   | Resource_exhausted of { resource : string; needed : int; budget : int }
   | Backend_unavailable of { node : string; attempts : int }
+  | Stale_ring of { seen : int; expected : int }
 
 exception Error of t
 
@@ -36,6 +37,11 @@ let to_string = function
   | Backend_unavailable { node; attempts } ->
     Printf.sprintf "backend %s unavailable after %d failover attempt(s): no live node owns this job"
       node attempts
+  | Stale_ring { seen; expected } ->
+    Printf.sprintf
+      "stale ring config: peer sent ring version %d but this node is at version %d; refetch the \
+       ring config and retry"
+      seen expected
 
 let exit_code = function
   | Constraint_violation _ -> 2
@@ -46,6 +52,7 @@ let exit_code = function
   | Deadline_exceeded _ -> 7
   | Worker_stalled _ | Resource_exhausted _ -> 8
   | Backend_unavailable _ -> 9
+  | Stale_ring _ -> 10
 
 let on_degradation = ref (fun msg -> prerr_endline ("dse: " ^ msg))
 

@@ -52,6 +52,15 @@ type t =
           forwarding attempts. Raised only after the whole ring was
           tried — a single backend death never surfaces this. Retryable
           once any backend returns. *)
+  | Stale_ring of { seen : int; expected : int }
+      (** A cluster-internal exchange ([Replicate], [Cache_query], or an
+          anti-entropy digest) carried ring version [seen] while the
+          receiver's membership is at version [expected]. The exchange
+          was rejected {e before} any state was applied — a peer with an
+          outdated fleet view must never place warm state under a stale
+          ring. The sender's recovery is a config refetch
+          ([Ring_status]) followed by a retry under the adopted
+          version. *)
 
 exception Error of t
 
@@ -67,7 +76,7 @@ val to_string : t -> string
     5 = internal ([Shard_failure]), 6 = server busy ([Queue_full]),
     7 = deadline expired ([Deadline_exceeded]), 8 = supervision
     ([Worker_stalled], [Resource_exhausted]), 9 = routing
-    ([Backend_unavailable]). *)
+    ([Backend_unavailable]), 10 = membership ([Stale_ring]). *)
 val exit_code : t -> int
 
 (** Hook invoked whenever the parallel engine degrades (a shard retry or

@@ -41,6 +41,13 @@ let parse s =
     | _ -> None)
   | _ -> None
 
+let arm s =
+  match parse s with
+  | Some spec ->
+    set (Some spec);
+    true
+  | None -> false
+
 let install_from_env () =
   set (Option.bind (Sys.getenv_opt "DSE_FAULT") parse)
 

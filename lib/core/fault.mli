@@ -47,6 +47,12 @@ val parse : string -> spec option
     forgotten. *)
 val set : spec option -> unit
 
+(** [arm s] parses and arms in one step: [true] when [s] is a valid
+    spec (now armed), [false] otherwise (armed state unchanged). The
+    [dse chaos] harness uses it to fire schedule-scripted faults inside
+    its own transport path. *)
+val arm : string -> bool
+
 (** [install_from_env ()] arms from [DSE_FAULT] if set and well-formed;
     disarms otherwise. *)
 val install_from_env : unit -> unit

@@ -1,0 +1,78 @@
+(** The fleet-membership control plane behind [dse route --admin] and
+    the [dse chaos] harness.
+
+    Membership is changed by publishing a strictly newer
+    {!Protocol.ring_config} (one version bump per change) to every
+    party, in the order that keeps warm state safe — see {!join},
+    {!drain}, {!leave}. The functions here are pure wire clients: they
+    hold no state, and a push that misses one target is reported rather
+    than fatal, because the epoch fence heals stragglers (their next
+    cross-node exchange answers {!Dse_error.Stale_ring} and triggers a
+    config refetch). *)
+
+(** [ring_status target] asks one daemon (or the gateway) for its
+    current fleet view: [(config, draining, pushed)] from its
+    {!Protocol.Ring_reply}. *)
+val ring_status : string -> (Protocol.ring_config * bool * int, Dse_error.t) result
+
+(** [fetch_config contacts] is the freshest config among the contacts
+    that answered (highest [ring_version], ties broken by contact
+    order). Fails only when no contact answered at all. *)
+val fetch_config : string list -> (Protocol.ring_config, Dse_error.t) result
+
+(** [push_config config targets] sends {!Protocol.Ring_update} to every
+    target and returns the failures, labelled by target; [[]] means
+    everyone acknowledged. Pushing an equal-or-older config is a no-op
+    on the receiver and still counts as success. *)
+val push_config : Protocol.ring_config -> string list -> (string * Dse_error.t) list
+
+(** [join ?gateway ~contacts node] adds [node] to the ring: bumps the
+    freshest config's version, appends [node], and pushes the new view
+    to the newcomer {e first} (its anti-entropy pulls its range while
+    it already serves), then the incumbents, then the gateway. Returns
+    the published config and any push failures. Fails if [node] is
+    already a member. *)
+val join :
+  ?gateway:string ->
+  contacts:string list ->
+  string ->
+  (Protocol.ring_config * (string * Dse_error.t) list, Dse_error.t) result
+
+(** [drain ?gateway ~contacts node] decommissions [node] gracefully:
+    publishes the post-drain config to the survivors {e first} (so the
+    leaver's fenced handoff is accepted), then sends
+    {!Protocol.Drain} to [node] — which sheds new work, settles
+    in-flight jobs, pushes every warm record it holds to the entry's
+    post-drain owners, and adopts the config excluding itself — and
+    updates the gateway {e last}, so the drained node keeps serving
+    cache hits until routing moves. Returns the published config, the
+    number of warm records the new owners accepted, and any push
+    failures. Zero kernel re-runs on the drained range is the contract.
+
+    Fails if [node] is not a member or is the last member. *)
+val drain :
+  ?gateway:string ->
+  contacts:string list ->
+  string ->
+  (Protocol.ring_config * int * (string * Dse_error.t) list, Dse_error.t) result
+
+(** [leave ?gateway ~contacts node] removes a {e dead} node: publishes
+    the post-removal config to the survivors and gateway without
+    contacting [node]. Its warm range is recovered from replicas by
+    anti-entropy, not handoff. Fails if [node] is not a member or is
+    the last member. *)
+val leave :
+  ?gateway:string ->
+  contacts:string list ->
+  string ->
+  (Protocol.ring_config * (string * Dse_error.t) list, Dse_error.t) result
+
+(** [set_replication ?gateway ~contacts r] publishes the current node
+    set with replication factor [r] (version bumped). A shrink triggers
+    replica GC on every daemon: each drops the copies it no longer owes
+    after the grace delay. *)
+val set_replication :
+  ?gateway:string ->
+  contacts:string list ->
+  int ->
+  (Protocol.ring_config * (string * Dse_error.t) list, Dse_error.t) result

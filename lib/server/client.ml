@@ -90,7 +90,7 @@ let submit ~socket ?(percents = [ 5; 10; 15; 20 ]) ?k ?max_level ?(method_ = Ana
       | Ok (Protocol.Server_error e) -> Error e
       | Ok
           ( Protocol.Stats_reply _ | Protocol.Pong | Protocol.Health_reply _
-          | Protocol.Replicate_ack _ | Protocol.Cache_reply _ ) ->
+          | Protocol.Replicate_ack _ | Protocol.Cache_reply _ | Protocol.Ring_reply _ ) ->
         unexpected socket)
 
 let ping ~socket =
@@ -100,7 +100,7 @@ let ping ~socket =
   | Ok (Protocol.Server_error e) -> Error e
   | Ok
       ( Protocol.Result _ | Protocol.Stats_reply _ | Protocol.Health_reply _
-      | Protocol.Replicate_ack _ | Protocol.Cache_reply _ ) ->
+      | Protocol.Replicate_ack _ | Protocol.Cache_reply _ | Protocol.Ring_reply _ ) ->
     unexpected socket
 
 let server_stats ~socket =
@@ -110,7 +110,7 @@ let server_stats ~socket =
   | Ok (Protocol.Server_error e) -> Error e
   | Ok
       ( Protocol.Result _ | Protocol.Pong | Protocol.Health_reply _ | Protocol.Replicate_ack _
-      | Protocol.Cache_reply _ ) ->
+      | Protocol.Cache_reply _ | Protocol.Ring_reply _ ) ->
     unexpected socket
 
 let health ~socket =
@@ -120,5 +120,5 @@ let health ~socket =
   | Ok (Protocol.Server_error e) -> Error e
   | Ok
       ( Protocol.Result _ | Protocol.Stats_reply _ | Protocol.Pong | Protocol.Replicate_ack _
-      | Protocol.Cache_reply _ ) ->
+      | Protocol.Cache_reply _ | Protocol.Ring_reply _ ) ->
     unexpected socket

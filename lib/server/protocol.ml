@@ -45,8 +45,20 @@ let magic = "DSRV"
    keys, answered by Cache_reply — the same verb pair serves the
    router's failover peer lookup and a respawned node's anti-entropy
    pull. Health_reply grew the replication counters (peer_hits,
-   replicated in/out, queue lag, drops). *)
-let version = 6
+   replicated in/out, queue lag, drops).
+
+   v7: online membership. A monotonically versioned ring config (node
+   list + replication factor + ring_version) rides the membership verbs:
+   Ring_status fetches a node's current view, Ring_update pushes a newer
+   config (join/leave/replication change), and Drain tells a node to
+   shed new work, push every warm entry to its post-drain owners, and
+   leave the ring — all answered by Ring_reply. Replicate and
+   Cache_query now carry the sender's ring_version as an epoch fence: a
+   mismatch (both sides versioned, numbers differ) is rejected with the
+   new Stale_ring error tag before any state is applied, and the
+   sender's recovery is a Ring_status refetch. Health_reply grew
+   ring_version, the draining flag, and the replica-GC drop counter. *)
+let version = 7
 
 (* Caps the payload a peer can make us allocate; a 10M-reference trace
    encodes to ~50 MB, so this is generous without being unbounded. *)
@@ -57,6 +69,12 @@ type query = Percents of int list | Budget of int
 type method_spec = Exact of Analytical.method_ | Approx
 
 type submission = Full of Trace.t | Sketched of Sketch.profile
+
+(* The fleet view as one versioned value. Version 0 is reserved for the
+   unfenced state (a standalone daemon with no peers); every published
+   config is >= 1 and strictly increases on each membership change, so
+   "newer" is a plain integer comparison. *)
+type ring_config = { ring_version : int; nodes : string list; replication : int }
 
 type request =
   | Submit of {
@@ -71,8 +89,11 @@ type request =
   | Server_stats
   | Ping
   | Health
-  | Replicate of { records : string list }
-  | Cache_query of { keys : Result_cache.key list }
+  | Replicate of { ring_version : int; records : string list }
+  | Cache_query of { ring_version : int; keys : Result_cache.key list }
+  | Ring_status
+  | Ring_update of { config : ring_config }
+  | Drain of { config : ring_config }
 
 type server_stats = {
   jobs_completed : int;
@@ -118,6 +139,9 @@ type health = {
   replicated_out : int;
   replication_lag : int;
   replication_dropped : int;
+  ring_version : int;
+  draining : bool;
+  replica_gc_dropped : int;
 }
 
 type outcome =
@@ -136,6 +160,7 @@ type response =
   | Health_reply of health
   | Replicate_ack of { stored : int }
   | Cache_reply of { keys : Result_cache.key list; records : string list }
+  | Ring_reply of { config : ring_config; draining : bool; pushed : int }
 
 let method_tag = function
   | Analytical.Streaming -> 0
@@ -203,6 +228,12 @@ let add_cache_key buf (k : Result_cache.key) =
   add_varint buf k.Result_cache.domains;
   add_varint buf (k.Result_cache.max_level + 1)
 
+let add_ring_config buf { ring_version; nodes; replication } =
+  add_varint buf ring_version;
+  add_varint buf replication;
+  add_varint buf (List.length nodes);
+  List.iter (add_string buf) nodes
+
 let encode_query buf = function
   | Percents ps ->
     Buffer.add_char buf '\000';
@@ -242,13 +273,17 @@ let encode_request buf = function
       add_f64 buf seconds);
     encode_query buf query;
     encode_trace buf trace
-  | Server_stats | Ping | Health -> ()
-  | Replicate { records } ->
+  | Server_stats | Ping | Health | Ring_status -> ()
+  | Replicate { ring_version; records } ->
+    add_varint buf ring_version;
     add_varint buf (List.length records);
     List.iter (add_string buf) records
-  | Cache_query { keys } ->
+  | Cache_query { ring_version; keys } ->
+    add_varint buf ring_version;
     add_varint buf (List.length keys);
     List.iter (add_cache_key buf) keys
+  | Ring_update { config } -> add_ring_config buf config
+  | Drain { config } -> add_ring_config buf config
 
 let encode_error buf = function
   | Dse_error.Parse_error { file; line; message } ->
@@ -296,6 +331,10 @@ let encode_error buf = function
     Buffer.add_char buf '\009';
     add_string buf node;
     add_varint buf attempts
+  | Dse_error.Stale_ring { seen; expected } ->
+    Buffer.add_char buf '\010';
+    add_varint buf seen;
+    add_varint buf expected
 
 (* Approximate quantities cross the wire as raw IEEE-754 bits: a cached
    re-query must be bit-identical to the first answer, and any decimal
@@ -392,6 +431,10 @@ let encode_response buf = function
     List.iter (add_cache_key buf) keys;
     add_varint buf (List.length records);
     List.iter (add_string buf) records
+  | Ring_reply { config; draining; pushed } ->
+    add_ring_config buf config;
+    add_bool buf draining;
+    add_varint buf pushed
   | Health_reply h ->
     add_string buf h.node_id;
     add_f64 buf h.start_epoch;
@@ -424,7 +467,10 @@ let encode_response buf = function
     add_varint buf h.replicated_in;
     add_varint buf h.replicated_out;
     add_varint buf h.replication_lag;
-    add_varint buf h.replication_dropped
+    add_varint buf h.replication_dropped;
+    add_varint buf h.ring_version;
+    add_bool buf h.draining;
+    add_varint buf h.replica_gc_dropped
 
 (* -- payload decoding -- *)
 
@@ -508,6 +554,15 @@ let string_list c =
   let n = varint c in
   if n > remaining c then raise (Malformed (c.pos, "declared record count exceeds the payload"));
   List.init n (fun _ -> string_field c)
+
+let ring_config_field c =
+  let ring_version = varint c in
+  let replication = varint c in
+  let n = varint c in
+  (* each node name is at least one byte of length prefix *)
+  if n > remaining c then raise (Malformed (c.pos, "declared node count exceeds the payload"));
+  let nodes = List.init n (fun _ -> string_field c) in
+  { ring_version; nodes; replication }
 
 let method_field c =
   match byte c with
@@ -660,6 +715,10 @@ let decode_error c =
     let node = string_field c in
     let attempts = varint c in
     Dse_error.Backend_unavailable { node; attempts }
+  | 10 ->
+    let seen = varint c in
+    let expected = varint c in
+    Dse_error.Stale_ring { seen; expected }
   | b -> raise (Malformed (c.pos - 1, Printf.sprintf "unknown error tag %d" b))
 
 let decode_stats c =
@@ -802,6 +861,9 @@ let decode_health c =
   let replicated_out = varint c in
   let replication_lag = varint c in
   let replication_dropped = varint c in
+  let ring_version = varint c in
+  let draining = bool_field c in
+  let replica_gc_dropped = varint c in
   {
     node_id;
     start_epoch;
@@ -827,6 +889,9 @@ let decode_health c =
     replicated_out;
     replication_lag;
     replication_dropped;
+    ring_version;
+    draining;
+    replica_gc_dropped;
   }
 
 (* -- framing over a file descriptor -- *)
@@ -843,6 +908,12 @@ let tag_replicate = 5
 
 let tag_cache_query = 6
 
+let tag_ring_status = 7
+
+let tag_ring_update = 8
+
+let tag_drain = 9
+
 let tag_result = 0x81
 
 let tag_error = 0x82
@@ -856,6 +927,8 @@ let tag_health_reply = 0x85
 let tag_replicate_ack = 0x86
 
 let tag_cache_reply = 0x87
+
+let tag_ring_reply = 0x88
 
 let send_frame fd ~tag payload =
   let buf = Buffer.create (String.length payload + 16) in
@@ -983,6 +1056,9 @@ let write_request ?(peer = "<server>") fd request =
         | Health -> tag_health
         | Replicate _ -> tag_replicate
         | Cache_query _ -> tag_cache_query
+        | Ring_status -> tag_ring_status
+        | Ring_update _ -> tag_ring_update
+        | Drain _ -> tag_drain
       in
       send_frame fd ~tag (Buffer.contents buf))
 
@@ -999,6 +1075,7 @@ let write_response ?(peer = "<client>") fd response =
         | Health_reply _ -> tag_health_reply
         | Replicate_ack _ -> tag_replicate_ack
         | Cache_reply _ -> tag_cache_reply
+        | Ring_reply _ -> tag_ring_reply
       in
       send_frame fd ~tag (Buffer.contents buf))
 
@@ -1013,8 +1090,17 @@ let read_request ?(peer = "<client>") ?max_job_refs ?memory_budget ?sketch_appro
           else if tag = tag_server_stats then Server_stats
           else if tag = tag_ping then Ping
           else if tag = tag_health then Health
-          else if tag = tag_replicate then Replicate { records = string_list c }
-          else if tag = tag_cache_query then Cache_query { keys = cache_key_list c }
+          else if tag = tag_replicate then begin
+            let ring_version = varint c in
+            Replicate { ring_version; records = string_list c }
+          end
+          else if tag = tag_cache_query then begin
+            let ring_version = varint c in
+            Cache_query { ring_version; keys = cache_key_list c }
+          end
+          else if tag = tag_ring_status then Ring_status
+          else if tag = tag_ring_update then Ring_update { config = ring_config_field c }
+          else if tag = tag_drain then Drain { config = ring_config_field c }
           else raise (Malformed (5, Printf.sprintf "unknown request tag %d" tag))
         in
         if remaining c > 0 then raise (Malformed (c.pos, "trailing bytes after the request"));
@@ -1050,6 +1136,12 @@ let read_response ?(peer = "<server>") fd =
           let keys = cache_key_list c in
           let records = string_list c in
           Cache_reply { keys; records }
+        end
+        else if tag = tag_ring_reply then begin
+          let config = ring_config_field c in
+          let draining = bool_field c in
+          let pushed = varint c in
+          Ring_reply { config; draining; pushed }
         end
         else raise (Malformed (5, Printf.sprintf "unknown response tag %d" tag))
       in

@@ -40,6 +40,15 @@ type method_spec = Exact of Analytical.method_ | Approx
     representation. *)
 type submission = Full of Trace.t | Sketched of Sketch.profile
 
+(** The fleet view as one versioned value: the full node list, the
+    replication factor, and a monotonically increasing version. Version
+    0 is reserved for the unfenced state (a standalone daemon booted
+    with no peers); every published config is >= 1, and each membership
+    change (join, leave, drain, replication change) bumps the version by
+    one — "newer" is a plain integer comparison, and the version is the
+    epoch fence carried by [Replicate] / [Cache_query]. *)
+type ring_config = { ring_version : int; nodes : string list; replication : int }
+
 type request =
   | Submit of {
       name : string;  (** display name for the rendered table *)
@@ -55,18 +64,41 @@ type request =
   | Server_stats  (** query the daemon's counters (cache hits, pending) *)
   | Ping
   | Health  (** query the readiness plane (see {!health}) *)
-  | Replicate of { records : string list }
+  | Replicate of { ring_version : int; records : string list }
       (** push finished result entries to a ring successor. Each record
           is a WAL snapshot record ({!Wal.encode_record}) — opaque bytes
           at this layer, so replication and WAL persistence stay one
-          format. Answered by [Replicate_ack]. *)
-  | Cache_query of { keys : Result_cache.key list }
+          format. [ring_version] is the sender's fleet-view epoch: when
+          both sides are versioned (non-zero) and the numbers differ,
+          the receiver rejects with {!Dse_error.Stale_ring} before
+          storing anything — warm state must never be placed under a
+          stale ring. Answered by [Replicate_ack]. *)
+  | Cache_query of { ring_version : int; keys : Result_cache.key list }
       (** ask a peer about its result cache. An empty key list is the
           digest form ([Cache_reply] carries every exact cache key, no
           records); a non-empty list asks for those entries
           ([Cache_reply] carries the matching WAL-encoded records).
           Serves both the router's failover peer lookup (one key) and
-          anti-entropy on rejoin (digest, then the missing keys). *)
+          anti-entropy on rejoin (digest, then the missing keys).
+          [ring_version] fences exactly like [Replicate]'s. *)
+  | Ring_status  (** fetch the node's current {!ring_config} and drain flag *)
+  | Ring_update of { config : ring_config }
+      (** push a newer fleet view. Adopted only when strictly newer than
+          the receiver's; adoption rebuilds the ring, schedules replica
+          GC for keys the node no longer participates in, and (on a
+          daemon with anti-entropy enabled) re-runs the digest exchange
+          so a joining node's range is pulled while it already serves.
+          Idempotent: an equal-or-older config changes nothing. Either
+          way the reply is [Ring_reply] with the receiver's (possibly
+          just-adopted) config. *)
+  | Drain of { config : ring_config }
+      (** planned decommission of the receiving daemon. [config] is the
+          post-drain fleet view (the receiver absent). The daemon flips
+          to shed-new-work mode, waits for in-flight jobs, pushes every
+          warm entry it owns or replicates to the entry's post-drain
+          owners, adopts [config], and only then acks with [Ring_reply]
+          ([pushed] = records accepted by the new owners) — so a planned
+          decommission costs zero kernel re-runs. *)
 
 type server_stats = {
   jobs_completed : int;
@@ -129,6 +161,11 @@ type health = {
   replication_dropped : int;
       (** pushes dropped by the bounded replication queue (a slow peer
           degrades durability, never serving) *)
+  ring_version : int;  (** the node's current fleet-view epoch; 0 = unfenced standalone *)
+  draining : bool;  (** shed-new-work mode: a planned decommission is in progress or done *)
+  replica_gc_dropped : int;
+      (** entries dropped by replica GC after a ring change removed this
+          node from their placement (post grace delay) *)
 }
 
 (** Approximate outcomes carry their error-bar floats as raw IEEE-754
@@ -153,6 +190,10 @@ type response =
   | Cache_reply of { keys : Result_cache.key list; records : string list }
       (** digest form: every exact cache key, [records = []]; fetch
           form: the WAL-encoded records found, [keys = []] *)
+  | Ring_reply of { config : ring_config; draining : bool; pushed : int }
+      (** the receiver's current fleet view, answering every membership
+          verb. [pushed] is only meaningful for [Drain]: how many warm
+          records the post-drain owners accepted. *)
 
 (** [method_tag m] is the stable wire tag of an exact kernel method (0 =
     streaming, 1 = dfs, 2 = bcat, 3 = arena) — also the cache-key

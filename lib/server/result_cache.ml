@@ -82,6 +82,11 @@ let store t key entry =
    order that serving traffic establishes. *)
 let mem t key = with_lock t (fun () -> Hashtbl.mem t.table key)
 
+(* Replica GC's drop primitive. Deliberately not counted as an eviction
+   (evictions measure capacity pressure); the server counts GC drops in
+   its own health-plane counter. *)
+let remove t key = with_lock t (fun () -> Hashtbl.remove t.table key)
+
 (* The anti-entropy digest: exact keys only, matching what [Wal.
    encode_record] can carry — approx entries are neither persisted nor
    replicated, so advertising them would only cause futile pulls. *)

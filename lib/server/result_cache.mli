@@ -62,6 +62,12 @@ val store : t -> key -> entry -> unit
     the counters or LRU order established by serving traffic. *)
 val mem : t -> key -> bool
 
+(** [remove t key] drops the entry if present. Not counted as an
+    eviction — evictions measure capacity pressure, while removal is
+    replica GC dropping keys this node no longer participates in (the
+    server surfaces those in its own health counter). *)
+val remove : t -> key -> unit
+
 (** [exact_keys t] is the cache-key digest exchanged by anti-entropy:
     the keys of every [Exact] entry, in no particular order. Approx
     entries are omitted — they are neither persisted nor replicated. *)

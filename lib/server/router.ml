@@ -123,9 +123,18 @@ type t = {
   config : config;
   listen_addr : Transport.addr;
   listen_fd : Unix.file_descr;
-  backends : backend array;
-  by_name : (string, backend) Hashtbl.t;
-  ring : Ring.t;
+  (* the routed fleet view, swapped wholesale under [ring_mu] when a
+     strictly newer ring config is adopted (Ring_update at the gateway,
+     or a Stale_ring refetch): retained backends keep their breaker
+     state, identity and latency history; new ones start fresh. Readers
+     take the lock only long enough to copy the references they need,
+     so a request in flight keeps routing on the view it started with. *)
+  ring_mu : Mutex.t;
+  mutable backends : backend array;
+  mutable by_name : (string, backend) Hashtbl.t;
+  mutable ring : Ring.t;
+  mutable ring_version : int;
+  mutable replication : int;
   queue : Unix.file_descr Job_queue.t;
   stopping : bool Atomic.t;
   forwarded : int Atomic.t;
@@ -143,6 +152,22 @@ type t = {
 }
 
 let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let make_backend (config : config) name =
+  {
+    name;
+    addr = Transport.parse name;
+    breaker = Breaker.create ~config:config.breaker ();
+    mu = Mutex.create ();
+    node_id = "";
+    start_epoch = 0.;
+    last_seen = 0.;
+    last_state = Breaker.Closed;
+    queue_depth = 0;
+    worker_count = 1;
+    latencies = Array.make window_size 0.;
+    lat_count = 0;
+  }
 
 let create ?(log = fun msg -> Format.eprintf "dse-route: %s@." msg) (config : config) =
   let invalid message = Error (Dse_error.Constraint_violation { context = "route"; message }) in
@@ -173,26 +198,7 @@ let create ?(log = fun msg -> Format.eprintf "dse-route: %s@." msg) (config : co
       | Error _ as e -> e
       | Ok listen_fd ->
         (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-        let backends =
-          Array.of_list
-            (List.map
-               (fun name ->
-                 {
-                   name;
-                   addr = Transport.parse name;
-                   breaker = Breaker.create ~config:config.breaker ();
-                   mu = Mutex.create ();
-                   node_id = "";
-                   start_epoch = 0.;
-                   last_seen = 0.;
-                   last_state = Breaker.Closed;
-                   queue_depth = 0;
-                   worker_count = 1;
-                   latencies = Array.make window_size 0.;
-                   lat_count = 0;
-                 })
-               config.backends)
-        in
+        let backends = Array.of_list (List.map (make_backend config) config.backends) in
         let by_name = Hashtbl.create (Array.length backends) in
         Array.iter (fun b -> Hashtbl.replace by_name b.name b) backends;
         Ok
@@ -200,9 +206,12 @@ let create ?(log = fun msg -> Format.eprintf "dse-route: %s@." msg) (config : co
             config;
             listen_addr;
             listen_fd;
+            ring_mu = Mutex.create ();
             backends;
             by_name;
             ring = Ring.create ~replicas:config.replicas config.backends;
+            ring_version = 1;
+            replication = 1;
             queue = Job_queue.create ~max_pending:config.max_pending;
             stopping = Atomic.make false;
             forwarded = Atomic.make 0;
@@ -239,6 +248,12 @@ let stats t =
   }
 
 let snapshot t =
+  let backends =
+    Mutex.lock t.ring_mu;
+    let b = t.backends in
+    Mutex.unlock t.ring_mu;
+    b
+  in
   Array.to_list
     (Array.map
        (fun b ->
@@ -257,7 +272,7 @@ let snapshot t =
          in
          Mutex.unlock b.mu;
          view)
-       t.backends)
+       backends)
 
 (* Log breaker transitions exactly once per edge; every path that feeds
    a breaker calls this afterwards. *)
@@ -298,11 +313,95 @@ let hedge_threshold t b =
       Float.min 10. (Float.max 0.05 (3. *. p99))
     end
 
-let backend_of t name = Hashtbl.find t.by_name name
-
 let fail_breaker t b =
   Breaker.record_failure b.breaker ~now:(Unix.gettimeofday ());
   note_state t b
+
+(* -- the mutable fleet view -- *)
+
+let with_ring_lock t f =
+  Mutex.lock t.ring_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.ring_mu) f
+
+let ring_version t = with_ring_lock t (fun () -> t.ring_version)
+
+let current_config t =
+  with_ring_lock t (fun () ->
+      {
+        Protocol.ring_version = t.ring_version;
+        nodes = Array.to_list (Array.map (fun b -> b.name) t.backends);
+        replication = t.replication;
+      })
+
+(* The submission's full failover walk, resolved to backend records in
+   one critical section so the ring and the table are the same view. *)
+let candidates_of t fingerprint =
+  with_ring_lock t (fun () ->
+      List.filter_map (fun name -> Hashtbl.find_opt t.by_name name) (Ring.successors t.ring fingerprint))
+
+let all_backends t = with_ring_lock t (fun () -> Array.to_list t.backends)
+
+(* Adopt a strictly newer fleet view. Backends present in both views
+   keep their records (breaker verdicts, node identity, hedge window
+   — the process didn't change, only the ring around it); joiners get
+   fresh ones; leavers are dropped and simply stop being polled. *)
+let adopt_if_newer t (config : Protocol.ring_config) =
+  let valid =
+    config.ring_version >= 1
+    && config.nodes <> []
+    && List.length (List.sort_uniq String.compare config.nodes) = List.length config.nodes
+    && config.replication >= 1
+  in
+  valid
+  && with_ring_lock t (fun () ->
+         if config.ring_version <= t.ring_version then false
+         else begin
+           let old = t.by_name in
+           let backends =
+             Array.of_list
+               (List.map
+                  (fun name ->
+                    match Hashtbl.find_opt old name with
+                    | Some b -> b
+                    | None -> make_backend t.config name)
+                  config.nodes)
+           in
+           let by_name = Hashtbl.create (Array.length backends) in
+           Array.iter (fun b -> Hashtbl.replace by_name b.name b) backends;
+           t.backends <- backends;
+           t.by_name <- by_name;
+           t.ring <- Ring.create ~replicas:t.config.replicas config.nodes;
+           t.ring_version <- config.ring_version;
+           t.replication <- config.replication;
+           true
+         end)
+  && begin
+       t.log
+         (Printf.sprintf "membership: adopted ring v%d (%d backend(s))" config.ring_version
+            (List.length config.nodes));
+       true
+     end
+
+(* A peer answered Stale_ring: it knows a newer fleet view than ours.
+   Pull its config and adopt — the one recovery the fence prescribes. *)
+let refetch_config t b =
+  match Transport.connect ~timeout:t.config.connect_timeout b.addr with
+  | Error _ -> ()
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> close_noerr fd)
+      (fun () ->
+        match
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.health_timeout;
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.health_timeout;
+          Protocol.write_request ~peer:b.name fd Protocol.Ring_status
+        with
+        | Error _ -> ()
+        | Ok () -> (
+          match Protocol.read_response ~peer:b.name fd with
+          | Ok (Protocol.Ring_reply { config; _ }) -> ignore (adopt_if_newer t config)
+          | Ok _ | Error _ -> ())
+        | exception Unix.Unix_error _ -> ())
 
 (* -- forwarding -- *)
 
@@ -327,7 +426,7 @@ type peek = {
 let peer_lookup t b p =
   let exchange () =
     match Transport.connect ~timeout:t.config.connect_timeout b.addr with
-    | Error _ -> None
+    | Error _ -> `Miss
     | Ok fd ->
       Fun.protect
         ~finally:(fun () -> close_noerr fd)
@@ -336,16 +435,27 @@ let peer_lookup t b p =
             Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.config.health_timeout;
             Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.config.health_timeout;
             Protocol.write_request ~peer:b.name fd
-              (Protocol.Cache_query { keys = [ p.peek_key ] })
+              (Protocol.Cache_query { ring_version = ring_version t; keys = [ p.peek_key ] })
           with
-          | Error _ -> None
+          | Error _ -> `Miss
           | Ok () -> (
             match Protocol.read_response ~peer:b.name fd with
-            | Ok (Protocol.Cache_reply { records = [ record ]; _ }) -> Some record
-            | Ok _ | Error _ -> None)
-          | exception Unix.Unix_error _ -> None)
+            | Ok (Protocol.Cache_reply { records = [ record ]; _ }) -> `Hit record
+            | Ok (Protocol.Server_error (Dse_error.Stale_ring _)) -> `Stale
+            | Ok _ | Error _ -> `Miss)
+          | exception Unix.Unix_error _ -> `Miss)
   in
-  match exchange () with
+  let fetched =
+    match exchange () with
+    | `Hit record -> Some record
+    | `Miss -> None
+    | `Stale -> (
+      (* the peek itself told us our view is old: refresh it from the
+         very node that knows better, then ask once more *)
+      refetch_config t b;
+      match exchange () with `Hit record -> Some record | `Miss | `Stale -> None)
+  in
+  match fetched with
   | None -> None
   | Some record -> (
     match Wal.decode_record record with
@@ -427,8 +537,7 @@ let rec try_next t ~hedging ~primary ~attempts ~busy ~peek ~degraded request can
       Atomic.incr t.unavailable;
       Protocol.Server_error
         (Dse_error.Backend_unavailable { node = primary; attempts = !attempts }))
-  | name :: rest -> (
-    let b = backend_of t name in
+  | b :: rest -> (
     if not (Breaker.acquire b.breaker ~now:(Unix.gettimeofday ())) then begin
       degraded := true;
       try_next t ~hedging ~primary ~attempts ~busy ~peek ~degraded request rest
@@ -493,8 +602,7 @@ and await_one t ~hedging ~primary ~attempts ~busy ~peek ~degraded request fl res
     end
   and spawn_hedge = function
     | [] -> wait ~may_hedge:false
-    | name :: more -> (
-      let b = backend_of t name in
+    | b :: more -> (
       if not (Breaker.acquire b.breaker ~now:(Unix.gettimeofday ())) then spawn_hedge more
       else begin
         Atomic.incr t.hedged;
@@ -560,10 +668,10 @@ and await_two t ~primary ~attempts ~busy ~peek ~degraded request fl1 fl2 rest =
 
 let forward ?peek t ~hedging ~candidates request =
   match candidates with
-  | [] -> assert false (* create refuses an empty backend list *)
-  | primary :: _ ->
+  | [] -> assert false (* create and adopt_if_newer refuse empty node lists *)
+  | first :: _ ->
     Atomic.incr t.forwarded;
-    try_next t ~hedging ~primary ~attempts:(ref 0) ~busy:(ref None) ~peek
+    try_next t ~hedging ~primary:first.name ~attempts:(ref 0) ~busy:(ref None) ~peek
       ~degraded:(ref false) request candidates
 
 (* Least-loaded spill: when the owner's last-polled queue-depth/worker
@@ -576,15 +684,13 @@ let forward ?peek t ~hedging ~candidates request =
 let maybe_spill t candidates =
   match (t.config.spill_threshold, candidates) with
   | None, _ | _, [] -> candidates
-  | Some threshold, owner_name :: _ -> (
+  | Some threshold, owner :: _ -> (
     let load b = float_of_int b.queue_depth /. float_of_int (max 1 b.worker_count) in
-    let owner = backend_of t owner_name in
     if Breaker.state owner.breaker <> Breaker.Closed || load owner <= threshold then candidates
     else
       let best =
         List.fold_left
-          (fun acc name ->
-            let b = backend_of t name in
+          (fun acc b ->
             if b.last_seen <= 0. || Breaker.state b.breaker <> Breaker.Closed then acc
             else
               match acc with
@@ -593,12 +699,12 @@ let maybe_spill t candidates =
           None candidates
       in
       match best with
-      | Some b when b.name <> owner_name ->
+      | Some b when b.name <> owner.name ->
         Atomic.incr t.spilled;
         t.log
           (Printf.sprintf "%s loaded (%.1f jobs/worker > %.1f); spilling to %s (%.1f)"
-             owner_name (load owner) threshold b.name (load b));
-        b.name :: List.filter (fun n -> n <> b.name) candidates
+             owner.name (load owner) threshold b.name (load b));
+        b :: List.filter (fun c -> c.name <> b.name) candidates
       | _ -> candidates)
 
 let respond_and_close t fd response =
@@ -624,11 +730,21 @@ let handle_client t fd =
   | Ok (Some ((Protocol.Server_stats | Protocol.Health) as request)) ->
     (* forwarded to the first live backend in configuration order — a
        single node's view, for fleet-wide numbers ask each backend *)
-    let candidates = List.map (fun b -> b.name) (Array.to_list t.backends) in
-    respond_and_close t fd (forward t ~hedging:false ~candidates request)
-  | Ok (Some (Protocol.Replicate _ | Protocol.Cache_query _)) ->
-    (* cluster-internal verbs: backends talk to each other directly;
-       the gateway is for clients *)
+    respond_and_close t fd (forward t ~hedging:false ~candidates:(all_backends t) request)
+  | Ok (Some Protocol.Ring_status) ->
+    (* the gateway's own fleet view — the admin plane reads it to pick
+       the freshest config, and pushes updates here last so a draining
+       node keeps serving its cache until routing has moved *)
+    respond_and_close t fd
+      (Protocol.Ring_reply { config = current_config t; draining = false; pushed = 0 })
+  | Ok (Some (Protocol.Ring_update { config })) ->
+    ignore (adopt_if_newer t config);
+    respond_and_close t fd
+      (Protocol.Ring_reply { config = current_config t; draining = false; pushed = 0 })
+  | Ok (Some (Protocol.Replicate _ | Protocol.Cache_query _ | Protocol.Drain _)) ->
+    (* cluster-internal verbs: backends talk to each other directly
+       (and a drain is addressed to one daemon); the gateway is for
+       clients and fleet-view admin *)
     respond_and_close t fd
       (Protocol.Server_error
          (Dse_error.Constraint_violation
@@ -636,7 +752,7 @@ let handle_client t fd =
   | Ok (Some (Protocol.Submit { name; trace; query; method_; domains; max_level; _ } as request))
     ->
     let fingerprint = Protocol.submission_fingerprint trace in
-    let candidates = maybe_spill t (Ring.successors t.ring fingerprint) in
+    let candidates = maybe_spill t (candidates_of t fingerprint) in
     let peek =
       Some
         {
@@ -709,14 +825,21 @@ let probe_backend t b =
    N timeouts back to back; every backend is still probed once per
    health_interval. *)
 let poll_health t =
-  let n = Array.length t.backends in
-  let now = Unix.gettimeofday () in
-  if now -. t.last_poll >= t.config.health_interval /. float_of_int n then begin
-    t.last_poll <- now;
-    let b = t.backends.(t.next_poll mod n) in
-    t.next_poll <- t.next_poll + 1;
-    probe_backend t b
-  end
+  let due =
+    with_ring_lock t (fun () ->
+        let n = Array.length t.backends in
+        let now = Unix.gettimeofday () in
+        if now -. t.last_poll >= t.config.health_interval /. float_of_int n then begin
+          t.last_poll <- now;
+          let b = t.backends.(t.next_poll mod n) in
+          t.next_poll <- t.next_poll + 1;
+          Some b
+        end
+        else None)
+  in
+  (* probe outside the lock: a health_timeout on a dead node must not
+     hold up request routing *)
+  match due with Some b -> probe_backend t b | None -> ()
 
 let run t =
   let pool =

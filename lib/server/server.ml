@@ -22,6 +22,21 @@ type work =
   | Exact_work of { trace : Trace.t; method_ : Analytical.method_ }
   | Approx_work of Sketch.profile
 
+(* The node's current fleet view — one value, swapped whole under
+   [ring_mu] so readers (workers replicating, the accept loop fencing,
+   the repl domain pushing) always see a consistent (version, nodes,
+   replication, ring) quadruple. [version] 0 is the unfenced standalone
+   state; a published config is >= 1 and only ever replaced by a
+   strictly newer one. [nodes] may exclude this node after a drain or
+   leave — then [ring] still places keys (to forward late results to
+   the survivors) but this node participates in none of them. *)
+type membership = {
+  version : int;
+  nodes : string list;
+  replication : int;
+  ring : Ring.t option;
+}
+
 type job = {
   fd : Unix.file_descr;
   name : string;
@@ -48,10 +63,17 @@ type t = {
   cache : Result_cache.t;
   inflight : Inflight.t;
   wal : Wal.t option;
-  (* [Some] iff peers were configured: this node's view of the fleet
-     (itself + peers), agreeing with the router's ring as long as both
-     spell node names the same way *)
-  ring : Ring.t option;
+  (* this node's fleet view (itself + peers at boot, updated at runtime
+     by Ring_update/Drain), agreeing with the router's ring as long as
+     both spell node names the same way *)
+  ring_mu : Mutex.t;
+  mutable membership : membership;
+  (* replica-GC batches scheduled by a membership change: keys this
+     node stopped participating in, dropped once their grace delay
+     expires (guarded by [ring_mu]) *)
+  mutable gc_pending : (float * Result_cache.key list) list;
+  (* shed-new-work mode: a planned decommission is in progress *)
+  draining : bool Atomic.t;
   (* outbound (target node, encoded record) pushes; bounded, so a slow
      peer costs at most [replication_queue] buffered records and then
      durability (drops are counted), never serving *)
@@ -66,6 +88,7 @@ type t = {
   replicated_in : int Atomic.t;
   replicated_out : int Atomic.t;
   replication_dropped : int Atomic.t;
+  replica_gc_dropped : int Atomic.t;
   started : float;
   mutable pool : job Worker_pool.t option;
   on_job_start : unit -> unit;
@@ -208,16 +231,21 @@ let create ?(on_job_start = fun () -> ()) ?(log = fun msg -> Format.eprintf "dse
                  --backend list, or the two rings disagree on
                  successors — which is why node_id defaults to the
                  daemon's address. *)
-              let ring =
+              let membership =
                 match config.peers with
-                | [] -> None
-                | peers -> Some (Ring.create (node_id :: peers))
+                | [] ->
+                  (* standalone: version 0 = unfenced, until a
+                     Ring_update joins this node to a fleet *)
+                  { version = 0; nodes = [ node_id ]; replication = config.replication;
+                    ring = None }
+                | peers ->
+                  { version = 1; nodes = node_id :: peers; replication = config.replication;
+                    ring = Some (Ring.create (node_id :: peers)) }
               in
-              let repl_queue =
-                match ring with
-                | None -> None
-                | Some _ -> Some (Job_queue.create ~max_pending:config.replication_queue)
-              in
+              (* always created — a standalone daemon joined at runtime
+                 starts replicating without a restart; an idle queue
+                 costs one blocked domain *)
+              let repl_queue = Some (Job_queue.create ~max_pending:config.replication_queue) in
               Ok
                 {
                   config;
@@ -228,7 +256,10 @@ let create ?(on_job_start = fun () -> ()) ?(log = fun msg -> Format.eprintf "dse
                   cache;
                   inflight = Inflight.create ();
                   wal;
-                  ring;
+                  ring_mu = Mutex.create ();
+                  membership;
+                  gc_pending = [];
+                  draining = Atomic.make false;
                   repl_queue;
                   stopping = Atomic.make false;
                   jobs_completed = Atomic.make 0;
@@ -240,6 +271,7 @@ let create ?(on_job_start = fun () -> ()) ?(log = fun msg -> Format.eprintf "dse
                   replicated_in = Atomic.make 0;
                   replicated_out = Atomic.make 0;
                   replication_dropped = Atomic.make 0;
+                  replica_gc_dropped = Atomic.make 0;
                   started = Unix.gettimeofday ();
                   pool = None;
                   on_job_start;
@@ -256,6 +288,57 @@ let install_signal_handlers t =
 (* The entry→outcome derivation lives in Protocol (answer_entry) so the
    router can build the same reply from a peer's replicated record. *)
 let answer = Protocol.answer_entry
+
+(* -- membership -- *)
+
+let with_ring t f =
+  Mutex.lock t.ring_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.ring_mu) f
+
+let membership t = with_ring t (fun () -> t.membership)
+
+let ring_version t = (membership t).version
+
+let current_config t =
+  let m = membership t in
+  { Protocol.ring_version = m.version; nodes = m.nodes; replication = m.replication }
+
+(* The epoch fence on Replicate/Cache_query: both sides versioned and
+   the numbers differ means one of us has a stale fleet view — reject
+   before any state is applied. Version 0 on either side bypasses the
+   fence (a standalone daemon, or a client probing without a view). *)
+let fence t seen =
+  let mine = ring_version t in
+  if mine <> 0 && seen <> 0 && seen <> mine then
+    Some (Dse_error.Stale_ring { seen; expected = mine })
+  else None
+
+(* [node] participates in a key iff it is among the first [r] distinct
+   nodes of the key's ring walk — the replica set all placement logic
+   (replication push, anti-entropy pull, replica GC) agrees on. *)
+let placed ~r ~node ring fingerprint =
+  let rec go i = function
+    | [] -> false
+    | n :: rest -> (i < r && n = node) || (i + 1 < r && go (i + 1) rest)
+  in
+  go 0 (Ring.successors ring fingerprint)
+
+let validate_config (config : Protocol.ring_config) =
+  if config.Protocol.ring_version < 1 then Error "ring version must be >= 1"
+  else if config.Protocol.nodes = [] then Error "empty node list"
+  else if
+    List.length (List.sort_uniq String.compare config.Protocol.nodes)
+    <> List.length config.Protocol.nodes
+  then Error "duplicate node address"
+  else if config.Protocol.replication < 1 then Error "replication must be >= 1"
+  else Ok ()
+
+(* Keys dropped by replica GC linger this long after the membership
+   change that orphaned them: long enough for the control plane to
+   finish propagating the new config (so a node keeps answering its old
+   range while routing catches up), short enough that a shrink reclaims
+   memory promptly. *)
+let gc_grace = 1.0
 
 (* -- replication -- *)
 
@@ -281,14 +364,15 @@ let store_replica t key entry =
    fingerprint, the owner included. A full queue drops the push and
    counts it: a slow peer degrades durability, never serving. *)
 let replicate t key entry =
-  match (t.ring, t.repl_queue) with
-  | Some ring, Some queue when t.config.replication > 1 -> (
+  let m = membership t in
+  match (m.ring, t.repl_queue) with
+  | Some ring, Some queue when m.replication > 1 -> (
     match Wal.encode_record key entry with
     | None -> () (* approx entries are not replicated, mirroring the WAL *)
     | Some record ->
       Ring.successors ring key.Result_cache.fingerprint
       |> List.filter (fun node -> node <> t.node_id)
-      |> List.filteri (fun i _ -> i < t.config.replication - 1)
+      |> List.filteri (fun i _ -> i < m.replication - 1)
       |> List.iter (fun target ->
              match Job_queue.push queue (target, record) with
              | `Ok -> ()
@@ -299,7 +383,7 @@ let replicate t key entry =
 (* One request/response exchange with a peer daemon, from the
    replication domain. Bounded everywhere (connect, send, receive): a
    wedged peer must not wedge the pusher. *)
-let peer_exchange target request =
+let peer_exchange ?(timeout = 10.0) target request =
   let addr = Transport.parse target in
   match Transport.connect ~timeout:2.0 addr with
   | Error e -> Error e
@@ -307,68 +391,242 @@ let peer_exchange target request =
     Fun.protect
       ~finally:(fun () -> close_noerr fd)
       (fun () ->
-        Unix.setsockopt_float fd Unix.SO_SNDTIMEO 10.0;
-        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
         match Protocol.write_request ~peer:target fd request with
         | Error _ as e -> e
         | Ok () -> Protocol.read_response ~peer:target fd)
 
-let push_record t target record =
-  match peer_exchange target (Protocol.Replicate { records = [ record ] }) with
-  | Ok (Protocol.Replicate_ack { stored }) when stored >= 1 -> Atomic.incr t.replicated_out
-  | Ok _ ->
-    t.log (Printf.sprintf "replication: peer %s refused a record" target)
-  | Error e ->
-    t.log (Printf.sprintf "replication: push to %s failed: %s" target (Dse_error.to_string e))
+(* Wake the repl domain for a fresh digest exchange. The sentinel rides
+   the push queue (the empty target is not a dialable address, so it
+   cannot collide with a real push); a full queue just means the domain
+   is already busy syncing — the entries it pushes serve the same
+   convergence end. *)
+let trigger_anti_entropy t =
+  if t.config.anti_entropy then
+    match t.repl_queue with
+    | Some queue -> (
+      match Job_queue.push queue ("", "") with `Ok | `Full _ | `Closed -> ())
+    | None -> ()
 
-(* Anti-entropy on (re)join: ask each ring neighbour for its cache-key
-   digest, keep the keys this node participates in (it is among the
-   first R nodes of the key's ring walk) and does not already hold,
-   and pull exactly those. A WAL-restored restart pulls nothing; a
-   WAL-less respawn re-warms its whole range from its peers. *)
-let anti_entropy t ring =
-  let r = t.config.replication in
-  let wanted key =
-    (not (Result_cache.mem t.cache key))
-    &&
-    let rec placed i = function
-      | [] -> false
-      | node :: rest -> (i < r && node = t.node_id) || (i + 1 < r && placed (i + 1) rest)
-    in
-    placed 0 (Ring.successors ring key.Result_cache.fingerprint)
+(* Swap in a strictly newer fleet view (caller holds [ring_mu] via
+   adopt_if_newer). Every exact key this node stops participating in is
+   scheduled for replica GC after the grace delay — re-checked against
+   the then-current membership when it fires, so a config that restores
+   a key cancels its doom. *)
+let adopt_locked t (config : Protocol.ring_config) =
+  let ring = Ring.create config.Protocol.nodes in
+  let replication = config.Protocol.replication in
+  let doomed =
+    List.filter
+      (fun (key : Result_cache.key) ->
+        not (placed ~r:replication ~node:t.node_id ring key.Result_cache.fingerprint))
+      (Result_cache.exact_keys t.cache)
   in
-  List.iter
-    (fun peer ->
-      match peer_exchange peer (Protocol.Cache_query { keys = [] }) with
-      | Ok (Protocol.Cache_reply { keys; _ }) -> (
-        match List.filter wanted keys with
-        | [] -> ()
-        | missing -> (
-          match peer_exchange peer (Protocol.Cache_query { keys = missing }) with
-          | Ok (Protocol.Cache_reply { records; _ }) ->
-            let pulled =
-              List.fold_left
-                (fun acc record ->
-                  match Wal.decode_record record with
-                  | Some (key, entry) ->
-                    store_replica t key entry;
-                    acc + 1
-                  | None -> acc)
-                0 records
-            in
-            t.log
-              (Printf.sprintf "anti-entropy: pulled %d/%d missing entr%s from %s" pulled
-                 (List.length missing)
-                 (if pulled = 1 then "y" else "ies")
-                 peer)
-          | Ok _ | Error _ ->
-            t.log (Printf.sprintf "anti-entropy: pull from %s failed" peer)))
-      | Ok _ -> t.log (Printf.sprintf "anti-entropy: unexpected digest reply from %s" peer)
-      | Error _ ->
-        (* a dead or not-yet-started neighbour is normal during a rolling
-           (re)start; replication-on-completion covers the gap *)
-        t.log (Printf.sprintf "anti-entropy: %s unreachable, skipped" peer))
-    (Ring.neighbors ring t.node_id)
+  t.membership <-
+    { version = config.Protocol.ring_version; nodes = config.Protocol.nodes; replication;
+      ring = Some ring };
+  if doomed <> [] then
+    t.gc_pending <- t.gc_pending @ [ (Unix.gettimeofday () +. gc_grace, doomed) ]
+
+(* [true] iff the config was strictly newer (and valid) and was
+   adopted. Idempotent against replays of the current or an older
+   config. *)
+let adopt_if_newer t (config : Protocol.ring_config) =
+  match validate_config config with
+  | Error _ -> false
+  | Ok () ->
+    let adopted =
+      with_ring t (fun () ->
+          if config.Protocol.ring_version > t.membership.version then begin
+            adopt_locked t config;
+            true
+          end
+          else false)
+    in
+    if adopted then begin
+      t.log
+        (Printf.sprintf "membership: adopted ring v%d (%d node(s), replication %d)%s"
+           config.Protocol.ring_version
+           (List.length config.Protocol.nodes)
+           config.Protocol.replication
+           (if List.mem t.node_id config.Protocol.nodes then "" else "; this node is out"));
+      trigger_anti_entropy t
+    end;
+    adopted
+
+(* The Stale_ring recovery path: ask the peer that fenced us for its
+   view and adopt it if newer. Returns whether anything was adopted. *)
+let refetch_config t peer =
+  match peer_exchange peer Protocol.Ring_status with
+  | Ok (Protocol.Ring_reply { config; _ }) -> adopt_if_newer t config
+  | Ok _ | Error _ -> false
+
+(* Where [record]'s key belongs under the *current* membership: its
+   first R−1 ring successors other than this node. *)
+let current_targets t record =
+  match Wal.decode_record record with
+  | None -> []
+  | Some (key, _) -> (
+    let m = membership t in
+    match m.ring with
+    | Some ring when m.replication > 1 ->
+      Ring.successors ring key.Result_cache.fingerprint
+      |> List.filter (fun node -> node <> t.node_id)
+      |> List.filteri (fun i _ -> i < m.replication - 1)
+    | _ -> [])
+
+let rec push_record ?(refetched = false) t target record =
+  if not (List.mem target (current_targets t record)) then
+    (* The queue item was placed under an older ring. Sending it anyway
+       would carry the *current* version, so the receiver's fence would
+       wave a stale placement through — re-warming a node that just
+       drained out of the key's range. Re-place instead: push to the
+       key's owners under the ring of this moment (idempotent on a
+       receiver that already holds the entry), or drop the push when
+       this node no longer owes a copy at all. *)
+    List.iter
+      (fun target -> push_record ~refetched t target record)
+      (current_targets t record)
+  else
+    match
+      peer_exchange target
+        (Protocol.Replicate { ring_version = ring_version t; records = [ record ] })
+    with
+    | Ok (Protocol.Replicate_ack { stored }) when stored >= 1 -> Atomic.incr t.replicated_out
+    | Ok (Protocol.Server_error (Dse_error.Stale_ring _)) when not refetched ->
+      (* the peer fenced us: refetch its view and, if we adopted a newer
+         one, re-place the record under it (its owners may have moved) *)
+      if refetch_config t target then
+        List.iter
+          (fun target -> push_record ~refetched:true t target record)
+          (current_targets t record)
+      else
+        t.log
+          (Printf.sprintf "replication: peer %s fenced a push and no newer config was found"
+             target)
+    | Ok _ -> t.log (Printf.sprintf "replication: peer %s refused a record" target)
+    | Error e ->
+      t.log (Printf.sprintf "replication: push to %s failed: %s" target (Dse_error.to_string e))
+
+(* The digest exchange is bounded per peer — a short timeout and
+   exactly one retry — so a hung or half-dead ring neighbour can never
+   stall the replication domain at startup (it used to wait the full
+   transport timeout with no second chance). A Stale_ring fence from
+   the peer triggers the config refetch, then the one retry runs under
+   the adopted version. *)
+let ae_timeout = 3.0
+
+let ae_exchange t peer keys =
+  let attempt () =
+    peer_exchange ~timeout:ae_timeout peer
+      (Protocol.Cache_query { ring_version = ring_version t; keys })
+  in
+  match attempt () with
+  | Ok (Protocol.Server_error (Dse_error.Stale_ring _)) when refetch_config t peer -> attempt ()
+  | Error _ ->
+    t.log (Printf.sprintf "anti-entropy: %s did not answer, retrying once" peer);
+    attempt ()
+  | reply -> reply
+
+(* Anti-entropy on (re)join and on every membership change: ask each
+   ring neighbour for its cache-key digest, keep the keys this node
+   participates in (it is among the first R nodes of the key's ring
+   walk) and does not already hold, and pull exactly those. A
+   WAL-restored restart pulls nothing; a WAL-less respawn re-warms its
+   whole range from its peers; a joining node pulls its range while it
+   already serves. *)
+let anti_entropy t =
+  let m = membership t in
+  match m.ring with
+  | Some ring when List.mem t.node_id m.nodes ->
+    let wanted key =
+      (not (Result_cache.mem t.cache key))
+      && placed ~r:m.replication ~node:t.node_id ring key.Result_cache.fingerprint
+    in
+    List.iter
+      (fun peer ->
+        match ae_exchange t peer [] with
+        | Ok (Protocol.Cache_reply { keys; _ }) -> (
+          match List.filter wanted keys with
+          | [] -> ()
+          | missing -> (
+            match ae_exchange t peer missing with
+            | Ok (Protocol.Cache_reply { records; _ }) ->
+              let pulled =
+                List.fold_left
+                  (fun acc record ->
+                    match Wal.decode_record record with
+                    | Some (key, entry) ->
+                      store_replica t key entry;
+                      acc + 1
+                    | None -> acc)
+                  0 records
+              in
+              t.log
+                (Printf.sprintf "anti-entropy: pulled %d/%d missing entr%s from %s" pulled
+                   (List.length missing)
+                   (if pulled = 1 then "y" else "ies")
+                   peer)
+            | Ok _ | Error _ ->
+              t.log (Printf.sprintf "anti-entropy: pull from %s failed" peer)))
+        | Ok _ -> t.log (Printf.sprintf "anti-entropy: unexpected digest reply from %s" peer)
+        | Error _ ->
+          (* a dead or not-yet-started neighbour is normal during a rolling
+             (re)start; replication-on-completion covers the gap *)
+          t.log (Printf.sprintf "anti-entropy: %s unreachable, skipped" peer))
+      (Ring.neighbors ring t.node_id)
+  | _ -> ()
+
+(* Fire due replica-GC batches (called from the accept loop's select
+   tick). Placement is re-checked under the *current* membership — a
+   later config that restored a key rescues it — and survivors of the
+   check are dropped from the cache, counted, and flushed from the WAL
+   by an immediate compaction (replay must not resurrect a range this
+   node no longer owns). *)
+let run_replica_gc t =
+  let now = Unix.gettimeofday () in
+  let due =
+    with_ring t (fun () ->
+        let due, later = List.partition (fun (at, _) -> at <= now) t.gc_pending in
+        t.gc_pending <- later;
+        due)
+  in
+  if due <> [] then begin
+    let m = membership t in
+    let keep (key : Result_cache.key) =
+      match m.ring with
+      | None -> true
+      | Some ring -> placed ~r:m.replication ~node:t.node_id ring key.Result_cache.fingerprint
+    in
+    let dropped =
+      List.fold_left
+        (fun acc (_, keys) ->
+          List.fold_left
+            (fun acc key ->
+              if (not (keep key)) && Result_cache.mem t.cache key then begin
+                Result_cache.remove t.cache key;
+                acc + 1
+              end
+              else acc)
+            acc keys)
+        0 due
+    in
+    if dropped > 0 then begin
+      ignore (Atomic.fetch_and_add t.replica_gc_dropped dropped);
+      (match t.wal with
+      | None -> ()
+      | Some wal -> (
+        match Wal.compact wal with
+        | Ok () -> ()
+        | Error e -> t.log (Printf.sprintf "replica-gc: wal compaction failed: %s" (Dse_error.to_string e))));
+      t.log
+        (Printf.sprintf "replica-gc: dropped %d entr%s outside this node's placement (ring v%d)"
+           dropped
+           (if dropped = 1 then "y" else "ies")
+           m.version)
+    end
+  end
 
 let stats_reply t =
   let c = Result_cache.counters t.cache in
@@ -439,6 +697,9 @@ let health_reply t =
       replicated_out = Atomic.get t.replicated_out;
       replication_lag = (match t.repl_queue with Some q -> Job_queue.length q | None -> 0);
       replication_dropped = Atomic.get t.replication_dropped;
+      ring_version = ring_version t;
+      draining = Atomic.get t.draining;
+      replica_gc_dropped = Atomic.get t.replica_gc_dropped;
     }
 
 let respond_and_close t fd response =
@@ -553,6 +814,95 @@ let settle_stalled t (s : job Watchdog.stalled) =
       waiters
   end
 
+(* How long a drain waits for queued and in-flight jobs to finish
+   before handing off warm state. New heavy work is already being shed,
+   so this only covers the backlog at the moment the drain arrived. *)
+let drain_settle_timeout = 30.0
+
+(* Planned decommission. Runs inline in the accept loop — the daemon
+   stops accepting while it hands off, which is fine for a node that is
+   leaving — and the whole sequence is bounded: settle wait, then one
+   bounded exchange per surviving target. Order matters: the control
+   plane updates the survivors to the post-drain config *first*, so the
+   handoff pushes (fenced at the new version) are accepted; the router
+   is updated last, so this node keeps answering cache hits until the
+   very moment routing moves — zero kernel re-runs on the drained
+   range. *)
+let handle_drain t fd (config : Protocol.ring_config) =
+  let invalid message =
+    respond_and_close t fd
+      (Protocol.Server_error (Dse_error.Constraint_violation { context = "drain"; message }))
+  in
+  match validate_config config with
+  | Error message -> invalid message
+  | Ok () ->
+    if List.mem t.node_id config.Protocol.nodes then
+      invalid "post-drain config still contains this node"
+    else begin
+      let mine = ring_version t in
+      if config.Protocol.ring_version <= mine then
+        respond_and_close t fd
+          (Protocol.Server_error
+             (Dse_error.Stale_ring { seen = config.Protocol.ring_version; expected = mine }))
+      else begin
+        Atomic.set t.draining true;
+        (* let the backlog finish: every entry to hand off must be in
+           the cache, and new heavy submissions are now being shed *)
+        let deadline = Unix.gettimeofday () +. drain_settle_timeout in
+        let idle () =
+          Job_queue.length t.queue = 0
+          && (match t.pool with
+             | None -> true
+             | Some pool ->
+               List.for_all
+                 (fun (v : job Worker_pool.view) -> v.Worker_pool.running = None)
+                 (Worker_pool.snapshot pool))
+        in
+        while (not (idle ())) && Unix.gettimeofday () < deadline do
+          Unix.sleepf 0.02
+        done;
+        (* hand off every warm exact entry to its post-drain owners,
+           batched into one Replicate per target *)
+        let ring = Ring.create config.Protocol.nodes in
+        let by_target : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+        List.iter
+          (fun (key, entry) ->
+            match Wal.encode_record key entry with
+            | None -> ()
+            | Some record ->
+              Ring.successors ring key.Result_cache.fingerprint
+              |> List.filteri (fun i _ -> i < config.Protocol.replication)
+              |> List.iter (fun target ->
+                     Hashtbl.replace by_target target
+                       (record :: Option.value ~default:[] (Hashtbl.find_opt by_target target))))
+          (Result_cache.snapshot t.cache);
+        let pushed =
+          Hashtbl.fold
+            (fun target records acc ->
+              match
+                peer_exchange target
+                  (Protocol.Replicate
+                     { ring_version = config.Protocol.ring_version; records = List.rev records })
+              with
+              | Ok (Protocol.Replicate_ack { stored }) ->
+                ignore (Atomic.fetch_and_add t.replicated_out stored);
+                acc + stored
+              | Ok _ | Error _ ->
+                t.log
+                  (Printf.sprintf "drain: handoff of %d record(s) to %s failed"
+                     (List.length records) target);
+                acc)
+            by_target 0
+        in
+        ignore (adopt_if_newer t config);
+        t.log
+          (Printf.sprintf "drain: handed off %d record(s); left the ring at v%d" pushed
+             config.Protocol.ring_version);
+        respond_and_close t fd
+          (Protocol.Ring_reply { config = current_config t; draining = true; pushed })
+      end
+    end
+
 let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~deadline =
   let reject message =
     respond_and_close t fd
@@ -626,11 +976,14 @@ let handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~dea
           | Approx_work _ -> false
         in
         let pending = Job_queue.length t.queue in
-        if pending >= watermark t.config && heavy then begin
+        if (pending >= watermark t.config || Atomic.get t.draining) && heavy then begin
           (* overload shedding: past the watermark, heavy jobs are
              refused up front with a load-proportional retry hint, while
              light jobs, pings, health probes and cache hits still go
-             through — graceful degradation instead of queue collapse *)
+             through — graceful degradation instead of queue collapse.
+             A draining node sheds every heavy job the same way: the
+             retryable Queue_full sends new work elsewhere while cache
+             hits keep being answered until routing moves off it. *)
           Atomic.incr t.shed;
           fail_flight
             (Dse_error.Queue_full
@@ -675,43 +1028,71 @@ let handle_connection t fd =
   | Ok (Some Protocol.Ping) -> respond_and_close t fd Protocol.Pong
   | Ok (Some Protocol.Server_stats) -> respond_and_close t fd (stats_reply t)
   | Ok (Some Protocol.Health) -> respond_and_close t fd (health_reply t)
-  | Ok (Some (Protocol.Replicate { records })) ->
-    (* a peer pushing warm results; an undecodable record is dropped
-       (the ack count tells the pusher), it can never corrupt us *)
-    let stored =
-      List.fold_left
-        (fun acc record ->
-          match Wal.decode_record record with
-          | Some (key, entry) ->
-            store_replica t key entry;
-            acc + 1
-          | None ->
-            t.log "replicate: dropped an undecodable record from a peer";
-            acc)
-        0 records
-    in
-    respond_and_close t fd (Protocol.Replicate_ack { stored })
-  | Ok (Some (Protocol.Cache_query { keys = [] })) ->
-    (* digest form: advertise every replicable (exact) cache key *)
+  | Ok (Some (Protocol.Replicate { ring_version = seen; records })) -> (
+    (* epoch fence first: a peer with a stale fleet view must refetch
+       the config, not place warm state under the wrong ring *)
+    match fence t seen with
+    | Some e -> respond_and_close t fd (Protocol.Server_error e)
+    | None ->
+      (* a peer pushing warm results; an undecodable record is dropped
+         (the ack count tells the pusher), it can never corrupt us *)
+      let stored =
+        List.fold_left
+          (fun acc record ->
+            match Wal.decode_record record with
+            | Some (key, entry) ->
+              store_replica t key entry;
+              acc + 1
+            | None ->
+              t.log "replicate: dropped an undecodable record from a peer";
+              acc)
+          0 records
+      in
+      respond_and_close t fd (Protocol.Replicate_ack { stored }))
+  | Ok (Some (Protocol.Cache_query { ring_version = seen; keys })) -> (
+    match fence t seen with
+    | Some e -> respond_and_close t fd (Protocol.Server_error e)
+    | None -> (
+      match keys with
+      | [] ->
+        (* digest form: advertise every replicable (exact) cache key *)
+        respond_and_close t fd
+          (Protocol.Cache_reply { keys = Result_cache.exact_keys t.cache; records = [] })
+      | keys ->
+        (* fetch form: a router failover lookup or an anti-entropy pull;
+           each served entry is a kernel run someone else did not repeat *)
+        let records =
+          List.filter_map
+            (fun key ->
+              match Result_cache.find t.cache key with
+              | Some entry -> (
+                match Wal.encode_record key entry with
+                | Some record ->
+                  Atomic.incr t.peer_hits;
+                  Some record
+                | None -> None)
+              | None -> None)
+            keys
+        in
+        respond_and_close t fd (Protocol.Cache_reply { keys = []; records })))
+  | Ok (Some Protocol.Ring_status) ->
     respond_and_close t fd
-      (Protocol.Cache_reply { keys = Result_cache.exact_keys t.cache; records = [] })
-  | Ok (Some (Protocol.Cache_query { keys })) ->
-    (* fetch form: a router failover lookup or an anti-entropy pull;
-       each served entry is a kernel run someone else did not repeat *)
-    let records =
-      List.filter_map
-        (fun key ->
-          match Result_cache.find t.cache key with
-          | Some entry -> (
-            match Wal.encode_record key entry with
-            | Some record ->
-              Atomic.incr t.peer_hits;
-              Some record
-            | None -> None)
-          | None -> None)
-        keys
-    in
-    respond_and_close t fd (Protocol.Cache_reply { keys = []; records })
+      (Protocol.Ring_reply
+         { config = current_config t; draining = Atomic.get t.draining; pushed = 0 })
+  | Ok (Some (Protocol.Ring_update { config })) -> (
+    match validate_config config with
+    | Error message ->
+      respond_and_close t fd
+        (Protocol.Server_error
+           (Dse_error.Constraint_violation { context = "ring-update"; message }))
+    | Ok () ->
+      (* adopt-if-newer, then echo whatever view we hold now: the
+         caller learns in one round whether it was news or a replay *)
+      ignore (adopt_if_newer t config);
+      respond_and_close t fd
+        (Protocol.Ring_reply
+           { config = current_config t; draining = Atomic.get t.draining; pushed = 0 }))
+  | Ok (Some (Protocol.Drain { config })) -> handle_drain t fd config
   | Ok (Some (Protocol.Submit { name; trace; query; method_; domains; max_level; deadline })) ->
     handle_submission t fd ~name ~trace ~query ~method_ ~domains ~max_level ~deadline
 
@@ -727,19 +1108,27 @@ let run t =
      answers), then the push-queue drain loop. Single-threaded pushes
      keep per-peer ordering and bound the node's outbound fan-out. *)
   let repl_domain =
-    match (t.ring, t.repl_queue) with
-    | Some ring, Some queue ->
+    match t.repl_queue with
+    | Some queue ->
       Some
         (Domain.spawn (fun () ->
-             if t.config.anti_entropy then begin
-               match anti_entropy t ring with
-               | () -> ()
-               | exception e ->
-                 t.log (Printf.sprintf "anti-entropy failed: %s" (Printexc.to_string e))
-             end;
+             let sync () =
+               if t.config.anti_entropy then begin
+                 match anti_entropy t with
+                 | () -> ()
+                 | exception e ->
+                   t.log (Printf.sprintf "anti-entropy failed: %s" (Printexc.to_string e))
+               end
+             in
+             sync ();
              let rec drain () =
                match Job_queue.pop queue with
                | None -> ()
+               | Some ("", _) ->
+                 (* membership-change sentinel: re-run the digest
+                    exchange under the just-adopted ring *)
+                 sync ();
+                 drain ()
                | Some (target, record) ->
                  (match push_record t target record with
                  | () -> ()
@@ -748,7 +1137,7 @@ let run t =
                  drain ()
              in
              drain ()))
-    | _ -> None
+    | None -> None
   in
   let listeners =
     t.listen_fd :: (match t.tcp_fd with Some fd -> [ fd ] | None -> [])
@@ -775,6 +1164,9 @@ let run t =
       (* the watchdog rides the select tick: detection latency is
          bounded by hang_timeout plus one 0.1 s tick *)
       List.iter (settle_stalled t) (Watchdog.scan pool ~hang_timeout:t.config.hang_timeout);
+      (* replica GC rides it too: due batches fire within a tick of
+         their grace expiry *)
+      run_replica_gc t;
       accept_loop ()
     end
   in

@@ -320,6 +320,12 @@ let append t key entry =
             t.appended <- t.appended + 1;
             if t.appended >= t.compact_factor * t.capacity then compact_locked t))
 
+(* On-demand compaction: replica GC removes entries from the cache, and
+   rewriting the log from the post-GC snapshot is what removes them from
+   disk — otherwise a decommissioned key range would be resurrected by
+   the next replay. *)
+let compact t = with_lock t (fun () -> guard ~path:t.path (fun () -> compact_locked t))
+
 let appended_since_compact t = with_lock t (fun () -> t.appended)
 
 let path t = t.path

@@ -74,6 +74,13 @@ val open_ :
     approx results are served warm only within a daemon's lifetime. *)
 val append : t -> Result_cache.key -> Result_cache.entry -> (unit, Dse_error.t) result
 
+(** [compact t] rewrites the log from the live snapshot immediately,
+    regardless of the append-count trigger. Replica GC calls it after
+    dropping entries the node no longer participates in, so a
+    decommissioned key range leaves the disk too (a later replay must
+    not resurrect it). Safe from any domain. *)
+val compact : t -> (unit, Dse_error.t) result
+
 (** [appended_since_compact t] — exposed for tests of the compaction
     trigger. *)
 val appended_since_compact : t -> int

@@ -20,6 +20,7 @@ let () =
          Test_router.suites;
          Test_selfheal.suites;
          Test_replication.suites;
+         Test_membership.suites;
          Test_supervision.suites;
          Test_extensions.suites;
          Test_cost.suites;

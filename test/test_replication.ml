@@ -148,9 +148,15 @@ let test_cluster_verbs_roundtrip () =
   in
   let records = [ "DSEW\x01raw-bytes\xff"; "" ] in
   let requests =
-    [ Protocol.Replicate { records };
-      Protocol.Cache_query { keys = [] };
-      Protocol.Cache_query { keys } ]
+    [ Protocol.Replicate { ring_version = 0; records };
+      Protocol.Replicate { ring_version = 42; records };
+      Protocol.Cache_query { ring_version = 0; keys = [] };
+      Protocol.Cache_query { ring_version = 7; keys };
+      Protocol.Ring_status;
+      Protocol.Ring_update
+        { config = { ring_version = 2; nodes = [ "127.0.0.1:7701"; "127.0.0.1:7702" ]; replication = 2 } };
+      Protocol.Drain
+        { config = { ring_version = 3; nodes = [ "127.0.0.1:7702" ]; replication = 1 } } ]
   in
   List.iter
     (fun request ->
@@ -164,7 +170,19 @@ let test_cluster_verbs_roundtrip () =
     [ Protocol.Replicate_ack { stored = 0 };
       Protocol.Replicate_ack { stored = 7 };
       Protocol.Cache_reply { keys; records = [] };
-      Protocol.Cache_reply { keys = []; records } ]
+      Protocol.Cache_reply { keys = []; records };
+      Protocol.Ring_reply
+        {
+          config = { ring_version = 5; nodes = [ "a"; "b"; "c" ]; replication = 2 };
+          draining = false;
+          pushed = 0;
+        };
+      Protocol.Ring_reply
+        {
+          config = { ring_version = 1; nodes = [ "a" ]; replication = 1 };
+          draining = true;
+          pushed = 31;
+        } ]
   in
   List.iter
     (fun response ->

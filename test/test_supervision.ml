@@ -125,6 +125,9 @@ let test_health_roundtrip () =
       replicated_out = 5;
       replication_lag = 1;
       replication_dropped = 2;
+      ring_version = 3;
+      draining = true;
+      replica_gc_dropped = 4;
     }
   in
   with_socketpair (fun a b ->
